@@ -1,0 +1,29 @@
+//! One Criterion bench per table and figure of the evaluation: each
+//! target executes the corresponding experiment at smoke scale, so
+//! `cargo bench` demonstrably exercises every regeneration path (full
+//! runs: `cargo run -p mcast-bench --release --bin figures`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_bench::{run_experiment, Scale};
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let mut g = c.benchmark_group("figures_smoke");
+    g.sample_size(10);
+    for id in mcast_bench::experiment_ids() {
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let tables = run_experiment(id, &scale);
+                std::hint::black_box(tables.iter().map(|t| t.rows.len()).sum::<usize>())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Criterion microbenchmarks of the routing algorithms' computational
+//! cost — the dissertation's complexity claims (O(k log k) preparation,
+//! O(1)/O(n) per hop, O(k²) replicate nodes) made measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcast_core::model::MulticastSet;
+use mcast_topology::hamiltonian::{hypercube_cycle, mesh2d_cycle};
+use mcast_topology::labeling::{hypercube_gray, mesh2d_snake};
+use mcast_topology::{Hypercube, Mesh2D, Topology};
+use mcast_workload::MulticastGen;
+
+fn mesh_sets(n: usize, k: usize) -> (Mesh2D, Vec<MulticastSet>) {
+    let m = Mesh2D::new(16, 16);
+    let mut gen = MulticastGen::new(m.num_nodes(), 99);
+    let sets = (0..n)
+        .map(|_| {
+            let s = gen.source();
+            gen.multicast_distinct(s, k)
+        })
+        .collect();
+    (m, sets)
+}
+
+fn cube_sets(n: usize, k: usize) -> (Hypercube, Vec<MulticastSet>) {
+    let h = Hypercube::new(8);
+    let mut gen = MulticastGen::new(h.num_nodes(), 99);
+    let sets = (0..n)
+        .map(|_| {
+            let s = gen.source();
+            gen.multicast_distinct(s, k)
+        })
+        .collect();
+    (h, sets)
+}
+
+fn bench_mesh_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mesh16x16_routing");
+    for k in [10usize, 50] {
+        let (m, sets) = mesh_sets(32, k);
+        let cycle = mesh2d_cycle(&m);
+        let labeling = mesh2d_snake(&m);
+        g.bench_with_input(BenchmarkId::new("sorted_mp", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let mc = &sets[i % sets.len()];
+                i += 1;
+                std::hint::black_box(mcast_core::sorted_mp::sorted_mp(&m, &cycle, mc).len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("greedy_st", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let mc = &sets[i % sets.len()];
+                i += 1;
+                std::hint::black_box(mcast_core::greedy_st::greedy_st(&m, mc).traffic(&m))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("xfirst", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let mc = &sets[i % sets.len()];
+                i += 1;
+                std::hint::black_box(mcast_core::xfirst::xfirst_tree(&m, mc).traffic())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("divided_greedy", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let mc = &sets[i % sets.len()];
+                i += 1;
+                std::hint::black_box(
+                    mcast_core::divided_greedy::divided_greedy_tree(&m, mc).traffic(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("dual_path", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let mc = &sets[i % sets.len()];
+                i += 1;
+                let paths = mcast_core::dual_path::dual_path(&m, &labeling, mc);
+                std::hint::black_box(paths.iter().map(|p| p.len()).sum::<usize>())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("multi_path", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let mc = &sets[i % sets.len()];
+                i += 1;
+                let paths = mcast_core::multi_path::multi_path_mesh(&m, &labeling, mc);
+                std::hint::black_box(paths.iter().map(|p| p.len()).sum::<usize>())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("fixed_path", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let mc = &sets[i % sets.len()];
+                i += 1;
+                let paths = mcast_core::fixed_path::fixed_path(&m, &labeling, mc);
+                std::hint::black_box(paths.iter().map(|p| p.len()).sum::<usize>())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("dc_tree", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let mc = &sets[i % sets.len()];
+                i += 1;
+                std::hint::black_box(mcast_core::dc_xfirst_tree::traffic(
+                    &mcast_core::dc_xfirst_tree::dc_xfirst(&m, mc),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cube_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cube8_routing");
+    for k in [10usize, 50] {
+        let (h, sets) = cube_sets(32, k);
+        let cycle = hypercube_cycle(&h);
+        let labeling = hypercube_gray(&h);
+        g.bench_with_input(BenchmarkId::new("sorted_mp", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let mc = &sets[i % sets.len()];
+                i += 1;
+                std::hint::black_box(mcast_core::sorted_mp::sorted_mp(&h, &cycle, mc).len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("greedy_st", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let mc = &sets[i % sets.len()];
+                i += 1;
+                std::hint::black_box(mcast_core::greedy_st::greedy_st(&h, mc).traffic(&h))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("len", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let mc = &sets[i % sets.len()];
+                i += 1;
+                std::hint::black_box(mcast_core::len::len_tree(&h, mc).traffic())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("dual_path", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let mc = &sets[i % sets.len()];
+                i += 1;
+                let paths = mcast_core::dual_path::dual_path(&h, &labeling, mc);
+                std::hint::black_box(paths.iter().map(|p| p.len()).sum::<usize>())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("multi_path", k), &k, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let mc = &sets[i % sets.len()];
+                i += 1;
+                let paths = mcast_core::multi_path::multi_path(&h, &labeling, mc);
+                std::hint::black_box(paths.iter().map(|p| p.len()).sum::<usize>())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_mesh_routing, bench_cube_routing
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark of the wormhole engine itself: flit-event
+//! throughput under a fixed closed workload — the simulator is a built
+//! substrate, so its cost is measured like any other component.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_core::model::MulticastSet;
+use mcast_sim::engine::{Engine, SimConfig};
+use mcast_sim::network::Network;
+use mcast_sim::routers::{DualPathRouter, MulticastRouter};
+use mcast_topology::{Mesh2D, Topology};
+
+fn bench_engine(c: &mut Criterion) {
+    let mesh = Mesh2D::new(8, 8);
+    let router = DualPathRouter::mesh(mesh);
+    // 64 simultaneous 10-destination multicasts, run to completion.
+    let plans: Vec<_> = (0..mesh.num_nodes())
+        .map(|s| {
+            let mc = MulticastSet::new(s, (1..=10).map(|i| (s + i * 5 + 3) % 64));
+            router.plan(&mc)
+        })
+        .collect();
+    c.bench_function("engine_closed_64x10_dual_path", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(Network::new(&mesh, 1), SimConfig::default());
+            for p in &plans {
+                engine.inject(p);
+            }
+            assert!(engine.run_to_quiescence());
+            std::hint::black_box(engine.now())
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

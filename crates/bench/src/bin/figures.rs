@@ -1,0 +1,39 @@
+//! Regenerates the dissertation's tables and figures.
+//!
+//! ```text
+//! cargo run -p mcast-bench --release --bin figures             # everything
+//! cargo run -p mcast-bench --release --bin figures -- fig7_1   # one id
+//! cargo run -p mcast-bench --release --bin figures -- --smoke  # fast pass
+//! ```
+//!
+//! CSV output lands in `results/`.
+
+use std::path::Path;
+
+use mcast_bench::{experiment_ids, run_experiment, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let ids: Vec<String> =
+        args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+    let ids: Vec<String> = if ids.is_empty() {
+        experiment_ids().into_iter().map(String::from).collect()
+    } else {
+        ids
+    };
+    let out_dir = Path::new("results");
+    for id in &ids {
+        let start = std::time::Instant::now();
+        let tables = run_experiment(id, &scale);
+        for t in &tables {
+            print!("{}", t.render());
+            if let Err(e) = t.write_csv(out_dir) {
+                eprintln!("warning: could not write {}.csv: {e}", t.id);
+            }
+            println!();
+        }
+        eprintln!("[{id}] done in {:.1?}", start.elapsed());
+    }
+}

@@ -1,0 +1,93 @@
+//! Fig 2.3's switching-technology comparison: network latency vs
+//! distance for store-and-forward, virtual cut-through, circuit
+//! switching, and wormhole routing in a contention-free network — the
+//! §2.2 closed forms, cross-checked against the flit-level engine for
+//! the wormhole column.
+
+use mcast_sim::engine::{Engine, SimConfig};
+use mcast_sim::network::Network;
+use mcast_sim::plan::{ClassChoice, DeliveryPlan, PlanPath, PlanWorm};
+use mcast_sim::switching::{Switching, SwitchingParams};
+use mcast_topology::Mesh2D;
+
+use crate::report::{f, Table};
+
+/// Regenerates the Fig 2.3 comparison (latencies in µs).
+pub fn fig2_3() -> Table {
+    let p = SwitchingParams::default();
+    let mut t = Table::new(
+        "fig2_3",
+        "Switching technologies: contention-free latency vs distance (Fig 2.3) [us]",
+        &[
+            "distance",
+            "store-and-forward",
+            "virtual cut-through",
+            "circuit switching",
+            "wormhole",
+            "wormhole (simulated)",
+        ],
+    );
+    // A long path in a 31×2 mesh provides the distances.
+    let mesh = Mesh2D::new(31, 2);
+    for d in [1usize, 2, 4, 8, 12, 16, 20, 25, 30] {
+        let mut row = vec![d.to_string()];
+        for s in Switching::ALL {
+            row.push(f(s.latency(&p, d) * 1e6, 2));
+        }
+        // Engine cross-check: a single path worm over d hops with zero
+        // per-hop routing delay matches the closed form.
+        let config = SimConfig { routing_delay_ns: 0, ..SimConfig::default() };
+        let mut engine = Engine::new(Network::new(&mesh, 1), config);
+        let nodes: Vec<usize> = (0..=d).collect(); // row 0 of the mesh
+        let plan = DeliveryPlan {
+            source: 0,
+            destinations: vec![d],
+            worms: vec![PlanWorm::Path(PlanPath { nodes, class: ClassChoice::Any })],
+        };
+        engine.inject(&plan);
+        assert!(engine.run_to_quiescence());
+        let done = engine.take_completed();
+        row.push(f(done[0].completed_at as f64 / 1000.0, 2));
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_wormhole_matches_closed_form() {
+        let t = fig2_3();
+        for row in &t.rows {
+            let formula: f64 = row[4].parse().unwrap();
+            let simulated: f64 = row[5].parse().unwrap();
+            // The engine adds one extra flit (the header) to the stream:
+            // allow a one-flit-per-hop + header tolerance.
+            assert!(
+                (simulated - formula).abs() <= 0.45 * (1.0 + row[0].parse::<f64>().unwrap() * 0.05),
+                "d={} formula {formula} vs simulated {simulated}",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn saf_grows_linearly_pipelined_stay_flat() {
+        let t = fig2_3();
+        let first = &t.rows[0];
+        let last = t.rows.last().unwrap();
+        let saf_ratio: f64 =
+            last[1].parse::<f64>().unwrap() / first[1].parse::<f64>().unwrap();
+        let worm_ratio: f64 =
+            last[4].parse::<f64>().unwrap() / first[4].parse::<f64>().unwrap();
+        assert!(saf_ratio > 10.0, "SAF must scale with distance");
+        // With L/L_f = 16 the per-hop flit term is small but not zero:
+        // wormhole grows far slower than SAF, not literally flat.
+        assert!(
+            worm_ratio < saf_ratio / 4.0,
+            "wormhole ratio {worm_ratio} vs SAF ratio {saf_ratio}"
+        );
+    }
+}

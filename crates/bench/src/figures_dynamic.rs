@@ -1,0 +1,208 @@
+//! Regeneration of the dynamic (contention) figures of §7.2
+//! (Figs 7.8–7.11): average network latency under Poisson multicast
+//! traffic on an 8×8 mesh, measured by the flit-level wormhole engine
+//! with the §7.2 parameters (128-byte messages, 20 Mbyte/s channels).
+
+use mcast_sim::routers::{
+    DoubleChannelTreeRouter, DualPathRouter, FixedPathRouter, MultiPathMeshRouter,
+    MulticastRouter,
+};
+use mcast_topology::Mesh2D;
+use mcast_workload::dynamic::run_dynamic;
+
+use crate::report::{f, Table};
+use crate::scale::Scale;
+
+/// Loads for the latency-vs-load sweeps: mean interarrival per node (µs).
+/// Lower = heavier; the heaviest points push the tree scheme into
+/// saturation first (§7.2's observation).
+const LOAD_SWEEP_US: [f64; 11] =
+    [2000.0, 1200.0, 800.0, 600.0, 450.0, 350.0, 280.0, 220.0, 180.0, 150.0, 120.0];
+
+/// Destination counts for the latency-vs-k sweeps (Fig 7.9 sweeps 1–45).
+const K_SWEEP: [usize; 7] = [1, 5, 10, 15, 25, 35, 45];
+
+fn latency_cell(r: &mcast_workload::DynamicResult) -> String {
+    if r.saturated {
+        "sat".to_string()
+    } else {
+        f(r.mean_latency_us, 1)
+    }
+}
+
+/// Fig 7.8: latency vs load on a *double-channel* 8×8 mesh — the
+/// tree-like scheme vs dual-path vs multi-path, k̄ = 10.
+///
+/// The tree scheme appears twice: under strict lock-step wormhole
+/// replication (single-flit buffers — it wedges beyond light load, see
+/// EXPERIMENTS.md "lock-step finding") and with virtual-cut-through
+/// replication buffers at branch nodes (one message worth — the model
+/// implied by the dissertation's own VLSI-router reference [21], which
+/// degrades gracefully like the paper's plotted curve).
+pub fn fig7_8(scale: &Scale) -> Table {
+    let mesh = Mesh2D::new(8, 8);
+    let mut t = Table::new(
+        "fig7_8",
+        "Latency vs load, double-channel 8x8 mesh, k=10 (Fig 7.8) [us]",
+        &["interarrival us", "tree lockstep", "tree vct-buf", "dual-path", "multi-path"],
+    );
+    let tree = DoubleChannelTreeRouter::new(mesh);
+    let dual = DualPathRouter::mesh(mesh);
+    let multi = MultiPathMeshRouter::new(mesh);
+    for &load in &LOAD_SWEEP_US {
+        let mut cfg = scale.dynamic_config();
+        cfg.mean_interarrival_ns = load * 1000.0;
+        cfg.destinations = 10;
+        let mut vct = cfg.clone();
+        vct.sim.buffer_flits = vct.sim.flits_per_message();
+        let mut row = vec![f(load, 0)];
+        row.push(latency_cell(&run_on_double_channels(&mesh, &tree, &cfg)));
+        row.push(latency_cell(&run_on_double_channels(&mesh, &tree, &vct)));
+        // Fig 7.8's premise: everything runs on double channels so the
+        // comparison is fair.
+        row.push(latency_cell(&run_on_double_channels(&mesh, &dual, &cfg)));
+        row.push(latency_cell(&run_on_double_channels(&mesh, &multi, &cfg)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Fig 7.9: latency vs destination-set size on the double-channel mesh,
+/// interarrival 300 µs.
+pub fn fig7_9(scale: &Scale) -> Table {
+    let mesh = Mesh2D::new(8, 8);
+    let mut t = Table::new(
+        "fig7_9",
+        "Latency vs destinations, double-channel 8x8 mesh, 300us interarrival (Fig 7.9) [us]",
+        &["k", "tree lockstep", "tree vct-buf", "dual-path", "multi-path"],
+    );
+    let tree = DoubleChannelTreeRouter::new(mesh);
+    let dual = DualPathRouter::mesh(mesh);
+    let multi = MultiPathMeshRouter::new(mesh);
+    for &k in &K_SWEEP {
+        let mut cfg = scale.dynamic_config();
+        cfg.mean_interarrival_ns = 300_000.0;
+        cfg.destinations = k;
+        let mut vct = cfg.clone();
+        vct.sim.buffer_flits = vct.sim.flits_per_message();
+        let mut row = vec![k.to_string()];
+        row.push(latency_cell(&run_on_double_channels(&mesh, &tree, &cfg)));
+        row.push(latency_cell(&run_on_double_channels(&mesh, &tree, &vct)));
+        row.push(latency_cell(&run_on_double_channels(&mesh, &dual, &cfg)));
+        row.push(latency_cell(&run_on_double_channels(&mesh, &multi, &cfg)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// Fig 7.10: latency vs load on a *single-channel* 8×8 mesh — dual-path
+/// vs multi-path, k̄ = 10.
+pub fn fig7_10(scale: &Scale) -> Table {
+    let mesh = Mesh2D::new(8, 8);
+    let mut t = Table::new(
+        "fig7_10",
+        "Latency vs load, single-channel 8x8 mesh, k=10 (Fig 7.10) [us]",
+        &["interarrival us", "dual-path", "multi-path"],
+    );
+    let routers: Vec<Box<dyn MulticastRouter>> =
+        vec![Box::new(DualPathRouter::mesh(mesh)), Box::new(MultiPathMeshRouter::new(mesh))];
+    for &load in &LOAD_SWEEP_US {
+        let mut row = vec![f(load, 0)];
+        for r in &routers {
+            let mut cfg = scale.dynamic_config();
+            cfg.mean_interarrival_ns = load * 1000.0;
+            cfg.destinations = 10;
+            let result = run_dynamic(&mesh, r.as_ref(), &cfg);
+            row.push(latency_cell(&result));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Fig 7.11: latency vs destination-set size under relatively high load,
+/// single channels — dual-path vs multi-path vs fixed-path (the
+/// multi-path hot-spot experiment).
+pub fn fig7_11(scale: &Scale) -> Table {
+    let mesh = Mesh2D::new(8, 8);
+    let mut t = Table::new(
+        "fig7_11",
+        "Latency vs destinations under load, single-channel 8x8 mesh (Fig 7.11) [us]",
+        &["k", "dual-path", "multi-path", "fixed-path"],
+    );
+    let routers: Vec<Box<dyn MulticastRouter>> = vec![
+        Box::new(DualPathRouter::mesh(mesh)),
+        Box::new(MultiPathMeshRouter::new(mesh)),
+        Box::new(FixedPathRouter::mesh(mesh)),
+    ];
+    for &k in &K_SWEEP {
+        let mut row = vec![k.to_string()];
+        for r in &routers {
+            let mut cfg = scale.dynamic_config();
+            // "Relatively high" load: messages every 600 µs per node keeps
+            // dual/fixed below saturation at large k while exposing the
+            // multi-path hot spots.
+            cfg.mean_interarrival_ns = 600_000.0;
+            cfg.destinations = k;
+            let result = run_dynamic(&mesh, r.as_ref(), &cfg);
+            row.push(latency_cell(&result));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Runs a router on an explicitly double-channel network, regardless of
+/// what it requires (Fig 7.8/7.9's level playing field).
+fn run_on_double_channels(
+    mesh: &Mesh2D,
+    router: &dyn MulticastRouter,
+    cfg: &mcast_workload::DynamicConfig,
+) -> mcast_workload::DynamicResult {
+    // `run_dynamic` builds `required_classes()` channels; path routers
+    // declare 1 but must get 2 here. A thin adapter bumps the class count.
+    struct DoubleClasses<'a>(&'a dyn MulticastRouter);
+    impl MulticastRouter for DoubleClasses<'_> {
+        fn name(&self) -> &'static str {
+            self.0.name()
+        }
+        fn required_classes(&self) -> u8 {
+            2
+        }
+        fn plan(&self, mc: &mcast_core::model::MulticastSet) -> mcast_sim::DeliveryPlan {
+            self.0.plan(mc)
+        }
+    }
+    run_dynamic(mesh, &DoubleClasses(router), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_8_smoke_runs_and_orders_low_load() {
+        let t = fig7_8(&Scale::smoke());
+        assert_eq!(t.rows.len(), LOAD_SWEEP_US.len());
+        // At the lightest load nothing saturates.
+        for cell in &t.rows[0][1..] {
+            assert_ne!(cell, "sat", "lightest load must not saturate");
+            let v: f64 = cell.parse().unwrap();
+            assert!(v > 0.0 && v < 1000.0, "latency {v}");
+        }
+    }
+
+    #[test]
+    fn fig7_10_smoke_runs() {
+        let t = fig7_10(&Scale::smoke());
+        assert_eq!(t.rows.len(), LOAD_SWEEP_US.len());
+    }
+
+    #[test]
+    fn fig7_9_and_7_11_smoke_run() {
+        let t9 = fig7_9(&Scale::smoke());
+        assert_eq!(t9.rows.len(), K_SWEEP.len());
+        let t11 = fig7_11(&Scale::smoke());
+        assert_eq!(t11.rows.len(), K_SWEEP.len());
+    }
+}

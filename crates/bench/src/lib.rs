@@ -1,0 +1,59 @@
+//! The figure harness: functions that regenerate every table and figure
+//! of the dissertation's evaluation (see DESIGN.md §4 for the index).
+//!
+//! * `cargo run -p mcast-bench --release --bin figures` regenerates
+//!   everything at paper scale and writes CSVs to `results/`;
+//! * `cargo bench` runs Criterion microbenchmarks of the routing
+//!   algorithms plus smoke-scale figure executions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod figures_ch2;
+pub mod figures_dynamic;
+pub mod figures_static;
+pub mod report;
+pub mod scale;
+pub mod tables5;
+
+pub use report::Table;
+pub use scale::Scale;
+
+/// Every regenerable experiment, by id.
+pub fn experiment_ids() -> Vec<&'static str> {
+    vec![
+        "table5", "examples5", "fig2_3", "fig7_1", "fig7_2", "fig7_3", "fig7_4", "fig7_5", "fig7_6",
+        "fig7_7", "fig7_8", "fig7_9", "fig7_10", "fig7_11", "ablation_exact",
+        "ablation_labeling", "ablation_mixed", "ablation_switching", "ablation_throughput",
+    ]
+}
+
+/// Runs one experiment by id at the given scale.
+///
+/// # Panics
+/// Panics on an unknown id (see [`experiment_ids`]).
+pub fn run_experiment(id: &str, scale: &Scale) -> Vec<Table> {
+    match id {
+        "table5" => vec![tables5::table_5_1_and_5_2(), tables5::table_5_3_and_5_4()],
+        "examples5" => vec![tables5::worked_examples()],
+        "fig2_3" => vec![figures_ch2::fig2_3()],
+        "fig7_1" => vec![figures_static::fig7_1(scale)],
+        "fig7_2" => vec![figures_static::fig7_2(scale)],
+        "fig7_3" => vec![figures_static::fig7_3(scale)],
+        "fig7_4" => vec![figures_static::fig7_4(scale)],
+        "fig7_5" => vec![figures_static::fig7_5(scale)],
+        "fig7_6" => vec![figures_static::fig7_6(scale)],
+        "fig7_7" => vec![figures_static::fig7_7(scale)],
+        "fig7_8" => vec![figures_dynamic::fig7_8(scale)],
+        "fig7_9" => vec![figures_dynamic::fig7_9(scale)],
+        "fig7_10" => vec![figures_dynamic::fig7_10(scale)],
+        "fig7_11" => vec![figures_dynamic::fig7_11(scale)],
+        "ablation_exact" => vec![ablation::ablation_exact(scale)],
+        "ablation_labeling" => vec![ablation::ablation_labeling(scale)],
+        "ablation_mixed" => vec![ablation::ablation_mixed(scale)],
+        "ablation_switching" => vec![ablation::ablation_switching(scale)],
+        "ablation_throughput" => vec![ablation::ablation_throughput(scale)],
+        other => panic!("unknown experiment id {other:?} (see experiment_ids())"),
+    }
+}

@@ -1,0 +1,76 @@
+//! Effort scaling for the figure harness: the full paper-scale runs and a
+//! smoke scale used by `cargo bench` / CI.
+
+use mcast_workload::DynamicConfig;
+
+/// Experiment effort knobs.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Trials per (k, algorithm) point for cheap static algorithms
+    /// (the dissertation used 1000).
+    pub trials: usize,
+    /// Trials for the expensive O(k²) points (greedy ST at large k).
+    pub trials_heavy: usize,
+    /// Warmup messages per dynamic run.
+    pub warmup: usize,
+    /// Observations per latency batch.
+    pub batch_size: usize,
+    /// Batch bounds per dynamic run.
+    pub min_batches: usize,
+    /// Hard cap on batches per dynamic run.
+    pub max_batches: usize,
+    /// Destination counts for the large static sweeps (Figs 7.1–7.4).
+    pub k_large: Vec<usize>,
+    /// Destination counts for the small-network sweeps (Figs 7.5–7.7).
+    pub k_small: Vec<usize>,
+}
+
+impl Scale {
+    /// Paper-scale effort.
+    pub fn full() -> Self {
+        Scale {
+            trials: 1000,
+            trials_heavy: 200,
+            warmup: 500,
+            batch_size: 100,
+            min_batches: 10,
+            max_batches: 40,
+            k_large: vec![2, 5, 10, 20, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900],
+            k_small: vec![2, 5, 10, 15, 20, 30, 40, 50],
+        }
+    }
+
+    /// Fast smoke effort (seconds, exercises every code path).
+    pub fn smoke() -> Self {
+        Scale {
+            trials: 20,
+            trials_heavy: 4,
+            warmup: 30,
+            batch_size: 10,
+            min_batches: 2,
+            max_batches: 3,
+            k_large: vec![5, 50, 300],
+            k_small: vec![5, 20],
+        }
+    }
+
+    /// Trials to use at destination count `k` for O(k²) algorithms.
+    pub fn trials_for_k(&self, k: usize) -> usize {
+        if k > 100 {
+            self.trials_heavy
+        } else {
+            self.trials
+        }
+    }
+
+    /// A dynamic-run configuration with this scale's statistics knobs.
+    pub fn dynamic_config(&self) -> DynamicConfig {
+        DynamicConfig {
+            warmup: self.warmup,
+            batch_size: self.batch_size,
+            min_batches: self.min_batches,
+            max_batches: self.max_batches,
+            ..DynamicConfig::default()
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Regeneration of Chapter 5's tables and worked examples:
+//! Tables 5.1–5.4 (Hamiltonian cycles and the `h`/`f` mappings) and the
+//! §5.4 / §6.2.2 example routes with their traffic figures.
+
+use mcast_core::model::{MulticastRoute, MulticastSet, PathRoute};
+use mcast_topology::hamiltonian::{hypercube_cycle, mesh2d_cycle};
+use mcast_topology::labeling::mesh2d_snake;
+use mcast_topology::{Hypercube, Mesh2D, Topology};
+
+use crate::report::Table;
+
+/// Tables 5.1/5.2: the 4×4-mesh Hamiltonian cycle with `h` and the `f`
+/// keys for `u0 = 9`.
+pub fn table_5_1_and_5_2() -> Table {
+    let m = Mesh2D::new(4, 4);
+    let c = mesh2d_cycle(&m);
+    let mut t = Table::new(
+        "table5_1_2",
+        "Hamilton cycle mapping h and sorting key f (u0 = 9), 4x4 mesh (Tables 5.1/5.2)",
+        &["node", "h(x)", "f(x) for u0=9"],
+    );
+    for x in 0..m.num_nodes() {
+        t.push_row(vec![x.to_string(), c.h(x).to_string(), c.f(9, x).to_string()]);
+    }
+    t
+}
+
+/// Tables 5.3/5.4: the 4-cube Gray cycle with `h` and `f` for
+/// `u0 = 0011`.
+pub fn table_5_3_and_5_4() -> Table {
+    let cube = Hypercube::new(4);
+    let c = hypercube_cycle(&cube);
+    let mut t = Table::new(
+        "table5_3_4",
+        "Hamilton cycle mapping h and sorting key f (u0 = 0011), 4-cube (Tables 5.3/5.4)",
+        &["node", "h(x)", "f(x) for u0=0011"],
+    );
+    for x in 0..16 {
+        t.push_row(vec![
+            cube.format_addr(x),
+            c.h(x).to_string(),
+            c.f(0b0011, x).to_string(),
+        ]);
+    }
+    t
+}
+
+/// The worked examples of §5.4 and §6.2.2: each algorithm's route on its
+/// example instance, with total traffic and maximum source→destination
+/// distance, alongside the figure the dissertation reports.
+pub fn worked_examples() -> Table {
+    let mut t = Table::new(
+        "examples",
+        "Worked examples of §5.4 and §6.2.2 (traffic / max distance vs the text)",
+        &["example", "traffic", "max dist", "paper traffic", "notes"],
+    );
+
+    // Fig 5.7: sorted MP on the 4×4 mesh.
+    {
+        let m = Mesh2D::new(4, 4);
+        let c = mesh2d_cycle(&m);
+        let mc = MulticastSet::new(9, [0, 1, 6, 12]);
+        let p = mcast_core::sorted_mp::sorted_mp(&m, &c, &mc);
+        t.push_row(vec![
+            "Fig 5.7 sorted MP 4x4".into(),
+            p.len().to_string(),
+            route_max(&MulticastRoute::Path(p), &mc),
+            "8".into(),
+            "path (9,13,12,8,4,0,1,2,6)".into(),
+        ]);
+    }
+    // Fig 5.9: greedy ST on the 8×8 mesh.
+    {
+        let m = Mesh2D::new(8, 8);
+        let n = |x: usize, y: usize| m.node(x, y);
+        let mc = MulticastSet::new(n(2, 7), [n(0, 5), n(2, 3), n(4, 1), n(6, 3), n(7, 4)]);
+        let st = mcast_core::greedy_st::greedy_st(&m, &mc);
+        t.push_row(vec![
+            "Fig 5.9 greedy ST 8x8".into(),
+            st.traffic(&m).to_string(),
+            "-".into(),
+            "14".into(),
+            "7 virtual edges of length 2".into(),
+        ]);
+    }
+    // Figs 5.11/5.12: X-first vs divided greedy on the 6×6 mesh.
+    {
+        let m = Mesh2D::new(6, 6);
+        let n = |x: usize, y: usize| m.node(x, y);
+        let mc = MulticastSet::new(
+            n(3, 2),
+            [
+                n(2, 0),
+                n(3, 0),
+                n(4, 0),
+                n(1, 1),
+                n(5, 1),
+                n(0, 2),
+                n(1, 3),
+                n(2, 5),
+                n(3, 5),
+                n(5, 5),
+            ],
+        );
+        let xf = mcast_core::xfirst::xfirst_tree(&m, &mc);
+        t.push_row(vec![
+            "Fig 5.11 X-first 6x6".into(),
+            xf.traffic().to_string(),
+            route_max(&MulticastRoute::Tree(xf), &mc),
+            "24".into(),
+            "text counts 24 for its drawing; see DESIGN.md".into(),
+        ]);
+        let dg = mcast_core::divided_greedy::divided_greedy_tree(&m, &mc);
+        t.push_row(vec![
+            "Fig 5.12 divided greedy 6x6".into(),
+            dg.traffic().to_string(),
+            route_max(&MulticastRoute::Tree(dg), &mc),
+            "20".into(),
+            "reconstruction; ties broken as DESIGN.md §5".into(),
+        ]);
+    }
+    // Figs 6.13/6.16/6.17: the three path-based schemes.
+    {
+        let m = Mesh2D::new(6, 6);
+        let l = mesh2d_snake(&m);
+        let n = |x: usize, y: usize| m.node(x, y);
+        let mc = MulticastSet::new(
+            n(3, 2),
+            [
+                n(0, 0),
+                n(0, 2),
+                n(0, 5),
+                n(1, 3),
+                n(4, 5),
+                n(5, 0),
+                n(5, 1),
+                n(5, 3),
+                n(5, 4),
+            ],
+        );
+        let dual = mcast_core::dual_path::dual_path(&m, &l, &mc);
+        push_star(&mut t, "Fig 6.13 dual-path 6x6", dual, &mc, "33 / 18");
+        let multi = mcast_core::multi_path::multi_path_mesh(&m, &l, &mc);
+        push_star(&mut t, "Fig 6.16 multi-path 6x6", multi, &mc, "20 / 6");
+        let fixed = mcast_core::fixed_path::fixed_path(&m, &l, &mc);
+        push_star(&mut t, "Fig 6.17 fixed-path 6x6", fixed, &mc, "35 / 20");
+    }
+    t
+}
+
+fn push_star(
+    t: &mut Table,
+    name: &str,
+    paths: Vec<PathRoute>,
+    mc: &MulticastSet,
+    paper: &str,
+) {
+    let route = MulticastRoute::Star(paths);
+    t.push_row(vec![
+        name.into(),
+        route.traffic().to_string(),
+        route_max(&route, mc),
+        paper.into(),
+        String::new(),
+    ]);
+}
+
+fn route_max(route: &MulticastRoute, mc: &MulticastSet) -> String {
+    route.max_dest_hops(mc).map(|h| h.to_string()).unwrap_or_else(|| "-".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_16_rows() {
+        assert_eq!(table_5_1_and_5_2().rows.len(), 16);
+        assert_eq!(table_5_3_and_5_4().rows.len(), 16);
+    }
+
+    #[test]
+    fn worked_examples_match_expected_counts() {
+        let t = worked_examples();
+        assert_eq!(t.rows.len(), 7);
+        // Fig 5.7: traffic 8 (matches the paper's drawn path).
+        assert_eq!(t.rows[0][1], "8");
+        // Fig 6.13: 33 / 18 exactly as the text.
+        let dual = t.rows.iter().find(|r| r[0].contains("6.13")).unwrap();
+        assert_eq!(dual[1], "33");
+        assert_eq!(dual[2], "18");
+        let fixed = t.rows.iter().find(|r| r[0].contains("6.17")).unwrap();
+        assert_eq!(fixed[1], "35");
+        assert_eq!(fixed[2], "20");
+    }
+}

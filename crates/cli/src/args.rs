@@ -1,0 +1,135 @@
+//! Tiny dependency-free argument parsing for the `mcast` CLI.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` pairs.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parsing failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Args {
+    /// Parses `argv[1..]`: one subcommand followed by `--key value`
+    /// pairs.
+    pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
+        let mut it = argv.iter();
+        let command = it
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand (try `mcast help`)".into()))?
+            .clone();
+        let mut options = BTreeMap::new();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("expected --option, got {key:?}")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError(format!("--{key} needs a value")))?
+                .clone();
+            options.insert(key.to_string(), value);
+        }
+        Ok(Args { command, options })
+    }
+
+    /// A required option.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing required --{key}")))
+    }
+
+    /// An optional option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Parses an option as a number.
+    pub fn number<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} {v:?} is not a valid number"))),
+        }
+    }
+}
+
+/// Parses a comma-separated list of node ids / binary addresses (binary
+/// accepted when `bits > 0`, e.g. `0b0110` or plain decimal).
+pub fn parse_nodes(s: &str) -> Result<Vec<usize>, ArgError> {
+    s.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let part = part.trim();
+            if let Some(bin) = part.strip_prefix("0b") {
+                usize::from_str_radix(bin, 2)
+                    .map_err(|_| ArgError(format!("bad binary node {part:?}")))
+            } else {
+                part.parse().map_err(|_| ArgError(format!("bad node {part:?}")))
+            }
+        })
+        .collect()
+}
+
+/// Parses a coordinate like `3x2` into `(3, 2)`.
+pub fn parse_dims(s: &str) -> Result<(usize, usize), ArgError> {
+    let (a, b) = s
+        .split_once('x')
+        .ok_or_else(|| ArgError(format!("expected WxH, got {s:?}")))?;
+    Ok((
+        a.parse().map_err(|_| ArgError(format!("bad width {a:?}")))?,
+        b.parse().map_err(|_| ArgError(format!("bad height {b:?}")))?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_command_and_options() {
+        let a = Args::parse(&argv(&["route", "--topology", "mesh:8x8", "--source", "5"])).unwrap();
+        assert_eq!(a.command, "route");
+        assert_eq!(a.require("topology").unwrap(), "mesh:8x8");
+        assert_eq!(a.number::<usize>("source", 0).unwrap(), 5);
+        assert_eq!(a.get_or("algorithm", "dual-path"), "dual-path");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv(&["route", "--topology"])).is_err());
+        assert!(Args::parse(&argv(&[])).is_err());
+        assert!(Args::parse(&argv(&["x", "notanoption", "v"])).is_err());
+    }
+
+    #[test]
+    fn node_lists() {
+        assert_eq!(parse_nodes("1,2,3").unwrap(), vec![1, 2, 3]);
+        assert_eq!(parse_nodes("0b101,7").unwrap(), vec![5, 7]);
+        assert!(parse_nodes("1,x").is_err());
+    }
+
+    #[test]
+    fn dims() {
+        assert_eq!(parse_dims("8x8").unwrap(), (8, 8));
+        assert!(parse_dims("8").is_err());
+    }
+}

@@ -1,0 +1,383 @@
+//! Subcommand implementations for the `mcast` CLI.
+
+use mcast_core::model::{MulticastRoute, MulticastSet};
+use mcast_sim::deadlock::{fig_6_1_broadcasts, fig_6_4_multicasts, run_closed_scenario};
+use mcast_sim::engine::SimConfig;
+use mcast_sim::network::Network;
+use mcast_sim::routers::{
+    DoubleChannelTreeRouter, DualPathRouter, EcubeTreeRouter, FixedPathRouter,
+    MultiPathCubeRouter, MultiPathMeshRouter, MulticastRouter, VcMultiPathRouter,
+    XFirstTreeRouter,
+};
+use mcast_topology::hamiltonian::{hypercube_cycle, mesh2d_cycle};
+use mcast_topology::labeling::{hypercube_gray, mesh2d_snake};
+use mcast_topology::{Hypercube, Mesh2D, Topology};
+use mcast_workload::{run_dynamic, DynamicConfig};
+
+use crate::args::{parse_dims, parse_nodes, ArgError, Args};
+
+/// The help text.
+pub const USAGE: &str = "\
+mcast — multicast routing for multicomputer networks
+
+USAGE:
+  mcast route    --topology <T> --algorithm <A> --source <N> --dests <N,N,...>
+  mcast simulate --topology <T> --algorithm <A> [--interarrival-us <F>]
+                 [--dests <K>] [--seed <S>]
+  mcast deadlock --scenario fig6_1|fig6_4 [--algorithm <A>]
+  mcast help
+
+TOPOLOGIES:   mesh:WxH   cube:N
+ALGORITHMS:   dual-path  multi-path  fixed-path  vc-multi-path:<lanes>
+              dc-tree  xfirst-tree  ecube-tree (cube)
+ROUTE-ONLY:   sorted-mp  greedy-st  divided-greedy (mesh)
+NODES:        decimal ids, or 0b... binary addresses on cubes";
+
+enum Topo {
+    Mesh(Mesh2D),
+    Cube(Hypercube),
+}
+
+fn parse_topology(spec: &str) -> Result<Topo, ArgError> {
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| ArgError(format!("expected mesh:WxH or cube:N, got {spec:?}")))?;
+    match kind {
+        "mesh" => {
+            let (w, h) = parse_dims(rest)?;
+            Ok(Topo::Mesh(Mesh2D::new(w, h)))
+        }
+        "cube" => {
+            let n: u32 =
+                rest.parse().map_err(|_| ArgError(format!("bad cube dimension {rest:?}")))?;
+            Ok(Topo::Cube(Hypercube::new(n)))
+        }
+        other => Err(ArgError(format!("unknown topology kind {other:?}"))),
+    }
+}
+
+fn make_router(topo: &Topo, algorithm: &str) -> Result<Box<dyn MulticastRouter>, ArgError> {
+    let (alg, lanes) = match algorithm.split_once(':') {
+        Some((a, l)) => (
+            a,
+            Some(
+                l.parse::<u8>()
+                    .map_err(|_| ArgError(format!("bad lane count {l:?}")))?,
+            ),
+        ),
+        None => (algorithm, None),
+    };
+    Ok(match (topo, alg) {
+        (Topo::Mesh(m), "dual-path") => Box::new(DualPathRouter::mesh(*m)),
+        (Topo::Mesh(m), "multi-path") => Box::new(MultiPathMeshRouter::new(*m)),
+        (Topo::Mesh(m), "fixed-path") => Box::new(FixedPathRouter::mesh(*m)),
+        (Topo::Mesh(m), "vc-multi-path") => {
+            Box::new(VcMultiPathRouter::mesh(*m, lanes.unwrap_or(2)))
+        }
+        (Topo::Mesh(m), "dc-tree") => Box::new(DoubleChannelTreeRouter::new(*m)),
+        (Topo::Mesh(m), "xfirst-tree") => Box::new(XFirstTreeRouter::new(*m)),
+        (Topo::Cube(c), "dual-path") => Box::new(DualPathRouter::hypercube(*c)),
+        (Topo::Cube(c), "multi-path") => Box::new(MultiPathCubeRouter::new(*c)),
+        (Topo::Cube(c), "fixed-path") => Box::new(FixedPathRouter::hypercube(*c)),
+        (Topo::Cube(c), "vc-multi-path") => {
+            Box::new(VcMultiPathRouter::hypercube(*c, lanes.unwrap_or(2)))
+        }
+        (Topo::Cube(c), "ecube-tree") => Box::new(EcubeTreeRouter::new(*c)),
+        _ => {
+            return Err(ArgError(format!(
+                "algorithm {algorithm:?} not available on this topology"
+            )))
+        }
+    })
+}
+
+fn format_node(topo: &Topo, n: usize) -> String {
+    match topo {
+        Topo::Mesh(m) => {
+            let (x, y) = m.coords(n);
+            format!("{n}=({x},{y})")
+        }
+        Topo::Cube(c) => format!("{n}={}", c.format_addr(n)),
+    }
+}
+
+/// `mcast route …`
+pub fn route(a: &Args) -> Result<(), ArgError> {
+    let topo = parse_topology(a.require("topology")?)?;
+    let algorithm = a.get_or("algorithm", "dual-path");
+    let source = parse_nodes(a.require("source")?)?
+        .first()
+        .copied()
+        .ok_or_else(|| ArgError("empty --source".into()))?;
+    let dests = parse_nodes(a.require("dests")?)?;
+    let num_nodes = match &topo {
+        Topo::Mesh(m) => m.num_nodes(),
+        Topo::Cube(c) => c.num_nodes(),
+    };
+    for &n in dests.iter().chain([&source]) {
+        if n >= num_nodes {
+            return Err(ArgError(format!("node {n} out of range (N={num_nodes})")));
+        }
+    }
+    let mc = MulticastSet::new(source, dests);
+
+    // Route-only algorithms print their route shape directly; router
+    // algorithms print their plan paths/trees.
+    let mc_route: MulticastRoute = match (&topo, algorithm) {
+        (Topo::Mesh(m), "sorted-mp") => {
+            let cycle = mesh2d_cycle(m);
+            MulticastRoute::Path(mcast_core::sorted_mp::sorted_mp(m, &cycle, &mc))
+        }
+        (Topo::Cube(c), "sorted-mp") => {
+            let cycle = hypercube_cycle(c);
+            MulticastRoute::Path(mcast_core::sorted_mp::sorted_mp(c, &cycle, &mc))
+        }
+        (Topo::Mesh(m), "divided-greedy") => {
+            MulticastRoute::Tree(mcast_core::divided_greedy::divided_greedy_tree(m, &mc))
+        }
+        (Topo::Mesh(m), "greedy-st") => {
+            let st = mcast_core::greedy_st::greedy_st(m, &mc);
+            println!("greedy Steiner tree, virtual edges:");
+            for &(s, t) in st.edges() {
+                println!("  {} -- {}", format_node(&topo, s), format_node(&topo, t));
+            }
+            println!("traffic: {}", st.traffic(m));
+            return Ok(());
+        }
+        (Topo::Cube(c), "greedy-st") => {
+            let st = mcast_core::greedy_st::greedy_st(c, &mc);
+            println!("greedy Steiner tree, virtual edges:");
+            for &(s, t) in st.edges() {
+                println!("  {} -- {}", format_node(&topo, s), format_node(&topo, t));
+            }
+            println!("traffic: {}", st.traffic(c));
+            return Ok(());
+        }
+        (Topo::Mesh(m), "dual-path") => MulticastRoute::Star(
+            mcast_core::dual_path::dual_path(m, &mesh2d_snake(m), &mc),
+        ),
+        (Topo::Cube(c), "dual-path") => MulticastRoute::Star(
+            mcast_core::dual_path::dual_path(c, &hypercube_gray(c), &mc),
+        ),
+        (Topo::Mesh(m), "multi-path") => MulticastRoute::Star(
+            mcast_core::multi_path::multi_path_mesh(m, &mesh2d_snake(m), &mc),
+        ),
+        (Topo::Cube(c), "multi-path") => MulticastRoute::Star(
+            mcast_core::multi_path::multi_path(c, &hypercube_gray(c), &mc),
+        ),
+        (Topo::Mesh(m), "fixed-path") => MulticastRoute::Star(
+            mcast_core::fixed_path::fixed_path(m, &mesh2d_snake(m), &mc),
+        ),
+        (Topo::Cube(c), "fixed-path") => MulticastRoute::Star(
+            mcast_core::fixed_path::fixed_path(c, &hypercube_gray(c), &mc),
+        ),
+        (Topo::Mesh(m), "xfirst-tree") => {
+            MulticastRoute::Tree(mcast_core::xfirst::xfirst_tree(m, &mc))
+        }
+        (Topo::Mesh(m), "dc-tree") => MulticastRoute::Forest(
+            mcast_core::dc_xfirst_tree::dc_xfirst(m, &mc).into_iter().map(|p| p.tree).collect(),
+        ),
+        _ => {
+            return Err(ArgError(format!(
+                "algorithm {algorithm:?} not available on this topology"
+            )))
+        }
+    };
+    match &topo {
+        Topo::Mesh(m) => mc_route.validate(m, &mc),
+        Topo::Cube(c) => mc_route.validate(c, &mc),
+    }
+    .map_err(ArgError)?;
+    print_route(&topo, &mc_route);
+    println!("traffic: {} channels", mc_route.traffic());
+    if let Some(h) = mc_route.max_dest_hops(&mc) {
+        println!("max destination distance: {h} hops");
+    }
+    for &d in &mc.destinations {
+        println!(
+            "  {}: {} hops",
+            format_node(&topo, d),
+            mc_route.hops_to(d).expect("validated")
+        );
+    }
+    Ok(())
+}
+
+fn print_route(topo: &Topo, route: &MulticastRoute) {
+    match route {
+        MulticastRoute::Path(p) | MulticastRoute::Cycle(p) => {
+            println!(
+                "path: {}",
+                p.nodes().iter().map(|&n| format_node(topo, n)).collect::<Vec<_>>().join(" -> ")
+            );
+        }
+        MulticastRoute::Star(paths) => {
+            for (i, p) in paths.iter().enumerate() {
+                println!(
+                    "path {}: {}",
+                    i + 1,
+                    p.nodes()
+                        .iter()
+                        .map(|&n| format_node(topo, n))
+                        .collect::<Vec<_>>()
+                        .join(" -> ")
+                );
+            }
+        }
+        MulticastRoute::Tree(t) => {
+            println!("tree edges:");
+            for (p, c) in t.edges() {
+                println!("  {} -> {}", format_node(topo, p), format_node(topo, c));
+            }
+        }
+        MulticastRoute::Forest(trees) => {
+            for (i, t) in trees.iter().enumerate() {
+                println!("tree {}:", i + 1);
+                for (p, c) in t.edges() {
+                    println!("  {} -> {}", format_node(topo, p), format_node(topo, c));
+                }
+            }
+        }
+    }
+}
+
+/// `mcast simulate …`
+pub fn simulate(a: &Args) -> Result<(), ArgError> {
+    let topo = parse_topology(a.require("topology")?)?;
+    let router = make_router(&topo, a.get_or("algorithm", "dual-path"))?;
+    let cfg = DynamicConfig {
+        mean_interarrival_ns: a.number::<f64>("interarrival-us", 600.0)? * 1000.0,
+        destinations: a.number("dests", 10)?,
+        seed: a.number("seed", 7)?,
+        ..DynamicConfig::default()
+    };
+    let result = match &topo {
+        Topo::Mesh(m) => run_dynamic(m, router.as_ref(), &cfg),
+        Topo::Cube(c) => run_dynamic(c, router.as_ref(), &cfg),
+    };
+    println!("algorithm: {}", router.name());
+    println!("interarrival: {:.0} us/node, k = {}", cfg.mean_interarrival_ns / 1000.0, cfg.destinations);
+    if result.saturated {
+        println!("result: SATURATED (open-loop backlog grew without bound)");
+    } else {
+        println!(
+            "mean network latency: {:.1} us  (95% CI ±{:.1}, {} batches, {} messages)",
+            result.mean_latency_us, result.ci_us, result.batches, result.measured
+        );
+        println!("mean traffic: {:.1} channels/message", result.mean_traffic);
+    }
+    println!("simulated time: {:.1} ms", result.sim_time_ns as f64 / 1e6);
+    Ok(())
+}
+
+/// `mcast deadlock …`
+pub fn deadlock(a: &Args) -> Result<(), ArgError> {
+    let scenario = a.require("scenario")?;
+    match scenario {
+        "fig6_1" => {
+            let cube = Hypercube::new(3);
+            let algorithm = a.get_or("algorithm", "ecube-tree");
+            let router = make_router(&Topo::Cube(cube), algorithm)?;
+            let outcome = run_closed_scenario(
+                router.as_ref(),
+                Network::new(&cube, router.required_classes()),
+                SimConfig::default(),
+                &fig_6_1_broadcasts(cube),
+            );
+            report(algorithm, outcome.completed, outcome.stuck_messages, outcome.finished_at);
+        }
+        "fig6_4" => {
+            let mesh = Mesh2D::new(4, 3);
+            let algorithm = a.get_or("algorithm", "xfirst-tree");
+            let router = make_router(&Topo::Mesh(mesh), algorithm)?;
+            let outcome = run_closed_scenario(
+                router.as_ref(),
+                Network::new(&mesh, router.required_classes()),
+                SimConfig::default(),
+                &fig_6_4_multicasts(&mesh),
+            );
+            report(algorithm, outcome.completed, outcome.stuck_messages, outcome.finished_at);
+        }
+        other => return Err(ArgError(format!("unknown scenario {other:?}"))),
+    }
+    Ok(())
+}
+
+fn report(algorithm: &str, completed: bool, stuck: usize, at: u64) {
+    if completed {
+        println!("{algorithm}: completed at t = {:.1} us", at as f64 / 1000.0);
+    } else {
+        println!("{algorithm}: DEADLOCKED — {stuck} messages wedged forever");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn route_command_end_to_end() {
+        for alg in [
+            "dual-path",
+            "multi-path",
+            "fixed-path",
+            "dc-tree",
+            "xfirst-tree",
+            "divided-greedy",
+            "sorted-mp",
+            "greedy-st",
+        ] {
+            route(&args(&[
+                "route",
+                "--topology",
+                "mesh:6x6",
+                "--algorithm",
+                alg,
+                "--source",
+                "15",
+                "--dests",
+                "0,5,30,35",
+            ]))
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn route_on_cube_with_binary_addresses() {
+        for alg in ["dual-path", "multi-path", "sorted-mp", "greedy-st"] {
+            route(&args(&[
+                "route",
+                "--topology",
+                "cube:4",
+                "--algorithm",
+                alg,
+                "--source",
+                "0b1100",
+                "--dests",
+                "0b0100,0b1111,0b0011",
+            ]))
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn deadlock_scenarios() {
+        deadlock(&args(&["deadlock", "--scenario", "fig6_1"])).unwrap();
+        deadlock(&args(&["deadlock", "--scenario", "fig6_4"])).unwrap();
+        deadlock(&args(&["deadlock", "--scenario", "fig6_4", "--algorithm", "dual-path"]))
+            .unwrap();
+        assert!(deadlock(&args(&["deadlock", "--scenario", "nope"])).is_err());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(route(&args(&["route", "--topology", "mesh:6x6", "--source", "99", "--dests", "1"]))
+            .is_err());
+        assert!(parse_topology("ring:5").is_err());
+        assert!(make_router(&Topo::Mesh(Mesh2D::new(4, 4)), "ecube-tree").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! `mcast` — route multicasts, run flit-level wormhole simulations, and
+//! replay the dissertation's deadlock scenarios from the command line.
+//!
+//! ```text
+//! mcast route    --topology mesh:6x6 --algorithm dual-path --source 15 --dests 0,5,30,35
+//! mcast route    --topology cube:4  --algorithm multi-path --source 0b1100 --dests 0b0100,0b1111
+//! mcast simulate --topology mesh:8x8 --algorithm multi-path --interarrival-us 400 --dests 10
+//! mcast deadlock --scenario fig6_4 --algorithm xfirst-tree
+//! mcast help
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "route" => commands::route(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "deadlock" => commands::deadlock(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(args::ArgError(format!("unknown subcommand {other:?}"))),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        eprintln!("{}", commands::USAGE);
+        std::process::exit(2);
+    }
+}

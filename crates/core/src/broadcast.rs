@@ -1,0 +1,82 @@
+//! Broadcast substrates (§1.1: "broadcast … has been directly supported
+//! in nCUBE-2 using wormhole routing"): the spanning binomial tree for
+//! hypercubes, plus a generic dimension-ordered broadcast for meshes.
+//! These are the baselines the static study compares multicast against —
+//! broadcast always costs `N − 1` channels regardless of `k`.
+
+use mcast_topology::{Hypercube, Mesh2D, NodeId, Topology};
+
+use crate::model::TreeRoute;
+
+/// The spanning binomial tree of a hypercube rooted at `root`: node `u`'s
+/// children are `u ⊕ 2^j` for every `j` below `u`'s lowest set *relative*
+/// bit — `log N` deep, one message per link, the classic recursive
+/// doubling broadcast.
+pub fn binomial_tree(cube: &Hypercube, root: NodeId) -> TreeRoute {
+    let mut tree = TreeRoute::new(root);
+    let n = cube.dim();
+    // Process nodes in order of relative address so parents exist first.
+    let mut order: Vec<NodeId> = (0..cube.num_nodes()).collect();
+    order.sort_by_key(|&v| (v ^ root).count_ones());
+    for v in order {
+        if v == root {
+            continue;
+        }
+        let rel = v ^ root;
+        // Parent: clear the highest set bit of the relative address.
+        let hb = usize::BITS - 1 - rel.leading_zeros();
+        let parent = v ^ (1 << hb);
+        debug_assert!(hb < n);
+        tree.attach(parent, v);
+    }
+    tree
+}
+
+/// Dimension-ordered (row-then-column) broadcast tree for a 2D mesh: the
+/// root spans its row, every row node spans its column — the X-first
+/// multicast tree with all nodes as destinations.
+pub fn mesh_broadcast_tree(mesh: &Mesh2D, root: NodeId) -> TreeRoute {
+    let all: Vec<NodeId> = (0..mesh.num_nodes()).collect();
+    crate::xfirst::xfirst_tree(mesh, &crate::model::MulticastSet::new(root, all))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_tree_spans_with_log_depth() {
+        for dim in 1..=8u32 {
+            let h = Hypercube::new(dim);
+            for root in [0usize, (1 << dim) - 1, 5 % (1 << dim)] {
+                let t = binomial_tree(&h, root);
+                t.validate(&h).unwrap();
+                assert_eq!(t.traffic(), h.num_nodes() - 1);
+                for v in 0..h.num_nodes() {
+                    // Depth = Hamming distance: every path is shortest.
+                    assert_eq!(t.depth_of(v), Some(h.distance(root, v)), "dim {dim} v {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_degrees_are_binomial() {
+        // The root of a binomial tree B_n has degree n.
+        let h = Hypercube::new(6);
+        let t = binomial_tree(&h, 0);
+        let children = t.children_map();
+        assert_eq!(children[&0].len(), 6);
+    }
+
+    #[test]
+    fn mesh_broadcast_spans() {
+        let m = Mesh2D::new(5, 4);
+        let t = mesh_broadcast_tree(&m, m.node(2, 1));
+        t.validate(&m).unwrap();
+        assert_eq!(t.traffic(), m.num_nodes() - 1);
+        for v in 0..m.num_nodes() {
+            assert_eq!(t.depth_of(v), Some(m.distance(m.node(2, 1), v)));
+        }
+    }
+}

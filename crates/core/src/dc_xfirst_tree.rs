@@ -1,0 +1,183 @@
+//! The double-channel X-first tree-like deadlock-free multicast routing of
+//! §6.2.1 (Fig 6.6).
+//!
+//! Plain X-first multicast trees can deadlock (Fig 6.4). The fix: double
+//! every mesh channel, partition the doubled channels into the four
+//! acyclic quadrant subnetworks `N_{±X,±Y}` (Fig 6.5), split the
+//! destination set by quadrant relative to the source, and run an X-first
+//! Y-next tree inside each subnetwork. Each subnetwork's channels can be
+//! ordered by distance from its corner (Fig 6.8), so the scheme is
+//! deadlock-free (Assertion 1) — at the price of double channels and
+//! tree-like blocking.
+
+use mcast_topology::mesh2d::{Dir2, Mesh2D};
+use mcast_topology::partition::{split_by_quadrant, Quadrant};
+use mcast_topology::NodeId;
+
+use crate::model::{MulticastRoute, MulticastSet, TreeRoute};
+
+/// One quadrant's sub-multicast tree, tagged with the subnetwork it is
+/// routed in (the tag selects channel classes in the simulator).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuadrantTree {
+    /// The subnetwork this tree's channels belong to.
+    pub quadrant: Quadrant,
+    /// The tree, rooted at the multicast source.
+    pub tree: TreeRoute,
+}
+
+/// Runs double-channel X-first routing: up to four trees, one per
+/// quadrant subnetwork.
+pub fn dc_xfirst(mesh: &Mesh2D, mc: &MulticastSet) -> Vec<QuadrantTree> {
+    let split = split_by_quadrant(mesh, mc.source, &mc.destinations);
+    Quadrant::ALL
+        .into_iter()
+        .zip(split)
+        .filter(|(_, dests)| !dests.is_empty())
+        .map(|(quadrant, dests)| QuadrantTree {
+            quadrant,
+            tree: quadrant_tree(mesh, mc.source, &dests, quadrant),
+        })
+        .collect()
+}
+
+/// The X-first Y-next tree of Fig 6.6, generalized to all four quadrants
+/// by mirroring: advance along the quadrant's X direction while the local
+/// x is short of the nearest destination column; at each destination
+/// column split off a Y branch.
+fn quadrant_tree(mesh: &Mesh2D, source: NodeId, dests: &[NodeId], q: Quadrant) -> TreeRoute {
+    let [dir_x, dir_y] = q.directions();
+    let mut tree = TreeRoute::new(source);
+    let mut work: Vec<(NodeId, Vec<NodeId>)> = vec![(source, dests.to_vec())];
+    while let Some((node, dests)) = work.pop() {
+        if dests.is_empty() {
+            continue;
+        }
+        let (x, _) = mesh.coords(node);
+        // "x short of the nearest destination column" in the quadrant's X
+        // direction: for +X, x < min{x_i}; for −X, x > max{x_i}.
+        let needs_x_move = match dir_x {
+            Dir2::PosX => dests.iter().all(|&d| mesh.coords(d).0 > x),
+            Dir2::NegX => dests.iter().all(|&d| mesh.coords(d).0 < x),
+            _ => unreachable!("quadrant X direction is horizontal"),
+        };
+        if needs_x_move {
+            let next = mesh.step(node, dir_x).expect("destination column lies further along");
+            tree.attach(node, next);
+            work.push((next, dests));
+            continue;
+        }
+        // Split: destinations in this column branch off in Y; the rest
+        // continue in X.
+        let (col, rest): (Vec<NodeId>, Vec<NodeId>) =
+            dests.into_iter().partition(|&d| mesh.coords(d).0 == x);
+        let col: Vec<NodeId> = col.into_iter().filter(|&d| d != node).collect();
+        if !col.is_empty() {
+            let next = mesh.step(node, dir_y).expect("a column destination lies further in Y");
+            tree.attach(node, next);
+            work.push((next, col));
+        }
+        if !rest.is_empty() {
+            let next = mesh.step(node, dir_x).expect("a destination lies further in X");
+            tree.attach(node, next);
+            work.push((next, rest));
+        }
+    }
+    tree
+}
+
+/// Total traffic across the quadrant trees.
+pub fn traffic(parts: &[QuadrantTree]) -> usize {
+    parts.iter().map(|p| p.tree.traffic()).sum()
+}
+
+/// Wraps the quadrant trees as a [`MulticastRoute::Forest`] for uniform
+/// metrics/validation.
+pub fn dc_xfirst_route(mesh: &Mesh2D, mc: &MulticastSet) -> MulticastRoute {
+    MulticastRoute::Forest(dc_xfirst(mesh, mc).into_iter().map(|p| p.tree).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::Topology;
+
+    fn example() -> (Mesh2D, MulticastSet) {
+        // §6.2.1 example (Fig 6.7): 6×6 mesh, source (3,2).
+        let m = Mesh2D::new(6, 6);
+        let n = |x: usize, y: usize| m.node(x, y);
+        let mc = MulticastSet::new(
+            n(3, 2),
+            [
+                n(0, 0),
+                n(0, 2),
+                n(0, 5),
+                n(1, 3),
+                n(4, 5),
+                n(5, 0),
+                n(5, 1),
+                n(5, 3),
+                n(5, 4),
+            ],
+        );
+        (m, mc)
+    }
+
+    #[test]
+    fn four_quadrant_trees_cover_all_destinations() {
+        let (m, mc) = example();
+        let parts = dc_xfirst(&m, &mc);
+        assert_eq!(parts.len(), 4);
+        let route = dc_xfirst_route(&m, &mc);
+        route.validate(&m, &mc).unwrap();
+    }
+
+    #[test]
+    fn tree_channels_stay_inside_their_subnetwork() {
+        let (m, mc) = example();
+        for part in dc_xfirst(&m, &mc) {
+            for (p, c) in part.tree.edges() {
+                let dir = m.direction(p, c);
+                assert!(
+                    part.quadrant.contains_dir(dir),
+                    "{:?} tree uses {dir:?} channel {p}→{c}",
+                    part.quadrant
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paths_in_tree_are_shortest() {
+        // X-first Y-next within a quadrant yields shortest paths.
+        let (m, mc) = example();
+        let route = dc_xfirst_route(&m, &mc);
+        for &d in &mc.destinations {
+            assert_eq!(route.hops_to(d), Some(m.distance(mc.source, d)), "dest {d}");
+        }
+    }
+
+    #[test]
+    fn batch_validation_random_like() {
+        let m = Mesh2D::new(8, 8);
+        for seed in 0..60usize {
+            let dests: Vec<NodeId> = (0..5).map(|i| (seed * 43 + i * 29 + 1) % 64).collect();
+            let mc = MulticastSet::new((seed * 17) % 64, dests);
+            let route = dc_xfirst_route(&m, &mc);
+            route.validate(&m, &mc).unwrap();
+            for &d in &mc.destinations {
+                assert_eq!(route.hops_to(d), Some(m.distance(mc.source, d)));
+            }
+        }
+    }
+
+    #[test]
+    fn collinear_destinations_single_trunk() {
+        let m = Mesh2D::new(6, 6);
+        let mc = MulticastSet::new(m.node(0, 0), [m.node(3, 0), m.node(5, 0)]);
+        let parts = dc_xfirst(&m, &mc);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].quadrant, Quadrant::PosXPosY);
+        assert_eq!(parts[0].tree.traffic(), 5);
+    }
+}

@@ -1,0 +1,331 @@
+//! Distributed execution of the path-based routing algorithms, exactly as
+//! the dissertation's node programs specify them (Figs 5.2, 6.12): the
+//! message carries a sorted destination list in its header; every node
+//! that receives the message pops its own address if it leads the list,
+//! delivers a copy locally, and forwards toward the (new) first
+//! destination using only *local* information — the neighbor labels.
+//!
+//! The library's planners compute the same routes centrally (the routing
+//! decision at each hop depends only on the header, so the whole route is
+//! determined at the source). This module executes the genuinely
+//! distributed version, records the header at every hop, and the test
+//! suite proves the two agree — plus it quantifies the header overhead
+//! (addresses carried per hop) that §2.3.1 discusses for source vs
+//! distributed routing.
+
+use mcast_topology::{HamiltonCycle, Labeling, NodeId, Topology};
+
+use crate::model::{MulticastSet, PathRoute};
+
+/// One hop of a distributed trace: the node the message arrived at and
+/// the header (destination list) it carried *on arrival*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopRecord {
+    /// Node holding the message.
+    pub node: NodeId,
+    /// Destination addresses in the header after local processing (the
+    /// list forwarded to the next node).
+    pub header: Vec<NodeId>,
+    /// Whether a copy was delivered to the local processor here.
+    pub delivered: bool,
+}
+
+/// The full trace of one distributed path message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathTrace {
+    /// Per-hop records, source first.
+    pub hops: Vec<HopRecord>,
+}
+
+impl PathTrace {
+    /// The node-visiting sequence.
+    pub fn path(&self) -> PathRoute {
+        PathRoute::new(self.hops.iter().map(|h| h.node).collect())
+    }
+
+    /// The largest header (in addresses) carried on any hop — the wire
+    /// overhead of distributed routing.
+    pub fn max_header_len(&self) -> usize {
+        self.hops.iter().map(|h| h.header.len()).max().unwrap_or(0)
+    }
+
+    /// Total address-hops: Σ header length over forwarded hops (each
+    /// address occupies header flits on every channel it rides). The
+    /// recorded header is the post-processing list, which is exactly what
+    /// rides the channel out of each node; the final hop forwards
+    /// nothing.
+    pub fn address_hops(&self) -> usize {
+        self.hops.iter().rev().skip(1).map(|h| h.header.len()).sum()
+    }
+}
+
+/// Executes the dual-path node program (Fig 6.12) for one sorted
+/// destination list starting at `source`, using the label-based routing
+/// function as each node's local decision.
+pub fn run_label_path<T: Topology + ?Sized>(
+    topo: &T,
+    labeling: &Labeling,
+    source: NodeId,
+    sorted_dests: &[NodeId],
+) -> PathTrace {
+    let mut hops = Vec::new();
+    let mut header: Vec<NodeId> = sorted_dests.to_vec();
+    let mut node = source;
+    loop {
+        // Step 1: if the local address leads the list, deliver and pop.
+        let delivered = header.first() == Some(&node);
+        if delivered {
+            header.remove(0);
+        }
+        hops.push(HopRecord { node, header: header.clone(), delivered });
+        // Step 2: empty header — done.
+        let Some(&next_dest) = header.first() else { break };
+        // Step 3: forward toward the first destination with R.
+        node = crate::routing_fn::r_step(topo, labeling, node, next_dest);
+    }
+    PathTrace { hops }
+}
+
+/// Executes the sorted-MP node program (Fig 5.2) the same way, with the
+/// `h`/`f` machinery of a fixed Hamiltonian cycle.
+pub fn run_sorted_mp<T: Topology + ?Sized>(
+    topo: &T,
+    cycle: &HamiltonCycle,
+    mc: &MulticastSet,
+) -> PathTrace {
+    let sorted = crate::sorted_mp::prepare(topo, cycle, mc);
+    let mut hops = Vec::new();
+    let mut header = sorted;
+    let mut node = mc.source;
+    loop {
+        let delivered = header.first() == Some(&node);
+        if delivered {
+            header.remove(0);
+        }
+        hops.push(HopRecord { node, header: header.clone(), delivered });
+        let Some(&next_dest) = header.first() else { break };
+        node = crate::sorted_mp::route_step(topo, cycle, mc.source, node, next_dest);
+    }
+    PathTrace { hops }
+}
+
+/// Executes the full dual-path algorithm distributedly: message
+/// preparation at the source (Fig 6.11), then one distributed message per
+/// half. Returns `(high trace, low trace)` (either may be `None`).
+pub fn run_dual_path<T: Topology + ?Sized>(
+    topo: &T,
+    labeling: &Labeling,
+    mc: &MulticastSet,
+) -> (Option<PathTrace>, Option<PathTrace>) {
+    let (high, low) = crate::dual_path::prepare(labeling, mc);
+    let h = (!high.is_empty()).then(|| run_label_path(topo, labeling, mc.source, &high));
+    let l = (!low.is_empty()).then(|| run_label_path(topo, labeling, mc.source, &low));
+    (h, l)
+}
+
+/// The distributed greedy-ST execution trace (Fig 5.3/5.4 run at every
+/// node): each transmission, the replicate nodes (which rebuild the
+/// Steiner tree from their header sublist, §5.2's O(k²) implementation),
+/// and the local deliveries.
+#[derive(Debug, Clone, Default)]
+pub struct StTrace {
+    /// Every channel transmission `(from, to)` in send order.
+    pub sends: Vec<(NodeId, NodeId)>,
+    /// Nodes that ran the tree-construction (replication) step.
+    pub replicate_nodes: Vec<NodeId>,
+    /// Destinations in delivery order.
+    pub delivered: Vec<NodeId>,
+}
+
+impl StTrace {
+    /// Total traffic (channel transmissions).
+    pub fn traffic(&self) -> usize {
+        self.sends.len()
+    }
+}
+
+/// Executes the greedy-ST protocol distributedly: the source sorts the
+/// destinations (Fig 5.3); every replicate node rebuilds the Steiner tree
+/// over its header sublist, splits the list per son subtree, and forwards
+/// one copy toward each son (Fig 5.4); bypass nodes just relay (step 1).
+pub fn run_greedy_st<T: crate::geometry::RoutingGeometry + ?Sized>(
+    topo: &T,
+    mc: &MulticastSet,
+) -> StTrace {
+    let sorted = crate::greedy_st::prepare(topo, mc);
+    let mut trace = StTrace::default();
+    if sorted.is_empty() {
+        return trace;
+    }
+    // Work items: (current node w, target head u, ordered dest sublist
+    // *excluding* u).
+    let mut work: Vec<(NodeId, NodeId, Vec<NodeId>)> =
+        vec![(mc.source, mc.source, sorted)];
+    let mut fuel = 64 * (mc.k() + 1) * topo.num_nodes();
+    while let Some((w, u, list)) = work.pop() {
+        fuel = fuel.checked_sub(1).expect("distributed ST failed to terminate");
+        if w != u {
+            // Step 1: bypass node — relay one hop toward u.
+            let next = topo.shortest_path(w, u)[1];
+            trace.sends.push((w, next));
+            work.push((next, u, list));
+            continue;
+        }
+        // Arrived at the head: deliver locally if it is a destination.
+        if mc.destinations.contains(&w) && !trace.delivered.contains(&w) {
+            trace.delivered.push(w);
+        }
+        let rest: Vec<NodeId> = list.into_iter().filter(|&d| d != w).collect();
+        if rest.is_empty() {
+            continue; // step 2
+        }
+        // Steps 3–4: rebuild the Steiner tree over the carried order.
+        trace.replicate_nodes.push(w);
+        let tree = crate::greedy_st::build_tree(topo, w, &rest);
+        // Step 5: sons of w and their subtree destination sublists.
+        let edges = tree.edges().to_vec();
+        let sons: Vec<NodeId> =
+            edges.iter().filter(|&&(s, _)| s == w).map(|&(_, t)| t).collect();
+        for son in sons {
+            // Collect the subtree vertex set under `son`.
+            let mut subtree = vec![son];
+            let mut grew = true;
+            while grew {
+                grew = false;
+                for &(s, t) in &edges {
+                    if subtree.contains(&s) && !subtree.contains(&t) {
+                        subtree.push(t);
+                        grew = true;
+                    }
+                }
+            }
+            let d_i: Vec<NodeId> =
+                rest.iter().copied().filter(|d| subtree.contains(d)).collect();
+            // Step 6: forward toward the son with its sublist.
+            let next = topo.shortest_path(w, son)[1];
+            trace.sends.push((w, next));
+            work.push((next, son, d_i));
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::hamiltonian::mesh2d_cycle;
+    use mcast_topology::labeling::{hypercube_gray, mesh2d_snake};
+    use mcast_topology::{Hypercube, Mesh2D};
+
+    #[test]
+    fn distributed_dual_path_equals_planned_route() {
+        let m = Mesh2D::new(6, 6);
+        let l = mesh2d_snake(&m);
+        for seed in 0..30usize {
+            let dests: Vec<NodeId> = (0..7).map(|i| (seed * 17 + i * 11 + 2) % 36).collect();
+            let mc = MulticastSet::new((seed * 5) % 36, dests);
+            let planned = crate::dual_path::dual_path(&m, &l, &mc);
+            let (high, low) = run_dual_path(&m, &l, &mc);
+            let traces: Vec<PathRoute> =
+                [high, low].into_iter().flatten().map(|t| t.path()).collect();
+            assert_eq!(traces.len(), planned.len(), "seed {seed}");
+            for (a, b) in traces.iter().zip(&planned) {
+                assert_eq!(a.nodes(), b.nodes(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_sorted_mp_equals_planned_route() {
+        let m = Mesh2D::new(4, 4);
+        let c = mesh2d_cycle(&m);
+        let mc = MulticastSet::new(9, [0, 1, 6, 12]);
+        let trace = run_sorted_mp(&m, &c, &mc);
+        let planned = crate::sorted_mp::sorted_mp(&m, &c, &mc);
+        assert_eq!(trace.path().nodes(), planned.nodes());
+    }
+
+    #[test]
+    fn header_shrinks_monotonically_and_empties() {
+        let h = Hypercube::new(5);
+        let l = hypercube_gray(&h);
+        let mc = MulticastSet::new(7, [0, 31, 12, 20, 25]);
+        let (high, low) = run_dual_path(&h, &l, &mc);
+        for trace in [high, low].into_iter().flatten() {
+            let lens: Vec<usize> = trace.hops.iter().map(|hp| hp.header.len()).collect();
+            assert!(lens.windows(2).all(|w| w[1] <= w[0]), "{lens:?}");
+            assert_eq!(*lens.last().unwrap(), 0, "header must be consumed");
+            // Delivered exactly at destinations.
+            let delivered: Vec<NodeId> =
+                trace.hops.iter().filter(|hp| hp.delivered).map(|hp| hp.node).collect();
+            for d in &delivered {
+                assert!(mc.destinations.contains(d));
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_st_delivers_all_destinations_once() {
+        let m = Mesh2D::new(8, 8);
+        for seed in 0..25usize {
+            let dests: Vec<NodeId> = (0..6).map(|i| (seed * 19 + i * 7 + 2) % 64).collect();
+            let mc = MulticastSet::new((seed * 3) % 64, dests);
+            let trace = run_greedy_st(&m, &mc);
+            let mut got = trace.delivered.clone();
+            got.sort_unstable();
+            let mut want = mc.destinations.clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn distributed_st_matches_section_5_4_example() {
+        // §5.4: the source [2,7] outputs D_1 toward the junction [2,5];
+        // [2,6] is a bypass node; [2,5] replicates. Our execution must
+        // show that structure and traffic equal to the virtual tree's.
+        let m = Mesh2D::new(8, 8);
+        let n = |x: usize, y: usize| m.node(x, y);
+        let mc = MulticastSet::new(n(2, 7), [n(0, 5), n(2, 3), n(4, 1), n(6, 3), n(7, 4)]);
+        let trace = run_greedy_st(&m, &mc);
+        assert!(trace.replicate_nodes.contains(&n(2, 5)), "junction [2,5] replicates");
+        assert_eq!(trace.sends[0], (n(2, 7), n(2, 6)), "first hop through bypass [2,6]");
+        // "In both implementations, the amount of traffic generated is
+        // the same": the distributed execution costs what the
+        // source-computed tree costs.
+        let source_tree = crate::greedy_st::greedy_st(&m, &mc);
+        assert_eq!(trace.traffic(), source_tree.traffic(&m));
+        // The replicate-node count is bounded by k − 1 (Corollary 5.2).
+        assert!(trace.replicate_nodes.len() <= mc.k());
+    }
+
+    #[test]
+    fn distributed_st_on_hypercube() {
+        let h = Hypercube::new(6);
+        let mc = MulticastSet::new(
+            0b000110,
+            [0b010101, 0b000001, 0b001101, 0b101001, 0b110001],
+        );
+        let trace = run_greedy_st(&h, &mc);
+        let mut got = trace.delivered.clone();
+        got.sort_unstable();
+        let mut want = mc.destinations.clone();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        // Traffic stays within the static tree's (rebuilds from a new
+        // root can only match or differ slightly; it must never balloon).
+        let source_tree = crate::greedy_st::greedy_st(&h, &mc);
+        assert!(trace.traffic() <= source_tree.traffic(&h) * 2);
+    }
+
+    #[test]
+    fn header_overhead_bounded_by_k() {
+        let m = Mesh2D::new(8, 8);
+        let l = mesh2d_snake(&m);
+        let mc = MulticastSet::new(0, (1..=12).map(|i| i * 5 % 64));
+        let (high, _) = run_dual_path(&m, &l, &mc);
+        let t = high.expect("high side nonempty");
+        assert!(t.max_header_len() <= mc.k());
+        assert!(t.address_hops() <= mc.k() * t.hops.len());
+    }
+}

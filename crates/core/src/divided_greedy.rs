@@ -1,0 +1,275 @@
+//! The divided greedy multicast (MT) algorithm of §5.3, Fig 5.6.
+//!
+//! Unlike X-first, which fixes each destination's path from its address
+//! alone, divided greedy looks at *all* destination positions to choose
+//! branch directions, reducing traffic. The pseudo-code figure is garbled
+//! in the source scan; this implementation is reconstructed from the fully
+//! worked §5.4 example (see DESIGN.md §5), whose intermediate sets it
+//! reproduces exactly:
+//!
+//! 1. destinations sharing the local row or column have a unique shortest
+//!    first hop and go directly to that direction's list;
+//! 2. strictly diagonal destinations fall into the quadrant sets
+//!    `P_0 (+X+Y), P_1 (−X+Y), P_2 (−X−Y), P_3 (+X−Y)`;
+//! 3. each `P_i` splits by dominant axis into `S_ix` (`|dx| > |dy|`) and
+//!    `S_iy` (otherwise);
+//! 4. each direction's list receives its two adjacent-quadrant candidate
+//!    sets (`D_{+X}`: `S_0x, S_3x`; `D_{+Y}`: `S_0y, S_1y`; `D_{−X}`:
+//!    `S_1x, S_2x`; `D_{−Y}`: `S_2y, S_3y`); a candidate whose partner set
+//!    is empty — the lone opener of its direction — migrates to its
+//!    quadrant-sibling direction when that direction is already open
+//!    (it has direct destinations or a staying sibling set), merging
+//!    branches ("since `S_0x` is empty, its partner `S_3x` is not put to
+//!    `D_{+X}`, instead it will be merged with `S_3y`"); when the sibling
+//!    direction is not open either, migrating would just move the branch,
+//!    so the set keeps its dominant-axis direction.
+//!
+//! Every hop still reduces the distance to each carried destination, so
+//! the result is a multicast tree with shortest source→destination paths.
+
+use mcast_topology::mesh2d::{Dir2, Mesh2D};
+use mcast_topology::NodeId;
+
+use crate::model::{MulticastSet, TreeRoute};
+
+/// Direction index in `+X, −X, +Y, −Y` order (matching [`Dir2::ALL`]).
+const POS_X: usize = 0;
+const NEG_X: usize = 1;
+const POS_Y: usize = 2;
+const NEG_Y: usize = 3;
+
+/// The quadrant's X and Y forwarding directions, for `P_0..P_3`.
+const QUAD_DIRS: [(usize, usize); 4] = [
+    (POS_X, POS_Y), // P_0: +X+Y
+    (NEG_X, POS_Y), // P_1: −X+Y
+    (NEG_X, NEG_Y), // P_2: −X−Y
+    (POS_X, NEG_Y), // P_3: +X−Y
+];
+
+/// For each direction, the two quadrants whose S-sets are its candidates:
+/// `(quadrant using it as X dir, quadrant using it as Y dir)`.
+const DIR_CANDIDATES: [(usize, usize); 4] = [
+    (0, 3), // +X: S_0x, S_3x
+    (1, 2), // −X: S_1x, S_2x
+    (0, 1), // +Y: S_0y, S_1y
+    (2, 3), // −Y: S_2y, S_3y
+];
+
+/// One routing decision of divided greedy: splits `dests` into the four
+/// direction sublists (`+X, −X, +Y, −Y` order).
+pub fn divided_greedy_split(mesh: &Mesh2D, node: NodeId, dests: &[NodeId]) -> [Vec<NodeId>; 4] {
+    let (x0, y0) = mesh.coords(node);
+    let mut direct: [Vec<NodeId>; 4] = Default::default();
+    // s[i][0] = S_ix, s[i][1] = S_iy.
+    let mut s: [[Vec<NodeId>; 2]; 4] = Default::default();
+    for &d in dests {
+        let (x, y) = mesh.coords(d);
+        if x == x0 && y == y0 {
+            continue; // delivered locally
+        }
+        if x == x0 {
+            direct[if y > y0 { POS_Y } else { NEG_Y }].push(d);
+            continue;
+        }
+        if y == y0 {
+            direct[if x > x0 { POS_X } else { NEG_X }].push(d);
+            continue;
+        }
+        let quad = match (x > x0, y > y0) {
+            (true, true) => 0,
+            (false, true) => 1,
+            (false, false) => 2,
+            (true, false) => 3,
+        };
+        let dominant_x = x.abs_diff(x0) > y.abs_diff(y0);
+        s[quad][if dominant_x { 0 } else { 1 }].push(d);
+    }
+
+    // Snapshot S-set occupancy so staying/lone status is order-free.
+    let occupied: [[bool; 2]; 4] =
+        std::array::from_fn(|q| std::array::from_fn(|axis| !s[q][axis].is_empty()));
+    // The partner of `s[q][axis]` is the other candidate set for the
+    // direction it targets; for an X (Y) direction both candidates are
+    // X-sets (Y-sets) of the two adjacent quadrants.
+    let partner_occupied = |q: usize, axis: usize| -> bool {
+        let dir = if axis == 0 { QUAD_DIRS[q].0 } else { QUAD_DIRS[q].1 };
+        let (qa, qb) = DIR_CANDIDATES[dir];
+        let pq = if qa == q { qb } else { qa };
+        occupied[pq][axis]
+    };
+
+    // Pass A: directions already open — they have direct destinations or
+    // a *staying* set (one whose partner is also occupied). Staying sets
+    // are assigned to their own direction immediately.
+    let mut open: [bool; 4] = std::array::from_fn(|d| !direct[d].is_empty());
+    let mut out = direct;
+    let mut lone: Vec<(usize, usize)> = Vec::new(); // (quadrant, axis)
+    for axis in 0..2 {
+        for q in 0..4 {
+            if !occupied[q][axis] {
+                continue;
+            }
+            let (dir_x, dir_y) = QUAD_DIRS[q];
+            let own_dir = if axis == 0 { dir_x } else { dir_y };
+            if partner_occupied(q, axis) {
+                out[own_dir].extend(std::mem::take(&mut s[q][axis]));
+                open[own_dir] = true;
+            } else {
+                lone.push((q, axis));
+            }
+        }
+    }
+    // Pass B: a lone set (the would-be sole opener of its direction)
+    // merges into its quadrant-sibling direction when that one is open
+    // ("since S_0x is empty, its partner S_3x is not put to D_{+X},
+    // instead it will be merged with S_3y"); otherwise it opens its own
+    // direction, which later lone sets may then merge into. X-axis sets
+    // are processed first (the X-first flavor of the underlying unicast
+    // routing), keeping companion destinations on a shared trunk.
+    for (q, axis) in lone {
+        let (dir_x, dir_y) = QUAD_DIRS[q];
+        let own_dir = if axis == 0 { dir_x } else { dir_y };
+        let target_dir = if axis == 0 { dir_y } else { dir_x };
+        let dests = std::mem::take(&mut s[q][axis]);
+        if open[own_dir] {
+            // The direction is already served (direct destinations or an
+            // earlier lone set): no migration needed.
+            out[own_dir].extend(dests);
+        } else if open[target_dir] {
+            out[target_dir].extend(dests);
+        } else {
+            out[own_dir].extend(dests);
+            open[own_dir] = true;
+        }
+    }
+    out
+}
+
+/// Runs divided greedy from the source, returning the multicast tree.
+pub fn divided_greedy_tree(mesh: &Mesh2D, mc: &MulticastSet) -> TreeRoute {
+    let mut tree = TreeRoute::new(mc.source);
+    let mut work: Vec<(NodeId, Vec<NodeId>)> = vec![(mc.source, mc.destinations.clone())];
+    while let Some((node, dests)) = work.pop() {
+        let split = divided_greedy_split(mesh, node, &dests);
+        for (dir, sublist) in Dir2::ALL.into_iter().zip(split) {
+            if sublist.is_empty() {
+                continue;
+            }
+            let next = mesh
+                .step(node, dir)
+                .expect("a forwarded destination lies strictly in direction `dir`");
+            if !tree.contains(next) {
+                tree.attach(node, next);
+            }
+            work.push((next, sublist));
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::Topology;
+
+    fn example_6x6() -> (Mesh2D, MulticastSet) {
+        let m = Mesh2D::new(6, 6);
+        let n = |x: usize, y: usize| m.node(x, y);
+        let mc = MulticastSet::new(
+            n(3, 2),
+            [
+                n(2, 0),
+                n(3, 0),
+                n(4, 0),
+                n(1, 1),
+                n(5, 1),
+                n(0, 2),
+                n(1, 3),
+                n(2, 5),
+                n(3, 5),
+                n(5, 5),
+            ],
+        );
+        (m, mc)
+    }
+
+    #[test]
+    fn section_5_4_source_split_matches_text() {
+        // Expected output lists at the source (3,2):
+        // D_{+Y} = {(3,5), (2,5), (5,5)}, D_{−X} = {(0,2), (1,3), (1,1)},
+        // D_{−Y} = {(3,0), (2,0), (4,0), (5,1)}, D_{+X} = ∅.
+        let (m, mc) = example_6x6();
+        let split = divided_greedy_split(&m, mc.source, &mc.destinations);
+        let coords = |v: &Vec<NodeId>| -> Vec<(usize, usize)> {
+            let mut c: Vec<_> = v.iter().map(|&n| m.coords(n)).collect();
+            c.sort();
+            c
+        };
+        assert!(split[POS_X].is_empty(), "+X: {:?}", coords(&split[POS_X]));
+        assert_eq!(coords(&split[NEG_X]), vec![(0, 2), (1, 1), (1, 3)]);
+        assert_eq!(coords(&split[POS_Y]), vec![(2, 5), (3, 5), (5, 5)]);
+        assert_eq!(coords(&split[NEG_Y]), vec![(2, 0), (3, 0), (4, 0), (5, 1)]);
+    }
+
+    #[test]
+    fn section_5_4_traffic_beats_xfirst() {
+        // Fig 5.11 vs 5.12: divided greedy (20 channels in the text's
+        // drawing) beats X-first (24). Our tie-breaking choices yield an
+        // equally valid tree; assert strict improvement and the MT
+        // (shortest-path) property.
+        let (m, mc) = example_6x6();
+        let dg = divided_greedy_tree(&m, &mc);
+        dg.validate(&m).unwrap();
+        let xf = crate::xfirst::xfirst_tree(&m, &mc);
+        assert!(
+            dg.traffic() < xf.traffic(),
+            "divided greedy {} !< X-first {}",
+            dg.traffic(),
+            xf.traffic()
+        );
+        assert!(dg.traffic() <= 20, "divided greedy should use at most the paper's 20 channels");
+        for &d in &mc.destinations {
+            assert_eq!(dg.depth_of(d), Some(m.distance(mc.source, d)), "dest {:?}", m.coords(d));
+        }
+    }
+
+    #[test]
+    fn shortest_path_property_holds_on_batch() {
+        let m = Mesh2D::new(8, 8);
+        for seed in 0..50usize {
+            let dests: Vec<NodeId> = (0..7).map(|i| (seed * 37 + i * 13 + 5) % 64).collect();
+            let mc = MulticastSet::new((seed * 11) % 64, dests);
+            let t = divided_greedy_tree(&m, &mc);
+            t.validate(&m).unwrap();
+            for &d in &mc.destinations {
+                assert_eq!(
+                    t.depth_of(d),
+                    Some(m.distance(mc.source, d)),
+                    "seed {seed} dest {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn divided_greedy_never_worse_than_xfirst_on_batch() {
+        let m = Mesh2D::new(8, 8);
+        let mut dg_total = 0usize;
+        let mut xf_total = 0usize;
+        for seed in 0..100usize {
+            let dests: Vec<NodeId> = (0..8).map(|i| (seed * 41 + i * 23 + 3) % 64).collect();
+            let mc = MulticastSet::new((seed * 7) % 64, dests);
+            dg_total += divided_greedy_tree(&m, &mc).traffic();
+            xf_total += crate::xfirst::xfirst_tree(&m, &mc).traffic();
+        }
+        assert!(dg_total < xf_total, "aggregate: dg {dg_total} !< xf {xf_total}");
+    }
+
+    #[test]
+    fn collinear_only_destinations() {
+        let m = Mesh2D::new(6, 6);
+        let mc = MulticastSet::new(m.node(2, 3), [m.node(0, 3), m.node(5, 3), m.node(2, 0)]);
+        let t = divided_greedy_tree(&m, &mc);
+        assert_eq!(t.traffic(), 2 + 3 + 3);
+    }
+}

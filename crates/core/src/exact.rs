@@ -1,0 +1,443 @@
+//! Exact (optimal) solvers for the Chapter 3 optimization problems on
+//! *small* instances.
+//!
+//! Chapter 4 proves OMP, OMC, MST and OMS are NP-complete for meshes and
+//! hypercubes, which is precisely why the dissertation develops
+//! heuristics. These exponential-time solvers exist to *measure* the
+//! heuristics' optimality gap in tests and ablation benches; they are not
+//! part of the routing fast path.
+//!
+//! * OMP/OMC: branch-and-bound over simple paths, pruned with a
+//!   visit-all-terminals walk DP lower bound;
+//! * MST: the Dreyfus–Wagner / Erickson-style subset DP;
+//! * OMS: minimization over set partitions of the destination set, using
+//!   the OMP solver per block.
+
+use std::collections::BTreeMap;
+
+use mcast_topology::graph::bfs_distances;
+use mcast_topology::{NodeId, Topology};
+
+use crate::model::MulticastSet;
+
+/// Pairwise-distance oracle over the terminal set, precomputed with BFS.
+struct Dists {
+    /// `dist[t]` = BFS distances from terminal `t` to all nodes.
+    from_terminal: Vec<Vec<usize>>,
+    terminals: Vec<NodeId>,
+}
+
+impl Dists {
+    fn new<T: Topology + ?Sized>(topo: &T, terminals: &[NodeId]) -> Self {
+        Dists {
+            from_terminal: terminals.iter().map(|&t| bfs_distances(topo, t)).collect(),
+            terminals: terminals.to_vec(),
+        }
+    }
+
+    fn d(&self, ti: usize, node: NodeId) -> usize {
+        self.from_terminal[ti][node]
+    }
+
+    fn tt(&self, ti: usize, tj: usize) -> usize {
+        self.from_terminal[ti][self.terminals[tj]]
+    }
+}
+
+/// Lower bound on the length of any walk from `node` visiting every
+/// destination in `remaining` (bitmask over destination indices):
+/// `max(nearest remaining, spread of remaining)` — admissible for the
+/// branch-and-bound.
+fn walk_lower_bound(d: &Dists, node: NodeId, remaining: u32) -> usize {
+    if remaining == 0 {
+        return 0;
+    }
+    let mut nearest = usize::MAX;
+    let mut spread = 0usize;
+    let mut i_mask = remaining;
+    while i_mask != 0 {
+        let i = i_mask.trailing_zeros() as usize;
+        i_mask &= i_mask - 1;
+        nearest = nearest.min(d.d(i, node));
+        let mut j_mask = remaining;
+        while j_mask != 0 {
+            let j = j_mask.trailing_zeros() as usize;
+            j_mask &= j_mask - 1;
+            spread = spread.max(d.tt(i, j));
+        }
+    }
+    nearest.max(spread)
+}
+
+/// Exact optimal multicast path (OMP): a minimum-length *simple* path
+/// starting at the source and containing every destination (Def 3.1).
+///
+/// Returns `(length, node sequence)`, or `None` if no MP exists (cannot
+/// happen on connected topologies). Exponential time — intended for
+/// `k ≲ 6` on networks of a few dozen nodes.
+pub fn optimal_mp<T: Topology + ?Sized>(
+    topo: &T,
+    mc: &MulticastSet,
+) -> Option<(usize, Vec<NodeId>)> {
+    assert!(mc.k() <= 31, "destination bitmask limited to 31");
+    let d = Dists::new(topo, &mc.destinations);
+    let mut best_len = usize::MAX;
+    let mut best_path: Option<Vec<NodeId>> = None;
+    let mut visited = vec![false; topo.num_nodes()];
+    visited[mc.source] = true;
+    let full: u32 = if mc.k() == 32 { u32::MAX } else { (1u32 << mc.k()) - 1 };
+    let start_mask = dest_mask(mc, mc.source);
+    let mut path = vec![mc.source];
+    dfs_mp(
+        topo,
+        &d,
+        mc,
+        full,
+        &mut visited,
+        &mut path,
+        start_mask,
+        0,
+        &mut best_len,
+        &mut best_path,
+    );
+    best_path.map(|p| (best_len, p))
+}
+
+fn dest_mask(mc: &MulticastSet, node: NodeId) -> u32 {
+    mc.destinations
+        .iter()
+        .enumerate()
+        .filter(|&(_, &dd)| dd == node)
+        .fold(0u32, |m, (i, _)| m | 1 << i)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_mp<T: Topology + ?Sized>(
+    topo: &T,
+    d: &Dists,
+    mc: &MulticastSet,
+    full: u32,
+    visited: &mut [bool],
+    path: &mut Vec<NodeId>,
+    covered: u32,
+    len: usize,
+    best_len: &mut usize,
+    best_path: &mut Option<Vec<NodeId>>,
+) {
+    if covered == full {
+        if len < *best_len {
+            *best_len = len;
+            *best_path = Some(path.clone());
+        }
+        return;
+    }
+    let node = *path.last().expect("path nonempty");
+    let lb = walk_lower_bound(d, node, full & !covered);
+    if len + lb >= *best_len {
+        return;
+    }
+    let mut nb = Vec::new();
+    topo.neighbors_into(node, &mut nb);
+    for &next in &nb {
+        if visited[next] {
+            continue;
+        }
+        visited[next] = true;
+        path.push(next);
+        dfs_mp(
+            topo,
+            d,
+            mc,
+            full,
+            visited,
+            path,
+            covered | dest_mask(mc, next),
+            len + 1,
+            best_len,
+            best_path,
+        );
+        path.pop();
+        visited[next] = false;
+    }
+}
+
+/// Exact optimal multicast cycle (OMC): minimum-length simple cycle
+/// through the source containing every destination (Def 3.2).
+pub fn optimal_mc<T: Topology + ?Sized>(
+    topo: &T,
+    mc: &MulticastSet,
+) -> Option<(usize, Vec<NodeId>)> {
+    assert!(mc.k() <= 31);
+    if mc.k() == 0 {
+        return Some((0, vec![mc.source]));
+    }
+    let d = Dists::new(topo, &mc.destinations);
+    let mut best_len = usize::MAX;
+    let mut best_path: Option<Vec<NodeId>> = None;
+    let mut visited = vec![false; topo.num_nodes()];
+    visited[mc.source] = true;
+    let full: u32 = (1u32 << mc.k()) - 1;
+    let mut path = vec![mc.source];
+    dfs_mc(topo, &d, mc, full, &mut visited, &mut path, 0, 0, &mut best_len, &mut best_path);
+    best_path.map(|p| (best_len, p))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_mc<T: Topology + ?Sized>(
+    topo: &T,
+    d: &Dists,
+    mc: &MulticastSet,
+    full: u32,
+    visited: &mut [bool],
+    path: &mut Vec<NodeId>,
+    covered: u32,
+    len: usize,
+    best_len: &mut usize,
+    best_path: &mut Option<Vec<NodeId>>,
+) {
+    let node = *path.last().expect("path nonempty");
+    if covered == full && path.len() > 2 && topo.adjacent(node, mc.source) {
+        let total = len + 1;
+        if total < *best_len {
+            *best_len = total;
+            let mut cyc = path.clone();
+            cyc.push(mc.source);
+            *best_path = Some(cyc);
+        }
+        // Longer extensions can't beat this closure from the same state,
+        // but other branches might; fall through to keep exploring only if
+        // beneficial (the bound below prunes).
+    }
+    let lb = if covered == full { 1 } else { walk_lower_bound(d, node, full & !covered) + 1 };
+    if len + lb >= *best_len {
+        return;
+    }
+    let mut nb = Vec::new();
+    topo.neighbors_into(node, &mut nb);
+    for &next in &nb {
+        if visited[next] {
+            continue;
+        }
+        visited[next] = true;
+        path.push(next);
+        dfs_mc(
+            topo,
+            d,
+            mc,
+            full,
+            visited,
+            path,
+            covered | dest_mask(mc, next),
+            len + 1,
+            best_len,
+            best_path,
+        );
+        path.pop();
+        visited[next] = false;
+    }
+}
+
+/// Exact minimal Steiner tree (MST, Def 3.3) cost via the classic subset
+/// DP: `dp[S][v]` = minimum cost of a tree containing terminal set `S`
+/// and node `v`. O(3^k·N + 2^k·N²)-ish with BFS relaxations; fine for
+/// `k ≤ 10` on a few hundred nodes.
+pub fn optimal_steiner_cost<T: Topology + ?Sized>(topo: &T, mc: &MulticastSet) -> usize {
+    let mut terminals = vec![mc.source];
+    terminals.extend(&mc.destinations);
+    let k = terminals.len();
+    if k <= 1 {
+        return 0;
+    }
+    assert!(k <= 20, "subset DP limited to 20 terminals");
+    let n = topo.num_nodes();
+    let full = (1usize << k) - 1;
+    let inf = usize::MAX / 4;
+    let mut dp = vec![vec![inf; n]; full + 1];
+    for (i, &t) in terminals.iter().enumerate() {
+        for (v, dist) in bfs_distances(topo, t).into_iter().enumerate() {
+            dp[1 << i][v] = dist;
+        }
+    }
+    for s in 1..=full {
+        if s.count_ones() < 2 {
+            continue;
+        }
+        // Merge sub-splits.
+        let mut sub = (s - 1) & s;
+        while sub != 0 {
+            let other = s & !sub;
+            if other != 0 {
+                #[allow(clippy::needless_range_loop)] // dp[sub]/dp[other]/dp[s] alias the same table
+                for v in 0..n {
+                    let c = dp[sub][v].saturating_add(dp[other][v]);
+                    if c < dp[s][v] {
+                        dp[s][v] = c;
+                    }
+                }
+            }
+            sub = (sub - 1) & s;
+        }
+        // Dijkstra-style relaxation over unit edges = BFS from a
+        // multi-source priority queue.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, NodeId)>> =
+            (0..n).filter(|&v| dp[s][v] < inf).map(|v| std::cmp::Reverse((dp[s][v], v))).collect();
+        let mut nb = Vec::new();
+        while let Some(std::cmp::Reverse((cost, v))) = heap.pop() {
+            if cost > dp[s][v] {
+                continue;
+            }
+            topo.neighbors_into(v, &mut nb);
+            for &w in &nb {
+                if cost + 1 < dp[s][w] {
+                    dp[s][w] = cost + 1;
+                    heap.push(std::cmp::Reverse((cost + 1, w)));
+                }
+            }
+        }
+    }
+    dp[full][mc.source]
+}
+
+/// Exact optimal multicast star (OMS, Def 3.5) cost: the minimum over all
+/// partitions `{D_1, …, D_m}` of the destination set of
+/// `Σ OMP(u0, D_i)`. Memoizes the per-subset OMP costs. Practical for
+/// `k ≤ 5` on small networks.
+pub fn optimal_ms_cost<T: Topology + ?Sized>(topo: &T, mc: &MulticastSet) -> usize {
+    let k = mc.k();
+    if k == 0 {
+        return 0;
+    }
+    assert!(k <= 12, "partition enumeration limited to 12 destinations");
+    let full = (1usize << k) - 1;
+    // OMP cost per destination subset.
+    let mut omp_cost: BTreeMap<usize, usize> = BTreeMap::new();
+    for s in 1..=full {
+        let dests: Vec<NodeId> =
+            (0..k).filter(|&i| s >> i & 1 == 1).map(|i| mc.destinations[i]).collect();
+        let sub = MulticastSet { source: mc.source, destinations: dests };
+        let (len, _) = optimal_mp(topo, &sub).expect("connected topology");
+        omp_cost.insert(s, len);
+    }
+    // dp over subsets: best partition cost.
+    let mut dp = vec![usize::MAX; full + 1];
+    dp[0] = 0;
+    for s in 1..=full {
+        // Iterate over the block containing the lowest set bit, to avoid
+        // counting partitions multiple times.
+        let low = s & s.wrapping_neg();
+        let rest = s & !low;
+        let mut block = rest;
+        loop {
+            let b = block | low;
+            let c = omp_cost[&b].saturating_add(dp[s & !b]);
+            if c < dp[s] {
+                dp[s] = c;
+            }
+            if block == 0 {
+                break;
+            }
+            block = (block - 1) & rest;
+        }
+    }
+    dp[full]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::hamiltonian::mesh2d_cycle;
+    use mcast_topology::labeling::mesh2d_snake;
+    use mcast_topology::{Hypercube, Mesh2D};
+
+    #[test]
+    fn omp_single_destination_is_shortest_path() {
+        let m = Mesh2D::new(4, 4);
+        let mc = MulticastSet::new(0, [15]);
+        let (len, path) = optimal_mp(&m, &mc).unwrap();
+        assert_eq!(len, 6);
+        assert_eq!(path.len(), 7);
+    }
+
+    #[test]
+    fn omp_beats_or_matches_sorted_mp() {
+        let m = Mesh2D::new(4, 4);
+        let c = mesh2d_cycle(&m);
+        for seed in 0..10usize {
+            let dests: Vec<NodeId> = (0..4).map(|i| (seed * 7 + i * 5 + 1) % 16).collect();
+            let mc = MulticastSet::new(seed % 16, dests);
+            if mc.k() == 0 {
+                continue;
+            }
+            let heur = crate::sorted_mp::sorted_mp(&m, &c, &mc);
+            let (opt, path) = optimal_mp(&m, &mc).unwrap();
+            assert!(opt <= heur.len(), "seed {seed}: opt {opt} > heuristic {}", heur.len());
+            // Optimal path is simple, valid, covers all.
+            let route = crate::model::MulticastRoute::Path(crate::model::PathRoute::new(path));
+            route.validate(&m, &mc).unwrap();
+        }
+    }
+
+    #[test]
+    fn omc_on_small_mesh() {
+        let m = Mesh2D::new(3, 3);
+        let mc = MulticastSet::new(0, [2, 8]);
+        let (len, cyc) = optimal_mc(&m, &mc).unwrap();
+        // Must loop around: at least the bounding perimeter.
+        assert!(len >= 8, "len {len}");
+        assert_eq!(cyc[0], 0);
+        assert_eq!(*cyc.last().unwrap(), 0);
+        let route = crate::model::MulticastRoute::Cycle(crate::model::PathRoute::new(cyc));
+        route.validate(&m, &mc).unwrap();
+    }
+
+    #[test]
+    fn steiner_dp_matches_known_small_cases() {
+        let m = Mesh2D::new(3, 3);
+        // L-shaped terminals: source (0,0), dests (2,0), (0,2): optimal
+        // Steiner = 4 (two arms).
+        let mc = MulticastSet::new(0, [2, 6]);
+        assert_eq!(optimal_steiner_cost(&m, &mc), 4);
+        // Plus the far corner: (2,2) can share e.g. a cross through (1,1):
+        // best is 6.
+        let mc2 = MulticastSet::new(0, [2, 6, 8]);
+        assert_eq!(optimal_steiner_cost(&m, &mc2), 6);
+    }
+
+    #[test]
+    fn steiner_lower_bounds_heuristics() {
+        let h = Hypercube::new(4);
+        for seed in 0..8usize {
+            let dests: Vec<NodeId> = (0..4).map(|i| (seed * 5 + i * 3 + 2) % 16).collect();
+            let mc = MulticastSet::new(seed % 16, dests);
+            if mc.k() == 0 {
+                continue;
+            }
+            let opt = optimal_steiner_cost(&h, &mc);
+            let greedy = crate::greedy_st::greedy_st(&h, &mc).traffic(&h);
+            let kmb = crate::kmb::kmb(&h, &mc).traffic();
+            assert!(opt <= greedy, "seed {seed}");
+            assert!(opt <= kmb, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn oms_never_exceeds_omp_and_respects_dual_path() {
+        let m = Mesh2D::new(4, 4);
+        let l = mesh2d_snake(&m);
+        for seed in 0..6usize {
+            let dests: Vec<NodeId> = (0..3).map(|i| (seed * 11 + i * 7 + 3) % 16).collect();
+            let mc = MulticastSet::new((seed * 3) % 16, dests);
+            if mc.k() == 0 {
+                continue;
+            }
+            let (omp, _) = optimal_mp(&m, &mc).unwrap();
+            let oms = optimal_ms_cost(&m, &mc);
+            assert!(oms <= omp, "a single path is one feasible star");
+            let dual: usize = crate::dual_path::dual_path(&m, &l, &mc)
+                .iter()
+                .map(|p| p.len())
+                .sum();
+            assert!(oms <= dual, "seed {seed}: oms {oms} > dual {dual}");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Topology-specific routing geometry: deterministic shortest paths and
+//! the "nearest node on any shortest path" computation of §5.2.
+//!
+//! The greedy ST algorithm needs, for nodes `s`, `t`, `u`, the node `v`
+//! closest to `u` among all nodes lying on *some* shortest `s–t` path
+//! (the set `P_e` of Fig 5.4). The dissertation gives O(1) closed forms for
+//! 2D meshes (clamp into the bounding box) and hypercubes (keep agreeing
+//! bits, take `u`'s bits where `s` and `t` differ); this module provides
+//! those plus a BFS fallback so the algorithms run on any topology.
+
+use mcast_topology::graph::{bfs_distances, bfs_path};
+use mcast_topology::{Hypercube, Mesh2D, Mesh3D, NodeId, Topology};
+
+/// Routing geometry used by the Chapter 5 heuristics.
+///
+/// The default methods are correct on any connected [`Topology`] but cost
+/// O(N) per query; the mesh and hypercube implementations override them
+/// with the dissertation's constant-time closed forms.
+pub trait RoutingGeometry: Topology {
+    /// A deterministic shortest path from `s` to `t` (inclusive), the
+    /// "underlying shortest path routing algorithm" used to place bypass
+    /// nodes: XY routing on meshes, ascending-dimension E-cube on
+    /// hypercubes, BFS elsewhere.
+    fn shortest_path(&self, s: NodeId, t: NodeId) -> Vec<NodeId> {
+        bfs_path(self, s, t).expect("topology must be connected")
+    }
+
+    /// The node nearest to `u` among nodes on any shortest `s–t` path
+    /// (`argmin_{v ∈ P_(s,t)} d(u, v)`), with deterministic tie-breaking.
+    fn nearest_on_shortest_paths(&self, s: NodeId, t: NodeId, u: NodeId) -> NodeId {
+        let du = bfs_distances(self, u);
+        let ds = bfs_distances(self, s);
+        let dt = bfs_distances(self, t);
+        let dst = ds[t];
+        (0..self.num_nodes())
+            .filter(|&v| ds[v] + dt[v] == dst)
+            .min_by_key(|&v| (du[v], v))
+            .expect("s and t are always on their own shortest paths")
+    }
+}
+
+impl RoutingGeometry for Mesh2D {
+    /// XY (X-first) routing.
+    fn shortest_path(&self, s: NodeId, t: NodeId) -> Vec<NodeId> {
+        let (sx, sy) = self.coords(s);
+        let (tx, ty) = self.coords(t);
+        let mut path = Vec::with_capacity(self.distance(s, t) + 1);
+        let mut x = sx;
+        path.push(s);
+        while x != tx {
+            x = if tx > x { x + 1 } else { x - 1 };
+            path.push(self.node(x, sy));
+        }
+        let mut y = sy;
+        while y != ty {
+            y = if ty > y { y + 1 } else { y - 1 };
+            path.push(self.node(tx, y));
+        }
+        path
+    }
+
+    /// §5.2's clamp: `v = (clamp(u.x, [min.x, max.x]), clamp(u.y, …))`.
+    fn nearest_on_shortest_paths(&self, s: NodeId, t: NodeId, u: NodeId) -> NodeId {
+        let (sx, sy) = self.coords(s);
+        let (tx, ty) = self.coords(t);
+        let (ux, uy) = self.coords(u);
+        let vx = ux.clamp(sx.min(tx), sx.max(tx));
+        let vy = uy.clamp(sy.min(ty), sy.max(ty));
+        self.node(vx, vy)
+    }
+}
+
+impl RoutingGeometry for Hypercube {
+    /// E-cube routing: correct differing bits in ascending dimension
+    /// order.
+    fn shortest_path(&self, s: NodeId, t: NodeId) -> Vec<NodeId> {
+        let mut path = vec![s];
+        let mut cur = s;
+        for d in self.differing_dims(s, t) {
+            cur = self.flip(cur, d);
+            path.push(cur);
+        }
+        path
+    }
+
+    /// §5.2's closed form: `v_j = s_j` where `s_j == t_j`, else `u_j`.
+    fn nearest_on_shortest_paths(&self, s: NodeId, t: NodeId, u: NodeId) -> NodeId {
+        let free = s ^ t; // bits where s and t differ: u's choice
+        (u & free) | (s & !free)
+    }
+}
+
+impl RoutingGeometry for Mesh3D {
+    /// XYZ dimension-ordered routing.
+    fn shortest_path(&self, s: NodeId, t: NodeId) -> Vec<NodeId> {
+        let (sx, sy, sz) = self.coords(s);
+        let (tx, ty, tz) = self.coords(t);
+        let mut path = vec![s];
+        let (mut x, mut y, mut z) = (sx, sy, sz);
+        while x != tx {
+            x = if tx > x { x + 1 } else { x - 1 };
+            path.push(self.node(x, y, z));
+        }
+        while y != ty {
+            y = if ty > y { y + 1 } else { y - 1 };
+            path.push(self.node(x, y, z));
+        }
+        while z != tz {
+            z = if tz > z { z + 1 } else { z - 1 };
+            path.push(self.node(x, y, z));
+        }
+        path
+    }
+
+    /// Per-axis clamp, the straightforward 3D extension of §5.2.
+    fn nearest_on_shortest_paths(&self, s: NodeId, t: NodeId, u: NodeId) -> NodeId {
+        let (sx, sy, sz) = self.coords(s);
+        let (tx, ty, tz) = self.coords(t);
+        let (ux, uy, uz) = self.coords(u);
+        self.node(
+            ux.clamp(sx.min(tx), sx.max(tx)),
+            uy.clamp(sy.min(ty), sy.max(ty)),
+            uz.clamp(sz.min(tz), sz.max(tz)),
+        )
+    }
+}
+
+impl RoutingGeometry for mcast_topology::GridGraph {}
+impl RoutingGeometry for mcast_topology::KAryNCube {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::graph::bfs_distance;
+
+    fn check_nearest<T: RoutingGeometry>(topo: &T) {
+        // The closed form must match the BFS definition on every triple.
+        let n = topo.num_nodes();
+        for s in 0..n {
+            for t in 0..n {
+                let ds = bfs_distances(topo, s);
+                let dt = bfs_distances(topo, t);
+                for u in 0..n {
+                    let v = topo.nearest_on_shortest_paths(s, t, u);
+                    // v is on a shortest s-t path:
+                    assert_eq!(ds[v] + dt[v], ds[t], "s={s} t={t} u={u} v={v}");
+                    // and no node on a shortest path is closer to u:
+                    let best = (0..n)
+                        .filter(|&w| ds[w] + dt[w] == ds[t])
+                        .map(|w| bfs_distance(topo, u, w).unwrap())
+                        .min()
+                        .unwrap();
+                    assert_eq!(bfs_distance(topo, u, v).unwrap(), best, "s={s} t={t} u={u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_nearest_matches_definition() {
+        check_nearest(&Mesh2D::new(4, 3));
+    }
+
+    #[test]
+    fn hypercube_nearest_matches_definition() {
+        check_nearest(&Hypercube::new(3));
+    }
+
+    #[test]
+    fn mesh3d_nearest_matches_definition() {
+        check_nearest(&Mesh3D::new(2, 3, 2));
+    }
+
+    #[test]
+    fn xy_path_is_shortest_and_valid() {
+        let m = Mesh2D::new(6, 6);
+        for s in 0..m.num_nodes() {
+            for t in 0..m.num_nodes() {
+                let p = m.shortest_path(s, t);
+                assert_eq!(p.len() - 1, m.distance(s, t));
+                assert!(mcast_topology::graph::is_walk(&m, &p));
+                assert_eq!(p[0], s);
+                assert_eq!(*p.last().unwrap(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn ecube_path_is_shortest_and_valid() {
+        let h = Hypercube::new(4);
+        for s in 0..h.num_nodes() {
+            for t in 0..h.num_nodes() {
+                let p = h.shortest_path(s, t);
+                assert_eq!(p.len() - 1, h.distance(s, t));
+                assert!(mcast_topology::graph::is_walk(&h, &p));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_graph_fallback_works() {
+        let g = mcast_topology::grid::example_4_1_grid();
+        for s in 0..g.num_nodes() {
+            for t in 0..g.num_nodes() {
+                let p = g.shortest_path(s, t);
+                assert_eq!(p.len() - 1, bfs_distance(&g, s, t).unwrap());
+            }
+        }
+        check_nearest(&g);
+    }
+}

@@ -1,0 +1,281 @@
+//! The greedy Steiner-tree heuristic of §5.2 (Figs 5.3–5.4).
+//!
+//! The source sorts the destinations by distance, then grows a *virtual*
+//! tree: each iteration attaches the next destination `u_i` at the node
+//! `v` nearest to `u_i` among all nodes lying on shortest paths between
+//! the endpoints of existing virtual edges (computed in O(1) by
+//! [`crate::geometry::RoutingGeometry::nearest_on_shortest_paths`]). A
+//! virtual edge `(s, t)` is realized by the underlying deterministic
+//! shortest-path routing (XY / E-cube), so the tree's traffic is the sum
+//! of virtual-edge distances.
+
+use std::collections::BTreeSet;
+
+use mcast_topology::NodeId;
+
+use crate::geometry::RoutingGeometry;
+use crate::model::MulticastSet;
+
+/// The virtual Steiner tree produced by the greedy ST algorithm: edges
+/// join possibly non-adjacent nodes; each stands for a shortest path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SteinerTree {
+    root: NodeId,
+    /// Virtual edges `(s, t)`; `s` is the endpoint closer to the root in
+    /// tree order.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl SteinerTree {
+    /// The root (multicast source).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The virtual edges.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Total traffic: Σ `d(s, t)` over virtual edges — the number of
+    /// channel transmissions after realization.
+    pub fn traffic<T: RoutingGeometry + ?Sized>(&self, topo: &T) -> usize {
+        self.edges.iter().map(|&(s, t)| topo.distance(s, t)).sum()
+    }
+
+    /// Nodes appearing as virtual-edge endpoints (root included).
+    pub fn vertices(&self) -> BTreeSet<NodeId> {
+        let mut v: BTreeSet<NodeId> = self.edges.iter().flat_map(|&(s, t)| [s, t]).collect();
+        v.insert(self.root);
+        v
+    }
+
+    /// Realizes every virtual edge as a concrete shortest path using the
+    /// topology's deterministic routing; returns the per-edge node paths.
+    pub fn realize<T: RoutingGeometry + ?Sized>(&self, topo: &T) -> Vec<Vec<NodeId>> {
+        self.edges.iter().map(|&(s, t)| topo.shortest_path(s, t)).collect()
+    }
+
+    /// Whether the virtual edges form a tree over [`SteinerTree::vertices`]
+    /// that contains every node of `mc` (Theorem 5.2's conclusion).
+    pub fn validate(&self, mc: &MulticastSet) -> Result<(), String> {
+        let verts = self.vertices();
+        // |E| = |V| − 1 and connected ⇒ tree.
+        if !verts.is_empty() && self.edges.len() != verts.len() - 1 {
+            return Err(format!(
+                "{} edges over {} vertices is not a tree",
+                self.edges.len(),
+                verts.len()
+            ));
+        }
+        // Connectivity from the root by repeated relaxation.
+        let mut reached = BTreeSet::new();
+        reached.insert(self.root);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(s, t) in &self.edges {
+                if reached.contains(&s) && reached.insert(t) {
+                    changed = true;
+                }
+                if reached.contains(&t) && reached.insert(s) {
+                    changed = true;
+                }
+            }
+        }
+        if reached != verts {
+            return Err("virtual tree is disconnected".into());
+        }
+        for &d in &mc.destinations {
+            if !verts.contains(&d) {
+                return Err(format!("destination {d} not in Steiner tree"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Message preparation (Fig 5.3): destinations sorted by ascending
+/// distance from the source.
+pub fn prepare<T: RoutingGeometry + ?Sized>(topo: &T, mc: &MulticastSet) -> Vec<NodeId> {
+    let mut d = mc.destinations.clone();
+    d.sort_by_key(|&x| (topo.distance(mc.source, x), x));
+    d
+}
+
+/// The greedy ST algorithm (Fig 5.4's tree-construction loop, run at the
+/// source with the complete destination list).
+///
+/// ```
+/// use mcast_core::greedy_st::greedy_st;
+/// use mcast_core::model::{multi_unicast_traffic, MulticastSet};
+/// use mcast_topology::Hypercube;
+///
+/// let cube = Hypercube::new(6);
+/// let mc = MulticastSet::new(0, [63, 21, 42, 7]);
+/// let tree = greedy_st(&cube, &mc);
+/// tree.validate(&mc).unwrap();
+/// assert!(tree.traffic(&cube) <= multi_unicast_traffic(&cube, &mc));
+/// ```
+pub fn greedy_st<T: RoutingGeometry + ?Sized>(topo: &T, mc: &MulticastSet) -> SteinerTree {
+    let sorted = prepare(topo, mc);
+    build_tree(topo, mc.source, &sorted)
+}
+
+/// Fig 5.4's tree-construction steps 3–4 over an *already ordered*
+/// destination list — the routine every replicate node runs in the
+/// distributed protocol (the list order is fixed by the source's
+/// preparation and carried in the header).
+pub fn build_tree<T: RoutingGeometry + ?Sized>(
+    topo: &T,
+    u: NodeId,
+    sorted: &[NodeId],
+) -> SteinerTree {
+    let mut tree = SteinerTree { root: u, edges: Vec::new() };
+    let sorted: Vec<NodeId> = sorted.iter().copied().filter(|&d| d != u).collect();
+    if sorted.is_empty() {
+        return tree;
+    }
+    // Step 3: E(T) ← {(u, u1)}.
+    tree.edges.push((u, sorted[0]));
+    let mut verts: BTreeSet<NodeId> = BTreeSet::new();
+    verts.insert(u);
+    verts.insert(sorted[0]);
+    // Step 4: attach each remaining destination at the nearest point on
+    // any existing virtual edge's shortest paths.
+    for &ui in &sorted[1..] {
+        if verts.contains(&ui) {
+            continue; // already covered (e.g. chosen as a junction)
+        }
+        let mut best: Option<(usize, usize, NodeId)> = None; // (dist, edge idx, v)
+        for (ei, &(s, t)) in tree.edges.iter().enumerate() {
+            let v = topo.nearest_on_shortest_paths(s, t, ui);
+            let dist = topo.distance(ui, v);
+            if best.is_none_or(|(bd, _, bv)| dist < bd || (dist == bd && v < bv)) {
+                best = Some((dist, ei, v));
+            }
+        }
+        let (_, ei, v) = best.expect("tree has at least one edge");
+        let (s, t) = tree.edges[ei];
+        if v != s && v != t {
+            // Step 4(c): split the edge at the junction v.
+            tree.edges.swap_remove(ei);
+            tree.edges.push((s, v));
+            tree.edges.push((v, t));
+            verts.insert(v);
+        }
+        if ui != v {
+            // Step 4(d): hang the destination off the junction.
+            tree.edges.push((v, ui));
+        }
+        verts.insert(ui);
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::{Hypercube, Mesh2D, Topology};
+
+    #[test]
+    fn section_5_4_mesh_example_tree() {
+        // §5.4: 8×8 mesh, source [2,7], destinations [0,5], [2,3], [4,1],
+        // [6,3], [7,4]. Expected final virtual edge set (Fig 5.9):
+        // ([2,7],[2,5]), ([2,5],[0,5]), ([2,5],[2,3]), ([2,3],[4,3]),
+        // ([4,3],[4,1]), ([4,3],[6,3]), ([6,3],[7,4]).
+        let m = Mesh2D::new(8, 8);
+        let n = |x: usize, y: usize| m.node(x, y);
+        let mc = MulticastSet::new(n(2, 7), [n(0, 5), n(2, 3), n(4, 1), n(6, 3), n(7, 4)]);
+        let t = greedy_st(&m, &mc);
+        t.validate(&mc).unwrap();
+        let mut edges: Vec<((usize, usize), (usize, usize))> =
+            t.edges().iter().map(|&(s, v)| (m.coords(s), m.coords(v))).collect();
+        let norm = |e: ((usize, usize), (usize, usize))| {
+            if e.0 <= e.1 {
+                e
+            } else {
+                (e.1, e.0)
+            }
+        };
+        let mut edges_n: Vec<_> = edges.drain(..).map(norm).collect();
+        edges_n.sort();
+        let mut expected: Vec<_> = [
+            ((2, 7), (2, 5)),
+            ((2, 5), (0, 5)),
+            ((2, 5), (2, 3)),
+            ((2, 3), (4, 3)),
+            ((4, 3), (4, 1)),
+            ((4, 3), (6, 3)),
+            ((6, 3), (7, 4)),
+        ]
+        .into_iter()
+        .map(norm)
+        .collect();
+        expected.sort();
+        assert_eq!(edges_n, expected);
+        // Traffic: 2+2+2+2+2+2+2 = 14.
+        assert_eq!(t.traffic(&m), 14);
+    }
+
+    #[test]
+    fn section_5_4_cube_example_tree() {
+        // §5.4 / Fig 5.10: 6-cube, source 000110, destinations 010101,
+        // 000001, 001101, 101001, 110001. First junction is 000101.
+        let h = Hypercube::new(6);
+        let mc = MulticastSet::new(
+            0b000110,
+            [0b010101, 0b000001, 0b001101, 0b101001, 0b110001],
+        );
+        // Distances from the source are (3, 3, 3, 5, 5); the text breaks
+        // the three-way tie arbitrarily, we break it by node id.
+        assert_eq!(
+            prepare(&h, &mc),
+            vec![0b000001, 0b001101, 0b010101, 0b101001, 0b110001],
+        );
+        let t = greedy_st(&h, &mc);
+        t.validate(&mc).unwrap();
+        // Junction 000101 connects source side and destination side.
+        assert!(t.vertices().contains(&0b000101), "edges: {:?}", t.edges());
+    }
+
+    #[test]
+    fn st_traffic_never_exceeds_multi_unicast() {
+        let m = Mesh2D::new(8, 8);
+        let mc = MulticastSet::new(0, [7, 56, 63, 27, 36, 44]);
+        let t = greedy_st(&m, &mc);
+        t.validate(&mc).unwrap();
+        let mu = crate::model::multi_unicast_traffic(&m, &mc);
+        assert!(t.traffic(&m) <= mu, "{} > {}", t.traffic(&m), mu);
+    }
+
+    #[test]
+    fn st_realization_paths_are_shortest() {
+        let h = Hypercube::new(5);
+        let mc = MulticastSet::new(0, [31, 5, 18, 12]);
+        let t = greedy_st(&h, &mc);
+        for (path, &(s, e)) in t.realize(&h).iter().zip(t.edges()) {
+            assert_eq!(path[0], s);
+            assert_eq!(*path.last().unwrap(), e);
+            assert_eq!(path.len() - 1, h.distance(s, e));
+        }
+    }
+
+    #[test]
+    fn single_destination_is_one_edge() {
+        let m = Mesh2D::new(4, 4);
+        let mc = MulticastSet::new(0, [15]);
+        let t = greedy_st(&m, &mc);
+        assert_eq!(t.edges(), &[(0, 15)]);
+        assert_eq!(t.traffic(&m), 6);
+    }
+
+    #[test]
+    fn empty_destination_set_is_empty_tree() {
+        let m = Mesh2D::new(4, 4);
+        let mc = MulticastSet::new(0, []);
+        let t = greedy_st(&m, &mc);
+        assert!(t.edges().is_empty());
+        t.validate(&mc).unwrap();
+    }
+}

@@ -1,0 +1,105 @@
+//! The LEN greedy multicast-tree heuristic for hypercubes (Lan,
+//! Esfahanian & Ni [20]), the comparison baseline of Fig 7.4.
+//!
+//! At every node holding a residual destination set, LEN repeatedly picks
+//! the dimension covering the most destinations (the largest column sum of
+//! the relative-address matrix) and forwards one message copy across it
+//! with exactly those destinations. Every source→destination path is a
+//! shortest path (each hop clears one bit of the relative address), so LEN
+//! solves the *multicast tree* (MT) model; the dissertation's greedy ST
+//! trades that property away for lower traffic.
+
+use mcast_topology::{Hypercube, NodeId};
+
+use crate::model::{MulticastSet, TreeRoute};
+
+/// One routing decision of LEN at `node` for destination set `dests`:
+/// partitions `dests` into per-dimension forwarding sets, greedily by
+/// descending column sum. Returns `(dimension, subset)` pairs.
+pub fn len_partition(cube: &Hypercube, node: NodeId, dests: &[NodeId]) -> Vec<(u32, Vec<NodeId>)> {
+    let mut remaining: Vec<NodeId> = dests.iter().copied().filter(|&d| d != node).collect();
+    let mut out = Vec::new();
+    while !remaining.is_empty() {
+        // Column sums of the relative address matrix.
+        let best_dim = (0..cube.dim())
+            .max_by_key(|&j| {
+                (
+                    remaining.iter().filter(|&&d| (d ^ node) >> j & 1 == 1).count(),
+                    // Tie-break toward lower dimensions, deterministically.
+                    cube.dim() - j,
+                )
+            })
+            .expect("cube has at least one dimension");
+        let (taken, rest): (Vec<NodeId>, Vec<NodeId>) =
+            remaining.iter().partition(|&&d| (d ^ node) >> best_dim & 1 == 1);
+        debug_assert!(!taken.is_empty(), "best column sum must be positive");
+        out.push((best_dim, taken));
+        remaining = rest;
+    }
+    out
+}
+
+/// Runs LEN from the multicast source, returning the complete multicast
+/// tree.
+pub fn len_tree(cube: &Hypercube, mc: &MulticastSet) -> TreeRoute {
+    let mut tree = TreeRoute::new(mc.source);
+    let mut work: Vec<(NodeId, Vec<NodeId>)> = vec![(mc.source, mc.destinations.clone())];
+    while let Some((node, dests)) = work.pop() {
+        for (dim, subset) in len_partition(cube, node, &dests) {
+            let next = cube.flip(node, dim);
+            if !tree.contains(next) {
+                tree.attach(node, next);
+            }
+            work.push((next, subset));
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::Topology;
+
+    #[test]
+    fn len_tree_reaches_all_destinations_by_shortest_paths() {
+        let h = Hypercube::new(6);
+        let mc = MulticastSet::new(0b000110, [0b010101, 0b000001, 0b001101, 0b101001, 0b110001]);
+        let t = len_tree(&h, &mc);
+        t.validate(&h).unwrap();
+        for &d in &mc.destinations {
+            // MT property (Def 3.4(b)): tree distance equals graph distance.
+            assert_eq!(t.depth_of(d), Some(h.distance(mc.source, d)), "dest {d:#b}");
+        }
+    }
+
+    #[test]
+    fn len_partition_prefers_heaviest_dimension() {
+        let h = Hypercube::new(4);
+        // From node 0000 with dests 0001, 0011, 0111: bit 0 appears 3
+        // times, bit 1 twice, bit 2 once.
+        let parts = len_partition(&h, 0, &[0b0001, 0b0011, 0b0111]);
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[0].1.len(), 3);
+        assert_eq!(parts.len(), 1, "all destinations share bit 0");
+    }
+
+    #[test]
+    fn len_traffic_between_k_and_broadcast() {
+        let h = Hypercube::new(6);
+        let mc = MulticastSet::new(7, [1, 62, 33, 20, 55, 9, 48]);
+        let t = len_tree(&h, &mc);
+        assert!(t.traffic() >= mc.k());
+        assert!(t.traffic() < h.num_nodes());
+        let route = crate::model::MulticastRoute::Tree(t);
+        route.validate(&h, &mc).unwrap();
+    }
+
+    #[test]
+    fn len_single_destination_is_shortest_path() {
+        let h = Hypercube::new(5);
+        let mc = MulticastSet::new(0, [0b10110]);
+        let t = len_tree(&h, &mc);
+        assert_eq!(t.traffic(), 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Multicast routing for multicomputer networks — the primary
+//! contribution of X. Lin's dissertation *Multicast Communication in
+//! Multicomputer Networks* (Lin & Ni, ICPP 1990), reimplemented as a Rust
+//! library.
+//!
+//! # What's here
+//!
+//! * **Models** ([`model`]): the multicast path / cycle / Steiner tree /
+//!   multicast tree / multicast star route shapes of Chapter 3, with
+//!   uniform traffic and latency metrics.
+//! * **Chapter 5 heuristics**: [`sorted_mp`] (MP/MC over a fixed
+//!   Hamiltonian cycle), [`greedy_st`] (Steiner trees via
+//!   nearest-point-on-shortest-path insertion), [`xfirst`] and
+//!   [`divided_greedy`] (multicast trees for 2D meshes), plus the
+//!   [`kmb`] and [`len`] baselines the dissertation compares against.
+//! * **Chapter 6 deadlock-free wormhole schemes**: [`dc_xfirst_tree`]
+//!   (double-channel quadrant trees), and the path-based [`dual_path`],
+//!   [`multi_path`] and [`fixed_path`] algorithms built on the
+//!   label-monotone routing function [`routing_fn`] — the first
+//!   deadlock-free multicast wormhole routing algorithms proposed.
+//! * **Chapter 4 machinery**: [`exact`] optimal solvers (to measure
+//!   heuristic gaps) and the executable NP-completeness [`reduction`]
+//!   constructions with machine-checked structural lemmas.
+//!
+//! # Quick example
+//!
+//! ```
+//! use mcast_core::model::MulticastSet;
+//! use mcast_core::dual_path::dual_path;
+//! use mcast_topology::labeling::mesh2d_snake;
+//! use mcast_topology::Mesh2D;
+//!
+//! let mesh = Mesh2D::new(6, 6);
+//! let labeling = mesh2d_snake(&mesh);
+//! let mc = MulticastSet::new(mesh.node(3, 2), [mesh.node(0, 0), mesh.node(5, 4)]);
+//! let paths = dual_path(&mesh, &labeling, &mc);
+//! assert!(paths.len() <= 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod broadcast;
+pub mod dc_xfirst_tree;
+pub mod distributed;
+pub mod divided_greedy;
+pub mod dual_path;
+pub mod exact;
+pub mod fixed_path;
+pub mod geometry;
+pub mod greedy_st;
+pub mod kmb;
+pub mod len;
+pub mod mesh3d_multicast;
+pub mod model;
+pub mod multi_path;
+pub mod reduction;
+pub mod routing_fn;
+pub mod sorted_mp;
+pub mod turn_model;
+pub mod vc_multi_path;
+pub mod xfirst;
+
+pub use geometry::RoutingGeometry;
+pub use model::{MulticastRoute, MulticastSet, PathRoute, TreeRoute};

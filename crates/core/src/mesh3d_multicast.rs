@@ -1,0 +1,370 @@
+//! Multicast routing on 3D meshes — the §4.3 direction made executable.
+//!
+//! Chapter 4's corollaries extend the NP-completeness results to 3D
+//! meshes; Chapter 8 notes the path-based schemes apply to "any
+//! multicomputer networks that have Hamilton paths" (the 3D snake
+//! labeling provides one, so dual/multi/fixed-path work unchanged). This
+//! module adds the two pieces that need real 3D generalization:
+//!
+//! * **X-first-Y-Z multicast trees** — the MT heuristic of Fig 5.5 lifted
+//!   one dimension;
+//! * **octant-partitioned tree routing** — §6.2.1's quadrant scheme
+//!   lifted to eight octant subnetworks `N_{±X,±Y,±Z}`, each containing
+//!   one signed direction per axis. Every physical direction appears in
+//!   four octants, so the scheme needs **four** channels per direction —
+//!   evidence for §6.3's conjecture that tree-like deadlock-free
+//!   multicast needs O(n) channels between neighbors.
+
+use mcast_topology::mesh3d::{Dir3, Mesh3D};
+use mcast_topology::NodeId;
+
+use crate::model::{MulticastSet, TreeRoute};
+
+/// One of the eight octant subnetworks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Octant {
+    /// `+X` (true) or `−X` (false).
+    pub pos_x: bool,
+    /// `+Y` or `−Y`.
+    pub pos_y: bool,
+    /// `+Z` or `−Z`.
+    pub pos_z: bool,
+}
+
+impl Octant {
+    /// All eight octants in lexicographic (x, y, z) sign order.
+    pub fn all() -> [Octant; 8] {
+        let mut out = [Octant { pos_x: false, pos_y: false, pos_z: false }; 8];
+        for (i, o) in out.iter_mut().enumerate() {
+            o.pos_x = i & 4 != 0;
+            o.pos_y = i & 2 != 0;
+            o.pos_z = i & 1 != 0;
+        }
+        out
+    }
+
+    /// Index 0..8 (for array storage).
+    pub fn index(self) -> usize {
+        (usize::from(self.pos_x) << 2) | (usize::from(self.pos_y) << 1) | usize::from(self.pos_z)
+    }
+
+    /// The three channel directions this octant's subnetwork contains.
+    pub fn directions(self) -> [Dir3; 3] {
+        [
+            if self.pos_x { Dir3::PosX } else { Dir3::NegX },
+            if self.pos_y { Dir3::PosY } else { Dir3::NegY },
+            if self.pos_z { Dir3::PosZ } else { Dir3::NegZ },
+        ]
+    }
+
+    /// Whether a channel of direction `d` belongs to this subnetwork.
+    pub fn contains_dir(self, d: Dir3) -> bool {
+        self.directions().contains(&d)
+    }
+
+    /// The channel class (0..4) of this octant's copy of a physical
+    /// channel in direction `d`: each direction appears in exactly four
+    /// octants, one class each (indexed by the signs of the *other two*
+    /// axes).
+    ///
+    /// # Panics
+    /// Panics if `d` is not one of this octant's directions.
+    pub fn channel_class(self, d: Dir3) -> u8 {
+        assert!(self.contains_dir(d), "{self:?} has no {d:?} channels");
+        let bits: [bool; 2] = match d {
+            Dir3::PosX | Dir3::NegX => [self.pos_y, self.pos_z],
+            Dir3::PosY | Dir3::NegY => [self.pos_x, self.pos_z],
+            Dir3::PosZ | Dir3::NegZ => [self.pos_x, self.pos_y],
+        };
+        (u8::from(bits[0]) << 1) | u8::from(bits[1])
+    }
+}
+
+/// The octant a destination falls into relative to `u0`, with half-open
+/// tie-breaking generalizing the 2D convention (DESIGN.md §5): ties on an
+/// axis inherit the *next* axis's decision, cyclically, so every node
+/// except `u0` belongs to exactly one octant and is routable with that
+/// octant's three directions.
+pub fn octant_of(mesh: &Mesh3D, u0: NodeId, dest: NodeId) -> Option<Octant> {
+    if dest == u0 {
+        return None;
+    }
+    let (x0, y0, z0) = mesh.coords(u0);
+    let (x, y, z) = mesh.coords(dest);
+    // Signs with ties resolved by the first differing later coordinate;
+    // any consistent rule works because a tied axis needs no movement.
+    let sx = if x != x0 { x > x0 } else { (y, z) > (y0, z0) };
+    let sy = if y != y0 { y > y0 } else { (z, x) > (z0, x0) };
+    let sz = if z != z0 { z > z0 } else { (x, y) > (x0, y0) };
+    Some(Octant { pos_x: sx, pos_y: sy, pos_z: sz })
+}
+
+/// Splits destinations by octant ([`Octant::index`] order).
+pub fn split_by_octant(mesh: &Mesh3D, u0: NodeId, dests: &[NodeId]) -> [Vec<NodeId>; 8] {
+    let mut out: [Vec<NodeId>; 8] = Default::default();
+    for &d in dests {
+        if let Some(o) = octant_of(mesh, u0, d) {
+            out[o.index()].push(d);
+        }
+    }
+    out
+}
+
+/// One octant's sub-multicast tree with its subnetwork tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OctantTree {
+    /// The subnetwork this tree's channels live in.
+    pub octant: Octant,
+    /// The tree, rooted at the source.
+    pub tree: TreeRoute,
+}
+
+/// X-first-Y-Z multicast tree within one octant: advance along the
+/// octant's X direction to the nearest destination plane, split off a
+/// 2D (Y-Z) subtree there, and continue.
+fn octant_tree(mesh: &Mesh3D, source: NodeId, dests: &[NodeId], o: Octant) -> TreeRoute {
+    let [dx, dy, dz] = o.directions();
+    let mut tree = TreeRoute::new(source);
+    // Work items: (node, dests, phase) with phase 0 = X, 1 = Y, 2 = Z.
+    let mut work: Vec<(NodeId, Vec<NodeId>, u8)> = vec![(source, dests.to_vec(), 0)];
+    while let Some((node, dests, phase)) = work.pop() {
+        if dests.is_empty() {
+            continue;
+        }
+        let coord = |n: NodeId, axis: u8| {
+            let (x, y, z) = mesh.coords(n);
+            [x, y, z][axis as usize]
+        };
+        let dir_of = |axis: u8| [dx, dy, dz][axis as usize];
+        // Work items are only queued with phase < 3: destinations that
+        // match the local coordinate on every axis equal the local node
+        // and are filtered before re-queuing.
+        debug_assert!(phase < 3, "exhausted axes with destinations remaining");
+        let axis = phase;
+        let here = coord(node, axis);
+        // Destinations matching the local coordinate on this axis stay
+        // for the next axis; the rest continue along this axis.
+        let (stay, go): (Vec<NodeId>, Vec<NodeId>) =
+            dests.iter().partition(|&&d| coord(d, axis) == here);
+        let stay: Vec<NodeId> = stay.into_iter().filter(|&d| d != node).collect();
+        if !stay.is_empty() {
+            work.push((node, stay, axis + 1));
+        }
+        if !go.is_empty() {
+            let next = mesh
+                .step(node, dir_of(axis))
+                .expect("a destination lies further along the octant direction");
+            if !tree.contains(next) {
+                tree.attach(node, next);
+            }
+            work.push((next, go, axis));
+        }
+    }
+    tree
+}
+
+/// Octant-partitioned deadlock-free tree multicast for 3D meshes: up to
+/// eight trees, one per octant subnetwork (requires 4 channel classes).
+pub fn octant_multicast(mesh: &Mesh3D, mc: &MulticastSet) -> Vec<OctantTree> {
+    split_by_octant(mesh, mc.source, &mc.destinations)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, d)| !d.is_empty())
+        .map(|(i, dests)| {
+            let octant = Octant::all()[i];
+            OctantTree { octant, tree: octant_tree(mesh, mc.source, &dests, octant) }
+        })
+        .collect()
+}
+
+/// Total traffic across octant trees.
+pub fn traffic(parts: &[OctantTree]) -> usize {
+    parts.iter().map(|p| p.tree.traffic()).sum()
+}
+
+/// Plain X-first-Y-Z multicast tree (MT model) for 3D meshes — the
+/// Fig 5.5 heuristic lifted one dimension (deadlock-prone without the
+/// octant channel classes, like its 2D counterpart).
+pub fn xyz_first_tree(mesh: &Mesh3D, mc: &MulticastSet) -> TreeRoute {
+    let mut tree = TreeRoute::new(mc.source);
+    let mut work: Vec<(NodeId, Vec<NodeId>)> = vec![(mc.source, mc.destinations.clone())];
+    while let Some((node, dests)) = work.pop() {
+        let (x0, y0, z0) = mesh.coords(node);
+        let mut by_dir: std::collections::BTreeMap<usize, Vec<NodeId>> = Default::default();
+        for &d in &dests {
+            if d == node {
+                continue;
+            }
+            let (x, y, z) = mesh.coords(d);
+            let dir = if x > x0 {
+                Dir3::PosX
+            } else if x < x0 {
+                Dir3::NegX
+            } else if y > y0 {
+                Dir3::PosY
+            } else if y < y0 {
+                Dir3::NegY
+            } else if z > z0 {
+                Dir3::PosZ
+            } else {
+                Dir3::NegZ
+            };
+            by_dir.entry(dir as usize).or_default().push(d);
+        }
+        for (dir_idx, sub) in by_dir {
+            let dir = Dir3::ALL[dir_idx];
+            let next = mesh.step(node, dir).expect("destination lies in this direction");
+            if !tree.contains(next) {
+                tree.attach(node, next);
+            }
+            work.push((next, sub));
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::Topology;
+
+    fn mesh() -> Mesh3D {
+        Mesh3D::new(4, 4, 4)
+    }
+
+    fn sets(m: &Mesh3D, seed: usize, k: usize) -> MulticastSet {
+        let n = m.num_nodes();
+        MulticastSet::new((seed * 7) % n, (0..k).map(|i| (seed * 13 + i * 11 + 3) % n))
+    }
+
+    #[test]
+    fn octants_partition_all_non_source_nodes() {
+        let m = mesh();
+        for u0 in 0..m.num_nodes() {
+            let mut count = 0;
+            for d in 0..m.num_nodes() {
+                match octant_of(&m, u0, d) {
+                    None => assert_eq!(d, u0),
+                    Some(o) => {
+                        // Routable: each axis's needed movement matches
+                        // the octant's sign (or no movement needed).
+                        let (x0, y0, z0) = m.coords(u0);
+                        let (x, y, z) = m.coords(d);
+                        if x != x0 {
+                            assert_eq!(x > x0, o.pos_x, "u0={u0} d={d}");
+                        }
+                        if y != y0 {
+                            assert_eq!(y > y0, o.pos_y, "u0={u0} d={d}");
+                        }
+                        if z != z0 {
+                            assert_eq!(z > z0, o.pos_z, "u0={u0} d={d}");
+                        }
+                        count += 1;
+                    }
+                }
+            }
+            assert_eq!(count, m.num_nodes() - 1);
+        }
+    }
+
+    #[test]
+    fn channel_classes_distinct_within_direction() {
+        // The four octants containing a direction get four distinct
+        // classes.
+        for d in Dir3::ALL {
+            let mut classes: Vec<u8> = Octant::all()
+                .into_iter()
+                .filter(|o| o.contains_dir(d))
+                .map(|o| o.channel_class(d))
+                .collect();
+            classes.sort_unstable();
+            assert_eq!(classes, vec![0, 1, 2, 3], "{d:?}");
+        }
+    }
+
+    #[test]
+    fn octant_trees_reach_all_destinations_via_shortest_paths() {
+        let m = mesh();
+        for seed in 0..40 {
+            let mc = sets(&m, seed, 8);
+            let parts = octant_multicast(&m, &mc);
+            let route =
+                crate::model::MulticastRoute::Forest(parts.iter().map(|p| p.tree.clone()).collect());
+            route.validate(&m, &mc).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            for &d in &mc.destinations {
+                assert_eq!(
+                    route.hops_to(d),
+                    Some(m.distance(mc.source, d)),
+                    "seed {seed} dest {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn octant_trees_stay_inside_their_subnetwork() {
+        let m = mesh();
+        for seed in 0..20 {
+            let mc = sets(&m, seed, 10);
+            for part in octant_multicast(&m, &mc) {
+                for (p, c) in part.tree.edges() {
+                    let dir = Dir3::ALL
+                        .into_iter()
+                        .find(|&d| m.step(p, d) == Some(c))
+                        .expect("edge is a link");
+                    assert!(part.octant.contains_dir(dir), "seed {seed}: {dir:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xyz_first_tree_is_shortest_path_mt() {
+        let m = mesh();
+        for seed in 0..40 {
+            let mc = sets(&m, seed, 9);
+            let t = xyz_first_tree(&m, &mc);
+            t.validate(&m).unwrap();
+            for &d in &mc.destinations {
+                assert_eq!(t.depth_of(d), Some(m.distance(mc.source, d)), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn octant_subnetworks_are_acyclic() {
+        // Channels of one octant all point in three fixed signed
+        // directions: any walk strictly increases the signed coordinate
+        // sum, so no cycle exists.
+        let o = Octant { pos_x: true, pos_y: false, pos_z: true };
+        let m = mesh();
+        // Verify the potential argument on every contained channel.
+        let potential = |n: NodeId| {
+            let (x, y, z) = m.coords(n);
+            let sx = if o.pos_x { x as isize } else { -(x as isize) };
+            let sy = if o.pos_y { y as isize } else { -(y as isize) };
+            let sz = if o.pos_z { z as isize } else { -(z as isize) };
+            sx + sy + sz
+        };
+        for c in m.channels() {
+            let dir = Dir3::ALL.into_iter().find(|&d| m.step(c.from, d) == Some(c.to)).unwrap();
+            if o.contains_dir(dir) {
+                assert!(potential(c.to) > potential(c.from));
+            }
+        }
+    }
+
+    #[test]
+    fn dual_path_also_works_on_3d_snake() {
+        // The generic path-based schemes cover 3D for free (§8.1).
+        use mcast_topology::labeling::mesh3d_snake;
+        let m = mesh();
+        let l = mesh3d_snake(&m);
+        for seed in 0..20 {
+            let mc = sets(&m, seed, 8);
+            let route =
+                crate::model::MulticastRoute::Star(crate::dual_path::dual_path(&m, &l, &mc));
+            route.validate(&m, &mc).unwrap();
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! The multicast communication models of Chapter 3.
+//!
+//! A multicast is described by a [`MulticastSet`] `K = {u0, u1, …, uk}`
+//! (source plus destinations). Depending on switching technique and routing
+//! criteria, a route takes one of the shapes of Chapter 3:
+//!
+//! * **multicast path** (MP, Def 3.1) — one path from the source visiting
+//!   every destination; no replication (wormhole/circuit switching without
+//!   replication hardware);
+//! * **multicast cycle** (MC, Def 3.2) — a closed path returning to the
+//!   source, giving implicit acknowledgement;
+//! * **Steiner tree** (ST, Def 3.3) — minimal-traffic tree when replication
+//!   hardware exists;
+//! * **multicast tree** (MT, Def 3.4) — tree whose source→destination paths
+//!   are all shortest (store-and-forward latency first, then traffic);
+//! * **multicast star** (MS, Def 3.5) — a collection of paths from the
+//!   source covering disjoint destination subsets (deadlock-free wormhole
+//!   routing, Chapter 6).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use mcast_topology::{NodeId, Topology};
+
+/// A multicast set `K`: the source `u0` and `k ≥ 1` destinations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticastSet {
+    /// The source node `u0`.
+    pub source: NodeId,
+    /// Destination nodes `u1..uk` (order may matter to algorithms that
+    /// don't re-sort; duplicates and the source itself are tolerated and
+    /// deduplicated by [`MulticastSet::new`]).
+    pub destinations: Vec<NodeId>,
+}
+
+impl MulticastSet {
+    /// Creates a multicast set, dropping duplicate destinations and any
+    /// destination equal to the source (the local delivery is free).
+    pub fn new(source: NodeId, destinations: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut seen = BTreeSet::new();
+        let destinations = destinations
+            .into_iter()
+            .filter(|&d| d != source && seen.insert(d))
+            .collect();
+        MulticastSet { source, destinations }
+    }
+
+    /// Number of destinations `k`.
+    pub fn k(&self) -> usize {
+        self.destinations.len()
+    }
+
+    /// Whether `n` is a member of `K` (source or destination).
+    pub fn contains(&self, n: NodeId) -> bool {
+        n == self.source || self.destinations.contains(&n)
+    }
+}
+
+/// A route realized as a node-visiting sequence (an MP, or one path of an
+/// MS).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathRoute {
+    nodes: Vec<NodeId>,
+}
+
+impl PathRoute {
+    /// Wraps a node sequence. Must be nonempty.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "a path route has at least its source");
+        PathRoute { nodes }
+    }
+
+    /// The visit sequence, source first.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Path length in channels (traffic of this path).
+    pub fn len(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Whether the path has no channels.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Number of channels traversed before first reaching `n`, if the path
+    /// visits it.
+    pub fn hops_to(&self, n: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&v| v == n)
+    }
+
+    /// Checks the path is a valid walk of `topo` with no repeated node
+    /// (except that a *cycle* repeats its first node at the end, allowed
+    /// when `closed`).
+    pub fn validate<T: Topology + ?Sized>(&self, topo: &T, closed: bool) -> Result<(), String> {
+        for w in self.nodes.windows(2) {
+            if !topo.adjacent(w[0], w[1]) {
+                return Err(format!("nodes {} and {} are not adjacent", w[0], w[1]));
+            }
+        }
+        let mut seen = BTreeSet::new();
+        let body: &[NodeId] = if closed {
+            if self.nodes.len() < 2 || self.nodes[0] != *self.nodes.last().unwrap() {
+                return Err("cycle must end at its starting node".into());
+            }
+            &self.nodes[..self.nodes.len() - 1]
+        } else {
+            &self.nodes
+        };
+        for &v in body {
+            if !seen.insert(v) {
+                return Err(format!("node {v} visited twice"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A route realized as a tree rooted at the source (ST, MT, or one of the
+/// quadrant trees of the double-channel scheme).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeRoute {
+    root: NodeId,
+    /// child → parent. The root has no entry.
+    parent: BTreeMap<NodeId, NodeId>,
+}
+
+impl TreeRoute {
+    /// Creates a tree containing only the root.
+    pub fn new(root: NodeId) -> Self {
+        TreeRoute { root, parent: BTreeMap::new() }
+    }
+
+    /// Builds a tree from directed edges `(parent, child)`.
+    ///
+    /// # Panics
+    /// Panics if the edges do not form a tree rooted at `root`.
+    pub fn from_edges(root: NodeId, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut t = TreeRoute::new(root);
+        // Attach edges in reachability order; repeated passes handle
+        // arbitrary input order.
+        let mut rest: Vec<(NodeId, NodeId)> = edges.into_iter().collect();
+        while !rest.is_empty() {
+            let before = rest.len();
+            rest.retain(|&(p, c)| {
+                if t.contains(p) {
+                    t.attach(p, c); // panics on duplicate child (not a tree)
+                    false
+                } else {
+                    true
+                }
+            });
+            assert!(rest.len() < before, "edges do not form a tree rooted at {root}");
+        }
+        t
+    }
+
+    /// The root (source) node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Whether the tree contains node `n`.
+    pub fn contains(&self, n: NodeId) -> bool {
+        n == self.root || self.parent.contains_key(&n)
+    }
+
+    /// Adds the edge `parent → child`.
+    ///
+    /// # Panics
+    /// Panics if `parent` is not in the tree or `child` already is.
+    pub fn attach(&mut self, parent: NodeId, child: NodeId) {
+        assert!(self.contains(parent), "parent {parent} not in tree");
+        assert!(!self.contains(child), "child {child} already in tree");
+        self.parent.insert(child, parent);
+    }
+
+    /// The parent of `n` (`None` for the root or non-members).
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.parent.get(&n).copied()
+    }
+
+    /// All nodes of the tree (root included), ascending.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.parent.keys().copied().collect();
+        v.push(self.root);
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// All directed edges `(parent, child)`.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        self.parent.iter().map(|(&c, &p)| (p, c)).collect()
+    }
+
+    /// Children of each node, as a map (deterministic order).
+    pub fn children_map(&self) -> BTreeMap<NodeId, Vec<NodeId>> {
+        let mut m: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        for (&c, &p) in &self.parent {
+            m.entry(p).or_default().push(c);
+        }
+        m
+    }
+
+    /// Number of tree edges (traffic).
+    pub fn traffic(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Distance from the root to `n` along tree edges.
+    pub fn depth_of(&self, n: NodeId) -> Option<usize> {
+        if !self.contains(n) {
+            return None;
+        }
+        let mut d = 0;
+        let mut cur = n;
+        while cur != self.root {
+            cur = self.parent[&cur];
+            d += 1;
+        }
+        Some(d)
+    }
+
+    /// Checks the tree is a subgraph of `topo` (every edge a link) and
+    /// acyclic-by-construction invariants hold.
+    pub fn validate<T: Topology + ?Sized>(&self, topo: &T) -> Result<(), String> {
+        for (&c, &p) in &self.parent {
+            if !topo.adjacent(p, c) {
+                return Err(format!("tree edge {p}→{c} is not a link"));
+            }
+            // Walk to root, guarding against cycles.
+            let mut cur = c;
+            let mut steps = 0;
+            while cur != self.root {
+                cur = *self
+                    .parent
+                    .get(&cur)
+                    .ok_or_else(|| format!("node {cur} detached from root"))?;
+                steps += 1;
+                if steps > self.parent.len() {
+                    return Err("parent pointers contain a cycle".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Any realized multicast route, with uniform traffic/latency accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MulticastRoute {
+    /// A multicast path (MP).
+    Path(PathRoute),
+    /// A multicast cycle (MC) — the sequence ends back at the source.
+    Cycle(PathRoute),
+    /// A tree (ST or MT) in a single-channel network.
+    Tree(TreeRoute),
+    /// A multicast star (MS): disjoint paths from the source.
+    Star(Vec<PathRoute>),
+    /// A forest of trees, each confined to a (sub)network partition —
+    /// the double-channel tree scheme of §6.2.1.
+    Forest(Vec<TreeRoute>),
+}
+
+impl MulticastRoute {
+    /// Total traffic: the number of channels used to deliver the message
+    /// (Chapter 3's *traffic* parameter).
+    pub fn traffic(&self) -> usize {
+        match self {
+            MulticastRoute::Path(p) | MulticastRoute::Cycle(p) => p.len(),
+            MulticastRoute::Tree(t) => t.traffic(),
+            MulticastRoute::Star(paths) => paths.iter().map(PathRoute::len).sum(),
+            MulticastRoute::Forest(trees) => trees.iter().map(TreeRoute::traffic).sum(),
+        }
+    }
+
+    /// Channels traversed before the message first reaches `dest`
+    /// (the store-and-forward *time* parameter, in hops).
+    pub fn hops_to(&self, dest: NodeId) -> Option<usize> {
+        match self {
+            MulticastRoute::Path(p) | MulticastRoute::Cycle(p) => p.hops_to(dest),
+            MulticastRoute::Tree(t) => t.depth_of(dest),
+            MulticastRoute::Star(paths) => paths.iter().find_map(|p| p.hops_to(dest)),
+            MulticastRoute::Forest(trees) => trees.iter().find_map(|t| t.depth_of(dest)),
+        }
+    }
+
+    /// The maximum of [`MulticastRoute::hops_to`] over the destinations of
+    /// `mc` (the "maximum distance from the source to a destination"
+    /// reported for Figs 6.13/6.16/6.17).
+    pub fn max_dest_hops(&self, mc: &MulticastSet) -> Option<usize> {
+        mc.destinations.iter().map(|&d| self.hops_to(d)).max().flatten()
+    }
+
+    /// Validates the route delivers to every destination of `mc` and is a
+    /// legal subgraph/walk of `topo`.
+    pub fn validate<T: Topology + ?Sized>(
+        &self,
+        topo: &T,
+        mc: &MulticastSet,
+    ) -> Result<(), String> {
+        match self {
+            MulticastRoute::Path(p) => {
+                p.validate(topo, false)?;
+                if p.source() != mc.source {
+                    return Err("path does not start at the source".into());
+                }
+            }
+            MulticastRoute::Cycle(p) => {
+                p.validate(topo, true)?;
+                if p.source() != mc.source {
+                    return Err("cycle does not start at the source".into());
+                }
+            }
+            MulticastRoute::Tree(t) => {
+                t.validate(topo)?;
+                if t.root() != mc.source {
+                    return Err("tree not rooted at the source".into());
+                }
+            }
+            MulticastRoute::Star(paths) => {
+                for p in paths {
+                    p.validate(topo, false)?;
+                    if p.source() != mc.source {
+                        return Err("star path does not start at the source".into());
+                    }
+                }
+                // MS definition: the destination subsets are disjoint —
+                // each destination lies on exactly one path.
+                for &d in &mc.destinations {
+                    let n = paths.iter().filter(|p| p.hops_to(d).is_some()).count();
+                    if n == 0 {
+                        return Err(format!("destination {d} not covered"));
+                    }
+                }
+            }
+            MulticastRoute::Forest(trees) => {
+                for t in trees {
+                    t.validate(topo)?;
+                    if t.root() != mc.source {
+                        return Err("forest tree not rooted at the source".into());
+                    }
+                }
+            }
+        }
+        for &d in &mc.destinations {
+            if self.hops_to(d).is_none() {
+                return Err(format!("destination {d} unreachable by the route"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes the traffic of delivering `mc` by separate unicasts along
+/// shortest paths (the "multiple one-to-one" lower-bound-per-destination
+/// comparison of §7.1): the sum of source→destination distances.
+pub fn multi_unicast_traffic<T: Topology + ?Sized>(topo: &T, mc: &MulticastSet) -> usize {
+    mc.destinations.iter().map(|&d| topo.distance(mc.source, d)).sum()
+}
+
+/// A spanning BFS tree of the whole network rooted at `source` — the
+/// *broadcast* comparison of §7.1 (traffic is always `N − 1`).
+pub fn broadcast_tree<T: Topology + ?Sized>(topo: &T, source: NodeId) -> TreeRoute {
+    let mut t = TreeRoute::new(source);
+    let mut q = VecDeque::new();
+    q.push_back(source);
+    let mut nb = Vec::new();
+    while let Some(u) = q.pop_front() {
+        topo.neighbors_into(u, &mut nb);
+        for &v in &nb {
+            if !t.contains(v) {
+                t.attach(u, v);
+                q.push_back(v);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::Mesh2D;
+
+    #[test]
+    fn multicast_set_dedupes() {
+        let mc = MulticastSet::new(3, [1, 2, 2, 3, 4, 1]);
+        assert_eq!(mc.destinations, vec![1, 2, 4]);
+        assert_eq!(mc.k(), 3);
+        assert!(mc.contains(3));
+        assert!(mc.contains(4));
+        assert!(!mc.contains(5));
+    }
+
+    #[test]
+    fn path_route_metrics() {
+        let m = Mesh2D::new(4, 4);
+        let p = PathRoute::new(vec![0, 1, 2, 6, 10]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.hops_to(6), Some(3));
+        assert_eq!(p.hops_to(9), None);
+        p.validate(&m, false).unwrap();
+    }
+
+    #[test]
+    fn cycle_validation() {
+        let m = Mesh2D::new(2, 2);
+        let c = PathRoute::new(vec![0, 1, 3, 2, 0]);
+        c.validate(&m, true).unwrap();
+        assert!(c.validate(&m, false).is_err(), "open-path validation must reject repeats");
+        let bad = PathRoute::new(vec![0, 1, 3]);
+        assert!(bad.validate(&m, true).is_err(), "cycle must close");
+    }
+
+    #[test]
+    fn tree_route_construction_and_depth() {
+        let m = Mesh2D::new(3, 3);
+        let mut t = TreeRoute::new(4);
+        t.attach(4, 1);
+        t.attach(4, 5);
+        t.attach(1, 0);
+        t.attach(1, 2);
+        assert_eq!(t.traffic(), 4);
+        assert_eq!(t.depth_of(0), Some(2));
+        assert_eq!(t.depth_of(4), Some(0));
+        assert_eq!(t.depth_of(8), None);
+        t.validate(&m).unwrap();
+        let children = t.children_map();
+        assert_eq!(children[&4], vec![1, 5]);
+        assert_eq!(children[&1], vec![0, 2]);
+    }
+
+    #[test]
+    fn tree_from_edges_handles_any_order() {
+        let edges = [(1usize, 0usize), (4, 1), (1, 2), (4, 5)];
+        let t = TreeRoute::from_edges(4, edges);
+        assert_eq!(t.traffic(), 4);
+        assert_eq!(t.depth_of(0), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not form a tree")]
+    fn tree_from_disconnected_edges_panics() {
+        let _ = TreeRoute::from_edges(0, [(5usize, 6usize)]);
+    }
+
+    #[test]
+    fn broadcast_tree_spans_network() {
+        let m = Mesh2D::new(4, 4);
+        let t = broadcast_tree(&m, 5);
+        assert_eq!(t.traffic(), 15);
+        assert_eq!(t.nodes().len(), 16);
+        t.validate(&m).unwrap();
+    }
+
+    #[test]
+    fn route_enum_traffic_and_validation() {
+        let m = Mesh2D::new(4, 4);
+        let mc = MulticastSet::new(0, [3, 12]);
+        let star = MulticastRoute::Star(vec![
+            PathRoute::new(vec![0, 1, 2, 3]),
+            PathRoute::new(vec![0, 4, 8, 12]),
+        ]);
+        assert_eq!(star.traffic(), 6);
+        assert_eq!(star.hops_to(12), Some(3));
+        star.validate(&m, &mc).unwrap();
+        assert_eq!(star.max_dest_hops(&mc), Some(3));
+
+        let missing = MulticastRoute::Star(vec![PathRoute::new(vec![0, 1, 2, 3])]);
+        assert!(missing.validate(&m, &mc).is_err());
+    }
+
+    #[test]
+    fn multi_unicast_traffic_is_distance_sum() {
+        let m = Mesh2D::new(4, 4);
+        let mc = MulticastSet::new(0, [3, 15]);
+        assert_eq!(multi_unicast_traffic(&m, &mc), 3 + 6);
+    }
+}

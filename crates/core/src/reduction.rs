@@ -1,0 +1,322 @@
+//! The NP-completeness reduction constructions of Chapter 4.
+//!
+//! These are executable versions of the proofs' polynomial-time
+//! transformations. They do not (and cannot) prove NP-completeness at run
+//! time, but the test suite machine-checks the structural lemmas the
+//! proofs rest on:
+//!
+//! * Theorem 4.1: grid graph `G` → 2D mesh `M` with `K = V(G)`, such that
+//!   `G` Hamiltonian-cycle ⇔ `M` has an OMC for `K` of length `|V(G)|`;
+//! * Lemma 4.1: `G` → `G'` (four added points `p, q, t, s`) such that `G`
+//!   Hamiltonian-cycle ⇔ `G'` has a Hamiltonian path from `s`;
+//! * Theorem 4.5: grid graph `G` with `k` nodes → multicast set `K` of
+//!   4k-bit hypercube addresses with `d_H(u_i, u_j) = 6` iff
+//!   `(v_i, v_j) ∈ E(G)` and `8` otherwise (Lemmas 4.2/4.3), so `G`
+//!   Hamiltonian ⇔ the OMC for `K` has length `6k`.
+
+use mcast_topology::graph::bfs_distances;
+use mcast_topology::{GridGraph, Mesh2D, NodeId, Topology};
+
+use crate::model::MulticastSet;
+
+/// Theorem 4.1's construction: embed the grid graph in its enclosing mesh
+/// and take `K` = the embedded vertices with an arbitrary member (the
+/// first) as source.
+pub fn omc_instance_from_grid(g: &GridGraph) -> (Mesh2D, MulticastSet) {
+    let (mesh, ids) = g.enclosing_mesh();
+    let source = ids[0];
+    let mc = MulticastSet::new(source, ids.iter().copied().filter(|&n| n != source));
+    (mesh, mc)
+}
+
+/// Lemma 4.1's construction: given grid graph `G`, build `G'` with the
+/// four extra points around the Lemma's corner node `u`, returning
+/// `(G', s, t)` where any Hamiltonian path of `G'` from `s` must end at
+/// `t`.
+pub fn lemma_4_1_extension(g: &GridGraph) -> (GridGraph, NodeId, NodeId) {
+    let u = g.lemma_4_1_corner();
+    let (ux, uy) = g.point(u);
+    let p = (ux - 1, uy);
+    let q = (ux - 1, uy + 1);
+    let t = (ux - 2, uy + 1);
+    let s = (ux - 1, uy - 1);
+    for pt in [p, q, t, s] {
+        assert!(g.node_at(pt).is_none(), "added point {pt:?} collides with G");
+    }
+    let mut points: Vec<(i64, i64)> = g.points().to_vec();
+    points.extend([p, q, t, s]);
+    let g2 = GridGraph::new(points);
+    let s_id = g2.node_at(s).expect("s was added");
+    let t_id = g2.node_at(t).expect("t was added");
+    (g2, s_id, t_id)
+}
+
+/// A hypercube address of dimension `4k` produced by Theorem 4.5's
+/// selection procedure, stored as `k` 4-bit blocks. Block `i` holds bits
+/// `4i..4i+4` (block 0 in the least significant bits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockAddress {
+    blocks: Vec<u8>,
+}
+
+impl BlockAddress {
+    /// Number of 4-bit blocks (`k`).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The 4-bit block `a_i`.
+    pub fn block(&self, i: usize) -> u8 {
+        self.blocks[i]
+    }
+
+    /// Hamming distance between two block addresses.
+    pub fn hamming(&self, other: &BlockAddress) -> u32 {
+        assert_eq!(self.blocks.len(), other.blocks.len());
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(&a, &b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Formats as the dissertation does: blocks MSB-side first, e.g.
+    /// `1111 0000 …` for `u_0` (block 0 printed first, matching
+    /// Example 4.1's row layout `a_0(q) a_1(q) …`).
+    pub fn format(&self) -> String {
+        self.blocks
+            .iter()
+            .map(|&b| format!("{:04b}", b))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// The BFS ordering of Theorem 4.5: nodes sorted by (BFS layer from node
+/// 0, node id).
+pub fn bfs_order(g: &GridGraph) -> Vec<NodeId> {
+    let d = bfs_distances(g, 0);
+    let mut order: Vec<NodeId> = (0..g.num_nodes()).collect();
+    order.sort_by_key(|&v| (d[v], v));
+    order
+}
+
+/// Theorem 4.5's selection procedure: builds the multicast set
+/// `K = {u_0, …, u_{k−1}}` of `4k`-bit addresses for a connected grid
+/// graph with `k` nodes (BFS-ordered as `v_0, …, v_{k−1}`).
+///
+/// Returns addresses indexed like the BFS order: `result[m]` is `u_m`,
+/// the address standing for grid node `bfs_order(g)[m]`.
+///
+/// # Panics
+/// Panics if the grid graph violates the proof's structural facts
+/// (`1 ≤ |V_m| ≤ 2` for `m > 0`, `|U_{p,m}| ≤ 3`).
+pub fn theorem_4_5_selection(g: &GridGraph) -> Vec<BlockAddress> {
+    let order = bfs_order(g);
+    let k = order.len();
+    // position[v] = m such that order[m] = v.
+    let mut position = vec![0usize; k];
+    for (m, &v) in order.iter().enumerate() {
+        position[v] = m;
+    }
+    let mut out: Vec<BlockAddress> = Vec::with_capacity(k);
+    // u_0: a_0 = 1111.
+    let mut u0 = vec![0u8; k];
+    u0[0] = 0b1111;
+    out.push(BlockAddress { blocks: u0 });
+    for m in 1..k {
+        let vm = order[m];
+        let mut blocks = vec![0u8; k];
+        // V_m = earlier neighbors of v_m.
+        let vm_neighbors = g.neighbors(vm);
+        let v_m: Vec<usize> = vm_neighbors
+            .iter()
+            .map(|&nb| position[nb])
+            .filter(|&p| p < m)
+            .collect();
+        assert!(
+            (1..=2).contains(&v_m.len()),
+            "grid graph violates 1 <= |V_m| <= 2 at m={m} (got {})",
+            v_m.len()
+        );
+        for &p in &v_m {
+            // U_{p,m} = {v_q : p < q < m, (v_p, v_q) ∈ E(G)}.
+            let vp = order[p];
+            let u_pm = g
+                .neighbors(vp)
+                .iter()
+                .map(|&nb| position[nb])
+                .filter(|&q| p < q && q < m)
+                .count();
+            blocks[p] = match u_pm {
+                0 => 0b1000,
+                1 => 0b0100,
+                2 => 0b0010,
+                3 => 0b0001,
+                _ => panic!("grid graph degree bound violated: |U| = {u_pm}"),
+            };
+        }
+        blocks[m] = if v_m.len() == 1 { 0b1110 } else { 0b1100 };
+        out.push(BlockAddress { blocks });
+    }
+    out
+}
+
+/// Machine-check of Lemmas 4.2/4.3 for a given grid graph: every pair of
+/// selected addresses is at Hamming distance 6 iff the corresponding grid
+/// nodes are adjacent, 8 otherwise. Returns `Err` with a witness on
+/// failure.
+pub fn verify_lemmas_4_2_4_3(g: &GridGraph) -> Result<(), String> {
+    let order = bfs_order(g);
+    let addrs = theorem_4_5_selection(g);
+    for i in 0..order.len() {
+        for j in (i + 1)..order.len() {
+            let expected = if g.adjacent(order[i], order[j]) { 6 } else { 8 };
+            let got = addrs[i].hamming(&addrs[j]);
+            if got != expected as u32 {
+                return Err(format!(
+                    "d_H(u_{i}, u_{j}) = {got}, expected {expected} (grid nodes {} and {})",
+                    order[i], order[j]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The full OMC instance of Theorem 4.5: for a `k`-node grid graph, `G`
+/// has a Hamiltonian cycle iff the `4k`-cube has a multicast cycle for
+/// the selected `K` with length `≤ 6k` (by Lemmas 4.2/4.3 the optimal
+/// terminal tour length is exactly `6k` in that case).
+///
+/// Returns the terminal-tour length of the best cyclic order of `K`
+/// (computed by Held–Karp over the pairwise Hamming distances — feasible
+/// because `k` is small), which equals `6k` iff `G` is Hamiltonian.
+pub fn theorem_4_5_tour_length(g: &GridGraph) -> usize {
+    let addrs = theorem_4_5_selection(g);
+    let k = addrs.len();
+    assert!(k >= 3, "tours need at least 3 nodes");
+    assert!(k <= 16, "Held–Karp limited to 16 terminals");
+    let dist: Vec<Vec<usize>> = (0..k)
+        .map(|i| (0..k).map(|j| addrs[i].hamming(&addrs[j]) as usize).collect())
+        .collect();
+    // Held–Karp from node 0.
+    let full = (1usize << k) - 1;
+    let inf = usize::MAX / 4;
+    let mut dp = vec![vec![inf; k]; full + 1];
+    dp[1][0] = 0;
+    for s in 1..=full {
+        if s & 1 == 0 {
+            continue;
+        }
+        for last in 0..k {
+            if s >> last & 1 == 0 || dp[s][last] == inf {
+                continue;
+            }
+            for next in 1..k {
+                if s >> next & 1 == 1 {
+                    continue;
+                }
+                let ns = s | 1 << next;
+                let c = dp[s][last] + dist[last][next];
+                if c < dp[ns][next] {
+                    dp[ns][next] = c;
+                }
+            }
+        }
+    }
+    (1..k).map(|last| dp[full][last] + dist[last][0]).min().expect("k >= 3")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::grid::example_4_1_grid;
+
+    #[test]
+    fn example_4_1_addresses_match_dissertation() {
+        // Example 4.1 lists the selected addresses for the 8-node grid.
+        let g = example_4_1_grid();
+        let addrs = theorem_4_5_selection(&g);
+        assert_eq!(addrs.len(), 8);
+        assert_eq!(addrs[0].format(), "1111 0000 0000 0000 0000 0000 0000 0000");
+        // u_1: a_0 = 1000 (|U_{0,1}| = 0), a_1 = 1110 (|V_1| = 1).
+        assert_eq!(addrs[1].block(0), 0b1000);
+        assert_eq!(addrs[1].block(1), 0b1110);
+        // u_2: a_0 = 0100 (|U_{0,2}| = 1 since v_1 ∈ U), a_2 = 1110.
+        assert_eq!(addrs[2].block(0), 0b0100);
+        assert_eq!(addrs[2].block(2), 0b1110);
+        for a in &addrs {
+            // Property 1: every address has weight 4.
+            let weight: u32 = (0..a.num_blocks()).map(|i| a.block(i).count_ones()).sum();
+            assert_eq!(weight, 4, "{}", a.format());
+        }
+    }
+
+    #[test]
+    fn lemmas_4_2_4_3_hold_on_example() {
+        verify_lemmas_4_2_4_3(&example_4_1_grid()).unwrap();
+    }
+
+    #[test]
+    fn lemmas_hold_on_assorted_grids() {
+        let grids = [
+            GridGraph::new([(0, 0), (1, 0), (2, 0), (2, 1), (2, 2), (1, 2), (0, 2), (0, 1)]),
+            GridGraph::new([(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]),
+            GridGraph::new((0..3).flat_map(|x| (0..3).map(move |y| (x, y)))),
+            GridGraph::new([(0, 0), (0, 1), (0, 2), (0, 3)]),
+        ];
+        for (i, g) in grids.iter().enumerate() {
+            assert!(g.is_connected(), "grid {i}");
+            verify_lemmas_4_2_4_3(g).unwrap_or_else(|e| panic!("grid {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn theorem_4_5_detects_hamiltonicity() {
+        // The 2×4 block is Hamiltonian: tour length must be exactly 6k.
+        let g = example_4_1_grid();
+        assert!(g.find_hamiltonian_cycle().is_some());
+        assert_eq!(theorem_4_5_tour_length(&g), 6 * g.num_nodes());
+
+        // A 7-node "T" shape is not Hamiltonian: tour must exceed 6k.
+        let t = GridGraph::new([(0, 1), (1, 1), (2, 1), (1, 0), (1, 2), (3, 1), (1, 3)]);
+        assert!(t.is_connected());
+        assert!(t.find_hamiltonian_cycle().is_none());
+        assert!(theorem_4_5_tour_length(&t) > 6 * t.num_nodes());
+    }
+
+    #[test]
+    fn theorem_4_1_instance_on_hamiltonian_grid() {
+        // For a Hamiltonian grid graph, the mesh OMC over K = V(G) has
+        // length exactly |V(G)|.
+        let g = example_4_1_grid();
+        let (mesh, mc) = omc_instance_from_grid(&g);
+        let (len, _) = crate::exact::optimal_mc(&mesh, &mc).unwrap();
+        assert_eq!(len, g.num_nodes());
+    }
+
+    #[test]
+    fn lemma_4_1_construction_properties() {
+        let g = example_4_1_grid();
+        let (g2, s, t) = lemma_4_1_extension(&g);
+        assert_eq!(g2.num_nodes(), g.num_nodes() + 4);
+        // s has degree 1 (only neighbor p) and t has degree 1 (only q).
+        assert_eq!(g2.degree(s), 1);
+        assert_eq!(g2.degree(t), 1);
+        // G Hamiltonian-cycle ⇒ G' has a Hamiltonian path from s.
+        assert!(g.find_hamiltonian_cycle().is_some());
+        let path = g2.find_hamiltonian_path_from(s).expect("lemma 4.1 forward direction");
+        assert_eq!(*path.last().unwrap(), t, "the path must end at t (degree-1)");
+    }
+
+    #[test]
+    fn lemma_4_1_reverse_direction_on_non_hamiltonian_grid() {
+        // A path-shaped grid has no Hamiltonian cycle; G' then has no
+        // Hamiltonian path from s.
+        let g = GridGraph::new([(5, 5), (6, 5), (7, 5)]);
+        assert!(g.find_hamiltonian_cycle().is_none());
+        let (g2, s, _) = lemma_4_1_extension(&g);
+        assert!(g2.find_hamiltonian_path_from(s).is_none());
+    }
+}

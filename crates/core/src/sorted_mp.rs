@@ -1,0 +1,249 @@
+//! The sorted MP/MC heuristic of §5.1 (Figs 5.1–5.2).
+//!
+//! The host graph fixes one Hamiltonian cycle `C = (v_1, …, v_m, v_1)` with
+//! the position mapping `h(v_i) = i`. For a multicast from `u0`, every node
+//! gets the rotated sorting key `f(x) = h(x) + m` if `h(x) < h(u0)`, else
+//! `h(x)`; destinations are visited in ascending `f` order, and each
+//! forward node greedily moves to its neighbor with the largest `f` not
+//! exceeding the next destination's (Theorem 5.1 proves this always
+//! reaches it).
+//!
+//! The implementation mirrors the dissertation's split into a *message
+//! preparation* part (run once at the source) and a *message routing* part
+//! (run at every forward node); [`sorted_mp`] / [`sorted_mc`] drive the two
+//! to produce the complete route.
+
+use mcast_topology::{HamiltonCycle, NodeId, Topology};
+
+use crate::model::{MulticastRoute, MulticastSet, PathRoute};
+
+/// Message preparation (Fig 5.1): sorts the destinations in ascending `f`
+/// order. This is the list carried in the message header.
+pub fn prepare<T: Topology + ?Sized>(
+    _topo: &T,
+    cycle: &HamiltonCycle,
+    mc: &MulticastSet,
+) -> Vec<NodeId> {
+    let mut d = mc.destinations.clone();
+    d.sort_by_key(|&x| cycle.f(mc.source, x));
+    d
+}
+
+/// One routing decision (Fig 5.2, step 3): from local node `w`, the next
+/// forward node toward the first remaining destination `d` — the neighbor
+/// maximizing `f` among those with `f(p) ≤ f(d)`.
+///
+/// # Panics
+/// Panics if `f(w) ≥ f(d)` (the message is past `d`, which Theorem 5.1
+/// shows cannot happen) or no candidate neighbor exists.
+pub fn route_step<T: Topology + ?Sized>(
+    topo: &T,
+    cycle: &HamiltonCycle,
+    u0: NodeId,
+    w: NodeId,
+    d: NodeId,
+) -> NodeId {
+    let fd = cycle.f(u0, d);
+    let fw = cycle.f(u0, w);
+    assert!(fw < fd, "routing invariant violated: f(w) = {fw} >= f(d) = {fd}");
+    let mut nb = Vec::new();
+    topo.neighbors_into(w, &mut nb);
+    nb.into_iter()
+        .filter(|&p| cycle.f(u0, p) <= fd)
+        .max_by_key(|&p| cycle.f(u0, p))
+        .expect("the cycle successor of w is a neighbor with f(w) < f ≤ f(d)")
+}
+
+/// Runs the sorted-MP algorithm, returning the multicast path.
+pub fn sorted_mp<T: Topology + ?Sized>(
+    topo: &T,
+    cycle: &HamiltonCycle,
+    mc: &MulticastSet,
+) -> PathRoute {
+    let sorted = prepare(topo, cycle, mc);
+    PathRoute::new(drive(topo, cycle, mc.source, mc.source, &sorted))
+}
+
+/// Runs the sorted-MC algorithm: the source is appended as a final
+/// "destination" so the message returns home, closing the cycle (§5.1's
+/// remark: give `u0` position `m + 1`, i.e. key `f(u0) + m`).
+pub fn sorted_mc<T: Topology + ?Sized>(
+    topo: &T,
+    cycle: &HamiltonCycle,
+    mc: &MulticastSet,
+) -> PathRoute {
+    let sorted = prepare(topo, cycle, mc);
+    if sorted.is_empty() {
+        // Nothing to acknowledge: the degenerate cycle stays at the source.
+        return PathRoute::new(vec![mc.source]);
+    }
+    let mut nodes = drive(topo, cycle, mc.source, mc.source, &sorted);
+    // Return leg: keep applying the greedy step with the wrapped key
+    // f(u0) + m until the source is reached again.
+    let m = cycle.len();
+    let target_key = cycle.f(mc.source, mc.source) + m;
+    let mut cur = *nodes.last().expect("path nonempty");
+    while cur != mc.source || nodes.len() == 1 {
+        let mut nb = Vec::new();
+        topo.neighbors_into(cur, &mut nb);
+        let next = nb
+            .into_iter()
+            .filter(|&p| wrapped_f(cycle, mc.source, p) <= target_key)
+            .max_by_key(|&p| wrapped_f(cycle, mc.source, p))
+            .expect("cycle successor always qualifies");
+        nodes.push(next);
+        cur = next;
+        if cur == mc.source {
+            break;
+        }
+    }
+    PathRoute::new(nodes)
+}
+
+/// `f` extended so the source's *second* visit sorts after everything:
+/// the source itself gets key `f(u0) + m`.
+fn wrapped_f(cycle: &HamiltonCycle, u0: NodeId, x: NodeId) -> usize {
+    if x == u0 {
+        cycle.f(u0, u0) + cycle.len()
+    } else {
+        cycle.f(u0, x)
+    }
+}
+
+/// Drives the per-hop routing part over a sorted destination list.
+fn drive<T: Topology + ?Sized>(
+    topo: &T,
+    cycle: &HamiltonCycle,
+    u0: NodeId,
+    start: NodeId,
+    sorted: &[NodeId],
+) -> Vec<NodeId> {
+    let mut nodes = vec![start];
+    let mut cur = start;
+    for &d in sorted {
+        while cur != d {
+            let next = route_step(topo, cycle, u0, cur, d);
+            nodes.push(next);
+            cur = next;
+        }
+    }
+    nodes
+}
+
+/// Convenience: the sorted-MP route wrapped as a [`MulticastRoute`].
+pub fn sorted_mp_route<T: Topology + ?Sized>(
+    topo: &T,
+    cycle: &HamiltonCycle,
+    mc: &MulticastSet,
+) -> MulticastRoute {
+    MulticastRoute::Path(sorted_mp(topo, cycle, mc))
+}
+
+/// Convenience: the sorted-MC route wrapped as a [`MulticastRoute`].
+pub fn sorted_mc_route<T: Topology + ?Sized>(
+    topo: &T,
+    cycle: &HamiltonCycle,
+    mc: &MulticastSet,
+) -> MulticastRoute {
+    MulticastRoute::Cycle(sorted_mc(topo, cycle, mc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::hamiltonian::{hypercube_cycle, mesh2d_cycle};
+    use mcast_topology::{Hypercube, Mesh2D};
+
+    #[test]
+    fn section_5_4_mesh_example() {
+        // §5.4: 4×4 mesh, K = {9, 0, 1, 6, 12} with u0 = 9. The sorted
+        // destination list is (12, 0, 1, 6) and the resulting MP is
+        // (9, 13, 12, 8, 4, 0, 1, 2, 6) — Fig 5.7.
+        let m = Mesh2D::new(4, 4);
+        let c = mesh2d_cycle(&m);
+        let mc = MulticastSet::new(9, [0, 1, 6, 12]);
+        assert_eq!(prepare(&m, &c, &mc), vec![12, 0, 1, 6]);
+        let p = sorted_mp(&m, &c, &mc);
+        assert_eq!(p.nodes(), &[9, 13, 12, 8, 4, 0, 1, 2, 6]);
+    }
+
+    #[test]
+    fn section_5_4_cube_example_prefix() {
+        // §5.4: 4-cube, u0 = 0011,
+        // K = {0011, 0100, 0111, 1100, 1010, 1111}. Sorted by f (Table
+        // 5.4): 0010(4), 0111(6), 0100(8), 1100(9), 1111(11), 1010(13) —
+        // destinations only: 0111, 0100, 1100, 1111, 1010.
+        let h = Hypercube::new(4);
+        let c = hypercube_cycle(&h);
+        let mc = MulticastSet::new(0b0011, [0b0100, 0b0111, 0b1100, 0b1010, 0b1111]);
+        assert_eq!(prepare(&h, &c, &mc), vec![0b0111, 0b0100, 0b1100, 0b1111, 0b1010]);
+        let p = sorted_mp(&h, &c, &mc);
+        let route = MulticastRoute::Path(p);
+        route.validate(&h, &mc).unwrap();
+    }
+
+    #[test]
+    fn mp_visits_destinations_in_f_order() {
+        let m = Mesh2D::new(6, 6);
+        let c = mesh2d_cycle(&m);
+        let mc = MulticastSet::new(17, [3, 30, 9, 22, 35, 0]);
+        let sorted = prepare(&m, &c, &mc);
+        let p = sorted_mp(&m, &c, &mc);
+        let mut pos = Vec::new();
+        for &d in &sorted {
+            pos.push(p.hops_to(d).expect("every destination visited"));
+        }
+        let mut sorted_pos = pos.clone();
+        sorted_pos.sort_unstable();
+        assert_eq!(pos, sorted_pos, "visit order follows f order");
+    }
+
+    #[test]
+    fn f_values_strictly_increase_along_path() {
+        // Fact 2 of Theorem 5.1.
+        let m = Mesh2D::new(8, 8);
+        let c = mesh2d_cycle(&m);
+        let mc = MulticastSet::new(20, [1, 13, 40, 63, 7, 55]);
+        let p = sorted_mp(&m, &c, &mc);
+        let keys: Vec<usize> = p.nodes().iter().map(|&x| c.f(20, x)).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys: {keys:?}");
+        p.validate(&m, false).unwrap();
+    }
+
+    #[test]
+    fn mc_returns_to_source_and_is_valid_cycle() {
+        let m = Mesh2D::new(4, 4);
+        let c = mesh2d_cycle(&m);
+        let mc = MulticastSet::new(9, [0, 1, 6, 12]);
+        let cyc = sorted_mc(&m, &c, &mc);
+        assert_eq!(cyc.nodes()[0], 9);
+        assert_eq!(*cyc.nodes().last().unwrap(), 9);
+        let route = MulticastRoute::Cycle(cyc);
+        route.validate(&m, &mc).unwrap();
+    }
+
+    #[test]
+    fn single_destination_mp_is_plain_path() {
+        let h = Hypercube::new(5);
+        let c = hypercube_cycle(&h);
+        let mc = MulticastSet::new(0, [31]);
+        let p = sorted_mp(&h, &c, &mc);
+        assert_eq!(p.nodes()[0], 0);
+        assert_eq!(*p.nodes().last().unwrap(), 31);
+        MulticastRoute::Path(p).validate(&h, &mc).unwrap();
+    }
+
+    #[test]
+    fn worst_case_traffic_bounded_by_cycle_length() {
+        // The MP never exceeds m − 1 channels (it walks the Hamiltonian
+        // cycle at worst); the MC never exceeds m.
+        let m = Mesh2D::new(6, 6);
+        let c = mesh2d_cycle(&m);
+        let all: Vec<NodeId> = (0..36).collect();
+        let mc = MulticastSet::new(0, all);
+        let p = sorted_mp(&m, &c, &mc);
+        assert!(p.len() <= 35, "got {}", p.len());
+        let cy = sorted_mc(&m, &c, &mc);
+        assert!(cy.len() <= 36, "got {}", cy.len());
+    }
+}

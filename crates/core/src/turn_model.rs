@@ -1,0 +1,242 @@
+//! Partially adaptive unicast routing for 2D meshes — the §8.2 research
+//! direction ("adaptive routing may be used… some adaptive unicast routing
+//! schemes are proposed [36][37]"), implemented as the *west-first* turn
+//! model of Glass & Ni [37].
+//!
+//! West-first forbids the two turns into the `−X` direction: a message
+//! makes all of its westward hops first, then routes *adaptively* among
+//! the remaining minimal directions (`+X, +Y, −Y`). Removing those two
+//! turns breaks every abstract turn cycle, so any minimal west-first
+//! route set is deadlock-free — verified here by building the full
+//! channel-dependency relation and checking acyclicity.
+
+use mcast_topology::mesh2d::{Dir2, Mesh2D};
+use mcast_topology::{Channel, NodeId};
+
+/// Whether the turn `from_dir → to_dir` is permitted by west-first
+/// routing (all turns into `−X` are forbidden; 180° reversals never occur
+/// in minimal routing).
+pub fn turn_allowed(from_dir: Dir2, to_dir: Dir2) -> bool {
+    if to_dir == Dir2::NegX {
+        from_dir == Dir2::NegX
+    } else {
+        !matches!(
+            (from_dir, to_dir),
+            (Dir2::PosX, Dir2::NegX)
+                | (Dir2::NegX, Dir2::PosX)
+                | (Dir2::PosY, Dir2::NegY)
+                | (Dir2::NegY, Dir2::PosY)
+        )
+    }
+}
+
+/// All minimal next hops west-first routing permits from `at` toward
+/// `dest`, given the incoming channel (`None` at the source).
+///
+/// Returns an empty vector only when `at == dest`.
+pub fn west_first_next(
+    mesh: &Mesh2D,
+    at: NodeId,
+    incoming: Option<Channel>,
+    dest: NodeId,
+) -> Vec<Channel> {
+    if at == dest {
+        return Vec::new();
+    }
+    let (x, y) = mesh.coords(at);
+    let (dx, dy) = mesh.coords(dest);
+    // Minimal directions toward the destination.
+    let mut dirs = Vec::with_capacity(2);
+    if dx < x {
+        // Westward traffic first — and *only* westward while west remains.
+        dirs.push(Dir2::NegX);
+    } else {
+        if dx > x {
+            dirs.push(Dir2::PosX);
+        }
+        if dy > y {
+            dirs.push(Dir2::PosY);
+        }
+        if dy < y {
+            dirs.push(Dir2::NegY);
+        }
+    }
+    let in_dir = incoming.map(|c| mesh.channel_direction(c));
+    dirs.into_iter()
+        .filter(|&d| in_dir.is_none_or(|i| turn_allowed(i, d)))
+        .map(|d| Channel::new(at, mesh.step(at, d).expect("minimal direction exists")))
+        .collect()
+}
+
+/// A deterministic minimal west-first path, with `select` choosing among
+/// the adaptive candidates at each hop (e.g. by congestion in a router,
+/// or round-robin in tests).
+pub fn west_first_path<F>(mesh: &Mesh2D, s: NodeId, t: NodeId, mut select: F) -> Vec<NodeId>
+where
+    F: FnMut(NodeId, &[Channel]) -> usize,
+{
+    let mut path = vec![s];
+    let mut incoming = None;
+    let mut cur = s;
+    while cur != t {
+        let options = west_first_next(mesh, cur, incoming, t);
+        assert!(!options.is_empty(), "west-first always has a minimal option");
+        let choice = options[select(cur, &options).min(options.len() - 1)];
+        incoming = Some(choice);
+        cur = choice.to;
+        path.push(cur);
+    }
+    path
+}
+
+/// Degree of adaptivity: the number of distinct minimal west-first paths
+/// between two nodes (exponential in principle; computed by DP over the
+/// minimal rectangle, valid because west moves are a fixed prefix).
+pub fn west_first_path_count(mesh: &Mesh2D, s: NodeId, t: NodeId) -> u128 {
+    let (sx, sy) = mesh.coords(s);
+    let (tx, ty) = mesh.coords(t);
+    if tx < sx {
+        // Westward prefix is forced; adaptivity only in the remaining
+        // column segment (single path).
+        return 1;
+    }
+    // Fully adaptive within the rectangle: C(dx + dy, dx) minimal paths.
+    let dx = (tx - sx) as u128;
+    let dy = sy.abs_diff(ty) as u128;
+    let mut c: u128 = 1;
+    for i in 0..dx.min(dy) {
+        c = c * (dx + dy - i) / (i + 1);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::cdg::cdg_from_routing;
+    use mcast_topology::Topology;
+
+    #[test]
+    fn west_first_paths_are_minimal() {
+        let m = Mesh2D::new(6, 6);
+        for s in 0..m.num_nodes() {
+            for t in 0..m.num_nodes() {
+                if s == t {
+                    continue;
+                }
+                // Greedy select 0 (deterministic) and round-robin.
+                let p0 = west_first_path(&m, s, t, |_, _| 0);
+                assert_eq!(p0.len() - 1, m.distance(s, t), "s={s} t={t}");
+                let mut i = 0;
+                let prr = west_first_path(&m, s, t, |_, opts| {
+                    i += 1;
+                    i % opts.len()
+                });
+                assert_eq!(prr.len() - 1, m.distance(s, t), "rr s={s} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_west_first_relation_is_deadlock_free() {
+        // Build the CDG over *every* legal (incoming, destination, next)
+        // triple — the union of all adaptive choices — and check
+        // acyclicity: the Glass–Ni guarantee.
+        let m = Mesh2D::new(5, 5);
+        let mut cdg = mcast_topology::cdg::ChannelDependencyGraph::new(m.channels());
+        for c in m.channels() {
+            for dest in 0..m.num_nodes() {
+                if dest == c.to {
+                    continue;
+                }
+                for next in west_first_next(&m, c.to, Some(c), dest) {
+                    cdg.add_dependency(c, next);
+                }
+            }
+        }
+        assert!(cdg.is_acyclic(), "west-first turn model must be deadlock-free");
+    }
+
+    #[test]
+    fn fully_adaptive_relation_has_cycles() {
+        // Contrast: allowing all minimal turns (no turn restriction)
+        // creates dependency cycles.
+        let m = Mesh2D::new(4, 4);
+        let mut cdg = mcast_topology::cdg::ChannelDependencyGraph::new(m.channels());
+        for c in m.channels() {
+            for dest in 0..m.num_nodes() {
+                if dest == c.to {
+                    continue;
+                }
+                let (x, y) = m.coords(c.to);
+                let (dx, dy) = m.coords(dest);
+                let mut dirs = Vec::new();
+                if dx > x {
+                    dirs.push(Dir2::PosX);
+                }
+                if dx < x {
+                    dirs.push(Dir2::NegX);
+                }
+                if dy > y {
+                    dirs.push(Dir2::PosY);
+                }
+                if dy < y {
+                    dirs.push(Dir2::NegY);
+                }
+                for d in dirs {
+                    let to = m.step(c.to, d).unwrap();
+                    if to != c.from {
+                        cdg.add_dependency(c, Channel::new(c.to, to));
+                    }
+                }
+            }
+        }
+        assert!(!cdg.is_acyclic(), "unrestricted minimal adaptive routing cycles");
+    }
+
+    #[test]
+    fn xfirst_is_a_west_first_subrelation() {
+        // Every XY route is a legal west-first route (X-first makes all X
+        // hops — including west — before any Y hop).
+        use crate::geometry::RoutingGeometry;
+        let m = Mesh2D::new(5, 4);
+        for s in 0..m.num_nodes() {
+            for t in 0..m.num_nodes() {
+                if s == t {
+                    continue;
+                }
+                let xy = m.shortest_path(s, t);
+                // Validate each hop against the west-first relation.
+                let mut incoming = None;
+                for w in xy.windows(2) {
+                    let legal = west_first_next(&m, w[0], incoming, t);
+                    let hop = Channel::new(w[0], w[1]);
+                    assert!(legal.contains(&hop), "XY hop {hop:?} illegal? s={s} t={t}");
+                    incoming = Some(hop);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptivity_counts() {
+        let m = Mesh2D::new(8, 8);
+        // East-bound traffic is fully adaptive: C(3+3, 3) = 20 paths.
+        assert_eq!(west_first_path_count(&m, m.node(0, 0), m.node(3, 3)), 20);
+        // West-bound traffic is deterministic.
+        assert_eq!(west_first_path_count(&m, m.node(5, 2), m.node(1, 6)), 1);
+        // Straight lines have one path.
+        assert_eq!(west_first_path_count(&m, m.node(0, 0), m.node(7, 0)), 1);
+    }
+
+    #[test]
+    fn cdg_from_routing_compat() {
+        // The deterministic select-0 west-first instance is also acyclic
+        // via the generic builder.
+        let m = Mesh2D::new(4, 4);
+        let cdg = cdg_from_routing(m.channels(), m.num_nodes(), |at, inc, dest| {
+            west_first_next(&m, at, inc, dest).first().copied()
+        });
+        assert!(cdg.is_acyclic());
+    }
+}

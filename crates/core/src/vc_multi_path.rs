@@ -1,0 +1,185 @@
+//! Virtual-channel partitioned multicast — the §8.2 future-work
+//! direction, implemented: "instead of partitioning the network into
+//! high-channel and low-channel networks … the network may be partitioned
+//! into many sub-networks. The set of destination nodes then may be
+//! distributed to different sub-networks to support multiple multicast
+//! paths."
+//!
+//! Each physical channel carries `lanes` virtual channels (classes). Lane
+//! `v` forms its own copy of the high- and low-channel subnetworks, which
+//! are acyclic exactly as in dual-path routing, so any assignment of
+//! sub-multicasts to lanes is deadlock-free. This implementation balances
+//! the sorted destination list across lanes in contiguous label ranges,
+//! giving up to `2·lanes` concurrent label-monotone paths while keeping
+//! per-path traffic close to dual-path's.
+
+use mcast_topology::{Labeling, Topology};
+
+use crate::dual_path::{prepare as dual_prepare, route_path};
+use crate::model::{MulticastSet, PathRoute};
+
+/// One lane's sub-multicast: the virtual-channel class and its path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LanePath {
+    /// Virtual-channel class this path must use.
+    pub lane: u8,
+    /// The label-monotone path.
+    pub path: PathRoute,
+}
+
+/// Splits a sorted half (high or low) into at most `lanes` contiguous
+/// chunks of near-equal size, preserving order.
+fn chunk<T: Clone>(sorted: &[T], lanes: usize) -> Vec<Vec<T>> {
+    if sorted.is_empty() || lanes == 0 {
+        return Vec::new();
+    }
+    let lanes = lanes.min(sorted.len());
+    let base = sorted.len() / lanes;
+    let extra = sorted.len() % lanes;
+    let mut out = Vec::with_capacity(lanes);
+    let mut i = 0;
+    for l in 0..lanes {
+        let take = base + usize::from(l < extra);
+        out.push(sorted[i..i + take].to_vec());
+        i += take;
+    }
+    out
+}
+
+/// Virtual-channel multicast routing: distributes `D_H` and `D_L` over
+/// `lanes` virtual copies of the high/low subnetworks, one label-monotone
+/// path per (side, lane).
+pub fn vc_multi_path<T: Topology + ?Sized>(
+    topo: &T,
+    labeling: &Labeling,
+    mc: &MulticastSet,
+    lanes: u8,
+) -> Vec<LanePath> {
+    assert!(lanes >= 1, "at least one virtual lane");
+    let (high, low) = dual_prepare(labeling, mc);
+    let mut out = Vec::new();
+    for (lane, dests) in chunk(&high, lanes as usize).into_iter().enumerate() {
+        if !dests.is_empty() {
+            out.push(LanePath {
+                lane: lane as u8,
+                path: route_path(topo, labeling, mc.source, &dests),
+            });
+        }
+    }
+    for (lane, dests) in chunk(&low, lanes as usize).into_iter().enumerate() {
+        if !dests.is_empty() {
+            out.push(LanePath {
+                lane: lane as u8,
+                path: route_path(topo, labeling, mc.source, &dests),
+            });
+        }
+    }
+    out
+}
+
+/// Total channels used (sum of path lengths).
+pub fn traffic(paths: &[LanePath]) -> usize {
+    paths.iter().map(|p| p.path.len()).sum()
+}
+
+/// Maximum source→destination hop count over the destinations of `mc`.
+pub fn max_dest_hops(paths: &[LanePath], mc: &MulticastSet) -> Option<usize> {
+    mc.destinations
+        .iter()
+        .map(|&d| paths.iter().find_map(|p| p.path.hops_to(d)))
+        .max()
+        .flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::NodeId;
+    use mcast_topology::labeling::{hypercube_gray, mesh2d_snake};
+    use mcast_topology::{Hypercube, Mesh2D};
+
+    #[test]
+    fn one_lane_is_exactly_dual_path() {
+        let m = Mesh2D::new(6, 6);
+        let l = mesh2d_snake(&m);
+        let mc = MulticastSet::new(14, [0, 35, 7, 29, 22, 3]);
+        let vc = vc_multi_path(&m, &l, &mc, 1);
+        let dual = crate::dual_path::dual_path(&m, &l, &mc);
+        let vc_paths: Vec<&PathRoute> = vc.iter().map(|p| &p.path).collect();
+        assert_eq!(vc_paths.len(), dual.len());
+        for (a, b) in vc_paths.iter().zip(&dual) {
+            assert_eq!(a.nodes(), b.nodes());
+        }
+        assert!(vc.iter().all(|p| p.lane == 0));
+    }
+
+    #[test]
+    fn lanes_cover_all_destinations_once() {
+        let h = Hypercube::new(5);
+        let l = hypercube_gray(&h);
+        let mc = MulticastSet::new(13, [0, 1, 5, 9, 17, 22, 28, 31, 30, 2, 7]);
+        for lanes in 1..=4u8 {
+            let vc = vc_multi_path(&h, &l, &mc, lanes);
+            // Every destination is *delivered* by exactly one lane (other
+            // lanes may pass through it without delivering — their header
+            // does not list it). Delivery = the destination lies on the
+            // path whose chunk it was assigned to; since chunks partition
+            // the destination set, it suffices that each destination lies
+            // on at least one path and the chunks are disjoint.
+            let mut assigned = 0usize;
+            for p in &vc {
+                let on_path: Vec<NodeId> = mc
+                    .destinations
+                    .iter()
+                    .copied()
+                    .filter(|&d| p.path.hops_to(d).is_some())
+                    .collect();
+                assert!(!on_path.is_empty());
+                assigned += on_path.len();
+            }
+            assert!(assigned >= mc.k(), "lanes={lanes}");
+            for &d in &mc.destinations {
+                assert!(
+                    vc.iter().any(|p| p.path.hops_to(d).is_some()),
+                    "lanes={lanes} dest={d} unreachable"
+                );
+            }
+            // Lane ids stay within bounds.
+            assert!(vc.iter().all(|p| p.lane < lanes));
+        }
+    }
+
+    #[test]
+    fn more_lanes_reduce_worst_case_reach() {
+        let m = Mesh2D::new(8, 8);
+        let l = mesh2d_snake(&m);
+        let mc = MulticastSet::new(0, (1..=20).map(|i| i * 3 % 64));
+        let reach1 = max_dest_hops(&vc_multi_path(&m, &l, &mc, 1), &mc).unwrap();
+        let reach4 = max_dest_hops(&vc_multi_path(&m, &l, &mc, 4), &mc).unwrap();
+        assert!(reach4 <= reach1, "4 lanes {reach4} > 1 lane {reach1}");
+    }
+
+    #[test]
+    fn paths_remain_label_monotone_per_lane() {
+        let m = Mesh2D::new(6, 6);
+        let l = mesh2d_snake(&m);
+        let mc = MulticastSet::new(20, [0, 1, 8, 30, 33, 35, 15, 4]);
+        for p in vc_multi_path(&m, &l, &mc, 3) {
+            let labels: Vec<usize> = p.path.nodes().iter().map(|&n| l.label(n)).collect();
+            let inc = labels[1] > labels[0];
+            assert!(labels.windows(2).all(|w| (w[1] > w[0]) == inc), "{labels:?}");
+        }
+    }
+
+    #[test]
+    fn chunking_is_balanced_and_order_preserving() {
+        let v: Vec<usize> = (0..10).collect();
+        let c = chunk(&v, 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], vec![0, 1, 2, 3]);
+        assert_eq!(c[1], vec![4, 5, 6]);
+        assert_eq!(c[2], vec![7, 8, 9]);
+        assert!(chunk(&v, 0).is_empty());
+        assert_eq!(chunk(&v[..2], 5).len(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! The X-first multicast (MT) algorithm of §5.3, Fig 5.5 — the natural
+//! extension of XY unicast routing to multicast.
+//!
+//! At each forward node the destination list is split into `D_{+X}`
+//! (`x > x0`), `D_{−X}` (`x < x0`), `D_{+Y}` (`x = x0, y > y0`) and
+//! `D_{−Y}` (`x = x0, y < y0`); each sublist rides one message copy to the
+//! corresponding neighbor. Every source→destination path is an XY shortest
+//! path, so the result is a multicast tree in the MT sense — but, as §6.1
+//! shows, the scheme is *not* deadlock-free under wormhole switching
+//! without channel doubling.
+
+use mcast_topology::mesh2d::{Dir2, Mesh2D};
+use mcast_topology::NodeId;
+
+use crate::model::{MulticastSet, TreeRoute};
+
+/// One routing decision (Fig 5.5): splits `dests` by direction from
+/// `node`. Returned in `+X, −X, +Y, −Y` order; empty sublists are kept so
+/// callers can index by [`Dir2::ALL`].
+pub fn xfirst_split(mesh: &Mesh2D, node: NodeId, dests: &[NodeId]) -> [Vec<NodeId>; 4] {
+    let (x0, y0) = mesh.coords(node);
+    let mut out: [Vec<NodeId>; 4] = Default::default();
+    for &d in dests {
+        let (x, y) = mesh.coords(d);
+        if x > x0 {
+            out[0].push(d);
+        } else if x < x0 {
+            out[1].push(d);
+        } else if y > y0 {
+            out[2].push(d);
+        } else if y < y0 {
+            out[3].push(d);
+        }
+        // x == x0 && y == y0: deliver locally, nothing to forward.
+    }
+    out
+}
+
+/// Runs the X-first multicast algorithm, returning the multicast tree.
+pub fn xfirst_tree(mesh: &Mesh2D, mc: &MulticastSet) -> TreeRoute {
+    let mut tree = TreeRoute::new(mc.source);
+    let mut work: Vec<(NodeId, Vec<NodeId>)> = vec![(mc.source, mc.destinations.clone())];
+    while let Some((node, dests)) = work.pop() {
+        let split = xfirst_split(mesh, node, &dests);
+        for (dir, sublist) in Dir2::ALL.into_iter().zip(split) {
+            if sublist.is_empty() {
+                continue;
+            }
+            let next = mesh
+                .step(node, dir)
+                .expect("a destination in direction `dir` implies the neighbor exists");
+            if !tree.contains(next) {
+                tree.attach(node, next);
+            }
+            work.push((next, sublist));
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::Topology;
+
+    fn example_6x6() -> (Mesh2D, MulticastSet) {
+        // §5.4 example: 6×6 mesh, source (3,2), destinations (2,0), (3,0),
+        // (4,0), (1,1), (5,1), (0,2), (1,3), (2,5), (3,5), (5,5).
+        let m = Mesh2D::new(6, 6);
+        let n = |x: usize, y: usize| m.node(x, y);
+        let mc = MulticastSet::new(
+            n(3, 2),
+            [
+                n(2, 0),
+                n(3, 0),
+                n(4, 0),
+                n(1, 1),
+                n(5, 1),
+                n(0, 2),
+                n(1, 3),
+                n(2, 5),
+                n(3, 5),
+                n(5, 5),
+            ],
+        );
+        (m, mc)
+    }
+
+    #[test]
+    fn section_5_4_first_split() {
+        // The text's split at (3,2):
+        // D_{+X} = {(4,0), (5,1), (5,5)}, D_{−X} = {(2,5), (2,0), (1,3),
+        // (1,1), (0,2)}, D_{+Y} = {(3,5)}, D_{−Y} = {(3,0)}.
+        let (m, mc) = example_6x6();
+        let split = xfirst_split(&m, mc.source, &mc.destinations);
+        let coords =
+            |v: &Vec<NodeId>| -> Vec<(usize, usize)> { v.iter().map(|&n| m.coords(n)).collect() };
+        let mut px = coords(&split[0]);
+        px.sort();
+        assert_eq!(px, vec![(4, 0), (5, 1), (5, 5)]);
+        let mut nx = coords(&split[1]);
+        nx.sort();
+        assert_eq!(nx, vec![(0, 2), (1, 1), (1, 3), (2, 0), (2, 5)]);
+        assert_eq!(coords(&split[2]), vec![(3, 5)]);
+        assert_eq!(coords(&split[3]), vec![(3, 0)]);
+    }
+
+    #[test]
+    fn section_5_4_total_traffic() {
+        // The text reports 24 for the pattern drawn in Fig 5.11; the
+        // algorithm of Fig 5.5 executed faithfully shares one more trunk
+        // channel and uses 23 (hand-verified channel-by-channel union of
+        // the XY paths). The comparison that matters — X-first uses more
+        // traffic than divided greedy — is asserted in
+        // `divided_greedy::tests`.
+        let (m, mc) = example_6x6();
+        let t = xfirst_tree(&m, &mc);
+        t.validate(&m).unwrap();
+        assert_eq!(t.traffic(), 23);
+    }
+
+    #[test]
+    fn xfirst_paths_are_shortest() {
+        // MT property: every destination is reached at graph distance.
+        let (m, mc) = example_6x6();
+        let t = xfirst_tree(&m, &mc);
+        for &d in &mc.destinations {
+            assert_eq!(t.depth_of(d), Some(m.distance(mc.source, d)));
+        }
+    }
+
+    #[test]
+    fn xfirst_handles_collinear_and_local_destinations() {
+        let m = Mesh2D::new(5, 5);
+        let mc = MulticastSet::new(m.node(2, 2), [m.node(2, 2), m.node(2, 4), m.node(2, 0)]);
+        let t = xfirst_tree(&m, &mc);
+        assert_eq!(t.traffic(), 4);
+        crate::model::MulticastRoute::Tree(t).validate(&m, &mc).unwrap();
+    }
+
+    #[test]
+    fn xfirst_broadcast_spans_the_mesh() {
+        let m = Mesh2D::new(4, 4);
+        let all: Vec<NodeId> = (0..16).collect();
+        let mc = MulticastSet::new(5, all);
+        let t = xfirst_tree(&m, &mc);
+        assert_eq!(t.traffic(), 15);
+        assert_eq!(t.nodes().len(), 16);
+    }
+}

@@ -1,0 +1,172 @@
+//! Closed-scenario replays of the dissertation's deadlock configurations
+//! (§6.1) and their resolutions (§6.2).
+//!
+//! Each scenario injects a fixed set of simultaneous multicasts into an
+//! otherwise idle network and runs to quiescence; a `false` return from
+//! the engine means the worms are wedged holding channels — an actual
+//! deadlock, observed rather than asserted.
+
+use mcast_core::model::MulticastSet;
+use mcast_topology::{Hypercube, Mesh2D, Topology};
+
+use crate::engine::{Engine, SimConfig};
+use crate::network::Network;
+use crate::routers::MulticastRouter;
+
+/// Outcome of a closed scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// Whether every message was delivered.
+    pub completed: bool,
+    /// Messages still in flight at quiescence (0 when completed).
+    pub stuck_messages: usize,
+    /// Simulated time at quiescence (ns).
+    pub finished_at: u64,
+}
+
+/// Injects every multicast at `t = 0` through `router` and runs to
+/// quiescence.
+pub fn run_closed_scenario(
+    router: &dyn MulticastRouter,
+    topo_network: Network,
+    config: SimConfig,
+    multicasts: &[MulticastSet],
+) -> ScenarioOutcome {
+    let mut engine = Engine::new(topo_network, config);
+    for mc in multicasts {
+        let plan = router.plan(mc);
+        engine.inject(&plan);
+    }
+    let completed = engine.run_to_quiescence();
+    ScenarioOutcome {
+        completed,
+        stuck_messages: engine.in_flight(),
+        finished_at: engine.now(),
+    }
+}
+
+/// Fig 6.1's configuration: nodes 000 and 001 of a 3-cube simultaneously
+/// broadcast with nCUBE-2 (E-cube tree) routing.
+pub fn fig_6_1_broadcasts(cube: Hypercube) -> Vec<MulticastSet> {
+    let all: Vec<usize> = (0..cube.num_nodes()).collect();
+    vec![
+        MulticastSet::new(0b000, all.clone()),
+        MulticastSet::new(0b001, all),
+    ]
+}
+
+/// Fig 6.4's configuration on a 3×4 (width 4, height 3) mesh: two
+/// multicasts whose X-first trees hold each other's channels.
+///
+/// `M0`: source (1,1), destinations (0,1)-side and (3,1)-side;
+/// `M1`: source (2,1), destinations (0,1) and (3,0).
+pub fn fig_6_4_multicasts(mesh: &Mesh2D) -> Vec<MulticastSet> {
+    vec![
+        MulticastSet::new(mesh.node(1, 1), [mesh.node(0, 2), mesh.node(3, 1)]),
+        MulticastSet::new(mesh.node(2, 1), [mesh.node(0, 1), mesh.node(3, 0)]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routers::{
+        DoubleChannelTreeRouter, DualPathRouter, EcubeTreeRouter, MultiPathMeshRouter,
+        XFirstTreeRouter,
+    };
+
+    #[test]
+    fn fig_6_1_ncube2_broadcasts_deadlock() {
+        // §6.1: "The two broadcasts will block forever."
+        let cube = Hypercube::new(3);
+        let router = EcubeTreeRouter::new(cube);
+        let outcome = run_closed_scenario(
+            &router,
+            Network::new(&cube, 1),
+            SimConfig::default(),
+            &fig_6_1_broadcasts(cube),
+        );
+        assert!(!outcome.completed, "nCUBE-2 style broadcast trees must deadlock");
+        assert_eq!(outcome.stuck_messages, 2);
+    }
+
+    #[test]
+    fn fig_6_4_xfirst_trees_deadlock() {
+        let mesh = Mesh2D::new(4, 3);
+        let router = XFirstTreeRouter::new(mesh);
+        let outcome = run_closed_scenario(
+            &router,
+            Network::new(&mesh, 1),
+            SimConfig::default(),
+            &fig_6_4_multicasts(&mesh),
+        );
+        assert!(!outcome.completed, "X-first multicast trees must deadlock (Fig 6.4)");
+        assert_eq!(outcome.stuck_messages, 2);
+    }
+
+    #[test]
+    fn double_channel_tree_resolves_fig_6_4() {
+        // Assertion 1: the double-channel scheme is deadlock-free.
+        let mesh = Mesh2D::new(4, 3);
+        let router = DoubleChannelTreeRouter::new(mesh);
+        let outcome = run_closed_scenario(
+            &router,
+            Network::new(&mesh, router.required_classes()),
+            SimConfig::default(),
+            &fig_6_4_multicasts(&mesh),
+        );
+        assert!(outcome.completed, "double-channel X-first must complete");
+    }
+
+    #[test]
+    fn dual_path_resolves_both_configurations() {
+        let mesh = Mesh2D::new(4, 3);
+        let router = DualPathRouter::mesh(mesh);
+        let outcome = run_closed_scenario(
+            &router,
+            Network::new(&mesh, 1),
+            SimConfig::default(),
+            &fig_6_4_multicasts(&mesh),
+        );
+        assert!(outcome.completed);
+
+        let cube = Hypercube::new(3);
+        let router = DualPathRouter::hypercube(cube);
+        let outcome = run_closed_scenario(
+            &router,
+            Network::new(&cube, 1),
+            SimConfig::default(),
+            &fig_6_1_broadcasts(cube),
+        );
+        assert!(outcome.completed, "dual-path broadcasts must not deadlock");
+    }
+
+    #[test]
+    fn saturating_simultaneous_multicasts_complete_with_path_routing() {
+        // Stress: every node of a 4×4 mesh simultaneously multicasts to 5
+        // destinations; path-based routing must drain completely.
+        let mesh = Mesh2D::new(4, 4);
+        for router in [true, false] {
+            let mcs: Vec<MulticastSet> = (0..16)
+                .map(|s| MulticastSet::new(s, (1..=5).map(|i| (s + i * 3) % 16)))
+                .collect();
+            let outcome = if router {
+                run_closed_scenario(
+                    &DualPathRouter::mesh(mesh),
+                    Network::new(&mesh, 1),
+                    SimConfig::default(),
+                    &mcs,
+                )
+            } else {
+                run_closed_scenario(
+                    &MultiPathMeshRouter::new(mesh),
+                    Network::new(&mesh, 1),
+                    SimConfig::default(),
+                    &mcs,
+                )
+            };
+            assert!(outcome.completed, "path routing drained (dual={router})");
+            assert_eq!(outcome.stuck_messages, 0);
+        }
+    }
+}

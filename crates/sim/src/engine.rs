@@ -1,0 +1,1109 @@
+//! The flit-level discrete-event wormhole engine (the CSIM substitute).
+//!
+//! Mechanics (DESIGN.md §5):
+//!
+//! * a message is one or more *worms*; each worm claims a fixed set of
+//!   channels (its plan) as its header advances;
+//! * channels are granted whole-worm-exclusive, FIFO per channel; a
+//!   blocked header waits in the queue while the worm's flits stay in the
+//!   network (wormhole, not virtual cut-through);
+//! * each node buffers at most `buffer_flits` flits per worm (single-flit
+//!   input buffers by default), so a blocked header exerts backpressure
+//!   up the worm;
+//! * tree worms replicate flits at branch nodes; a flit is retained until
+//!   *every* branch has taken it, and no flit flows through a branch node
+//!   until the worm owns *all* of that node's branch channels — the
+//!   lock-step, all-channels-before-transmission behaviour of §6.1 that
+//!   makes undoubled tree multicast deadlock;
+//! * a flit takes `flit_time` to cross a channel; header flits pay an
+//!   extra `routing_delay` (the per-node routing decision);
+//! * a destination has fully received the message when the tail flit
+//!   crosses its incoming channel; message latency is measured to the
+//!   last destination.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use mcast_topology::NodeId;
+
+use crate::network::{ChannelId, Network};
+use crate::plan::{ClassChoice, DeliveryPlan, PlanWorm};
+
+/// Simulated time in nanoseconds.
+pub type Time = u64;
+
+/// Message id handed back by [`Engine::inject`].
+pub type MessageId = usize;
+
+/// Physical parameters of the simulated machine (§7.2 defaults: 20
+/// Mbyte/s channels, 128-byte messages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Flit width in bytes (per-flit channel transfer granularity).
+    pub flit_bytes: u32,
+    /// Channel bandwidth in bytes per second.
+    pub channel_bandwidth: u64,
+    /// Extra delay charged to the header flit at every hop (routing
+    /// decision time).
+    pub routing_delay_ns: u64,
+    /// Input-buffer capacity per channel, in flits.
+    pub buffer_flits: u32,
+    /// Message payload size in bytes.
+    pub message_bytes: u32,
+    /// Per-hop circuit-establishment time for circuit-switched worms
+    /// (control packet transfer + routing decision, §2.2.3).
+    pub circuit_setup_ns: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            flit_bytes: 8,
+            channel_bandwidth: 20_000_000,
+            routing_delay_ns: 50,
+            buffer_flits: 1,
+            message_bytes: 128,
+            // 8-byte control packet at 20 Mbyte/s plus the routing delay.
+            circuit_setup_ns: 450,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Time for one flit to cross a channel, in nanoseconds.
+    pub fn flit_time_ns(&self) -> Time {
+        (self.flit_bytes as u64 * 1_000_000_000).div_ceil(self.channel_bandwidth)
+    }
+
+    /// Flits per message: payload plus one header flit.
+    pub fn flits_per_message(&self) -> u32 {
+        self.message_bytes.div_ceil(self.flit_bytes) + 1
+    }
+}
+
+/// A finished multicast delivery.
+#[derive(Debug, Clone)]
+pub struct CompletedMessage {
+    /// Message id.
+    pub id: MessageId,
+    /// Source node.
+    pub source: NodeId,
+    /// Injection time (when the message entered the source queue).
+    pub injected_at: Time,
+    /// Time the last destination finished receiving.
+    pub completed_at: Time,
+    /// Per-destination completion times (plan order).
+    pub deliveries: Vec<(NodeId, Time)>,
+    /// Channels the message claimed (its traffic).
+    pub traffic: usize,
+}
+
+#[derive(Debug, Default)]
+struct ChanState {
+    owner: Option<(usize, usize)>,
+    queue: VecDeque<(usize, usize)>,
+}
+
+/// One edge of a worm.
+#[derive(Debug, Clone)]
+struct EdgeState {
+    from: NodeId,
+    to: NodeId,
+    class: ClassChoice,
+    /// Edge feeding this one (`None` = fed directly by the source).
+    upstream: Option<usize>,
+    /// Edges fed by this edge's head node.
+    children: Vec<usize>,
+    /// Branch group this edge belongs to (siblings sharing a feed node).
+    group: usize,
+    /// Channel granted to this edge.
+    channel: Option<ChannelId>,
+    /// Whether a channel request is pending in some queue.
+    waiting: bool,
+    /// Flits that have fully crossed this edge.
+    crossed: u32,
+    /// Transfer in progress.
+    busy: bool,
+    /// Tail has crossed and the channel was released.
+    done: bool,
+}
+
+#[derive(Debug, Clone)]
+struct GroupState {
+    members: usize,
+    owned: usize,
+}
+
+/// How a worm moves its flits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WormKind {
+    /// Pipelined wormhole path.
+    Path,
+    /// Lock-step replicated tree.
+    Tree,
+    /// Circuit-switched path: reserve the whole circuit before streaming.
+    Circuit,
+}
+
+#[derive(Debug)]
+struct WormState {
+    message: MessageId,
+    kind: WormKind,
+    edges: Vec<EdgeState>,
+    groups: Vec<GroupState>,
+    edges_done: usize,
+    active: bool,
+}
+
+#[derive(Debug)]
+struct MessageState {
+    id: MessageId,
+    source: NodeId,
+    injected_at: Time,
+    destinations: Vec<NodeId>,
+    delivered: Vec<Option<Time>>,
+    worms_total: usize,
+    worms_done: usize,
+    traffic: usize,
+    /// Deliveries recorded so far.
+    delivered_count: usize,
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    TransferComplete { worm: usize, edge: usize },
+    /// Deferred channel request (circuit establishment chaining).
+    RequestChannel { worm: usize, edge: usize },
+}
+
+/// The discrete-event wormhole simulator.
+///
+/// ```
+/// use mcast_core::model::MulticastSet;
+/// use mcast_sim::engine::{Engine, SimConfig};
+/// use mcast_sim::network::Network;
+/// use mcast_sim::routers::{DualPathRouter, MulticastRouter};
+/// use mcast_topology::Mesh2D;
+///
+/// let mesh = Mesh2D::new(4, 4);
+/// let router = DualPathRouter::mesh(mesh);
+/// let mut engine = Engine::new(Network::new(&mesh, 1), SimConfig::default());
+/// engine.inject(&router.plan(&MulticastSet::new(0, [15, 3, 12])));
+/// assert!(engine.run_to_quiescence());
+/// let done = engine.take_completed();
+/// assert_eq!(done[0].deliveries.len(), 3);
+/// ```
+pub struct Engine {
+    config: SimConfig,
+    network: Network,
+    channels: Vec<ChanState>,
+    worms: Vec<WormState>,
+    worm_free: Vec<usize>,
+    messages: Vec<Option<MessageState>>,
+    completed: Vec<CompletedMessage>,
+    events: BinaryHeap<Reverse<(Time, u64, Event)>>,
+    now: Time,
+    seq: u64,
+    in_flight: usize,
+    next_message_id: MessageId,
+    flit_time: Time,
+    flits: u32,
+    /// Cumulative transfer time per channel (utilization accounting).
+    busy_ns: Vec<Time>,
+    /// Channel whose grant/release history is traced to stderr (debug aid,
+    /// set from the `MCAST_TRACE_CHAN` environment variable).
+    trace_chan: Option<ChannelId>,
+}
+
+impl Engine {
+    /// Creates an engine over a network with the given physical
+    /// parameters.
+    pub fn new(network: Network, config: SimConfig) -> Self {
+        let channels = (0..network.num_channels()).map(|_| ChanState::default()).collect();
+        Engine {
+            flit_time: config.flit_time_ns(),
+            flits: config.flits_per_message(),
+            busy_ns: vec![0; network.num_channels()],
+            trace_chan: std::env::var("MCAST_TRACE_CHAN")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            config,
+            network,
+            channels,
+            worms: Vec::new(),
+            worm_free: Vec::new(),
+            messages: Vec::new(),
+            completed: Vec::new(),
+            events: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            in_flight: 0,
+            next_message_id: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The physical configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The network fabric.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Messages injected but not yet fully delivered.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Drains the list of completed messages.
+    pub fn take_completed(&mut self) -> Vec<CompletedMessage> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Injects a multicast message at the current simulation time.
+    /// Returns its id. Zero-worm plans complete immediately.
+    pub fn inject(&mut self, plan: &DeliveryPlan) -> MessageId {
+        let id = self.next_message_id;
+        self.next_message_id += 1;
+        let traffic = plan.traffic();
+        let msg = MessageState {
+            id,
+            source: plan.source,
+            injected_at: self.now,
+            destinations: plan.destinations.clone(),
+            delivered: vec![None; plan.destinations.len()],
+            worms_total: plan.worms.len(),
+            worms_done: 0,
+            traffic,
+            delivered_count: 0,
+        };
+        self.messages.push(Some(msg));
+        let msg_slot = self.messages.len() - 1;
+        debug_assert_eq!(msg_slot, id);
+        self.in_flight += 1;
+
+        // Degenerate source-only "deliveries" (destination == source)
+        // complete at injection.
+        {
+            let m = self.messages[msg_slot].as_mut().expect("just inserted");
+            for (i, &d) in m.destinations.clone().iter().enumerate() {
+                if d == m.source {
+                    m.delivered[i] = Some(self.now);
+                    m.delivered_count += 1;
+                }
+            }
+        }
+
+        if plan.worms.is_empty() {
+            self.finish_message(id);
+            return id;
+        }
+
+        let worm_plans: Vec<_> = plan.worms.clone();
+        for w in worm_plans {
+            let widx = self.build_worm(id, &w);
+            match self.worms[widx].kind {
+                WormKind::Circuit => {
+                    // The control packet claims one channel at a time.
+                    self.request_channel(widx, 0);
+                }
+                WormKind::Path | WormKind::Tree => {
+                    // Request the root-group channels.
+                    let root_edges: Vec<usize> = (0..self.worms[widx].edges.len())
+                        .filter(|&e| self.worms[widx].edges[e].upstream.is_none())
+                        .collect();
+                    for e in root_edges {
+                        self.request_channel(widx, e);
+                    }
+                }
+            }
+        }
+        id
+    }
+
+    fn build_worm(&mut self, message: MessageId, plan: &PlanWorm) -> usize {
+        let kind = match plan {
+            PlanWorm::Path(_) => WormKind::Path,
+            PlanWorm::Tree(_) => WormKind::Tree,
+            PlanWorm::Circuit(_) => WormKind::Circuit,
+        };
+        let mut edges: Vec<EdgeState> = Vec::new();
+        match plan {
+            PlanWorm::Path(p) | PlanWorm::Circuit(p) => {
+                assert!(p.nodes.len() >= 2, "path worm needs at least one hop");
+                for (i, w) in p.nodes.windows(2).enumerate() {
+                    edges.push(EdgeState {
+                        from: w[0],
+                        to: w[1],
+                        class: p.class,
+                        upstream: if i == 0 { None } else { Some(i - 1) },
+                        children: if i + 2 < p.nodes.len() { vec![i + 1] } else { vec![] },
+                        group: i, // every path edge is its own group
+                        channel: None,
+                        waiting: false,
+                        crossed: 0,
+                        busy: false,
+                        done: false,
+                    });
+                }
+            }
+            PlanWorm::Tree(t) => {
+                assert!(!t.edges.is_empty(), "tree worm needs at least one edge");
+                // Map head node -> edge index that feeds it.
+                let mut feeder: std::collections::HashMap<NodeId, usize> = Default::default();
+                for (i, &(from, to, class)) in t.edges.iter().enumerate() {
+                    let upstream = if from == t.root { None } else { Some(feeder[&from]) };
+                    assert!(
+                        feeder.insert(to, i).is_none(),
+                        "tree plan visits node {to} twice"
+                    );
+                    edges.push(EdgeState {
+                        from,
+                        to,
+                        class,
+                        upstream,
+                        children: Vec::new(),
+                        group: usize::MAX, // assigned below
+                        channel: None,
+                        waiting: false,
+                        crossed: 0,
+                        busy: false,
+                        done: false,
+                    });
+                }
+                for i in 0..edges.len() {
+                    if let Some(u) = edges[i].upstream {
+                        edges[u].children.push(i);
+                    }
+                }
+            }
+        }
+        // Group assignment: siblings sharing the same feeding edge (or the
+        // root) form one branch group — the nCUBE-2 all-or-nothing
+        // acquisition unit.
+        let mut groups: Vec<GroupState> = Vec::new();
+        if kind == WormKind::Circuit {
+            // The whole circuit is one all-or-nothing reservation unit.
+            groups.push(GroupState { members: edges.len(), owned: 0 });
+            for e in edges.iter_mut() {
+                e.group = 0;
+            }
+        } else if let PlanWorm::Tree(_) = plan {
+            use std::collections::HashMap;
+            let mut by_feed: HashMap<Option<usize>, usize> = HashMap::new();
+            #[allow(clippy::needless_range_loop)] // the closure below also borrows `groups`
+            for i in 0..edges.len() {
+                let key = edges[i].upstream;
+                let g = *by_feed.entry(key).or_insert_with(|| {
+                    groups.push(GroupState { members: 0, owned: 0 });
+                    groups.len() - 1
+                });
+                edges[i].group = g;
+                groups[g].members += 1;
+            }
+        } else {
+            for (i, e) in edges.iter_mut().enumerate() {
+                e.group = i;
+                groups.push(GroupState { members: 1, owned: 0 });
+            }
+        }
+
+        let state = WormState { message, kind, edges, groups, edges_done: 0, active: true };
+        if let Some(slot) = self.worm_free.pop() {
+            self.worms[slot] = state;
+            slot
+        } else {
+            self.worms.push(state);
+            self.worms.len() - 1
+        }
+    }
+
+    /// Requests a channel for edge `e` of worm `w`: grabs an idle copy if
+    /// one exists, otherwise queues on the shortest queue (class 0 on
+    /// ties).
+    fn request_channel(&mut self, w: usize, e: usize) {
+        let (from, to, class) = {
+            let es = &self.worms[w].edges[e];
+            if es.channel.is_some() || es.waiting || es.done {
+                // Idempotence: circuit establishment and header arrival can
+                // both ask for the same edge; a second request must not
+                // enqueue a duplicate (a stale duplicate would re-grant an
+                // already-released channel to a finished worm, orphaning
+                // it forever).
+                return;
+            }
+            (es.from, es.to, es.class)
+        };
+        let candidates: Vec<ChannelId> = match class {
+            ClassChoice::Fixed(c) => {
+                let id = self
+                    .network
+                    .id_of(mcast_topology::Channel::with_class(from, to, c))
+                    .unwrap_or_else(|| panic!("channel {from}->{to} class {c} not in network"));
+                vec![id]
+            }
+            ClassChoice::Any => {
+                let ids = self.network.ids_of_link(from, to);
+                assert!(!ids.is_empty(), "no channel {from}->{to} in network");
+                ids
+            }
+        };
+        // Idle copy?
+        if let Some(&idle) = candidates.iter().find(|&&c| self.channels[c].owner.is_none()) {
+            self.grant(idle, w, e);
+            return;
+        }
+        // Queue on the least-loaded copy.
+        let target = *candidates
+            .iter()
+            .min_by_key(|&&c| (self.channels[c].queue.len(), self.network.channel(c).class))
+            .expect("candidates nonempty");
+        self.channels[target].queue.push_back((w, e));
+        self.worms[w].edges[e].waiting = true;
+    }
+
+    fn grant(&mut self, chan: ChannelId, w: usize, e: usize) {
+        if self.trace_chan == Some(chan) {
+            eprintln!(
+                "t={} GRANT chan {chan} -> worm {w} edge {e} (msg {})",
+                self.now, self.worms[w].message
+            );
+        }
+        assert!(self.channels[chan].owner.is_none(), "double grant of channel {chan}");
+        self.channels[chan].owner = Some((w, e));
+        let g = self.worms[w].edges[e].group;
+        self.worms[w].edges[e].channel = Some(chan);
+        self.worms[w].edges[e].waiting = false;
+        self.worms[w].groups[g].owned += 1;
+        if self.worms[w].kind == WormKind::Circuit {
+            // Circuit establishment: the control packet advances to the
+            // next hop after its per-hop setup time.
+            let next = e + 1;
+            if next < self.worms[w].edges.len() {
+                self.schedule(
+                    self.now + self.config.circuit_setup_ns,
+                    Event::RequestChannel { worm: w, edge: next },
+                );
+            }
+        }
+        if self.worms[w].groups[g].owned == self.worms[w].groups[g].members {
+            // Group open: all its edges may start moving flits.
+            let members: Vec<usize> = (0..self.worms[w].edges.len())
+                .filter(|&i| self.worms[w].edges[i].group == g)
+                .collect();
+            for i in members {
+                self.try_start(w, i);
+            }
+        }
+    }
+
+    fn release(&mut self, chan: ChannelId) {
+        if self.trace_chan == Some(chan) {
+            eprintln!("t={} RELEASE chan {chan} (owner {:?})", self.now, self.channels[chan].owner);
+        }
+        self.channels[chan].owner = None;
+        while let Some((w, e)) = self.channels[chan].queue.pop_front() {
+            // Stale entries can linger if a worm was granted a different
+            // copy; skip anything no longer waiting.
+            if self.worms[w].active && self.worms[w].edges[e].waiting {
+                self.grant(chan, w, e);
+                return;
+            }
+        }
+    }
+
+    /// Whether edge `e` can transfer its next flit now; if so, schedule
+    /// the completion event.
+    fn try_start(&mut self, w: usize, e: usize) {
+        if !self.worms[w].active {
+            return;
+        }
+        let flit = {
+            let es = &self.worms[w].edges[e];
+            if es.busy || es.done || es.channel.is_none() {
+                return;
+            }
+            es.crossed
+        };
+        if flit >= self.flits {
+            return;
+        }
+        let g = self.worms[w].edges[e].group;
+        if self.worms[w].groups[g].owned < self.worms[w].groups[g].members {
+            return; // lock-step: the branch group is not fully owned yet
+        }
+        // Upstream flit availability.
+        if let Some(u) = self.worms[w].edges[e].upstream {
+            if self.worms[w].edges[u].crossed <= flit {
+                return;
+            }
+        } else if self.worms[w].kind == WormKind::Tree {
+            // Source-fed tree edge: the branches replicate flits from a
+            // single injection buffer of `buffer_flits` capacity, so a
+            // flit is discarded (making room for the next) only when
+            // *every* root branch has taken it — the source-side
+            // lock-step of §6.1. (Path and circuit worms stream from the
+            // source unconstrained.)
+            let g = self.worms[w].edges[e].group;
+            let min_taken = self.worms[w]
+                .edges
+                .iter()
+                .filter(|s| s.group == g)
+                .map(|s| s.crossed + u32::from(s.busy))
+                .min()
+                .expect("group has members");
+            if flit >= min_taken + self.config.buffer_flits {
+                return;
+            }
+        }
+        // Downstream buffer space at the head node: flits that crossed e
+        // but have not left through every child yet. A flit currently on
+        // the wire of a child channel has already left the buffer (its
+        // slot frees at transfer start, as in credit-based flow control),
+        // so children mid-transfer count toward the outflow.
+        {
+            let es = &self.worms[w].edges[e];
+            if !es.children.is_empty() {
+                let outflow = es
+                    .children
+                    .iter()
+                    .map(|&c| {
+                        let ch = &self.worms[w].edges[c];
+                        ch.crossed + u32::from(ch.busy)
+                    })
+                    .min()
+                    .unwrap();
+                if es.crossed - outflow.min(es.crossed) >= self.config.buffer_flits {
+                    return;
+                }
+            }
+        }
+        // Start the transfer.
+        self.worms[w].edges[e].busy = true;
+        let dt = self.flit_time + if flit == 0 { self.config.routing_delay_ns } else { 0 };
+        let chan = self.worms[w].edges[e].channel.expect("transfer requires ownership");
+        self.busy_ns[chan] += dt;
+        self.schedule(self.now + dt, Event::TransferComplete { worm: w, edge: e });
+        // Starting frees a buffer slot upstream (flow-control credit at
+        // transfer start): retry the feeder, or the root-group siblings.
+        if let Some(u) = self.worms[w].edges[e].upstream {
+            self.try_start(w, u);
+        } else if self.worms[w].kind == WormKind::Tree {
+            let g = self.worms[w].edges[e].group;
+            let siblings: Vec<usize> = (0..self.worms[w].edges.len())
+                .filter(|&i| i != e && self.worms[w].edges[i].group == g)
+                .collect();
+            for s in siblings {
+                self.try_start(w, s);
+            }
+        }
+    }
+
+    fn schedule(&mut self, at: Time, ev: Event) {
+        self.seq += 1;
+        self.events.push(Reverse((at, self.seq, ev)));
+    }
+
+    /// Processes a single event. Returns `false` if no events remain.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse((t, _, ev))) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "time must not go backwards");
+        self.now = t;
+        match ev {
+            Event::TransferComplete { worm, edge } => self.on_transfer_complete(worm, edge),
+            Event::RequestChannel { worm, edge } => {
+                if self.worms[worm].active
+                    && self.worms[worm].edges[edge].channel.is_none()
+                    && !self.worms[worm].edges[edge].waiting
+                {
+                    self.request_channel(worm, edge);
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until no events remain or the simulation time would exceed
+    /// `until`. Returns the number of events processed.
+    pub fn run_until(&mut self, until: Time) -> usize {
+        let mut n = 0;
+        while let Some(&Reverse((t, _, _))) = self.events.peek() {
+            if t > until {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        self.now = self.now.max(until);
+        n
+    }
+
+    /// Runs until quiescent (no events pending). Returns `true` if all
+    /// injected messages completed — `false` means the network is
+    /// **deadlocked**: worms hold channels but none can make progress.
+    pub fn run_to_quiescence(&mut self) -> bool {
+        while self.step() {}
+        self.in_flight == 0
+    }
+
+    /// Cumulative transfer (busy) time per channel, in nanoseconds —
+    /// utilization accounting for hot-spot analysis (§7.2).
+    pub fn channel_busy_ns(&self) -> &[Time] {
+        &self.busy_ns
+    }
+
+    /// Utilization of a channel over the elapsed simulation time (0..=1).
+    pub fn channel_utilization(&self, chan: ChannelId) -> f64 {
+        if self.now == 0 {
+            0.0
+        } else {
+            self.busy_ns[chan] as f64 / self.now as f64
+        }
+    }
+
+    /// Pending channel requests per active worm: `(message, from, to)`
+    /// triples whose edge sits in some channel queue — the "requiring"
+    /// half of the Fig 6.4-style deadlock listings.
+    pub fn waiting_requests(&self) -> Vec<(MessageId, NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for w in &self.worms {
+            if !w.active {
+                continue;
+            }
+            for e in &w.edges {
+                if e.waiting {
+                    out.push((w.message, e.from, e.to));
+                }
+            }
+        }
+        out
+    }
+
+    /// Channels currently held per worm message — exposed for deadlock
+    /// diagnostics (the Fig 6.1/6.2-style wait-for analysis).
+    pub fn held_channels(&self) -> Vec<(MessageId, Vec<ChannelId>)> {
+        let mut out = Vec::new();
+        for w in &self.worms {
+            if !w.active {
+                continue;
+            }
+            let held: Vec<ChannelId> =
+                w.edges.iter().filter(|e| !e.done).filter_map(|e| e.channel).collect();
+            out.push((w.message, held));
+        }
+        out
+    }
+
+    fn on_transfer_complete(&mut self, w: usize, e: usize) {
+        {
+            let es = &mut self.worms[w].edges[e];
+            es.busy = false;
+            es.crossed += 1;
+        }
+        let crossed = self.worms[w].edges[e].crossed;
+        if crossed == 1 && self.worms[w].kind != WormKind::Circuit {
+            // Header arrived at head(e): claim the next channels. (Circuit
+            // worms acquire through the establishment chain instead.)
+            let children = self.worms[w].edges[e].children.clone();
+            for c in children {
+                self.request_channel(w, c);
+            }
+        }
+        if crossed == self.flits {
+            // Tail crossed: release the channel, record delivery.
+            let chan = self.worms[w].edges[e].channel.take().expect("owned while crossing");
+            self.worms[w].edges[e].done = true;
+            self.release(chan);
+            let head = self.worms[w].edges[e].to;
+            let msg_id = self.worms[w].message;
+            self.record_delivery(msg_id, head);
+            self.worms[w].edges_done += 1;
+            if self.worms[w].edges_done == self.worms[w].edges.len() {
+                self.worms[w].active = false;
+                let slot_msg = self.worms[w].message;
+                let m = self.messages[slot_msg].as_mut().expect("message live");
+                m.worms_done += 1;
+                if m.worms_done == m.worms_total {
+                    self.finish_message(slot_msg);
+                }
+                self.worm_free.push(w);
+            }
+        }
+        // Progress may unblock this edge (next flit), the upstream edge
+        // (space freed), the children (flit available), and — for root
+        // edges — the group siblings sharing the injection buffer.
+        self.try_start(w, e);
+        if let Some(u) = self.worms[w].edges[e].upstream {
+            self.try_start(w, u);
+        } else if self.worms[w].kind == WormKind::Tree {
+            let g = self.worms[w].edges[e].group;
+            let siblings: Vec<usize> = (0..self.worms[w].edges.len())
+                .filter(|&i| i != e && self.worms[w].edges[i].group == g)
+                .collect();
+            for s in siblings {
+                self.try_start(w, s);
+            }
+        }
+        let children = self.worms[w].edges[e].children.clone();
+        for c in children {
+            self.try_start(w, c);
+        }
+    }
+
+    fn record_delivery(&mut self, msg: MessageId, node: NodeId) {
+        let now = self.now;
+        let m = self.messages[msg].as_mut().expect("message live");
+        for (i, &d) in m.destinations.iter().enumerate() {
+            if d == node && m.delivered[i].is_none() {
+                m.delivered[i] = Some(now);
+                m.delivered_count += 1;
+            }
+        }
+    }
+
+    fn finish_message(&mut self, msg: MessageId) {
+        let m = self.messages[msg].take().expect("message live");
+        let deliveries: Vec<(NodeId, Time)> = m
+            .destinations
+            .iter()
+            .zip(&m.delivered)
+            .map(|(&d, t)| {
+                (
+                    d,
+                    t.unwrap_or_else(|| {
+                        panic!("destination {d} never delivered by message {}", m.id)
+                    }),
+                )
+            })
+            .collect();
+        let completed_at = deliveries.iter().map(|&(_, t)| t).max().unwrap_or(m.injected_at);
+        self.completed.push(CompletedMessage {
+            id: m.id,
+            source: m.source,
+            injected_at: m.injected_at,
+            completed_at,
+            deliveries,
+            traffic: m.traffic,
+        });
+        self.in_flight -= 1;
+    }
+}
+
+impl Engine {
+    /// Debug: the (message, edge) currently owning a channel, if any.
+    pub fn debug_owner(&self, chan: ChannelId) -> Option<(MessageId, usize)> {
+        self.channels[chan].owner.map(|(w, e)| (self.worms[w].message, e))
+    }
+}
+
+impl Engine {
+    /// Debug: raw owner slot info for a channel: (worm slot, edge, message, active).
+    pub fn debug_owner_full(&self, chan: ChannelId) -> Option<(usize, usize, MessageId, bool)> {
+        self.channels[chan]
+            .owner
+            .map(|(w, e)| (w, e, self.worms[w].message, self.worms[w].active))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{DeliveryPlan, PlanPath, PlanTree};
+    use mcast_core::model::MulticastSet;
+    use mcast_topology::Mesh2D;
+
+    fn engine_4x4() -> Engine {
+        let m = Mesh2D::new(4, 4);
+        Engine::new(Network::new(&m, 1), SimConfig::default())
+    }
+
+    fn path_plan(nodes: Vec<NodeId>, dests: Vec<NodeId>) -> DeliveryPlan {
+        let src = nodes[0];
+        DeliveryPlan {
+            source: src,
+            destinations: dests,
+            worms: vec![PlanWorm::Path(PlanPath { nodes, class: ClassChoice::Any })],
+        }
+    }
+
+    #[test]
+    fn single_hop_latency_is_pipeline_fill() {
+        let mut e = engine_4x4();
+        let cfg = *e.config();
+        e.inject(&path_plan(vec![0, 1], vec![1]));
+        assert!(e.run_to_quiescence());
+        let done = e.take_completed();
+        assert_eq!(done.len(), 1);
+        // One channel: header (t_f + t_r) + 16 payload flits × t_f.
+        let expect = cfg.routing_delay_ns + cfg.flit_time_ns() * cfg.flits_per_message() as u64;
+        assert_eq!(done[0].completed_at, expect);
+    }
+
+    #[test]
+    fn pipeline_latency_nearly_distance_independent() {
+        // Wormhole's signature: latency ≈ L/B + D·(t_f + t_r), so doubling
+        // distance adds only per-hop header time (§2.2.4).
+        let mut e = engine_4x4();
+        let cfg = *e.config();
+        e.inject(&path_plan(vec![0, 1, 2, 3], vec![3]));
+        assert!(e.run_to_quiescence());
+        let t3 = e.take_completed()[0].completed_at;
+        let mut e2 = engine_4x4();
+        e2.inject(&path_plan(vec![0, 1], vec![1]));
+        assert!(e2.run_to_quiescence());
+        let t1 = e2.take_completed()[0].completed_at;
+        assert_eq!(t3 - t1, 2 * (cfg.flit_time_ns() + cfg.routing_delay_ns));
+    }
+
+    #[test]
+    fn intermediate_destination_receives_before_final() {
+        let mut e = engine_4x4();
+        e.inject(&path_plan(vec![0, 1, 2, 3], vec![1, 3]));
+        assert!(e.run_to_quiescence());
+        let done = e.take_completed();
+        let d: std::collections::HashMap<NodeId, Time> =
+            done[0].deliveries.iter().copied().collect();
+        assert!(d[&1] < d[&3], "upstream destination finishes first");
+        assert_eq!(done[0].completed_at, d[&3]);
+    }
+
+    #[test]
+    fn contending_messages_serialize_on_shared_channel() {
+        let mut e = engine_4x4();
+        let cfg = *e.config();
+        e.inject(&path_plan(vec![0, 1], vec![1]));
+        e.inject(&path_plan(vec![0, 1], vec![1]));
+        assert!(e.run_to_quiescence());
+        let done = e.take_completed();
+        assert_eq!(done.len(), 2);
+        let t0 = done.iter().find(|c| c.id == 0).unwrap().completed_at;
+        let t1 = done.iter().find(|c| c.id == 1).unwrap().completed_at;
+        // Second message waits for the first to release the channel.
+        let single = cfg.routing_delay_ns + cfg.flit_time_ns() * cfg.flits_per_message() as u64;
+        assert_eq!(t0, single);
+        assert_eq!(t1, 2 * single);
+    }
+
+    #[test]
+    fn tree_worm_delivers_all_leaves() {
+        let m = Mesh2D::new(4, 4);
+        let mc = MulticastSet::new(5, [1, 6, 9, 4]);
+        let tree = mcast_core::xfirst::xfirst_tree(&m, &mc);
+        let plan = DeliveryPlan::from_tree(&mc, &tree, ClassChoice::Any);
+        let mut e = engine_4x4();
+        e.inject(&plan);
+        assert!(e.run_to_quiescence());
+        let done = e.take_completed();
+        assert_eq!(done[0].deliveries.len(), 4);
+    }
+
+    #[test]
+    fn two_crossing_tree_worms_deadlock() {
+        // Fig 6.4's mechanism, distilled: two 2-branch tree worms each
+        // grab one of the other's needed channels and wait forever.
+        let m = Mesh2D::new(4, 1);
+        let net = Network::new(&m, 1);
+        let mut e = Engine::new(net, SimConfig::default());
+        // Worm A at node 1 branches to 0 and 2→3; worm B at node 2
+        // branches to 3 and 1→0. A needs [1,2], B holds it via its branch
+        // [2,1],[1,0]; B needs [2,3], A holds [1,2]? Construct:
+        let plan_a = DeliveryPlan {
+            source: 1,
+            destinations: vec![0, 3],
+            worms: vec![PlanWorm::Tree(PlanTree {
+                root: 1,
+                edges: vec![
+                    (1, 0, ClassChoice::Any),
+                    (1, 2, ClassChoice::Any),
+                    (2, 3, ClassChoice::Any),
+                ],
+            })],
+        };
+        let plan_b = DeliveryPlan {
+            source: 2,
+            destinations: vec![0, 3],
+            worms: vec![PlanWorm::Tree(PlanTree {
+                root: 2,
+                edges: vec![
+                    (2, 3, ClassChoice::Any),
+                    (2, 1, ClassChoice::Any),
+                    (1, 0, ClassChoice::Any),
+                ],
+            })],
+        };
+        e.inject(&plan_a);
+        e.inject(&plan_b);
+        let ok = e.run_to_quiescence();
+        assert!(!ok, "crossing lock-step trees must deadlock");
+        assert_eq!(e.in_flight(), 2);
+        let held = e.held_channels();
+        assert_eq!(held.len(), 2);
+    }
+
+    #[test]
+    fn multi_worm_star_message_completes_when_all_paths_do() {
+        let mut e = engine_4x4();
+        let plan = DeliveryPlan {
+            source: 5,
+            destinations: vec![7, 13],
+            worms: vec![
+                PlanWorm::Path(PlanPath { nodes: vec![5, 6, 7], class: ClassChoice::Any }),
+                PlanWorm::Path(PlanPath { nodes: vec![5, 9, 13], class: ClassChoice::Any }),
+            ],
+        };
+        e.inject(&plan);
+        assert!(e.run_to_quiescence());
+        let done = e.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].traffic, 4);
+    }
+
+    #[test]
+    fn double_channels_resolve_the_tree_deadlock() {
+        // The same crossing trees as above, but on a doubled network with
+        // Any-class selection: each worm grabs a free copy and both
+        // complete.
+        let m = Mesh2D::new(4, 1);
+        let net = Network::new(&m, 2);
+        let mut e = Engine::new(net, SimConfig::default());
+        let plan_a = DeliveryPlan {
+            source: 1,
+            destinations: vec![0, 3],
+            worms: vec![PlanWorm::Tree(PlanTree {
+                root: 1,
+                edges: vec![
+                    (1, 0, ClassChoice::Any),
+                    (1, 2, ClassChoice::Any),
+                    (2, 3, ClassChoice::Any),
+                ],
+            })],
+        };
+        let plan_b = DeliveryPlan {
+            source: 2,
+            destinations: vec![0, 3],
+            worms: vec![PlanWorm::Tree(PlanTree {
+                root: 2,
+                edges: vec![
+                    (2, 3, ClassChoice::Any),
+                    (2, 1, ClassChoice::Any),
+                    (1, 0, ClassChoice::Any),
+                ],
+            })],
+        };
+        e.inject(&plan_a);
+        e.inject(&plan_b);
+        assert!(e.run_to_quiescence(), "double channels break the cycle");
+    }
+
+    #[test]
+    fn circuit_switching_reserves_then_streams() {
+        // A circuit worm over D hops completes at about
+        // D·setup + stream + pipeline drain — and later than an identical
+        // wormhole worm, because no flit moves before the reservation
+        // finishes.
+        let m = Mesh2D::new(8, 1);
+        let nodes: Vec<NodeId> = (0..8).collect();
+        let mut ew = Engine::new(Network::new(&m, 1), SimConfig::default());
+        ew.inject(&DeliveryPlan {
+            source: 0,
+            destinations: vec![7],
+            worms: vec![PlanWorm::Path(PlanPath { nodes: nodes.clone(), class: ClassChoice::Any })],
+        });
+        assert!(ew.run_to_quiescence());
+        let worm_t = ew.take_completed()[0].completed_at;
+
+        let mut ec = Engine::new(Network::new(&m, 1), SimConfig::default());
+        ec.inject(&DeliveryPlan {
+            source: 0,
+            destinations: vec![7],
+            worms: vec![PlanWorm::Circuit(PlanPath { nodes, class: ClassChoice::Any })],
+        });
+        assert!(ec.run_to_quiescence());
+        let circ_t = ec.take_completed()[0].completed_at;
+        assert!(circ_t > worm_t, "circuit {circ_t} vs wormhole {worm_t}");
+        // Setup phase: 7 hops of circuit_setup after the first grant.
+        let cfg = SimConfig::default();
+        let setup = 6 * cfg.circuit_setup_ns; // chain requests after edge 0
+        assert!(circ_t >= setup, "circuit completion before setup finished");
+    }
+
+    #[test]
+    fn ring_of_circuits_deadlocks_like_fig_2_4() {
+        // Fig 2.4's four-message configuration on a 2×2 mesh: each circuit
+        // reserves its first channel and waits forever for the next one,
+        // held by its neighbor — the classic channel-deadlock cycle.
+        let m = Mesh2D::new(2, 2);
+        let mut e = Engine::new(Network::new(&m, 1), SimConfig::default());
+        // Ring order of node ids: 0 → 1 → 3 → 2 → 0.
+        let ring = [0usize, 1, 3, 2];
+        for i in 0..4 {
+            let a = ring[i];
+            let b = ring[(i + 1) % 4];
+            let c = ring[(i + 2) % 4];
+            e.inject(&DeliveryPlan {
+                source: a,
+                destinations: vec![c],
+                worms: vec![PlanWorm::Circuit(PlanPath {
+                    nodes: vec![a, b, c],
+                    class: ClassChoice::Any,
+                })],
+            });
+        }
+        let ok = e.run_to_quiescence();
+        assert!(!ok, "the Fig 2.4 circuit ring must deadlock");
+        assert_eq!(e.in_flight(), 4);
+    }
+
+    #[test]
+    fn label_monotone_circuits_never_deadlock() {
+        // Dual-path routes carried by circuit switching stay deadlock-free
+        // (§2.3.4: the subnetwork solution "can also be applied to circuit
+        // switching"): saturating closed load drains.
+        use mcast_topology::labeling::mesh2d_snake;
+        let m = Mesh2D::new(4, 4);
+        let l = mesh2d_snake(&m);
+        let mut e = Engine::new(Network::new(&m, 1), SimConfig::default());
+        for s in 0..16usize {
+            let mc = MulticastSet::new(s, (1..=5).map(|i| (s + i * 3) % 16));
+            let paths = mcast_core::dual_path::dual_path(&m, &l, &mc);
+            e.inject(&DeliveryPlan {
+                source: s,
+                destinations: mc.destinations.clone(),
+                worms: paths
+                    .into_iter()
+                    .map(|p| {
+                        PlanWorm::Circuit(PlanPath {
+                            nodes: p.nodes().to_vec(),
+                            class: ClassChoice::Any,
+                        })
+                    })
+                    .collect(),
+            });
+        }
+        assert!(e.run_to_quiescence(), "label-monotone circuits wedged");
+        assert_eq!(e.take_completed().len(), 16);
+    }
+
+    #[test]
+    fn source_destination_delivered_at_injection() {
+        let mut e = engine_4x4();
+        let plan = DeliveryPlan {
+            source: 0,
+            destinations: vec![0],
+            worms: vec![],
+        };
+        e.inject(&plan);
+        assert!(e.run_to_quiescence());
+        let done = e.take_completed();
+        assert_eq!(done[0].completed_at, done[0].injected_at);
+    }
+}

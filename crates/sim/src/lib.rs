@@ -1,0 +1,29 @@
+//! A flit-level discrete-event simulator for wormhole-routed
+//! multicomputer networks — the substrate for the dynamic performance
+//! study of Chapter 7 (the dissertation used C + CSIM; this crate is the
+//! from-scratch Rust equivalent, see DESIGN.md §2).
+//!
+//! * [`network`]: the channel fabric (single- or double-channel);
+//! * [`plan`]: delivery plans bridging `mcast-core` routes to worms;
+//! * [`engine`]: the event engine — per-flit channel transfers, FIFO
+//!   channel queues, pipelined path worms and lock-step tree worms,
+//!   destination delivery tracking and deadlock observation;
+//! * [`routers`]: plan factories for every Chapter 6/7 routing scheme;
+//! * [`deadlock`]: closed-scenario replays of the §6.1 deadlock
+//!   configurations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod deadlock;
+pub mod diagnose;
+pub mod engine;
+pub mod network;
+pub mod plan;
+pub mod routers;
+pub mod switching;
+
+pub use engine::{CompletedMessage, Engine, MessageId, SimConfig, Time};
+pub use network::{ChannelId, Network};
+pub use plan::{ClassChoice, DeliveryPlan, PlanPath, PlanTree, PlanWorm};
+pub use routers::MulticastRouter;

@@ -1,0 +1,99 @@
+//! The simulated network fabric: a dense table of directed (possibly
+//! multi-class) channels over a topology.
+//!
+//! Wormhole routers allocate *directed channels*; a physical link
+//! contributes one channel per direction per class. Single-channel
+//! networks have one class; the double-channel networks of §6.2.1 and the
+//! Fig 7.8/7.9 experiments have two.
+
+use std::collections::HashMap;
+
+use mcast_topology::{Channel, NodeId, Topology};
+
+/// Dense channel identifier within a [`Network`].
+pub type ChannelId = usize;
+
+/// The channel table of a simulated network.
+#[derive(Debug, Clone)]
+pub struct Network {
+    channels: Vec<Channel>,
+    index: HashMap<Channel, ChannelId>,
+    classes: u8,
+    num_nodes: usize,
+}
+
+impl Network {
+    /// Builds the channel table for `topo` with `classes` copies of every
+    /// directed channel (1 = single-channel, 2 = double-channel).
+    pub fn new<T: Topology + ?Sized>(topo: &T, classes: u8) -> Self {
+        assert!(classes >= 1, "at least one channel class");
+        let mut channels = Vec::new();
+        for base in topo.channels() {
+            for class in 0..classes {
+                channels.push(Channel::with_class(base.from, base.to, class));
+            }
+        }
+        let index = channels.iter().copied().enumerate().map(|(i, c)| (c, i)).collect();
+        Network { channels, index, classes, num_nodes: topo.num_nodes() }
+    }
+
+    /// Number of channels (all classes).
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of nodes in the underlying topology.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of channel classes.
+    pub fn classes(&self) -> u8 {
+        self.classes
+    }
+
+    /// The channel with a given id.
+    pub fn channel(&self, id: ChannelId) -> Channel {
+        self.channels[id]
+    }
+
+    /// Looks up a specific `(from, to, class)` channel.
+    pub fn id_of(&self, c: Channel) -> Option<ChannelId> {
+        self.index.get(&c).copied()
+    }
+
+    /// All channel ids for the `(from, to)` direction, one per class.
+    pub fn ids_of_link(&self, from: NodeId, to: NodeId) -> Vec<ChannelId> {
+        (0..self.classes)
+            .filter_map(|class| self.id_of(Channel::with_class(from, to, class)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_topology::Mesh2D;
+
+    #[test]
+    fn single_class_table_matches_topology() {
+        let m = Mesh2D::new(4, 3);
+        let n = Network::new(&m, 1);
+        assert_eq!(n.num_channels(), m.num_channels());
+        for id in 0..n.num_channels() {
+            assert_eq!(n.id_of(n.channel(id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn double_channel_table_doubles() {
+        let m = Mesh2D::new(4, 3);
+        let n = Network::new(&m, 2);
+        assert_eq!(n.num_channels(), 2 * m.num_channels());
+        let pair = n.ids_of_link(0, 1);
+        assert_eq!(pair.len(), 2);
+        assert_ne!(pair[0], pair[1]);
+        assert_eq!(n.channel(pair[0]).class, 0);
+        assert_eq!(n.channel(pair[1]).class, 1);
+    }
+}

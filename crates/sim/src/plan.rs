@@ -1,0 +1,179 @@
+//! Delivery plans: the bridge between the routing algorithms of
+//! `mcast-core` and the worm mechanics of the engine.
+//!
+//! A plan fixes, before injection, the exact set of channels each message
+//! copy will claim — matching the dissertation's distributed algorithms,
+//! whose per-hop decisions depend only on the header's destination list
+//! and are therefore fully determined at the source. Path plans spawn one
+//! worm per path (multicast star); tree plans spawn one lock-step tree
+//! worm per tree (multicast tree / the nCUBE-2 style of §6.1).
+
+use mcast_core::model::{MulticastSet, PathRoute, TreeRoute};
+use mcast_topology::NodeId;
+
+/// Channel-class selection for one hop of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassChoice {
+    /// Use exactly this class (e.g. a quadrant subnetwork's copy).
+    Fixed(u8),
+    /// Use any class; the engine picks an idle copy, else the
+    /// shortest queue (deterministic tie-break toward class 0).
+    Any,
+}
+
+/// One path worm: the node visiting sequence plus the class policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanPath {
+    /// Visited nodes, source first. A path of one node makes no worm.
+    pub nodes: Vec<NodeId>,
+    /// Channel-class policy for every hop.
+    pub class: ClassChoice,
+}
+
+/// One tree worm: edges in parent-before-child order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanTree {
+    /// The root (source) node.
+    pub root: NodeId,
+    /// Edges `(from, to, class)`; every `from` is the root or appears as a
+    /// `to` earlier in the list.
+    pub edges: Vec<(NodeId, NodeId, ClassChoice)>,
+}
+
+/// A complete delivery plan for one multicast message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryPlan {
+    /// The source node.
+    pub source: NodeId,
+    /// Destinations that must observe delivery.
+    pub destinations: Vec<NodeId>,
+    /// The worms to inject.
+    pub worms: Vec<PlanWorm>,
+}
+
+/// One worm of a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanWorm {
+    /// A pipelined path worm (wormhole switching).
+    Path(PlanPath),
+    /// A lock-step replicated tree worm.
+    Tree(PlanTree),
+    /// A circuit-switched path (§2.2.3): the whole circuit is reserved by
+    /// a control packet, hop by hop, before any data flit moves; channels
+    /// release as the tail passes. Deadlock behaviour matches wormhole
+    /// ("channels are the critical resources… the solution can also be
+    /// applied to circuit switching", §2.3.4).
+    Circuit(PlanPath),
+}
+
+impl DeliveryPlan {
+    /// Builds a star plan (one worm per path) from path routes.
+    pub fn from_paths(mc: &MulticastSet, paths: &[PathRoute], class: ClassChoice) -> Self {
+        DeliveryPlan {
+            source: mc.source,
+            destinations: mc.destinations.clone(),
+            worms: paths
+                .iter()
+                .filter(|p| !p.is_empty())
+                .map(|p| PlanWorm::Path(PlanPath { nodes: p.nodes().to_vec(), class }))
+                .collect(),
+        }
+    }
+
+    /// Builds a single-tree plan from a tree route. `class` applies to
+    /// every edge.
+    pub fn from_tree(mc: &MulticastSet, tree: &TreeRoute, class: ClassChoice) -> Self {
+        DeliveryPlan {
+            source: mc.source,
+            destinations: mc.destinations.clone(),
+            worms: if tree.traffic() == 0 {
+                Vec::new()
+            } else {
+                vec![PlanWorm::Tree(plan_tree(tree, |_, _| class))]
+            },
+        }
+    }
+
+    /// Builds a forest plan (one tree worm per tree) with per-edge class
+    /// assignment.
+    pub fn from_forest<F>(mc: &MulticastSet, trees: &[TreeRoute], mut class_of: F) -> Self
+    where
+        F: FnMut(usize, (NodeId, NodeId)) -> ClassChoice,
+    {
+        DeliveryPlan {
+            source: mc.source,
+            destinations: mc.destinations.clone(),
+            worms: trees
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.traffic() > 0)
+                .map(|(i, t)| PlanWorm::Tree(plan_tree(t, |f, to| class_of(i, (f, to)))))
+                .collect(),
+        }
+    }
+
+    /// Total channels claimed across all worms (the plan's traffic).
+    pub fn traffic(&self) -> usize {
+        self.worms
+            .iter()
+            .map(|w| match w {
+                PlanWorm::Path(p) | PlanWorm::Circuit(p) => p.nodes.len() - 1,
+                PlanWorm::Tree(t) => t.edges.len(),
+            })
+            .sum()
+    }
+}
+
+fn plan_tree<F>(tree: &TreeRoute, mut class_of: F) -> PlanTree
+where
+    F: FnMut(NodeId, NodeId) -> ClassChoice,
+{
+    // Emit edges in BFS order so parents precede children.
+    let children = tree.children_map();
+    let mut edges = Vec::with_capacity(tree.traffic());
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(tree.root());
+    while let Some(n) = queue.pop_front() {
+        if let Some(kids) = children.get(&n) {
+            for &c in kids {
+                edges.push((n, c, class_of(n, c)));
+                queue.push_back(c);
+            }
+        }
+    }
+    PlanTree { root: tree.root(), edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_plan_edges_parent_first() {
+        let mut t = TreeRoute::new(4);
+        t.attach(4, 1);
+        t.attach(1, 0);
+        t.attach(4, 5);
+        t.attach(5, 6);
+        let mc = MulticastSet::new(4, [0, 6]);
+        let plan = DeliveryPlan::from_tree(&mc, &t, ClassChoice::Fixed(0));
+        let PlanWorm::Tree(pt) = &plan.worms[0] else { panic!("tree expected") };
+        assert_eq!(pt.edges.len(), 4);
+        // Every from is root or an earlier to.
+        let mut seen = vec![pt.root];
+        for &(f, to, _) in &pt.edges {
+            assert!(seen.contains(&f), "edge {f}->{to} before its parent");
+            seen.push(to);
+        }
+        assert_eq!(plan.traffic(), 4);
+    }
+
+    #[test]
+    fn path_plan_skips_empty_paths() {
+        let mc = MulticastSet::new(0, [2]);
+        let paths = vec![PathRoute::new(vec![0, 1, 2]), PathRoute::new(vec![0])];
+        let plan = DeliveryPlan::from_paths(&mc, &paths, ClassChoice::Any);
+        assert_eq!(plan.worms.len(), 1);
+        assert_eq!(plan.traffic(), 2);
+    }
+}

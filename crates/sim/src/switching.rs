@@ -1,0 +1,315 @@
+//! The four switching technologies of §2.2 — store-and-forward, virtual
+//! cut-through, circuit switching, and wormhole routing — as contention-
+//! free latency models (the Fig 2.3 comparison) and as an event-driven
+//! store-and-forward packet simulator with the structured buffer pools of
+//! §2.3.4.
+//!
+//! The closed forms are the dissertation's own:
+//!
+//! * store-and-forward: `(L/B)(D + 1)`
+//! * virtual cut-through: `(L_h/B)·D + L/B`
+//! * circuit switching: `(L_c/B)·D + L/B`
+//! * wormhole: `(L_f/B)·D + L/B`
+
+/// Parameters of the §2.2 latency models.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchingParams {
+    /// Message length `L` in bytes.
+    pub message_bytes: f64,
+    /// Channel bandwidth `B` in bytes/second.
+    pub bandwidth: f64,
+    /// Header length `L_h` (virtual cut-through), bytes.
+    pub header_bytes: f64,
+    /// Control packet length `L_c` (circuit establishment), bytes.
+    pub control_bytes: f64,
+    /// Flit length `L_f` (wormhole), bytes.
+    pub flit_bytes: f64,
+}
+
+impl Default for SwitchingParams {
+    fn default() -> Self {
+        SwitchingParams {
+            message_bytes: 128.0,
+            bandwidth: 20e6,
+            header_bytes: 8.0,
+            control_bytes: 8.0,
+            flit_bytes: 8.0,
+        }
+    }
+}
+
+/// The switching technique being modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Switching {
+    /// Store the whole packet at every intermediate node (§2.2.1).
+    StoreAndForward,
+    /// Forward as soon as the header is decoded; buffer on block (§2.2.2).
+    VirtualCutThrough,
+    /// Reserve a source→destination circuit, then stream (§2.2.3).
+    CircuitSwitching,
+    /// Pipeline flits behind the header; block in place (§2.2.4).
+    Wormhole,
+}
+
+impl Switching {
+    /// All four techniques in presentation order.
+    pub const ALL: [Switching; 4] = [
+        Switching::StoreAndForward,
+        Switching::VirtualCutThrough,
+        Switching::CircuitSwitching,
+        Switching::Wormhole,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Switching::StoreAndForward => "store-and-forward",
+            Switching::VirtualCutThrough => "virtual cut-through",
+            Switching::CircuitSwitching => "circuit switching",
+            Switching::Wormhole => "wormhole",
+        }
+    }
+
+    /// Contention-free network latency over `distance` hops, in seconds
+    /// (the §2.2 closed forms; `T_p·D + L/B` with the technique's `T_p`).
+    pub fn latency(self, p: &SwitchingParams, distance: usize) -> f64 {
+        let d = distance as f64;
+        let stream = p.message_bytes / p.bandwidth;
+        match self {
+            // The dissertation's SAF form is (L/B)(D+1): the full packet
+            // crosses every one of the D channels.
+            Switching::StoreAndForward => stream * (d + 1.0),
+            Switching::VirtualCutThrough => (p.header_bytes / p.bandwidth) * d + stream,
+            Switching::CircuitSwitching => (p.control_bytes / p.bandwidth) * d + stream,
+            Switching::Wormhole => (p.flit_bytes / p.bandwidth) * d + stream,
+        }
+    }
+}
+
+/// The structured buffer pool of §2.3.4 for store-and-forward networks:
+/// buffers at every node are split into classes `0..=C` (`C` = longest
+/// route); a packet that has traversed `i` hops may only occupy a buffer
+/// of class `i`, which imposes a partial order on buffer acquisition and
+/// rules out buffer deadlock.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    /// `free[node][class]` = free buffers of that class.
+    free: Vec<Vec<u32>>,
+    capacity_per_class: u32,
+}
+
+impl BufferPool {
+    /// Creates a pool with `classes` classes of `capacity` buffers at each
+    /// of `nodes` nodes.
+    pub fn new(nodes: usize, classes: usize, capacity: u32) -> Self {
+        assert!(classes >= 1 && capacity >= 1);
+        BufferPool { free: vec![vec![capacity; classes]; nodes], capacity_per_class: capacity }
+    }
+
+    /// Number of buffer classes.
+    pub fn classes(&self) -> usize {
+        self.free[0].len()
+    }
+
+    /// Buffers per class per node.
+    pub fn capacity_per_class(&self) -> u32 {
+        self.capacity_per_class
+    }
+
+    /// Tries to acquire a buffer of `class` at `node`.
+    pub fn try_acquire(&mut self, node: usize, class: usize) -> bool {
+        if self.free[node][class] > 0 {
+            self.free[node][class] -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases a buffer of `class` at `node`.
+    ///
+    /// # Panics
+    /// Panics on over-release.
+    pub fn release(&mut self, node: usize, class: usize) {
+        assert!(
+            self.free[node][class] < self.capacity_per_class,
+            "over-release at node {node} class {class}"
+        );
+        self.free[node][class] += 1;
+    }
+
+    /// Free buffers of `class` at `node`.
+    pub fn available(&self, node: usize, class: usize) -> u32 {
+        self.free[node][class]
+    }
+}
+
+/// A store-and-forward hop-by-hop transfer schedule for a set of packets,
+/// used to demonstrate §2.3.4's claim: with *unclassed* finite buffers a
+/// cyclic packet pattern wedges; with the structured pool (class = hops
+/// traversed) every packet always drains.
+///
+/// The model is intentionally minimal: time advances in rounds; in each
+/// round every head-of-route packet tries to advance one hop, needing a
+/// free buffer (of the right class, when classed) at the next node.
+/// Returns `Some(rounds)` if all packets arrived, `None` if a round makes
+/// no progress (deadlock).
+pub fn saf_drain(
+    routes: &[Vec<usize>],
+    num_nodes: usize,
+    classed: bool,
+    buffers_per_node: u32,
+) -> Option<usize> {
+    let max_len = routes.iter().map(|r| r.len()).max().unwrap_or(0);
+    if max_len == 0 {
+        return Some(0);
+    }
+    let classes = if classed { max_len } else { 1 };
+    let mut pool = BufferPool::new(num_nodes, classes, buffers_per_node);
+    // Packet state: (route, position index, holding class at current node).
+    // Position 0 = still at source (source buffers are not contended).
+    let mut pos: Vec<usize> = vec![0; routes.len()];
+    let mut holding: Vec<Option<usize>> = vec![None; routes.len()];
+    let mut arrived = vec![false; routes.len()];
+    let mut rounds = 0usize;
+    loop {
+        if arrived.iter().all(|&a| a) {
+            return Some(rounds);
+        }
+        rounds += 1;
+        let mut progress = false;
+        for i in 0..routes.len() {
+            if arrived[i] {
+                continue;
+            }
+            let route = &routes[i];
+            let next_idx = pos[i] + 1;
+            if next_idx >= route.len() {
+                // Consume at destination: release held buffer.
+                if let Some(c) = holding[i].take() {
+                    pool.release(route[pos[i]], c);
+                }
+                arrived[i] = true;
+                progress = true;
+                continue;
+            }
+            let next_node = route[next_idx];
+            let next_class = if classed { next_idx - 1 } else { 0 };
+            // A packet at the final position consumes without a buffer.
+            let is_final = next_idx == route.len() - 1;
+            if is_final || pool.try_acquire(next_node, next_class) {
+                if let Some(c) = holding[i].take() {
+                    pool.release(route[pos[i]], c);
+                }
+                pos[i] = next_idx;
+                holding[i] = if is_final { None } else { Some(next_class) };
+                if is_final {
+                    arrived[i] = true;
+                }
+                progress = true;
+            }
+        }
+        if !progress {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_formulas_match_section_2_2() {
+        let p = SwitchingParams::default();
+        let stream = 128.0 / 20e6;
+        let d = 10usize;
+        assert!((Switching::StoreAndForward.latency(&p, d) - stream * 11.0).abs() < 1e-12);
+        assert!(
+            (Switching::Wormhole.latency(&p, d) - (8.0 / 20e6 * 10.0 + stream)).abs() < 1e-12
+        );
+        // Pipelined techniques are nearly distance-independent: doubling D
+        // adds only the per-hop flit term (5 · L_f/B here), not another
+        // message time.
+        let w1 = Switching::Wormhole.latency(&p, 5);
+        let w2 = Switching::Wormhole.latency(&p, 10);
+        assert!((w2 - w1 - 5.0 * 8.0 / 20e6).abs() < 1e-12);
+        assert!((w2 - w1) < stream, "extra distance costs less than one message time");
+        // SAF is linear in distance.
+        let s1 = Switching::StoreAndForward.latency(&p, 5);
+        let s2 = Switching::StoreAndForward.latency(&p, 10);
+        assert!((s2 / s1 - 11.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wormhole_always_fastest_at_long_distance() {
+        let p = SwitchingParams::default();
+        for d in [5usize, 20, 50] {
+            let w = Switching::Wormhole.latency(&p, d);
+            let s = Switching::StoreAndForward.latency(&p, d);
+            assert!(w < s, "d={d}");
+        }
+    }
+
+    #[test]
+    fn unclassed_buffers_deadlock_on_a_cycle() {
+        // Four packets chasing each other around a 4-node ring, each
+        // needing the buffer the next one holds (Fig 2.4's configuration).
+        // One buffer per node: after every packet advances one hop, all
+        // buffers are full and the pattern wedges.
+        let routes = vec![
+            vec![0, 1, 2, 3],
+            vec![1, 2, 3, 0],
+            vec![2, 3, 0, 1],
+            vec![3, 0, 1, 2],
+        ];
+        assert_eq!(saf_drain(&routes, 4, false, 1), None, "cyclic SAF must wedge");
+    }
+
+    #[test]
+    fn structured_pool_drains_the_same_cycle() {
+        // §2.3.4: "the structure buffer pool algorithm is deadlock free
+        // since it assigns a partial order to resources."
+        let routes = vec![
+            vec![0, 1, 2, 3],
+            vec![1, 2, 3, 0],
+            vec![2, 3, 0, 1],
+            vec![3, 0, 1, 2],
+        ];
+        let rounds = saf_drain(&routes, 4, true, 1).expect("classed pool must drain");
+        assert!(rounds > 0);
+    }
+
+    #[test]
+    fn pool_accounting() {
+        let mut p = BufferPool::new(2, 3, 2);
+        assert!(p.try_acquire(0, 1));
+        assert!(p.try_acquire(0, 1));
+        assert!(!p.try_acquire(0, 1));
+        assert_eq!(p.available(0, 1), 0);
+        p.release(0, 1);
+        assert_eq!(p.available(0, 1), 1);
+        assert_eq!(p.classes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-release")]
+    fn over_release_detected() {
+        let mut p = BufferPool::new(1, 1, 1);
+        p.release(0, 0);
+    }
+
+    #[test]
+    fn big_random_batch_drains_with_classes() {
+        // Many packets on a ring with classed buffers: always drains.
+        let n = 8usize;
+        let mut routes = Vec::new();
+        for s in 0..n {
+            for len in 2..=5usize {
+                let route: Vec<usize> = (0..=len).map(|i| (s + i) % n).collect();
+                routes.push(route);
+            }
+        }
+        assert!(saf_drain(&routes, n, true, 1).is_some());
+    }
+}

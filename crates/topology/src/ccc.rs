@@ -1,0 +1,120 @@
+//! The cube-connected cycles topology (mentioned in §4.3 as a further
+//! interconnection family the multicast results extend to).
+//!
+//! `CCC(n)` replaces every vertex of an n-cube with an n-node cycle; node
+//! `(v, i)` connects to its cycle neighbors `(v, i±1 mod n)` and across
+//! the cube's dimension `i` to `(v ⊕ 2^i, i)`. All nodes have degree 3,
+//! making CCC attractive for fixed-degree hardware. `CCC(n)` is
+//! Hamiltonian for `n ≥ 3`, so the dissertation's Hamiltonian-labeling
+//! path routing applies unchanged (see [`crate::hamiltonian::find_path`]).
+
+use crate::graph::{NodeId, Topology};
+
+/// A cube-connected cycles network `CCC(n)`, `n·2^n` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CubeConnectedCycles {
+    dim: u32,
+}
+
+impl CubeConnectedCycles {
+    /// Creates `CCC(n)`.
+    ///
+    /// # Panics
+    /// Panics if `dim < 3` (degenerate cycles) or too large.
+    pub fn new(dim: u32) -> Self {
+        assert!(dim >= 3, "CCC needs cycles of length at least 3");
+        assert!(dim < 24, "CCC dimension too large");
+        CubeConnectedCycles { dim }
+    }
+
+    /// The cube dimension `n` (also the cycle length).
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Node id of `(cube_vertex, cycle_position)`.
+    pub fn node(&self, vertex: usize, pos: u32) -> NodeId {
+        debug_assert!(vertex < 1 << self.dim);
+        debug_assert!(pos < self.dim);
+        vertex * self.dim as usize + pos as usize
+    }
+
+    /// The `(cube_vertex, cycle_position)` of a node id.
+    pub fn coords(&self, n: NodeId) -> (usize, u32) {
+        (n / self.dim as usize, (n % self.dim as usize) as u32)
+    }
+}
+
+impl Topology for CubeConnectedCycles {
+    fn num_nodes(&self) -> usize {
+        self.dim as usize * (1 << self.dim)
+    }
+
+    /// Neighbors in order: cycle successor, cycle predecessor, cube
+    /// neighbor.
+    fn neighbors_into(&self, n: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        let (v, p) = self.coords(n);
+        let d = self.dim;
+        out.push(self.node(v, (p + 1) % d));
+        out.push(self.node(v, (p + d - 1) % d));
+        out.push(self.node(v ^ (1 << p), p));
+    }
+
+    fn degree(&self, _n: NodeId) -> usize {
+        3
+    }
+
+    fn diameter(&self) -> usize {
+        // Known bound: ⌊5n/2⌋ − 2 for n ≥ 4; for n = 3 it is 6.
+        if self.dim == 3 {
+            6
+        } else {
+            (5 * self.dim as usize) / 2 - 2
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("CCC({})", self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::bfs_distances;
+
+    #[test]
+    fn structure_of_ccc3() {
+        let c = CubeConnectedCycles::new(3);
+        assert_eq!(c.num_nodes(), 24);
+        for n in 0..c.num_nodes() {
+            assert_eq!(c.degree(n), 3);
+            let nb = c.neighbors(n);
+            assert_eq!(nb.len(), 3);
+            // Symmetry: each neighbor lists n back.
+            for m in nb {
+                assert!(c.neighbors(m).contains(&n), "asymmetric edge {n}-{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn connected_and_diameter_bound() {
+        let c = CubeConnectedCycles::new(3);
+        let d0 = bfs_distances(&c, 0);
+        let max = d0.iter().max().copied().unwrap();
+        assert!(d0.iter().all(|&d| d != usize::MAX));
+        assert!(max <= c.diameter(), "eccentricity {max} > diameter bound");
+    }
+
+    #[test]
+    fn cube_edges_cross_dimensions() {
+        let c = CubeConnectedCycles::new(4);
+        let (v, p) = (0b1010usize, 2u32);
+        let n = c.node(v, p);
+        let nb = c.neighbors(n);
+        assert!(nb.contains(&c.node(v ^ 0b100, p)));
+        assert_eq!(c.coords(n), (v, p));
+    }
+}

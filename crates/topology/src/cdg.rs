@@ -1,0 +1,311 @@
+//! Channel dependency graphs (§2.3.4, Dally & Seitz [44]).
+//!
+//! For a network `I` and routing function `R`, the CDG has a vertex per
+//! channel and an edge `(c_i, c_j)` whenever a message that entered on
+//! `c_i` may be forwarded onto `c_j`. A routing algorithm is deadlock-free
+//! iff its CDG is acyclic; this module builds CDGs and checks acyclicity,
+//! and is used throughout the test suite to *verify* the deadlock-freedom
+//! assertions of Chapter 6 and to *exhibit* the cycles in the broken
+//! schemes of §6.1.
+
+use std::collections::HashMap;
+
+use crate::graph::{Channel, NodeId};
+
+/// A channel dependency graph over an explicit channel set.
+#[derive(Debug, Clone)]
+pub struct ChannelDependencyGraph {
+    channels: Vec<Channel>,
+    index: HashMap<Channel, usize>,
+    /// Adjacency: `adj[i]` lists channel indices that depend on channel `i`
+    /// (i.e. edges `c_i → c_j`).
+    adj: Vec<Vec<usize>>,
+}
+
+impl ChannelDependencyGraph {
+    /// Creates an empty CDG over the given channel set.
+    pub fn new(channels: Vec<Channel>) -> Self {
+        let index = channels.iter().copied().enumerate().map(|(i, c)| (c, i)).collect();
+        let adj = vec![Vec::new(); channels.len()];
+        ChannelDependencyGraph { channels, index, adj }
+    }
+
+    /// Number of channel vertices.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The channel set.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// The index of a channel, if it is part of this CDG.
+    pub fn channel_index(&self, c: Channel) -> Option<usize> {
+        self.index.get(&c).copied()
+    }
+
+    /// Adds the dependency edge `from → to`.
+    ///
+    /// # Panics
+    /// Panics if either channel is not in the CDG's channel set.
+    pub fn add_dependency(&mut self, from: Channel, to: Channel) {
+        let i = self.index[&from];
+        let j = self.index[&to];
+        if !self.adj[i].contains(&j) {
+            self.adj[i].push(j);
+        }
+    }
+
+    /// Number of dependency edges.
+    pub fn num_dependencies(&self) -> usize {
+        self.adj.iter().map(|v| v.len()).sum()
+    }
+
+    /// Whether the CDG contains a cycle. Returns one witness cycle (as a
+    /// channel sequence, first channel repeated at the end) if so.
+    pub fn find_cycle(&self) -> Option<Vec<Channel>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.channels.len();
+        let mut color = vec![Color::White; n];
+        let mut parent = vec![usize::MAX; n];
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            // Iterative DFS keeping an explicit stack of (node, next-edge).
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = Color::Gray;
+            while let Some(&(u, next)) = stack.last() {
+                if next < self.adj[u].len() {
+                    stack.last_mut().expect("stack nonempty").1 += 1;
+                    let v = self.adj[u][next];
+                    match color[v] {
+                        Color::White => {
+                            color[v] = Color::Gray;
+                            parent[v] = u;
+                            stack.push((v, 0));
+                        }
+                        Color::Gray => {
+                            // Found a back edge u → v: reconstruct cycle.
+                            let mut cyc = vec![self.channels[v]];
+                            let mut cur = u;
+                            while cur != v {
+                                cyc.push(self.channels[cur]);
+                                cur = parent[cur];
+                            }
+                            cyc.push(self.channels[v]);
+                            // Built v, u, parent(u), …, v — reverse to get
+                            // forward edge order v → … → u → v.
+                            cyc.reverse();
+                            return Some(cyc);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[u] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the CDG is acyclic (the Dally–Seitz deadlock-freedom
+    /// criterion).
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+
+    /// A topological order of the channels, if the CDG is acyclic.
+    pub fn topological_order(&self) -> Option<Vec<Channel>> {
+        let n = self.channels.len();
+        let mut indeg = vec![0usize; n];
+        for edges in &self.adj {
+            for &j in edges {
+                indeg[j] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            order.push(self.channels[i]);
+            for &j in &self.adj[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+}
+
+/// Builds the CDG of a *unicast* routing function over an arbitrary channel
+/// set: `next(current_node, incoming, dest)` returns the outgoing channel a
+/// message bound for `dest` takes from `current_node` after having arrived
+/// on `incoming` (`None` at the source). Dependencies are enumerated over
+/// every (channel, destination) pair, which is exact for the deterministic
+/// routing functions of this crate.
+pub fn cdg_from_routing<F>(channels: Vec<Channel>, num_nodes: usize, next: F) -> ChannelDependencyGraph
+where
+    F: Fn(NodeId, Option<Channel>, NodeId) -> Option<Channel>,
+{
+    let mut cdg = ChannelDependencyGraph::new(channels.clone());
+    for &c in &channels {
+        for dest in 0..num_nodes {
+            if dest == c.to {
+                continue;
+            }
+            if let Some(c2) = next(c.to, Some(c), dest) {
+                if cdg.channel_index(c2).is_some() {
+                    cdg.add_dependency(c, c2);
+                }
+            }
+        }
+    }
+    cdg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Topology;
+    use crate::mesh2d::{Dir2, Mesh2D};
+
+    /// XY (X-first) unicast routing as a channel-to-channel routing
+    /// relation: horizontal moves first, then vertical. A message that
+    /// arrived on a vertical channel never needs a horizontal move, so
+    /// such (incoming, dest) pairs are outside the relation's domain
+    /// (`None`) — exactly the restriction that makes the Fig 2.5 CDG
+    /// acyclic.
+    fn xy_next(
+        mesh: &Mesh2D,
+        at: NodeId,
+        incoming: Option<Channel>,
+        dest: NodeId,
+    ) -> Option<Channel> {
+        let (x, y) = mesh.coords(at);
+        let (dx, dy) = mesh.coords(dest);
+        let dir = if dx > x {
+            Dir2::PosX
+        } else if dx < x {
+            Dir2::NegX
+        } else if dy > y {
+            Dir2::PosY
+        } else if dy < y {
+            Dir2::NegY
+        } else {
+            return None;
+        };
+        if let Some(c) = incoming {
+            let in_dir = mesh.channel_direction(c);
+            let in_vertical = matches!(in_dir, Dir2::PosY | Dir2::NegY);
+            let out_horizontal = matches!(dir, Dir2::PosX | Dir2::NegX);
+            let reversal = matches!(
+                (in_dir, dir),
+                (Dir2::PosX, Dir2::NegX)
+                    | (Dir2::NegX, Dir2::PosX)
+                    | (Dir2::PosY, Dir2::NegY)
+                    | (Dir2::NegY, Dir2::PosY)
+            );
+            if (in_vertical && out_horizontal) || reversal {
+                // Unreachable message states under minimal X-first routing:
+                // a message on a vertical channel never turns back to X,
+                // and a minimal route never makes a 180° turn.
+                return None;
+            }
+        }
+        Some(Channel::new(at, mesh.step(at, dir).unwrap()))
+    }
+
+    #[test]
+    fn xy_routing_cdg_is_acyclic() {
+        // Fig 2.5: X-first routing has an acyclic CDG.
+        let m = Mesh2D::new(4, 4);
+        let cdg =
+            cdg_from_routing(m.channels(), m.num_nodes(), |at, inc, dest| xy_next(&m, at, inc, dest));
+        assert!(cdg.is_acyclic());
+        assert!(cdg.topological_order().is_some());
+    }
+
+    #[test]
+    fn yx_then_xy_mixture_has_cycle() {
+        // A routing function that goes Y-first for some destinations and
+        // X-first for others creates the classic turn cycle (Fig 2.4).
+        let m = Mesh2D::new(3, 3);
+        let next = |at: NodeId, _inc: Option<Channel>, dest: NodeId| -> Option<Channel> {
+            let (x, y) = m.coords(at);
+            let (dx, dy) = m.coords(dest);
+            // Destinations in the top half route Y-first, others X-first:
+            // together all four turn types occur, so a cycle exists.
+            let yfirst = dy >= 2;
+            let dir = if yfirst {
+                if dy > y {
+                    Some(Dir2::PosY)
+                } else if dy < y {
+                    Some(Dir2::NegY)
+                } else if dx > x {
+                    Some(Dir2::PosX)
+                } else if dx < x {
+                    Some(Dir2::NegX)
+                } else {
+                    None
+                }
+            } else if dx > x {
+                Some(Dir2::PosX)
+            } else if dx < x {
+                Some(Dir2::NegX)
+            } else if dy > y {
+                Some(Dir2::PosY)
+            } else if dy < y {
+                Some(Dir2::NegY)
+            } else {
+                None
+            }?;
+            Some(Channel::new(at, m.step(at, dir)?))
+        };
+        let cdg = cdg_from_routing(m.channels(), m.num_nodes(), next);
+        let cyc = cdg.find_cycle().expect("mixed XY/YX routing must have a dependency cycle");
+        // Witness cycle is closed and consists of consecutive channels.
+        assert_eq!(cyc.first(), cyc.last());
+        for w in cyc.windows(2) {
+            assert_eq!(w[0].to, w[1].from, "cycle edges must chain head-to-tail");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_edge_graphs() {
+        let mut cdg = ChannelDependencyGraph::new(vec![Channel::new(0, 1), Channel::new(1, 2)]);
+        assert!(cdg.is_acyclic());
+        cdg.add_dependency(Channel::new(0, 1), Channel::new(1, 2));
+        assert!(cdg.is_acyclic());
+        assert_eq!(cdg.num_dependencies(), 1);
+        let order = cdg.topological_order().unwrap();
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut cdg = ChannelDependencyGraph::new(vec![Channel::new(0, 1)]);
+        cdg.add_dependency(Channel::new(0, 1), Channel::new(0, 1));
+        let cyc = cdg.find_cycle().unwrap();
+        assert_eq!(cyc, vec![Channel::new(0, 1), Channel::new(0, 1)]);
+        assert!(cdg.topological_order().is_none());
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let a = Channel::new(0, 1);
+        let b = Channel::new(1, 0);
+        let mut cdg = ChannelDependencyGraph::new(vec![a, b]);
+        cdg.add_dependency(a, b);
+        cdg.add_dependency(b, a);
+        assert!(!cdg.is_acyclic());
+    }
+}

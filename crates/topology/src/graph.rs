@@ -1,0 +1,270 @@
+//! Core graph abstractions shared by every topology.
+//!
+//! A multicomputer network is modeled as a *host graph* `G(V, E)` (Chapter 3
+//! of the dissertation): nodes are processors, edges are bidirectional
+//! communication links realized as a pair of directed *channels*. All
+//! topologies in this crate expose a dense node-id space `0..num_nodes()`,
+//! so algorithms can use flat arrays keyed by [`NodeId`].
+
+use std::collections::VecDeque;
+
+/// Dense node identifier, `0..Topology::num_nodes()`.
+pub type NodeId = usize;
+
+/// A directed communication channel between two adjacent nodes.
+///
+/// Physical links are bidirectional, but wormhole routing allocates each
+/// *direction* independently, so channels are directed. `class` distinguishes
+/// multiple (physical or virtual) channels in the same direction — e.g. the
+/// double-channel network of §6.2.1 uses classes 0 and 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Channel {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Channel class (0 for single-channel networks).
+    pub class: u8,
+}
+
+impl Channel {
+    /// Class-0 channel from `from` to `to`.
+    pub const fn new(from: NodeId, to: NodeId) -> Self {
+        Channel { from, to, class: 0 }
+    }
+
+    /// Channel with an explicit class.
+    pub const fn with_class(from: NodeId, to: NodeId, class: u8) -> Self {
+        Channel { from, to, class }
+    }
+
+    /// The channel running in the opposite direction (same class).
+    pub const fn reversed(self) -> Self {
+        Channel { from: self.to, to: self.from, class: self.class }
+    }
+}
+
+/// An interconnection topology: a regular host graph with a dense node-id
+/// space.
+///
+/// Implementations provide constant-time adjacency and (where the topology
+/// permits) closed-form shortest-path distances; the trait supplies generic
+/// BFS-based defaults so irregular graphs (e.g. [`crate::grid::GridGraph`])
+/// can participate in the same algorithms.
+pub trait Topology {
+    /// Number of nodes `N = |V|`.
+    fn num_nodes(&self) -> usize;
+
+    /// Appends the neighbors of `n` to `out` (cleared first).
+    ///
+    /// The order is deterministic and documented per topology; several
+    /// routing algorithms (e.g. multi-path destination partitioning) rely on
+    /// enumerating neighbors in a fixed order.
+    fn neighbors_into(&self, n: NodeId, out: &mut Vec<NodeId>);
+
+    /// The neighbors of `n` as a freshly allocated vector.
+    fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        let mut v = Vec::new();
+        self.neighbors_into(n, &mut v);
+        v
+    }
+
+    /// Node degree.
+    fn degree(&self, n: NodeId) -> usize {
+        self.neighbors(n).len()
+    }
+
+    /// Whether `a` and `b` are joined by a link.
+    fn adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors(a).contains(&b)
+    }
+
+    /// Length of a shortest path from `a` to `b` (number of links).
+    ///
+    /// The default runs a BFS; regular topologies override this with a
+    /// closed form (`|Δx|+|Δy|` for meshes, Hamming distance for cubes).
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        bfs_distance(self, a, b).expect("topology must be connected")
+    }
+
+    /// Maximum distance between any pair of nodes.
+    fn diameter(&self) -> usize;
+
+    /// Short human-readable description, e.g. `"8x8 mesh"` or `"6-cube"`.
+    fn describe(&self) -> String;
+
+    /// Every directed class-0 channel of the topology, in a deterministic
+    /// order (ascending `from`, then the topology's neighbor order).
+    fn channels(&self) -> Vec<Channel> {
+        let mut out = Vec::new();
+        let mut nb = Vec::new();
+        for n in 0..self.num_nodes() {
+            self.neighbors_into(n, &mut nb);
+            for &m in &nb {
+                out.push(Channel::new(n, m));
+            }
+        }
+        out
+    }
+
+    /// Number of directed class-0 channels.
+    fn num_channels(&self) -> usize {
+        (0..self.num_nodes()).map(|n| self.degree(n)).sum()
+    }
+}
+
+/// BFS shortest-path distance; `None` if `b` is unreachable from `a`.
+pub fn bfs_distance<T: Topology + ?Sized>(topo: &T, a: NodeId, b: NodeId) -> Option<usize> {
+    if a == b {
+        return Some(0);
+    }
+    let n = topo.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    dist[a] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(a);
+    let mut nb = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        topo.neighbors_into(u, &mut nb);
+        for &v in &nb {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                if v == b {
+                    return Some(dist[v]);
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// BFS distances from `a` to every node (`usize::MAX` where unreachable).
+pub fn bfs_distances<T: Topology + ?Sized>(topo: &T, a: NodeId) -> Vec<usize> {
+    let n = topo.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    dist[a] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(a);
+    let mut nb = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        topo.neighbors_into(u, &mut nb);
+        for &v in &nb {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// A shortest path from `a` to `b` (inclusive of both endpoints), found by
+/// BFS with deterministic tie-breaking (the topology's neighbor order).
+pub fn bfs_path<T: Topology + ?Sized>(topo: &T, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+    if a == b {
+        return Some(vec![a]);
+    }
+    let n = topo.num_nodes();
+    let mut parent = vec![usize::MAX; n];
+    parent[a] = a;
+    let mut queue = VecDeque::new();
+    queue.push_back(a);
+    let mut nb = Vec::new();
+    'outer: while let Some(u) = queue.pop_front() {
+        topo.neighbors_into(u, &mut nb);
+        for &v in &nb {
+            if parent[v] == usize::MAX {
+                parent[v] = u;
+                if v == b {
+                    break 'outer;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    if parent[b] == usize::MAX {
+        return None;
+    }
+    let mut path = vec![b];
+    let mut cur = b;
+    while cur != a {
+        cur = parent[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Whether the sequence `path` is a valid walk in `topo` (every consecutive
+/// pair adjacent).
+pub fn is_walk<T: Topology + ?Sized>(topo: &T, path: &[NodeId]) -> bool {
+    path.windows(2).all(|w| topo.adjacent(w[0], w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 4-cycle used to exercise the generic defaults.
+    struct Ring(usize);
+
+    impl Topology for Ring {
+        fn num_nodes(&self) -> usize {
+            self.0
+        }
+        fn neighbors_into(&self, n: NodeId, out: &mut Vec<NodeId>) {
+            out.clear();
+            out.push((n + 1) % self.0);
+            out.push((n + self.0 - 1) % self.0);
+        }
+        fn diameter(&self) -> usize {
+            self.0 / 2
+        }
+        fn describe(&self) -> String {
+            format!("{}-ring", self.0)
+        }
+    }
+
+    #[test]
+    fn channel_reverse_roundtrips() {
+        let c = Channel::with_class(3, 7, 1);
+        assert_eq!(c.reversed().reversed(), c);
+        assert_eq!(c.reversed(), Channel::with_class(7, 3, 1));
+    }
+
+    #[test]
+    fn bfs_distance_on_ring() {
+        let r = Ring(8);
+        assert_eq!(r.distance(0, 0), 0);
+        assert_eq!(r.distance(0, 1), 1);
+        assert_eq!(r.distance(0, 4), 4);
+        assert_eq!(r.distance(0, 5), 3);
+    }
+
+    #[test]
+    fn bfs_path_is_shortest_walk() {
+        let r = Ring(10);
+        let p = bfs_path(&r, 2, 7).unwrap();
+        assert_eq!(p.len() - 1, r.distance(2, 7));
+        assert!(is_walk(&r, &p));
+        assert_eq!(p[0], 2);
+        assert_eq!(*p.last().unwrap(), 7);
+    }
+
+    #[test]
+    fn channels_enumeration_counts_degree_sum() {
+        let r = Ring(6);
+        assert_eq!(r.channels().len(), 12);
+        assert_eq!(r.num_channels(), 12);
+    }
+
+    #[test]
+    fn bfs_distances_matches_pointwise() {
+        let r = Ring(9);
+        let d = bfs_distances(&r, 3);
+        for (v, &dist) in d.iter().enumerate() {
+            assert_eq!(dist, r.distance(3, v));
+        }
+    }
+}

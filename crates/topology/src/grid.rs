@@ -1,0 +1,275 @@
+//! Finite grid graphs (§4.1, Itai–Papadimitriou–Szwarcfiter [51]).
+//!
+//! A *grid graph* is a finite node-induced subgraph of the infinite integer
+//! lattice `G∞`: vertices are integer points, edges join points at
+//! Euclidean distance 1. Grid graphs are the source problems of every
+//! NP-completeness reduction in Chapter 4 (Hamiltonian cycle/path in grid
+//! graphs → OMC/OMP/OMS in meshes and hypercubes).
+
+use std::collections::HashMap;
+
+use crate::graph::{NodeId, Topology};
+use crate::mesh2d::Mesh2D;
+
+/// A finite node-induced subgraph of the integer lattice.
+#[derive(Debug, Clone)]
+pub struct GridGraph {
+    points: Vec<(i64, i64)>,
+    index: HashMap<(i64, i64), NodeId>,
+}
+
+impl GridGraph {
+    /// Creates a grid graph from a set of lattice points. Duplicates are
+    /// removed; the node-id order follows first occurrence.
+    pub fn new(points: impl IntoIterator<Item = (i64, i64)>) -> Self {
+        let mut uniq = Vec::new();
+        let mut index = HashMap::new();
+        for p in points {
+            if let std::collections::hash_map::Entry::Vacant(e) = index.entry(p) {
+                e.insert(uniq.len());
+                uniq.push(p);
+            }
+        }
+        GridGraph { points: uniq, index }
+    }
+
+    /// The lattice coordinates of node `n`.
+    pub fn point(&self, n: NodeId) -> (i64, i64) {
+        self.points[n]
+    }
+
+    /// The node at lattice point `p`, if present.
+    pub fn node_at(&self, p: (i64, i64)) -> Option<NodeId> {
+        self.index.get(&p).copied()
+    }
+
+    /// All lattice points, in node-id order.
+    pub fn points(&self) -> &[(i64, i64)] {
+        &self.points
+    }
+
+    /// Whether the grid graph is connected.
+    pub fn is_connected(&self) -> bool {
+        if self.points.is_empty() {
+            return true;
+        }
+        crate::graph::bfs_distances(self, 0).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// The corner node `u` of Lemma 4.1: the point with minimum `x`, and
+    /// among those minimum `y`. Its `(x−1, y)` and `(x, y−1)` neighbors are
+    /// guaranteed absent.
+    pub fn lemma_4_1_corner(&self) -> NodeId {
+        let (i, _) = self
+            .points
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(x, y))| (x, y))
+            .expect("grid graph must be nonempty");
+        i
+    }
+
+    /// Embeds this grid graph into the smallest enclosing 2D mesh
+    /// (Theorem 4.1's polynomial construction of `M` from `G`). Returns the
+    /// mesh and the mesh node id of each grid node.
+    pub fn enclosing_mesh(&self) -> (Mesh2D, Vec<NodeId>) {
+        assert!(!self.points.is_empty());
+        let min_x = self.points.iter().map(|p| p.0).min().unwrap();
+        let max_x = self.points.iter().map(|p| p.0).max().unwrap();
+        let min_y = self.points.iter().map(|p| p.1).min().unwrap();
+        let max_y = self.points.iter().map(|p| p.1).max().unwrap();
+        let mesh = Mesh2D::new((max_x - min_x + 1) as usize, (max_y - min_y + 1) as usize);
+        let ids = self
+            .points
+            .iter()
+            .map(|&(x, y)| mesh.node((x - min_x) as usize, (y - min_y) as usize))
+            .collect();
+        (mesh, ids)
+    }
+
+    /// Whether `order` is a Hamiltonian cycle of this grid graph.
+    pub fn is_hamiltonian_cycle(&self, order: &[NodeId]) -> bool {
+        if order.len() != self.points.len() || order.is_empty() {
+            return false;
+        }
+        let mut seen = vec![false; self.points.len()];
+        for &n in order {
+            if n >= self.points.len() || seen[n] {
+                return false;
+            }
+            seen[n] = true;
+        }
+        order.windows(2).all(|w| self.adjacent(w[0], w[1]))
+            && self.adjacent(*order.last().unwrap(), order[0])
+    }
+
+    /// Finds a Hamiltonian cycle by exhaustive backtracking (exponential;
+    /// for reduction tests on small instances only).
+    pub fn find_hamiltonian_cycle(&self) -> Option<Vec<NodeId>> {
+        let n = self.points.len();
+        if n < 3 {
+            return None;
+        }
+        let mut path = vec![0usize];
+        let mut used = vec![false; n];
+        used[0] = true;
+        self.ham_dfs(&mut path, &mut used, true).then_some(path)
+    }
+
+    /// Finds a Hamiltonian path starting at `start` by backtracking.
+    pub fn find_hamiltonian_path_from(&self, start: NodeId) -> Option<Vec<NodeId>> {
+        let n = self.points.len();
+        let mut path = vec![start];
+        let mut used = vec![false; n];
+        used[start] = true;
+        self.ham_dfs(&mut path, &mut used, false).then_some(path)
+    }
+
+    fn ham_dfs(&self, path: &mut Vec<NodeId>, used: &mut [bool], cycle: bool) -> bool {
+        if path.len() == used.len() {
+            return !cycle || self.adjacent(*path.last().unwrap(), path[0]);
+        }
+        let last = *path.last().unwrap();
+        for v in self.neighbors(last) {
+            if !used[v] {
+                used[v] = true;
+                path.push(v);
+                if self.ham_dfs(path, used, cycle) {
+                    return true;
+                }
+                path.pop();
+                used[v] = false;
+            }
+        }
+        false
+    }
+}
+
+impl Topology for GridGraph {
+    fn num_nodes(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Neighbors in `+X, -X, +Y, -Y` order (present ones only).
+    fn neighbors_into(&self, n: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        let (x, y) = self.points[n];
+        for p in [(x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)] {
+            if let Some(m) = self.node_at(p) {
+                out.push(m);
+            }
+        }
+    }
+
+    fn adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        let (ax, ay) = self.points[a];
+        let (bx, by) = self.points[b];
+        ax.abs_diff(bx) + ay.abs_diff(by) == 1
+    }
+
+    fn diameter(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|n| {
+                crate::graph::bfs_distances(self, n)
+                    .into_iter()
+                    .filter(|&d| d != usize::MAX)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn describe(&self) -> String {
+        format!("grid graph with {} nodes", self.points.len())
+    }
+}
+
+/// The 8-node grid graph of Fig 4.2 / Example 4.1: nodes `v0..v7` with the
+/// BFS layering `A0 = {v0}`, `A1 = {v1, v2}`, `A2 = {v3, v4}`,
+/// `A3 = {v5, v6}`, `A4 = {v7}`.
+///
+/// The figure is reconstructed as the 2×4 block (a Hamiltonian grid graph
+/// whose BFS layers from the corner have sizes 1,2,2,2,1).
+pub fn example_4_1_grid() -> GridGraph {
+    GridGraph::new([
+        (0, 0), // v0
+        (1, 0), // v1
+        (0, 1), // v2
+        (2, 0), // v3
+        (1, 1), // v4
+        (3, 0), // v5
+        (2, 1), // v6
+        (3, 1), // v7
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_grid_layers_match_example_4_1() {
+        let g = example_4_1_grid();
+        assert!(g.is_connected());
+        let d = crate::graph::bfs_distances(&g, 0);
+        let layer = |i: usize| -> Vec<usize> {
+            (0..8).filter(|&v| d[v] == i).collect()
+        };
+        assert_eq!(layer(0), vec![0]);
+        assert_eq!(layer(1), vec![1, 2]);
+        assert_eq!(layer(2), vec![3, 4]);
+        assert_eq!(layer(3), vec![5, 6]);
+        assert_eq!(layer(4), vec![7]);
+    }
+
+    #[test]
+    fn example_grid_has_hamiltonian_cycle() {
+        let g = example_4_1_grid();
+        let cyc = g.find_hamiltonian_cycle().expect("2x4 block is Hamiltonian");
+        assert!(g.is_hamiltonian_cycle(&cyc));
+    }
+
+    #[test]
+    fn l_shape_has_no_hamiltonian_cycle() {
+        // A 3-node L: path graph, no cycle.
+        let g = GridGraph::new([(0, 0), (1, 0), (1, 1)]);
+        assert!(g.find_hamiltonian_cycle().is_none());
+        // The 3-node L is a path graph: Hamiltonian paths exist only from
+        // its endpoints, never from the middle node (1,0).
+        assert!(g.find_hamiltonian_path_from(0).is_some());
+        assert!(g.find_hamiltonian_path_from(1).is_none());
+        assert!(g.find_hamiltonian_path_from(2).is_some());
+    }
+
+    #[test]
+    fn corner_selection_matches_lemma_4_1() {
+        let g = GridGraph::new([(2, 3), (1, 1), (1, 2), (2, 1), (2, 2)]);
+        let u = g.lemma_4_1_corner();
+        assert_eq!(g.point(u), (1, 1));
+        // Its west and south neighbors are outside the graph.
+        assert!(g.node_at((0, 1)).is_none());
+        assert!(g.node_at((1, 0)).is_none());
+    }
+
+    #[test]
+    fn enclosing_mesh_preserves_adjacency() {
+        let g = GridGraph::new([(5, 5), (6, 5), (6, 6), (7, 6)]);
+        let (mesh, ids) = g.enclosing_mesh();
+        assert_eq!(mesh.width(), 3);
+        assert_eq!(mesh.height(), 2);
+        for a in 0..g.num_nodes() {
+            for b in 0..g.num_nodes() {
+                if g.adjacent(a, b) {
+                    assert!(mesh.adjacent(ids[a], ids[b]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_deduplicated() {
+        let g = GridGraph::new([(0, 0), (0, 0), (1, 0)]);
+        assert_eq!(g.num_nodes(), 2);
+    }
+}

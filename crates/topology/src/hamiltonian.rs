@@ -1,0 +1,351 @@
+//! Hamiltonian cycles and the `h` position mapping used by the sorted
+//! MP/MC algorithms (§5.1, Tables 5.1–5.4).
+//!
+//! The sorted-MP algorithm fixes one Hamiltonian cycle
+//! `C = (v_1, …, v_m, v_1)` of the host graph and maps every node to its
+//! 1-based position `h(v_i) = i`. The facts it relies on (F1–F3 in §5.1):
+//! an `N₁×N₂` mesh has a Hamiltonian cycle when `N₁` or `N₂` is even, and
+//! an n-cube always has one (the Gray code).
+
+use crate::graph::{NodeId, Topology};
+use crate::gray::gray_encode;
+use crate::hypercube::Hypercube;
+use crate::mesh2d::Mesh2D;
+
+/// A Hamiltonian cycle together with the `h` position mapping of §5.1.
+#[derive(Debug, Clone)]
+pub struct HamiltonCycle {
+    /// Visit order: `order[i]` is node `v_{i+1}` (so `h(order[i]) = i + 1`).
+    order: Vec<NodeId>,
+    /// `h(node)`, 1-based.
+    h: Vec<usize>,
+}
+
+impl HamiltonCycle {
+    /// Builds the cycle structure from a visit order, verifying it is a
+    /// Hamiltonian cycle of `topo`.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a Hamiltonian cycle.
+    pub fn from_order<T: Topology + ?Sized>(topo: &T, order: Vec<NodeId>) -> Self {
+        assert_eq!(order.len(), topo.num_nodes(), "cycle must visit every node once");
+        let mut h = vec![0usize; order.len()];
+        for (i, &v) in order.iter().enumerate() {
+            assert_eq!(h[v], 0, "node {v} visited twice");
+            h[v] = i + 1;
+        }
+        for w in order.windows(2) {
+            assert!(topo.adjacent(w[0], w[1]), "nodes {} and {} not adjacent", w[0], w[1]);
+        }
+        assert!(
+            topo.adjacent(*order.last().unwrap(), order[0]),
+            "cycle does not close: {} and {} not adjacent",
+            order.last().unwrap(),
+            order[0]
+        );
+        HamiltonCycle { order, h }
+    }
+
+    /// Number of nodes `m` on the cycle.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the cycle is empty (never, for valid topologies).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The 1-based position `h(v)` of node `v` on the cycle.
+    #[inline]
+    pub fn h(&self, v: NodeId) -> usize {
+        self.h[v]
+    }
+
+    /// The node at 1-based position `i`.
+    #[inline]
+    pub fn node_at(&self, i: usize) -> NodeId {
+        self.order[i - 1]
+    }
+
+    /// The visit order (`v_1, …, v_m`).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The sorting key `f` of the sorted-MP algorithm (Fig 5.1/5.2):
+    /// positions are rotated so the source `u0` comes first —
+    /// `f(x) = h(x) + m` if `h(x) < h(u0)`, else `h(x)`.
+    #[inline]
+    pub fn f(&self, u0: NodeId, x: NodeId) -> usize {
+        let hx = self.h(x);
+        if hx < self.h(u0) {
+            hx + self.len()
+        } else {
+            hx
+        }
+    }
+}
+
+/// The canonical Hamiltonian cycle of a 2D mesh (Table 5.1's construction):
+/// traverse row 0 left-to-right, snake through rows `1..h` over columns
+/// `1..w`, then return up column 0.
+///
+/// Exists whenever the mesh has at least 2 rows and 2 columns and at least
+/// one even dimension (§5.1's standing assumption). When the height is odd
+/// the transposed construction is used.
+///
+/// # Panics
+/// Panics if no Hamiltonian cycle exists (either dimension is 1, or both
+/// are odd — a parity argument on the bipartite mesh rules the latter out).
+pub fn mesh2d_cycle(mesh: &Mesh2D) -> HamiltonCycle {
+    let (w, h) = (mesh.width(), mesh.height());
+    assert!(w >= 2 && h >= 2, "a {}x{} mesh has no Hamiltonian cycle", w, h);
+    assert!(
+        w % 2 == 0 || h % 2 == 0,
+        "a mesh with both dimensions odd has no Hamiltonian cycle"
+    );
+    let mut order = Vec::with_capacity(mesh.num_nodes());
+    if h % 2 == 0 {
+        // Row 0 rightward, snake rows 1..h over columns 1..w (downward),
+        // then up column 0. Requires h even so the snake ends at (1, h-1).
+        for x in 0..w {
+            order.push(mesh.node(x, 0));
+        }
+        for y in 1..h {
+            if y % 2 == 1 {
+                for x in (1..w).rev() {
+                    order.push(mesh.node(x, y));
+                }
+            } else {
+                for x in 1..w {
+                    order.push(mesh.node(x, y));
+                }
+            }
+        }
+        for y in (1..h).rev() {
+            order.push(mesh.node(0, y));
+        }
+    } else {
+        // Transposed: column 0 downward, snake columns 1..w over rows 1..h,
+        // then back along row 0.
+        for y in 0..h {
+            order.push(mesh.node(0, y));
+        }
+        for x in 1..w {
+            if x % 2 == 1 {
+                for y in (1..h).rev() {
+                    order.push(mesh.node(x, y));
+                }
+            } else {
+                for y in 1..h {
+                    order.push(mesh.node(x, y));
+                }
+            }
+        }
+        for x in (1..w).rev() {
+            order.push(mesh.node(x, 0));
+        }
+    }
+    HamiltonCycle::from_order(mesh, order)
+}
+
+/// The Gray-code Hamiltonian cycle of an n-cube (Table 5.3's construction).
+pub fn hypercube_cycle(cube: &Hypercube) -> HamiltonCycle {
+    let order = (0..cube.num_nodes()).map(gray_encode).collect();
+    HamiltonCycle::from_order(cube, order)
+}
+
+/// Finds a Hamiltonian path of an arbitrary topology by backtracking with
+/// a fewest-free-neighbors (Warnsdorff-style) heuristic. Exponential in
+/// the worst case — intended for small irregular topologies (e.g.
+/// `CCC(3)`/`CCC(4)`) whose labeling the closed-form constructions don't
+/// cover; §8.1 notes the path-based routing schemes apply to any network
+/// with a Hamiltonian path.
+pub fn find_path<T: Topology + ?Sized>(topo: &T, start: NodeId) -> Option<Vec<NodeId>> {
+    let n = topo.num_nodes();
+    let mut path = vec![start];
+    let mut used = vec![false; n];
+    used[start] = true;
+    fn dfs<T: Topology + ?Sized>(
+        topo: &T,
+        path: &mut Vec<NodeId>,
+        used: &mut [bool],
+    ) -> bool {
+        if path.len() == used.len() {
+            return true;
+        }
+        let last = *path.last().expect("path nonempty");
+        let mut options: Vec<NodeId> =
+            topo.neighbors(last).into_iter().filter(|&v| !used[v]).collect();
+        // Warnsdorff: try the most constrained neighbor first.
+        options.sort_by_key(|&v| topo.neighbors(v).into_iter().filter(|&w| !used[w]).count());
+        for v in options {
+            used[v] = true;
+            path.push(v);
+            if dfs(topo, path, used) {
+                return true;
+            }
+            path.pop();
+            used[v] = false;
+        }
+        false
+    }
+    dfs(topo, &mut path, &mut used).then_some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_4x4_cycle_matches_table_5_1() {
+        // Table 5.1: C = (0,1,2,3,7,6,5,9,10,11,15,14,13,12,8,4,0) and the
+        // corresponding h values.
+        let m = Mesh2D::new(4, 4);
+        let c = mesh2d_cycle(&m);
+        let expected_order = [0, 1, 2, 3, 7, 6, 5, 9, 10, 11, 15, 14, 13, 12, 8, 4];
+        assert_eq!(c.order(), &expected_order);
+        let expected_h: [(usize, usize); 16] = [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (7, 5),
+            (6, 6),
+            (5, 7),
+            (9, 8),
+            (10, 9),
+            (11, 10),
+            (15, 11),
+            (14, 12),
+            (13, 13),
+            (12, 14),
+            (8, 15),
+            (4, 16),
+        ];
+        for (node, h) in expected_h {
+            assert_eq!(c.h(node), h, "h({node})");
+            assert_eq!(c.node_at(h), node);
+        }
+    }
+
+    #[test]
+    fn f_matches_table_5_2() {
+        // Table 5.2: f values for u0 = 9 in the 4×4 mesh.
+        let m = Mesh2D::new(4, 4);
+        let c = mesh2d_cycle(&m);
+        let expected: [(usize, usize); 16] = [
+            (0, 17),
+            (1, 18),
+            (2, 19),
+            (3, 20),
+            (4, 16),
+            (5, 23),
+            (6, 22),
+            (7, 21),
+            (8, 15),
+            (9, 8),
+            (10, 9),
+            (11, 10),
+            (12, 14),
+            (13, 13),
+            (14, 12),
+            (15, 11),
+        ];
+        for (node, f) in expected {
+            assert_eq!(c.f(9, node), f, "f({node})");
+        }
+    }
+
+    #[test]
+    fn cube_cycle_matches_table_5_4_f_values() {
+        // Table 5.4: f for u0 = 0011 in a 4-cube.
+        let cube = Hypercube::new(4);
+        let c = hypercube_cycle(&cube);
+        let expected: [(usize, usize); 16] = [
+            (0b0000, 17),
+            (0b0001, 18),
+            (0b0010, 4),
+            (0b0011, 3),
+            (0b0100, 8),
+            (0b0101, 7),
+            (0b0110, 5),
+            (0b0111, 6),
+            (0b1000, 16),
+            (0b1001, 15),
+            (0b1010, 13),
+            (0b1011, 14),
+            (0b1100, 9),
+            (0b1101, 10),
+            (0b1110, 12),
+            (0b1111, 11),
+        ];
+        for (node, f) in expected {
+            assert_eq!(c.f(0b0011, node), f, "f({node:04b})");
+        }
+    }
+
+    #[test]
+    fn mesh_cycles_valid_for_various_sizes() {
+        for (w, h) in [(2, 2), (4, 4), (6, 6), (4, 3), (3, 4), (8, 8), (5, 4), (4, 5), (2, 7)] {
+            let m = Mesh2D::new(w, h);
+            let c = mesh2d_cycle(&m);
+            assert_eq!(c.len(), m.num_nodes(), "{w}x{h}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "both dimensions odd")]
+    fn odd_odd_mesh_has_no_cycle() {
+        let _ = mesh2d_cycle(&Mesh2D::new(3, 5));
+    }
+
+    #[test]
+    fn hypercube_cycles_valid() {
+        for dim in 2..=10 {
+            let cube = Hypercube::new(dim);
+            let c = hypercube_cycle(&cube);
+            assert_eq!(c.len(), cube.num_nodes());
+        }
+    }
+
+    #[test]
+    fn f_is_bijective_rotation_for_every_source() {
+        let m = Mesh2D::new(4, 4);
+        let c = mesh2d_cycle(&m);
+        for u0 in 0..16 {
+            let mut fs: Vec<usize> = (0..16).map(|x| c.f(u0, x)).collect();
+            assert_eq!(c.f(u0, u0), c.h(u0), "source keeps its h value");
+            fs.sort_unstable();
+            let start = c.h(u0);
+            let expect: Vec<usize> = (start..start + 16).collect();
+            assert_eq!(fs, expect, "u0={u0}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod generic_tests {
+    use super::*;
+    use crate::ccc::CubeConnectedCycles;
+    use crate::labeling::Labeling;
+
+    #[test]
+    fn find_path_on_ccc3_gives_a_valid_labeling() {
+        let c = CubeConnectedCycles::new(3);
+        let path = find_path(&c, 0).expect("CCC(3) is Hamiltonian");
+        let l = Labeling::from_path(path);
+        assert!(l.is_hamiltonian_path_of(&c));
+    }
+
+    #[test]
+    fn find_path_on_small_meshes_and_cubes() {
+        let m = Mesh2D::new(4, 3);
+        let p = find_path(&m, 0).expect("meshes are Hamiltonian from a corner");
+        assert_eq!(p.len(), 12);
+        let h = Hypercube::new(4);
+        let p = find_path(&h, 0).expect("cubes are Hamiltonian");
+        assert_eq!(p.len(), 16);
+    }
+}

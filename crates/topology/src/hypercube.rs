@@ -1,0 +1,172 @@
+//! The binary hypercube (n-cube) topology of §2.1.1 and Definition 4.2, as
+//! adopted by the nCUBE-2 and iPSC/2 machines.
+//!
+//! Each node has a unique `n`-bit binary address; nodes are adjacent iff
+//! their addresses differ in exactly one bit, so the node id *is* the
+//! address and `distance(a, b) = popcount(a XOR b)`.
+
+use crate::graph::{NodeId, Topology};
+
+/// An `n`-dimensional binary hypercube with `2^n` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Creates an `n`-cube.
+    ///
+    /// # Panics
+    /// Panics if `dim` is 0 or would overflow the node-id space.
+    pub fn new(dim: u32) -> Self {
+        assert!(dim >= 1, "hypercube dimension must be at least 1");
+        assert!(dim < usize::BITS - 1, "hypercube dimension too large");
+        Hypercube { dim }
+    }
+
+    /// The dimension `n`.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// The neighbor of `n` across dimension `d` (flipping bit `d`).
+    ///
+    /// # Panics
+    /// Panics (debug) if `d >= dim`.
+    pub fn flip(&self, n: NodeId, d: u32) -> NodeId {
+        debug_assert!(d < self.dim);
+        n ^ (1 << d)
+    }
+
+    /// The dimensions in which `a` and `b` differ, lowest first.
+    pub fn differing_dims(&self, a: NodeId, b: NodeId) -> Vec<u32> {
+        let mut x = a ^ b;
+        let mut out = Vec::with_capacity(x.count_ones() as usize);
+        while x != 0 {
+            let d = x.trailing_zeros();
+            out.push(d);
+            x &= x - 1;
+        }
+        out
+    }
+
+    /// Formats a node address as an `n`-bit binary string (MSB first), as
+    /// used in the dissertation's figures (e.g. `1100`).
+    pub fn format_addr(&self, n: NodeId) -> String {
+        (0..self.dim).rev().map(|b| if n >> b & 1 == 1 { '1' } else { '0' }).collect()
+    }
+
+    /// Parses an `n`-bit binary address string (MSB first).
+    pub fn parse_addr(&self, s: &str) -> Option<NodeId> {
+        if s.len() != self.dim as usize {
+            return None;
+        }
+        let mut n = 0;
+        for c in s.chars() {
+            n = n << 1
+                | match c {
+                    '0' => 0,
+                    '1' => 1,
+                    _ => return None,
+                };
+        }
+        Some(n)
+    }
+}
+
+impl Topology for Hypercube {
+    fn num_nodes(&self) -> usize {
+        1 << self.dim
+    }
+
+    /// Neighbors in ascending dimension order (bit 0 first).
+    fn neighbors_into(&self, n: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        for d in 0..self.dim {
+            out.push(self.flip(n, d));
+        }
+    }
+
+    fn degree(&self, _n: NodeId) -> usize {
+        self.dim as usize
+    }
+
+    fn adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        (a ^ b).count_ones() == 1
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        (a ^ b).count_ones() as usize
+    }
+
+    fn diameter(&self) -> usize {
+        self.dim as usize
+    }
+
+    fn describe(&self) -> String {
+        format!("{}-cube", self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::bfs_distance;
+
+    #[test]
+    fn hamming_distance_matches_bfs() {
+        let h = Hypercube::new(4);
+        for a in 0..h.num_nodes() {
+            for b in 0..h.num_nodes() {
+                assert_eq!(h.distance(a, b), bfs_distance(&h, a, b).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn degree_equals_dimension() {
+        let h = Hypercube::new(6);
+        for n in 0..h.num_nodes() {
+            assert_eq!(h.degree(n), 6);
+            assert_eq!(h.neighbors(n).len(), 6);
+        }
+    }
+
+    #[test]
+    fn address_formatting_roundtrips() {
+        let h = Hypercube::new(4);
+        assert_eq!(h.format_addr(0b1100), "1100");
+        assert_eq!(h.parse_addr("1100"), Some(0b1100));
+        for n in 0..h.num_nodes() {
+            assert_eq!(h.parse_addr(&h.format_addr(n)), Some(n));
+        }
+        assert_eq!(h.parse_addr("10"), None);
+        assert_eq!(h.parse_addr("10x0"), None);
+    }
+
+    #[test]
+    fn differing_dims_enumerates_xor_bits() {
+        let h = Hypercube::new(5);
+        assert_eq!(h.differing_dims(0b10110, 0b00011), vec![0, 2, 4]);
+        assert!(h.differing_dims(7, 7).is_empty());
+    }
+
+    #[test]
+    fn channel_count() {
+        // n * 2^n directed channels.
+        let h = Hypercube::new(5);
+        assert_eq!(h.num_channels(), 5 * 32);
+    }
+
+    #[test]
+    fn flip_is_involutive_and_adjacent() {
+        let h = Hypercube::new(7);
+        for n in [0usize, 5, 100, 127] {
+            for d in 0..7 {
+                let m = h.flip(n, d);
+                assert!(h.adjacent(n, m));
+                assert_eq!(h.flip(m, d), n);
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The general k-ary n-cube family of §2.1.3: `n` dimensions with `k` nodes
+//! per dimension connected as a ring (torus) or a line (mesh).
+//!
+//! Hypercubes (`k = 2`) and 2D meshes (`n = 2`, no wraparound) are special
+//! cases; this generalization lets the Hamiltonian-labeling routing schemes
+//! of Chapter 6 be exercised on the wider family the dissertation's
+//! conclusions point at ("these routing algorithms can be applied to any
+//! multicomputer networks that have Hamilton paths").
+
+use crate::graph::{NodeId, Topology};
+
+/// A k-ary n-cube. Node ids are radix-`k` numbers with digit `i` being the
+/// coordinate along dimension `i` (dimension 0 is the least significant
+/// digit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KAryNCube {
+    k: usize,
+    n: u32,
+    /// Whether each dimension wraps around (torus) or not (mesh).
+    wrap: bool,
+}
+
+impl KAryNCube {
+    /// Creates a k-ary n-cube with wraparound rings in each dimension.
+    ///
+    /// # Panics
+    /// Panics if `k < 2`, `n < 1`, or `k^n` overflows.
+    pub fn torus(k: usize, n: u32) -> Self {
+        Self::with_wrap(k, n, true)
+    }
+
+    /// Creates a k-ary n-cube without wraparound (an n-dimensional mesh
+    /// with side `k`).
+    pub fn mesh(k: usize, n: u32) -> Self {
+        Self::with_wrap(k, n, false)
+    }
+
+    fn with_wrap(k: usize, n: u32, wrap: bool) -> Self {
+        assert!(k >= 2, "radix must be at least 2");
+        assert!(n >= 1, "dimension must be at least 1");
+        let mut size: usize = 1;
+        for _ in 0..n {
+            size = size.checked_mul(k).expect("k^n overflows usize");
+        }
+        KAryNCube { k, n, wrap }
+    }
+
+    /// The radix `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The dimension `n`.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Whether dimensions wrap around.
+    pub fn wraps(&self) -> bool {
+        // k == 2 rings are single links; treat as non-wrapping to avoid
+        // duplicate channels.
+        self.wrap && self.k > 2
+    }
+
+    /// Digit (coordinate) of `node` along dimension `d`.
+    pub fn digit(&self, node: NodeId, d: u32) -> usize {
+        debug_assert!(d < self.n);
+        node / self.k.pow(d) % self.k
+    }
+
+    /// All `n` digits of `node`, dimension 0 first.
+    pub fn digits(&self, node: NodeId) -> Vec<usize> {
+        (0..self.n).map(|d| self.digit(node, d)).collect()
+    }
+
+    /// Builds a node id from digits (dimension 0 first).
+    pub fn from_digits(&self, digits: &[usize]) -> NodeId {
+        debug_assert_eq!(digits.len(), self.n as usize);
+        digits.iter().rev().fold(0, |acc, &d| {
+            debug_assert!(d < self.k);
+            acc * self.k + d
+        })
+    }
+
+    /// Moves one step along dimension `d` in direction `delta ∈ {+1, -1}`,
+    /// if the neighbor exists.
+    pub fn step(&self, node: NodeId, d: u32, delta: isize) -> Option<NodeId> {
+        debug_assert!(delta == 1 || delta == -1);
+        let stride = self.k.pow(d);
+        let digit = self.digit(node, d) as isize;
+        let next = digit + delta;
+        let next = if self.wraps() {
+            next.rem_euclid(self.k as isize) as usize
+        } else if next < 0 || next as usize >= self.k {
+            return None;
+        } else {
+            next as usize
+        };
+        Some(node - digit as usize * stride + next * stride)
+    }
+}
+
+impl Topology for KAryNCube {
+    fn num_nodes(&self) -> usize {
+        self.k.pow(self.n)
+    }
+
+    /// Neighbors in order: for each dimension 0..n, the `+1` then `-1`
+    /// neighbor (existing ones only, deduplicated for wrapped `k = 3`
+    /// rings where +1 and −1 coincide... they never coincide for k ≥ 3).
+    fn neighbors_into(&self, n: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        for d in 0..self.n {
+            if let Some(m) = self.step(n, d, 1) {
+                out.push(m);
+            }
+            if let Some(m) = self.step(n, d, -1) {
+                if !out.contains(&m) {
+                    out.push(m);
+                }
+            }
+        }
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        (0..self.n)
+            .map(|d| {
+                let da = self.digit(a, d);
+                let db = self.digit(b, d);
+                let lin = da.abs_diff(db);
+                if self.wraps() {
+                    lin.min(self.k - lin)
+                } else {
+                    lin
+                }
+            })
+            .sum()
+    }
+
+    fn diameter(&self) -> usize {
+        let per_dim = if self.wraps() { self.k / 2 } else { self.k - 1 };
+        per_dim * self.n as usize
+    }
+
+    fn describe(&self) -> String {
+        format!("{}-ary {}-cube{}", self.k, self.n, if self.wraps() { " (torus)" } else { "" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::bfs_distance;
+    use crate::hypercube::Hypercube;
+    use crate::mesh2d::Mesh2D;
+
+    #[test]
+    fn binary_cube_matches_hypercube() {
+        let k = KAryNCube::torus(2, 4);
+        let h = Hypercube::new(4);
+        assert_eq!(k.num_nodes(), h.num_nodes());
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(k.distance(a, b), h.distance(a, b), "a={a} b={b}");
+            }
+            let mut kn = k.neighbors(a);
+            let mut hn = h.neighbors(a);
+            kn.sort_unstable();
+            hn.sort_unstable();
+            assert_eq!(kn, hn);
+        }
+    }
+
+    #[test]
+    fn square_mesh_matches_mesh2d() {
+        let k = KAryNCube::mesh(4, 2);
+        let m = Mesh2D::new(4, 4);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(k.distance(a, b), m.distance(a, b));
+            }
+            let mut kn = k.neighbors(a);
+            let mut mn = m.neighbors(a);
+            kn.sort_unstable();
+            mn.sort_unstable();
+            assert_eq!(kn, mn);
+        }
+    }
+
+    #[test]
+    fn torus_distance_matches_bfs() {
+        let k = KAryNCube::torus(4, 2);
+        for a in 0..k.num_nodes() {
+            for b in 0..k.num_nodes() {
+                assert_eq!(k.distance(a, b), bfs_distance(&k, a, b).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn digits_roundtrip() {
+        let k = KAryNCube::torus(5, 3);
+        for n in 0..k.num_nodes() {
+            assert_eq!(k.from_digits(&k.digits(n)), n);
+        }
+    }
+
+    #[test]
+    fn torus_degree_is_2n() {
+        let k = KAryNCube::torus(4, 3);
+        for n in 0..k.num_nodes() {
+            assert_eq!(k.degree(n), 6);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The 2D mesh (non-wraparound rectangular grid) topology of §2.1.2 and
+//! Definition 4.1, as adopted by the Ametek 2010 / Symult and Intel
+//! Touchstone machines.
+//!
+//! Nodes are addressed by integer coordinates `(x, y)` with
+//! `0 <= x < width`, `0 <= y < height`, flattened to dense ids
+//! `id = y * width + x`.
+
+use crate::graph::{Channel, NodeId, Topology};
+
+/// Axis-aligned unit direction in a 2D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir2 {
+    /// Increasing x.
+    PosX,
+    /// Decreasing x.
+    NegX,
+    /// Increasing y.
+    PosY,
+    /// Decreasing y.
+    NegY,
+}
+
+impl Dir2 {
+    /// All four directions in the canonical order used throughout.
+    pub const ALL: [Dir2; 4] = [Dir2::PosX, Dir2::NegX, Dir2::PosY, Dir2::NegY];
+
+    /// Coordinate delta of the direction.
+    pub const fn delta(self) -> (isize, isize) {
+        match self {
+            Dir2::PosX => (1, 0),
+            Dir2::NegX => (-1, 0),
+            Dir2::PosY => (0, 1),
+            Dir2::NegY => (0, -1),
+        }
+    }
+}
+
+/// A `width × height` 2D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh2D {
+    width: usize,
+    height: usize,
+}
+
+impl Mesh2D {
+    /// Creates a `width × height` mesh.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Mesh2D { width, height }
+    }
+
+    /// Width (extent of the x dimension).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height (extent of the y dimension).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Flattens a coordinate to a node id.
+    ///
+    /// # Panics
+    /// Panics (debug) if the coordinate is out of bounds.
+    pub fn node(&self, x: usize, y: usize) -> NodeId {
+        debug_assert!(x < self.width && y < self.height, "({x},{y}) out of bounds");
+        y * self.width + x
+    }
+
+    /// Recovers the `(x, y)` coordinate of a node id.
+    pub fn coords(&self, n: NodeId) -> (usize, usize) {
+        debug_assert!(n < self.num_nodes());
+        (n % self.width, n / self.width)
+    }
+
+    /// The neighbor of `n` in direction `d`, if it exists (mesh edges have
+    /// no wraparound).
+    pub fn step(&self, n: NodeId, d: Dir2) -> Option<NodeId> {
+        let (x, y) = self.coords(n);
+        let (dx, dy) = d.delta();
+        let nx = x as isize + dx;
+        let ny = y as isize + dy;
+        if nx < 0 || ny < 0 || nx as usize >= self.width || ny as usize >= self.height {
+            None
+        } else {
+            Some(self.node(nx as usize, ny as usize))
+        }
+    }
+
+    /// The direction of the link from `a` to adjacent node `b`.
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` are not adjacent.
+    pub fn direction(&self, a: NodeId, b: NodeId) -> Dir2 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        match (bx as isize - ax as isize, by as isize - ay as isize) {
+            (1, 0) => Dir2::PosX,
+            (-1, 0) => Dir2::NegX,
+            (0, 1) => Dir2::PosY,
+            (0, -1) => Dir2::NegY,
+            _ => panic!("nodes {a} and {b} are not adjacent"),
+        }
+    }
+
+    /// The direction a channel points in.
+    pub fn channel_direction(&self, c: Channel) -> Dir2 {
+        self.direction(c.from, c.to)
+    }
+}
+
+impl Topology for Mesh2D {
+    fn num_nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Neighbors in the canonical order `+X, -X, +Y, -Y` (existing ones
+    /// only).
+    fn neighbors_into(&self, n: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        for d in Dir2::ALL {
+            if let Some(m) = self.step(n, d) {
+                out.push(m);
+            }
+        }
+    }
+
+    fn adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        self.distance(a, b) == 1
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    fn diameter(&self) -> usize {
+        self.width - 1 + self.height - 1
+    }
+
+    fn describe(&self) -> String {
+        format!("{}x{} mesh", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::bfs_distance;
+
+    #[test]
+    fn node_coord_roundtrip() {
+        let m = Mesh2D::new(6, 4);
+        for y in 0..4 {
+            for x in 0..6 {
+                let n = m.node(x, y);
+                assert_eq!(m.coords(n), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn corner_and_interior_degrees() {
+        let m = Mesh2D::new(4, 3);
+        assert_eq!(m.degree(m.node(0, 0)), 2);
+        assert_eq!(m.degree(m.node(1, 0)), 3);
+        assert_eq!(m.degree(m.node(1, 1)), 4);
+        assert_eq!(m.degree(m.node(3, 2)), 2);
+    }
+
+    #[test]
+    fn closed_form_distance_matches_bfs() {
+        let m = Mesh2D::new(5, 4);
+        for a in 0..m.num_nodes() {
+            for b in 0..m.num_nodes() {
+                assert_eq!(m.distance(a, b), bfs_distance(&m, a, b).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn channel_count_is_internal_links_doubled() {
+        // A w×h mesh has h(w-1) horizontal + w(h-1) vertical links, each
+        // giving two directed channels.
+        let m = Mesh2D::new(7, 5);
+        let expected = 2 * (5 * 6 + 7 * 4);
+        assert_eq!(m.num_channels(), expected);
+        assert_eq!(m.channels().len(), expected);
+    }
+
+    #[test]
+    fn direction_of_every_channel_is_consistent() {
+        let m = Mesh2D::new(4, 4);
+        for c in m.channels() {
+            let d = m.channel_direction(c);
+            assert_eq!(m.step(c.from, d), Some(c.to));
+        }
+    }
+
+    #[test]
+    fn diameter_is_corner_to_corner() {
+        let m = Mesh2D::new(8, 8);
+        assert_eq!(m.diameter(), 14);
+        assert_eq!(m.distance(m.node(0, 0), m.node(7, 7)), 14);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimension_rejected() {
+        let _ = Mesh2D::new(0, 3);
+    }
+}

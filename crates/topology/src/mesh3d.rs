@@ -1,0 +1,187 @@
+//! The 3D mesh topology of §2.1.3 and §4.3, as adopted by the MIT J-machine
+//! and Caltech MOSAIC.
+//!
+//! Nodes are addressed by integer coordinates `(x, y, z)` flattened to
+//! `id = (z * height + y) * width + x`.
+
+use crate::graph::{NodeId, Topology};
+
+/// Axis-aligned unit direction in a 3D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir3 {
+    /// Increasing x.
+    PosX,
+    /// Decreasing x.
+    NegX,
+    /// Increasing y.
+    PosY,
+    /// Decreasing y.
+    NegY,
+    /// Increasing z.
+    PosZ,
+    /// Decreasing z.
+    NegZ,
+}
+
+impl Dir3 {
+    /// All six directions in the canonical order used throughout.
+    pub const ALL: [Dir3; 6] =
+        [Dir3::PosX, Dir3::NegX, Dir3::PosY, Dir3::NegY, Dir3::PosZ, Dir3::NegZ];
+
+    /// Coordinate delta of the direction.
+    pub const fn delta(self) -> (isize, isize, isize) {
+        match self {
+            Dir3::PosX => (1, 0, 0),
+            Dir3::NegX => (-1, 0, 0),
+            Dir3::PosY => (0, 1, 0),
+            Dir3::NegY => (0, -1, 0),
+            Dir3::PosZ => (0, 0, 1),
+            Dir3::NegZ => (0, 0, -1),
+        }
+    }
+}
+
+/// A `width × height × depth` 3D mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh3D {
+    width: usize,
+    height: usize,
+    depth: usize,
+}
+
+impl Mesh3D {
+    /// Creates a `width × height × depth` mesh.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(width: usize, height: usize, depth: usize) -> Self {
+        assert!(width > 0 && height > 0 && depth > 0, "mesh dimensions must be positive");
+        Mesh3D { width, height, depth }
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height (y extent).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Depth (z extent).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Flattens a coordinate to a node id.
+    pub fn node(&self, x: usize, y: usize, z: usize) -> NodeId {
+        debug_assert!(x < self.width && y < self.height && z < self.depth);
+        (z * self.height + y) * self.width + x
+    }
+
+    /// Recovers the `(x, y, z)` coordinate of a node id.
+    pub fn coords(&self, n: NodeId) -> (usize, usize, usize) {
+        debug_assert!(n < self.num_nodes());
+        let x = n % self.width;
+        let rest = n / self.width;
+        (x, rest % self.height, rest / self.height)
+    }
+
+    /// The neighbor of `n` in direction `d`, if it exists.
+    pub fn step(&self, n: NodeId, d: Dir3) -> Option<NodeId> {
+        let (x, y, z) = self.coords(n);
+        let (dx, dy, dz) = d.delta();
+        let nx = x as isize + dx;
+        let ny = y as isize + dy;
+        let nz = z as isize + dz;
+        if nx < 0
+            || ny < 0
+            || nz < 0
+            || nx as usize >= self.width
+            || ny as usize >= self.height
+            || nz as usize >= self.depth
+        {
+            None
+        } else {
+            Some(self.node(nx as usize, ny as usize, nz as usize))
+        }
+    }
+}
+
+impl Topology for Mesh3D {
+    fn num_nodes(&self) -> usize {
+        self.width * self.height * self.depth
+    }
+
+    /// Neighbors in the canonical order `+X, -X, +Y, -Y, +Z, -Z`.
+    fn neighbors_into(&self, n: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        for d in Dir3::ALL {
+            if let Some(m) = self.step(n, d) {
+                out.push(m);
+            }
+        }
+    }
+
+    fn adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        self.distance(a, b) == 1
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        let (ax, ay, az) = self.coords(a);
+        let (bx, by, bz) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by) + az.abs_diff(bz)
+    }
+
+    fn diameter(&self) -> usize {
+        self.width + self.height + self.depth - 3
+    }
+
+    fn describe(&self) -> String {
+        format!("{}x{}x{} mesh", self.width, self.height, self.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::bfs_distance;
+
+    #[test]
+    fn node_coord_roundtrip() {
+        let m = Mesh3D::new(3, 4, 5);
+        for z in 0..5 {
+            for y in 0..4 {
+                for x in 0..3 {
+                    assert_eq!(m.coords(m.node(x, y, z)), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_distance_matches_bfs() {
+        let m = Mesh3D::new(3, 3, 3);
+        for a in 0..m.num_nodes() {
+            for b in 0..m.num_nodes() {
+                assert_eq!(m.distance(a, b), bfs_distance(&m, a, b).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_range_from_3_to_6() {
+        let m = Mesh3D::new(3, 3, 3);
+        assert_eq!(m.degree(m.node(0, 0, 0)), 3);
+        assert_eq!(m.degree(m.node(1, 1, 1)), 6);
+        assert_eq!(m.degree(m.node(1, 0, 0)), 4);
+        assert_eq!(m.degree(m.node(1, 1, 0)), 5);
+    }
+
+    #[test]
+    fn diameter_is_corner_to_corner() {
+        let m = Mesh3D::new(4, 5, 6);
+        assert_eq!(m.diameter(), m.distance(m.node(0, 0, 0), m.node(3, 4, 5)));
+    }
+}

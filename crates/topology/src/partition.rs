@@ -1,0 +1,210 @@
+//! Network partitioning for the double-channel tree-like multicast scheme
+//! of §6.2.1.
+//!
+//! Every physical mesh channel is doubled and the resulting channels are
+//! divided into four acyclic subnetworks `N_{+X,+Y}`, `N_{−X,+Y}`,
+//! `N_{−X,−Y}`, `N_{+X,−Y}` (Fig 6.5). A multicast from `u0` is split into
+//! at most four sub-multicasts, one per quadrant, each routed entirely
+//! inside its own subnetwork — so no cyclic channel dependency can form.
+
+use crate::graph::{Channel, NodeId};
+use crate::mesh2d::{Dir2, Mesh2D};
+
+/// One of the four quadrant subnetworks of §6.2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quadrant {
+    /// `N_{+X,+Y}`: channels pointing `+X` or `+Y`.
+    PosXPosY,
+    /// `N_{−X,+Y}`: channels pointing `−X` or `+Y`.
+    NegXPosY,
+    /// `N_{−X,−Y}`: channels pointing `−X` or `−Y`.
+    NegXNegY,
+    /// `N_{+X,−Y}`: channels pointing `+X` or `−Y`.
+    PosXNegY,
+}
+
+impl Quadrant {
+    /// All four quadrants, counter-clockwise from `N_{+X,+Y}`.
+    pub const ALL: [Quadrant; 4] =
+        [Quadrant::PosXPosY, Quadrant::NegXPosY, Quadrant::NegXNegY, Quadrant::PosXNegY];
+
+    /// The two channel directions a quadrant subnetwork contains.
+    pub const fn directions(self) -> [Dir2; 2] {
+        match self {
+            Quadrant::PosXPosY => [Dir2::PosX, Dir2::PosY],
+            Quadrant::NegXPosY => [Dir2::NegX, Dir2::PosY],
+            Quadrant::NegXNegY => [Dir2::NegX, Dir2::NegY],
+            Quadrant::PosXNegY => [Dir2::PosX, Dir2::NegY],
+        }
+    }
+
+    /// Whether a channel of direction `d` belongs to this subnetwork.
+    pub fn contains_dir(self, d: Dir2) -> bool {
+        self.directions().contains(&d)
+    }
+
+    /// The channel *class* (0 or 1) assigned to this quadrant's copy of a
+    /// physical channel of direction `d`.
+    ///
+    /// Each physical direction appears in exactly two quadrants; doubling
+    /// gives each quadrant its own copy. Class 0 goes to `N_{+X,+Y}` /
+    /// `N_{−X,−Y}`, class 1 to the other two.
+    ///
+    /// # Panics
+    /// Panics if `d` is not a direction of this quadrant.
+    pub fn channel_class(self, d: Dir2) -> u8 {
+        assert!(self.contains_dir(d), "{self:?} has no {d:?} channels");
+        match self {
+            Quadrant::PosXPosY | Quadrant::NegXNegY => 0,
+            Quadrant::NegXPosY | Quadrant::PosXNegY => 1,
+        }
+    }
+}
+
+/// The quadrant a destination falls into relative to source `u0`, using the
+/// rotationally symmetric half-open convention of DESIGN.md §5 (the
+/// dissertation's prose "upper right / upper left / …" with ties broken so
+/// every node except `u0` belongs to exactly one quadrant):
+///
+/// * `D_{+X,+Y} = { x > x0, y ≥ y0 }`
+/// * `D_{−X,+Y} = { x ≤ x0, y > y0 }`
+/// * `D_{−X,−Y} = { x < x0, y ≤ y0 }`
+/// * `D_{+X,−Y} = { x ≥ x0, y < y0 }`
+///
+/// Returns `None` when `dest == u0`.
+pub fn quadrant_of(mesh: &Mesh2D, u0: NodeId, dest: NodeId) -> Option<Quadrant> {
+    let (x0, y0) = mesh.coords(u0);
+    let (x, y) = mesh.coords(dest);
+    if (x, y) == (x0, y0) {
+        None
+    } else if x > x0 && y >= y0 {
+        Some(Quadrant::PosXPosY)
+    } else if x <= x0 && y > y0 {
+        Some(Quadrant::NegXPosY)
+    } else if x < x0 && y <= y0 {
+        Some(Quadrant::NegXNegY)
+    } else {
+        debug_assert!(x >= x0 && y < y0);
+        Some(Quadrant::PosXNegY)
+    }
+}
+
+/// Splits a destination set into its four quadrant subsets
+/// (`D_{+X,+Y}, D_{−X,+Y}, D_{−X,−Y}, D_{+X,−Y}` in [`Quadrant::ALL`]
+/// order). Destinations equal to `u0` are dropped.
+pub fn split_by_quadrant(mesh: &Mesh2D, u0: NodeId, dests: &[NodeId]) -> [Vec<NodeId>; 4] {
+    let mut out: [Vec<NodeId>; 4] = Default::default();
+    for &d in dests {
+        if let Some(q) = quadrant_of(mesh, u0, d) {
+            out[q as usize].push(d);
+        }
+    }
+    out
+}
+
+/// All channels (with quadrant-assigned classes) of one quadrant subnetwork
+/// of a double-channel mesh.
+pub fn quadrant_channels(mesh: &Mesh2D, q: Quadrant) -> Vec<Channel> {
+    use crate::graph::Topology;
+    mesh.channels()
+        .into_iter()
+        .filter(|&c| q.contains_dir(mesh.channel_direction(c)))
+        .map(|c| Channel::with_class(c.from, c.to, q.channel_class(mesh.channel_direction(c))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Topology;
+
+    #[test]
+    fn quadrants_partition_all_non_source_nodes() {
+        let m = Mesh2D::new(6, 6);
+        for u0 in 0..m.num_nodes() {
+            let mut count = 0;
+            for d in 0..m.num_nodes() {
+                match quadrant_of(&m, u0, d) {
+                    None => assert_eq!(d, u0),
+                    Some(_) => count += 1,
+                }
+            }
+            assert_eq!(count, m.num_nodes() - 1);
+        }
+    }
+
+    #[test]
+    fn quadrant_membership_is_routable_within_subnetwork() {
+        // Every destination in quadrant q must be reachable from u0 using
+        // only the two directions of q.
+        let m = Mesh2D::new(5, 7);
+        for u0 in 0..m.num_nodes() {
+            let (x0, y0) = m.coords(u0);
+            for d in 0..m.num_nodes() {
+                if let Some(q) = quadrant_of(&m, u0, d) {
+                    let (x, y) = m.coords(d);
+                    let dirs = q.directions();
+                    let need_x: Option<Dir2> = match x.cmp(&x0) {
+                        std::cmp::Ordering::Greater => Some(Dir2::PosX),
+                        std::cmp::Ordering::Less => Some(Dir2::NegX),
+                        std::cmp::Ordering::Equal => None,
+                    };
+                    let need_y: Option<Dir2> = match y.cmp(&y0) {
+                        std::cmp::Ordering::Greater => Some(Dir2::PosY),
+                        std::cmp::Ordering::Less => Some(Dir2::NegY),
+                        std::cmp::Ordering::Equal => None,
+                    };
+                    for need in [need_x, need_y].into_iter().flatten() {
+                        assert!(
+                            dirs.contains(&need),
+                            "dest {d} in {q:?} needs {need:?} from {u0}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig_6_5_channel_counts() {
+        // 3×4 mesh (Fig 6.5): each quadrant subnetwork has one directed
+        // copy of every horizontal and vertical link.
+        let m = Mesh2D::new(4, 3);
+        let horiz = 3 * (4 - 1);
+        let vert = 4 * (3 - 1);
+        for q in Quadrant::ALL {
+            assert_eq!(quadrant_channels(&m, q).len(), horiz + vert, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn doubled_channels_are_distinct_across_quadrants() {
+        let m = Mesh2D::new(4, 4);
+        let mut all: Vec<Channel> =
+            Quadrant::ALL.iter().flat_map(|&q| quadrant_channels(&m, q)).collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before, "no channel shared between quadrant subnetworks");
+        // Exactly double the single-channel network.
+        assert_eq!(before, 2 * m.num_channels());
+    }
+
+    #[test]
+    fn section_6_2_1_example_split() {
+        // §6.2.1 example: 6×6 mesh, source (3,2), destinations split into
+        // the four quadrant sets listed in the text.
+        let m = Mesh2D::new(6, 6);
+        let u0 = m.node(3, 2);
+        let coords = [(0, 0), (0, 2), (0, 5), (1, 3), (4, 5), (5, 0), (5, 1), (5, 3), (5, 4)];
+        let dests: Vec<_> = coords.iter().map(|&(x, y)| m.node(x, y)).collect();
+        let split = split_by_quadrant(&m, u0, &dests);
+        let as_coords = |v: &Vec<usize>| -> Vec<(usize, usize)> {
+            v.iter().map(|&n| m.coords(n)).collect()
+        };
+        assert_eq!(as_coords(&split[Quadrant::PosXPosY as usize]), vec![(4, 5), (5, 3), (5, 4)]);
+        assert_eq!(as_coords(&split[Quadrant::NegXPosY as usize]), vec![(0, 5), (1, 3)]);
+        assert_eq!(as_coords(&split[Quadrant::NegXNegY as usize]), vec![(0, 0), (0, 2)]);
+        assert_eq!(as_coords(&split[Quadrant::PosXNegY as usize]), vec![(5, 0), (5, 1)]);
+    }
+}

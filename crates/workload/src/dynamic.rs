@@ -1,0 +1,338 @@
+//! Dynamic (contention) evaluation — the methodology of §7.2.
+//!
+//! Every node runs a *multicast generator*: messages arrive per node with
+//! exponential interarrival times, each carrying `k` uniform distinct
+//! destinations; the flit-level engine models the interaction of all the
+//! worms; average network latency is estimated with batch means until the
+//! 95% CI is within 5% of the mean (or a hard cap). An open-loop network
+//! past saturation grows its backlog without bound, so the runner also
+//! watches the in-flight population and reports saturation instead of
+//! looping forever — the dissertation's plots stop at the same wall.
+
+use mcast_sim::engine::{Engine, SimConfig, Time};
+use mcast_sim::network::Network;
+use mcast_sim::routers::MulticastRouter;
+use mcast_topology::Topology;
+
+use crate::gen::MulticastGen;
+use crate::stats::{Accumulator, BatchMeans};
+
+/// Parameters of one dynamic experiment run.
+#[derive(Debug, Clone)]
+pub struct DynamicConfig {
+    /// Physical channel/flit parameters.
+    pub sim: SimConfig,
+    /// Mean interarrival time per node generator, in ns (the "load" axis:
+    /// lower = heavier).
+    pub mean_interarrival_ns: f64,
+    /// Destinations per multicast message.
+    pub destinations: usize,
+    /// Messages discarded as warmup before statistics start.
+    pub warmup: usize,
+    /// Observations per batch.
+    pub batch_size: usize,
+    /// Minimum completed batches before the CI rule may stop the run.
+    pub min_batches: usize,
+    /// Hard cap on completed batches.
+    pub max_batches: usize,
+    /// CI-to-mean stopping ratio (the dissertation's 0.05).
+    pub ci_ratio: f64,
+    /// Saturation guard: in-flight messages per node beyond which the run
+    /// is declared saturated.
+    pub max_in_flight_per_node: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            sim: SimConfig::default(),
+            mean_interarrival_ns: 300_000.0,
+            destinations: 10,
+            warmup: 500,
+            batch_size: 100,
+            min_batches: 10,
+            max_batches: 40,
+            ci_ratio: 0.05,
+            max_in_flight_per_node: 16,
+            seed: 0x6d63_6173,
+        }
+    }
+}
+
+/// The outcome of one dynamic run.
+#[derive(Debug, Clone)]
+pub struct DynamicResult {
+    /// Mean network latency (µs) over the measured batches.
+    pub mean_latency_us: f64,
+    /// 95% CI half-width (µs).
+    pub ci_us: f64,
+    /// Completed batches.
+    pub batches: usize,
+    /// Measured (post-warmup) message completions.
+    pub measured: usize,
+    /// Mean per-message traffic (channels) over measured messages.
+    pub mean_traffic: f64,
+    /// Whether the run hit the saturation guard before converging.
+    pub saturated: bool,
+    /// Whether the CI stopping rule was met.
+    pub converged: bool,
+    /// Final simulated time (ns).
+    pub sim_time_ns: Time,
+}
+
+/// Runs one dynamic experiment: `router` on `topo`'s network under
+/// Poisson multicast traffic.
+pub fn run_dynamic<T: Topology + ?Sized>(
+    topo: &T,
+    router: &dyn MulticastRouter,
+    cfg: &DynamicConfig,
+) -> DynamicResult {
+    let network = Network::new(topo, router.required_classes());
+    let mut engine = Engine::new(network, cfg.sim);
+    let n = topo.num_nodes();
+    let mut gen = MulticastGen::new(n, cfg.seed);
+
+    // Per-node next generation times.
+    let mut next_gen: Vec<(Time, usize)> =
+        (0..n).map(|node| (gen.exponential_ns(cfg.mean_interarrival_ns), node)).collect();
+
+    let mut latencies = BatchMeans::new(cfg.batch_size);
+    let mut traffic = Accumulator::new();
+    let mut completions = 0usize;
+    let mut saturated = false;
+
+    loop {
+        // Inject at the earliest generator firing.
+        let (&(t, node), _) = next_gen
+            .iter()
+            .zip(0..)
+            .min_by_key(|((t, node), _)| (*t, *node))
+            .expect("generators exist");
+        engine.run_until(t);
+        let mc = gen.multicast_distinct(node, cfg.destinations.min(n - 1));
+        let plan = router.plan(&mc);
+        engine.inject(&plan);
+        next_gen[node].0 = t + gen.exponential_ns(cfg.mean_interarrival_ns);
+
+        // Harvest completions.
+        for done in engine.take_completed() {
+            completions += 1;
+            if completions <= cfg.warmup {
+                continue;
+            }
+            latencies.push((done.completed_at - done.injected_at) as f64 / 1000.0);
+            traffic.push(done.traffic as f64);
+        }
+
+        if latencies.batches() >= cfg.max_batches
+            || latencies.converged(cfg.min_batches, cfg.ci_ratio)
+        {
+            break;
+        }
+        if engine.in_flight() > cfg.max_in_flight_per_node * n {
+            saturated = true;
+            break;
+        }
+    }
+
+    DynamicResult {
+        mean_latency_us: latencies.mean(),
+        ci_us: latencies.ci_half_width_95(),
+        batches: latencies.batches(),
+        measured: latencies.observations(),
+        mean_traffic: traffic.mean(),
+        saturated,
+        converged: latencies.converged(cfg.min_batches, cfg.ci_ratio),
+        sim_time_ns: engine.now(),
+    }
+}
+
+/// Result of a closed-loop saturation-throughput run.
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// Sustained completions per millisecond of simulated time.
+    pub messages_per_ms: f64,
+    /// Mean message latency over the measured window (µs).
+    pub mean_latency_us: f64,
+    /// Messages measured.
+    pub completed: usize,
+}
+
+/// Measures a routing scheme's **saturation throughput** (§2.1's
+/// throughput criterion) with a closed-loop offered load: `window`
+/// messages are kept in flight at all times (each completion immediately
+/// triggers a fresh injection from a uniform source), and the sustained
+/// completion rate is measured over `measure` completions after a
+/// `window`-sized warmup.
+pub fn measure_saturation_throughput<T: Topology + ?Sized>(
+    topo: &T,
+    router: &dyn MulticastRouter,
+    destinations: usize,
+    window: usize,
+    measure: usize,
+    sim: SimConfig,
+    seed: u64,
+) -> ThroughputResult {
+    let network = Network::new(topo, router.required_classes());
+    let mut engine = Engine::new(network, sim);
+    let n = topo.num_nodes();
+    let mut gen = crate::gen::MulticastGen::new(n, seed);
+    let inject = |engine: &mut Engine, gen: &mut crate::gen::MulticastGen| {
+        let s = gen.source();
+        let mc = gen.multicast_distinct(s, destinations.min(n - 1));
+        engine.inject(&router.plan(&mc));
+    };
+    for _ in 0..window {
+        inject(&mut engine, &mut gen);
+    }
+    let mut warmed = 0usize;
+    let mut measured = 0usize;
+    let mut lat = Accumulator::new();
+    let mut t_start = 0;
+    loop {
+        if !engine.step() {
+            panic!(
+                "closed-loop throughput run wedged with {} in flight (deadlock?)",
+                engine.in_flight()
+            );
+        }
+        for done in engine.take_completed() {
+            if warmed < window {
+                warmed += 1;
+                if warmed == window {
+                    t_start = engine.now();
+                }
+            } else {
+                measured += 1;
+                lat.push((done.completed_at - done.injected_at) as f64 / 1000.0);
+            }
+            inject(&mut engine, &mut gen);
+        }
+        if measured >= measure {
+            break;
+        }
+    }
+    let span_ms = (engine.now() - t_start) as f64 / 1e6;
+    ThroughputResult {
+        messages_per_ms: measured as f64 / span_ms,
+        mean_latency_us: lat.mean(),
+        completed: measured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_sim::routers::{DualPathRouter, MultiPathMeshRouter};
+    use mcast_topology::Mesh2D;
+
+    fn quick_cfg() -> DynamicConfig {
+        DynamicConfig {
+            warmup: 50,
+            batch_size: 20,
+            min_batches: 5,
+            max_batches: 10,
+            ..DynamicConfig::default()
+        }
+    }
+
+    #[test]
+    fn light_load_latency_close_to_contention_free() {
+        let mesh = Mesh2D::new(8, 8);
+        let router = DualPathRouter::mesh(mesh);
+        let mut cfg = quick_cfg();
+        cfg.mean_interarrival_ns = 3_000_000.0; // very light
+        cfg.destinations = 5;
+        let r = run_dynamic(&mesh, &router, &cfg);
+        assert!(!r.saturated);
+        assert!(r.mean_latency_us > 0.0);
+        // 128-byte message at 20 MB/s is 6.4 µs of serialization; with
+        // path detours the mean must sit within a small multiple.
+        assert!(r.mean_latency_us < 60.0, "latency {} µs", r.mean_latency_us);
+    }
+
+    #[test]
+    fn heavy_load_latency_exceeds_light_load() {
+        let mesh = Mesh2D::new(8, 8);
+        let router = MultiPathMeshRouter::new(mesh);
+        let mut light = quick_cfg();
+        light.mean_interarrival_ns = 2_000_000.0;
+        let mut heavy = quick_cfg();
+        heavy.mean_interarrival_ns = 400_000.0;
+        let rl = run_dynamic(&mesh, &router, &light);
+        let rh = run_dynamic(&mesh, &router, &heavy);
+        assert!(
+            rh.saturated || rh.mean_latency_us > rl.mean_latency_us,
+            "heavy {} vs light {}",
+            rh.mean_latency_us,
+            rl.mean_latency_us
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mesh = Mesh2D::new(4, 4);
+        let router = DualPathRouter::mesh(mesh);
+        let mut cfg = quick_cfg();
+        cfg.destinations = 3;
+        cfg.mean_interarrival_ns = 500_000.0;
+        let a = run_dynamic(&mesh, &router, &cfg);
+        let b = run_dynamic(&mesh, &router, &cfg);
+        assert_eq!(a.mean_latency_us, b.mean_latency_us);
+        assert_eq!(a.sim_time_ns, b.sim_time_ns);
+    }
+
+    #[test]
+    fn saturation_guard_fires_under_overload() {
+        let mesh = Mesh2D::new(4, 4);
+        let router = DualPathRouter::mesh(mesh);
+        let mut cfg = quick_cfg();
+        cfg.mean_interarrival_ns = 1_000.0; // absurd overload
+        cfg.destinations = 8;
+        cfg.max_in_flight_per_node = 4;
+        let r = run_dynamic(&mesh, &router, &cfg);
+        assert!(r.saturated);
+    }
+}
+
+#[cfg(test)]
+mod throughput_tests {
+    use super::*;
+    use mcast_sim::routers::{DualPathRouter, FixedPathRouter};
+    use mcast_topology::Mesh2D;
+
+    #[test]
+    fn closed_loop_throughput_is_positive_and_ranks_schemes() {
+        let mesh = Mesh2D::new(6, 6);
+        let dual = measure_saturation_throughput(
+            &mesh,
+            &DualPathRouter::mesh(mesh),
+            6,
+            24,
+            150,
+            SimConfig::default(),
+            9,
+        );
+        let fixed = measure_saturation_throughput(
+            &mesh,
+            &FixedPathRouter::mesh(mesh),
+            6,
+            24,
+            150,
+            SimConfig::default(),
+            9,
+        );
+        assert!(dual.messages_per_ms > 0.0);
+        assert!(fixed.messages_per_ms > 0.0);
+        // Fixed-path wastes channels on small destination sets, so its
+        // saturation throughput is lower.
+        assert!(
+            dual.messages_per_ms > fixed.messages_per_ms,
+            "dual {:.2}/ms !> fixed {:.2}/ms",
+            dual.messages_per_ms,
+            fixed.messages_per_ms
+        );
+    }
+}

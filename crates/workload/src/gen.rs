@@ -1,0 +1,107 @@
+//! Multicast workload generation (§7.1/§7.2).
+//!
+//! Static experiments draw `k` destination addresses uniformly from the
+//! node space exactly as the dissertation does ("a random number
+//! generator generates k integers within the range [0,1023]") — duplicate
+//! draws and draws equal to the source collapse, mirroring the paper's
+//! setup. Dynamic experiments additionally draw exponential interarrival
+//! times per node.
+
+use mcast_core::model::MulticastSet;
+use mcast_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded generator of uniform multicast sets over `num_nodes`.
+#[derive(Debug, Clone)]
+pub struct MulticastGen {
+    rng: StdRng,
+    num_nodes: usize,
+}
+
+impl MulticastGen {
+    /// Creates a generator with an explicit seed (all experiments are
+    /// reproducible from their seeds).
+    pub fn new(num_nodes: usize, seed: u64) -> Self {
+        MulticastGen { rng: StdRng::seed_from_u64(seed), num_nodes }
+    }
+
+    /// Draws a uniform source node.
+    pub fn source(&mut self) -> NodeId {
+        self.rng.gen_range(0..self.num_nodes)
+    }
+
+    /// Draws `k` destination addresses uniformly (with replacement, as in
+    /// §7.1) for the given source; the returned set collapses duplicates.
+    pub fn multicast(&mut self, source: NodeId, k: usize) -> MulticastSet {
+        let dests: Vec<NodeId> =
+            (0..k).map(|_| self.rng.gen_range(0..self.num_nodes)).collect();
+        MulticastSet::new(source, dests)
+    }
+
+    /// Draws `k` *distinct* destinations different from the source —
+    /// used by the dynamic experiments, where `k` is the exact
+    /// destination count per message.
+    pub fn multicast_distinct(&mut self, source: NodeId, k: usize) -> MulticastSet {
+        assert!(k < self.num_nodes, "cannot pick {k} distinct destinations");
+        let mut dests = Vec::with_capacity(k);
+        while dests.len() < k {
+            let d = self.rng.gen_range(0..self.num_nodes);
+            if d != source && !dests.contains(&d) {
+                dests.push(d);
+            }
+        }
+        MulticastSet::new(source, dests)
+    }
+
+    /// Draws an exponential interarrival time with the given mean (ns),
+    /// by inversion. Never returns 0.
+    pub fn exponential_ns(&mut self, mean_ns: f64) -> u64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        (-mean_ns * u.ln()).ceil().max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = MulticastGen::new(64, 7);
+        let mut b = MulticastGen::new(64, 7);
+        for _ in 0..10 {
+            let s = a.source();
+            assert_eq!(s, b.source());
+            assert_eq!(a.multicast(s, 5), b.multicast(s, 5));
+        }
+    }
+
+    #[test]
+    fn distinct_destinations_are_distinct() {
+        let mut g = MulticastGen::new(64, 3);
+        for _ in 0..50 {
+            let mc = g.multicast_distinct(10, 12);
+            assert_eq!(mc.k(), 12);
+            assert!(!mc.destinations.contains(&10));
+        }
+    }
+
+    #[test]
+    fn with_replacement_can_collapse() {
+        // k = 200 draws over 64 nodes must collapse well below 200.
+        let mut g = MulticastGen::new(64, 11);
+        let mc = g.multicast(0, 200);
+        assert!(mc.k() < 64);
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut g = MulticastGen::new(4, 5);
+        let n = 20_000;
+        let mean = 1000.0;
+        let total: u64 = (0..n).map(|_| g.exponential_ns(mean)).sum();
+        let observed = total as f64 / n as f64;
+        assert!((observed - mean).abs() < mean * 0.05, "observed {observed}");
+    }
+}

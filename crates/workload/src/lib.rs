@@ -1,0 +1,16 @@
+//! Workload generation and the Chapter 7 evaluation methodology: uniform
+//! multicast sets, Poisson per-node traffic, static traffic measurement
+//! (§7.1) and dynamic latency measurement with batch means (§7.2).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dynamic;
+pub mod gen;
+pub mod static_eval;
+pub mod stats;
+
+pub use dynamic::{measure_saturation_throughput, run_dynamic, DynamicConfig, DynamicResult, ThroughputResult};
+pub use gen::MulticastGen;
+pub use static_eval::{broadcast_additional, measure_traffic, TrafficPoint};
+pub use stats::{Accumulator, BatchMeans};

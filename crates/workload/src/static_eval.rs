@@ -1,0 +1,121 @@
+//! Static (traffic-only) evaluation — the methodology of §7.1.
+//!
+//! For each destination count `k`, a batch of random multicast sets is
+//! drawn and the *average additional traffic* (total channels minus `k`,
+//! the per-destination lower bound of [20]) is reported for each routing
+//! scheme. These drive Figs 7.1–7.7.
+
+use mcast_core::model::MulticastSet;
+
+use crate::gen::MulticastGen;
+use crate::stats::Accumulator;
+
+/// One scheme's traffic statistics at a given `k`.
+#[derive(Debug, Clone)]
+pub struct TrafficPoint {
+    /// Requested destination count (before duplicate collapse).
+    pub k: usize,
+    /// Mean effective destination count after collapse.
+    pub mean_effective_k: f64,
+    /// Mean total traffic (channels).
+    pub mean_traffic: f64,
+    /// Mean additional traffic (`traffic − effective_k`).
+    pub mean_additional: f64,
+    /// 95% CI half-width of the additional traffic.
+    pub ci_additional: f64,
+    /// Trials run.
+    pub trials: usize,
+}
+
+/// Measures a routing scheme's traffic over `trials` random multicast
+/// sets with `k` destination draws each (uniform sources, destinations
+/// with replacement — §7.1's setup).
+pub fn measure_traffic<F>(
+    num_nodes: usize,
+    k: usize,
+    trials: usize,
+    seed: u64,
+    mut route_traffic: F,
+) -> TrafficPoint
+where
+    F: FnMut(&MulticastSet) -> usize,
+{
+    let mut gen = MulticastGen::new(num_nodes, seed);
+    let mut add = Accumulator::new();
+    let mut tot = Accumulator::new();
+    let mut eff = Accumulator::new();
+    for _ in 0..trials {
+        let source = gen.source();
+        let mc = gen.multicast(source, k);
+        let traffic = route_traffic(&mc);
+        assert!(
+            traffic >= mc.k(),
+            "any multicast needs at least one channel per destination (got {traffic} for k={})",
+            mc.k()
+        );
+        eff.push(mc.k() as f64);
+        tot.push(traffic as f64);
+        add.push((traffic - mc.k()) as f64);
+    }
+    TrafficPoint {
+        k,
+        mean_effective_k: eff.mean(),
+        mean_traffic: tot.mean(),
+        mean_additional: add.mean(),
+        ci_additional: add.ci_half_width_95(),
+        trials,
+    }
+}
+
+/// The broadcast comparison line of §7.1: traffic is always `N − 1`, so
+/// additional traffic is `N − 1 − effective_k`.
+pub fn broadcast_additional(num_nodes: usize, mean_effective_k: f64) -> f64 {
+    (num_nodes - 1) as f64 - mean_effective_k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_core::model::multi_unicast_traffic;
+    use mcast_topology::hamiltonian::mesh2d_cycle;
+    use mcast_topology::{Mesh2D, Topology};
+
+    #[test]
+    fn sorted_mp_beats_multi_unicast_on_average() {
+        let m = Mesh2D::new(8, 8);
+        let c = mesh2d_cycle(&m);
+        let mp = measure_traffic(m.num_nodes(), 12, 200, 42, |mc| {
+            mcast_core::sorted_mp::sorted_mp(&m, &c, mc).len()
+        });
+        let mu = measure_traffic(m.num_nodes(), 12, 200, 42, |mc| {
+            multi_unicast_traffic(&m, mc)
+        });
+        assert!(
+            mp.mean_additional < mu.mean_additional,
+            "MP {} !< multi-unicast {}",
+            mp.mean_additional,
+            mu.mean_additional
+        );
+    }
+
+    #[test]
+    fn same_seed_same_results() {
+        let m = Mesh2D::new(8, 8);
+        let c = mesh2d_cycle(&m);
+        let run = || {
+            measure_traffic(m.num_nodes(), 6, 50, 1, |mc| {
+                mcast_core::sorted_mp::sorted_mp(&m, &c, mc).len()
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.mean_additional, b.mean_additional);
+        assert_eq!(a.mean_traffic, b.mean_traffic);
+    }
+
+    #[test]
+    fn broadcast_line_is_constant_total() {
+        let add = broadcast_additional(1024, 10.0);
+        assert_eq!(add, 1013.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Barrier synchronization on a hypercube via multicast — the Chapter 1
+//! application ("this 'barrier synchronization' can be efficiently
+//! implemented using multicast communication").
+//!
+//! A barrier among `p` participating processes (an arbitrary node subset)
+//! is implemented as gather-then-release:
+//!
+//! 1. every participant unicasts an *arrive* message to the coordinator;
+//! 2. when all have arrived, the coordinator multicasts one *release*
+//!    message to the participants.
+//!
+//! The release phase is where multicast routing matters: this example
+//! measures the complete barrier time on a 6-cube in the flit-level
+//! simulator with the release multicast routed by dual-path, multi-path,
+//! and naive per-destination unicasts.
+//!
+//! ```text
+//! cargo run --release --example barrier_sync
+//! ```
+
+use mcast::prelude::*;
+use mcast::sim::PlanPath;
+use mcast::sim::PlanWorm;
+
+/// Builds the plan for the arrive phase: one E-cube unicast per
+/// participant toward the coordinator.
+fn arrive_plans(cube: &Hypercube, coordinator: NodeId, members: &[NodeId]) -> Vec<DeliveryPlan> {
+    members
+        .iter()
+        .filter(|&&m| m != coordinator)
+        .map(|&m| {
+            let path = cube.shortest_path(m, coordinator);
+            DeliveryPlan {
+                source: m,
+                destinations: vec![coordinator],
+                worms: vec![PlanWorm::Path(PlanPath { nodes: path, class: ClassChoice::Any })],
+            }
+        })
+        .collect()
+}
+
+/// Runs one barrier and returns (arrive-phase time, release-phase time)
+/// in microseconds.
+fn run_barrier(
+    cube: &Hypercube,
+    coordinator: NodeId,
+    members: &[NodeId],
+    release_router: &dyn MulticastRouter,
+) -> (f64, f64) {
+    // Phase 1: all arrive messages injected simultaneously.
+    let mut engine = Engine::new(Network::new(cube, 1), SimConfig::default());
+    for plan in arrive_plans(cube, coordinator, members) {
+        engine.inject(&plan);
+    }
+    assert!(engine.run_to_quiescence(), "unicast gather cannot deadlock");
+    let gather_done = engine.now();
+
+    // Phase 2: the release multicast, starting where the gather ended.
+    let mc = MulticastSet::new(coordinator, members.iter().copied());
+    engine.inject(&release_router.plan(&mc));
+    assert!(engine.run_to_quiescence(), "deadlock-free release");
+    let release_done = engine.now();
+    (gather_done as f64 / 1000.0, (release_done - gather_done) as f64 / 1000.0)
+}
+
+/// A router that sends one separate unicast worm per destination — the
+/// "multicast unsupported" baseline of Chapter 1.
+struct MultiUnicastRouter {
+    cube: Hypercube,
+}
+
+impl MulticastRouter for MultiUnicastRouter {
+    fn name(&self) -> &'static str {
+        "multi-unicast"
+    }
+    fn plan(&self, mc: &MulticastSet) -> DeliveryPlan {
+        DeliveryPlan {
+            source: mc.source,
+            destinations: mc.destinations.clone(),
+            worms: mc
+                .destinations
+                .iter()
+                .map(|&d| {
+                    PlanWorm::Path(PlanPath {
+                        nodes: self.cube.shortest_path(mc.source, d),
+                        class: ClassChoice::Any,
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+fn main() {
+    let cube = Hypercube::new(6);
+    let coordinator = 0;
+    // Participants: every other node (a 32-process barrier).
+    let members: Vec<NodeId> = (0..cube.num_nodes()).filter(|n| n % 2 == 1).collect();
+    println!(
+        "barrier of {} processes on a {} (coordinator {})\n",
+        members.len(),
+        cube.describe(),
+        coordinator
+    );
+    println!(
+        "{:<14} {:>12} {:>13} {:>12}",
+        "release via", "gather (us)", "release (us)", "total (us)"
+    );
+    let routers: Vec<Box<dyn MulticastRouter>> = vec![
+        Box::new(DualPathRouter::hypercube(cube)),
+        Box::new(MultiPathCubeRouter::new(cube)),
+        Box::new(FixedPathRouter::hypercube(cube)),
+        Box::new(MultiUnicastRouter { cube }),
+    ];
+    for router in &routers {
+        let (gather, release) = run_barrier(&cube, coordinator, &members, router.as_ref());
+        println!(
+            "{:<14} {:>12.1} {:>13.1} {:>12.1}",
+            router.name(),
+            gather,
+            release,
+            gather + release
+        );
+    }
+    println!("\nthe release multicast dominates the barrier; path-based multicast");
+    println!("cuts it versus separate unicasts while remaining deadlock-free.");
+}

@@ -1,0 +1,198 @@
+//! Integration tests for the Chapter 6 deadlock-freedom claims, checked
+//! two independent ways:
+//!
+//! 1. **structurally** — channel dependency graphs accumulated from the
+//!    actual routes of large multicast batches must be acyclic
+//!    (Dally–Seitz);
+//! 2. **operationally** — saturating closed scenarios in the flit-level
+//!    simulator must drain completely.
+
+use mcast::prelude::*;
+use mcast::topology::cdg::ChannelDependencyGraph;
+
+/// Builds a CDG from observed consecutive channel pairs of `paths`.
+fn cdg_from_paths(channels: Vec<Channel>, all_paths: &[Vec<NodeId>]) -> ChannelDependencyGraph {
+    let mut cdg = ChannelDependencyGraph::new(channels);
+    for path in all_paths {
+        for w in path.windows(3) {
+            let c1 = Channel::new(w[0], w[1]);
+            let c2 = Channel::new(w[1], w[2]);
+            cdg.add_dependency(c1, c2);
+        }
+    }
+    cdg
+}
+
+fn exhaustive_pairs_sets(num_nodes: usize) -> Vec<MulticastSet> {
+    // Every (source, destination set drawn deterministically) — a dense
+    // family exercising many label patterns.
+    let mut out = Vec::new();
+    for s in 0..num_nodes {
+        for seed in 0..4usize {
+            let dests: Vec<NodeId> =
+                (0..6).map(|i| (s + seed * 11 + i * 7 + 1) % num_nodes).collect();
+            out.push(MulticastSet::new(s, dests));
+        }
+    }
+    out
+}
+
+#[test]
+fn dual_path_cdg_acyclic_on_meshes() {
+    for (w, h) in [(4usize, 4usize), (6, 6), (5, 7)] {
+        let mesh = Mesh2D::new(w, h);
+        let labeling = mesh2d_snake(&mesh);
+        let mut paths = Vec::new();
+        for mc in exhaustive_pairs_sets(mesh.num_nodes()) {
+            for p in dual_path(&mesh, &labeling, &mc) {
+                paths.push(p.nodes().to_vec());
+            }
+        }
+        let cdg = cdg_from_paths(mesh.channels(), &paths);
+        assert!(cdg.is_acyclic(), "{w}x{h} mesh dual-path CDG has a cycle");
+    }
+}
+
+#[test]
+fn multi_and_fixed_path_cdg_acyclic() {
+    let mesh = Mesh2D::new(6, 6);
+    let labeling = mesh2d_snake(&mesh);
+    let mut multi_paths = Vec::new();
+    let mut fixed_paths = Vec::new();
+    for mc in exhaustive_pairs_sets(mesh.num_nodes()) {
+        for p in multi_path_mesh(&mesh, &labeling, &mc) {
+            multi_paths.push(p.nodes().to_vec());
+        }
+        for p in fixed_path(&mesh, &labeling, &mc) {
+            fixed_paths.push(p.nodes().to_vec());
+        }
+    }
+    assert!(cdg_from_paths(mesh.channels(), &multi_paths).is_acyclic());
+    assert!(cdg_from_paths(mesh.channels(), &fixed_paths).is_acyclic());
+}
+
+#[test]
+fn hypercube_dual_and_multi_path_cdg_acyclic() {
+    let cube = Hypercube::new(5);
+    let labeling = hypercube_gray(&cube);
+    let mut paths = Vec::new();
+    for mc in exhaustive_pairs_sets(cube.num_nodes()) {
+        for p in dual_path(&cube, &labeling, &mc) {
+            paths.push(p.nodes().to_vec());
+        }
+        for p in multi_path(&cube, &labeling, &mc) {
+            paths.push(p.nodes().to_vec());
+        }
+    }
+    let cdg = cdg_from_paths(cube.channels(), &paths);
+    assert!(cdg.is_acyclic(), "5-cube path-based CDG has a cycle");
+}
+
+#[test]
+fn naive_xfirst_multicast_creates_dependency_cycle() {
+    // The §6.1 counterpoint: accumulating the *tree* branch dependencies
+    // of naive X-first multicast over many sets does create cycles (the
+    // structural signature of Fig 6.4). Tree branch channels at a node
+    // depend on each other through the lock-step coupling; model that as
+    // mutual dependency between sibling branch channels.
+    let mesh = Mesh2D::new(4, 3);
+    let mut cdg = ChannelDependencyGraph::new(mesh.channels());
+    for mc in exhaustive_pairs_sets(mesh.num_nodes()) {
+        let tree = xfirst_tree(&mesh, &mc);
+        let children = tree.children_map();
+        for (&parent, kids) in &children {
+            // Sequential dependencies parent-channel → child-channel.
+            if let Some(gp) = tree.parent(parent) {
+                for &k in kids {
+                    cdg.add_dependency(Channel::new(gp, parent), Channel::new(parent, k));
+                }
+            }
+            // Lock-step coupling: each branch waits on its siblings.
+            for &a in kids {
+                for &b in kids {
+                    if a != b {
+                        cdg.add_dependency(Channel::new(parent, a), Channel::new(parent, b));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        !cdg.is_acyclic(),
+        "naive X-first multicast should exhibit dependency cycles"
+    );
+}
+
+#[test]
+fn dc_tree_channels_partition_into_acyclic_subnetworks() {
+    use mcast::topology::partition::{quadrant_channels, Quadrant};
+    let mesh = Mesh2D::new(6, 6);
+    for q in Quadrant::ALL {
+        let channels = quadrant_channels(&mesh, q);
+        let mut cdg = ChannelDependencyGraph::new(channels.clone());
+        // Within a quadrant subnetwork all trees route X-first: any
+        // consecutive channel pair (c1 into node, c2 out of node) with
+        // directions in the quadrant and no Y→X turn.
+        for &c1 in &channels {
+            for &c2 in &channels {
+                if c1.to != c2.from {
+                    continue;
+                }
+                let d1 = mesh.channel_direction(Channel::new(c1.from, c1.to));
+                let d2 = mesh.channel_direction(Channel::new(c2.from, c2.to));
+                let vertical =
+                    |d: Dir2| matches!(d, Dir2::PosY | Dir2::NegY);
+                if vertical(d1) && !vertical(d2) {
+                    continue; // X-first: never turn from Y back to X
+                }
+                cdg.add_dependency(c1, c2);
+            }
+        }
+        assert!(cdg.is_acyclic(), "{q:?} subnetwork must be acyclic");
+    }
+}
+
+#[test]
+fn stress_every_node_multicasting_simultaneously() {
+    // 36 simultaneous 8-destination multicasts on a 6×6 mesh, all three
+    // path schemes and the dc-tree: everything must drain.
+    let mesh = Mesh2D::new(6, 6);
+    let mcs: Vec<MulticastSet> = (0..mesh.num_nodes())
+        .map(|s| MulticastSet::new(s, (1..=8).map(|i| (s * 5 + i * 4 + 2) % 36)))
+        .collect();
+    let routers: Vec<Box<dyn MulticastRouter>> = vec![
+        Box::new(DualPathRouter::mesh(mesh)),
+        Box::new(MultiPathMeshRouter::new(mesh)),
+        Box::new(FixedPathRouter::mesh(mesh)),
+        Box::new(DoubleChannelTreeRouter::new(mesh)),
+    ];
+    for router in &routers {
+        let mut engine = Engine::new(
+            Network::new(&mesh, router.required_classes()),
+            SimConfig::default(),
+        );
+        for mc in &mcs {
+            engine.inject(&router.plan(mc));
+        }
+        assert!(
+            engine.run_to_quiescence(),
+            "{} wedged under saturating closed load",
+            router.name()
+        );
+        assert_eq!(engine.take_completed().len(), 36);
+    }
+}
+
+#[test]
+fn stress_hypercube_simultaneous_broadcasts() {
+    // All 16 nodes of a 4-cube broadcast simultaneously via dual-path —
+    // the nightmare scenario for the nCUBE-2 scheme.
+    let cube = Hypercube::new(4);
+    let router = DualPathRouter::hypercube(cube);
+    let mut engine = Engine::new(Network::new(&cube, 1), SimConfig::default());
+    for s in 0..cube.num_nodes() {
+        let all: Vec<NodeId> = (0..cube.num_nodes()).collect();
+        engine.inject(&router.plan(&MulticastSet::new(s, all)));
+    }
+    assert!(engine.run_to_quiescence(), "16 simultaneous dual-path broadcasts wedged");
+}

@@ -1,0 +1,96 @@
+//! §8.1's closing claim, exercised end to end: "These routing algorithms
+//! can be applied to any multicomputer networks that have Hamilton
+//! paths." Dual-path / multi-path / fixed-path run unmodified on
+//! cube-connected cycles, k-ary n-cubes and 3D meshes — routed, validated
+//! and simulated.
+
+use mcast::prelude::*;
+use mcast::routing::vc_multi_path;
+use mcast::sim::plan::{PlanPath, PlanWorm};
+use mcast::topology::hamiltonian::find_path;
+use mcast::topology::CubeConnectedCycles;
+
+fn star_plan(mc: &MulticastSet, paths: &[mcast::routing::PathRoute]) -> DeliveryPlan {
+    DeliveryPlan {
+        source: mc.source,
+        destinations: mc.destinations.clone(),
+        worms: paths
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|p| {
+                PlanWorm::Path(PlanPath { nodes: p.nodes().to_vec(), class: ClassChoice::Any })
+            })
+            .collect(),
+    }
+}
+
+fn route_and_simulate<T: Topology>(topo: &T, labeling: &Labeling, seed: usize) {
+    let n = topo.num_nodes();
+    let mc = MulticastSet::new((seed * 7) % n, (0..6).map(|i| (seed * 13 + i * 5 + 1) % n));
+    // Route with all three schemes and validate.
+    let dual = dual_path(topo, labeling, &mc);
+    MulticastRoute::Star(dual.clone()).validate(topo, &mc).unwrap();
+    let multi = multi_path(topo, labeling, &mc);
+    MulticastRoute::Star(multi).validate(topo, &mc).unwrap();
+    let fixed = fixed_path(topo, labeling, &mc);
+    MulticastRoute::Star(fixed).validate(topo, &mc).unwrap();
+    // Simulate the dual-path delivery.
+    let mut engine = Engine::new(Network::new(topo, 1), SimConfig::default());
+    engine.inject(&star_plan(&mc, &dual));
+    assert!(engine.run_to_quiescence(), "seed {seed}: wedged on {}", topo.describe());
+}
+
+#[test]
+fn path_routing_on_cube_connected_cycles() {
+    let ccc = CubeConnectedCycles::new(3);
+    let labeling =
+        Labeling::from_path(find_path(&ccc, 0).expect("CCC(3) has a Hamiltonian path"));
+    assert!(labeling.is_hamiltonian_path_of(&ccc));
+    for seed in 0..15 {
+        route_and_simulate(&ccc, &labeling, seed);
+    }
+}
+
+#[test]
+fn path_routing_on_kary_ncube() {
+    let t = KAryNCube::mesh(4, 3); // 64 nodes
+    let labeling = karyn_gray(&t);
+    for seed in 0..15 {
+        route_and_simulate(&t, &labeling, seed);
+    }
+}
+
+#[test]
+fn path_routing_on_3d_mesh() {
+    let m = Mesh3D::new(4, 4, 4);
+    let labeling = mesh3d_snake(&m);
+    for seed in 0..15 {
+        route_and_simulate(&m, &labeling, seed);
+    }
+}
+
+#[test]
+fn saturating_closed_load_on_ccc_drains() {
+    // Every CCC(3) node multicasts simultaneously via dual-path.
+    let ccc = CubeConnectedCycles::new(3);
+    let labeling = Labeling::from_path(find_path(&ccc, 0).expect("Hamiltonian"));
+    let mut engine = Engine::new(Network::new(&ccc, 1), SimConfig::default());
+    for s in 0..ccc.num_nodes() {
+        let mc = MulticastSet::new(s, (1..=5).map(|i| (s + i * 4) % ccc.num_nodes()));
+        engine.inject(&star_plan(&mc, &dual_path(&ccc, &labeling, &mc)));
+    }
+    assert!(engine.run_to_quiescence(), "CCC saturating load wedged");
+}
+
+#[test]
+fn vc_lanes_on_kary_ncube() {
+    let t = KAryNCube::mesh(3, 3);
+    let labeling = karyn_gray(&t);
+    let mc = MulticastSet::new(13, (0..10).map(|i| (i * 2 + 1) % 27));
+    for lanes in 1..=3u8 {
+        let paths = vc_multi_path::vc_multi_path(&t, &labeling, &mc, lanes);
+        for &d in &mc.destinations {
+            assert!(paths.iter().any(|p| p.path.hops_to(d).is_some()), "lanes={lanes}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! The unicast/multicast interaction finding (§8.2's open problem made
+//! concrete): XY-routed unicast traffic sharing single channels with
+//! dual-path multicast traffic is **not** deadlock-free — the two
+//! disciplines' combined channel dependency graph has cycles, and the
+//! simulator exhibits the wedge. Routing unicasts as k = 1 multicasts
+//! through the same label-monotone function restores deadlock freedom.
+
+use mcast::prelude::*;
+use mcast::routing::geometry::RoutingGeometry;
+use mcast::sim::plan::{PlanPath, PlanWorm};
+use mcast::topology::cdg::ChannelDependencyGraph;
+
+/// Builds the union CDG of XY unicast routes and dual-path multicast
+/// routes over a dense route family.
+fn combined_cdg(mesh: &Mesh2D) -> ChannelDependencyGraph {
+    let labeling = mesh2d_snake(mesh);
+    let mut cdg = ChannelDependencyGraph::new(mesh.channels());
+    let add_path = |cdg: &mut ChannelDependencyGraph, path: &[NodeId]| {
+        for w in path.windows(3) {
+            cdg.add_dependency(Channel::new(w[0], w[1]), Channel::new(w[1], w[2]));
+        }
+    };
+    for s in 0..mesh.num_nodes() {
+        for t in 0..mesh.num_nodes() {
+            if s == t {
+                continue;
+            }
+            let xy = mesh.shortest_path(s, t);
+            add_path(&mut cdg, &xy);
+        }
+        for seed in 0..3usize {
+            let dests: Vec<NodeId> =
+                (0..5).map(|i| (s + seed * 13 + i * 7 + 1) % mesh.num_nodes()).collect();
+            let mc = MulticastSet::new(s, dests);
+            for p in dual_path(mesh, &labeling, &mc) {
+                add_path(&mut cdg, p.nodes());
+            }
+        }
+    }
+    cdg
+}
+
+#[test]
+fn combined_xy_and_dual_path_cdg_is_cyclic() {
+    let mesh = Mesh2D::new(6, 6);
+    let cdg = combined_cdg(&mesh);
+    let cycle = cdg.find_cycle().expect("XY + dual-path must create a dependency cycle");
+    // The witness chains head-to-tail and closes.
+    assert_eq!(cycle.first(), cycle.last());
+    for w in cycle.windows(2) {
+        assert_eq!(w[0].to, w[1].from);
+    }
+}
+
+#[test]
+fn xy_alone_and_dual_path_alone_are_each_acyclic() {
+    let mesh = Mesh2D::new(6, 6);
+    let labeling = mesh2d_snake(&mesh);
+    let mut xy_cdg = ChannelDependencyGraph::new(mesh.channels());
+    let mut dp_cdg = ChannelDependencyGraph::new(mesh.channels());
+    for s in 0..mesh.num_nodes() {
+        for t in 0..mesh.num_nodes() {
+            if s == t {
+                continue;
+            }
+            let xy = mesh.shortest_path(s, t);
+            for w in xy.windows(3) {
+                xy_cdg.add_dependency(Channel::new(w[0], w[1]), Channel::new(w[1], w[2]));
+            }
+        }
+        for seed in 0..3usize {
+            let dests: Vec<NodeId> =
+                (0..5).map(|i| (s + seed * 13 + i * 7 + 1) % mesh.num_nodes()).collect();
+            let mc = MulticastSet::new(s, dests);
+            for p in dual_path(&mesh, &labeling, &mc) {
+                for w in p.nodes().windows(3) {
+                    dp_cdg.add_dependency(Channel::new(w[0], w[1]), Channel::new(w[1], w[2]));
+                }
+            }
+        }
+    }
+    assert!(xy_cdg.is_acyclic(), "XY unicast alone is deadlock-free");
+    assert!(dp_cdg.is_acyclic(), "dual-path alone is deadlock-free");
+}
+
+/// Replays a seeded mixed workload; returns whether it drained.
+fn mixed_drains(mesh: &Mesh2D, xy_unicasts: bool, seed: u64) -> bool {
+    let labeling = mesh2d_snake(mesh);
+    let router = DualPathRouter::mesh(*mesh);
+    let mut engine = Engine::new(Network::new(mesh, 1), SimConfig::default());
+    let mut gen = MulticastGen::new(mesh.num_nodes(), seed);
+    let mut t = 0u64;
+    for i in 0..4000usize {
+        engine.run_until(t);
+        let src = gen.source();
+        if i % 2 == 0 {
+            let mc = gen.multicast_distinct(src, 8);
+            engine.inject(&router.plan(&mc));
+        } else {
+            let mut dest = gen.source();
+            while dest == src {
+                dest = gen.source();
+            }
+            let nodes = if xy_unicasts {
+                mesh.shortest_path(src, dest)
+            } else {
+                mcast::routing::routing_fn::r_path(mesh, &labeling, src, dest)
+            };
+            let plan = DeliveryPlan {
+                source: src,
+                destinations: vec![dest],
+                worms: vec![PlanWorm::Path(PlanPath { nodes, class: ClassChoice::Any })],
+            };
+            engine.inject(&plan);
+        }
+        t += 2_000; // heavy: one injection every 2 µs network-wide
+        if engine.in_flight() > 3000 {
+            break;
+        }
+    }
+    engine.run_to_quiescence()
+}
+
+#[test]
+fn mixing_xy_unicast_with_dual_path_deadlocks() {
+    let mesh = Mesh2D::new(8, 8);
+    // Several seeds: at least one must wedge (in practice the first does).
+    let wedged = (0..5u64).any(|seed| !mixed_drains(&mesh, true, seed));
+    assert!(wedged, "expected XY+dual-path mixing to wedge under heavy load");
+}
+
+#[test]
+fn routing_unicasts_through_r_is_deadlock_free() {
+    let mesh = Mesh2D::new(8, 8);
+    for seed in 0..5u64 {
+        assert!(
+            mixed_drains(&mesh, false, seed),
+            "seed {seed}: R-routed unicasts + dual-path must drain"
+        );
+    }
+}
