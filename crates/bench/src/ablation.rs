@@ -25,7 +25,15 @@ pub fn ablation_exact(scale: &Scale) -> Table {
     let mut t = Table::new(
         "ablation_exact",
         "Heuristic vs optimal on a 4x4 mesh (mean traffic over random sets)",
-        &["k", "sorted MP", "OMP*", "greedy ST", "MST*", "dual-path", "OMS*"],
+        &[
+            "k",
+            "sorted MP",
+            "OMP*",
+            "greedy ST",
+            "MST*",
+            "dual-path",
+            "OMS*",
+        ],
     );
     for k in [2usize, 3, 4] {
         let mut gen = MulticastGen::new(m.num_nodes(), 0xab1e + k as u64);
@@ -87,7 +95,11 @@ pub fn ablation_labeling(scale: &Scale) -> Table {
                 .map(|p| p.len())
                 .sum::<usize>() as f64;
         }
-        t.push_row(vec![k.to_string(), f(a / trials as f64, 2), f(b / trials as f64, 2)]);
+        t.push_row(vec![
+            k.to_string(),
+            f(a / trials as f64, 2),
+            f(b / trials as f64, 2),
+        ]);
     }
     t
 }
@@ -153,7 +165,11 @@ pub fn ablation_mixed(scale: &Scale) -> Table {
     let mut t = Table::new(
         "ablation_mixed",
         "Unicast/multicast interaction on an 8x8 mesh (dual-path, k=10) [us]",
-        &["unicast interarrival us", "multicast latency", "unicast latency"],
+        &[
+            "unicast interarrival us",
+            "multicast latency",
+            "unicast latency",
+        ],
     );
     let measured_target = (scale.batch_size * scale.min_batches).max(100);
     for unicast_us in [f64::INFINITY, 800.0, 400.0, 200.0, 100.0] {
@@ -176,10 +192,18 @@ pub fn ablation_mixed(scale: &Scale) -> Table {
         let mut uc_lat = Accumulator::new();
         let mut measured = 0usize;
         while measured < measured_target {
-            let (tmc, nmc) =
-                next_mc.iter().enumerate().map(|(i, &t)| (t, i)).min().expect("nodes");
-            let (tuc, nuc) =
-                next_uc.iter().enumerate().map(|(i, &t)| (t, i)).min().expect("nodes");
+            let (tmc, nmc) = next_mc
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (t, i))
+                .min()
+                .expect("nodes");
+            let (tuc, nuc) = next_uc
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (t, i))
+                .min()
+                .expect("nodes");
             if tmc <= tuc {
                 engine.run_until(tmc);
                 let mc = gen.multicast_distinct(nmc, 10);
@@ -315,7 +339,10 @@ pub fn ablation_throughput(scale: &Scale) -> Table {
     );
     let routers: Vec<(Box<dyn MulticastRouter>, SimConfig)> = vec![
         (Box::new(DualPathRouter::mesh(mesh)), SimConfig::default()),
-        (Box::new(MultiPathMeshRouter::new(mesh)), SimConfig::default()),
+        (
+            Box::new(MultiPathMeshRouter::new(mesh)),
+            SimConfig::default(),
+        ),
         (Box::new(FixedPathRouter::mesh(mesh)), SimConfig::default()),
         (Box::new(DoubleChannelTreeRouter::new(mesh)), {
             let mut c = SimConfig::default();

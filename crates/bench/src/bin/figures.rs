@@ -15,8 +15,11 @@ use mcast_bench::{experiment_ids, run_experiment, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let ids: Vec<String> =
-        args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
     let scale = if smoke { Scale::smoke() } else { Scale::full() };
     let ids: Vec<String> = if ids.is_empty() {
         experiment_ids().into_iter().map(String::from).collect()

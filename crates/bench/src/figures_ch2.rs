@@ -36,13 +36,19 @@ pub fn fig2_3() -> Table {
         }
         // Engine cross-check: a single path worm over d hops with zero
         // per-hop routing delay matches the closed form.
-        let config = SimConfig { routing_delay_ns: 0, ..SimConfig::default() };
+        let config = SimConfig {
+            routing_delay_ns: 0,
+            ..SimConfig::default()
+        };
         let mut engine = Engine::new(Network::new(&mesh, 1), config);
         let nodes: Vec<usize> = (0..=d).collect(); // row 0 of the mesh
         let plan = DeliveryPlan {
             source: 0,
             destinations: vec![d],
-            worms: vec![PlanWorm::Path(PlanPath { nodes, class: ClassChoice::Any })],
+            worms: vec![PlanWorm::Path(PlanPath {
+                nodes,
+                class: ClassChoice::Any,
+            })],
         };
         engine.inject(&plan);
         assert!(engine.run_to_quiescence());
@@ -78,10 +84,8 @@ mod tests {
         let t = fig2_3();
         let first = &t.rows[0];
         let last = t.rows.last().unwrap();
-        let saf_ratio: f64 =
-            last[1].parse::<f64>().unwrap() / first[1].parse::<f64>().unwrap();
-        let worm_ratio: f64 =
-            last[4].parse::<f64>().unwrap() / first[4].parse::<f64>().unwrap();
+        let saf_ratio: f64 = last[1].parse::<f64>().unwrap() / first[1].parse::<f64>().unwrap();
+        let worm_ratio: f64 = last[4].parse::<f64>().unwrap() / first[4].parse::<f64>().unwrap();
         assert!(saf_ratio > 10.0, "SAF must scale with distance");
         // With L/L_f = 16 the per-hop flit term is small but not zero:
         // wormhole grows far slower than SAF, not literally flat.

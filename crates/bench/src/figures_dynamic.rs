@@ -4,8 +4,7 @@
 //! with the §7.2 parameters (128-byte messages, 20 Mbyte/s channels).
 
 use mcast_sim::routers::{
-    DoubleChannelTreeRouter, DualPathRouter, FixedPathRouter, MultiPathMeshRouter,
-    MulticastRouter,
+    DoubleChannelTreeRouter, DualPathRouter, FixedPathRouter, MultiPathMeshRouter, MulticastRouter,
 };
 use mcast_topology::Mesh2D;
 use mcast_workload::dynamic::run_dynamic;
@@ -16,8 +15,9 @@ use crate::scale::Scale;
 /// Loads for the latency-vs-load sweeps: mean interarrival per node (µs).
 /// Lower = heavier; the heaviest points push the tree scheme into
 /// saturation first (§7.2's observation).
-const LOAD_SWEEP_US: [f64; 11] =
-    [2000.0, 1200.0, 800.0, 600.0, 450.0, 350.0, 280.0, 220.0, 180.0, 150.0, 120.0];
+const LOAD_SWEEP_US: [f64; 11] = [
+    2000.0, 1200.0, 800.0, 600.0, 450.0, 350.0, 280.0, 220.0, 180.0, 150.0, 120.0,
+];
 
 /// Destination counts for the latency-vs-k sweeps (Fig 7.9 sweeps 1–45).
 const K_SWEEP: [usize; 7] = [1, 5, 10, 15, 25, 35, 45];
@@ -44,7 +44,13 @@ pub fn fig7_8(scale: &Scale) -> Table {
     let mut t = Table::new(
         "fig7_8",
         "Latency vs load, double-channel 8x8 mesh, k=10 (Fig 7.8) [us]",
-        &["interarrival us", "tree lockstep", "tree vct-buf", "dual-path", "multi-path"],
+        &[
+            "interarrival us",
+            "tree lockstep",
+            "tree vct-buf",
+            "dual-path",
+            "multi-path",
+        ],
     );
     let tree = DoubleChannelTreeRouter::new(mesh);
     let dual = DualPathRouter::mesh(mesh);
@@ -74,7 +80,13 @@ pub fn fig7_9(scale: &Scale) -> Table {
     let mut t = Table::new(
         "fig7_9",
         "Latency vs destinations, double-channel 8x8 mesh, 300us interarrival (Fig 7.9) [us]",
-        &["k", "tree lockstep", "tree vct-buf", "dual-path", "multi-path"],
+        &[
+            "k",
+            "tree lockstep",
+            "tree vct-buf",
+            "dual-path",
+            "multi-path",
+        ],
     );
     let tree = DoubleChannelTreeRouter::new(mesh);
     let dual = DualPathRouter::mesh(mesh);
@@ -104,8 +116,10 @@ pub fn fig7_10(scale: &Scale) -> Table {
         "Latency vs load, single-channel 8x8 mesh, k=10 (Fig 7.10) [us]",
         &["interarrival us", "dual-path", "multi-path"],
     );
-    let routers: Vec<Box<dyn MulticastRouter>> =
-        vec![Box::new(DualPathRouter::mesh(mesh)), Box::new(MultiPathMeshRouter::new(mesh))];
+    let routers: Vec<Box<dyn MulticastRouter>> = vec![
+        Box::new(DualPathRouter::mesh(mesh)),
+        Box::new(MultiPathMeshRouter::new(mesh)),
+    ];
     for &load in &LOAD_SWEEP_US {
         let mut row = vec![f(load, 0)];
         for r in &routers {

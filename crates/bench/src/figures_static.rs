@@ -25,7 +25,13 @@ pub fn fig7_1(scale: &Scale) -> Table {
     let mut t = Table::new(
         "fig7_1",
         "Sorted MP on a 32x32 mesh: average additional traffic vs k (Fig 7.1)",
-        &["k", "sorted MP", "sorted MC", "multi one-to-one", "broadcast"],
+        &[
+            "k",
+            "sorted MP",
+            "sorted MC",
+            "multi one-to-one",
+            "broadcast",
+        ],
     );
     for &k in &scale.k_large {
         let trials = scale.trials;
@@ -56,7 +62,13 @@ pub fn fig7_2(scale: &Scale) -> Table {
     let mut t = Table::new(
         "fig7_2",
         "Sorted MP on a 10-cube: average additional traffic vs k (Fig 7.2)",
-        &["k", "sorted MP", "sorted MC", "multi one-to-one", "broadcast"],
+        &[
+            "k",
+            "sorted MP",
+            "sorted MC",
+            "multi one-to-one",
+            "broadcast",
+        ],
     );
     for &k in &scale.k_large {
         let trials = scale.trials;
@@ -124,9 +136,13 @@ pub fn fig7_4(scale: &Scale) -> Table {
         let len = measure_traffic(h.num_nodes(), k, trials, SEED, |mc| {
             mcast_core::len::len_tree(&h, mc).traffic()
         });
-        let kmb = measure_traffic(h.num_nodes(), k, trials.min(scale.trials_heavy), SEED, |mc| {
-            mcast_core::kmb::kmb(&h, mc).traffic()
-        });
+        let kmb = measure_traffic(
+            h.num_nodes(),
+            k,
+            trials.min(scale.trials_heavy),
+            SEED,
+            |mc| mcast_core::kmb::kmb(&h, mc).traffic(),
+        );
         t.push_row(vec![
             k.to_string(),
             f(st.mean_additional, 1),
@@ -144,10 +160,20 @@ pub fn fig7_5(scale: &Scale) -> Table {
     let mut t = Table::new(
         "fig7_5",
         "X-first vs divided greedy on a 16x16 mesh: additional traffic vs k (Fig 7.5)",
-        &["k", "X-first", "divided greedy", "multi one-to-one", "broadcast"],
+        &[
+            "k",
+            "X-first",
+            "divided greedy",
+            "multi one-to-one",
+            "broadcast",
+        ],
     );
-    let ks: Vec<usize> =
-        scale.k_small.iter().copied().chain([80, 120, 160, 200]).collect();
+    let ks: Vec<usize> = scale
+        .k_small
+        .iter()
+        .copied()
+        .chain([80, 120, 160, 200])
+        .collect();
     for k in ks {
         if k >= m.num_nodes() {
             continue;
@@ -189,13 +215,22 @@ pub fn fig7_6(scale: &Scale) -> Table {
         }
         let trials = scale.trials;
         let dual = measure_traffic(h.num_nodes(), k, trials, SEED, |mc| {
-            mcast_core::dual_path::dual_path(&h, &l, mc).iter().map(|p| p.len()).sum()
+            mcast_core::dual_path::dual_path(&h, &l, mc)
+                .iter()
+                .map(|p| p.len())
+                .sum()
         });
         let multi = measure_traffic(h.num_nodes(), k, trials, SEED, |mc| {
-            mcast_core::multi_path::multi_path(&h, &l, mc).iter().map(|p| p.len()).sum()
+            mcast_core::multi_path::multi_path(&h, &l, mc)
+                .iter()
+                .map(|p| p.len())
+                .sum()
         });
         let fixed = measure_traffic(h.num_nodes(), k, trials, SEED, |mc| {
-            mcast_core::fixed_path::fixed_path(&h, &l, mc).iter().map(|p| p.len()).sum()
+            mcast_core::fixed_path::fixed_path(&h, &l, mc)
+                .iter()
+                .map(|p| p.len())
+                .sum()
         });
         t.push_row(vec![
             k.to_string(),
@@ -223,13 +258,22 @@ pub fn fig7_7(scale: &Scale) -> Table {
         }
         let trials = scale.trials;
         let dual = measure_traffic(m.num_nodes(), k, trials, SEED, |mc| {
-            mcast_core::dual_path::dual_path(&m, &l, mc).iter().map(|p| p.len()).sum()
+            mcast_core::dual_path::dual_path(&m, &l, mc)
+                .iter()
+                .map(|p| p.len())
+                .sum()
         });
         let multi = measure_traffic(m.num_nodes(), k, trials, SEED, |mc| {
-            mcast_core::multi_path::multi_path_mesh(&m, &l, mc).iter().map(|p| p.len()).sum()
+            mcast_core::multi_path::multi_path_mesh(&m, &l, mc)
+                .iter()
+                .map(|p| p.len())
+                .sum()
         });
         let fixed = measure_traffic(m.num_nodes(), k, trials, SEED, |mc| {
-            mcast_core::fixed_path::fixed_path(&m, &l, mc).iter().map(|p| p.len()).sum()
+            mcast_core::fixed_path::fixed_path(&m, &l, mc)
+                .iter()
+                .map(|p| p.len())
+                .sum()
         });
         let tree = measure_traffic(m.num_nodes(), k, trials, SEED, |mc| {
             mcast_core::dc_xfirst_tree::traffic(&mcast_core::dc_xfirst_tree::dc_xfirst(&m, mc))
@@ -300,7 +344,10 @@ mod tests {
             let dual = col(&t6, r, "dual-path");
             let multi = col(&t6, r, "multi-path");
             let fixed = col(&t6, r, "fixed-path");
-            assert!(multi <= dual * 1.15 + 1.0, "row {r}: multi {multi} >> dual {dual}");
+            assert!(
+                multi <= dual * 1.15 + 1.0,
+                "row {r}: multi {multi} >> dual {dual}"
+            );
             assert!(dual <= fixed + 1e-9, "row {r}: dual {dual} > fixed {fixed}");
         }
         let t7 = fig7_7(&Scale::smoke());

@@ -12,6 +12,7 @@
 pub mod ablation;
 pub mod figures_ch2;
 pub mod figures_dynamic;
+pub mod figures_fault;
 pub mod figures_static;
 pub mod report;
 pub mod scale;
@@ -23,9 +24,26 @@ pub use scale::Scale;
 /// Every regenerable experiment, by id.
 pub fn experiment_ids() -> Vec<&'static str> {
     vec![
-        "table5", "examples5", "fig2_3", "fig7_1", "fig7_2", "fig7_3", "fig7_4", "fig7_5", "fig7_6",
-        "fig7_7", "fig7_8", "fig7_9", "fig7_10", "fig7_11", "ablation_exact",
-        "ablation_labeling", "ablation_mixed", "ablation_switching", "ablation_throughput",
+        "table5",
+        "examples5",
+        "fig2_3",
+        "fig7_1",
+        "fig7_2",
+        "fig7_3",
+        "fig7_4",
+        "fig7_5",
+        "fig7_6",
+        "fig7_7",
+        "fig7_8",
+        "fig7_9",
+        "fig7_10",
+        "fig7_11",
+        "fault_sweep",
+        "ablation_exact",
+        "ablation_labeling",
+        "ablation_mixed",
+        "ablation_switching",
+        "ablation_throughput",
     ]
 }
 
@@ -49,6 +67,7 @@ pub fn run_experiment(id: &str, scale: &Scale) -> Vec<Table> {
         "fig7_9" => vec![figures_dynamic::fig7_9(scale)],
         "fig7_10" => vec![figures_dynamic::fig7_10(scale)],
         "fig7_11" => vec![figures_dynamic::fig7_11(scale)],
+        "fault_sweep" => vec![figures_fault::fault_sweep(scale)],
         "ablation_exact" => vec![ablation::ablation_exact(scale)],
         "ablation_labeling" => vec![ablation::ablation_labeling(scale)],
         "ablation_mixed" => vec![ablation::ablation_mixed(scale)],

@@ -32,7 +32,12 @@ impl Table {
 
     /// Appends a row (must match the column count).
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.columns.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push(row);
     }
 

@@ -35,7 +35,9 @@ impl Scale {
             batch_size: 100,
             min_batches: 10,
             max_batches: 40,
-            k_large: vec![2, 5, 10, 20, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900],
+            k_large: vec![
+                2, 5, 10, 20, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900,
+            ],
             k_small: vec![2, 5, 10, 15, 20, 30, 40, 50],
         }
     }

@@ -20,7 +20,11 @@ pub fn table_5_1_and_5_2() -> Table {
         &["node", "h(x)", "f(x) for u0=9"],
     );
     for x in 0..m.num_nodes() {
-        t.push_row(vec![x.to_string(), c.h(x).to_string(), c.f(9, x).to_string()]);
+        t.push_row(vec![
+            x.to_string(),
+            c.h(x).to_string(),
+            c.f(9, x).to_string(),
+        ]);
     }
     t
 }
@@ -148,13 +152,7 @@ pub fn worked_examples() -> Table {
     t
 }
 
-fn push_star(
-    t: &mut Table,
-    name: &str,
-    paths: Vec<PathRoute>,
-    mc: &MulticastSet,
-    paper: &str,
-) {
+fn push_star(t: &mut Table, name: &str, paths: Vec<PathRoute>, mc: &MulticastSet, paper: &str) {
     let route = MulticastRoute::Star(paths);
     t.push_row(vec![
         name.into(),
@@ -166,7 +164,10 @@ fn push_star(
 }
 
 fn route_max(route: &MulticastRoute, mc: &MulticastSet) -> String {
-    route.max_dest_hops(mc).map(|h| h.to_string()).unwrap_or_else(|| "-".into())
+    route
+        .max_dest_hops(mc)
+        .map(|h| h.to_string())
+        .unwrap_or_else(|| "-".into())
 }
 
 #[cfg(test)]

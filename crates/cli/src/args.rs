@@ -79,7 +79,8 @@ pub fn parse_nodes(s: &str) -> Result<Vec<usize>, ArgError> {
                 usize::from_str_radix(bin, 2)
                     .map_err(|_| ArgError(format!("bad binary node {part:?}")))
             } else {
-                part.parse().map_err(|_| ArgError(format!("bad node {part:?}")))
+                part.parse()
+                    .map_err(|_| ArgError(format!("bad node {part:?}")))
             }
         })
         .collect()
@@ -91,8 +92,10 @@ pub fn parse_dims(s: &str) -> Result<(usize, usize), ArgError> {
         .split_once('x')
         .ok_or_else(|| ArgError(format!("expected WxH, got {s:?}")))?;
     Ok((
-        a.parse().map_err(|_| ArgError(format!("bad width {a:?}")))?,
-        b.parse().map_err(|_| ArgError(format!("bad height {b:?}")))?,
+        a.parse()
+            .map_err(|_| ArgError(format!("bad width {a:?}")))?,
+        b.parse()
+            .map_err(|_| ArgError(format!("bad height {b:?}")))?,
     ))
 }
 

@@ -1,17 +1,23 @@
 //! Subcommand implementations for the `mcast` CLI.
 
 use mcast_core::model::{MulticastRoute, MulticastSet};
-use mcast_sim::deadlock::{fig_6_1_broadcasts, fig_6_4_multicasts, run_closed_scenario};
+use mcast_sim::deadlock::{
+    fig_6_1_broadcasts, fig_6_4_multicasts, run_closed_scenario, run_closed_scenario_recovering,
+};
 use mcast_sim::engine::SimConfig;
 use mcast_sim::network::Network;
+use mcast_sim::recovery::{
+    FaultDualPathRouter, FaultMultiPathRouter, FaultMulticastRouter, ObliviousRouter,
+    RecoveryPolicy,
+};
 use mcast_sim::routers::{
-    DoubleChannelTreeRouter, DualPathRouter, EcubeTreeRouter, FixedPathRouter,
-    MultiPathCubeRouter, MultiPathMeshRouter, MulticastRouter, VcMultiPathRouter,
-    XFirstTreeRouter,
+    DoubleChannelTreeRouter, DualPathRouter, EcubeTreeRouter, FixedPathRouter, MultiPathCubeRouter,
+    MultiPathMeshRouter, MulticastRouter, VcMultiPathRouter, XFirstTreeRouter,
 };
 use mcast_topology::hamiltonian::{hypercube_cycle, mesh2d_cycle};
 use mcast_topology::labeling::{hypercube_gray, mesh2d_snake};
 use mcast_topology::{Hypercube, Mesh2D, Topology};
+use mcast_workload::fault_sweep::{run_fault_sweep, FaultSweepConfig, FaultSweepRow};
 use mcast_workload::{run_dynamic, DynamicConfig};
 
 use crate::args::{parse_dims, parse_nodes, ArgError, Args};
@@ -24,13 +30,18 @@ USAGE:
   mcast route    --topology <T> --algorithm <A> --source <N> --dests <N,N,...>
   mcast simulate --topology <T> --algorithm <A> [--interarrival-us <F>]
                  [--dests <K>] [--seed <S>]
-  mcast deadlock --scenario fig6_1|fig6_4 [--algorithm <A>]
+  mcast deadlock --scenario fig6_1|fig6_4 [--algorithm <A>] [--recover true]
+  mcast fault-sweep --topology <T> [--algorithm <A>] [--fault-rates 0,0.02,0.05,0.1]
+                 [--messages <N>] [--dests <K>] [--seed <S>]
+                 [--format table|csv|json] [--keep-connected true|false]
   mcast help
 
 TOPOLOGIES:   mesh:WxH   cube:N
 ALGORITHMS:   dual-path  multi-path  fixed-path  vc-multi-path:<lanes>
               dc-tree  xfirst-tree  ecube-tree (cube)
 ROUTE-ONLY:   sorted-mp  greedy-st  divided-greedy (mesh)
+FAULT-SWEEP:  dual-path and multi-path plan around faults; any other
+              algorithm runs fault-oblivious under abort-and-retry
 NODES:        decimal ids, or 0b... binary addresses on cubes";
 
 enum Topo {
@@ -48,8 +59,9 @@ fn parse_topology(spec: &str) -> Result<Topo, ArgError> {
             Ok(Topo::Mesh(Mesh2D::new(w, h)))
         }
         "cube" => {
-            let n: u32 =
-                rest.parse().map_err(|_| ArgError(format!("bad cube dimension {rest:?}")))?;
+            let n: u32 = rest
+                .parse()
+                .map_err(|_| ArgError(format!("bad cube dimension {rest:?}")))?;
             Ok(Topo::Cube(Hypercube::new(n)))
         }
         other => Err(ArgError(format!("unknown topology kind {other:?}"))),
@@ -123,66 +135,70 @@ pub fn route(a: &Args) -> Result<(), ArgError> {
 
     // Route-only algorithms print their route shape directly; router
     // algorithms print their plan paths/trees.
-    let mc_route: MulticastRoute = match (&topo, algorithm) {
-        (Topo::Mesh(m), "sorted-mp") => {
-            let cycle = mesh2d_cycle(m);
-            MulticastRoute::Path(mcast_core::sorted_mp::sorted_mp(m, &cycle, &mc))
-        }
-        (Topo::Cube(c), "sorted-mp") => {
-            let cycle = hypercube_cycle(c);
-            MulticastRoute::Path(mcast_core::sorted_mp::sorted_mp(c, &cycle, &mc))
-        }
-        (Topo::Mesh(m), "divided-greedy") => {
-            MulticastRoute::Tree(mcast_core::divided_greedy::divided_greedy_tree(m, &mc))
-        }
-        (Topo::Mesh(m), "greedy-st") => {
-            let st = mcast_core::greedy_st::greedy_st(m, &mc);
-            println!("greedy Steiner tree, virtual edges:");
-            for &(s, t) in st.edges() {
-                println!("  {} -- {}", format_node(&topo, s), format_node(&topo, t));
+    let mc_route: MulticastRoute =
+        match (&topo, algorithm) {
+            (Topo::Mesh(m), "sorted-mp") => {
+                let cycle = mesh2d_cycle(m);
+                MulticastRoute::Path(mcast_core::sorted_mp::sorted_mp(m, &cycle, &mc))
             }
-            println!("traffic: {}", st.traffic(m));
-            return Ok(());
-        }
-        (Topo::Cube(c), "greedy-st") => {
-            let st = mcast_core::greedy_st::greedy_st(c, &mc);
-            println!("greedy Steiner tree, virtual edges:");
-            for &(s, t) in st.edges() {
-                println!("  {} -- {}", format_node(&topo, s), format_node(&topo, t));
+            (Topo::Cube(c), "sorted-mp") => {
+                let cycle = hypercube_cycle(c);
+                MulticastRoute::Path(mcast_core::sorted_mp::sorted_mp(c, &cycle, &mc))
             }
-            println!("traffic: {}", st.traffic(c));
-            return Ok(());
-        }
-        (Topo::Mesh(m), "dual-path") => MulticastRoute::Star(
-            mcast_core::dual_path::dual_path(m, &mesh2d_snake(m), &mc),
-        ),
-        (Topo::Cube(c), "dual-path") => MulticastRoute::Star(
-            mcast_core::dual_path::dual_path(c, &hypercube_gray(c), &mc),
-        ),
-        (Topo::Mesh(m), "multi-path") => MulticastRoute::Star(
-            mcast_core::multi_path::multi_path_mesh(m, &mesh2d_snake(m), &mc),
-        ),
-        (Topo::Cube(c), "multi-path") => MulticastRoute::Star(
-            mcast_core::multi_path::multi_path(c, &hypercube_gray(c), &mc),
-        ),
-        (Topo::Mesh(m), "fixed-path") => MulticastRoute::Star(
-            mcast_core::fixed_path::fixed_path(m, &mesh2d_snake(m), &mc),
-        ),
-        (Topo::Cube(c), "fixed-path") => MulticastRoute::Star(
-            mcast_core::fixed_path::fixed_path(c, &hypercube_gray(c), &mc),
-        ),
-        (Topo::Mesh(m), "xfirst-tree") => {
-            MulticastRoute::Tree(mcast_core::xfirst::xfirst_tree(m, &mc))
-        }
-        (Topo::Mesh(m), "dc-tree") => MulticastRoute::Forest(
-            mcast_core::dc_xfirst_tree::dc_xfirst(m, &mc).into_iter().map(|p| p.tree).collect(),
-        ),
-        _ => {
-            return Err(ArgError(format!(
-                "algorithm {algorithm:?} not available on this topology"
-            )))
-        }
-    };
+            (Topo::Mesh(m), "divided-greedy") => {
+                MulticastRoute::Tree(mcast_core::divided_greedy::divided_greedy_tree(m, &mc))
+            }
+            (Topo::Mesh(m), "greedy-st") => {
+                let st = mcast_core::greedy_st::greedy_st(m, &mc);
+                println!("greedy Steiner tree, virtual edges:");
+                for &(s, t) in st.edges() {
+                    println!("  {} -- {}", format_node(&topo, s), format_node(&topo, t));
+                }
+                println!("traffic: {}", st.traffic(m));
+                return Ok(());
+            }
+            (Topo::Cube(c), "greedy-st") => {
+                let st = mcast_core::greedy_st::greedy_st(c, &mc);
+                println!("greedy Steiner tree, virtual edges:");
+                for &(s, t) in st.edges() {
+                    println!("  {} -- {}", format_node(&topo, s), format_node(&topo, t));
+                }
+                println!("traffic: {}", st.traffic(c));
+                return Ok(());
+            }
+            (Topo::Mesh(m), "dual-path") => {
+                MulticastRoute::Star(mcast_core::dual_path::dual_path(m, &mesh2d_snake(m), &mc))
+            }
+            (Topo::Cube(c), "dual-path") => {
+                MulticastRoute::Star(mcast_core::dual_path::dual_path(c, &hypercube_gray(c), &mc))
+            }
+            (Topo::Mesh(m), "multi-path") => MulticastRoute::Star(
+                mcast_core::multi_path::multi_path_mesh(m, &mesh2d_snake(m), &mc),
+            ),
+            (Topo::Cube(c), "multi-path") => MulticastRoute::Star(
+                mcast_core::multi_path::multi_path(c, &hypercube_gray(c), &mc),
+            ),
+            (Topo::Mesh(m), "fixed-path") => {
+                MulticastRoute::Star(mcast_core::fixed_path::fixed_path(m, &mesh2d_snake(m), &mc))
+            }
+            (Topo::Cube(c), "fixed-path") => MulticastRoute::Star(
+                mcast_core::fixed_path::fixed_path(c, &hypercube_gray(c), &mc),
+            ),
+            (Topo::Mesh(m), "xfirst-tree") => {
+                MulticastRoute::Tree(mcast_core::xfirst::xfirst_tree(m, &mc))
+            }
+            (Topo::Mesh(m), "dc-tree") => MulticastRoute::Forest(
+                mcast_core::dc_xfirst_tree::dc_xfirst(m, &mc)
+                    .into_iter()
+                    .map(|p| p.tree)
+                    .collect(),
+            ),
+            _ => {
+                return Err(ArgError(format!(
+                    "algorithm {algorithm:?} not available on this topology"
+                )))
+            }
+        };
     match &topo {
         Topo::Mesh(m) => mc_route.validate(m, &mc),
         Topo::Cube(c) => mc_route.validate(c, &mc),
@@ -208,7 +224,11 @@ fn print_route(topo: &Topo, route: &MulticastRoute) {
         MulticastRoute::Path(p) | MulticastRoute::Cycle(p) => {
             println!(
                 "path: {}",
-                p.nodes().iter().map(|&n| format_node(topo, n)).collect::<Vec<_>>().join(" -> ")
+                p.nodes()
+                    .iter()
+                    .map(|&n| format_node(topo, n))
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
             );
         }
         MulticastRoute::Star(paths) => {
@@ -256,7 +276,11 @@ pub fn simulate(a: &Args) -> Result<(), ArgError> {
         Topo::Cube(c) => run_dynamic(c, router.as_ref(), &cfg),
     };
     println!("algorithm: {}", router.name());
-    println!("interarrival: {:.0} us/node, k = {}", cfg.mean_interarrival_ns / 1000.0, cfg.destinations);
+    println!(
+        "interarrival: {:.0} us/node, k = {}",
+        cfg.mean_interarrival_ns / 1000.0,
+        cfg.destinations
+    );
     if result.saturated {
         println!("result: SATURATED (open-loop backlog grew without bound)");
     } else {
@@ -273,32 +297,72 @@ pub fn simulate(a: &Args) -> Result<(), ArgError> {
 /// `mcast deadlock …`
 pub fn deadlock(a: &Args) -> Result<(), ArgError> {
     let scenario = a.require("scenario")?;
-    match scenario {
+    let recover = a.get_or("recover", "false") == "true";
+    let (topo, algorithm, multicasts) = match scenario {
         "fig6_1" => {
             let cube = Hypercube::new(3);
-            let algorithm = a.get_or("algorithm", "ecube-tree");
-            let router = make_router(&Topo::Cube(cube), algorithm)?;
-            let outcome = run_closed_scenario(
-                router.as_ref(),
-                Network::new(&cube, router.required_classes()),
-                SimConfig::default(),
-                &fig_6_1_broadcasts(cube),
-            );
-            report(algorithm, outcome.completed, outcome.stuck_messages, outcome.finished_at);
+            (
+                Topo::Cube(cube),
+                a.get_or("algorithm", "ecube-tree"),
+                fig_6_1_broadcasts(cube),
+            )
         }
         "fig6_4" => {
             let mesh = Mesh2D::new(4, 3);
-            let algorithm = a.get_or("algorithm", "xfirst-tree");
-            let router = make_router(&Topo::Mesh(mesh), algorithm)?;
-            let outcome = run_closed_scenario(
-                router.as_ref(),
-                Network::new(&mesh, router.required_classes()),
-                SimConfig::default(),
-                &fig_6_4_multicasts(&mesh),
-            );
-            report(algorithm, outcome.completed, outcome.stuck_messages, outcome.finished_at);
+            (
+                Topo::Mesh(mesh),
+                a.get_or("algorithm", "xfirst-tree"),
+                fig_6_4_multicasts(&mesh),
+            )
         }
         other => return Err(ArgError(format!("unknown scenario {other:?}"))),
+    };
+    let router = make_router(&topo, algorithm)?;
+    let network = match &topo {
+        Topo::Mesh(m) => Network::new(m, router.required_classes()),
+        Topo::Cube(c) => Network::new(c, router.required_classes()),
+    };
+    if recover {
+        let supervised = ObliviousRouter::new(router);
+        let (outcome, stats, events) = run_closed_scenario_recovering(
+            &supervised,
+            network,
+            SimConfig::default(),
+            RecoveryPolicy::default(),
+            &multicasts,
+        );
+        report(
+            algorithm,
+            outcome.completed,
+            outcome.stuck_messages,
+            outcome.finished_at,
+        );
+        println!(
+            "recovery: {} aborts, {} retries, {} drops ({} events logged)",
+            stats.aborts,
+            stats.retries,
+            stats.dropped,
+            events.len()
+        );
+    } else {
+        let outcome = run_closed_scenario(&router, network, SimConfig::default(), &multicasts);
+        report(
+            algorithm,
+            outcome.completed,
+            outcome.stuck_messages,
+            outcome.finished_at,
+        );
+        for s in &outcome.stuck {
+            println!(
+                "  message {} holds {} channels, awaits {:?}",
+                s.message,
+                s.holds.len(),
+                s.awaits
+                    .iter()
+                    .map(|c| format!("{}->{}", c.from, c.to))
+                    .collect::<Vec<_>>()
+            );
+        }
     }
     Ok(())
 }
@@ -309,6 +373,153 @@ fn report(algorithm: &str, completed: bool, stuck: usize, at: u64) {
     } else {
         println!("{algorithm}: DEADLOCKED — {stuck} messages wedged forever");
     }
+}
+
+fn parse_rates(s: &str) -> Result<Vec<f64>, ArgError> {
+    let rates: Vec<f64> = s
+        .split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| ArgError(format!("bad fault rate {p:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if rates.is_empty() {
+        return Err(ArgError("empty --fault-rates".into()));
+    }
+    if let Some(&bad) = rates.iter().find(|r| !(0.0..=1.0).contains(*r)) {
+        return Err(ArgError(format!("fault rate {bad} out of [0, 1]")));
+    }
+    Ok(rates)
+}
+
+fn make_fault_router(
+    topo: &Topo,
+    algorithm: &str,
+) -> Result<Box<dyn FaultMulticastRouter>, ArgError> {
+    Ok(match (topo, algorithm) {
+        (Topo::Mesh(m), "dual-path") => Box::new(FaultDualPathRouter::mesh(*m)),
+        (Topo::Cube(c), "dual-path") => Box::new(FaultDualPathRouter::hypercube(*c)),
+        (Topo::Mesh(m), "multi-path") => Box::new(FaultMultiPathRouter::mesh(*m)),
+        (Topo::Cube(c), "multi-path") => Box::new(FaultMultiPathRouter::hypercube(*c)),
+        // Everything else runs fault-oblivious under the recovery engine.
+        _ => Box::new(ObliviousRouter::new(make_router(topo, algorithm)?)),
+    })
+}
+
+fn sweep_record(row: &FaultSweepRow) -> Vec<(&'static str, String)> {
+    vec![
+        ("algorithm", format!("{:?}", row.algorithm)),
+        ("fault_rate", format!("{}", row.fault_rate)),
+        ("failed_links", format!("{}", row.failed_links)),
+        ("messages", format!("{}", row.messages)),
+        ("destinations_total", format!("{}", row.destinations_total)),
+        (
+            "destinations_delivered",
+            format!("{}", row.destinations_delivered),
+        ),
+        ("delivery_ratio", format!("{:.4}", row.delivery_ratio)),
+        (
+            "mean_latency_us",
+            if row.mean_latency_us.is_finite() {
+                format!("{:.2}", row.mean_latency_us)
+            } else {
+                "null".to_string()
+            },
+        ),
+        ("aborts", format!("{}", row.aborts)),
+        ("retries", format!("{}", row.retries)),
+        ("drops", format!("{}", row.drops)),
+        ("escapes", format!("{}", row.escapes)),
+    ]
+}
+
+/// `mcast fault-sweep …`
+pub fn fault_sweep(a: &Args) -> Result<(), ArgError> {
+    let topo = parse_topology(a.require("topology")?)?;
+    let algorithm = a.get_or("algorithm", "dual-path");
+    let router = make_fault_router(&topo, algorithm)?;
+    let cfg = FaultSweepConfig {
+        fault_rates: parse_rates(a.get_or("fault-rates", "0,0.02,0.05,0.1"))?,
+        messages: a.number("messages", 64)?,
+        destinations: a.number("dests", 4)?,
+        seed: a.number("seed", 7)?,
+        keep_connected: a.get_or("keep-connected", "true") == "true",
+        ..FaultSweepConfig::default()
+    };
+    let rows = match &topo {
+        Topo::Mesh(m) => run_fault_sweep(m, router.as_ref(), &cfg),
+        Topo::Cube(c) => run_fault_sweep(c, router.as_ref(), &cfg),
+    };
+    match a.get_or("format", "table") {
+        "table" => {
+            println!(
+                "{:<24} {:>6} {:>6} {:>11} {:>7} {:>11} {:>7} {:>8} {:>6} {:>8}",
+                "algorithm",
+                "rate",
+                "links",
+                "delivered",
+                "ratio",
+                "latency us",
+                "aborts",
+                "retries",
+                "drops",
+                "escapes"
+            );
+            for r in &rows {
+                println!(
+                    "{:<24} {:>6.2} {:>6} {:>11} {:>7.3} {:>11} {:>7} {:>8} {:>6} {:>8}",
+                    r.algorithm,
+                    r.fault_rate,
+                    r.failed_links,
+                    format!("{}/{}", r.destinations_delivered, r.destinations_total),
+                    r.delivery_ratio,
+                    if r.mean_latency_us.is_finite() {
+                        format!("{:.1}", r.mean_latency_us)
+                    } else {
+                        "n/a".to_string()
+                    },
+                    r.aborts,
+                    r.retries,
+                    r.drops,
+                    r.escapes,
+                );
+            }
+        }
+        "csv" => {
+            let fields: Vec<&str> = sweep_record(&rows[0]).iter().map(|(k, _)| *k).collect();
+            println!("{}", fields.join(","));
+            for r in &rows {
+                let vals: Vec<String> = sweep_record(r)
+                    .into_iter()
+                    .map(|(k, v)| {
+                        if k == "algorithm" {
+                            r.algorithm.to_string()
+                        } else {
+                            v
+                        }
+                    })
+                    .map(|v| if v == "null" { String::new() } else { v })
+                    .collect();
+                println!("{}", vals.join(","));
+            }
+        }
+        "json" => {
+            println!("[");
+            for (i, r) in rows.iter().enumerate() {
+                let fields: Vec<String> = sweep_record(r)
+                    .into_iter()
+                    .map(|(k, v)| format!("\"{k}\": {v}"))
+                    .collect();
+                let comma = if i + 1 < rows.len() { "," } else { "" };
+                println!("  {{{}}}{comma}", fields.join(", "));
+            }
+            println!("]");
+        }
+        other => return Err(ArgError(format!("unknown format {other:?}"))),
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -368,15 +579,107 @@ mod tests {
     fn deadlock_scenarios() {
         deadlock(&args(&["deadlock", "--scenario", "fig6_1"])).unwrap();
         deadlock(&args(&["deadlock", "--scenario", "fig6_4"])).unwrap();
-        deadlock(&args(&["deadlock", "--scenario", "fig6_4", "--algorithm", "dual-path"]))
-            .unwrap();
+        deadlock(&args(&[
+            "deadlock",
+            "--scenario",
+            "fig6_4",
+            "--algorithm",
+            "dual-path",
+        ]))
+        .unwrap();
         assert!(deadlock(&args(&["deadlock", "--scenario", "nope"])).is_err());
     }
 
     #[test]
+    fn deadlock_scenarios_recover() {
+        // The §6.1/§6.4 deadlocks complete under the recovery engine.
+        deadlock(&args(&[
+            "deadlock",
+            "--scenario",
+            "fig6_1",
+            "--recover",
+            "true",
+        ]))
+        .unwrap();
+        deadlock(&args(&[
+            "deadlock",
+            "--scenario",
+            "fig6_4",
+            "--recover",
+            "true",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn fault_sweep_all_formats_and_routers() {
+        for format in ["table", "csv", "json"] {
+            fault_sweep(&args(&[
+                "fault-sweep",
+                "--topology",
+                "mesh:4x4",
+                "--algorithm",
+                "dual-path",
+                "--fault-rates",
+                "0,0.05,0.1,0.2",
+                "--messages",
+                "12",
+                "--format",
+                format,
+            ]))
+            .unwrap_or_else(|e| panic!("{format}: {e}"));
+        }
+        // Fault-aware multi-path on a cube, and an oblivious tree.
+        fault_sweep(&args(&[
+            "fault-sweep",
+            "--topology",
+            "cube:3",
+            "--algorithm",
+            "multi-path",
+            "--messages",
+            "8",
+        ]))
+        .unwrap();
+        fault_sweep(&args(&[
+            "fault-sweep",
+            "--topology",
+            "mesh:4x4",
+            "--algorithm",
+            "xfirst-tree",
+            "--messages",
+            "8",
+        ]))
+        .unwrap();
+        assert!(fault_sweep(&args(&[
+            "fault-sweep",
+            "--topology",
+            "mesh:4x4",
+            "--fault-rates",
+            "0,2.0"
+        ]))
+        .is_err());
+        assert!(fault_sweep(&args(&[
+            "fault-sweep",
+            "--topology",
+            "mesh:4x4",
+            "--format",
+            "yaml"
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn bad_inputs_rejected() {
-        assert!(route(&args(&["route", "--topology", "mesh:6x6", "--source", "99", "--dests", "1"]))
-            .is_err());
+        assert!(route(&args(&[
+            "route",
+            "--topology",
+            "mesh:6x6",
+            "--source",
+            "99",
+            "--dests",
+            "1"
+        ]))
+        .is_err());
         assert!(parse_topology("ring:5").is_err());
         assert!(make_router(&Topo::Mesh(Mesh2D::new(4, 4)), "ecube-tree").is_err());
     }

@@ -28,6 +28,7 @@ fn main() {
         "route" => commands::route(&parsed),
         "simulate" => commands::simulate(&parsed),
         "deadlock" => commands::deadlock(&parsed),
+        "fault-sweep" => commands::fault_sweep(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -62,7 +62,9 @@ fn quadrant_tree(mesh: &Mesh2D, source: NodeId, dests: &[NodeId], q: Quadrant) -
             _ => unreachable!("quadrant X direction is horizontal"),
         };
         if needs_x_move {
-            let next = mesh.step(node, dir_x).expect("destination column lies further along");
+            let next = mesh
+                .step(node, dir_x)
+                .expect("destination column lies further along");
             tree.attach(node, next);
             work.push((next, dests));
             continue;
@@ -73,12 +75,16 @@ fn quadrant_tree(mesh: &Mesh2D, source: NodeId, dests: &[NodeId], q: Quadrant) -
             dests.into_iter().partition(|&d| mesh.coords(d).0 == x);
         let col: Vec<NodeId> = col.into_iter().filter(|&d| d != node).collect();
         if !col.is_empty() {
-            let next = mesh.step(node, dir_y).expect("a column destination lies further in Y");
+            let next = mesh
+                .step(node, dir_y)
+                .expect("a column destination lies further in Y");
             tree.attach(node, next);
             work.push((next, col));
         }
         if !rest.is_empty() {
-            let next = mesh.step(node, dir_x).expect("a destination lies further in X");
+            let next = mesh
+                .step(node, dir_x)
+                .expect("a destination lies further in X");
             tree.attach(node, next);
             work.push((next, rest));
         }

@@ -77,9 +77,15 @@ pub fn run_label_path<T: Topology + ?Sized>(
         if delivered {
             header.remove(0);
         }
-        hops.push(HopRecord { node, header: header.clone(), delivered });
+        hops.push(HopRecord {
+            node,
+            header: header.clone(),
+            delivered,
+        });
         // Step 2: empty header — done.
-        let Some(&next_dest) = header.first() else { break };
+        let Some(&next_dest) = header.first() else {
+            break;
+        };
         // Step 3: forward toward the first destination with R.
         node = crate::routing_fn::r_step(topo, labeling, node, next_dest);
     }
@@ -102,8 +108,14 @@ pub fn run_sorted_mp<T: Topology + ?Sized>(
         if delivered {
             header.remove(0);
         }
-        hops.push(HopRecord { node, header: header.clone(), delivered });
-        let Some(&next_dest) = header.first() else { break };
+        hops.push(HopRecord {
+            node,
+            header: header.clone(),
+            delivered,
+        });
+        let Some(&next_dest) = header.first() else {
+            break;
+        };
         node = crate::sorted_mp::route_step(topo, cycle, mc.source, node, next_dest);
     }
     PathTrace { hops }
@@ -159,11 +171,12 @@ pub fn run_greedy_st<T: crate::geometry::RoutingGeometry + ?Sized>(
     }
     // Work items: (current node w, target head u, ordered dest sublist
     // *excluding* u).
-    let mut work: Vec<(NodeId, NodeId, Vec<NodeId>)> =
-        vec![(mc.source, mc.source, sorted)];
+    let mut work: Vec<(NodeId, NodeId, Vec<NodeId>)> = vec![(mc.source, mc.source, sorted)];
     let mut fuel = 64 * (mc.k() + 1) * topo.num_nodes();
     while let Some((w, u, list)) = work.pop() {
-        fuel = fuel.checked_sub(1).expect("distributed ST failed to terminate");
+        fuel = fuel
+            .checked_sub(1)
+            .expect("distributed ST failed to terminate");
         if w != u {
             // Step 1: bypass node — relay one hop toward u.
             let next = topo.shortest_path(w, u)[1];
@@ -184,8 +197,11 @@ pub fn run_greedy_st<T: crate::geometry::RoutingGeometry + ?Sized>(
         let tree = crate::greedy_st::build_tree(topo, w, &rest);
         // Step 5: sons of w and their subtree destination sublists.
         let edges = tree.edges().to_vec();
-        let sons: Vec<NodeId> =
-            edges.iter().filter(|&&(s, _)| s == w).map(|&(_, t)| t).collect();
+        let sons: Vec<NodeId> = edges
+            .iter()
+            .filter(|&&(s, _)| s == w)
+            .map(|&(_, t)| t)
+            .collect();
         for son in sons {
             // Collect the subtree vertex set under `son`.
             let mut subtree = vec![son];
@@ -199,8 +215,11 @@ pub fn run_greedy_st<T: crate::geometry::RoutingGeometry + ?Sized>(
                     }
                 }
             }
-            let d_i: Vec<NodeId> =
-                rest.iter().copied().filter(|d| subtree.contains(d)).collect();
+            let d_i: Vec<NodeId> = rest
+                .iter()
+                .copied()
+                .filter(|d| subtree.contains(d))
+                .collect();
             // Step 6: forward toward the son with its sublist.
             let next = topo.shortest_path(w, son)[1];
             trace.sends.push((w, next));
@@ -226,8 +245,11 @@ mod tests {
             let mc = MulticastSet::new((seed * 5) % 36, dests);
             let planned = crate::dual_path::dual_path(&m, &l, &mc);
             let (high, low) = run_dual_path(&m, &l, &mc);
-            let traces: Vec<PathRoute> =
-                [high, low].into_iter().flatten().map(|t| t.path()).collect();
+            let traces: Vec<PathRoute> = [high, low]
+                .into_iter()
+                .flatten()
+                .map(|t| t.path())
+                .collect();
             assert_eq!(traces.len(), planned.len(), "seed {seed}");
             for (a, b) in traces.iter().zip(&planned) {
                 assert_eq!(a.nodes(), b.nodes(), "seed {seed}");
@@ -256,8 +278,12 @@ mod tests {
             assert!(lens.windows(2).all(|w| w[1] <= w[0]), "{lens:?}");
             assert_eq!(*lens.last().unwrap(), 0, "header must be consumed");
             // Delivered exactly at destinations.
-            let delivered: Vec<NodeId> =
-                trace.hops.iter().filter(|hp| hp.delivered).map(|hp| hp.node).collect();
+            let delivered: Vec<NodeId> = trace
+                .hops
+                .iter()
+                .filter(|hp| hp.delivered)
+                .map(|hp| hp.node)
+                .collect();
             for d in &delivered {
                 assert!(mc.destinations.contains(d));
             }
@@ -288,8 +314,15 @@ mod tests {
         let n = |x: usize, y: usize| m.node(x, y);
         let mc = MulticastSet::new(n(2, 7), [n(0, 5), n(2, 3), n(4, 1), n(6, 3), n(7, 4)]);
         let trace = run_greedy_st(&m, &mc);
-        assert!(trace.replicate_nodes.contains(&n(2, 5)), "junction [2,5] replicates");
-        assert_eq!(trace.sends[0], (n(2, 7), n(2, 6)), "first hop through bypass [2,6]");
+        assert!(
+            trace.replicate_nodes.contains(&n(2, 5)),
+            "junction [2,5] replicates"
+        );
+        assert_eq!(
+            trace.sends[0],
+            (n(2, 7), n(2, 6)),
+            "first hop through bypass [2,6]"
+        );
         // "In both implementations, the amount of traffic generated is
         // the same": the distributed execution costs what the
         // source-computed tree costs.
@@ -302,10 +335,7 @@ mod tests {
     #[test]
     fn distributed_st_on_hypercube() {
         let h = Hypercube::new(6);
-        let mc = MulticastSet::new(
-            0b000110,
-            [0b010101, 0b000001, 0b001101, 0b101001, 0b110001],
-        );
+        let mc = MulticastSet::new(0b000110, [0b010101, 0b000001, 0b001101, 0b101001, 0b110001]);
         let trace = run_greedy_st(&h, &mc);
         let mut got = trace.delivered.clone();
         got.sort_unstable();

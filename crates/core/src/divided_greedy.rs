@@ -92,7 +92,11 @@ pub fn divided_greedy_split(mesh: &Mesh2D, node: NodeId, dests: &[NodeId]) -> [V
     // direction it targets; for an X (Y) direction both candidates are
     // X-sets (Y-sets) of the two adjacent quadrants.
     let partner_occupied = |q: usize, axis: usize| -> bool {
-        let dir = if axis == 0 { QUAD_DIRS[q].0 } else { QUAD_DIRS[q].1 };
+        let dir = if axis == 0 {
+            QUAD_DIRS[q].0
+        } else {
+            QUAD_DIRS[q].1
+        };
         let (qa, qb) = DIR_CANDIDATES[dir];
         let pq = if qa == q { qb } else { qa };
         occupied[pq][axis]
@@ -227,9 +231,17 @@ mod tests {
             dg.traffic(),
             xf.traffic()
         );
-        assert!(dg.traffic() <= 20, "divided greedy should use at most the paper's 20 channels");
+        assert!(
+            dg.traffic() <= 20,
+            "divided greedy should use at most the paper's 20 channels"
+        );
         for &d in &mc.destinations {
-            assert_eq!(dg.depth_of(d), Some(m.distance(mc.source, d)), "dest {:?}", m.coords(d));
+            assert_eq!(
+                dg.depth_of(d),
+                Some(m.distance(mc.source, d)),
+                "dest {:?}",
+                m.coords(d)
+            );
         }
     }
 
@@ -262,7 +274,10 @@ mod tests {
             dg_total += divided_greedy_tree(&m, &mc).traffic();
             xf_total += crate::xfirst::xfirst_tree(&m, &mc).traffic();
         }
-        assert!(dg_total < xf_total, "aggregate: dg {dg_total} !< xf {xf_total}");
+        assert!(
+            dg_total < xf_total,
+            "aggregate: dg {dg_total} !< xf {xf_total}"
+        );
     }
 
     #[test]

@@ -24,10 +24,18 @@ use crate::routing_fn::r_extend;
 /// label.
 pub fn prepare(labeling: &Labeling, mc: &MulticastSet) -> (Vec<NodeId>, Vec<NodeId>) {
     let l0 = labeling.label(mc.source);
-    let mut high: Vec<NodeId> =
-        mc.destinations.iter().copied().filter(|&d| labeling.label(d) > l0).collect();
-    let mut low: Vec<NodeId> =
-        mc.destinations.iter().copied().filter(|&d| labeling.label(d) < l0).collect();
+    let mut high: Vec<NodeId> = mc
+        .destinations
+        .iter()
+        .copied()
+        .filter(|&d| labeling.label(d) > l0)
+        .collect();
+    let mut low: Vec<NodeId> = mc
+        .destinations
+        .iter()
+        .copied()
+        .filter(|&d| labeling.label(d) < l0)
+        .collect();
     high.sort_by_key(|&d| labeling.label(d));
     low.sort_by_key(|&d| std::cmp::Reverse(labeling.label(d)));
     (high, low)
@@ -143,9 +151,15 @@ mod tests {
         assert!(low.windows(2).all(|w| l.label(w[0]) > l.label(w[1])));
         let paths = dual_path(&m, &l, &mc);
         let hp: Vec<usize> = paths[0].nodes().iter().map(|&n| l.label(n)).collect();
-        assert!(hp.windows(2).all(|w| w[0] < w[1]), "high path labels: {hp:?}");
+        assert!(
+            hp.windows(2).all(|w| w[0] < w[1]),
+            "high path labels: {hp:?}"
+        );
         let lp: Vec<usize> = paths[1].nodes().iter().map(|&n| l.label(n)).collect();
-        assert!(lp.windows(2).all(|w| w[0] > w[1]), "low path labels: {lp:?}");
+        assert!(
+            lp.windows(2).all(|w| w[0] > w[1]),
+            "low path labels: {lp:?}"
+        );
     }
 
     #[test]

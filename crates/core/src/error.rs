@@ -1,0 +1,51 @@
+//! Typed routing errors.
+//!
+//! The planners of this crate were written for healthy networks, where
+//! the Hamiltonian-labeling machinery guarantees progress and the only
+//! failure mode is a caller bug (hence the documented panics). The
+//! fault-aware planners ([`crate::fault_route`]) route on degraded
+//! networks where unreachability is a *normal* outcome, so they report
+//! it with a [`RouteError`] instead of panicking.
+
+use mcast_topology::NodeId;
+use std::fmt;
+
+/// An error produced by a routing planner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The multicast source node itself is failed.
+    SourceFailed(NodeId),
+    /// A destination cannot be reached from the source on the surviving
+    /// network (its node is dead or the survivors disconnect it).
+    Unreachable {
+        /// The multicast source.
+        from: NodeId,
+        /// The unreachable destination.
+        to: NodeId,
+    },
+    /// A constructed route failed validation (shape or coverage).
+    Invalid(String),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::SourceFailed(n) => write!(f, "multicast source node {n} is failed"),
+            RouteError::Unreachable { from, to } => {
+                write!(
+                    f,
+                    "destination {to} is unreachable from {from} on the surviving network"
+                )
+            }
+            RouteError::Invalid(msg) => write!(f, "invalid route: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+impl From<String> for RouteError {
+    fn from(msg: String) -> Self {
+        RouteError::Invalid(msg)
+    }
+}

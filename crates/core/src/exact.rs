@@ -85,7 +85,11 @@ pub fn optimal_mp<T: Topology + ?Sized>(
     let mut best_path: Option<Vec<NodeId>> = None;
     let mut visited = vec![false; topo.num_nodes()];
     visited[mc.source] = true;
-    let full: u32 = if mc.k() == 32 { u32::MAX } else { (1u32 << mc.k()) - 1 };
+    let full: u32 = if mc.k() == 32 {
+        u32::MAX
+    } else {
+        (1u32 << mc.k()) - 1
+    };
     let start_mask = dest_mask(mc, mc.source);
     let mut path = vec![mc.source];
     dfs_mp(
@@ -178,7 +182,18 @@ pub fn optimal_mc<T: Topology + ?Sized>(
     visited[mc.source] = true;
     let full: u32 = (1u32 << mc.k()) - 1;
     let mut path = vec![mc.source];
-    dfs_mc(topo, &d, mc, full, &mut visited, &mut path, 0, 0, &mut best_len, &mut best_path);
+    dfs_mc(
+        topo,
+        &d,
+        mc,
+        full,
+        &mut visited,
+        &mut path,
+        0,
+        0,
+        &mut best_len,
+        &mut best_path,
+    );
     best_path.map(|p| (best_len, p))
 }
 
@@ -208,7 +223,11 @@ fn dfs_mc<T: Topology + ?Sized>(
         // but other branches might; fall through to keep exploring only if
         // beneficial (the bound below prunes).
     }
-    let lb = if covered == full { 1 } else { walk_lower_bound(d, node, full & !covered) + 1 };
+    let lb = if covered == full {
+        1
+    } else {
+        walk_lower_bound(d, node, full & !covered) + 1
+    };
     if len + lb >= *best_len {
         return;
     }
@@ -267,7 +286,8 @@ pub fn optimal_steiner_cost<T: Topology + ?Sized>(topo: &T, mc: &MulticastSet) -
         while sub != 0 {
             let other = s & !sub;
             if other != 0 {
-                #[allow(clippy::needless_range_loop)] // dp[sub]/dp[other]/dp[s] alias the same table
+                #[allow(clippy::needless_range_loop)]
+                // dp[sub]/dp[other]/dp[s] alias the same table
                 for v in 0..n {
                     let c = dp[sub][v].saturating_add(dp[other][v]);
                     if c < dp[s][v] {
@@ -279,8 +299,10 @@ pub fn optimal_steiner_cost<T: Topology + ?Sized>(topo: &T, mc: &MulticastSet) -
         }
         // Dijkstra-style relaxation over unit edges = BFS from a
         // multi-source priority queue.
-        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, NodeId)>> =
-            (0..n).filter(|&v| dp[s][v] < inf).map(|v| std::cmp::Reverse((dp[s][v], v))).collect();
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(usize, NodeId)>> = (0..n)
+            .filter(|&v| dp[s][v] < inf)
+            .map(|v| std::cmp::Reverse((dp[s][v], v)))
+            .collect();
         let mut nb = Vec::new();
         while let Some(std::cmp::Reverse((cost, v))) = heap.pop() {
             if cost > dp[s][v] {
@@ -312,9 +334,14 @@ pub fn optimal_ms_cost<T: Topology + ?Sized>(topo: &T, mc: &MulticastSet) -> usi
     // OMP cost per destination subset.
     let mut omp_cost: BTreeMap<usize, usize> = BTreeMap::new();
     for s in 1..=full {
-        let dests: Vec<NodeId> =
-            (0..k).filter(|&i| s >> i & 1 == 1).map(|i| mc.destinations[i]).collect();
-        let sub = MulticastSet { source: mc.source, destinations: dests };
+        let dests: Vec<NodeId> = (0..k)
+            .filter(|&i| s >> i & 1 == 1)
+            .map(|i| mc.destinations[i])
+            .collect();
+        let sub = MulticastSet {
+            source: mc.source,
+            destinations: dests,
+        };
         let (len, _) = optimal_mp(topo, &sub).expect("connected topology");
         omp_cost.insert(s, len);
     }
@@ -370,7 +397,11 @@ mod tests {
             }
             let heur = crate::sorted_mp::sorted_mp(&m, &c, &mc);
             let (opt, path) = optimal_mp(&m, &mc).unwrap();
-            assert!(opt <= heur.len(), "seed {seed}: opt {opt} > heuristic {}", heur.len());
+            assert!(
+                opt <= heur.len(),
+                "seed {seed}: opt {opt} > heuristic {}",
+                heur.len()
+            );
             // Optimal path is simple, valid, covers all.
             let route = crate::model::MulticastRoute::Path(crate::model::PathRoute::new(path));
             route.validate(&m, &mc).unwrap();

@@ -1,0 +1,585 @@
+//! Fault-aware variants of the path-based multicast planners (§6.2.2,
+//! §6.3) that route around a [`FaultMask`].
+//!
+//! On a healthy network these produce *bit-identical* plans to
+//! [`crate::dual_path::dual_path`] / [`crate::multi_path`]: each chain is
+//! first extended with the ordinary routing function `R`, and only when a
+//! selected hop is dead does the planner fall back. The fallback ladder,
+//! per destination, is:
+//!
+//! 1. **Monotone detour** — a shortest label-monotone path through
+//!    surviving channels (stays inside one subnetwork, so Assertion 2's
+//!    deadlock-freedom argument is untouched);
+//! 2. **Fresh monotone worm** — restart from the source when the current
+//!    chain's endpoint is boxed in (equivalent to a multi-path split);
+//! 3. **Bitonic "mountain" worm** — ascend the high-channel network to a
+//!    peak, then descend the low-channel network to the destination.
+//!    Every subnetwork crossing is high→low, so the combined channel
+//!    dependency graph gains no low→high edges and stays acyclic: the
+//!    scheme remains deadlock-free (the up*/down* argument);
+//! 4. **Escape worm** — an unrestricted shortest path over surviving
+//!    channels. *Not* covered by the acyclicity argument; plans that
+//!    resort to escape worms are flagged so the simulator's recovery
+//!    watchdog (mcast-sim) supervises them.
+//!
+//! Destinations with no surviving path at all are reported per
+//! destination rather than panicking, as [`RouteError::Unreachable`]
+//! via [`FaultRoutedPaths::require_all`].
+
+use std::collections::VecDeque;
+
+use mcast_topology::{FaultMask, Labeling, NodeId, Topology};
+
+use crate::dual_path::prepare as dual_prepare;
+use crate::error::RouteError;
+use crate::model::{MulticastSet, PathRoute};
+use crate::multi_path::{prepare_by_intervals, prepare_mesh, SubMulticast};
+use mcast_topology::Mesh2D;
+
+/// How far down the fallback ladder a worm had to go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WormKind {
+    /// Entirely label-monotone (possibly with monotone detours): lives in
+    /// one subnetwork, deadlock-free by Assertion 2.
+    Monotone,
+    /// Ascends then descends exactly once: deadlock-free because all
+    /// subnetwork crossings are high→low.
+    Bitonic,
+    /// Unrestricted surviving-channel path: needs watchdog supervision.
+    Escape,
+}
+
+/// A fault-routed multicast plan: the paths, their fallback depth, and
+/// any destinations the surviving network cannot reach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRoutedPaths {
+    /// The delivery paths, each starting at the source.
+    pub paths: Vec<PathRoute>,
+    /// `kinds[i]` classifies `paths[i]`.
+    pub kinds: Vec<WormKind>,
+    /// Destinations with no surviving path from the source.
+    pub unreachable: Vec<NodeId>,
+}
+
+impl FaultRoutedPaths {
+    /// Worms at the given fallback depth.
+    pub fn count(&self, kind: WormKind) -> usize {
+        self.kinds.iter().filter(|&&k| k == kind).count()
+    }
+
+    /// Whether every path is covered by a deadlock-freedom argument
+    /// (no escape worms).
+    pub fn provably_deadlock_free(&self) -> bool {
+        self.count(WormKind::Escape) == 0
+    }
+
+    /// The paths, or [`RouteError::Unreachable`] for the first
+    /// unreachable destination if any.
+    pub fn require_all(self, source: NodeId) -> Result<Vec<PathRoute>, RouteError> {
+        match self.unreachable.first() {
+            Some(&d) => Err(RouteError::Unreachable {
+                from: source,
+                to: d,
+            }),
+            None => Ok(self.paths),
+        }
+    }
+}
+
+/// Fault-aware dual-path multicast: the §6.2.2 algorithm with the
+/// fallback ladder above. With an empty mask the result is identical to
+/// [`crate::dual_path::dual_path`].
+pub fn fault_dual_path<T: Topology + ?Sized>(
+    topo: &T,
+    labeling: &Labeling,
+    mask: &FaultMask,
+    mc: &MulticastSet,
+) -> Result<FaultRoutedPaths, RouteError> {
+    if !mask.is_node_alive(mc.source) {
+        return Err(RouteError::SourceFailed(mc.source));
+    }
+    let (high, low) = dual_prepare(labeling, mc);
+    let router = FaultRouter {
+        topo,
+        labeling,
+        mask,
+    };
+    let mut out = FaultRoutedPaths {
+        paths: Vec::new(),
+        kinds: Vec::new(),
+        unreachable: Vec::new(),
+    };
+    router.route_half(mc.source, None, &high, &mut out);
+    router.route_half(mc.source, None, &low, &mut out);
+    Ok(out)
+}
+
+/// Fault-aware multi-path multicast with the generic interval split of
+/// §6.3 (Fig 6.20). With an empty mask the result is identical to
+/// [`crate::multi_path::multi_path`].
+pub fn fault_multi_path<T: Topology + ?Sized>(
+    topo: &T,
+    labeling: &Labeling,
+    mask: &FaultMask,
+    mc: &MulticastSet,
+) -> Result<FaultRoutedPaths, RouteError> {
+    let subs = prepare_by_intervals(topo, labeling, mc);
+    fault_route_subs(topo, labeling, mask, mc, &subs)
+}
+
+/// Fault-aware multi-path multicast with the mesh coordinate split of
+/// §6.2.2 (Fig 6.14). With an empty mask the result is identical to
+/// [`crate::multi_path::multi_path_mesh`].
+pub fn fault_multi_path_mesh(
+    mesh: &Mesh2D,
+    labeling: &Labeling,
+    mask: &FaultMask,
+    mc: &MulticastSet,
+) -> Result<FaultRoutedPaths, RouteError> {
+    let subs = prepare_mesh(mesh, labeling, mc);
+    fault_route_subs(mesh, labeling, mask, mc, &subs)
+}
+
+fn fault_route_subs<T: Topology + ?Sized>(
+    topo: &T,
+    labeling: &Labeling,
+    mask: &FaultMask,
+    mc: &MulticastSet,
+    subs: &[SubMulticast],
+) -> Result<FaultRoutedPaths, RouteError> {
+    if !mask.is_node_alive(mc.source) {
+        return Err(RouteError::SourceFailed(mc.source));
+    }
+    let router = FaultRouter {
+        topo,
+        labeling,
+        mask,
+    };
+    let mut out = FaultRoutedPaths {
+        paths: Vec::new(),
+        kinds: Vec::new(),
+        unreachable: Vec::new(),
+    };
+    for sub in subs {
+        // The first hop to `via` is part of the multi-path contract; if
+        // the link died, fall back to chaining from the source directly.
+        let via = mask.is_link_alive(mc.source, sub.via).then_some(sub.via);
+        router.route_half(mc.source, via, &sub.dests, &mut out);
+    }
+    Ok(out)
+}
+
+struct FaultRouter<'a, T: Topology + ?Sized> {
+    topo: &'a T,
+    labeling: &'a Labeling,
+    mask: &'a FaultMask,
+}
+
+impl<T: Topology + ?Sized> FaultRouter<'_, T> {
+    /// Routes one sorted (label-monotone order) destination list,
+    /// appending the resulting worms to `out`. `via` forces the healthy
+    /// first hop of a multi-path sub-multicast.
+    fn route_half(
+        &self,
+        source: NodeId,
+        via: Option<NodeId>,
+        dests: &[NodeId],
+        out: &mut FaultRoutedPaths,
+    ) {
+        if dests.is_empty() {
+            return;
+        }
+        // The open monotone chain, if any.
+        let mut chain: Option<Vec<NodeId>> = via.map(|v| vec![source, v]);
+        for &d in dests {
+            if !self.mask.is_node_alive(d) {
+                out.unreachable.push(d);
+                continue;
+            }
+            if let Some(nodes) = chain.as_mut() {
+                let at = *nodes.last().expect("chain is nonempty");
+                if at == d {
+                    continue; // `via` may itself be a destination
+                }
+                if self.r_extend_alive(nodes, d) {
+                    continue;
+                }
+                if let Some(seg) = self.monotone_path(at, d) {
+                    nodes.extend(seg);
+                    continue;
+                }
+                // Endpoint is boxed in: close this chain, start afresh.
+                let closed = chain.take().expect("checked above");
+                out.paths.push(PathRoute::new(closed));
+                out.kinds.push(WormKind::Monotone);
+            }
+            // Fresh worm from the source.
+            let mut fresh = vec![source];
+            if self.r_extend_alive(&mut fresh, d) {
+                chain = Some(fresh);
+            } else if let Some(seg) = self.monotone_path(source, d) {
+                fresh.truncate(1);
+                fresh.extend(seg);
+                chain = Some(fresh);
+            } else if let Some(path) = self.mountain_path(source, d) {
+                out.paths.push(PathRoute::new(path));
+                out.kinds.push(WormKind::Bitonic);
+            } else if let Some(path) = self.escape_path(source, d) {
+                out.paths.push(PathRoute::new(path));
+                out.kinds.push(WormKind::Escape);
+            } else {
+                out.unreachable.push(d);
+            }
+        }
+        if let Some(nodes) = chain {
+            if nodes.len() > 1 {
+                out.paths.push(PathRoute::new(nodes));
+                out.kinds.push(WormKind::Monotone);
+            }
+        }
+    }
+
+    /// Extends `nodes` to `d` with the ordinary healthy routing function
+    /// `R`, hop by hop, aborting (and restoring `nodes`) if any selected
+    /// channel is dead. Keeping `R`'s exact choices is what makes empty-
+    /// mask plans identical to the healthy planners.
+    fn r_extend_alive(&self, nodes: &mut Vec<NodeId>, d: NodeId) -> bool {
+        let len0 = nodes.len();
+        let mut cur = *nodes.last().expect("chain is nonempty");
+        while cur != d {
+            let next = crate::routing_fn::r_step(self.topo, self.labeling, cur, d);
+            if !self.mask.is_link_alive(cur, next) {
+                nodes.truncate(len0);
+                return false;
+            }
+            nodes.push(next);
+            cur = next;
+        }
+        true
+    }
+
+    /// Shortest strictly label-monotone path `u → d` over surviving
+    /// channels (exclusive of `u`), by BFS. Monotonicity keeps the path
+    /// inside one subnetwork, so using it preserves Assertion 2.
+    fn monotone_path(&self, u: NodeId, d: NodeId) -> Option<Vec<NodeId>> {
+        let ascending = self.labeling.label(u) < self.labeling.label(d);
+        let n = self.topo.num_nodes();
+        let mut prev = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        queue.push_back(u);
+        prev[u] = u;
+        let mut nb = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            if v == d {
+                return Some(backtrack(&prev, u, d));
+            }
+            self.topo.neighbors_into(v, &mut nb);
+            for &w in &nb {
+                let monotone = if ascending {
+                    self.labeling.label(w) > self.labeling.label(v)
+                } else {
+                    self.labeling.label(w) < self.labeling.label(v)
+                };
+                if monotone && prev[w] == usize::MAX && self.mask.is_link_alive(v, w) {
+                    prev[w] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+
+    /// Shortest bitonic "mountain" path `u → d`: strictly ascend, then
+    /// strictly descend (either leg may be empty). 0-1 BFS over
+    /// `(node, phase)` states with a free ascend→descend switch.
+    fn mountain_path(&self, u: NodeId, d: NodeId) -> Option<Vec<NodeId>> {
+        let n = self.topo.num_nodes();
+        // prev[phase][node] = (prev_node, prev_phase)
+        let mut prev = [vec![usize::MAX; n], vec![usize::MAX; n]];
+        let mut prev_phase = [vec![0u8; n], vec![0u8; n]];
+        let mut queue = VecDeque::new();
+        queue.push_back((u, 0u8));
+        prev[0][u] = u;
+        let mut nb = Vec::new();
+        let mut goal: Option<u8> = None;
+        'bfs: while let Some((v, phase)) = queue.pop_front() {
+            if v == d {
+                goal = Some(phase);
+                break 'bfs;
+            }
+            if phase == 0 && prev[1][v] == usize::MAX {
+                // Free switch to the descending leg at the peak `v`.
+                prev[1][v] = v;
+                prev_phase[1][v] = 0;
+                queue.push_front((v, 1));
+            }
+            self.topo.neighbors_into(v, &mut nb);
+            for &w in &nb {
+                let ok = if phase == 0 {
+                    self.labeling.label(w) > self.labeling.label(v)
+                } else {
+                    self.labeling.label(w) < self.labeling.label(v)
+                };
+                if ok && prev[phase as usize][w] == usize::MAX && self.mask.is_link_alive(v, w) {
+                    prev[phase as usize][w] = v;
+                    prev_phase[phase as usize][w] = phase;
+                    queue.push_back((w, phase));
+                }
+            }
+        }
+        let mut phase = goal?;
+        // Backtrack through (node, phase) states.
+        let mut path = vec![d];
+        let mut cur = d;
+        while !(cur == u && phase == 0) {
+            let p = prev[phase as usize][cur];
+            let pp = prev_phase[phase as usize][cur];
+            if p != cur {
+                path.push(p);
+            }
+            cur = p;
+            phase = pp;
+        }
+        path.reverse();
+        path.dedup(); // the phase-switch state repeats the peak node
+        Some(path)
+    }
+
+    /// Unrestricted shortest path over surviving channels. The last
+    /// resort: not covered by the CDG acyclicity argument.
+    fn escape_path(&self, u: NodeId, d: NodeId) -> Option<Vec<NodeId>> {
+        let n = self.topo.num_nodes();
+        let mut prev = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        queue.push_back(u);
+        prev[u] = u;
+        let mut nb = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            if v == d {
+                let mut path = backtrack(&prev, u, d);
+                path.insert(0, u);
+                return Some(path);
+            }
+            self.topo.neighbors_into(v, &mut nb);
+            for &w in &nb {
+                if prev[w] == usize::MAX && self.mask.is_link_alive(v, w) {
+                    prev[w] = v;
+                    queue.push_back(w);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Reconstructs the BFS path `u → d`, exclusive of `u`.
+fn backtrack(prev: &[usize], u: NodeId, d: NodeId) -> Vec<NodeId> {
+    let mut path = vec![d];
+    let mut cur = d;
+    while prev[cur] != cur {
+        cur = prev[cur];
+        path.push(cur);
+    }
+    debug_assert_eq!(cur, u);
+    path.pop(); // drop `u` itself
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual_path::dual_path;
+    use crate::model::MulticastRoute;
+    use crate::multi_path::{multi_path, multi_path_mesh};
+    use mcast_topology::labeling::{hypercube_gray, mesh2d_snake};
+    use mcast_topology::{Hypercube, Mesh2D};
+
+    fn example_6_13() -> (Mesh2D, Labeling, MulticastSet) {
+        let m = Mesh2D::new(6, 6);
+        let l = mesh2d_snake(&m);
+        let n = |x: usize, y: usize| m.node(x, y);
+        let mc = MulticastSet::new(
+            n(3, 2),
+            [
+                n(0, 0),
+                n(0, 2),
+                n(0, 5),
+                n(1, 3),
+                n(4, 5),
+                n(5, 0),
+                n(5, 1),
+                n(5, 3),
+                n(5, 4),
+            ],
+        );
+        (m, l, mc)
+    }
+
+    #[test]
+    fn empty_mask_reproduces_dual_path_exactly() {
+        let (m, l, mc) = example_6_13();
+        let healthy = dual_path(&m, &l, &mc);
+        let routed = fault_dual_path(&m, &l, &FaultMask::none(), &mc).unwrap();
+        assert_eq!(routed.paths, healthy);
+        assert!(routed.unreachable.is_empty());
+        assert!(routed.kinds.iter().all(|&k| k == WormKind::Monotone));
+    }
+
+    #[test]
+    fn empty_mask_reproduces_multi_path_exactly() {
+        let (m, l, mc) = example_6_13();
+        assert_eq!(
+            fault_multi_path_mesh(&m, &l, &FaultMask::none(), &mc)
+                .unwrap()
+                .paths,
+            multi_path_mesh(&m, &l, &mc)
+        );
+        let h = Hypercube::new(4);
+        let lh = hypercube_gray(&h);
+        let mch = MulticastSet::new(0b1100, [0b0100, 0b0011, 0b0111, 0b1000, 0b1111]);
+        assert_eq!(
+            fault_multi_path(&h, &lh, &FaultMask::none(), &mch)
+                .unwrap()
+                .paths,
+            multi_path(&h, &lh, &mch)
+        );
+    }
+
+    #[test]
+    fn routes_around_a_single_dead_link_monotonically() {
+        let (m, l, mc) = example_6_13();
+        let healthy = dual_path(&m, &l, &mc);
+        // Kill the first hop of the healthy high path.
+        let h0 = healthy[0].nodes()[0];
+        let h1 = healthy[0].nodes()[1];
+        let mut mask = FaultMask::none();
+        mask.fail_link(h0, h1);
+        let routed = fault_dual_path(&m, &l, &mask, &mc).unwrap();
+        assert!(routed.unreachable.is_empty());
+        // Still valid and full coverage on the surviving topology.
+        let route = MulticastRoute::Star(routed.paths.clone());
+        route.validate(&m, &mc).unwrap();
+        for p in &routed.paths {
+            for w in p.nodes().windows(2) {
+                assert!(
+                    mask.is_link_alive(w[0], w[1]),
+                    "dead channel {}→{} used",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        // A single dead link on a mesh leaves monotone alternatives.
+        assert!(routed.provably_deadlock_free());
+    }
+
+    #[test]
+    fn mountain_worm_when_monotone_subnetwork_is_cut() {
+        // 1×6 path graph labeled 0..5 left to right. Source label 1,
+        // destination label 4: the only monotone route is the line
+        // itself, so killing link (2,3) leaves nothing — and no mountain
+        // or escape either (the graph is disconnected). But on a 2×3
+        // mesh, killing the direct monotone hops forces a detour.
+        let m = Mesh2D::new(3, 2);
+        let l = mesh2d_snake(&m);
+        // Labels: (0,0)=0 (1,0)=1 (2,0)=2 / (2,1)=3 (1,1)=4 (0,1)=5.
+        let src = m.node(1, 0); // label 1
+        let dst = m.node(2, 0); // label 2
+        let mc = MulticastSet::new(src, [dst]);
+        let mut mask = FaultMask::none();
+        mask.fail_link(src, dst); // the only ascending move to label 2
+        let routed = fault_dual_path(&m, &l, &mask, &mc).unwrap();
+        assert!(routed.unreachable.is_empty());
+        let route = MulticastRoute::Star(routed.paths.clone());
+        route.validate(&m, &mc).unwrap();
+        // The detour must ascend 1→4→3→2? No: 4→3→2 descends, so the
+        // worm is bitonic (ascend to (1,1)=4, descend to (2,1)=3 then
+        // (2,0)=2): provably deadlock-free, no escape needed.
+        assert_eq!(routed.count(WormKind::Bitonic), 1);
+        assert!(routed.provably_deadlock_free());
+        for p in &routed.paths {
+            for w in p.nodes().windows(2) {
+                assert!(mask.is_link_alive(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_destination_reported_not_panicked() {
+        let m = Mesh2D::new(3, 3);
+        let l = mesh2d_snake(&m);
+        let mc = MulticastSet::new(4, [0, 8]);
+        let mut mask = FaultMask::none();
+        // Isolate corner 0 completely.
+        mask.fail_link(0, 1);
+        mask.fail_link(0, 3);
+        let routed = fault_dual_path(&m, &l, &mask, &mc).unwrap();
+        assert_eq!(routed.unreachable, vec![0]);
+        // Node 8 still gets a path.
+        assert!(routed.paths.iter().any(|p| p.hops_to(8).is_some()));
+        let err = fault_dual_path(&m, &l, &mask, &mc)
+            .unwrap()
+            .require_all(4)
+            .unwrap_err();
+        assert_eq!(err, RouteError::Unreachable { from: 4, to: 0 });
+    }
+
+    #[test]
+    fn failed_source_is_a_typed_error() {
+        let m = Mesh2D::new(3, 3);
+        let l = mesh2d_snake(&m);
+        let mc = MulticastSet::new(4, [0]);
+        let mut mask = FaultMask::none();
+        mask.fail_node(4);
+        assert_eq!(
+            fault_dual_path(&m, &l, &mask, &mc).unwrap_err(),
+            RouteError::SourceFailed(4)
+        );
+    }
+
+    #[test]
+    fn dead_destination_node_is_unreachable_not_fatal() {
+        let m = Mesh2D::new(4, 4);
+        let l = mesh2d_snake(&m);
+        let mc = MulticastSet::new(0, [5, 10]);
+        let mut mask = FaultMask::none();
+        mask.fail_node(5);
+        let routed = fault_dual_path(&m, &l, &mask, &mc).unwrap();
+        assert_eq!(routed.unreachable, vec![5]);
+        assert!(routed.paths.iter().any(|p| p.hops_to(10).is_some()));
+    }
+
+    #[test]
+    fn random_connected_masks_full_delivery_no_dead_channels() {
+        // A hand-rolled sweep over seeds; the root-crate property tests
+        // re-assert this via the proptest harness at larger scale.
+        let m = Mesh2D::new(6, 5);
+        let l = mesh2d_snake(&m);
+        for seed in 0..40u64 {
+            let mask = FaultMask::random_links_connected(&m, 0.3, seed);
+            let mc = MulticastSet::new(
+                (seed as usize * 7) % m.num_nodes(),
+                (0..8).map(|i| (seed as usize * 3 + i * 5) % m.num_nodes()),
+            );
+            if mc.k() == 0 {
+                continue;
+            }
+            let routed = fault_dual_path(&m, &l, &mask, &mc).unwrap();
+            assert!(
+                routed.unreachable.is_empty(),
+                "seed {seed}: connected mask, all reachable"
+            );
+            let route = MulticastRoute::Star(routed.paths.clone());
+            route.validate(&m, &mc).unwrap();
+            for p in &routed.paths {
+                for w in p.nodes().windows(2) {
+                    assert!(
+                        mask.is_link_alive(w[0], w[1]),
+                        "seed {seed}: dead channel used"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -19,14 +19,28 @@ pub fn fixed_path<T: Topology + ?Sized>(
     mc: &MulticastSet,
 ) -> Vec<PathRoute> {
     let l0 = labeling.label(mc.source);
-    let max_l = mc.destinations.iter().map(|&d| labeling.label(d)).filter(|&l| l > l0).max();
-    let min_l = mc.destinations.iter().map(|&d| labeling.label(d)).filter(|&l| l < l0).min();
+    let max_l = mc
+        .destinations
+        .iter()
+        .map(|&d| labeling.label(d))
+        .filter(|&l| l > l0)
+        .max();
+    let min_l = mc
+        .destinations
+        .iter()
+        .map(|&d| labeling.label(d))
+        .filter(|&l| l < l0)
+        .min();
     let mut paths = Vec::with_capacity(2);
     if let Some(hi) = max_l {
-        paths.push(PathRoute::new((l0..=hi).map(|l| labeling.node_at(l)).collect()));
+        paths.push(PathRoute::new(
+            (l0..=hi).map(|l| labeling.node_at(l)).collect(),
+        ));
     }
     if let Some(lo) = min_l {
-        paths.push(PathRoute::new((lo..=l0).rev().map(|l| labeling.node_at(l)).collect()));
+        paths.push(PathRoute::new(
+            (lo..=l0).rev().map(|l| labeling.node_at(l)).collect(),
+        ));
     }
     paths
 }
@@ -101,8 +115,10 @@ mod tests {
                 continue;
             }
             let fp: usize = fixed_path(&m, &l, &mc).iter().map(PathRoute::len).sum();
-            let dp: usize =
-                crate::dual_path::dual_path(&m, &l, &mc).iter().map(PathRoute::len).sum();
+            let dp: usize = crate::dual_path::dual_path(&m, &l, &mc)
+                .iter()
+                .map(PathRoute::len)
+                .sum();
             assert!(fp >= dp, "seed {seed}: fixed {fp} < dual {dp}");
         }
     }

@@ -53,7 +53,10 @@ impl SteinerTree {
     /// Realizes every virtual edge as a concrete shortest path using the
     /// topology's deterministic routing; returns the per-edge node paths.
     pub fn realize<T: RoutingGeometry + ?Sized>(&self, topo: &T) -> Vec<Vec<NodeId>> {
-        self.edges.iter().map(|&(s, t)| topo.shortest_path(s, t)).collect()
+        self.edges
+            .iter()
+            .map(|&(s, t)| topo.shortest_path(s, t))
+            .collect()
     }
 
     /// Whether the virtual edges form a tree over [`SteinerTree::vertices`]
@@ -131,7 +134,10 @@ pub fn build_tree<T: RoutingGeometry + ?Sized>(
     u: NodeId,
     sorted: &[NodeId],
 ) -> SteinerTree {
-    let mut tree = SteinerTree { root: u, edges: Vec::new() };
+    let mut tree = SteinerTree {
+        root: u,
+        edges: Vec::new(),
+    };
     let sorted: Vec<NodeId> = sorted.iter().copied().filter(|&d| d != u).collect();
     if sorted.is_empty() {
         return tree;
@@ -189,8 +195,11 @@ mod tests {
         let mc = MulticastSet::new(n(2, 7), [n(0, 5), n(2, 3), n(4, 1), n(6, 3), n(7, 4)]);
         let t = greedy_st(&m, &mc);
         t.validate(&mc).unwrap();
-        let mut edges: Vec<((usize, usize), (usize, usize))> =
-            t.edges().iter().map(|&(s, v)| (m.coords(s), m.coords(v))).collect();
+        let mut edges: Vec<((usize, usize), (usize, usize))> = t
+            .edges()
+            .iter()
+            .map(|&(s, v)| (m.coords(s), m.coords(v)))
+            .collect();
         let norm = |e: ((usize, usize), (usize, usize))| {
             if e.0 <= e.1 {
                 e
@@ -223,10 +232,7 @@ mod tests {
         // §5.4 / Fig 5.10: 6-cube, source 000110, destinations 010101,
         // 000001, 001101, 101001, 110001. First junction is 000101.
         let h = Hypercube::new(6);
-        let mc = MulticastSet::new(
-            0b000110,
-            [0b010101, 0b000001, 0b001101, 0b101001, 0b110001],
-        );
+        let mc = MulticastSet::new(0b000110, [0b010101, 0b000001, 0b001101, 0b101001, 0b110001]);
         // Distances from the source are (3, 3, 3, 5, 5); the text breaks
         // the three-way tie arbitrarily, we break it by node id.
         assert_eq!(

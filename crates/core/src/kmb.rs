@@ -78,7 +78,9 @@ pub fn kmb<T: RoutingGeometry + ?Sized>(topo: &T, mc: &MulticastSet) -> KmbTree 
     terminals.extend(&mc.destinations);
     let k = terminals.len();
     if k <= 1 {
-        return KmbTree { edges: BTreeSet::new() };
+        return KmbTree {
+            edges: BTreeSet::new(),
+        };
     }
     // 1. Metric closure MST over terminals (Prim's).
     let mut in_tree = vec![false; k];
@@ -210,8 +212,7 @@ mod tests {
         let mut worse = 0usize;
         let mut cases = 0usize;
         for seed in 0..40usize {
-            let dests: Vec<NodeId> =
-                (0..6).map(|i| (seed * 31 + i * 17 + 7) % 64).collect();
+            let dests: Vec<NodeId> = (0..6).map(|i| (seed * 31 + i * 17 + 7) % 64).collect();
             let mc = MulticastSet::new(seed % 64, dests);
             if mc.k() == 0 {
                 continue;
@@ -225,6 +226,9 @@ mod tests {
         }
         // Greedy may occasionally lose on individual instances due to tie
         // breaking, but must not lose broadly.
-        assert!(worse * 4 <= cases, "greedy ST worse than KMB in {worse}/{cases} cases");
+        assert!(
+            worse * 4 <= cases,
+            "greedy ST worse than KMB in {worse}/{cases} cases"
+        );
     }
 }

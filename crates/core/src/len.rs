@@ -24,14 +24,18 @@ pub fn len_partition(cube: &Hypercube, node: NodeId, dests: &[NodeId]) -> Vec<(u
         let best_dim = (0..cube.dim())
             .max_by_key(|&j| {
                 (
-                    remaining.iter().filter(|&&d| (d ^ node) >> j & 1 == 1).count(),
+                    remaining
+                        .iter()
+                        .filter(|&&d| (d ^ node) >> j & 1 == 1)
+                        .count(),
                     // Tie-break toward lower dimensions, deterministically.
                     cube.dim() - j,
                 )
             })
             .expect("cube has at least one dimension");
-        let (taken, rest): (Vec<NodeId>, Vec<NodeId>) =
-            remaining.iter().partition(|&&d| (d ^ node) >> best_dim & 1 == 1);
+        let (taken, rest): (Vec<NodeId>, Vec<NodeId>) = remaining
+            .iter()
+            .partition(|&&d| (d ^ node) >> best_dim & 1 == 1);
         debug_assert!(!taken.is_empty(), "best column sum must be positive");
         out.push((best_dim, taken));
         remaining = rest;

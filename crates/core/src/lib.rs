@@ -45,7 +45,9 @@ pub mod dc_xfirst_tree;
 pub mod distributed;
 pub mod divided_greedy;
 pub mod dual_path;
+pub mod error;
 pub mod exact;
+pub mod fault_route;
 pub mod fixed_path;
 pub mod geometry;
 pub mod greedy_st;
@@ -61,5 +63,7 @@ pub mod turn_model;
 pub mod vc_multi_path;
 pub mod xfirst;
 
+pub use error::RouteError;
+pub use fault_route::{FaultRoutedPaths, WormKind};
 pub use geometry::RoutingGeometry;
 pub use model::{MulticastRoute, MulticastSet, PathRoute, TreeRoute};

@@ -34,7 +34,11 @@ pub struct Octant {
 impl Octant {
     /// All eight octants in lexicographic (x, y, z) sign order.
     pub fn all() -> [Octant; 8] {
-        let mut out = [Octant { pos_x: false, pos_y: false, pos_z: false }; 8];
+        let mut out = [Octant {
+            pos_x: false,
+            pos_y: false,
+            pos_z: false,
+        }; 8];
         for (i, o) in out.iter_mut().enumerate() {
             o.pos_x = i & 4 != 0;
             o.pos_y = i & 2 != 0;
@@ -96,7 +100,11 @@ pub fn octant_of(mesh: &Mesh3D, u0: NodeId, dest: NodeId) -> Option<Octant> {
     let sx = if x != x0 { x > x0 } else { (y, z) > (y0, z0) };
     let sy = if y != y0 { y > y0 } else { (z, x) > (z0, x0) };
     let sz = if z != z0 { z > z0 } else { (x, y) > (x0, y0) };
-    Some(Octant { pos_x: sx, pos_y: sy, pos_z: sz })
+    Some(Octant {
+        pos_x: sx,
+        pos_y: sy,
+        pos_z: sz,
+    })
 }
 
 /// Splits destinations by octant ([`Octant::index`] order).
@@ -172,7 +180,10 @@ pub fn octant_multicast(mesh: &Mesh3D, mc: &MulticastSet) -> Vec<OctantTree> {
         .filter(|(_, d)| !d.is_empty())
         .map(|(i, dests)| {
             let octant = Octant::all()[i];
-            OctantTree { octant, tree: octant_tree(mesh, mc.source, &dests, octant) }
+            OctantTree {
+                octant,
+                tree: octant_tree(mesh, mc.source, &dests, octant),
+            }
         })
         .collect()
 }
@@ -213,7 +224,9 @@ pub fn xyz_first_tree(mesh: &Mesh3D, mc: &MulticastSet) -> TreeRoute {
         }
         for (dir_idx, sub) in by_dir {
             let dir = Dir3::ALL[dir_idx];
-            let next = mesh.step(node, dir).expect("destination lies in this direction");
+            let next = mesh
+                .step(node, dir)
+                .expect("destination lies in this direction");
             if !tree.contains(next) {
                 tree.attach(node, next);
             }
@@ -288,9 +301,12 @@ mod tests {
         for seed in 0..40 {
             let mc = sets(&m, seed, 8);
             let parts = octant_multicast(&m, &mc);
-            let route =
-                crate::model::MulticastRoute::Forest(parts.iter().map(|p| p.tree.clone()).collect());
-            route.validate(&m, &mc).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let route = crate::model::MulticastRoute::Forest(
+                parts.iter().map(|p| p.tree.clone()).collect(),
+            );
+            route
+                .validate(&m, &mc)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             for &d in &mc.destinations {
                 assert_eq!(
                     route.hops_to(d),
@@ -336,7 +352,11 @@ mod tests {
         // Channels of one octant all point in three fixed signed
         // directions: any walk strictly increases the signed coordinate
         // sum, so no cycle exists.
-        let o = Octant { pos_x: true, pos_y: false, pos_z: true };
+        let o = Octant {
+            pos_x: true,
+            pos_y: false,
+            pos_z: true,
+        };
         let m = mesh();
         // Verify the potential argument on every contained channel.
         let potential = |n: NodeId| {
@@ -347,7 +367,10 @@ mod tests {
             sx + sy + sz
         };
         for c in m.channels() {
-            let dir = Dir3::ALL.into_iter().find(|&d| m.step(c.from, d) == Some(c.to)).unwrap();
+            let dir = Dir3::ALL
+                .into_iter()
+                .find(|&d| m.step(c.from, d) == Some(c.to))
+                .unwrap();
             if o.contains_dir(dir) {
                 assert!(potential(c.to) > potential(c.from));
             }

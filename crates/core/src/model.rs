@@ -41,7 +41,10 @@ impl MulticastSet {
             .into_iter()
             .filter(|&d| d != source && seen.insert(d))
             .collect();
-        MulticastSet { source, destinations }
+        MulticastSet {
+            source,
+            destinations,
+        }
     }
 
     /// Number of destinations `k`.
@@ -134,7 +137,10 @@ pub struct TreeRoute {
 impl TreeRoute {
     /// Creates a tree containing only the root.
     pub fn new(root: NodeId) -> Self {
-        TreeRoute { root, parent: BTreeMap::new() }
+        TreeRoute {
+            root,
+            parent: BTreeMap::new(),
+        }
     }
 
     /// Builds a tree from directed edges `(parent, child)`.
@@ -156,7 +162,10 @@ impl TreeRoute {
                     true
                 }
             });
-            assert!(rest.len() < before, "edges do not form a tree rooted at {root}");
+            assert!(
+                rest.len() < before,
+                "edges do not form a tree rooted at {root}"
+            );
         }
         t
     }
@@ -296,7 +305,11 @@ impl MulticastRoute {
     /// `mc` (the "maximum distance from the source to a destination"
     /// reported for Figs 6.13/6.16/6.17).
     pub fn max_dest_hops(&self, mc: &MulticastSet) -> Option<usize> {
-        mc.destinations.iter().map(|&d| self.hops_to(d)).max().flatten()
+        mc.destinations
+            .iter()
+            .map(|&d| self.hops_to(d))
+            .max()
+            .flatten()
     }
 
     /// Validates the route delivers to every destination of `mc` and is a
@@ -363,7 +376,10 @@ impl MulticastRoute {
 /// shortest paths (the "multiple one-to-one" lower-bound-per-destination
 /// comparison of §7.1): the sum of source→destination distances.
 pub fn multi_unicast_traffic<T: Topology + ?Sized>(topo: &T, mc: &MulticastSet) -> usize {
-    mc.destinations.iter().map(|&d| topo.distance(mc.source, d)).sum()
+    mc.destinations
+        .iter()
+        .map(|&d| topo.distance(mc.source, d))
+        .sum()
 }
 
 /// A spanning BFS tree of the whole network rooted at `source` — the
@@ -415,7 +431,10 @@ mod tests {
         let m = Mesh2D::new(2, 2);
         let c = PathRoute::new(vec![0, 1, 3, 2, 0]);
         c.validate(&m, true).unwrap();
-        assert!(c.validate(&m, false).is_err(), "open-path validation must reject repeats");
+        assert!(
+            c.validate(&m, false).is_err(),
+            "open-path validation must reject repeats"
+        );
         let bad = PathRoute::new(vec![0, 1, 3]);
         assert!(bad.validate(&m, true).is_err(), "cycle must close");
     }

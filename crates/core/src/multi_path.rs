@@ -50,11 +50,20 @@ fn split_half_mesh(
     mesh.neighbors_into(u0, &mut nb);
     let side: Vec<NodeId> = nb
         .into_iter()
-        .filter(|&p| if high { labeling.label(p) > l0 } else { labeling.label(p) < l0 })
+        .filter(|&p| {
+            if high {
+                labeling.label(p) > l0
+            } else {
+                labeling.label(p) < l0
+            }
+        })
         .collect();
     match side.len() {
         0 => unreachable!("nonempty half implies a monotone neighbor exists"),
-        1 => vec![SubMulticast { via: side[0], dests: half.to_vec() }],
+        1 => vec![SubMulticast {
+            via: side[0],
+            dests: half.to_vec(),
+        }],
         _ => {
             // Exactly two: one horizontal (same row), one vertical.
             let (x0, y0) = mesh.coords(u0);
@@ -63,7 +72,11 @@ fn split_half_mesh(
                 .copied()
                 .find(|&p| mesh.coords(p).1 == y0)
                 .expect("one of the two neighbors shares the row");
-            let vert = side.iter().copied().find(|&p| p != horiz).expect("two neighbors");
+            let vert = side
+                .iter()
+                .copied()
+                .find(|&p| p != horiz)
+                .expect("two neighbors");
             let (hx, _) = mesh.coords(horiz);
             // Destinations on the horizontal neighbor's side of the
             // source's column ride via it; the rest via the vertical one.
@@ -77,10 +90,16 @@ fn split_half_mesh(
             });
             let mut subs = Vec::new();
             if !dh.is_empty() {
-                subs.push(SubMulticast { via: horiz, dests: dh });
+                subs.push(SubMulticast {
+                    via: horiz,
+                    dests: dh,
+                });
             }
             if !dv.is_empty() {
-                subs.push(SubMulticast { via: vert, dests: dv });
+                subs.push(SubMulticast {
+                    via: vert,
+                    dests: dv,
+                });
             }
             subs
         }
@@ -103,11 +122,18 @@ pub fn prepare_by_intervals<T: Topology + ?Sized>(
 
     let mut subs = Vec::new();
     // High side.
-    let mut ups: Vec<NodeId> = nb.iter().copied().filter(|&p| labeling.label(p) > l0).collect();
+    let mut ups: Vec<NodeId> = nb
+        .iter()
+        .copied()
+        .filter(|&p| labeling.label(p) > l0)
+        .collect();
     ups.sort_by_key(|&p| labeling.label(p));
     for (i, &v) in ups.iter().enumerate() {
         let lo = labeling.label(v);
-        let hi = ups.get(i + 1).map(|&n| labeling.label(n)).unwrap_or(usize::MAX);
+        let hi = ups
+            .get(i + 1)
+            .map(|&n| labeling.label(n))
+            .unwrap_or(usize::MAX);
         let dests: Vec<NodeId> = high
             .iter()
             .copied()
@@ -121,7 +147,11 @@ pub fn prepare_by_intervals<T: Topology + ?Sized>(
         }
     }
     // Low side (mirror).
-    let mut downs: Vec<NodeId> = nb.iter().copied().filter(|&p| labeling.label(p) < l0).collect();
+    let mut downs: Vec<NodeId> = nb
+        .iter()
+        .copied()
+        .filter(|&p| labeling.label(p) < l0)
+        .collect();
     downs.sort_by_key(|&p| std::cmp::Reverse(labeling.label(p)));
     for (i, &v) in downs.iter().enumerate() {
         let hi = labeling.label(v);
@@ -222,9 +252,8 @@ mod tests {
         let (m, l, mc) = example_6_16();
         let subs = prepare_mesh(&m, &l, &mc);
         assert_eq!(subs.len(), 4);
-        let coords = |v: &[NodeId]| -> Vec<(usize, usize)> {
-            v.iter().map(|&n| m.coords(n)).collect()
-        };
+        let coords =
+            |v: &[NodeId]| -> Vec<(usize, usize)> { v.iter().map(|&n| m.coords(n)).collect() };
         // Source (3,2) is on row 2 (even): horizontal high neighbor is
         // (4,2), vertical is (3,3); horizontal low is (2,2), vertical (3,1).
         assert_eq!(coords(&subs[0].dests), vec![(5, 3), (5, 4), (4, 5)]);

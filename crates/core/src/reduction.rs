@@ -41,7 +41,10 @@ pub fn lemma_4_1_extension(g: &GridGraph) -> (GridGraph, NodeId, NodeId) {
     let t = (ux - 2, uy + 1);
     let s = (ux - 1, uy - 1);
     for pt in [p, q, t, s] {
-        assert!(g.node_at(pt).is_none(), "added point {pt:?} collides with G");
+        assert!(
+            g.node_at(pt).is_none(),
+            "added point {pt:?} collides with G"
+        );
     }
     let mut points: Vec<(i64, i64)> = g.points().to_vec();
     points.extend([p, q, t, s]);
@@ -198,7 +201,11 @@ pub fn theorem_4_5_tour_length(g: &GridGraph) -> usize {
     assert!(k >= 3, "tours need at least 3 nodes");
     assert!(k <= 16, "Held–Karp limited to 16 terminals");
     let dist: Vec<Vec<usize>> = (0..k)
-        .map(|i| (0..k).map(|j| addrs[i].hamming(&addrs[j]) as usize).collect())
+        .map(|i| {
+            (0..k)
+                .map(|j| addrs[i].hamming(&addrs[j]) as usize)
+                .collect()
+        })
         .collect();
     // Held–Karp from node 0.
     let full = (1usize << k) - 1;
@@ -225,7 +232,10 @@ pub fn theorem_4_5_tour_length(g: &GridGraph) -> usize {
             }
         }
     }
-    (1..k).map(|last| dp[full][last] + dist[last][0]).min().expect("k >= 3")
+    (1..k)
+        .map(|last| dp[full][last] + dist[last][0])
+        .min()
+        .expect("k >= 3")
 }
 
 #[cfg(test)]
@@ -261,7 +271,16 @@ mod tests {
     #[test]
     fn lemmas_hold_on_assorted_grids() {
         let grids = [
-            GridGraph::new([(0, 0), (1, 0), (2, 0), (2, 1), (2, 2), (1, 2), (0, 2), (0, 1)]),
+            GridGraph::new([
+                (0, 0),
+                (1, 0),
+                (2, 0),
+                (2, 1),
+                (2, 2),
+                (1, 2),
+                (0, 2),
+                (0, 1),
+            ]),
             GridGraph::new([(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]),
             GridGraph::new((0..3).flat_map(|x| (0..3).map(move |y| (x, y)))),
             GridGraph::new([(0, 0), (0, 1), (0, 2), (0, 3)]),
@@ -306,8 +325,14 @@ mod tests {
         assert_eq!(g2.degree(t), 1);
         // G Hamiltonian-cycle ⇒ G' has a Hamiltonian path from s.
         assert!(g.find_hamiltonian_cycle().is_some());
-        let path = g2.find_hamiltonian_path_from(s).expect("lemma 4.1 forward direction");
-        assert_eq!(*path.last().unwrap(), t, "the path must end at t (degree-1)");
+        let path = g2
+            .find_hamiltonian_path_from(s)
+            .expect("lemma 4.1 forward direction");
+        assert_eq!(
+            *path.last().unwrap(),
+            t,
+            "the path must end at t (degree-1)"
+        );
     }
 
     #[test]

@@ -22,12 +22,7 @@ use mcast_topology::{Labeling, NodeId, Topology};
 ///
 /// # Panics
 /// Panics if `u == v` (no step needed) — callers check first.
-pub fn r_step<T: Topology + ?Sized>(
-    topo: &T,
-    labeling: &Labeling,
-    u: NodeId,
-    v: NodeId,
-) -> NodeId {
+pub fn r_step<T: Topology + ?Sized>(topo: &T, labeling: &Labeling, u: NodeId, v: NodeId) -> NodeId {
     assert_ne!(u, v, "R(u, u) is undefined");
     let lu = labeling.label(u);
     let lv = labeling.label(v);
@@ -61,8 +56,12 @@ pub fn r_step<T: Topology + ?Sized>(
             lp < lu && lp >= lv
         }
     };
-    let reducing =
-        pick(&mut nb.iter().copied().filter(|&p| in_window(p) && topo.distance(p, v) < duv));
+    let reducing = pick(
+        &mut nb
+            .iter()
+            .copied()
+            .filter(|&p| in_window(p) && topo.distance(p, v) < duv),
+    );
     reducing
         .or_else(|| pick(&mut nb.iter().copied().filter(|&p| in_window(p))))
         .expect("Hamiltonian successor/predecessor of u is a neighbor, so a candidate exists")
@@ -174,7 +173,9 @@ mod tests {
                 assert_eq!(*p.last().unwrap(), v);
                 let labels: Vec<usize> = p.iter().map(|&n| l.label(n)).collect();
                 assert!(
-                    labels.windows(2).all(|w| (w[0] < w[1]) == (l.label(u) < l.label(v))),
+                    labels
+                        .windows(2)
+                        .all(|w| (w[0] < w[1]) == (l.label(u) < l.label(v))),
                     "u={u} v={v}"
                 );
             }

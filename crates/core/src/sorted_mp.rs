@@ -45,7 +45,10 @@ pub fn route_step<T: Topology + ?Sized>(
 ) -> NodeId {
     let fd = cycle.f(u0, d);
     let fw = cycle.f(u0, w);
-    assert!(fw < fd, "routing invariant violated: f(w) = {fw} >= f(d) = {fd}");
+    assert!(
+        fw < fd,
+        "routing invariant violated: f(w) = {fw} >= f(d) = {fd}"
+    );
     let mut nb = Vec::new();
     topo.neighbors_into(w, &mut nb);
     nb.into_iter()
@@ -176,7 +179,10 @@ mod tests {
         let h = Hypercube::new(4);
         let c = hypercube_cycle(&h);
         let mc = MulticastSet::new(0b0011, [0b0100, 0b0111, 0b1100, 0b1010, 0b1111]);
-        assert_eq!(prepare(&h, &c, &mc), vec![0b0111, 0b0100, 0b1100, 0b1111, 0b1010]);
+        assert_eq!(
+            prepare(&h, &c, &mc),
+            vec![0b0111, 0b0100, 0b1100, 0b1111, 0b1010]
+        );
         let p = sorted_mp(&h, &c, &mc);
         let route = MulticastRoute::Path(p);
         route.validate(&h, &mc).unwrap();

@@ -80,7 +80,10 @@ where
     let mut cur = s;
     while cur != t {
         let options = west_first_next(mesh, cur, incoming, t);
-        assert!(!options.is_empty(), "west-first always has a minimal option");
+        assert!(
+            !options.is_empty(),
+            "west-first always has a minimal option"
+        );
         let choice = options[select(cur, &options).min(options.len() - 1)];
         incoming = Some(choice);
         cur = choice.to;
@@ -154,7 +157,10 @@ mod tests {
                 }
             }
         }
-        assert!(cdg.is_acyclic(), "west-first turn model must be deadlock-free");
+        assert!(
+            cdg.is_acyclic(),
+            "west-first turn model must be deadlock-free"
+        );
     }
 
     #[test]
@@ -191,7 +197,10 @@ mod tests {
                 }
             }
         }
-        assert!(!cdg.is_acyclic(), "unrestricted minimal adaptive routing cycles");
+        assert!(
+            !cdg.is_acyclic(),
+            "unrestricted minimal adaptive routing cycles"
+        );
     }
 
     #[test]

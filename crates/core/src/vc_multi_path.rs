@@ -94,8 +94,8 @@ pub fn max_dest_hops(paths: &[LanePath], mc: &MulticastSet) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mcast_topology::NodeId;
     use mcast_topology::labeling::{hypercube_gray, mesh2d_snake};
+    use mcast_topology::NodeId;
     use mcast_topology::{Hypercube, Mesh2D};
 
     #[test]
@@ -167,7 +167,10 @@ mod tests {
         for p in vc_multi_path(&m, &l, &mc, 3) {
             let labels: Vec<usize> = p.path.nodes().iter().map(|&n| l.label(n)).collect();
             let inc = labels[1] > labels[0];
-            assert!(labels.windows(2).all(|w| (w[1] > w[0]) == inc), "{labels:?}");
+            assert!(
+                labels.windows(2).all(|w| (w[1] > w[0]) == inc),
+                "{labels:?}"
+            );
         }
     }
 

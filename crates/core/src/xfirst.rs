@@ -135,7 +135,9 @@ mod tests {
         let mc = MulticastSet::new(m.node(2, 2), [m.node(2, 2), m.node(2, 4), m.node(2, 0)]);
         let t = xfirst_tree(&m, &mc);
         assert_eq!(t.traffic(), 4);
-        crate::model::MulticastRoute::Tree(t).validate(&m, &mc).unwrap();
+        crate::model::MulticastRoute::Tree(t)
+            .validate(&m, &mc)
+            .unwrap();
     }
 
     #[test]

@@ -7,11 +7,27 @@
 //! deadlock, observed rather than asserted.
 
 use mcast_core::model::MulticastSet;
-use mcast_topology::{Hypercube, Mesh2D, Topology};
+use mcast_topology::{Channel, Hypercube, Mesh2D, Topology};
 
-use crate::engine::{Engine, SimConfig};
+use crate::engine::{Engine, MessageId, SimConfig};
 use crate::network::Network;
+use crate::recovery::{
+    FaultMulticastRouter, RecoveryEngine, RecoveryEvent, RecoveryPolicy, RecoveryStats,
+};
 use crate::routers::MulticastRouter;
+
+/// Per-message diagnosis of a wedged worm: the channels it holds and
+/// the channels it is queued on — the raw material of the wait-for
+/// cycle (rendered by [`crate::diagnose`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckMessage {
+    /// The wedged message.
+    pub message: MessageId,
+    /// Channels its worms currently hold.
+    pub holds: Vec<Channel>,
+    /// Channels its worms are queued on (held by someone else).
+    pub awaits: Vec<Channel>,
+}
 
 /// Outcome of a closed scenario.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +38,31 @@ pub struct ScenarioOutcome {
     pub stuck_messages: usize,
     /// Simulated time at quiescence (ns).
     pub finished_at: u64,
+    /// Per-message holds/awaits for each message still in flight
+    /// (empty when completed).
+    pub stuck: Vec<StuckMessage>,
+}
+
+fn stuck_diagnostics(engine: &Engine) -> Vec<StuckMessage> {
+    let to_chan = |ids: Vec<usize>| {
+        ids.into_iter()
+            .map(|id| engine.network().channel(id))
+            .collect()
+    };
+    let mut awaited: std::collections::HashMap<MessageId, Vec<Channel>> = engine
+        .awaited_channels()
+        .into_iter()
+        .map(|(m, ids)| (m, to_chan(ids)))
+        .collect();
+    engine
+        .held_channels()
+        .into_iter()
+        .map(|(m, ids)| StuckMessage {
+            message: m,
+            holds: to_chan(ids),
+            awaits: awaited.remove(&m).unwrap_or_default(),
+        })
+        .collect()
 }
 
 /// Injects every multicast at `t = 0` through `router` and runs to
@@ -42,7 +83,42 @@ pub fn run_closed_scenario(
         completed,
         stuck_messages: engine.in_flight(),
         finished_at: engine.now(),
+        stuck: if completed {
+            Vec::new()
+        } else {
+            stuck_diagnostics(&engine)
+        },
     }
+}
+
+/// Like [`run_closed_scenario`], but under the recovery engine: wedged
+/// messages are aborted and retried per `policy` instead of blocking
+/// forever. Returns the outcome plus the recovery accounting and the
+/// structured event log.
+pub fn run_closed_scenario_recovering(
+    router: &dyn FaultMulticastRouter,
+    topo_network: Network,
+    config: SimConfig,
+    policy: RecoveryPolicy,
+    multicasts: &[MulticastSet],
+) -> (ScenarioOutcome, RecoveryStats, Vec<RecoveryEvent>) {
+    let mut rec = RecoveryEngine::new(topo_network, config, router, policy);
+    for mc in multicasts {
+        rec.submit(mc.clone());
+    }
+    let completed = rec.run();
+    let stuck_messages = rec
+        .outcomes()
+        .iter()
+        .filter(|o| !o.undelivered.is_empty())
+        .count();
+    let outcome = ScenarioOutcome {
+        completed,
+        stuck_messages,
+        finished_at: rec.now(),
+        stuck: stuck_diagnostics(rec.engine()),
+    };
+    (outcome, rec.stats().clone(), rec.events().to_vec())
 }
 
 /// Fig 6.1's configuration: nodes 000 and 001 of a 3-cube simultaneously
@@ -86,8 +162,25 @@ mod tests {
             SimConfig::default(),
             &fig_6_1_broadcasts(cube),
         );
-        assert!(!outcome.completed, "nCUBE-2 style broadcast trees must deadlock");
+        assert!(
+            !outcome.completed,
+            "nCUBE-2 style broadcast trees must deadlock"
+        );
         assert_eq!(outcome.stuck_messages, 2);
+        // The wedged configuration is diagnosable: each broadcast holds
+        // channels while queued on channels the other holds.
+        assert_eq!(outcome.stuck.len(), 2);
+        for s in &outcome.stuck {
+            assert!(!s.holds.is_empty(), "a wedged tree worm holds channels");
+            assert!(!s.awaits.is_empty(), "a wedged tree worm awaits channels");
+        }
+        let held: Vec<_> = outcome.stuck.iter().flat_map(|s| s.holds.iter()).collect();
+        for s in &outcome.stuck {
+            assert!(
+                s.awaits.iter().all(|c| held.contains(&c)),
+                "every awaited channel is held by a wedged peer"
+            );
+        }
     }
 
     #[test]
@@ -100,7 +193,10 @@ mod tests {
             SimConfig::default(),
             &fig_6_4_multicasts(&mesh),
         );
-        assert!(!outcome.completed, "X-first multicast trees must deadlock (Fig 6.4)");
+        assert!(
+            !outcome.completed,
+            "X-first multicast trees must deadlock (Fig 6.4)"
+        );
         assert_eq!(outcome.stuck_messages, 2);
     }
 
@@ -139,6 +235,28 @@ mod tests {
             &fig_6_1_broadcasts(cube),
         );
         assert!(outcome.completed, "dual-path broadcasts must not deadlock");
+    }
+
+    #[test]
+    fn recovery_resolves_fig_6_4_xfirst_trees() {
+        use crate::recovery::ObliviousRouter;
+        let mesh = Mesh2D::new(4, 3);
+        let router = ObliviousRouter::new(XFirstTreeRouter::new(mesh));
+        let (outcome, stats, events) = run_closed_scenario_recovering(
+            &router,
+            Network::new(&mesh, 1),
+            SimConfig::default(),
+            RecoveryPolicy::default(),
+            &fig_6_4_multicasts(&mesh),
+        );
+        assert!(
+            outcome.completed,
+            "recovery must resolve the Fig 6.4 deadlock"
+        );
+        assert_eq!(outcome.stuck_messages, 0);
+        assert!(outcome.stuck.is_empty());
+        assert!(stats.aborts > 0);
+        assert!(!events.is_empty());
     }
 
     #[test]

@@ -56,8 +56,7 @@ pub fn find_wait_cycle(engine: &Engine) -> Option<Vec<WaitStep>> {
         Black,
     }
     let ids: Vec<MessageId> = out.keys().copied().collect();
-    let mut color: BTreeMap<MessageId, Color> =
-        ids.iter().map(|&m| (m, Color::White)).collect();
+    let mut color: BTreeMap<MessageId, Color> = ids.iter().map(|&m| (m, Color::White)).collect();
     // Stack of (message, edge index); parents tracked for reconstruction.
     for &start in &ids {
         if color[&start] != Color::White {

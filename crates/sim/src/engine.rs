@@ -22,10 +22,11 @@
 //!   last destination.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
-use mcast_topology::NodeId;
+use mcast_topology::{FaultMask, NodeId};
 
+use crate::error::SimError;
 use crate::network::{ChannelId, Network};
 use crate::plan::{ClassChoice, DeliveryPlan, PlanWorm};
 
@@ -98,6 +99,25 @@ pub struct CompletedMessage {
     pub traffic: usize,
 }
 
+/// The remains of a message torn out of the network by
+/// [`Engine::abort_message`] — what the recovery layer needs to decide
+/// whether and how to retry.
+#[derive(Debug, Clone)]
+pub struct AbortedMessage {
+    /// Message id.
+    pub id: MessageId,
+    /// Source node.
+    pub source: NodeId,
+    /// Injection time.
+    pub injected_at: Time,
+    /// Destinations that finished receiving before the abort.
+    pub delivered: Vec<(NodeId, Time)>,
+    /// Destinations still undelivered — the retry set.
+    pub pending: Vec<NodeId>,
+    /// Channels the plan claimed (its traffic).
+    pub traffic: usize,
+}
+
 #[derive(Debug, Default)]
 struct ChanState {
     owner: Option<(usize, usize)>,
@@ -120,6 +140,9 @@ struct EdgeState {
     channel: Option<ChannelId>,
     /// Whether a channel request is pending in some queue.
     waiting: bool,
+    /// The channel whose queue holds this edge's pending request —
+    /// `Some` exactly while `waiting` (stuck diagnostics + abort scrub).
+    queued_on: Option<ChannelId>,
     /// Flits that have fully crossed this edge.
     crossed: u32,
     /// Transfer in progress.
@@ -153,6 +176,14 @@ struct WormState {
     groups: Vec<GroupState>,
     edges_done: usize,
     active: bool,
+    /// Incarnation counter for this worm *slot*: bumped on abort so
+    /// events scheduled for a torn-down worm are recognized as stale
+    /// after the slot is reused (events carry the gen they were
+    /// scheduled under).
+    gen: u32,
+    /// Set when a channel request found every copy of a hop dead — the
+    /// worm can never advance and needs recovery-layer intervention.
+    stalled: bool,
 }
 
 #[derive(Debug)]
@@ -171,9 +202,17 @@ struct MessageState {
 
 #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
-    TransferComplete { worm: usize, edge: usize },
+    TransferComplete {
+        worm: usize,
+        edge: usize,
+        gen: u32,
+    },
     /// Deferred channel request (circuit establishment chaining).
-    RequestChannel { worm: usize, edge: usize },
+    RequestChannel {
+        worm: usize,
+        edge: usize,
+        gen: u32,
+    },
 }
 
 /// The discrete-event wormhole simulator.
@@ -219,7 +258,9 @@ impl Engine {
     /// Creates an engine over a network with the given physical
     /// parameters.
     pub fn new(network: Network, config: SimConfig) -> Self {
-        let channels = (0..network.num_channels()).map(|_| ChanState::default()).collect();
+        let channels = (0..network.num_channels())
+            .map(|_| ChanState::default())
+            .collect();
         Engine {
             flit_time: config.flit_time_ns(),
             flits: config.flits_per_message(),
@@ -344,10 +385,15 @@ impl Engine {
                         to: w[1],
                         class: p.class,
                         upstream: if i == 0 { None } else { Some(i - 1) },
-                        children: if i + 2 < p.nodes.len() { vec![i + 1] } else { vec![] },
+                        children: if i + 2 < p.nodes.len() {
+                            vec![i + 1]
+                        } else {
+                            vec![]
+                        },
                         group: i, // every path edge is its own group
                         channel: None,
                         waiting: false,
+                        queued_on: None,
                         crossed: 0,
                         busy: false,
                         done: false,
@@ -359,7 +405,11 @@ impl Engine {
                 // Map head node -> edge index that feeds it.
                 let mut feeder: std::collections::HashMap<NodeId, usize> = Default::default();
                 for (i, &(from, to, class)) in t.edges.iter().enumerate() {
-                    let upstream = if from == t.root { None } else { Some(feeder[&from]) };
+                    let upstream = if from == t.root {
+                        None
+                    } else {
+                        Some(feeder[&from])
+                    };
                     assert!(
                         feeder.insert(to, i).is_none(),
                         "tree plan visits node {to} twice"
@@ -373,6 +423,7 @@ impl Engine {
                         group: usize::MAX, // assigned below
                         channel: None,
                         waiting: false,
+                        queued_on: None,
                         crossed: 0,
                         busy: false,
                         done: false,
@@ -391,7 +442,10 @@ impl Engine {
         let mut groups: Vec<GroupState> = Vec::new();
         if kind == WormKind::Circuit {
             // The whole circuit is one all-or-nothing reservation unit.
-            groups.push(GroupState { members: edges.len(), owned: 0 });
+            groups.push(GroupState {
+                members: edges.len(),
+                owned: 0,
+            });
             for e in edges.iter_mut() {
                 e.group = 0;
             }
@@ -402,7 +456,10 @@ impl Engine {
             for i in 0..edges.len() {
                 let key = edges[i].upstream;
                 let g = *by_feed.entry(key).or_insert_with(|| {
-                    groups.push(GroupState { members: 0, owned: 0 });
+                    groups.push(GroupState {
+                        members: 0,
+                        owned: 0,
+                    });
                     groups.len() - 1
                 });
                 edges[i].group = g;
@@ -411,12 +468,27 @@ impl Engine {
         } else {
             for (i, e) in edges.iter_mut().enumerate() {
                 e.group = i;
-                groups.push(GroupState { members: 1, owned: 0 });
+                groups.push(GroupState {
+                    members: 1,
+                    owned: 0,
+                });
             }
         }
 
-        let state = WormState { message, kind, edges, groups, edges_done: 0, active: true };
+        let mut state = WormState {
+            message,
+            kind,
+            edges,
+            groups,
+            edges_done: 0,
+            active: true,
+            gen: 0,
+            stalled: false,
+        };
         if let Some(slot) = self.worm_free.pop() {
+            // Carry the slot's incarnation counter forward so events
+            // scheduled for the previous (aborted) occupant stay stale.
+            state.gen = self.worms[slot].gen;
             self.worms[slot] = state;
             slot
         } else {
@@ -441,6 +513,10 @@ impl Engine {
             }
             (es.from, es.to, es.class)
         };
+        // INVARIANT: plans are built from the same topology as the
+        // network, so every hop names an existing channel table entry; a
+        // miss is a malformed plan (caller bug), not a runtime condition —
+        // `inject_checked` screens untrusted plans before they get here.
         let candidates: Vec<ChannelId> = match class {
             ClassChoice::Fixed(c) => {
                 let id = self
@@ -455,18 +531,33 @@ impl Engine {
                 ids
             }
         };
+        // Dead channels are never granted and never queued on. If every
+        // copy of this hop is dead, the worm is wedged by hardware, not by
+        // contention: flag it stalled for the recovery layer (the plain
+        // engine then reports it via `stalled_messages`).
+        let live: Vec<ChannelId> = candidates
+            .into_iter()
+            .filter(|&c| self.network.is_alive(c))
+            .collect();
+        if live.is_empty() {
+            self.worms[w].stalled = true;
+            return;
+        }
         // Idle copy?
-        if let Some(&idle) = candidates.iter().find(|&&c| self.channels[c].owner.is_none()) {
+        if let Some(&idle) = live.iter().find(|&&c| self.channels[c].owner.is_none()) {
             self.grant(idle, w, e);
             return;
         }
         // Queue on the least-loaded copy.
-        let target = *candidates
+        // INVARIANT: `live` is nonempty here — the all-dead case returned
+        // early above after marking the worm stalled.
+        let target = *live
             .iter()
             .min_by_key(|&&c| (self.channels[c].queue.len(), self.network.channel(c).class))
-            .expect("candidates nonempty");
+            .expect("live candidates nonempty");
         self.channels[target].queue.push_back((w, e));
         self.worms[w].edges[e].waiting = true;
+        self.worms[w].edges[e].queued_on = Some(target);
     }
 
     fn grant(&mut self, chan: ChannelId, w: usize, e: usize) {
@@ -476,20 +567,30 @@ impl Engine {
                 self.now, self.worms[w].message
             );
         }
-        assert!(self.channels[chan].owner.is_none(), "double grant of channel {chan}");
+        assert!(
+            self.channels[chan].owner.is_none(),
+            "double grant of channel {chan}"
+        );
+        debug_assert!(self.network.is_alive(chan), "granting a dead channel");
         self.channels[chan].owner = Some((w, e));
         let g = self.worms[w].edges[e].group;
         self.worms[w].edges[e].channel = Some(chan);
         self.worms[w].edges[e].waiting = false;
+        self.worms[w].edges[e].queued_on = None;
         self.worms[w].groups[g].owned += 1;
         if self.worms[w].kind == WormKind::Circuit {
             // Circuit establishment: the control packet advances to the
             // next hop after its per-hop setup time.
             let next = e + 1;
             if next < self.worms[w].edges.len() {
+                let gen = self.worms[w].gen;
                 self.schedule(
                     self.now + self.config.circuit_setup_ns,
-                    Event::RequestChannel { worm: w, edge: next },
+                    Event::RequestChannel {
+                        worm: w,
+                        edge: next,
+                        gen,
+                    },
                 );
             }
         }
@@ -506,9 +607,26 @@ impl Engine {
 
     fn release(&mut self, chan: ChannelId) {
         if self.trace_chan == Some(chan) {
-            eprintln!("t={} RELEASE chan {chan} (owner {:?})", self.now, self.channels[chan].owner);
+            eprintln!(
+                "t={} RELEASE chan {chan} (owner {:?})",
+                self.now, self.channels[chan].owner
+            );
         }
         self.channels[chan].owner = None;
+        if !self.network.is_alive(chan) {
+            // A channel that died while owned grants nobody once the
+            // owner lets go: re-route its queued waiters — they may have
+            // a surviving Any-class copy, or they stall for recovery.
+            let waiters: Vec<(usize, usize)> = self.channels[chan].queue.drain(..).collect();
+            for (w, e) in waiters {
+                if self.worms[w].active && self.worms[w].edges[e].waiting {
+                    self.worms[w].edges[e].waiting = false;
+                    self.worms[w].edges[e].queued_on = None;
+                    self.request_channel(w, e);
+                }
+            }
+            return;
+        }
         while let Some((w, e)) = self.channels[chan].queue.pop_front() {
             // Stale entries can linger if a worm was granted a different
             // copy; skip anything no longer waiting.
@@ -579,7 +697,7 @@ impl Engine {
                         ch.crossed + u32::from(ch.busy)
                     })
                     .min()
-                    .unwrap();
+                    .expect("children nonempty per the branch above");
                 if es.crossed - outflow.min(es.crossed) >= self.config.buffer_flits {
                     return;
                 }
@@ -587,10 +705,25 @@ impl Engine {
         }
         // Start the transfer.
         self.worms[w].edges[e].busy = true;
-        let dt = self.flit_time + if flit == 0 { self.config.routing_delay_ns } else { 0 };
-        let chan = self.worms[w].edges[e].channel.expect("transfer requires ownership");
+        let dt = self.flit_time
+            + if flit == 0 {
+                self.config.routing_delay_ns
+            } else {
+                0
+            };
+        let chan = self.worms[w].edges[e]
+            .channel
+            .expect("transfer requires ownership");
         self.busy_ns[chan] += dt;
-        self.schedule(self.now + dt, Event::TransferComplete { worm: w, edge: e });
+        let gen = self.worms[w].gen;
+        self.schedule(
+            self.now + dt,
+            Event::TransferComplete {
+                worm: w,
+                edge: e,
+                gen,
+            },
+        );
         // Starting frees a buffer slot upstream (flow-control credit at
         // transfer start): retry the feeder, or the root-group siblings.
         if let Some(u) = self.worms[w].edges[e].upstream {
@@ -619,9 +752,16 @@ impl Engine {
         debug_assert!(t >= self.now, "time must not go backwards");
         self.now = t;
         match ev {
-            Event::TransferComplete { worm, edge } => self.on_transfer_complete(worm, edge),
-            Event::RequestChannel { worm, edge } => {
-                if self.worms[worm].active
+            // Events for a bumped generation belong to an aborted worm
+            // whose slot may have been reused — drop them silently.
+            Event::TransferComplete { worm, edge, gen } => {
+                if self.worms[worm].gen == gen && self.worms[worm].active {
+                    self.on_transfer_complete(worm, edge);
+                }
+            }
+            Event::RequestChannel { worm, edge, gen } => {
+                if self.worms[worm].gen == gen
+                    && self.worms[worm].active
                     && self.worms[worm].edges[edge].channel.is_none()
                     && !self.worms[worm].edges[edge].waiting
                 {
@@ -696,11 +836,234 @@ impl Engine {
             if !w.active {
                 continue;
             }
-            let held: Vec<ChannelId> =
-                w.edges.iter().filter(|e| !e.done).filter_map(|e| e.channel).collect();
+            let held: Vec<ChannelId> = w
+                .edges
+                .iter()
+                .filter(|e| !e.done)
+                .filter_map(|e| e.channel)
+                .collect();
             out.push((w.message, held));
         }
         out
+    }
+
+    /// Channels each active worm is queued on, per message — the exact
+    /// "requires" half of a stuck diagnostic (unlike
+    /// [`Engine::waiting_requests`], this names the specific class copy
+    /// the request sits behind).
+    pub fn awaited_channels(&self) -> Vec<(MessageId, Vec<ChannelId>)> {
+        let mut out = Vec::new();
+        for w in &self.worms {
+            if !w.active {
+                continue;
+            }
+            let awaited: Vec<ChannelId> = w
+                .edges
+                .iter()
+                .filter(|e| e.waiting)
+                .filter_map(|e| e.queued_on)
+                .collect();
+            out.push((w.message, awaited));
+        }
+        out
+    }
+
+    /// Messages owning a worm that stalled on an all-dead hop: they can
+    /// never finish without recovery intervention.
+    pub fn stalled_messages(&self) -> Vec<MessageId> {
+        let set: BTreeSet<MessageId> = self
+            .worms
+            .iter()
+            .filter(|w| w.active && w.stalled)
+            .map(|w| w.message)
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Ids of messages injected but neither completed nor aborted.
+    pub fn live_messages(&self) -> Vec<MessageId> {
+        self.messages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Per-destination delivery times of a live message (`None` entries
+    /// are still pending). Returns `None` if the message is not live.
+    pub fn delivery_status(&self, msg: MessageId) -> Option<Vec<(NodeId, Option<Time>)>> {
+        let m = self.messages.get(msg)?.as_ref()?;
+        Some(
+            m.destinations
+                .iter()
+                .copied()
+                .zip(m.delivered.iter().copied())
+                .collect(),
+        )
+    }
+
+    /// Injection time of a live message.
+    pub fn message_injected_at(&self, msg: MessageId) -> Option<Time> {
+        self.messages.get(msg)?.as_ref().map(|m| m.injected_at)
+    }
+
+    /// Whether any event is still pending (a quiescent engine with
+    /// messages in flight is wedged).
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Time of the next pending event, if any. A supervisor uses this to
+    /// process events only up to its next external action and to catch
+    /// the engine at the exact moment it wedges.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.events.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Like [`Engine::inject`], but validates the plan against the
+    /// channel table and the current fault state first: unknown hops,
+    /// hops whose channels all died, and empty worms become a
+    /// [`SimError`] instead of a panic deep in the event loop.
+    pub fn inject_checked(&mut self, plan: &DeliveryPlan) -> Result<MessageId, SimError> {
+        for w in &plan.worms {
+            match w {
+                PlanWorm::Path(p) | PlanWorm::Circuit(p) => {
+                    if p.nodes.len() < 2 {
+                        return Err(SimError::EmptyWorm);
+                    }
+                    for hop in p.nodes.windows(2) {
+                        self.check_hop(hop[0], hop[1], p.class)?;
+                    }
+                }
+                PlanWorm::Tree(t) => {
+                    if t.edges.is_empty() {
+                        return Err(SimError::EmptyWorm);
+                    }
+                    for &(from, to, class) in &t.edges {
+                        self.check_hop(from, to, class)?;
+                    }
+                }
+            }
+        }
+        Ok(self.inject(plan))
+    }
+
+    fn check_hop(&self, from: NodeId, to: NodeId, class: ClassChoice) -> Result<(), SimError> {
+        let ids: Vec<ChannelId> = match class {
+            ClassChoice::Fixed(c) => self
+                .network
+                .id_of(mcast_topology::Channel::with_class(from, to, c))
+                .into_iter()
+                .collect(),
+            ClassChoice::Any => self.network.ids_of_link(from, to),
+        };
+        if ids.is_empty() {
+            return Err(SimError::UnknownChannel { from, to });
+        }
+        if !ids.iter().any(|&c| self.network.is_alive(c)) {
+            return Err(SimError::DeadChannel { from, to });
+        }
+        Ok(())
+    }
+
+    /// Fails the physical link between `a` and `b` (both directions, all
+    /// classes). Returns the messages broken by the failure — worms that
+    /// *owned* a dead channel (their flits straddle the severed wire) or
+    /// stalled re-routing a queued request. **The caller must abort the
+    /// returned messages**; the engine does not tear them down itself.
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) -> Vec<MessageId> {
+        let died = self.network.kill_link(a, b);
+        self.on_channels_died(&died)
+    }
+
+    /// Fails a node: every incident link dies. Returns the broken
+    /// messages, as for [`Engine::fail_link`].
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<MessageId> {
+        let died = self.network.kill_node(node);
+        self.on_channels_died(&died)
+    }
+
+    /// Applies a [`FaultMask`] to the fabric (kills every channel the
+    /// mask declares dead). Returns the broken messages, as for
+    /// [`Engine::fail_link`].
+    pub fn apply_fault_mask(&mut self, mask: &FaultMask) -> Vec<MessageId> {
+        let died = self.network.apply_fault_mask(mask);
+        self.on_channels_died(&died)
+    }
+
+    fn on_channels_died(&mut self, died: &[ChannelId]) -> Vec<MessageId> {
+        let mut affected: BTreeSet<MessageId> = BTreeSet::new();
+        for &chan in died {
+            // The owning worm is physically severed.
+            if let Some((w, _)) = self.channels[chan].owner {
+                if self.worms[w].active {
+                    affected.insert(self.worms[w].message);
+                }
+            }
+            // Queued waiters re-request: a surviving class copy absorbs
+            // them, otherwise they stall and are reported broken too.
+            let waiters: Vec<(usize, usize)> = self.channels[chan].queue.drain(..).collect();
+            for (w, e) in waiters {
+                if self.worms[w].active && self.worms[w].edges[e].waiting {
+                    self.worms[w].edges[e].waiting = false;
+                    self.worms[w].edges[e].queued_on = None;
+                    self.request_channel(w, e);
+                    if self.worms[w].stalled {
+                        affected.insert(self.worms[w].message);
+                    }
+                }
+            }
+        }
+        affected.into_iter().collect()
+    }
+
+    /// Tears a message out of the network: releases every channel its
+    /// worms hold (waking queued waiters), scrubs its pending requests
+    /// from channel queues, invalidates its in-flight events, and frees
+    /// its worm slots. Returns what was delivered and what remains — the
+    /// recovery layer's retry set. `None` if the message is not live.
+    pub fn abort_message(&mut self, msg: MessageId) -> Option<AbortedMessage> {
+        self.messages.get(msg)?.as_ref()?;
+        for w in 0..self.worms.len() {
+            if !(self.worms[w].active && self.worms[w].message == msg) {
+                continue;
+            }
+            self.worms[w].active = false;
+            // Stale-event guard: anything scheduled under the old gen is
+            // dropped on pop, even after this slot is reused.
+            self.worms[w].gen = self.worms[w].gen.wrapping_add(1);
+            for e in 0..self.worms[w].edges.len() {
+                if let Some(c) = self.worms[w].edges[e].queued_on.take() {
+                    self.channels[c]
+                        .queue
+                        .retain(|&(qw, qe)| !(qw == w && qe == e));
+                }
+                self.worms[w].edges[e].waiting = false;
+                self.worms[w].edges[e].busy = false;
+                if let Some(chan) = self.worms[w].edges[e].channel.take() {
+                    self.release(chan);
+                }
+            }
+            self.worm_free.push(w);
+        }
+        let m = self.messages[msg].take().expect("liveness checked above");
+        self.in_flight -= 1;
+        let mut delivered = Vec::new();
+        let mut pending = Vec::new();
+        for (&d, t) in m.destinations.iter().zip(&m.delivered) {
+            match t {
+                Some(t) => delivered.push((d, *t)),
+                None => pending.push(d),
+            }
+        }
+        Some(AbortedMessage {
+            id: m.id,
+            source: m.source,
+            injected_at: m.injected_at,
+            delivered,
+            pending,
+            traffic: m.traffic,
+        })
     }
 
     fn on_transfer_complete(&mut self, w: usize, e: usize) {
@@ -720,7 +1083,10 @@ impl Engine {
         }
         if crossed == self.flits {
             // Tail crossed: release the channel, record delivery.
-            let chan = self.worms[w].edges[e].channel.take().expect("owned while crossing");
+            let chan = self.worms[w].edges[e]
+                .channel
+                .take()
+                .expect("owned while crossing");
             self.worms[w].edges[e].done = true;
             self.release(chan);
             let head = self.worms[w].edges[e].to;
@@ -779,13 +1145,22 @@ impl Engine {
             .map(|(&d, t)| {
                 (
                     d,
+                    // INVARIANT: finish_message runs only when every worm
+                    // completed, every plan covers its destination set,
+                    // and aborted messages exit via abort_message (which
+                    // reports partial delivery) — so a hole here means a
+                    // plan/engine bug, not a runtime condition.
                     t.unwrap_or_else(|| {
                         panic!("destination {d} never delivered by message {}", m.id)
                     }),
                 )
             })
             .collect();
-        let completed_at = deliveries.iter().map(|&(_, t)| t).max().unwrap_or(m.injected_at);
+        let completed_at = deliveries
+            .iter()
+            .map(|&(_, t)| t)
+            .max()
+            .unwrap_or(m.injected_at);
         self.completed.push(CompletedMessage {
             id: m.id,
             source: m.source,
@@ -801,7 +1176,9 @@ impl Engine {
 impl Engine {
     /// Debug: the (message, edge) currently owning a channel, if any.
     pub fn debug_owner(&self, chan: ChannelId) -> Option<(MessageId, usize)> {
-        self.channels[chan].owner.map(|(w, e)| (self.worms[w].message, e))
+        self.channels[chan]
+            .owner
+            .map(|(w, e)| (self.worms[w].message, e))
     }
 }
 
@@ -831,7 +1208,10 @@ mod tests {
         DeliveryPlan {
             source: src,
             destinations: dests,
-            worms: vec![PlanWorm::Path(PlanPath { nodes, class: ClassChoice::Any })],
+            worms: vec![PlanWorm::Path(PlanPath {
+                nodes,
+                class: ClassChoice::Any,
+            })],
         }
     }
 
@@ -956,8 +1336,14 @@ mod tests {
             source: 5,
             destinations: vec![7, 13],
             worms: vec![
-                PlanWorm::Path(PlanPath { nodes: vec![5, 6, 7], class: ClassChoice::Any }),
-                PlanWorm::Path(PlanPath { nodes: vec![5, 9, 13], class: ClassChoice::Any }),
+                PlanWorm::Path(PlanPath {
+                    nodes: vec![5, 6, 7],
+                    class: ClassChoice::Any,
+                }),
+                PlanWorm::Path(PlanPath {
+                    nodes: vec![5, 9, 13],
+                    class: ClassChoice::Any,
+                }),
             ],
         };
         e.inject(&plan);
@@ -1016,7 +1402,10 @@ mod tests {
         ew.inject(&DeliveryPlan {
             source: 0,
             destinations: vec![7],
-            worms: vec![PlanWorm::Path(PlanPath { nodes: nodes.clone(), class: ClassChoice::Any })],
+            worms: vec![PlanWorm::Path(PlanPath {
+                nodes: nodes.clone(),
+                class: ClassChoice::Any,
+            })],
         });
         assert!(ew.run_to_quiescence());
         let worm_t = ew.take_completed()[0].completed_at;
@@ -1025,7 +1414,10 @@ mod tests {
         ec.inject(&DeliveryPlan {
             source: 0,
             destinations: vec![7],
-            worms: vec![PlanWorm::Circuit(PlanPath { nodes, class: ClassChoice::Any })],
+            worms: vec![PlanWorm::Circuit(PlanPath {
+                nodes,
+                class: ClassChoice::Any,
+            })],
         });
         assert!(ec.run_to_quiescence());
         let circ_t = ec.take_completed()[0].completed_at;

@@ -18,12 +18,19 @@
 pub mod deadlock;
 pub mod diagnose;
 pub mod engine;
+pub mod error;
 pub mod network;
 pub mod plan;
+pub mod recovery;
 pub mod routers;
 pub mod switching;
 
-pub use engine::{CompletedMessage, Engine, MessageId, SimConfig, Time};
+pub use engine::{AbortedMessage, CompletedMessage, Engine, MessageId, SimConfig, Time};
+pub use error::SimError;
 pub use network::{ChannelId, Network};
 pub use plan::{ClassChoice, DeliveryPlan, PlanPath, PlanTree, PlanWorm};
+pub use recovery::{
+    AbortReason, FaultDualPathRouter, FaultMultiPathRouter, FaultMulticastRouter, FaultPlan,
+    MessageOutcome, ObliviousRouter, RecoveryEngine, RecoveryEvent, RecoveryPolicy, RecoveryStats,
+};
 pub use routers::MulticastRouter;

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use mcast_topology::{Channel, NodeId, Topology};
+use mcast_topology::{Channel, FaultMask, NodeId, Topology};
 
 /// Dense channel identifier within a [`Network`].
 pub type ChannelId = usize;
@@ -20,6 +20,9 @@ pub struct Network {
     index: HashMap<Channel, ChannelId>,
     classes: u8,
     num_nodes: usize,
+    /// Per-channel liveness: a failed physical link marks every class of
+    /// both directions dead. Dead channels are never granted.
+    alive: Vec<bool>,
 }
 
 impl Network {
@@ -33,8 +36,20 @@ impl Network {
                 channels.push(Channel::with_class(base.from, base.to, class));
             }
         }
-        let index = channels.iter().copied().enumerate().map(|(i, c)| (c, i)).collect();
-        Network { channels, index, classes, num_nodes: topo.num_nodes() }
+        let index: HashMap<Channel, ChannelId> = channels
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, c)| (c, i))
+            .collect();
+        let alive = vec![true; channels.len()];
+        Network {
+            channels,
+            index,
+            classes,
+            num_nodes: topo.num_nodes(),
+            alive,
+        }
     }
 
     /// Number of channels (all classes).
@@ -68,6 +83,63 @@ impl Network {
             .filter_map(|class| self.id_of(Channel::with_class(from, to, class)))
             .collect()
     }
+
+    /// Whether a channel is alive (failed channels are never granted).
+    pub fn is_alive(&self, id: ChannelId) -> bool {
+        self.alive[id]
+    }
+
+    /// Number of channels still alive.
+    pub fn num_alive(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Kills one directed channel. Returns `true` if it was alive.
+    pub fn kill_channel(&mut self, id: ChannelId) -> bool {
+        std::mem::replace(&mut self.alive[id], false)
+    }
+
+    /// Kills the physical link between `a` and `b`: every class of both
+    /// directions. Returns the ids of the channels that died (those that
+    /// were still alive).
+    pub fn kill_link(&mut self, a: NodeId, b: NodeId) -> Vec<ChannelId> {
+        let mut died = Vec::new();
+        for (from, to) in [(a, b), (b, a)] {
+            for id in self.ids_of_link(from, to) {
+                if self.kill_channel(id) {
+                    died.push(id);
+                }
+            }
+        }
+        died
+    }
+
+    /// Kills every link incident to `node` (node failure = all its
+    /// channels fail, §DESIGN.md fault model). Returns the dead channels.
+    pub fn kill_node(&mut self, node: NodeId) -> Vec<ChannelId> {
+        let mut died = Vec::new();
+        for id in 0..self.channels.len() {
+            let c = self.channels[id];
+            if (c.from == node || c.to == node) && self.kill_channel(id) {
+                died.push(id);
+            }
+        }
+        died
+    }
+
+    /// Applies a [`FaultMask`]: kills every channel the mask declares
+    /// dead. Returns the newly dead channel ids.
+    pub fn apply_fault_mask(&mut self, mask: &FaultMask) -> Vec<ChannelId> {
+        let mut died = Vec::new();
+        for id in 0..self.channels.len() {
+            let c = self.channels[id];
+            if self.alive[id] && !mask.is_channel_alive(c) {
+                self.alive[id] = false;
+                died.push(id);
+            }
+        }
+        died
+    }
 }
 
 #[cfg(test)]
@@ -95,5 +167,44 @@ mod tests {
         assert_ne!(pair[0], pair[1]);
         assert_eq!(n.channel(pair[0]).class, 0);
         assert_eq!(n.channel(pair[1]).class, 1);
+    }
+
+    #[test]
+    fn killing_a_link_kills_both_directions_and_all_classes() {
+        let m = Mesh2D::new(4, 3);
+        let mut n = Network::new(&m, 2);
+        let before = n.num_alive();
+        let died = n.kill_link(0, 1);
+        assert_eq!(died.len(), 4, "2 classes x 2 directions");
+        assert_eq!(n.num_alive(), before - 4);
+        for id in n.ids_of_link(0, 1).into_iter().chain(n.ids_of_link(1, 0)) {
+            assert!(!n.is_alive(id));
+        }
+        // Killing again reports nothing new.
+        assert!(n.kill_link(0, 1).is_empty());
+    }
+
+    #[test]
+    fn killing_a_node_kills_incident_channels_only() {
+        let m = Mesh2D::new(3, 3);
+        let mut n = Network::new(&m, 1);
+        let died = n.kill_node(4); // center: 4 neighbors, 8 directed channels
+        assert_eq!(died.len(), 8);
+        assert!(n.is_alive(n.ids_of_link(0, 1)[0]));
+    }
+
+    #[test]
+    fn fault_mask_application_matches_mask_semantics() {
+        use mcast_topology::FaultMask;
+        let m = Mesh2D::new(4, 3);
+        let mut n = Network::new(&m, 1);
+        let mut mask = FaultMask::none();
+        mask.fail_link(0, 1);
+        mask.fail_node(5);
+        let died = n.apply_fault_mask(&mask);
+        assert!(!died.is_empty());
+        for id in 0..n.num_channels() {
+            assert_eq!(n.is_alive(id), mask.is_channel_alive(n.channel(id)));
+        }
     }
 }

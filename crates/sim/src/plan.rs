@@ -75,7 +75,12 @@ impl DeliveryPlan {
             worms: paths
                 .iter()
                 .filter(|p| !p.is_empty())
-                .map(|p| PlanWorm::Path(PlanPath { nodes: p.nodes().to_vec(), class }))
+                .map(|p| {
+                    PlanWorm::Path(PlanPath {
+                        nodes: p.nodes().to_vec(),
+                        class,
+                    })
+                })
                 .collect(),
         }
     }
@@ -141,7 +146,10 @@ where
             }
         }
     }
-    PlanTree { root: tree.root(), edges }
+    PlanTree {
+        root: tree.root(),
+        edges,
+    }
 }
 
 #[cfg(test)]
@@ -157,7 +165,9 @@ mod tests {
         t.attach(5, 6);
         let mc = MulticastSet::new(4, [0, 6]);
         let plan = DeliveryPlan::from_tree(&mc, &t, ClassChoice::Fixed(0));
-        let PlanWorm::Tree(pt) = &plan.worms[0] else { panic!("tree expected") };
+        let PlanWorm::Tree(pt) = &plan.worms[0] else {
+            panic!("tree expected")
+        };
         assert_eq!(pt.edges.len(), 4);
         // Every from is root or an earlier to.
         let mut seen = vec![pt.root];

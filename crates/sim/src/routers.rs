@@ -26,6 +26,20 @@ pub trait MulticastRouter {
     fn plan(&self, mc: &MulticastSet) -> DeliveryPlan;
 }
 
+impl MulticastRouter for Box<dyn MulticastRouter> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn required_classes(&self) -> u8 {
+        self.as_ref().required_classes()
+    }
+
+    fn plan(&self, mc: &MulticastSet) -> DeliveryPlan {
+        self.as_ref().plan(mc)
+    }
+}
+
 /// Dual-path routing (§6.2.2 / §6.3) over any labeled topology.
 pub struct DualPathRouter<T: Topology> {
     topo: T,
@@ -37,7 +51,11 @@ impl DualPathRouter<Mesh2D> {
     /// Dual-path on a snake-labeled 2D mesh.
     pub fn mesh(mesh: Mesh2D) -> Self {
         let labeling = mesh2d_snake(&mesh);
-        DualPathRouter { topo: mesh, labeling, class: ClassChoice::Any }
+        DualPathRouter {
+            topo: mesh,
+            labeling,
+            class: ClassChoice::Any,
+        }
     }
 }
 
@@ -45,7 +63,11 @@ impl DualPathRouter<Hypercube> {
     /// Dual-path on a Gray-labeled hypercube.
     pub fn hypercube(cube: Hypercube) -> Self {
         let labeling = hypercube_gray(&cube);
-        DualPathRouter { topo: cube, labeling, class: ClassChoice::Any }
+        DualPathRouter {
+            topo: cube,
+            labeling,
+            class: ClassChoice::Any,
+        }
     }
 }
 
@@ -120,7 +142,10 @@ impl FixedPathRouter<Mesh2D> {
     /// Fixed-path on a snake-labeled 2D mesh.
     pub fn mesh(mesh: Mesh2D) -> Self {
         let labeling = mesh2d_snake(&mesh);
-        FixedPathRouter { topo: mesh, labeling }
+        FixedPathRouter {
+            topo: mesh,
+            labeling,
+        }
     }
 }
 
@@ -128,7 +153,10 @@ impl FixedPathRouter<Hypercube> {
     /// Fixed-path on a Gray-labeled hypercube.
     pub fn hypercube(cube: Hypercube) -> Self {
         let labeling = hypercube_gray(&cube);
-        FixedPathRouter { topo: cube, labeling }
+        FixedPathRouter {
+            topo: cube,
+            labeling,
+        }
     }
 }
 
@@ -188,7 +216,9 @@ pub struct CircuitDualPathRouter {
 impl CircuitDualPathRouter {
     /// Circuit-switched dual-path on a snake-labeled 2D mesh.
     pub fn mesh(mesh: Mesh2D) -> Self {
-        CircuitDualPathRouter { inner: DualPathRouter::mesh(mesh) }
+        CircuitDualPathRouter {
+            inner: DualPathRouter::mesh(mesh),
+        }
     }
 }
 
@@ -221,7 +251,11 @@ impl VcMultiPathRouter<Mesh2D> {
     /// Virtual-channel multicast on a snake-labeled 2D mesh.
     pub fn mesh(mesh: Mesh2D, lanes: u8) -> Self {
         let labeling = mesh2d_snake(&mesh);
-        VcMultiPathRouter { topo: mesh, labeling, lanes }
+        VcMultiPathRouter {
+            topo: mesh,
+            labeling,
+            lanes,
+        }
     }
 }
 
@@ -229,7 +263,11 @@ impl VcMultiPathRouter<Hypercube> {
     /// Virtual-channel multicast on a Gray-labeled hypercube.
     pub fn hypercube(cube: Hypercube, lanes: u8) -> Self {
         let labeling = hypercube_gray(&cube);
-        VcMultiPathRouter { topo: cube, labeling, lanes }
+        VcMultiPathRouter {
+            topo: cube,
+            labeling,
+            lanes,
+        }
     }
 }
 
@@ -429,8 +467,10 @@ mod octant_tests {
         let mesh = Mesh3D::new(3, 3, 3);
         let router = OctantTreeRouter::new(mesh);
         assert_eq!(router.required_classes(), 4);
-        let mut engine =
-            Engine::new(Network::new(&mesh, router.required_classes()), SimConfig::default());
+        let mut engine = Engine::new(
+            Network::new(&mesh, router.required_classes()),
+            SimConfig::default(),
+        );
         for s in 0..mesh.num_nodes() {
             let mc = MulticastSet::new(s, (1..=5).map(|i| (s + i * 4 + 1) % 27));
             engine.inject(&router.plan(&mc));

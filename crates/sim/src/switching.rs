@@ -103,7 +103,10 @@ impl BufferPool {
     /// of `nodes` nodes.
     pub fn new(nodes: usize, classes: usize, capacity: u32) -> Self {
         assert!(classes >= 1 && capacity >= 1);
-        BufferPool { free: vec![vec![capacity; classes]; nodes], capacity_per_class: capacity }
+        BufferPool {
+            free: vec![vec![capacity; classes]; nodes],
+            capacity_per_class: capacity,
+        }
     }
 
     /// Number of buffer classes.
@@ -225,16 +228,17 @@ mod tests {
         let stream = 128.0 / 20e6;
         let d = 10usize;
         assert!((Switching::StoreAndForward.latency(&p, d) - stream * 11.0).abs() < 1e-12);
-        assert!(
-            (Switching::Wormhole.latency(&p, d) - (8.0 / 20e6 * 10.0 + stream)).abs() < 1e-12
-        );
+        assert!((Switching::Wormhole.latency(&p, d) - (8.0 / 20e6 * 10.0 + stream)).abs() < 1e-12);
         // Pipelined techniques are nearly distance-independent: doubling D
         // adds only the per-hop flit term (5 · L_f/B here), not another
         // message time.
         let w1 = Switching::Wormhole.latency(&p, 5);
         let w2 = Switching::Wormhole.latency(&p, 10);
         assert!((w2 - w1 - 5.0 * 8.0 / 20e6).abs() < 1e-12);
-        assert!((w2 - w1) < stream, "extra distance costs less than one message time");
+        assert!(
+            (w2 - w1) < stream,
+            "extra distance costs less than one message time"
+        );
         // SAF is linear in distance.
         let s1 = Switching::StoreAndForward.latency(&p, 5);
         let s2 = Switching::StoreAndForward.latency(&p, 10);
@@ -263,7 +267,11 @@ mod tests {
             vec![2, 3, 0, 1],
             vec![3, 0, 1, 2],
         ];
-        assert_eq!(saf_drain(&routes, 4, false, 1), None, "cyclic SAF must wedge");
+        assert_eq!(
+            saf_drain(&routes, 4, false, 1),
+            None,
+            "cyclic SAF must wedge"
+        );
     }
 
     #[test]

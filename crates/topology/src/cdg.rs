@@ -10,7 +10,9 @@
 
 use std::collections::HashMap;
 
-use crate::graph::{Channel, NodeId};
+use crate::fault::FaultMask;
+use crate::graph::{Channel, NodeId, Topology};
+use crate::labeling::Labeling;
 
 /// A channel dependency graph over an explicit channel set.
 #[derive(Debug, Clone)]
@@ -25,9 +27,18 @@ pub struct ChannelDependencyGraph {
 impl ChannelDependencyGraph {
     /// Creates an empty CDG over the given channel set.
     pub fn new(channels: Vec<Channel>) -> Self {
-        let index = channels.iter().copied().enumerate().map(|(i, c)| (c, i)).collect();
+        let index = channels
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, c)| (c, i))
+            .collect();
         let adj = vec![Vec::new(); channels.len()];
-        ChannelDependencyGraph { channels, index, adj }
+        ChannelDependencyGraph {
+            channels,
+            index,
+            adj,
+        }
     }
 
     /// Number of channel vertices.
@@ -122,6 +133,34 @@ impl ChannelDependencyGraph {
         self.find_cycle().is_none()
     }
 
+    /// The CDG restricted to channels for which `alive` holds: dead
+    /// channels are dropped as vertices, along with every dependency
+    /// touching them. Used to revalidate deadlock-freedom after faults —
+    /// removing vertices can only remove cycles, but the *interesting*
+    /// question is whether the surviving channels still carry an acyclic
+    /// dependency relation for the (rerouted) traffic, which callers
+    /// check by rebuilding with [`cdg_from_routing`] or by masking a
+    /// hand-built CDG here.
+    pub fn masked<F: Fn(Channel) -> bool>(&self, alive: F) -> ChannelDependencyGraph {
+        let keep: Vec<usize> = (0..self.channels.len())
+            .filter(|&i| alive(self.channels[i]))
+            .collect();
+        let mut renumber = vec![usize::MAX; self.channels.len()];
+        for (new, &old) in keep.iter().enumerate() {
+            renumber[old] = new;
+        }
+        let channels: Vec<Channel> = keep.iter().map(|&i| self.channels[i]).collect();
+        let mut out = ChannelDependencyGraph::new(channels);
+        for &old_from in &keep {
+            for &old_to in &self.adj[old_from] {
+                if renumber[old_to] != usize::MAX {
+                    out.adj[renumber[old_from]].push(renumber[old_to]);
+                }
+            }
+        }
+        out
+    }
+
     /// A topological order of the channels, if the CDG is acyclic.
     pub fn topological_order(&self) -> Option<Vec<Channel>> {
         let n = self.channels.len();
@@ -152,7 +191,11 @@ impl ChannelDependencyGraph {
 /// on `incoming` (`None` at the source). Dependencies are enumerated over
 /// every (channel, destination) pair, which is exact for the deterministic
 /// routing functions of this crate.
-pub fn cdg_from_routing<F>(channels: Vec<Channel>, num_nodes: usize, next: F) -> ChannelDependencyGraph
+pub fn cdg_from_routing<F>(
+    channels: Vec<Channel>,
+    num_nodes: usize,
+    next: F,
+) -> ChannelDependencyGraph
 where
     F: Fn(NodeId, Option<Channel>, NodeId) -> Option<Channel>,
 {
@@ -172,10 +215,81 @@ where
     cdg
 }
 
+/// Post-fault health report for the high/low-channel subnetworks of a
+/// Hamiltonian labeling (§6.2.2's deadlock-freedom structure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurvivorReport {
+    /// Whether the surviving high-channel subnetwork's label-order CDG is
+    /// acyclic (it always is — monotone labels admit no cycle — so a
+    /// `false` here would indicate a corrupted labeling).
+    pub high_acyclic: bool,
+    /// Whether the surviving low-channel subnetwork's CDG is acyclic.
+    pub low_acyclic: bool,
+    /// Surviving channels in the high subnetwork.
+    pub high_channels: usize,
+    /// Surviving channels in the low subnetwork.
+    pub low_channels: usize,
+    /// Total surviving channels (= `high_channels + low_channels`).
+    pub surviving_channels: usize,
+    /// Whether the surviving network is still connected (ignoring
+    /// direction), i.e. whether rerouting can reach every live node.
+    pub connected: bool,
+}
+
+impl SurvivorReport {
+    /// Whether label-monotone routing on the survivors is still provably
+    /// deadlock-free by the Dally–Seitz criterion.
+    pub fn deadlock_free(&self) -> bool {
+        self.high_acyclic && self.low_acyclic
+    }
+}
+
+/// Revalidates the high/low-channel subnetworks of `labeling` on the
+/// survivors of `mask`: builds the label-order dependency relation
+/// (channel `a→b` depends on `b→c` when a monotone route may chain them)
+/// restricted to surviving channels and checks acyclicity per subnetwork.
+pub fn survivor_report<T: Topology + ?Sized>(
+    topo: &T,
+    labeling: &Labeling,
+    mask: &FaultMask,
+) -> SurvivorReport {
+    let build = |want_high: bool| -> ChannelDependencyGraph {
+        let channels: Vec<Channel> = topo
+            .channels()
+            .into_iter()
+            .filter(|&c| labeling.is_high(c) == want_high && mask.is_channel_alive(c))
+            .collect();
+        let mut cdg = ChannelDependencyGraph::new(channels.clone());
+        for &a in &channels {
+            for &b in &channels {
+                if a.to == b.from && a != b {
+                    // Monotone routing may forward from a onto b: in the
+                    // high network labels keep ascending, in the low
+                    // network descending, so the chain condition is just
+                    // head-to-tail adjacency within the subnetwork.
+                    cdg.add_dependency(a, b);
+                }
+            }
+        }
+        cdg
+    };
+    let high = build(true);
+    let low = build(false);
+    SurvivorReport {
+        high_acyclic: high.is_acyclic(),
+        low_acyclic: low.is_acyclic(),
+        high_channels: high.num_channels(),
+        low_channels: low.num_channels(),
+        surviving_channels: high.num_channels() + low.num_channels(),
+        connected: mask.keeps_connected(topo),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::graph::Topology;
+    use crate::labeling::mesh2d_snake;
     use crate::mesh2d::{Dir2, Mesh2D};
 
     /// XY (X-first) unicast routing as a channel-to-channel routing
@@ -228,8 +342,9 @@ mod tests {
     fn xy_routing_cdg_is_acyclic() {
         // Fig 2.5: X-first routing has an acyclic CDG.
         let m = Mesh2D::new(4, 4);
-        let cdg =
-            cdg_from_routing(m.channels(), m.num_nodes(), |at, inc, dest| xy_next(&m, at, inc, dest));
+        let cdg = cdg_from_routing(m.channels(), m.num_nodes(), |at, inc, dest| {
+            xy_next(&m, at, inc, dest)
+        });
         assert!(cdg.is_acyclic());
         assert!(cdg.topological_order().is_some());
     }
@@ -271,7 +386,9 @@ mod tests {
             Some(Channel::new(at, m.step(at, dir)?))
         };
         let cdg = cdg_from_routing(m.channels(), m.num_nodes(), next);
-        let cyc = cdg.find_cycle().expect("mixed XY/YX routing must have a dependency cycle");
+        let cyc = cdg
+            .find_cycle()
+            .expect("mixed XY/YX routing must have a dependency cycle");
         // Witness cycle is closed and consists of consecutive channels.
         assert_eq!(cyc.first(), cyc.last());
         for w in cyc.windows(2) {
@@ -297,6 +414,50 @@ mod tests {
         let cyc = cdg.find_cycle().unwrap();
         assert_eq!(cyc, vec![Channel::new(0, 1), Channel::new(0, 1)]);
         assert!(cdg.topological_order().is_none());
+    }
+
+    #[test]
+    fn masked_cdg_drops_dead_vertices_and_their_edges() {
+        let a = Channel::new(0, 1);
+        let b = Channel::new(1, 2);
+        let c = Channel::new(2, 0);
+        let mut cdg = ChannelDependencyGraph::new(vec![a, b, c]);
+        cdg.add_dependency(a, b);
+        cdg.add_dependency(b, c);
+        cdg.add_dependency(c, a);
+        assert!(!cdg.is_acyclic());
+        // Killing any one channel of the 3-cycle restores acyclicity.
+        let masked = cdg.masked(|ch| ch != b);
+        assert_eq!(masked.num_channels(), 2);
+        assert_eq!(masked.num_dependencies(), 1);
+        assert!(masked.is_acyclic());
+    }
+
+    #[test]
+    fn survivor_report_on_healthy_mesh() {
+        let m = Mesh2D::new(4, 3);
+        let l = mesh2d_snake(&m);
+        let report = survivor_report(&m, &l, &crate::fault::FaultMask::none());
+        assert!(report.deadlock_free());
+        assert!(report.connected);
+        assert_eq!(report.surviving_channels, m.num_channels());
+        // The two subnetworks are mirror images (§6.2.2).
+        assert_eq!(report.high_channels, report.low_channels);
+    }
+
+    #[test]
+    fn survivor_report_counts_losses_and_disconnection() {
+        let m = Mesh2D::new(3, 3);
+        let l = mesh2d_snake(&m);
+        let mut mask = crate::fault::FaultMask::none();
+        mask.fail_link(0, 1);
+        mask.fail_link(0, 3);
+        let report = survivor_report(&m, &l, &mask);
+        // Each dead link removes one high and one low channel.
+        assert_eq!(report.high_channels, m.num_channels() / 2 - 2);
+        assert_eq!(report.low_channels, m.num_channels() / 2 - 2);
+        assert!(report.deadlock_free(), "monotone survivors stay acyclic");
+        assert!(!report.connected, "corner 0 is isolated");
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! Fault masks: failed nodes and links overlaid on a healthy topology.
+//!
+//! The dissertation proves its multicast schemes deadlock-free on *healthy*
+//! networks; this module supplies the degraded-network substrate for the
+//! fault-injection and recovery layer. A [`FaultMask`] records which nodes
+//! and physical links are down; the routing layer (`mcast-core`) plans
+//! around it and the simulator (`mcast-sim`) refuses to grant dead
+//! channels. A [`FaultSchedule`] additionally scripts *when* each fault
+//! appears, so dynamic experiments can kill links mid-flight.
+//!
+//! Injection is deterministic: masks and schedules are derived from a
+//! 64-bit seed through SplitMix64, with no dependency on an external RNG
+//! crate, so every experiment is reproducible from its `(topology, rate,
+//! seed)` triple.
+//!
+//! A physical fault takes out a *link*: both directions and every virtual
+//! channel class riding on the wire. Masks therefore store undirected
+//! node pairs; [`FaultMask::is_channel_alive`] ignores [`Channel::class`].
+
+use std::collections::BTreeSet;
+
+use crate::graph::{Channel, NodeId, Topology};
+
+/// A deterministic overlay of failed nodes and failed links.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultMask {
+    failed_nodes: BTreeSet<NodeId>,
+    /// Failed physical links, stored with endpoints ordered
+    /// (`min(a,b), max(a,b)`); a failed link kills both directed channels
+    /// in every class.
+    failed_links: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl FaultMask {
+    /// The healthy mask: nothing failed.
+    pub fn none() -> Self {
+        FaultMask::default()
+    }
+
+    /// Whether the mask is empty (healthy network).
+    pub fn is_empty(&self) -> bool {
+        self.failed_nodes.is_empty() && self.failed_links.is_empty()
+    }
+
+    /// Marks a node as failed. All channels incident to it die with it.
+    pub fn fail_node(&mut self, n: NodeId) -> &mut Self {
+        self.failed_nodes.insert(n);
+        self
+    }
+
+    /// Marks the physical link `{a, b}` as failed (both directions, every
+    /// channel class).
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) -> &mut Self {
+        self.failed_links.insert((a.min(b), a.max(b)));
+        self
+    }
+
+    /// Reverts a link failure (used by connectivity-preserving samplers).
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) -> &mut Self {
+        self.failed_links.remove(&(a.min(b), a.max(b)));
+        self
+    }
+
+    /// Whether node `n` survives.
+    pub fn is_node_alive(&self, n: NodeId) -> bool {
+        !self.failed_nodes.contains(&n)
+    }
+
+    /// Whether the link `{a, b}` survives (endpoints alive and the wire
+    /// itself not failed).
+    pub fn is_link_alive(&self, a: NodeId, b: NodeId) -> bool {
+        self.is_node_alive(a)
+            && self.is_node_alive(b)
+            && !self.failed_links.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Whether directed channel `c` survives. Class-independent: a fault
+    /// kills the physical wire under every virtual class.
+    pub fn is_channel_alive(&self, c: Channel) -> bool {
+        self.is_link_alive(c.from, c.to)
+    }
+
+    /// The failed nodes, ascending.
+    pub fn failed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.failed_nodes.iter().copied()
+    }
+
+    /// The failed links as ordered pairs, ascending.
+    pub fn failed_links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.failed_links.iter().copied()
+    }
+
+    /// Number of failed nodes.
+    pub fn num_failed_nodes(&self) -> usize {
+        self.failed_nodes.len()
+    }
+
+    /// Number of failed links.
+    pub fn num_failed_links(&self) -> usize {
+        self.failed_links.len()
+    }
+
+    /// The surviving channels of `topo` (all classes the topology reports).
+    pub fn alive_channels<T: Topology + ?Sized>(&self, topo: &T) -> Vec<Channel> {
+        topo.channels()
+            .into_iter()
+            .filter(|&c| self.is_channel_alive(c))
+            .collect()
+    }
+
+    /// The surviving neighbors of `at` in `topo`.
+    pub fn alive_neighbors<T: Topology + ?Sized>(&self, topo: &T, at: NodeId) -> Vec<NodeId> {
+        topo.neighbors(at)
+            .into_iter()
+            .filter(|&n| self.is_link_alive(at, n))
+            .collect()
+    }
+
+    /// Whether every surviving node can still reach every other surviving
+    /// node over surviving links (BFS from the lowest surviving node).
+    pub fn keeps_connected<T: Topology + ?Sized>(&self, topo: &T) -> bool {
+        let n = topo.num_nodes();
+        let Some(start) = (0..n).find(|&v| self.is_node_alive(v)) else {
+            return false; // every node dead: vacuously disconnected
+        };
+        let mut seen = vec![false; n];
+        let mut queue = vec![start];
+        seen[start] = true;
+        let mut reached = 1usize;
+        while let Some(u) = queue.pop() {
+            for v in topo.neighbors(u) {
+                if !seen[v] && self.is_link_alive(u, v) {
+                    seen[v] = true;
+                    reached += 1;
+                    queue.push(v);
+                }
+            }
+        }
+        reached == n - self.failed_nodes.len()
+    }
+
+    /// Fails each physical link of `topo` independently with probability
+    /// `rate`, deterministically from `seed`. Nodes are left alive.
+    pub fn random_links<T: Topology + ?Sized>(topo: &T, rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "fault rate {rate} out of [0, 1]"
+        );
+        let mut mask = FaultMask::none();
+        let mut rng = SplitMix64::new(seed);
+        for (a, b) in undirected_links(topo) {
+            if rng.next_f64() < rate {
+                mask.fail_link(a, b);
+            }
+        }
+        mask
+    }
+
+    /// Like [`FaultMask::random_links`], but skips any failure that would
+    /// disconnect the surviving network, so every destination stays
+    /// reachable. Used by the property tests and the fault-sweep's
+    /// "connected" mode.
+    pub fn random_links_connected<T: Topology + ?Sized>(topo: &T, rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "fault rate {rate} out of [0, 1]"
+        );
+        let mut mask = FaultMask::none();
+        let mut rng = SplitMix64::new(seed);
+        for (a, b) in undirected_links(topo) {
+            if rng.next_f64() < rate {
+                mask.fail_link(a, b);
+                if !mask.keeps_connected(topo) {
+                    mask.restore_link(a, b);
+                }
+            }
+        }
+        mask
+    }
+}
+
+/// Enumerates each physical link of `topo` once (class-0 channels with
+/// `from < to`), in deterministic node order.
+fn undirected_links<T: Topology + ?Sized>(topo: &T) -> Vec<(NodeId, NodeId)> {
+    let mut links = Vec::new();
+    for a in 0..topo.num_nodes() {
+        for b in topo.neighbors(a) {
+            if a < b {
+                links.push((a, b));
+            }
+        }
+    }
+    links
+}
+
+/// A timed fault: at `time`, the given element dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The physical link `{a, b}` fails (both directions, all classes).
+    LinkDown(NodeId, NodeId),
+    /// Node `n` fails, with every incident link.
+    NodeDown(NodeId),
+}
+
+/// A deterministic script of faults to inject over time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// `(time, fault)` pairs, sorted ascending by time.
+    events: Vec<(u64, FaultEvent)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Adds a fault at `time`, keeping the schedule sorted.
+    pub fn push(&mut self, time: u64, fault: FaultEvent) -> &mut Self {
+        let at = self.events.partition_point(|&(t, _)| t <= time);
+        self.events.insert(at, (time, fault));
+        self
+    }
+
+    /// The scheduled events, ascending by time.
+    pub fn events(&self) -> &[(u64, FaultEvent)] {
+        &self.events
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// A deterministic schedule of `count` link failures at uniform random
+    /// times in `[0, horizon)`, drawn without repetition from `topo`'s
+    /// links. Panics if `count` exceeds the link count.
+    pub fn random_links<T: Topology + ?Sized>(
+        topo: &T,
+        count: usize,
+        horizon: u64,
+        seed: u64,
+    ) -> Self {
+        let mut links = undirected_links(topo);
+        assert!(
+            count <= links.len(),
+            "cannot schedule {count} faults on {} links",
+            links.len()
+        );
+        let mut rng = SplitMix64::new(seed);
+        // Partial Fisher–Yates: the first `count` entries become the sample.
+        for i in 0..count {
+            let j = i + (rng.next_u64() as usize) % (links.len() - i);
+            links.swap(i, j);
+        }
+        let mut schedule = FaultSchedule::none();
+        for &(a, b) in links.iter().take(count) {
+            let t = if horizon == 0 {
+                0
+            } else {
+                rng.next_u64() % horizon
+            };
+            schedule.push(t, FaultEvent::LinkDown(a, b));
+        }
+        schedule
+    }
+
+    /// Applies every fault scheduled at or before `time` to `mask`,
+    /// returning how many events applied.
+    pub fn apply_until(&self, time: u64, mask: &mut FaultMask) -> usize {
+        let upto = self.events.partition_point(|&(t, _)| t <= time);
+        for &(_, fault) in &self.events[..upto] {
+            match fault {
+                FaultEvent::LinkDown(a, b) => {
+                    mask.fail_link(a, b);
+                }
+                FaultEvent::NodeDown(n) => {
+                    mask.fail_node(n);
+                }
+            }
+        }
+        upto
+    }
+}
+
+/// SplitMix64 (Steele, Lea & Flood): the minimal deterministic generator
+/// behind seeded fault injection. Kept private to this module so the
+/// topology crate stays dependency-free.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labeling::mesh2d_snake;
+    use crate::mesh2d::Mesh2D;
+
+    #[test]
+    fn empty_mask_is_healthy() {
+        let m = Mesh2D::new(4, 3);
+        let mask = FaultMask::none();
+        assert!(mask.is_empty());
+        assert!(mask.keeps_connected(&m));
+        assert_eq!(mask.alive_channels(&m).len(), m.num_channels());
+    }
+
+    #[test]
+    fn link_failure_kills_both_directions_and_all_classes() {
+        let mut mask = FaultMask::none();
+        mask.fail_link(5, 6);
+        assert!(!mask.is_channel_alive(Channel::new(5, 6)));
+        assert!(!mask.is_channel_alive(Channel::new(6, 5)));
+        assert!(!mask.is_channel_alive(Channel::with_class(5, 6, 1)));
+        assert!(mask.is_channel_alive(Channel::new(6, 7)));
+    }
+
+    #[test]
+    fn node_failure_kills_incident_links() {
+        let m = Mesh2D::new(3, 3);
+        let mut mask = FaultMask::none();
+        mask.fail_node(4); // center of the 3×3 mesh
+        for nb in m.neighbors(4) {
+            assert!(!mask.is_link_alive(4, nb));
+        }
+        // Remaining 8 nodes form a ring: still connected.
+        assert!(mask.keeps_connected(&m));
+    }
+
+    #[test]
+    fn corner_isolation_detected() {
+        let m = Mesh2D::new(3, 3);
+        let mut mask = FaultMask::none();
+        // Cut both links of corner (0,0): node 0 to nodes 1 and 3.
+        mask.fail_link(0, 1);
+        mask.fail_link(0, 3);
+        assert!(!mask.keeps_connected(&m));
+    }
+
+    #[test]
+    fn random_masks_are_deterministic_and_rate_scaled() {
+        let m = Mesh2D::new(8, 8);
+        let a = FaultMask::random_links(&m, 0.2, 42);
+        let b = FaultMask::random_links(&m, 0.2, 42);
+        assert_eq!(a, b);
+        let c = FaultMask::random_links(&m, 0.2, 43);
+        assert_ne!(a, c, "different seeds should give different masks");
+        assert_eq!(FaultMask::random_links(&m, 0.0, 1).num_failed_links(), 0);
+        let total = undirected_links(&m).len();
+        assert_eq!(
+            FaultMask::random_links(&m, 1.0, 1).num_failed_links(),
+            total
+        );
+        let frac = a.num_failed_links() as f64 / total as f64;
+        assert!(
+            (0.05..0.4).contains(&frac),
+            "rate 0.2 produced fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn connected_sampler_preserves_connectivity_even_at_high_rates() {
+        let m = Mesh2D::new(6, 6);
+        for seed in 0..20 {
+            let mask = FaultMask::random_links_connected(&m, 0.5, seed);
+            assert!(mask.keeps_connected(&m), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn high_low_subnetworks_survive_masking_acyclically() {
+        // The label-monotone subnetworks are DAGs by construction, so any
+        // surviving subset stays acyclic — the §6.2.2 deadlock-freedom
+        // argument is closed under channel removal.
+        let m = Mesh2D::new(5, 4);
+        let l = mesh2d_snake(&m);
+        let mask = FaultMask::random_links(&m, 0.3, 7);
+        let report = crate::cdg::survivor_report(&m, &l, &mask);
+        assert!(report.high_acyclic);
+        assert!(report.low_acyclic);
+        assert_eq!(report.surviving_channels, mask.alive_channels(&m).len());
+    }
+
+    #[test]
+    fn schedule_applies_in_time_order() {
+        let mut s = FaultSchedule::none();
+        s.push(200, FaultEvent::LinkDown(2, 3));
+        s.push(100, FaultEvent::NodeDown(7));
+        s.push(300, FaultEvent::LinkDown(0, 1));
+        let times: Vec<u64> = s.events().iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![100, 200, 300]);
+        let mut mask = FaultMask::none();
+        assert_eq!(s.apply_until(250, &mut mask), 2);
+        assert!(!mask.is_node_alive(7));
+        assert!(!mask.is_link_alive(2, 3));
+        assert!(mask.is_link_alive(0, 1));
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic() {
+        let m = Mesh2D::new(6, 6);
+        let a = FaultSchedule::random_links(&m, 5, 10_000, 9);
+        let b = FaultSchedule::random_links(&m, 5, 10_000, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.events().windows(2).all(|w| w[0].0 <= w[1].0));
+        // Distinct links.
+        let mut links: Vec<_> = a
+            .events()
+            .iter()
+            .map(|&(_, f)| match f {
+                FaultEvent::LinkDown(x, y) => (x, y),
+                FaultEvent::NodeDown(_) => unreachable!(),
+            })
+            .collect();
+        links.sort_unstable();
+        links.dedup();
+        assert_eq!(links.len(), 5);
+    }
+}

@@ -40,7 +40,11 @@ impl Channel {
 
     /// The channel running in the opposite direction (same class).
     pub const fn reversed(self) -> Self {
-        Channel { from: self.to, to: self.from, class: self.class }
+        Channel {
+            from: self.to,
+            to: self.from,
+            class: self.class,
+        }
     }
 }
 

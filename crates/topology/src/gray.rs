@@ -49,7 +49,11 @@ pub fn kary_gray_digits(mut i: usize, k: usize, n: u32) -> Vec<usize> {
     let mut gray = vec![0usize; n as usize];
     let mut parity = 0usize; // sum of Gray digits above the current one
     for d in (0..n as usize).rev() {
-        let g = if parity.is_multiple_of(2) { base[d] } else { k - 1 - base[d] };
+        let g = if parity.is_multiple_of(2) {
+            base[d]
+        } else {
+            k - 1 - base[d]
+        };
         gray[d] = g;
         parity += g;
     }
@@ -64,7 +68,11 @@ pub fn kary_gray_index(gray: &[usize], k: usize) -> usize {
     let mut parity = 0usize;
     for d in (0..n).rev() {
         let g = gray[d];
-        let b = if parity.is_multiple_of(2) { g } else { k - 1 - g };
+        let b = if parity.is_multiple_of(2) {
+            g
+        } else {
+            k - 1 - g
+        };
         i = i * k + b;
         parity += g;
     }
@@ -105,8 +113,8 @@ mod tests {
     fn matches_dissertation_table_5_3() {
         // Table 5.3: Hamilton cycle of a 4-cube in visit order.
         let expected = [
-            0b0000, 0b0001, 0b0011, 0b0010, 0b0110, 0b0111, 0b0101, 0b0100, 0b1100, 0b1101,
-            0b1111, 0b1110, 0b1010, 0b1011, 0b1001, 0b1000,
+            0b0000, 0b0001, 0b0011, 0b0010, 0b0110, 0b0111, 0b0101, 0b0100, 0b1100, 0b1101, 0b1111,
+            0b1110, 0b1010, 0b1011, 0b1001, 0b1000,
         ];
         for (i, &addr) in expected.iter().enumerate() {
             assert_eq!(gray_encode(i), addr, "position {i}");
@@ -149,8 +157,7 @@ mod tests {
                 seen[as_num] = true;
                 // Differs from predecessor by ±1 in exactly one digit.
                 if let Some(p) = prev {
-                    let diffs: Vec<usize> =
-                        (0..n as usize).filter(|&d| p[d] != g[d]).collect();
+                    let diffs: Vec<usize> = (0..n as usize).filter(|&d| p[d] != g[d]).collect();
                     assert_eq!(diffs.len(), 1, "k={k} n={n} i={i}");
                     let d = diffs[0];
                     assert_eq!(p[d].abs_diff(g[d]), 1, "k={k} n={n} i={i}");

@@ -30,7 +30,10 @@ impl GridGraph {
                 uniq.push(p);
             }
         }
-        GridGraph { points: uniq, index }
+        GridGraph {
+            points: uniq,
+            index,
+        }
     }
 
     /// The lattice coordinates of node `n`.
@@ -53,7 +56,9 @@ impl GridGraph {
         if self.points.is_empty() {
             return true;
         }
-        crate::graph::bfs_distances(self, 0).iter().all(|&d| d != usize::MAX)
+        crate::graph::bfs_distances(self, 0)
+            .iter()
+            .all(|&d| d != usize::MAX)
     }
 
     /// The corner node `u` of Lemma 4.1: the point with minimum `x`, and
@@ -213,9 +218,7 @@ mod tests {
         let g = example_4_1_grid();
         assert!(g.is_connected());
         let d = crate::graph::bfs_distances(&g, 0);
-        let layer = |i: usize| -> Vec<usize> {
-            (0..8).filter(|&v| d[v] == i).collect()
-        };
+        let layer = |i: usize| -> Vec<usize> { (0..8).filter(|&v| d[v] == i).collect() };
         assert_eq!(layer(0), vec![0]);
         assert_eq!(layer(1), vec![1, 2]);
         assert_eq!(layer(2), vec![3, 4]);
@@ -226,7 +229,9 @@ mod tests {
     #[test]
     fn example_grid_has_hamiltonian_cycle() {
         let g = example_4_1_grid();
-        let cyc = g.find_hamiltonian_cycle().expect("2x4 block is Hamiltonian");
+        let cyc = g
+            .find_hamiltonian_cycle()
+            .expect("2x4 block is Hamiltonian");
         assert!(g.is_hamiltonian_cycle(&cyc));
     }
 

@@ -28,14 +28,23 @@ impl HamiltonCycle {
     /// # Panics
     /// Panics if `order` is not a Hamiltonian cycle.
     pub fn from_order<T: Topology + ?Sized>(topo: &T, order: Vec<NodeId>) -> Self {
-        assert_eq!(order.len(), topo.num_nodes(), "cycle must visit every node once");
+        assert_eq!(
+            order.len(),
+            topo.num_nodes(),
+            "cycle must visit every node once"
+        );
         let mut h = vec![0usize; order.len()];
         for (i, &v) in order.iter().enumerate() {
             assert_eq!(h[v], 0, "node {v} visited twice");
             h[v] = i + 1;
         }
         for w in order.windows(2) {
-            assert!(topo.adjacent(w[0], w[1]), "nodes {} and {} not adjacent", w[0], w[1]);
+            assert!(
+                topo.adjacent(w[0], w[1]),
+                "nodes {} and {} not adjacent",
+                w[0],
+                w[1]
+            );
         }
         assert!(
             topo.adjacent(*order.last().unwrap(), order[0]),
@@ -100,7 +109,12 @@ impl HamiltonCycle {
 /// are odd — a parity argument on the bipartite mesh rules the latter out).
 pub fn mesh2d_cycle(mesh: &Mesh2D) -> HamiltonCycle {
     let (w, h) = (mesh.width(), mesh.height());
-    assert!(w >= 2 && h >= 2, "a {}x{} mesh has no Hamiltonian cycle", w, h);
+    assert!(
+        w >= 2 && h >= 2,
+        "a {}x{} mesh has no Hamiltonian cycle",
+        w,
+        h
+    );
     assert!(
         w % 2 == 0 || h % 2 == 0,
         "a mesh with both dimensions odd has no Hamiltonian cycle"
@@ -167,17 +181,16 @@ pub fn find_path<T: Topology + ?Sized>(topo: &T, start: NodeId) -> Option<Vec<No
     let mut path = vec![start];
     let mut used = vec![false; n];
     used[start] = true;
-    fn dfs<T: Topology + ?Sized>(
-        topo: &T,
-        path: &mut Vec<NodeId>,
-        used: &mut [bool],
-    ) -> bool {
+    fn dfs<T: Topology + ?Sized>(topo: &T, path: &mut Vec<NodeId>, used: &mut [bool]) -> bool {
         if path.len() == used.len() {
             return true;
         }
         let last = *path.last().expect("path nonempty");
-        let mut options: Vec<NodeId> =
-            topo.neighbors(last).into_iter().filter(|&v| !used[v]).collect();
+        let mut options: Vec<NodeId> = topo
+            .neighbors(last)
+            .into_iter()
+            .filter(|&v| !used[v])
+            .collect();
         // Warnsdorff: try the most constrained neighbor first.
         options.sort_by_key(|&v| topo.neighbors(v).into_iter().filter(|&w| !used[w]).count());
         for v in options {
@@ -288,7 +301,17 @@ mod tests {
 
     #[test]
     fn mesh_cycles_valid_for_various_sizes() {
-        for (w, h) in [(2, 2), (4, 4), (6, 6), (4, 3), (3, 4), (8, 8), (5, 4), (4, 5), (2, 7)] {
+        for (w, h) in [
+            (2, 2),
+            (4, 4),
+            (6, 6),
+            (4, 3),
+            (3, 4),
+            (8, 8),
+            (5, 4),
+            (4, 5),
+            (2, 7),
+        ] {
             let m = Mesh2D::new(w, h);
             let c = mesh2d_cycle(&m);
             assert_eq!(c.len(), m.num_nodes(), "{w}x{h}");

@@ -53,7 +53,10 @@ impl Hypercube {
     /// Formats a node address as an `n`-bit binary string (MSB first), as
     /// used in the dissertation's figures (e.g. `1100`).
     pub fn format_addr(&self, n: NodeId) -> String {
-        (0..self.dim).rev().map(|b| if n >> b & 1 == 1 { '1' } else { '0' }).collect()
+        (0..self.dim)
+            .rev()
+            .map(|b| if n >> b & 1 == 1 { '1' } else { '0' })
+            .collect()
     }
 
     /// Parses an `n`-bit binary address string (MSB first).

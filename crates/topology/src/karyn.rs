@@ -143,7 +143,12 @@ impl Topology for KAryNCube {
     }
 
     fn describe(&self) -> String {
-        format!("{}-ary {}-cube{}", self.k, self.n, if self.wraps() { " (torus)" } else { "" })
+        format!(
+            "{}-ary {}-cube{}",
+            self.k,
+            self.n,
+            if self.wraps() { " (torus)" } else { "" }
+        )
     }
 }
 

@@ -40,7 +40,10 @@ impl Labeling {
             assert_eq!(label_of[node], usize::MAX, "node {node} appears twice");
             label_of[node] = l;
         }
-        Labeling { label_of, node_at: path }
+        Labeling {
+            label_of,
+            node_at: path,
+        }
     }
 
     /// Number of nodes labeled.
@@ -73,8 +76,7 @@ impl Labeling {
     /// Checks that consecutive labels are adjacent in `topo`, i.e. the
     /// labeling really enumerates a Hamiltonian path.
     pub fn is_hamiltonian_path_of<T: Topology + ?Sized>(&self, topo: &T) -> bool {
-        self.len() == topo.num_nodes()
-            && self.node_at.windows(2).all(|w| topo.adjacent(w[0], w[1]))
+        self.len() == topo.num_nodes() && self.node_at.windows(2).all(|w| topo.adjacent(w[0], w[1]))
     }
 
     /// Whether channel `c` belongs to the high-channel network
@@ -86,12 +88,18 @@ impl Labeling {
 
     /// The channels of the high-channel subnetwork of `topo`.
     pub fn high_channels<T: Topology + ?Sized>(&self, topo: &T) -> Vec<Channel> {
-        topo.channels().into_iter().filter(|&c| self.is_high(c)).collect()
+        topo.channels()
+            .into_iter()
+            .filter(|&c| self.is_high(c))
+            .collect()
     }
 
     /// The channels of the low-channel subnetwork of `topo`.
     pub fn low_channels<T: Topology + ?Sized>(&self, topo: &T) -> Vec<Channel> {
-        topo.channels().into_iter().filter(|&c| !self.is_high(c)).collect()
+        topo.channels()
+            .into_iter()
+            .filter(|&c| !self.is_high(c))
+            .collect()
     }
 }
 
@@ -114,7 +122,11 @@ pub fn mesh2d_snake(mesh: &Mesh2D) -> Labeling {
     let path = (0..mesh.num_nodes())
         .map(|l| {
             let y = l / w;
-            let x = if y.is_multiple_of(2) { l % w } else { w - 1 - l % w };
+            let x = if y.is_multiple_of(2) {
+                l % w
+            } else {
+                w - 1 - l % w
+            };
             mesh.node(x, y)
         })
         .collect();
@@ -165,11 +177,11 @@ pub fn mesh3d_snake(mesh: &Mesh3D) -> Labeling {
 pub fn karyn_gray(cube: &KAryNCube) -> Labeling {
     let k = cube.k();
     let n = cube.n();
-    let path =
-        (0..cube.num_nodes()).map(|i| cube.from_digits(&kary_gray_digits(i, k, n))).collect();
+    let path = (0..cube.num_nodes())
+        .map(|i| cube.from_digits(&kary_gray_digits(i, k, n)))
+        .collect();
     let l = Labeling::from_path(path);
-    debug_assert!((0..cube.num_nodes())
-        .all(|v| l.label(v) == kary_gray_index(&cube.digits(v), k)));
+    debug_assert!((0..cube.num_nodes()).all(|v| l.label(v) == kary_gray_index(&cube.digits(v), k)));
     l
 }
 
@@ -181,7 +193,11 @@ pub fn mesh2d_column_snake(mesh: &Mesh2D) -> Labeling {
     let path = (0..mesh.num_nodes())
         .map(|l| {
             let x = l / h;
-            let y = if x.is_multiple_of(2) { l % h } else { h - 1 - l % h };
+            let y = if x.is_multiple_of(2) {
+                l % h
+            } else {
+                h - 1 - l % h
+            };
             mesh.node(x, y)
         })
         .collect();

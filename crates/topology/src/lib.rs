@@ -24,6 +24,7 @@
 
 pub mod ccc;
 pub mod cdg;
+pub mod fault;
 pub mod graph;
 pub mod gray;
 pub mod grid;
@@ -36,7 +37,8 @@ pub mod mesh3d;
 pub mod partition;
 
 pub use ccc::CubeConnectedCycles;
-pub use cdg::ChannelDependencyGraph;
+pub use cdg::{ChannelDependencyGraph, SurvivorReport};
+pub use fault::{FaultEvent, FaultMask, FaultSchedule};
 pub use graph::{Channel, NodeId, Topology};
 pub use grid::GridGraph;
 pub use hamiltonian::HamiltonCycle;

@@ -25,8 +25,14 @@ pub enum Dir3 {
 
 impl Dir3 {
     /// All six directions in the canonical order used throughout.
-    pub const ALL: [Dir3; 6] =
-        [Dir3::PosX, Dir3::NegX, Dir3::PosY, Dir3::NegY, Dir3::PosZ, Dir3::NegZ];
+    pub const ALL: [Dir3; 6] = [
+        Dir3::PosX,
+        Dir3::NegX,
+        Dir3::PosY,
+        Dir3::NegY,
+        Dir3::PosZ,
+        Dir3::NegZ,
+    ];
 
     /// Coordinate delta of the direction.
     pub const fn delta(self) -> (isize, isize, isize) {
@@ -55,8 +61,15 @@ impl Mesh3D {
     /// # Panics
     /// Panics if any dimension is zero.
     pub fn new(width: usize, height: usize, depth: usize) -> Self {
-        assert!(width > 0 && height > 0 && depth > 0, "mesh dimensions must be positive");
-        Mesh3D { width, height, depth }
+        assert!(
+            width > 0 && height > 0 && depth > 0,
+            "mesh dimensions must be positive"
+        );
+        Mesh3D {
+            width,
+            height,
+            depth,
+        }
     }
 
     /// Width (x extent).

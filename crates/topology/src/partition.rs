@@ -25,8 +25,12 @@ pub enum Quadrant {
 
 impl Quadrant {
     /// All four quadrants, counter-clockwise from `N_{+X,+Y}`.
-    pub const ALL: [Quadrant; 4] =
-        [Quadrant::PosXPosY, Quadrant::NegXPosY, Quadrant::NegXNegY, Quadrant::PosXNegY];
+    pub const ALL: [Quadrant; 4] = [
+        Quadrant::PosXPosY,
+        Quadrant::NegXPosY,
+        Quadrant::NegXNegY,
+        Quadrant::PosXNegY,
+    ];
 
     /// The two channel directions a quadrant subnetwork contains.
     pub const fn directions(self) -> [Dir2; 2] {
@@ -180,12 +184,18 @@ mod tests {
     #[test]
     fn doubled_channels_are_distinct_across_quadrants() {
         let m = Mesh2D::new(4, 4);
-        let mut all: Vec<Channel> =
-            Quadrant::ALL.iter().flat_map(|&q| quadrant_channels(&m, q)).collect();
+        let mut all: Vec<Channel> = Quadrant::ALL
+            .iter()
+            .flat_map(|&q| quadrant_channels(&m, q))
+            .collect();
         let before = all.len();
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len(), before, "no channel shared between quadrant subnetworks");
+        assert_eq!(
+            all.len(),
+            before,
+            "no channel shared between quadrant subnetworks"
+        );
         // Exactly double the single-channel network.
         assert_eq!(before, 2 * m.num_channels());
     }
@@ -196,15 +206,36 @@ mod tests {
         // the four quadrant sets listed in the text.
         let m = Mesh2D::new(6, 6);
         let u0 = m.node(3, 2);
-        let coords = [(0, 0), (0, 2), (0, 5), (1, 3), (4, 5), (5, 0), (5, 1), (5, 3), (5, 4)];
+        let coords = [
+            (0, 0),
+            (0, 2),
+            (0, 5),
+            (1, 3),
+            (4, 5),
+            (5, 0),
+            (5, 1),
+            (5, 3),
+            (5, 4),
+        ];
         let dests: Vec<_> = coords.iter().map(|&(x, y)| m.node(x, y)).collect();
         let split = split_by_quadrant(&m, u0, &dests);
-        let as_coords = |v: &Vec<usize>| -> Vec<(usize, usize)> {
-            v.iter().map(|&n| m.coords(n)).collect()
-        };
-        assert_eq!(as_coords(&split[Quadrant::PosXPosY as usize]), vec![(4, 5), (5, 3), (5, 4)]);
-        assert_eq!(as_coords(&split[Quadrant::NegXPosY as usize]), vec![(0, 5), (1, 3)]);
-        assert_eq!(as_coords(&split[Quadrant::NegXNegY as usize]), vec![(0, 0), (0, 2)]);
-        assert_eq!(as_coords(&split[Quadrant::PosXNegY as usize]), vec![(5, 0), (5, 1)]);
+        let as_coords =
+            |v: &Vec<usize>| -> Vec<(usize, usize)> { v.iter().map(|&n| m.coords(n)).collect() };
+        assert_eq!(
+            as_coords(&split[Quadrant::PosXPosY as usize]),
+            vec![(4, 5), (5, 3), (5, 4)]
+        );
+        assert_eq!(
+            as_coords(&split[Quadrant::NegXPosY as usize]),
+            vec![(0, 5), (1, 3)]
+        );
+        assert_eq!(
+            as_coords(&split[Quadrant::NegXNegY as usize]),
+            vec![(0, 0), (0, 2)]
+        );
+        assert_eq!(
+            as_coords(&split[Quadrant::PosXNegY as usize]),
+            vec![(5, 0), (5, 1)]
+        );
     }
 }

@@ -95,8 +95,9 @@ pub fn run_dynamic<T: Topology + ?Sized>(
     let mut gen = MulticastGen::new(n, cfg.seed);
 
     // Per-node next generation times.
-    let mut next_gen: Vec<(Time, usize)> =
-        (0..n).map(|node| (gen.exponential_ns(cfg.mean_interarrival_ns), node)).collect();
+    let mut next_gen: Vec<(Time, usize)> = (0..n)
+        .map(|node| (gen.exponential_ns(cfg.mean_interarrival_ns), node))
+        .collect();
 
     let mut latencies = BatchMeans::new(cfg.batch_size);
     let mut traffic = Accumulator::new();

@@ -1,0 +1,259 @@
+//! Fault-sweep evaluation: latency and delivery ratio as a function of
+//! the link fault rate, per routing scheme (DESIGN.md §8.4).
+//!
+//! For each fault rate a seeded random set of failed links is drawn
+//! (optionally constrained to keep the survivors connected), the same
+//! seeded message workload is submitted through the recovery engine,
+//! and per-rate delivery/latency/recovery statistics are reported. The
+//! rate-0 row runs on a healthy network and must reproduce the
+//! fault-free numbers exactly — the fault-aware planners are
+//! bit-identical to the Chapter 6 planners under an empty mask.
+
+use mcast_core::model::MulticastSet;
+use mcast_sim::recovery::{FaultMulticastRouter, RecoveryEngine, RecoveryPolicy};
+use mcast_sim::{Network, SimConfig};
+use mcast_topology::{FaultMask, Topology};
+
+use crate::gen::MulticastGen;
+
+/// Parameters of a fault sweep.
+#[derive(Debug, Clone)]
+pub struct FaultSweepConfig {
+    /// Physical simulation parameters.
+    pub sim: SimConfig,
+    /// Watchdog/retry policy.
+    pub policy: RecoveryPolicy,
+    /// Link fault rates to evaluate (should include 0.0 as the healthy
+    /// baseline).
+    pub fault_rates: Vec<f64>,
+    /// Messages submitted per rate.
+    pub messages: usize,
+    /// Destinations drawn per message (with replacement).
+    pub destinations: usize,
+    /// Mean exponential interarrival between submissions (ns).
+    pub mean_interarrival_ns: f64,
+    /// Seed for both the fault masks and the workload. The workload
+    /// stream is identical across rates so rows are comparable.
+    pub seed: u64,
+    /// Whether fault masks are constrained to keep the surviving
+    /// network connected (delivery ratio 1.0 stays achievable).
+    pub keep_connected: bool,
+}
+
+impl Default for FaultSweepConfig {
+    fn default() -> Self {
+        FaultSweepConfig {
+            sim: SimConfig::default(),
+            policy: RecoveryPolicy::default(),
+            fault_rates: vec![0.0, 0.02, 0.05, 0.10],
+            messages: 64,
+            destinations: 4,
+            mean_interarrival_ns: 2_000.0,
+            seed: 7,
+            keep_connected: true,
+        }
+    }
+}
+
+/// One `(algorithm, fault rate)` cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct FaultSweepRow {
+    /// Routing scheme name.
+    pub algorithm: &'static str,
+    /// Link fault rate requested.
+    pub fault_rate: f64,
+    /// Links actually failed by the drawn mask.
+    pub failed_links: usize,
+    /// Messages submitted.
+    pub messages: usize,
+    /// Total destinations over all messages.
+    pub destinations_total: usize,
+    /// Destinations delivered.
+    pub destinations_delivered: usize,
+    /// `destinations_delivered / destinations_total`.
+    pub delivery_ratio: f64,
+    /// Mean submit-to-last-delivery latency over fully resolved
+    /// messages that delivered everything (µs); NaN if none did.
+    pub mean_latency_us: f64,
+    /// Watchdog aborts.
+    pub aborts: usize,
+    /// Re-injections.
+    pub retries: usize,
+    /// Messages dropped with undelivered destinations.
+    pub drops: usize,
+    /// Escape worms injected (outside the deadlock-free subnetworks).
+    pub escapes: usize,
+}
+
+/// The seeded workload: sources, destination sets and submit times are
+/// a pure function of the config, shared by every rate and algorithm.
+fn workload(num_nodes: usize, cfg: &FaultSweepConfig) -> Vec<(u64, MulticastSet)> {
+    let mut gen = MulticastGen::new(num_nodes, cfg.seed ^ 0x5eed_f00d);
+    let mut t = 0u64;
+    (0..cfg.messages)
+        .map(|_| {
+            t += gen.exponential_ns(cfg.mean_interarrival_ns);
+            let source = gen.source();
+            (t, gen.multicast(source, cfg.destinations))
+        })
+        .collect()
+}
+
+/// Runs the sweep for one routing scheme. Returns one row per fault
+/// rate, in the order given by `cfg.fault_rates`.
+pub fn run_fault_sweep<T: Topology + ?Sized>(
+    topo: &T,
+    router: &dyn FaultMulticastRouter,
+    cfg: &FaultSweepConfig,
+) -> Vec<FaultSweepRow> {
+    let submissions = workload(topo.num_nodes(), cfg);
+    cfg.fault_rates
+        .iter()
+        .enumerate()
+        .map(|(i, &rate)| {
+            let mask_seed = cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9);
+            let mask = if rate == 0.0 {
+                FaultMask::none()
+            } else if cfg.keep_connected {
+                FaultMask::random_links_connected(topo, rate, mask_seed)
+            } else {
+                FaultMask::random_links(topo, rate, mask_seed)
+            };
+            let network = Network::new(topo, router.required_classes());
+            let mut rec = RecoveryEngine::new(network, cfg.sim, router, cfg.policy)
+                .with_initial_faults(&mask);
+            for (t, mc) in &submissions {
+                rec.submit_at(*t, mc.clone());
+            }
+            rec.run();
+            let (delivered, total) = rec.delivery_counts();
+            let outcomes = rec.outcomes();
+            let mut lat_sum = 0.0f64;
+            let mut lat_n = 0usize;
+            for o in &outcomes {
+                if let Some(fin) = o.finished_at {
+                    if o.undelivered.is_empty() {
+                        lat_sum += (fin - o.submitted_at) as f64 / 1000.0;
+                        lat_n += 1;
+                    }
+                }
+            }
+            let stats = rec.stats();
+            FaultSweepRow {
+                algorithm: router.name(),
+                fault_rate: rate,
+                failed_links: mask.num_failed_links(),
+                messages: cfg.messages,
+                destinations_total: total,
+                destinations_delivered: delivered,
+                delivery_ratio: if total == 0 {
+                    1.0
+                } else {
+                    delivered as f64 / total as f64
+                },
+                mean_latency_us: if lat_n == 0 {
+                    f64::NAN
+                } else {
+                    lat_sum / lat_n as f64
+                },
+                aborts: stats.aborts,
+                retries: stats.retries,
+                drops: stats.dropped,
+                escapes: stats.escape_worms,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcast_sim::recovery::{FaultDualPathRouter, ObliviousRouter};
+    use mcast_sim::routers::DualPathRouter;
+    use mcast_topology::Mesh2D;
+
+    fn small_cfg() -> FaultSweepConfig {
+        FaultSweepConfig {
+            messages: 24,
+            fault_rates: vec![0.0, 0.05, 0.15],
+            ..FaultSweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn fault_aware_dual_path_delivers_everything_while_connected() {
+        let mesh = Mesh2D::new(6, 6);
+        let router = FaultDualPathRouter::mesh(mesh);
+        let rows = run_fault_sweep(&mesh, &router, &small_cfg());
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(
+                row.delivery_ratio, 1.0,
+                "connectivity-preserving masks keep every destination reachable \
+                 (rate {})",
+                row.fault_rate
+            );
+            assert!(row.mean_latency_us.is_finite());
+            assert_eq!(row.drops, 0);
+        }
+        assert_eq!(rows[0].failed_links, 0);
+        assert_eq!(rows[0].aborts, 0, "a healthy network needs no recovery");
+        assert!(
+            rows[2].failed_links > 0,
+            "rate 0.15 on 6x6 should fail some links"
+        );
+    }
+
+    /// The acceptance check for the rate-0 row: the fault-aware planner
+    /// under an empty mask reproduces the healthy (fault-oblivious)
+    /// numbers exactly — same workload, same latencies.
+    #[test]
+    fn rate_zero_reproduces_healthy_network_numbers() {
+        let mesh = Mesh2D::new(6, 6);
+        let cfg = FaultSweepConfig {
+            fault_rates: vec![0.0],
+            messages: 24,
+            ..FaultSweepConfig::default()
+        };
+        let fault_aware = FaultDualPathRouter::mesh(mesh);
+        let oblivious = ObliviousRouter::new(DualPathRouter::mesh(mesh));
+        let a = &run_fault_sweep(&mesh, &fault_aware, &cfg)[0];
+        let b = &run_fault_sweep(&mesh, &oblivious, &cfg)[0];
+        assert_eq!(a.delivery_ratio, 1.0);
+        assert_eq!(b.delivery_ratio, 1.0);
+        assert_eq!(
+            a.mean_latency_us, b.mean_latency_us,
+            "bit-identical plans, equal timing"
+        );
+        assert_eq!(a.aborts + b.aborts, 0);
+    }
+
+    /// An oblivious tree baseline degrades under faults where the
+    /// fault-aware planner does not.
+    #[test]
+    fn oblivious_baseline_drops_under_faults() {
+        use mcast_sim::routers::XFirstTreeRouter;
+        let mesh = Mesh2D::new(6, 6);
+        let cfg = FaultSweepConfig {
+            fault_rates: vec![0.0, 0.25],
+            messages: 24,
+            ..FaultSweepConfig::default()
+        };
+        let router = ObliviousRouter::new(XFirstTreeRouter::new(mesh));
+        let rows = run_fault_sweep(&mesh, &router, &cfg);
+        assert!(
+            rows[1].delivery_ratio < rows[0].delivery_ratio,
+            "blind tree routing must lose destinations at rate 0.25 \
+             (got {} vs {})",
+            rows[1].delivery_ratio,
+            rows[0].delivery_ratio
+        );
+        assert!(rows[1].drops > 0);
+    }
+
+    #[test]
+    fn workload_is_identical_across_calls() {
+        let cfg = small_cfg();
+        assert_eq!(workload(36, &cfg), workload(36, &cfg));
+    }
+}

@@ -23,7 +23,10 @@ impl MulticastGen {
     /// Creates a generator with an explicit seed (all experiments are
     /// reproducible from their seeds).
     pub fn new(num_nodes: usize, seed: u64) -> Self {
-        MulticastGen { rng: StdRng::seed_from_u64(seed), num_nodes }
+        MulticastGen {
+            rng: StdRng::seed_from_u64(seed),
+            num_nodes,
+        }
     }
 
     /// Draws a uniform source node.
@@ -34,8 +37,9 @@ impl MulticastGen {
     /// Draws `k` destination addresses uniformly (with replacement, as in
     /// §7.1) for the given source; the returned set collapses duplicates.
     pub fn multicast(&mut self, source: NodeId, k: usize) -> MulticastSet {
-        let dests: Vec<NodeId> =
-            (0..k).map(|_| self.rng.gen_range(0..self.num_nodes)).collect();
+        let dests: Vec<NodeId> = (0..k)
+            .map(|_| self.rng.gen_range(0..self.num_nodes))
+            .collect();
         MulticastSet::new(source, dests)
     }
 

@@ -6,11 +6,15 @@
 #![forbid(unsafe_code)]
 
 pub mod dynamic;
+pub mod fault_sweep;
 pub mod gen;
 pub mod static_eval;
 pub mod stats;
 
-pub use dynamic::{measure_saturation_throughput, run_dynamic, DynamicConfig, DynamicResult, ThroughputResult};
+pub use dynamic::{
+    measure_saturation_throughput, run_dynamic, DynamicConfig, DynamicResult, ThroughputResult,
+};
+pub use fault_sweep::{run_fault_sweep, FaultSweepConfig, FaultSweepRow};
 pub use gen::MulticastGen;
 pub use static_eval::{broadcast_additional, measure_traffic, TrafficPoint};
 pub use stats::{Accumulator, BatchMeans};

@@ -89,7 +89,11 @@ impl BatchMeans {
     /// Creates a batch-means estimator with the given batch size.
     pub fn new(batch_size: usize) -> Self {
         assert!(batch_size >= 1);
-        BatchMeans { batch_size, current: Accumulator::new(), batches: Accumulator::new() }
+        BatchMeans {
+            batch_size,
+            current: Accumulator::new(),
+            batches: Accumulator::new(),
+        }
     }
 
     /// Adds one observation.

@@ -33,7 +33,10 @@ fn arrive_plans(cube: &Hypercube, coordinator: NodeId, members: &[NodeId]) -> Ve
             DeliveryPlan {
                 source: m,
                 destinations: vec![coordinator],
-                worms: vec![PlanWorm::Path(PlanPath { nodes: path, class: ClassChoice::Any })],
+                worms: vec![PlanWorm::Path(PlanPath {
+                    nodes: path,
+                    class: ClassChoice::Any,
+                })],
             }
         })
         .collect()
@@ -60,7 +63,10 @@ fn run_barrier(
     engine.inject(&release_router.plan(&mc));
     assert!(engine.run_to_quiescence(), "deadlock-free release");
     let release_done = engine.now();
-    (gather_done as f64 / 1000.0, (release_done - gather_done) as f64 / 1000.0)
+    (
+        gather_done as f64 / 1000.0,
+        (release_done - gather_done) as f64 / 1000.0,
+    )
 }
 
 /// A router that sends one separate unicast worm per destination — the

@@ -29,7 +29,10 @@ struct Gate {
 fn synthesize_circuit(num_gates: usize, mesh: &Mesh2D, seed: u64) -> Vec<Gate> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut gates: Vec<Gate> = (0..num_gates)
-        .map(|i| Gate { node: i % mesh.num_nodes(), fanout: Vec::new() })
+        .map(|i| Gate {
+            node: i % mesh.num_nodes(),
+            fanout: Vec::new(),
+        })
         .collect();
     // Each gate drives 1..=6 gates later in topological order.
     #[allow(clippy::needless_range_loop)] // gates[i] and gates[j] alias the same vec
@@ -58,8 +61,9 @@ fn main() {
     let mesh = Mesh2D::new(16, 16);
     let labeling = mesh2d_snake(&mesh);
     let gates = synthesize_circuit(4096, &mesh, 0xc1c5);
-    let events: Vec<MulticastSet> =
-        (0..gates.len()).filter_map(|i| event_multicast(&gates, i)).collect();
+    let events: Vec<MulticastSet> = (0..gates.len())
+        .filter_map(|i| event_multicast(&gates, i))
+        .collect();
     println!(
         "circuit: {} gates on a 16x16 mesh, {} multicast events, mean fanout-destinations {:.2}\n",
         gates.len(),
@@ -105,7 +109,12 @@ fn main() {
             traffic.push(route.traffic() as f64);
             hops.push(route.max_dest_hops(mc).unwrap_or(0) as f64);
         }
-        println!("{:<14} {:>12.2} {:>12.2}", name, traffic.mean(), hops.mean());
+        println!(
+            "{:<14} {:>12.2} {:>12.2}",
+            name,
+            traffic.mean(),
+            hops.mean()
+        );
     }
 
     // --- Dynamic: replay a slice of the event stream under contention. ---

@@ -27,7 +27,10 @@ fn main() {
             n(5, 4),
         ],
     );
-    println!("multicast: source (3,2), {} destinations on a 6x6 mesh\n", mc.k());
+    println!(
+        "multicast: source (3,2), {} destinations on a 6x6 mesh\n",
+        mc.k()
+    );
 
     // --- Static comparison: traffic and worst-case distance. ---
     println!("{:<14} {:>8} {:>10}", "scheme", "traffic", "max hops");
@@ -61,7 +64,10 @@ fn main() {
     ] {
         let mut engine = Engine::new(Network::new(&mesh, 1), SimConfig::default());
         engine.inject(&router.plan(&mc));
-        assert!(engine.run_to_quiescence(), "deadlock-free schemes always drain");
+        assert!(
+            engine.run_to_quiescence(),
+            "deadlock-free schemes always drain"
+        );
         let done = engine.take_completed().remove(0);
         println!(
             "  {:<11} message delivered to all {} destinations in {:.1} us",

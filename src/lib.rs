@@ -76,7 +76,5 @@ pub mod prelude {
     pub use mcast_topology::{
         Channel, Dir2, GridGraph, Hypercube, KAryNCube, Mesh2D, Mesh3D, NodeId, Topology,
     };
-    pub use mcast_workload::{
-        run_dynamic, BatchMeans, DynamicConfig, MulticastGen, TrafficPoint,
-    };
+    pub use mcast_workload::{run_dynamic, BatchMeans, DynamicConfig, MulticastGen, TrafficPoint};
 }

@@ -29,8 +29,9 @@ fn exhaustive_pairs_sets(num_nodes: usize) -> Vec<MulticastSet> {
     let mut out = Vec::new();
     for s in 0..num_nodes {
         for seed in 0..4usize {
-            let dests: Vec<NodeId> =
-                (0..6).map(|i| (s + seed * 11 + i * 7 + 1) % num_nodes).collect();
+            let dests: Vec<NodeId> = (0..6)
+                .map(|i| (s + seed * 11 + i * 7 + 1) % num_nodes)
+                .collect();
             out.push(MulticastSet::new(s, dests));
         }
     }
@@ -140,8 +141,7 @@ fn dc_tree_channels_partition_into_acyclic_subnetworks() {
                 }
                 let d1 = mesh.channel_direction(Channel::new(c1.from, c1.to));
                 let d2 = mesh.channel_direction(Channel::new(c2.from, c2.to));
-                let vertical =
-                    |d: Dir2| matches!(d, Dir2::PosY | Dir2::NegY);
+                let vertical = |d: Dir2| matches!(d, Dir2::PosY | Dir2::NegY);
                 if vertical(d1) && !vertical(d2) {
                     continue; // X-first: never turn from Y back to X
                 }
@@ -194,5 +194,8 @@ fn stress_hypercube_simultaneous_broadcasts() {
         let all: Vec<NodeId> = (0..cube.num_nodes()).collect();
         engine.inject(&router.plan(&MulticastSet::new(s, all)));
     }
-    assert!(engine.run_to_quiescence(), "16 simultaneous dual-path broadcasts wedged");
+    assert!(
+        engine.run_to_quiescence(),
+        "16 simultaneous dual-path broadcasts wedged"
+    );
 }

@@ -18,7 +18,10 @@ fn star_plan(mc: &MulticastSet, paths: &[mcast::routing::PathRoute]) -> Delivery
             .iter()
             .filter(|p| !p.is_empty())
             .map(|p| {
-                PlanWorm::Path(PlanPath { nodes: p.nodes().to_vec(), class: ClassChoice::Any })
+                PlanWorm::Path(PlanPath {
+                    nodes: p.nodes().to_vec(),
+                    class: ClassChoice::Any,
+                })
             })
             .collect(),
     }
@@ -29,7 +32,9 @@ fn route_and_simulate<T: Topology>(topo: &T, labeling: &Labeling, seed: usize) {
     let mc = MulticastSet::new((seed * 7) % n, (0..6).map(|i| (seed * 13 + i * 5 + 1) % n));
     // Route with all three schemes and validate.
     let dual = dual_path(topo, labeling, &mc);
-    MulticastRoute::Star(dual.clone()).validate(topo, &mc).unwrap();
+    MulticastRoute::Star(dual.clone())
+        .validate(topo, &mc)
+        .unwrap();
     let multi = multi_path(topo, labeling, &mc);
     MulticastRoute::Star(multi).validate(topo, &mc).unwrap();
     let fixed = fixed_path(topo, labeling, &mc);
@@ -37,14 +42,17 @@ fn route_and_simulate<T: Topology>(topo: &T, labeling: &Labeling, seed: usize) {
     // Simulate the dual-path delivery.
     let mut engine = Engine::new(Network::new(topo, 1), SimConfig::default());
     engine.inject(&star_plan(&mc, &dual));
-    assert!(engine.run_to_quiescence(), "seed {seed}: wedged on {}", topo.describe());
+    assert!(
+        engine.run_to_quiescence(),
+        "seed {seed}: wedged on {}",
+        topo.describe()
+    );
 }
 
 #[test]
 fn path_routing_on_cube_connected_cycles() {
     let ccc = CubeConnectedCycles::new(3);
-    let labeling =
-        Labeling::from_path(find_path(&ccc, 0).expect("CCC(3) has a Hamiltonian path"));
+    let labeling = Labeling::from_path(find_path(&ccc, 0).expect("CCC(3) has a Hamiltonian path"));
     assert!(labeling.is_hamiltonian_path_of(&ccc));
     for seed in 0..15 {
         route_and_simulate(&ccc, &labeling, seed);
@@ -90,7 +98,10 @@ fn vc_lanes_on_kary_ncube() {
     for lanes in 1..=3u8 {
         let paths = vc_multi_path::vc_multi_path(&t, &labeling, &mc, lanes);
         for &d in &mc.destinations {
-            assert!(paths.iter().any(|p| p.path.hops_to(d).is_some()), "lanes={lanes}");
+            assert!(
+                paths.iter().any(|p| p.path.hops_to(d).is_some()),
+                "lanes={lanes}"
+            );
         }
     }
 }

@@ -74,8 +74,7 @@ fn utilization_accounting_is_sane() {
         assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
         if b > 0 {
             let cfg = engine.config();
-            let expect = cfg.flit_time_ns() * cfg.flits_per_message() as u64
-                + cfg.routing_delay_ns;
+            let expect = cfg.flit_time_ns() * cfg.flits_per_message() as u64 + cfg.routing_delay_ns;
             assert_eq!(b, expect, "channel {id}");
         }
     }

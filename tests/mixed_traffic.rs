@@ -29,8 +29,9 @@ fn combined_cdg(mesh: &Mesh2D) -> ChannelDependencyGraph {
             add_path(&mut cdg, &xy);
         }
         for seed in 0..3usize {
-            let dests: Vec<NodeId> =
-                (0..5).map(|i| (s + seed * 13 + i * 7 + 1) % mesh.num_nodes()).collect();
+            let dests: Vec<NodeId> = (0..5)
+                .map(|i| (s + seed * 13 + i * 7 + 1) % mesh.num_nodes())
+                .collect();
             let mc = MulticastSet::new(s, dests);
             for p in dual_path(mesh, &labeling, &mc) {
                 add_path(&mut cdg, p.nodes());
@@ -44,7 +45,9 @@ fn combined_cdg(mesh: &Mesh2D) -> ChannelDependencyGraph {
 fn combined_xy_and_dual_path_cdg_is_cyclic() {
     let mesh = Mesh2D::new(6, 6);
     let cdg = combined_cdg(&mesh);
-    let cycle = cdg.find_cycle().expect("XY + dual-path must create a dependency cycle");
+    let cycle = cdg
+        .find_cycle()
+        .expect("XY + dual-path must create a dependency cycle");
     // The witness chains head-to-tail and closes.
     assert_eq!(cycle.first(), cycle.last());
     for w in cycle.windows(2) {
@@ -69,8 +72,9 @@ fn xy_alone_and_dual_path_alone_are_each_acyclic() {
             }
         }
         for seed in 0..3usize {
-            let dests: Vec<NodeId> =
-                (0..5).map(|i| (s + seed * 13 + i * 7 + 1) % mesh.num_nodes()).collect();
+            let dests: Vec<NodeId> = (0..5)
+                .map(|i| (s + seed * 13 + i * 7 + 1) % mesh.num_nodes())
+                .collect();
             let mc = MulticastSet::new(s, dests);
             for p in dual_path(&mesh, &labeling, &mc) {
                 for w in p.nodes().windows(3) {
@@ -109,7 +113,10 @@ fn mixed_drains(mesh: &Mesh2D, xy_unicasts: bool, seed: u64) -> bool {
             let plan = DeliveryPlan {
                 source: src,
                 destinations: vec![dest],
-                worms: vec![PlanWorm::Path(PlanPath { nodes, class: ClassChoice::Any })],
+                worms: vec![PlanWorm::Path(PlanPath {
+                    nodes,
+                    class: ClassChoice::Any,
+                })],
             };
             engine.inject(&plan);
         }
@@ -126,7 +133,10 @@ fn mixing_xy_unicast_with_dual_path_deadlocks() {
     let mesh = Mesh2D::new(8, 8);
     // Several seeds: at least one must wedge (in practice the first does).
     let wedged = (0..5u64).any(|seed| !mixed_drains(&mesh, true, seed));
-    assert!(wedged, "expected XY+dual-path mixing to wedge under heavy load");
+    assert!(
+        wedged,
+        "expected XY+dual-path mixing to wedge under heavy load"
+    );
 }
 
 #[test]

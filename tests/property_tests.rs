@@ -10,9 +10,7 @@ fn mesh_and_multicast() -> impl Strategy<Value = (Mesh2D, MulticastSet)> {
     (2usize..=9, 2usize..=9).prop_flat_map(|(w, h)| {
         let n = w * h;
         (Just((w, h)), 0..n, proptest::collection::vec(0..n, 1..=12)).prop_map(
-            move |((w, h), src, dests)| {
-                (Mesh2D::new(w, h), MulticastSet::new(src, dests))
-            },
+            move |((w, h), src, dests)| (Mesh2D::new(w, h), MulticastSet::new(src, dests)),
         )
     })
 }

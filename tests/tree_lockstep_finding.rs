@@ -23,12 +23,17 @@ use mcast::prelude::*;
 fn drained(buffer_flits: u32, seed: u64, messages: usize, interarrival_ns: f64) -> bool {
     let mesh = Mesh2D::new(8, 8);
     let router = DoubleChannelTreeRouter::new(mesh);
-    let config = SimConfig { buffer_flits, ..SimConfig::default() };
+    let config = SimConfig {
+        buffer_flits,
+        ..SimConfig::default()
+    };
     let mut engine = Engine::new(Network::new(&mesh, 2), config);
-    let mut gens: Vec<MulticastGen> =
-        (0..mesh.num_nodes()).map(|n| MulticastGen::new(mesh.num_nodes(), seed + n as u64)).collect();
-    let mut next: Vec<u64> =
-        (0..mesh.num_nodes()).map(|n| gens[n].exponential_ns(interarrival_ns)).collect();
+    let mut gens: Vec<MulticastGen> = (0..mesh.num_nodes())
+        .map(|n| MulticastGen::new(mesh.num_nodes(), seed + n as u64))
+        .collect();
+    let mut next: Vec<u64> = (0..mesh.num_nodes())
+        .map(|n| gens[n].exponential_ns(interarrival_ns))
+        .collect();
     for _ in 0..messages {
         let (node, &t) = next
             .iter()
