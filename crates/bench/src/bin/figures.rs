@@ -6,11 +6,13 @@
 //! cargo run -p mcast-bench --release --bin figures -- --smoke  # fast pass
 //! ```
 //!
-//! CSV output lands in `results/`.
+//! CSV output lands in `results/`, along with `BENCH_2.json` — the
+//! perf trajectory of the harness itself (wall-clock per experiment and
+//! simulated-flits/sec probes measured through the obs metrics layer).
 
 use std::path::Path;
 
-use mcast_bench::{experiment_ids, run_experiment, Scale};
+use mcast_bench::{experiment_ids, run_experiment, PerfRecorder, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,9 +29,9 @@ fn main() {
         ids
     };
     let out_dir = Path::new("results");
+    let mut perf = PerfRecorder::new();
     for id in &ids {
-        let start = std::time::Instant::now();
-        let tables = run_experiment(id, &scale);
+        let (tables, wall_ms) = perf.time(id, || run_experiment(id, &scale));
         for t in &tables {
             print!("{}", t.render());
             if let Err(e) = t.write_csv(out_dir) {
@@ -37,6 +39,17 @@ fn main() {
             }
             println!();
         }
-        eprintln!("[{id}] done in {:.1?}", start.elapsed());
+        eprintln!("[{id}] done in {wall_ms:.1} ms");
+    }
+    perf.run_standard_probes(&scale);
+    for p in perf.probes() {
+        eprintln!(
+            "[probe {}] {:.2e} simulated flits/sec ({} flits in {:.1} ms)",
+            p.name, p.flits_per_sec, p.sim_flits, p.wall_ms
+        );
+    }
+    match perf.write_bench2(out_dir) {
+        Ok(()) => eprintln!("wrote {}", out_dir.join("BENCH_2.json").display()),
+        Err(e) => eprintln!("warning: could not write BENCH_2.json: {e}"),
     }
 }

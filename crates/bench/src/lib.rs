@@ -14,10 +14,12 @@ pub mod figures_ch2;
 pub mod figures_dynamic;
 pub mod figures_fault;
 pub mod figures_static;
+pub mod perf;
 pub mod report;
 pub mod scale;
 pub mod tables5;
 
+pub use perf::PerfRecorder;
 pub use report::Table;
 pub use scale::Scale;
 

@@ -1,0 +1,212 @@
+//! Performance trajectory of the harness itself: wall-clock per
+//! experiment plus instrumented *simulator throughput* probes
+//! (simulated flits per wall-clock second, measured through the
+//! `mcast-obs` metrics layer), written to `results/BENCH_2.json`.
+//!
+//! Wall time is sampled here, once, and flows into the JSON file
+//! alongside the obs counters — the figure harness no longer scatters
+//! ad-hoc `Instant` timing over stdout-only prints.
+
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use mcast_obs::{validate_json, Metrics};
+use mcast_sim::routers::{DualPathRouter, MultiPathMeshRouter, MulticastRouter};
+use mcast_topology::Mesh2D;
+use mcast_workload::{run_dynamic_with_sink, DynamicConfig};
+
+use crate::scale::Scale;
+
+/// One timed experiment (a figure/table regeneration).
+#[derive(Debug, Clone)]
+pub struct ExperimentTiming {
+    /// Experiment id (see [`crate::experiment_ids`]).
+    pub id: String,
+    /// Wall-clock time spent, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// One instrumented simulator-throughput probe.
+#[derive(Debug, Clone)]
+pub struct ProbeResult {
+    /// Probe name (topology + routing scheme).
+    pub name: String,
+    /// Wall-clock time of the probe run, milliseconds.
+    pub wall_ms: f64,
+    /// Flits transferred in simulation (from the obs metrics sink).
+    pub sim_flits: u64,
+    /// Simulated time covered, nanoseconds.
+    pub sim_ns: u64,
+    /// Messages completed in simulation.
+    pub completed: u64,
+    /// Simulated flits processed per wall-clock second — the harness's
+    /// headline throughput number.
+    pub flits_per_sec: f64,
+}
+
+/// Accumulates experiment timings and probe results, then renders
+/// `BENCH_2.json`.
+#[derive(Debug, Clone, Default)]
+pub struct PerfRecorder {
+    experiments: Vec<ExperimentTiming>,
+    probes: Vec<ProbeResult>,
+}
+
+impl PerfRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, recording its wall-clock time under `id`. Returns
+    /// `f`'s result and the elapsed milliseconds.
+    pub fn time<T>(&mut self, id: &str, f: impl FnOnce() -> T) -> (T, f64) {
+        let start = Instant::now();
+        let out = f();
+        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        self.experiments.push(ExperimentTiming {
+            id: id.to_string(),
+            wall_ms,
+        });
+        (out, wall_ms)
+    }
+
+    /// Runs one instrumented dynamic scenario and records simulator
+    /// throughput: a `Metrics` sink counts flit hops while the wall
+    /// clock runs.
+    pub fn probe(
+        &mut self,
+        name: &str,
+        mesh: Mesh2D,
+        router: &dyn MulticastRouter,
+        cfg: &DynamicConfig,
+    ) -> &ProbeResult {
+        let metrics = Metrics::new();
+        let start = Instant::now();
+        let result = run_dynamic_with_sink(&mesh, router, cfg, Some(Box::new(metrics.clone())));
+        let wall_s = start.elapsed().as_secs_f64();
+        let snap = metrics.snapshot();
+        self.probes.push(ProbeResult {
+            name: name.to_string(),
+            wall_ms: wall_s * 1000.0,
+            sim_flits: snap.flits,
+            sim_ns: result.sim_time_ns,
+            completed: snap.completed,
+            flits_per_sec: if wall_s > 0.0 {
+                snap.flits as f64 / wall_s
+            } else {
+                0.0
+            },
+        });
+        self.probes.last().expect("just pushed")
+    }
+
+    /// Runs the standard probe set: the 8×8-mesh dual-path and
+    /// multi-path schemes under moderate Poisson load, at this scale's
+    /// statistics effort.
+    pub fn run_standard_probes(&mut self, scale: &Scale) {
+        let mesh = Mesh2D::new(8, 8);
+        let cfg = DynamicConfig {
+            mean_interarrival_ns: 400_000.0,
+            destinations: 8,
+            ..scale.dynamic_config()
+        };
+        self.probe("mesh8x8/dual-path", mesh, &DualPathRouter::mesh(mesh), &cfg);
+        self.probe(
+            "mesh8x8/multi-path",
+            mesh,
+            &MultiPathMeshRouter::new(mesh),
+            &cfg,
+        );
+    }
+
+    /// Recorded experiment timings.
+    pub fn experiments(&self) -> &[ExperimentTiming] {
+        &self.experiments
+    }
+
+    /// Recorded probe results.
+    pub fn probes(&self) -> &[ProbeResult] {
+        &self.probes
+    }
+
+    /// Renders the `BENCH_2.json` document (always valid JSON; the
+    /// total wall time is included for trend lines across commits).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": \"mcast-bench-perf-v2\",\n");
+        let total: f64 = self.experiments.iter().map(|e| e.wall_ms).sum();
+        s.push_str(&format!("  \"total_wall_ms\": {:.3},\n", total));
+        s.push_str("  \"experiments\": [\n");
+        for (i, e) in self.experiments.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"wall_ms\": {:.3}}}{}\n",
+                e.id,
+                e.wall_ms,
+                if i + 1 < self.experiments.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n  \"probes\": [\n");
+        for (i, p) in self.probes.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_flits\": {}, \
+                 \"sim_ns\": {}, \"completed\": {}, \"flits_per_sec\": {:.1}}}{}\n",
+                p.name,
+                p.wall_ms,
+                p.sim_flits,
+                p.sim_ns,
+                p.completed,
+                p.flits_per_sec,
+                if i + 1 < self.probes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        debug_assert!(validate_json(&s).is_ok(), "BENCH_2.json must be valid");
+        s
+    }
+
+    /// Writes `BENCH_2.json` into `dir` (created if needed).
+    pub fn write_bench2(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("BENCH_2.json"), self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_and_probes_land_in_valid_json() {
+        let mut rec = PerfRecorder::new();
+        let ((), wall) = rec.time("unit", || std::thread::sleep(std::time::Duration::ZERO));
+        assert!(wall >= 0.0);
+        let mesh = Mesh2D::new(4, 4);
+        let cfg = DynamicConfig {
+            warmup: 20,
+            batch_size: 10,
+            min_batches: 2,
+            max_batches: 3,
+            destinations: 3,
+            mean_interarrival_ns: 500_000.0,
+            ..DynamicConfig::default()
+        };
+        let p = rec.probe("mesh4x4/dual-path", mesh, &DualPathRouter::mesh(mesh), &cfg);
+        assert!(p.sim_flits > 0, "probe must observe flit hops");
+        assert!(p.sim_ns > 0);
+        let json = rec.to_json();
+        validate_json(&json).expect("BENCH_2.json parses");
+        assert!(json.contains("\"experiments\""));
+        assert!(json.contains("mesh4x4/dual-path"));
+    }
+
+    #[test]
+    fn empty_recorder_still_valid() {
+        let rec = PerfRecorder::new();
+        validate_json(&rec.to_json()).unwrap();
+    }
+}

@@ -1,10 +1,14 @@
 //! Subcommand implementations for the `mcast` CLI.
 
 use mcast_core::model::{MulticastRoute, MulticastSet};
+use mcast_obs::{
+    chrome_trace, latency_csv, utilization_csv, Metrics, MetricsSnapshot, Recording, Sink, Tee,
+    TraceMeta, TraceOptions,
+};
 use mcast_sim::deadlock::{
     fig_6_1_broadcasts, fig_6_4_multicasts, run_closed_scenario, run_closed_scenario_recovering,
 };
-use mcast_sim::engine::SimConfig;
+use mcast_sim::engine::{Engine, SimConfig};
 use mcast_sim::network::Network;
 use mcast_sim::recovery::{
     FaultDualPathRouter, FaultMultiPathRouter, FaultMulticastRouter, ObliviousRouter,
@@ -18,6 +22,7 @@ use mcast_topology::hamiltonian::{hypercube_cycle, mesh2d_cycle};
 use mcast_topology::labeling::{hypercube_gray, mesh2d_snake};
 use mcast_topology::{Hypercube, Mesh2D, Topology};
 use mcast_workload::fault_sweep::{run_fault_sweep, FaultSweepConfig, FaultSweepRow};
+use mcast_workload::gen::MulticastGen;
 use mcast_workload::{run_dynamic, DynamicConfig};
 
 use crate::args::{parse_dims, parse_nodes, ArgError, Args};
@@ -34,6 +39,13 @@ USAGE:
   mcast fault-sweep --topology <T> [--algorithm <A>] [--fault-rates 0,0.02,0.05,0.1]
                  [--messages <N>] [--dests <K>] [--seed <S>]
                  [--format table|csv|json] [--keep-connected true|false]
+  mcast trace    [--topology <T>] [--algorithm <A>] [--pattern hotspot|uniform]
+                 [--messages <N>] [--dests <K>] [--interarrival-us <F>] [--seed <S>]
+                 [--out trace.json] [--metrics-out <F>] [--util-csv <F>]
+                 [--latency-csv <F>] [--flits true]
+  mcast metrics  [--topology <T>] [--algorithm <A>] [--pattern hotspot|uniform]
+                 [--messages <N>] [--dests <K>] [--interarrival-us <F>] [--seed <S>]
+                 [--out <F>] [--json true]
   mcast help
 
 TOPOLOGIES:   mesh:WxH   cube:N
@@ -42,6 +54,8 @@ ALGORITHMS:   dual-path  multi-path  fixed-path  vc-multi-path:<lanes>
 ROUTE-ONLY:   sorted-mp  greedy-st  divided-greedy (mesh)
 FAULT-SWEEP:  dual-path and multi-path plan around faults; any other
               algorithm runs fault-oblivious under abort-and-retry
+TRACE:        trace.json is Chrome trace-event JSON — open it at
+              ui.perfetto.dev (or chrome://tracing)
 NODES:        decimal ids, or 0b... binary addresses on cubes";
 
 enum Topo {
@@ -522,6 +536,264 @@ pub fn fault_sweep(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Traffic/observability parameters shared by `trace` and `metrics`.
+struct TraceRun {
+    pattern: String,
+    messages: usize,
+    destinations: usize,
+    mean_interarrival_ns: f64,
+    seed: u64,
+}
+
+impl TraceRun {
+    fn from_args(a: &Args) -> Result<TraceRun, ArgError> {
+        let pattern = a.get_or("pattern", "hotspot").to_string();
+        if pattern != "hotspot" && pattern != "uniform" {
+            return Err(ArgError(format!(
+                "unknown pattern {pattern:?} (expected hotspot or uniform)"
+            )));
+        }
+        Ok(TraceRun {
+            pattern,
+            messages: a.number("messages", 128)?,
+            destinations: a.number("dests", 5)?,
+            mean_interarrival_ns: a.number::<f64>("interarrival-us", 60.0)? * 1000.0,
+            seed: a.number("seed", 7)?,
+        })
+    }
+}
+
+/// The hot-spot node of a topology: the mesh center, or the mid-address
+/// cube node — every hot-spot multicast addresses it, concentrating
+/// contention the way §7.2's non-uniform loads do.
+fn hotspot_node(topo: &Topo) -> usize {
+    match topo {
+        Topo::Mesh(m) => m.node(m.width() / 2, m.height() / 2),
+        Topo::Cube(c) => c.num_nodes() / 2,
+    }
+}
+
+fn topo_nodes(topo: &Topo) -> usize {
+    match topo {
+        Topo::Mesh(m) => m.num_nodes(),
+        Topo::Cube(c) => c.num_nodes(),
+    }
+}
+
+/// Human-readable channel labels for the trace/heatmap exporters.
+fn channel_names(topo: &Topo, network: &Network) -> Vec<String> {
+    (0..network.num_channels())
+        .map(|id| {
+            let c = network.channel(id);
+            match topo {
+                Topo::Mesh(m) => {
+                    let (fx, fy) = m.coords(c.from);
+                    let (tx, ty) = m.coords(c.to);
+                    format!("({fx},{fy})->({tx},{ty}) c{}", c.class)
+                }
+                Topo::Cube(cu) => format!(
+                    "{}->{} c{}",
+                    cu.format_addr(c.from),
+                    cu.format_addr(c.to),
+                    c.class
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Injects `run.messages` Poisson-arrival multicasts (per-node
+/// generators, as in the §7.2 dynamic experiments) through `router` with
+/// the given sink installed, then drains the network. Returns whether
+/// the network quiesced and the final simulated time (ns).
+fn run_traffic(
+    topo: &Topo,
+    router: &dyn MulticastRouter,
+    run: &TraceRun,
+    sink: Box<dyn Sink>,
+) -> (bool, u64) {
+    let network = match topo {
+        Topo::Mesh(m) => Network::new(m, router.required_classes()),
+        Topo::Cube(c) => Network::new(c, router.required_classes()),
+    };
+    let mut engine = Engine::new(network, SimConfig::default());
+    engine.set_sink(sink);
+    let n = topo_nodes(topo);
+    let hot = hotspot_node(topo);
+    let k = run.destinations.min(n - 1);
+    let mut gen = MulticastGen::new(n, run.seed);
+    let mut next_gen: Vec<(u64, usize)> = (0..n)
+        .map(|node| (gen.exponential_ns(run.mean_interarrival_ns), node))
+        .collect();
+    for _ in 0..run.messages {
+        let (&(t, node), _) = next_gen
+            .iter()
+            .zip(0..)
+            .min_by_key(|((t, node), _)| (*t, *node))
+            .expect("generators exist");
+        engine.run_until(t);
+        let mut mc = gen.multicast_distinct(node, k);
+        if run.pattern == "hotspot" && node != hot && !mc.destinations.contains(&hot) {
+            mc.destinations[0] = hot;
+            mc = MulticastSet::new(node, mc.destinations);
+        }
+        engine.inject(&router.plan(&mc));
+        next_gen[node].0 = t + gen.exponential_ns(run.mean_interarrival_ns);
+    }
+    let quiesced = engine.run_to_quiescence();
+    (quiesced, engine.now())
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), ArgError> {
+    std::fs::write(path, contents).map_err(|e| ArgError(format!("writing {path}: {e}")))
+}
+
+fn print_latency_summary(snap: &MetricsSnapshot) {
+    let h = &snap.latency_ns;
+    if h.count() > 0 {
+        println!(
+            "latency: p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, max {:.1} us ({} messages)",
+            h.p50() as f64 / 1000.0,
+            h.p90() as f64 / 1000.0,
+            h.p99() as f64 / 1000.0,
+            h.max() as f64 / 1000.0,
+            h.count()
+        );
+    }
+}
+
+/// `mcast trace …` — run a traced scenario and export a Chrome
+/// trace-event JSON file (Perfetto-loadable), plus optional metrics /
+/// CSV side channels.
+pub fn trace(a: &Args) -> Result<(), ArgError> {
+    let topo = parse_topology(a.get_or("topology", "mesh:16x16"))?;
+    let router = make_router(&topo, a.get_or("algorithm", "dual-path"))?;
+    let run = TraceRun::from_args(a)?;
+    let out = a.get_or("out", "trace.json");
+
+    let recording = Recording::new();
+    let metrics = Metrics::new();
+    let sink = Tee::new()
+        .with(Box::new(recording.clone()))
+        .with(Box::new(metrics.clone()));
+    let (quiesced, finished_ns) = run_traffic(&topo, router.as_ref(), &run, Box::new(sink));
+
+    let network = match &topo {
+        Topo::Mesh(m) => Network::new(m, router.required_classes()),
+        Topo::Cube(c) => Network::new(c, router.required_classes()),
+    };
+    let meta = TraceMeta {
+        channel_names: channel_names(&topo, &network),
+    };
+    let events = recording.take();
+    let snap = metrics.snapshot();
+
+    let flits = a.get_or("flits", "false") == "true";
+    write_file(out, &chrome_trace(&events, &meta, &TraceOptions { flits }))?;
+    if let Some(path) = a.options.get("metrics-out") {
+        write_file(path, &snap.to_registry().to_json())?;
+    }
+    if let Some(path) = a.options.get("util-csv") {
+        write_file(path, &utilization_csv(&snap, &meta))?;
+    }
+    if let Some(path) = a.options.get("latency-csv") {
+        write_file(path, &latency_csv(&events))?;
+    }
+
+    println!(
+        "{}: {} events from {} messages ({} pattern) -> {out}",
+        router.name(),
+        events.len(),
+        run.messages,
+        run.pattern
+    );
+    println!(
+        "simulated {:.1} us, {} completed, {} flit hops{}",
+        finished_ns as f64 / 1000.0,
+        snap.completed,
+        snap.flits,
+        if quiesced { "" } else { " — DID NOT QUIESCE" }
+    );
+    print_latency_summary(&snap);
+    println!("open {out} at ui.perfetto.dev (or chrome://tracing)");
+    Ok(())
+}
+
+/// Renders per-node peak outgoing-channel utilization as an ASCII
+/// heatmap of the mesh (top row = highest y, matching Fig 3.2's layout).
+fn mesh_heatmap(m: &Mesh2D, network: &Network, snap: &MetricsSnapshot) -> String {
+    const SHADES: &[u8] = b".:-=+*#%@";
+    let mut util = vec![0.0f64; m.num_nodes()];
+    for id in 0..network.num_channels() {
+        let c = network.channel(id);
+        let u = snap.utilization(id);
+        if u > util[c.from] {
+            util[c.from] = u;
+        }
+    }
+    let mut out = String::new();
+    for y in (0..m.height()).rev() {
+        for x in 0..m.width() {
+            let u = util[m.node(x, y)];
+            let idx = ((u * SHADES.len() as f64) as usize).min(SHADES.len() - 1);
+            out.push(if u == 0.0 { ' ' } else { SHADES[idx] as char });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// `mcast metrics …` — run a scenario under the metrics collector only
+/// and print the snapshot: counters, latency percentiles, and (on
+/// meshes) a per-node channel-utilization heatmap.
+pub fn metrics(a: &Args) -> Result<(), ArgError> {
+    let topo = parse_topology(a.get_or("topology", "mesh:16x16"))?;
+    let router = make_router(&topo, a.get_or("algorithm", "dual-path"))?;
+    let run = TraceRun::from_args(a)?;
+
+    let metrics = Metrics::new();
+    let (quiesced, finished_ns) =
+        run_traffic(&topo, router.as_ref(), &run, Box::new(metrics.clone()));
+    let snap = metrics.snapshot();
+    let registry = snap.to_registry();
+
+    if let Some(path) = a.options.get("out") {
+        write_file(path, &registry.to_json())?;
+    }
+    if a.get_or("json", "false") == "true" {
+        println!("{}", registry.to_json());
+        return Ok(());
+    }
+
+    println!(
+        "{}: {} messages ({} pattern), simulated {:.1} us{}",
+        router.name(),
+        run.messages,
+        run.pattern,
+        finished_ns as f64 / 1000.0,
+        if quiesced { "" } else { " — DID NOT QUIESCE" }
+    );
+    println!(
+        "injected {}, completed {}, aborted {}, {} destination deliveries, {} flit hops",
+        snap.injected, snap.completed, snap.aborted, snap.delivered, snap.flits
+    );
+    print_latency_summary(&snap);
+    let peak = (0..snap.channels.len())
+        .map(|i| snap.utilization(i))
+        .fold(0.0f64, f64::max);
+    println!("peak channel utilization: {:.1}%", peak * 100.0);
+    if let Topo::Mesh(m) = &topo {
+        let network = Network::new(m, router.required_classes());
+        println!(
+            "per-node peak outgoing utilization ({}x{} mesh):",
+            m.width(),
+            m.height()
+        );
+        print!("{}", mesh_heatmap(m, &network, &snap));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -666,6 +938,73 @@ mod tests {
             "yaml"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn trace_command_emits_valid_chrome_trace() {
+        let dir = std::env::temp_dir();
+        let out = dir.join("mcast_cli_test_trace.json");
+        let mout = dir.join("mcast_cli_test_metrics.json");
+        let ucsv = dir.join("mcast_cli_test_util.csv");
+        trace(&args(&[
+            "trace",
+            "--topology",
+            "mesh:6x6",
+            "--messages",
+            "40",
+            "--dests",
+            "4",
+            "--interarrival-us",
+            "40",
+            "--out",
+            out.to_str().unwrap(),
+            "--metrics-out",
+            mout.to_str().unwrap(),
+            "--util-csv",
+            ucsv.to_str().unwrap(),
+            "--flits",
+            "true",
+        ]))
+        .unwrap();
+        let s = std::fs::read_to_string(&out).unwrap();
+        mcast_obs::validate_json(&s).unwrap_or_else(|e| panic!("trace JSON invalid: {e}"));
+        assert!(s.contains("traceEvents"));
+        let m = std::fs::read_to_string(&mout).unwrap();
+        mcast_obs::validate_json(&m).unwrap_or_else(|e| panic!("metrics JSON invalid: {e}"));
+        assert!(m.contains("latency.ns"));
+        assert!(std::fs::read_to_string(&ucsv)
+            .unwrap()
+            .starts_with("channel,"));
+        for p in [&out, &mout, &ucsv] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn metrics_command_runs_on_mesh_and_cube() {
+        metrics(&args(&[
+            "metrics",
+            "--topology",
+            "mesh:6x6",
+            "--messages",
+            "30",
+            "--pattern",
+            "hotspot",
+        ]))
+        .unwrap();
+        metrics(&args(&[
+            "metrics",
+            "--topology",
+            "cube:4",
+            "--messages",
+            "20",
+            "--pattern",
+            "uniform",
+            "--json",
+            "true",
+        ]))
+        .unwrap();
+        assert!(metrics(&args(&["metrics", "--pattern", "nope"])).is_err());
     }
 
     #[test]

@@ -29,6 +29,8 @@ fn main() {
         "simulate" => commands::simulate(&parsed),
         "deadlock" => commands::deadlock(&parsed),
         "fault-sweep" => commands::fault_sweep(&parsed),
+        "trace" => commands::trace(&parsed),
+        "metrics" => commands::metrics(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -1,0 +1,408 @@
+//! The online metrics collector: a [`Sink`] that folds the event stream
+//! into per-channel utilization, blocked-time, and latency histograms
+//! as the simulation runs — no event log retained.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::event::SimEvent;
+use crate::metrics::{Histogram, Registry};
+use crate::sink::Sink;
+
+/// Aggregates for one channel of the simulated fabric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Time the channel spent transferring flits (ns).
+    pub busy_ns: u64,
+    /// Time requests spent queued on this channel (ns) — the
+    /// contention signal; can exceed elapsed time when several worms
+    /// queue at once.
+    pub blocked_ns: u64,
+    /// Grants.
+    pub acquires: u64,
+    /// Requests that had to queue.
+    pub blocks: u64,
+    /// Releases.
+    pub releases: u64,
+    /// Flits transferred.
+    pub flits: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    end_ns: u64,
+    channels: Vec<ChannelStats>,
+    /// Open blocked intervals: (channel, message) → enqueue time.
+    blocked_since: HashMap<(usize, usize), u64>,
+    latency_ns: Histogram,
+    injected: u64,
+    completed: u64,
+    aborted: u64,
+    delivered: u64,
+    stalls: u64,
+    flits: u64,
+    link_failures: u64,
+    node_failures: u64,
+    recovery_aborts: u64,
+    recovery_retries: u64,
+    recovery_drops: u64,
+    recovery_completions: u64,
+}
+
+impl State {
+    fn chan(&mut self, id: usize) -> &mut ChannelStats {
+        if id >= self.channels.len() {
+            self.channels.resize(id + 1, ChannelStats::default());
+        }
+        &mut self.channels[id]
+    }
+
+    fn close_blocked(&mut self, channel: usize, message: usize, at: u64) {
+        if let Some(t0) = self.blocked_since.remove(&(channel, message)) {
+            self.chan(channel).blocked_ns += at.saturating_sub(t0);
+        }
+    }
+
+    fn close_all_blocked_of(&mut self, message: usize, at: u64) {
+        let open: Vec<(usize, usize)> = self
+            .blocked_since
+            .keys()
+            .filter(|&&(_, m)| m == message)
+            .copied()
+            .collect();
+        for (c, m) in open {
+            self.close_blocked(c, m, at);
+        }
+    }
+
+    fn fold(&mut self, ev: &SimEvent) {
+        self.end_ns = self.end_ns.max(match *ev {
+            SimEvent::FlitHop { end, .. } => end,
+            other => other.at(),
+        });
+        match *ev {
+            SimEvent::MessageInjected { .. } => self.injected += 1,
+            SimEvent::ChannelAcquired {
+                at,
+                channel,
+                message,
+            } => {
+                self.chan(channel).acquires += 1;
+                self.close_blocked(channel, message, at);
+            }
+            SimEvent::ChannelBlocked {
+                at,
+                channel,
+                message,
+            } => {
+                self.chan(channel).blocks += 1;
+                self.blocked_since.insert((channel, message), at);
+            }
+            SimEvent::ChannelReleased { channel, .. } => self.chan(channel).releases += 1,
+            SimEvent::FlitHop {
+                start,
+                end,
+                channel,
+                ..
+            } => {
+                let c = self.chan(channel);
+                c.busy_ns += end - start;
+                c.flits += 1;
+                self.flits += 1;
+            }
+            SimEvent::Delivered { .. } => self.delivered += 1,
+            SimEvent::MessageCompleted {
+                at,
+                message,
+                latency_ns,
+            } => {
+                self.completed += 1;
+                self.latency_ns.record(latency_ns);
+                self.close_all_blocked_of(message, at);
+            }
+            SimEvent::MessageAborted { at, message, .. } => {
+                self.aborted += 1;
+                self.close_all_blocked_of(message, at);
+            }
+            SimEvent::WormStalled { .. } => self.stalls += 1,
+            SimEvent::LinkFailed { .. } => self.link_failures += 1,
+            SimEvent::NodeFailed { .. } => self.node_failures += 1,
+            SimEvent::RecoveryAborted { .. } => self.recovery_aborts += 1,
+            SimEvent::RecoveryRetried { .. } => self.recovery_retries += 1,
+            SimEvent::RecoveryDropped { .. } => self.recovery_drops += 1,
+            SimEvent::RecoveryCompleted { .. } => self.recovery_completions += 1,
+        }
+    }
+}
+
+/// A point-in-time copy of everything the collector aggregated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Latest event timestamp seen (ns) — the utilization denominator.
+    pub end_ns: u64,
+    /// Per-channel aggregates, indexed by the engine's channel id.
+    /// Channels that never saw an event hold zeroes.
+    pub channels: Vec<ChannelStats>,
+    /// Message network latency, in nanoseconds.
+    pub latency_ns: Histogram,
+    /// Messages injected.
+    pub injected: u64,
+    /// Messages fully delivered.
+    pub completed: u64,
+    /// Messages aborted out of the network.
+    pub aborted: u64,
+    /// Destination deliveries.
+    pub delivered: u64,
+    /// Worms stalled on all-dead hops.
+    pub stalls: u64,
+    /// Flits transferred across all channels.
+    pub flits: u64,
+    /// Link failures observed.
+    pub link_failures: u64,
+    /// Node failures observed.
+    pub node_failures: u64,
+    /// Recovery watchdog aborts.
+    pub recovery_aborts: u64,
+    /// Recovery re-injections.
+    pub recovery_retries: u64,
+    /// Recovery drops (budget exhausted).
+    pub recovery_drops: u64,
+    /// Recovery logical-message completions.
+    pub recovery_completions: u64,
+}
+
+impl MetricsSnapshot {
+    /// Utilization of one channel over the observed span (`0.0..=1.0`;
+    /// 0 when nothing was observed).
+    pub fn utilization(&self, channel: usize) -> f64 {
+        if self.end_ns == 0 {
+            return 0.0;
+        }
+        self.channels
+            .get(channel)
+            .map_or(0.0, |c| c.busy_ns as f64 / self.end_ns as f64)
+    }
+
+    /// Folds the snapshot into a named [`Registry`] (the `mcast
+    /// metrics` / JSON-snapshot surface).
+    pub fn to_registry(&self) -> Registry {
+        let mut r = Registry::new();
+        r.inc("messages.injected", self.injected);
+        r.inc("messages.completed", self.completed);
+        r.inc("messages.aborted", self.aborted);
+        r.inc("messages.delivered_destinations", self.delivered);
+        r.inc("engine.flits", self.flits);
+        r.inc("engine.worm_stalls", self.stalls);
+        r.inc("faults.link_failures", self.link_failures);
+        r.inc("faults.node_failures", self.node_failures);
+        r.inc("recovery.aborts", self.recovery_aborts);
+        r.inc("recovery.retries", self.recovery_retries);
+        r.inc("recovery.drops", self.recovery_drops);
+        r.inc("recovery.completed", self.recovery_completions);
+        r.set("time.end_ns", self.end_ns as f64);
+        let mut busy = 0u64;
+        let mut blocked = 0u64;
+        let mut acquires = 0u64;
+        let mut blocks = 0u64;
+        let mut peak = 0.0f64;
+        for (i, c) in self.channels.iter().enumerate() {
+            busy += c.busy_ns;
+            blocked += c.blocked_ns;
+            acquires += c.acquires;
+            blocks += c.blocks;
+            peak = peak.max(self.utilization(i));
+        }
+        r.inc("channels.busy_ns", busy);
+        r.inc("channels.blocked_ns", blocked);
+        r.inc("channels.acquires", acquires);
+        r.inc("channels.blocks", blocks);
+        r.set("channels.peak_utilization", peak);
+        if self.end_ns > 0 && !self.channels.is_empty() {
+            r.set(
+                "channels.mean_utilization",
+                busy as f64 / self.end_ns as f64 / self.channels.len() as f64,
+            );
+        }
+        r.insert_histogram("latency.ns", self.latency_ns.clone());
+        r
+    }
+}
+
+/// The shared-handle metrics sink: clone one handle into the engine,
+/// keep the other to [`snapshot`](Metrics::snapshot) after the run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    state: Arc<Mutex<State>>,
+}
+
+impl Metrics {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out the current aggregates. Open blocked intervals are
+    /// charged up to the latest observed time.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let s = self.state.lock().expect("metrics lock");
+        let mut channels = s.channels.clone();
+        let end = s.end_ns;
+        for (&(c, _), &t0) in &s.blocked_since {
+            if c >= channels.len() {
+                channels.resize(c + 1, ChannelStats::default());
+            }
+            channels[c].blocked_ns += end.saturating_sub(t0);
+        }
+        MetricsSnapshot {
+            end_ns: end,
+            channels,
+            latency_ns: s.latency_ns.clone(),
+            injected: s.injected,
+            completed: s.completed,
+            aborted: s.aborted,
+            delivered: s.delivered,
+            stalls: s.stalls,
+            flits: s.flits,
+            link_failures: s.link_failures,
+            node_failures: s.node_failures,
+            recovery_aborts: s.recovery_aborts,
+            recovery_retries: s.recovery_retries,
+            recovery_drops: s.recovery_drops,
+            recovery_completions: s.recovery_completions,
+        }
+    }
+}
+
+impl Sink for Metrics {
+    fn record(&mut self, ev: &SimEvent) {
+        self.state.lock().expect("metrics lock").fold(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(events: &[SimEvent]) -> MetricsSnapshot {
+        let m = Metrics::new();
+        let mut sink = m.clone();
+        for e in events {
+            sink.record(e);
+        }
+        m.snapshot()
+    }
+
+    #[test]
+    fn busy_and_utilization_accumulate() {
+        let snap = feed(&[
+            SimEvent::FlitHop {
+                start: 0,
+                end: 400,
+                channel: 2,
+                message: 0,
+                flit: 0,
+            },
+            SimEvent::FlitHop {
+                start: 400,
+                end: 800,
+                channel: 2,
+                message: 0,
+                flit: 1,
+            },
+            SimEvent::FlitHop {
+                start: 0,
+                end: 1000,
+                channel: 0,
+                message: 1,
+                flit: 0,
+            },
+        ]);
+        assert_eq!(snap.flits, 3);
+        assert_eq!(snap.channels[2].busy_ns, 800);
+        assert_eq!(snap.channels[2].flits, 2);
+        assert_eq!(snap.end_ns, 1000);
+        assert!((snap.utilization(2) - 0.8).abs() < 1e-12);
+        assert_eq!(snap.utilization(7), 0.0, "unknown channel is idle");
+    }
+
+    #[test]
+    fn blocked_interval_closes_on_acquire() {
+        let snap = feed(&[
+            SimEvent::ChannelBlocked {
+                at: 100,
+                channel: 3,
+                message: 5,
+            },
+            SimEvent::ChannelAcquired {
+                at: 600,
+                channel: 3,
+                message: 5,
+            },
+        ]);
+        assert_eq!(snap.channels[3].blocked_ns, 500);
+        assert_eq!(snap.channels[3].blocks, 1);
+        assert_eq!(snap.channels[3].acquires, 1);
+    }
+
+    #[test]
+    fn open_blocked_interval_charged_to_snapshot_end() {
+        let snap = feed(&[
+            SimEvent::ChannelBlocked {
+                at: 100,
+                channel: 1,
+                message: 0,
+            },
+            SimEvent::FlitHop {
+                start: 0,
+                end: 1100,
+                channel: 0,
+                message: 9,
+                flit: 0,
+            },
+        ]);
+        assert_eq!(snap.channels[1].blocked_ns, 1000);
+    }
+
+    #[test]
+    fn abort_closes_blocked_intervals() {
+        let snap = feed(&[
+            SimEvent::ChannelBlocked {
+                at: 0,
+                channel: 1,
+                message: 7,
+            },
+            SimEvent::MessageAborted {
+                at: 250,
+                message: 7,
+                delivered: 0,
+                pending: 2,
+            },
+        ]);
+        assert_eq!(snap.channels[1].blocked_ns, 250);
+        assert_eq!(snap.aborted, 1);
+    }
+
+    #[test]
+    fn latency_histogram_and_registry_json() {
+        let snap = feed(&[
+            SimEvent::MessageInjected {
+                at: 0,
+                message: 0,
+                source: 0,
+                worms: 1,
+                destinations: 2,
+            },
+            SimEvent::MessageCompleted {
+                at: 9000,
+                message: 0,
+                latency_ns: 9000,
+            },
+        ]);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.latency_ns.count(), 1);
+        assert_eq!(snap.latency_ns.max(), 9000);
+        let reg = snap.to_registry();
+        crate::export::validate_json(&reg.to_json()).expect("valid JSON");
+        assert!(reg.get("latency.ns").is_some());
+    }
+}

@@ -1,0 +1,222 @@
+//! Typed simulation events.
+//!
+//! Every event carries plain ids (`usize` message/channel/node ids,
+//! `u64` nanosecond timestamps) so this crate stays dependency-free.
+//! The id spaces are the emitting engine's: `channel` indexes its
+//! channel table, `message` is the engine [`MessageId`], and recovery
+//! events carry the supervisor's *logical* message index (one logical
+//! message spans several engine incarnations across retries).
+//!
+//! [`MessageId`]: https://docs.rs/mcast-sim
+
+/// Why a supervised message was torn out of the network — the
+/// dependency-free mirror of the recovery layer's `AbortReason`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortCode {
+    /// The per-message delivery deadline expired.
+    Timeout,
+    /// The engine wedged and this message was picked from the wait-for
+    /// cycle.
+    Deadlock,
+    /// A channel failure severed the worm (or every copy of a hop died).
+    Broken,
+}
+
+/// One observable simulator transition, timestamped in simulated
+/// nanoseconds. All variants are `Copy`: recording an event never
+/// allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A multicast message entered the network.
+    MessageInjected {
+        /// Injection time.
+        at: u64,
+        /// Engine message id.
+        message: usize,
+        /// Source node.
+        source: usize,
+        /// Worms the plan spawned.
+        worms: usize,
+        /// Destination count.
+        destinations: usize,
+    },
+    /// A worm was granted a channel (its header owns the wire).
+    ChannelAcquired {
+        /// Grant time.
+        at: u64,
+        /// Channel id in the engine's table.
+        channel: usize,
+        /// Owning message.
+        message: usize,
+    },
+    /// A worm's channel request queued behind a busy channel — the
+    /// start of a blocked interval.
+    ChannelBlocked {
+        /// Enqueue time.
+        at: u64,
+        /// The channel whose queue holds the request.
+        channel: usize,
+        /// Requesting message.
+        message: usize,
+    },
+    /// A worm released a channel (tail crossed, or the worm aborted).
+    ChannelReleased {
+        /// Release time.
+        at: u64,
+        /// Channel id.
+        channel: usize,
+        /// The message that owned it.
+        message: usize,
+    },
+    /// One flit crossed one channel: the innermost quantum of work.
+    FlitHop {
+        /// Transfer start time.
+        start: u64,
+        /// Transfer completion time (`start + flit_time`, plus the
+        /// routing delay for headers).
+        end: u64,
+        /// Channel crossed.
+        channel: usize,
+        /// Owning message.
+        message: usize,
+        /// Flit index within the message (0 = header).
+        flit: u32,
+    },
+    /// A destination received its tail flit.
+    Delivered {
+        /// Delivery time.
+        at: u64,
+        /// Message id.
+        message: usize,
+        /// The destination node.
+        node: usize,
+    },
+    /// Every destination of a message has been delivered.
+    MessageCompleted {
+        /// Completion time (last destination's tail).
+        at: u64,
+        /// Message id.
+        message: usize,
+        /// Network latency (completion minus injection).
+        latency_ns: u64,
+    },
+    /// A message was torn out of the network by `abort_message`.
+    MessageAborted {
+        /// Abort time.
+        at: u64,
+        /// Message id.
+        message: usize,
+        /// Destinations that had finished before the abort.
+        delivered: usize,
+        /// Destinations still pending (the retry set).
+        pending: usize,
+    },
+    /// A worm found every copy of a needed hop dead: it can never
+    /// advance without recovery intervention.
+    WormStalled {
+        /// Detection time.
+        at: u64,
+        /// Owning message.
+        message: usize,
+    },
+    /// A physical link failed (both directions, all classes).
+    LinkFailed {
+        /// Failure time.
+        at: u64,
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+    /// A node failed (every incident link died).
+    NodeFailed {
+        /// Failure time.
+        at: u64,
+        /// The failed node.
+        node: usize,
+    },
+    /// Recovery: the watchdog aborted a logical message (the *abort* of
+    /// abort–drain–retry).
+    RecoveryAborted {
+        /// Abort time.
+        at: u64,
+        /// Logical message index.
+        message: usize,
+        /// Aborts of this message so far (1 = first).
+        attempt: u32,
+        /// What triggered the abort.
+        reason: AbortCode,
+    },
+    /// Recovery: a logical message was re-planned and re-injected after
+    /// its backoff (the *retry*).
+    RecoveryRetried {
+        /// Re-injection time.
+        at: u64,
+        /// Logical message index.
+        message: usize,
+        /// Abort count preceding this retry.
+        attempt: u32,
+        /// Destinations still pending in the retry plan.
+        pending: usize,
+    },
+    /// Recovery: a logical message exhausted its budget and gave up.
+    RecoveryDropped {
+        /// Drop time.
+        at: u64,
+        /// Logical message index.
+        message: usize,
+        /// Destinations never delivered.
+        undelivered: usize,
+    },
+    /// Recovery: every destination of a logical message was delivered.
+    RecoveryCompleted {
+        /// Completion time.
+        at: u64,
+        /// Logical message index.
+        message: usize,
+    },
+}
+
+impl SimEvent {
+    /// The event's timestamp (for [`SimEvent::FlitHop`], the start).
+    pub fn at(&self) -> u64 {
+        match *self {
+            SimEvent::MessageInjected { at, .. }
+            | SimEvent::ChannelAcquired { at, .. }
+            | SimEvent::ChannelBlocked { at, .. }
+            | SimEvent::ChannelReleased { at, .. }
+            | SimEvent::Delivered { at, .. }
+            | SimEvent::MessageCompleted { at, .. }
+            | SimEvent::MessageAborted { at, .. }
+            | SimEvent::WormStalled { at, .. }
+            | SimEvent::LinkFailed { at, .. }
+            | SimEvent::NodeFailed { at, .. }
+            | SimEvent::RecoveryAborted { at, .. }
+            | SimEvent::RecoveryRetried { at, .. }
+            | SimEvent::RecoveryDropped { at, .. }
+            | SimEvent::RecoveryCompleted { at, .. } => at,
+            SimEvent::FlitHop { start, .. } => start,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_and_copy() {
+        // The hot path constructs these unconditionally cheap.
+        assert!(std::mem::size_of::<SimEvent>() <= 48);
+        let e = SimEvent::FlitHop {
+            start: 1,
+            end: 2,
+            channel: 3,
+            message: 4,
+            flit: 0,
+        };
+        let f = e; // Copy
+        assert_eq!(e, f);
+        assert_eq!(e.at(), 1);
+    }
+}

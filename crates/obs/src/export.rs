@@ -1,0 +1,693 @@
+//! Exporters: Chrome trace-event JSON (Perfetto / `chrome://tracing`),
+//! CSV time series, and a dependency-free JSON validator used by the
+//! round-trip tests and CI.
+//!
+//! The Chrome trace lays the simulation out on two synthetic
+//! "processes": pid 0 (*channels*) has one track per channel showing
+//! ownership slices (and per-flit slices when
+//! [`TraceOptions::flits`] is set), pid 1 (*messages*) has one track
+//! per message showing its network lifetime with delivery instants,
+//! and pid 2 (*faults & recovery*) carries failure and
+//! abort–drain–retry instants. Timestamps are microseconds (the
+//! format's unit), converted from the engine's nanoseconds.
+
+use std::collections::HashMap;
+
+use crate::collect::MetricsSnapshot;
+use crate::event::SimEvent;
+use crate::metrics::json_string;
+
+/// Static labels for a trace: maps the engine's dense ids to names a
+/// human can read in the Perfetto track list.
+#[derive(Debug, Clone, Default)]
+pub struct TraceMeta {
+    /// `channel_names[id]` labels channel `id`'s track, e.g.
+    /// `"(1,2)->(1,3) c0"`. Missing entries fall back to `"ch <id>"`.
+    pub channel_names: Vec<String>,
+}
+
+impl TraceMeta {
+    fn channel_name(&self, id: usize) -> String {
+        self.channel_names
+            .get(id)
+            .cloned()
+            .unwrap_or_else(|| format!("ch {id}"))
+    }
+}
+
+/// Knobs for [`chrome_trace`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceOptions {
+    /// Emit one slice per flit transfer. Faithful but large — a
+    /// 16×16-mesh hot-spot run emits hundreds of thousands of flit
+    /// hops; off by default.
+    pub flits: bool,
+}
+
+const PID_CHANNELS: u32 = 0;
+const PID_MESSAGES: u32 = 1;
+const PID_CONTROL: u32 = 2;
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn complete(name: &str, pid: u32, tid: usize, start_ns: u64, end_ns: u64) -> String {
+    format!(
+        "{{\"name\": {}, \"ph\": \"X\", \"pid\": {pid}, \"tid\": {tid}, \
+         \"ts\": {}, \"dur\": {}}}",
+        json_string(name),
+        us(start_ns),
+        us(end_ns.saturating_sub(start_ns))
+    )
+}
+
+fn instant(name: &str, pid: u32, tid: usize, at_ns: u64) -> String {
+    format!(
+        "{{\"name\": {}, \"ph\": \"i\", \"pid\": {pid}, \"tid\": {tid}, \
+         \"ts\": {}, \"s\": \"t\"}}",
+        json_string(name),
+        us(at_ns)
+    )
+}
+
+fn metadata(kind: &str, pid: u32, tid: usize, name: &str) -> String {
+    format!(
+        "{{\"name\": {}, \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+         \"args\": {{\"name\": {}}}}}",
+        json_string(kind),
+        json_string(name)
+    )
+}
+
+/// Renders an event log as Chrome trace-event JSON
+/// (`{"traceEvents": [...]}`), loadable in Perfetto or
+/// `chrome://tracing`.
+///
+/// Channel-ownership slices open on [`SimEvent::ChannelAcquired`] and
+/// close on the matching [`SimEvent::ChannelReleased`]; message
+/// lifetime slices open on injection and close on completion or
+/// abort. Anything still open when the log ends is closed at the last
+/// observed timestamp so partial runs still render.
+pub fn chrome_trace(events: &[SimEvent], meta: &TraceMeta, opts: &TraceOptions) -> String {
+    let mut out: Vec<String> = vec![
+        metadata("process_name", PID_CHANNELS, 0, "channels"),
+        metadata("process_name", PID_MESSAGES, 0, "messages"),
+        metadata("process_name", PID_CONTROL, 0, "faults & recovery"),
+        metadata("thread_name", PID_CONTROL, 0, "events"),
+    ];
+
+    let end_ns = events
+        .iter()
+        .map(|e| match *e {
+            SimEvent::FlitHop { end, .. } => end,
+            other => other.at(),
+        })
+        .max()
+        .unwrap_or(0);
+
+    // Named tracks for every channel that appears in the log.
+    let mut named_channels: Vec<bool> = Vec::new();
+    let mut name_channel = |out: &mut Vec<String>, id: usize| {
+        if id >= named_channels.len() {
+            named_channels.resize(id + 1, false);
+        }
+        if !named_channels[id] {
+            named_channels[id] = true;
+            out.push(metadata(
+                "thread_name",
+                PID_CHANNELS,
+                id,
+                &meta.channel_name(id),
+            ));
+        }
+    };
+
+    let mut held: HashMap<(usize, usize), u64> = HashMap::new(); // (chan, msg) → acquire ts
+    let mut injected: HashMap<usize, (u64, usize)> = HashMap::new(); // msg → (ts, dests)
+
+    for ev in events {
+        match *ev {
+            SimEvent::MessageInjected {
+                at,
+                message,
+                source,
+                worms,
+                destinations,
+            } => {
+                injected.insert(message, (at, destinations));
+                out.push(metadata(
+                    "thread_name",
+                    PID_MESSAGES,
+                    message,
+                    &format!("msg {message} from n{source}"),
+                ));
+                out.push(instant(
+                    &format!("inject ({worms} worms, {destinations} dests)"),
+                    PID_MESSAGES,
+                    message,
+                    at,
+                ));
+            }
+            SimEvent::ChannelAcquired {
+                at,
+                channel,
+                message,
+            } => {
+                name_channel(&mut out, channel);
+                held.insert((channel, message), at);
+            }
+            SimEvent::ChannelBlocked {
+                at,
+                channel,
+                message,
+            } => {
+                name_channel(&mut out, channel);
+                out.push(instant(
+                    &format!("blocked: msg {message}"),
+                    PID_CHANNELS,
+                    channel,
+                    at,
+                ));
+            }
+            SimEvent::ChannelReleased {
+                at,
+                channel,
+                message,
+            } => {
+                if let Some(t0) = held.remove(&(channel, message)) {
+                    out.push(complete(
+                        &format!("msg {message}"),
+                        PID_CHANNELS,
+                        channel,
+                        t0,
+                        at,
+                    ));
+                }
+            }
+            SimEvent::FlitHop {
+                start,
+                end,
+                channel,
+                message,
+                flit,
+            } => {
+                if opts.flits {
+                    name_channel(&mut out, channel);
+                    out.push(complete(
+                        &format!("flit {flit} (msg {message})"),
+                        PID_CHANNELS,
+                        channel,
+                        start,
+                        end,
+                    ));
+                }
+            }
+            SimEvent::Delivered { at, message, node } => {
+                out.push(instant(
+                    &format!("deliver n{node}"),
+                    PID_MESSAGES,
+                    message,
+                    at,
+                ));
+            }
+            SimEvent::MessageCompleted { at, message, .. } => {
+                if let Some((t0, dests)) = injected.remove(&message) {
+                    out.push(complete(
+                        &format!("msg {message} ({dests} dests)"),
+                        PID_MESSAGES,
+                        message,
+                        t0,
+                        at,
+                    ));
+                }
+            }
+            SimEvent::MessageAborted {
+                at,
+                message,
+                delivered,
+                pending,
+            } => {
+                if let Some((t0, _)) = injected.remove(&message) {
+                    out.push(complete(
+                        &format!("msg {message} ABORTED ({delivered} done, {pending} pending)"),
+                        PID_MESSAGES,
+                        message,
+                        t0,
+                        at,
+                    ));
+                }
+            }
+            SimEvent::WormStalled { at, message } => {
+                out.push(instant(
+                    &format!("worm stalled: msg {message}"),
+                    PID_CONTROL,
+                    0,
+                    at,
+                ));
+            }
+            SimEvent::LinkFailed { at, a, b } => {
+                out.push(instant(&format!("link {a}-{b} failed"), PID_CONTROL, 0, at));
+            }
+            SimEvent::NodeFailed { at, node } => {
+                out.push(instant(&format!("node {node} failed"), PID_CONTROL, 0, at));
+            }
+            SimEvent::RecoveryAborted {
+                at,
+                message,
+                attempt,
+                reason,
+            } => {
+                out.push(instant(
+                    &format!("abort #{attempt} lmsg {message} ({reason:?})"),
+                    PID_CONTROL,
+                    0,
+                    at,
+                ));
+            }
+            SimEvent::RecoveryRetried {
+                at,
+                message,
+                attempt,
+                pending,
+            } => {
+                out.push(instant(
+                    &format!("retry #{attempt} lmsg {message} ({pending} pending)"),
+                    PID_CONTROL,
+                    0,
+                    at,
+                ));
+            }
+            SimEvent::RecoveryDropped {
+                at,
+                message,
+                undelivered,
+            } => {
+                out.push(instant(
+                    &format!("drop lmsg {message} ({undelivered} undelivered)"),
+                    PID_CONTROL,
+                    0,
+                    at,
+                ));
+            }
+            SimEvent::RecoveryCompleted { at, message } => {
+                out.push(instant(
+                    &format!("recovered lmsg {message}"),
+                    PID_CONTROL,
+                    0,
+                    at,
+                ));
+            }
+        }
+    }
+
+    // Close whatever is still open so partial runs render.
+    let mut open: Vec<((usize, usize), u64)> = held.into_iter().collect();
+    open.sort_unstable();
+    for ((channel, message), t0) in open {
+        out.push(complete(
+            &format!("msg {message} (open)"),
+            PID_CHANNELS,
+            channel,
+            t0,
+            end_ns,
+        ));
+    }
+    let mut in_flight: Vec<(usize, (u64, usize))> = injected.into_iter().collect();
+    in_flight.sort_unstable();
+    for (message, (t0, dests)) in in_flight {
+        out.push(complete(
+            &format!("msg {message} ({dests} dests, in flight)"),
+            PID_MESSAGES,
+            message,
+            t0,
+            end_ns,
+        ));
+    }
+
+    let mut json = String::from("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n");
+    json.push_str(&out.join(",\n"));
+    json.push_str("\n]}\n");
+    json
+}
+
+/// Renders per-channel utilization as CSV:
+/// `channel,name,busy_ns,blocked_ns,acquires,blocks,releases,flits,utilization`.
+pub fn utilization_csv(snap: &MetricsSnapshot, meta: &TraceMeta) -> String {
+    let mut out = String::from(
+        "channel,name,busy_ns,blocked_ns,acquires,blocks,releases,flits,utilization\n",
+    );
+    for (i, c) in snap.channels.iter().enumerate() {
+        out.push_str(&format!(
+            "{i},{},{},{},{},{},{},{},{:.6}\n",
+            csv_field(&meta.channel_name(i)),
+            c.busy_ns,
+            c.blocked_ns,
+            c.acquires,
+            c.blocks,
+            c.releases,
+            c.flits,
+            snap.utilization(i)
+        ));
+    }
+    out
+}
+
+/// Renders message completions as a CSV time series:
+/// `completed_at_ns,message,latency_ns`, in completion order.
+pub fn latency_csv(events: &[SimEvent]) -> String {
+    let mut out = String::from("completed_at_ns,message,latency_ns\n");
+    for ev in events {
+        if let SimEvent::MessageCompleted {
+            at,
+            message,
+            latency_ns,
+        } = *ev
+        {
+            out.push_str(&format!("{at},{message},{latency_ns}\n"));
+        }
+    }
+    out
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Checks that `s` is one complete, well-formed JSON value.
+///
+/// A minimal recursive-descent validator (we have no JSON dependency):
+/// used by the exporter tests and the CI trace check to guarantee that
+/// everything this crate emits actually parses.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|x| x as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|x| x as char),
+                self.i
+            )),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => match self.peek() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                        self.i += 1;
+                    }
+                    Some(b'u') => {
+                        self.i += 1;
+                        for _ in 0..4 {
+                            match self.peek() {
+                                Some(h) if h.is_ascii_hexdigit() => self.i += 1,
+                                _ => return Err(format!("bad \\u escape at byte {}", self.i)),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.i)),
+                },
+                0x00..=0x1f => return Err(format!("raw control char at byte {}", self.i - 1)),
+                _ => {}
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| {
+            let start = p.i;
+            while matches!(p.peek(), Some(c) if c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            p.i > start
+        };
+        if !digits(self) {
+            return Err(format!("expected digits at byte {}", self.i));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return Err(format!("expected fraction digits at byte {}", self.i));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return Err(format!("expected exponent digits at byte {}", self.i));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::Metrics;
+    use crate::sink::Sink;
+
+    fn sample_events() -> Vec<SimEvent> {
+        vec![
+            SimEvent::MessageInjected {
+                at: 0,
+                message: 0,
+                source: 0,
+                worms: 2,
+                destinations: 3,
+            },
+            SimEvent::ChannelAcquired {
+                at: 0,
+                channel: 4,
+                message: 0,
+            },
+            SimEvent::ChannelBlocked {
+                at: 100,
+                channel: 4,
+                message: 1,
+            },
+            SimEvent::FlitHop {
+                start: 0,
+                end: 400,
+                channel: 4,
+                message: 0,
+                flit: 0,
+            },
+            SimEvent::Delivered {
+                at: 2000,
+                message: 0,
+                node: 7,
+            },
+            SimEvent::ChannelReleased {
+                at: 2100,
+                channel: 4,
+                message: 0,
+            },
+            SimEvent::MessageCompleted {
+                at: 2100,
+                message: 0,
+                latency_ns: 2100,
+            },
+            SimEvent::LinkFailed {
+                at: 2200,
+                a: 1,
+                b: 2,
+            },
+            SimEvent::RecoveryAborted {
+                at: 2300,
+                message: 1,
+                attempt: 1,
+                reason: crate::event::AbortCode::Timeout,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let meta = TraceMeta {
+            channel_names: (0..8).map(|i| format!("c{i}")).collect(),
+        };
+        let json = chrome_trace(&sample_events(), &meta, &TraceOptions { flits: true });
+        validate_json(&json).expect("chrome trace must parse");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ph\": \"M\""));
+        assert!(json.contains("flit 0"));
+    }
+
+    #[test]
+    fn chrome_trace_closes_open_slices() {
+        let events = vec![
+            SimEvent::MessageInjected {
+                at: 0,
+                message: 3,
+                source: 0,
+                worms: 1,
+                destinations: 1,
+            },
+            SimEvent::ChannelAcquired {
+                at: 10,
+                channel: 1,
+                message: 3,
+            },
+            SimEvent::FlitHop {
+                start: 10,
+                end: 900,
+                channel: 1,
+                message: 3,
+                flit: 0,
+            },
+        ];
+        let json = chrome_trace(&events, &TraceMeta::default(), &TraceOptions::default());
+        validate_json(&json).expect("partial trace must parse");
+        assert!(json.contains("in flight"));
+        assert!(json.contains("(open)"));
+    }
+
+    #[test]
+    fn csv_exports_cover_events() {
+        let events = sample_events();
+        let m = Metrics::new();
+        let mut sink = m.clone();
+        for e in &events {
+            sink.record(e);
+        }
+        let snap = m.snapshot();
+        let util = utilization_csv(&snap, &TraceMeta::default());
+        assert!(util.lines().count() >= 2, "header plus channel rows");
+        assert!(util.starts_with("channel,name,"));
+        let lat = latency_csv(&events);
+        assert_eq!(lat.lines().count(), 2);
+        assert!(lat.contains("2100,0,2100"));
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate_json("{\"a\": [1, 2.5, -3e4, true, null, \"x\\n\"]}").unwrap();
+        validate_json("[]").unwrap();
+        assert!(validate_json("{\"a\": }").is_err());
+        assert!(validate_json("[1, 2,]").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("{} extra").is_err());
+        assert!(validate_json("01").is_ok(), "leading zeros tolerated");
+    }
+}

@@ -1,0 +1,48 @@
+//! Observability for the wormhole simulator (DESIGN.md §9).
+//!
+//! The engine computes every quantity the Chapter 7 evaluation rests on
+//! (channel traffic, message latency, contention) but historically only
+//! exposed terminal-state statistics. This crate is the measurement
+//! layer in between:
+//!
+//! * [`event`] — the typed simulation events (flit hops, channel
+//!   acquire/block/release, worm inject/deliver/abort, recovery
+//!   abort–drain–retry transitions);
+//! * [`sink`] — the [`Sink`] trait the engine emits into, with a no-op
+//!   default, an event [`Recording`], a [`Metrics`] collector and a
+//!   [`Tee`] combinator;
+//! * [`metrics`] — counters, gauges, log-bucketed latency histograms
+//!   (p50/p90/p99/max) and a Welford [`Summary`], grouped in a named
+//!   [`Registry`] with a JSON snapshot;
+//! * [`collect`] — the online [`Metrics`] sink: per-channel busy and
+//!   blocked time, latency histograms, flit/abort/recovery counters;
+//! * [`export`] — Chrome trace-event JSON (loadable in Perfetto or
+//!   `chrome://tracing`), CSV time series, and a dependency-free JSON
+//!   validator for round-trip checks.
+//!
+//! The contract with the engine: instrumentation is *opt-in* and must
+//! never perturb simulation results. A sink only observes — the engine
+//! emits events after its own state transitions, and the determinism
+//! property tests (`tests/observability.rs`) prove a recorded run is
+//! bit-identical to an unrecorded one.
+//!
+//! This crate deliberately depends on nothing: events carry plain
+//! `usize`/`u64` ids so `mcast-sim`, `mcast-workload`, `mcast-bench` and
+//! the CLI can all speak it without cycles.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collect;
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod sink;
+
+pub use collect::{ChannelStats, Metrics, MetricsSnapshot};
+pub use event::{AbortCode, SimEvent};
+pub use export::{
+    chrome_trace, latency_csv, utilization_csv, validate_json, TraceMeta, TraceOptions,
+};
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry, Summary};
+pub use sink::{NullSink, Recording, Sink, Tee};

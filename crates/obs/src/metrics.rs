@@ -1,0 +1,555 @@
+//! The metrics registry: counters, gauges, log-bucketed histograms and
+//! Welford summaries, addressable by name and exportable as one JSON
+//! snapshot.
+//!
+//! [`Histogram`] is the latency workhorse: log₂ octaves with 8 linear
+//! sub-buckets each (HdrHistogram-style), so any `u64` sample lands in
+//! one of ~500 buckets with ≤ 12.5 % relative error on quantiles while
+//! `record` stays a few shifts — cheap enough for per-flit use.
+//! [`Summary`] is the exact running mean/variance accumulator
+//! (Welford) that `mcast-workload`'s batch-means statistics wrap.
+
+use std::collections::BTreeMap;
+
+/// Linear sub-bucket bits per octave (8 sub-buckets).
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count for 64-bit values.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Adds `by` to the count.
+    pub fn inc(&mut self, by: u64) {
+        self.0 += by;
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge(pub f64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&mut self, v: f64) {
+        self.0 = v;
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        self.0
+    }
+}
+
+/// A log-bucketed histogram of `u64` samples (nanoseconds, counts, …).
+///
+/// ```
+/// use mcast_obs::Histogram;
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// assert_eq!(h.max(), 1000);
+/// let p50 = h.quantile(0.5);
+/// assert!((450..=600).contains(&p50), "p50 was {p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) as usize) & (SUB - 1);
+    ((msb - SUB_BITS + 1) as usize) * SUB + sub
+}
+
+/// Lower bound of a bucket (inverse of [`bucket_of`]).
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let octave = (idx / SUB) as u32 + SUB_BITS - 1;
+    let sub = (idx % SUB) as u64;
+    (1u64 << octave) + (sub << (octave - SUB_BITS))
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The approximate `q`-quantile (`0.0 ..= 1.0`): the lower bound of
+    /// the bucket holding the rank, clamped to the exact min/max. The
+    /// bucketing error is at most one sub-bucket (≤ 12.5 %).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q.max(0.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (approximate).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (approximate).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (approximate).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact running mean/variance (Welford), with min/max.
+///
+/// This is the single source of truth for sample statistics:
+/// `mcast_workload::stats::Accumulator` is a thin wrapper adding the
+/// Student-t confidence interval.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        if self.n == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 below two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// One named metric in a [`Registry`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(Counter),
+    /// Instantaneous value.
+    Gauge(Gauge),
+    /// Log-bucketed distribution.
+    Histogram(Histogram),
+    /// Exact mean/variance summary.
+    Summary(Summary),
+}
+
+/// A named collection of metrics with a JSON snapshot.
+///
+/// Names are free-form; the convention is dotted paths
+/// (`engine.flits`, `latency.ns`, `channel.busy_ns`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    items: BTreeMap<String, MetricValue>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to a counter, creating it at zero first.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        match self
+            .items
+            .entry(name.to_string())
+            .or_insert(MetricValue::Counter(Counter::default()))
+        {
+            MetricValue::Counter(c) => c.inc(by),
+            other => panic!("metric {name:?} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets a gauge, creating it if needed.
+    pub fn set(&mut self, name: &str, v: f64) {
+        match self
+            .items
+            .entry(name.to_string())
+            .or_insert(MetricValue::Gauge(Gauge::default()))
+        {
+            MetricValue::Gauge(g) => g.set(v),
+            other => panic!("metric {name:?} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records a histogram sample, creating the histogram if needed.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        match self
+            .items
+            .entry(name.to_string())
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new()))
+        {
+            MetricValue::Histogram(h) => h.record(v),
+            other => panic!("metric {name:?} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Pushes a summary sample, creating the summary if needed.
+    pub fn push(&mut self, name: &str, v: f64) {
+        match self
+            .items
+            .entry(name.to_string())
+            .or_insert(MetricValue::Summary(Summary::default()))
+        {
+            MetricValue::Summary(s) => s.push(v),
+            other => panic!("metric {name:?} is not a summary: {other:?}"),
+        }
+    }
+
+    /// Installs a pre-built histogram wholesale (e.g. one accumulated
+    /// by the [`Metrics`](crate::collect::Metrics) sink), replacing any
+    /// existing entry under that name.
+    pub fn insert_histogram(&mut self, name: &str, h: Histogram) {
+        self.items
+            .insert(name.to_string(), MetricValue::Histogram(h));
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.items.get(name)
+    }
+
+    /// Iterates metrics in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.items.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Renders the whole registry as a JSON object, one key per metric.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n  {}: ", json_string(name)));
+            out.push_str(&metric_json(v));
+        }
+        out.push_str("\n}");
+        out
+    }
+}
+
+fn metric_json(v: &MetricValue) -> String {
+    match v {
+        MetricValue::Counter(c) => {
+            format!("{{\"type\": \"counter\", \"value\": {}}}", c.get())
+        }
+        MetricValue::Gauge(g) => {
+            format!("{{\"type\": \"gauge\", \"value\": {}}}", json_f64(g.get()))
+        }
+        MetricValue::Histogram(h) => format!(
+            "{{\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"mean\": {}, \
+             \"min\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+            h.count(),
+            h.sum(),
+            json_f64(h.mean()),
+            h.min(),
+            h.p50(),
+            h.p90(),
+            h.p99(),
+            h.max()
+        ),
+        MetricValue::Summary(s) => format!(
+            "{{\"type\": \"summary\", \"count\": {}, \"mean\": {}, \"stddev\": {}, \
+             \"min\": {}, \"max\": {}}}",
+            s.count(),
+            json_f64(s.mean()),
+            json_f64(s.stddev()),
+            json_f64(s.min()),
+            json_f64(s.max())
+        ),
+    }
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes and quotes a string for JSON.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_is_monotone() {
+        let mut last = 0usize;
+        for v in [0u64, 1, 7, 8, 9, 100, 1000, 1 << 20, u64::MAX / 2] {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket order broke at {v}");
+            assert!(bucket_floor(b) <= v, "floor({b}) > {v}");
+            last = b;
+        }
+        // Floor of the bucket of a floor is itself (fixed point).
+        for idx in 0..BUCKETS - 1 {
+            assert_eq!(bucket_of(bucket_floor(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_track_uniform_stream() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.quantile(1.0), 10_000, "q=1 is exact");
+        let p50 = h.p50();
+        assert!(
+            (4000..=5700).contains(&p50),
+            "p50 {p50} off for uniform 1..=10000"
+        );
+        let p99 = h.p99();
+        assert!((8700..=10_000).contains(&p99), "p99 {p99}");
+        assert!((h.mean() - 5000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.124), 0);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_sums() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn summary_matches_welford() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn registry_json_is_valid() {
+        let mut r = Registry::new();
+        r.inc("engine.flits", 42);
+        r.set("util.max", 0.73);
+        r.observe("latency.ns", 1234);
+        r.observe("latency.ns", 99_999);
+        r.push("traffic", 4.0);
+        let json = r.to_json();
+        crate::export::validate_json(&json).expect("registry snapshot must be valid JSON");
+        assert!(json.contains("\"engine.flits\""));
+        assert!(json.contains("\"p99\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn registry_kind_mismatch_panics() {
+        let mut r = Registry::new();
+        r.set("x", 1.0);
+        r.inc("x", 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! The [`Sink`] contract and the stock implementations.
+//!
+//! A sink *observes*: the engine calls [`Sink::record`] after its own
+//! state transition is complete, and nothing a sink does can flow back
+//! into the simulation. Implementations must be cheap — the engine may
+//! call `record` once per flit transfer.
+//!
+//! [`Recording`] and [`Metrics`](crate::collect::Metrics) are shared
+//! *handles* (`Arc<Mutex<…>>`): clone one into the engine, keep the
+//! other to read the data back after the run. The lock is uncontended
+//! (the engine is single-threaded), so the cost is one atomic per
+//! event — and zero when no sink is installed.
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::SimEvent;
+
+/// Receives simulation events. `Send` so an instrumented engine can
+/// still move across threads.
+pub trait Sink: Send {
+    /// Observes one event. Must not panic on any event sequence.
+    fn record(&mut self, ev: &SimEvent);
+}
+
+/// The no-op sink: every event is dropped. Installing it is equivalent
+/// to (but measurably distinct from) installing nothing — useful for
+/// overhead A/B tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&mut self, _ev: &SimEvent) {}
+}
+
+/// Records every event into a shared in-memory log, in emission order.
+///
+/// ```
+/// use mcast_obs::{Recording, Sink, SimEvent};
+/// let rec = Recording::new();
+/// let mut sink = rec.clone(); // clone goes into the engine
+/// sink.record(&SimEvent::Delivered { at: 5, message: 0, node: 9 });
+/// assert_eq!(rec.len(), 1);
+/// assert_eq!(rec.events()[0].at(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Recording {
+    events: Arc<Mutex<Vec<SimEvent>>>,
+}
+
+impl Recording {
+    /// Creates an empty recording.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the recorded events so far.
+    pub fn events(&self) -> Vec<SimEvent> {
+        self.events.lock().expect("recording lock").clone()
+    }
+
+    /// Drains the recorded events, leaving the log empty.
+    pub fn take(&self) -> Vec<SimEvent> {
+        std::mem::take(&mut *self.events.lock().expect("recording lock"))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("recording lock").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for Recording {
+    fn record(&mut self, ev: &SimEvent) {
+        self.events.lock().expect("recording lock").push(*ev);
+    }
+}
+
+/// Fans every event out to several sinks, in order — e.g. a
+/// [`Recording`] for the trace file plus a
+/// [`Metrics`](crate::collect::Metrics) collector in one run.
+#[derive(Default)]
+pub struct Tee {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl Tee {
+    /// Creates an empty tee (records into nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sink to the fan-out, builder-style.
+    pub fn with(mut self, sink: Box<dyn Sink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl Sink for Tee {
+    fn record(&mut self, ev: &SimEvent) {
+        for s in &mut self.sinks {
+            s.record(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_shares_state_across_clones() {
+        let rec = Recording::new();
+        let mut a = rec.clone();
+        let mut b = rec.clone();
+        a.record(&SimEvent::NodeFailed { at: 1, node: 2 });
+        b.record(&SimEvent::NodeFailed { at: 2, node: 3 });
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.take().len(), 2);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn tee_fans_out() {
+        let a = Recording::new();
+        let b = Recording::new();
+        let mut tee = Tee::new()
+            .with(Box::new(a.clone()))
+            .with(Box::new(b.clone()));
+        tee.record(&SimEvent::LinkFailed { at: 0, a: 1, b: 2 });
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn null_sink_drops_everything() {
+        let mut s = NullSink;
+        s.record(&SimEvent::NodeFailed { at: 1, node: 2 });
+    }
+}

@@ -73,7 +73,23 @@ pub fn run_closed_scenario(
     config: SimConfig,
     multicasts: &[MulticastSet],
 ) -> ScenarioOutcome {
+    run_closed_scenario_with_sink(router, topo_network, config, multicasts, None)
+}
+
+/// [`run_closed_scenario`] with an optional observability sink on the
+/// engine. The outcome is bit-identical with or without a sink (the
+/// determinism property the workspace root tests enforce).
+pub fn run_closed_scenario_with_sink(
+    router: &dyn MulticastRouter,
+    topo_network: Network,
+    config: SimConfig,
+    multicasts: &[MulticastSet],
+    sink: Option<Box<dyn mcast_obs::Sink>>,
+) -> ScenarioOutcome {
     let mut engine = Engine::new(topo_network, config);
+    if let Some(s) = sink {
+        engine.set_sink(s);
+    }
     for mc in multicasts {
         let plan = router.plan(mc);
         engine.inject(&plan);
@@ -102,7 +118,23 @@ pub fn run_closed_scenario_recovering(
     policy: RecoveryPolicy,
     multicasts: &[MulticastSet],
 ) -> (ScenarioOutcome, RecoveryStats, Vec<RecoveryEvent>) {
+    run_closed_scenario_recovering_with_sink(router, topo_network, config, policy, multicasts, None)
+}
+
+/// [`run_closed_scenario_recovering`] with an optional observability
+/// sink on the supervised engine (recovery lifecycle events included).
+pub fn run_closed_scenario_recovering_with_sink(
+    router: &dyn FaultMulticastRouter,
+    topo_network: Network,
+    config: SimConfig,
+    policy: RecoveryPolicy,
+    multicasts: &[MulticastSet],
+    sink: Option<Box<dyn mcast_obs::Sink>>,
+) -> (ScenarioOutcome, RecoveryStats, Vec<RecoveryEvent>) {
     let mut rec = RecoveryEngine::new(topo_network, config, router, policy);
+    if let Some(s) = sink {
+        rec.set_sink(s);
+    }
     for mc in multicasts {
         rec.submit(mc.clone());
     }

@@ -24,6 +24,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
+use mcast_obs::{SimEvent, Sink};
 use mcast_topology::{FaultMask, NodeId};
 
 use crate::error::SimError;
@@ -252,6 +253,10 @@ pub struct Engine {
     /// Channel whose grant/release history is traced to stderr (debug aid,
     /// set from the `MCAST_TRACE_CHAN` environment variable).
     trace_chan: Option<ChannelId>,
+    /// Optional observability sink (DESIGN.md §9). `None` — the default —
+    /// skips event construction entirely, keeping the uninstrumented hot
+    /// path unchanged.
+    sink: Option<Box<dyn Sink>>,
 }
 
 impl Engine {
@@ -280,6 +285,29 @@ impl Engine {
             seq: 0,
             in_flight: 0,
             next_message_id: 0,
+            sink: None,
+        }
+    }
+
+    /// Installs an observability sink; subsequent simulation activity is
+    /// emitted as [`SimEvent`]s. Sinks observe only — installing one must
+    /// not change any simulation result (enforced by the determinism
+    /// property tests in the workspace root).
+    pub fn set_sink(&mut self, sink: Box<dyn Sink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes and returns the installed sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn Sink>> {
+        self.sink.take()
+    }
+
+    /// Emits one event into the sink, if one is installed. `pub(crate)`
+    /// so the recovery supervisor can emit through its wrapped engine.
+    #[inline]
+    pub(crate) fn emit(&mut self, ev: SimEvent) {
+        if let Some(s) = self.sink.as_mut() {
+            s.record(&ev);
         }
     }
 
@@ -329,16 +357,33 @@ impl Engine {
         let msg_slot = self.messages.len() - 1;
         debug_assert_eq!(msg_slot, id);
         self.in_flight += 1;
+        self.emit(SimEvent::MessageInjected {
+            at: self.now,
+            message: id,
+            source: plan.source,
+            worms: plan.worms.len(),
+            destinations: plan.destinations.len(),
+        });
 
         // Degenerate source-only "deliveries" (destination == source)
         // complete at injection.
         {
+            let mut self_delivered = false;
             let m = self.messages[msg_slot].as_mut().expect("just inserted");
             for (i, &d) in m.destinations.clone().iter().enumerate() {
                 if d == m.source {
                     m.delivered[i] = Some(self.now);
                     m.delivered_count += 1;
+                    self_delivered = true;
                 }
+            }
+            if self_delivered {
+                let (at, node) = (self.now, plan.source);
+                self.emit(SimEvent::Delivered {
+                    at,
+                    message: id,
+                    node,
+                });
             }
         }
 
@@ -541,6 +586,8 @@ impl Engine {
             .collect();
         if live.is_empty() {
             self.worms[w].stalled = true;
+            let (at, message) = (self.now, self.worms[w].message);
+            self.emit(SimEvent::WormStalled { at, message });
             return;
         }
         // Idle copy?
@@ -558,6 +605,12 @@ impl Engine {
         self.channels[target].queue.push_back((w, e));
         self.worms[w].edges[e].waiting = true;
         self.worms[w].edges[e].queued_on = Some(target);
+        let (at, message) = (self.now, self.worms[w].message);
+        self.emit(SimEvent::ChannelBlocked {
+            at,
+            channel: target,
+            message,
+        });
     }
 
     fn grant(&mut self, chan: ChannelId, w: usize, e: usize) {
@@ -573,6 +626,12 @@ impl Engine {
         );
         debug_assert!(self.network.is_alive(chan), "granting a dead channel");
         self.channels[chan].owner = Some((w, e));
+        let (at, message) = (self.now, self.worms[w].message);
+        self.emit(SimEvent::ChannelAcquired {
+            at,
+            channel: chan,
+            message,
+        });
         let g = self.worms[w].edges[e].group;
         self.worms[w].edges[e].channel = Some(chan);
         self.worms[w].edges[e].waiting = false;
@@ -611,6 +670,14 @@ impl Engine {
                 "t={} RELEASE chan {chan} (owner {:?})",
                 self.now, self.channels[chan].owner
             );
+        }
+        if let Some((w, _)) = self.channels[chan].owner {
+            let (at, message) = (self.now, self.worms[w].message);
+            self.emit(SimEvent::ChannelReleased {
+                at,
+                channel: chan,
+                message,
+            });
         }
         self.channels[chan].owner = None;
         if !self.network.is_alive(chan) {
@@ -715,6 +782,16 @@ impl Engine {
             .channel
             .expect("transfer requires ownership");
         self.busy_ns[chan] += dt;
+        if self.sink.is_some() {
+            let (start, message) = (self.now, self.worms[w].message);
+            self.emit(SimEvent::FlitHop {
+                start,
+                end: start + dt,
+                channel: chan,
+                message,
+                flit,
+            });
+        }
         let gen = self.worms[w].gen;
         self.schedule(
             self.now + dt,
@@ -972,6 +1049,7 @@ impl Engine {
     /// stalled re-routing a queued request. **The caller must abort the
     /// returned messages**; the engine does not tear them down itself.
     pub fn fail_link(&mut self, a: NodeId, b: NodeId) -> Vec<MessageId> {
+        self.emit(SimEvent::LinkFailed { at: self.now, a, b });
         let died = self.network.kill_link(a, b);
         self.on_channels_died(&died)
     }
@@ -979,6 +1057,7 @@ impl Engine {
     /// Fails a node: every incident link dies. Returns the broken
     /// messages, as for [`Engine::fail_link`].
     pub fn fail_node(&mut self, node: NodeId) -> Vec<MessageId> {
+        self.emit(SimEvent::NodeFailed { at: self.now, node });
         let died = self.network.kill_node(node);
         self.on_channels_died(&died)
     }
@@ -1056,6 +1135,12 @@ impl Engine {
                 None => pending.push(d),
             }
         }
+        self.emit(SimEvent::MessageAborted {
+            at: self.now,
+            message: msg,
+            delivered: delivered.len(),
+            pending: pending.len(),
+        });
         Some(AbortedMessage {
             id: m.id,
             source: m.source,
@@ -1127,12 +1212,21 @@ impl Engine {
 
     fn record_delivery(&mut self, msg: MessageId, node: NodeId) {
         let now = self.now;
+        let mut newly_delivered = false;
         let m = self.messages[msg].as_mut().expect("message live");
         for (i, &d) in m.destinations.iter().enumerate() {
             if d == node && m.delivered[i].is_none() {
                 m.delivered[i] = Some(now);
                 m.delivered_count += 1;
+                newly_delivered = true;
             }
+        }
+        if newly_delivered {
+            self.emit(SimEvent::Delivered {
+                at: now,
+                message: msg,
+                node,
+            });
         }
     }
 
@@ -1170,6 +1264,11 @@ impl Engine {
             traffic: m.traffic,
         });
         self.in_flight -= 1;
+        self.emit(SimEvent::MessageCompleted {
+            at: completed_at,
+            message: msg,
+            latency_ns: completed_at - m.injected_at,
+        });
     }
 }
 

@@ -11,6 +11,11 @@
 //! * [`routers`]: plan factories for every Chapter 6/7 routing scheme;
 //! * [`deadlock`]: closed-scenario replays of the §6.1 deadlock
 //!   configurations.
+//!
+//! Observability: [`Engine::set_sink`] installs an `mcast-obs` sink
+//! (re-exported here as [`obs`]) that receives typed [`obs::SimEvent`]s
+//! — flit hops, channel acquire/block/release, message lifecycle, and
+//! recovery transitions — without perturbing simulation results.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,6 +29,8 @@ pub mod plan;
 pub mod recovery;
 pub mod routers;
 pub mod switching;
+
+pub use mcast_obs as obs;
 
 pub use engine::{AbortedMessage, CompletedMessage, Engine, MessageId, SimConfig, Time};
 pub use error::SimError;

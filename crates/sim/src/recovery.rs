@@ -36,6 +36,8 @@ use mcast_topology::{
     FaultEvent, FaultMask, FaultSchedule, Hypercube, Labeling, Mesh2D, NodeId, Topology,
 };
 
+use mcast_obs::{AbortCode, SimEvent, Sink};
+
 use crate::diagnose::find_wait_cycle;
 use crate::engine::{Engine, MessageId, SimConfig, Time};
 use crate::network::Network;
@@ -111,6 +113,17 @@ pub enum AbortReason {
     /// A channel failure physically severed the message's worms, or
     /// every copy of a needed hop is dead.
     Broken,
+}
+
+impl AbortReason {
+    /// The dependency-free observability mirror of this reason.
+    fn code(self) -> AbortCode {
+        match self {
+            AbortReason::Timeout => AbortCode::Timeout,
+            AbortReason::Deadlock => AbortCode::Deadlock,
+            AbortReason::Broken => AbortCode::Broken,
+        }
+    }
 }
 
 /// One structured recovery action, timestamped in simulated time.
@@ -306,6 +319,20 @@ impl<'a> RecoveryEngine<'a> {
     /// The wrapped engine (read access for diagnostics).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// Installs an observability sink on the wrapped engine. Beyond the
+    /// engine's own events, the supervisor emits the recovery lifecycle
+    /// ([`SimEvent::RecoveryAborted`] / `RecoveryRetried` /
+    /// `RecoveryDropped` / `RecoveryCompleted`, carrying *logical*
+    /// message indices) into the same stream.
+    pub fn set_sink(&mut self, sink: Box<dyn Sink>) {
+        self.engine.set_sink(sink);
+    }
+
+    /// Removes and returns the installed sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn Sink>> {
+        self.engine.take_sink()
     }
 
     /// The recovery event log.
@@ -566,6 +593,13 @@ impl<'a> RecoveryEngine<'a> {
                         attempt: self.msgs[li].attempts,
                         pending: self.msgs[li].pending.len(),
                     });
+                    let (attempt, pending) = (self.msgs[li].attempts, self.msgs[li].pending.len());
+                    self.engine.emit(SimEvent::RecoveryRetried {
+                        at: now,
+                        message: li,
+                        attempt,
+                        pending,
+                    });
                 }
             }
             Err(_) => {
@@ -644,6 +678,12 @@ impl<'a> RecoveryEngine<'a> {
             attempt,
             reason,
         });
+        self.engine.emit(SimEvent::RecoveryAborted {
+            at: now,
+            message: li,
+            attempt,
+            reason: reason.code(),
+        });
         if self.msgs[li].pending.is_empty() {
             // Every destination had already received its tail; only
             // forwarding worms were still draining.
@@ -688,6 +728,8 @@ impl<'a> RecoveryEngine<'a> {
         self.stats.completed += 1;
         self.events
             .push(RecoveryEvent::Completed { at, message: li });
+        self.engine
+            .emit(SimEvent::RecoveryCompleted { at, message: li });
     }
 
     fn drop_message(&mut self, li: usize, at: Time) {
@@ -696,6 +738,11 @@ impl<'a> RecoveryEngine<'a> {
         self.stats.dropped += 1;
         let undelivered = m.undelivered.len();
         self.events.push(RecoveryEvent::Dropped {
+            at,
+            message: li,
+            undelivered,
+        });
+        self.engine.emit(SimEvent::RecoveryDropped {
             at,
             message: li,
             undelivered,

@@ -12,7 +12,8 @@ pub mod static_eval;
 pub mod stats;
 
 pub use dynamic::{
-    measure_saturation_throughput, run_dynamic, DynamicConfig, DynamicResult, ThroughputResult,
+    measure_saturation_throughput, run_dynamic, run_dynamic_with_sink, DynamicConfig,
+    DynamicResult, ThroughputResult,
 };
 pub use fault_sweep::{run_fault_sweep, FaultSweepConfig, FaultSweepRow};
 pub use gen::MulticastGen;

@@ -25,12 +25,13 @@ pub fn t_value_95(df: usize) -> f64 {
     }
 }
 
-/// Simple running mean/variance accumulator (Welford).
+/// Running mean/variance accumulator: a thin wrapper over the exact
+/// Welford [`mcast_obs::Summary`] (the single implementation shared
+/// across the workspace), adding the Student-t confidence interval the
+/// §7.2 stopping rule needs.
 #[derive(Debug, Clone, Default)]
 pub struct Accumulator {
-    n: usize,
-    mean: f64,
-    m2: f64,
+    inner: mcast_obs::Summary,
 }
 
 impl Accumulator {
@@ -41,37 +42,41 @@ impl Accumulator {
 
     /// Adds a sample.
     pub fn push(&mut self, x: f64) {
-        self.n += 1;
-        let d = x - self.mean;
-        self.mean += d / self.n as f64;
-        self.m2 += d * (x - self.mean);
+        self.inner.push(x);
     }
 
     /// Number of samples.
     pub fn count(&self) -> usize {
-        self.n
+        self.inner.count()
     }
 
     /// Sample mean (0 when empty).
     pub fn mean(&self) -> f64 {
-        self.mean
+        self.inner.mean()
     }
 
     /// Unbiased sample variance.
     pub fn variance(&self) -> f64 {
-        if self.n < 2 {
-            0.0
-        } else {
-            self.m2 / (self.n - 1) as f64
-        }
+        self.inner.variance()
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.inner.min()
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.inner.max()
     }
 
     /// Half-width of the 95% confidence interval of the mean.
     pub fn ci_half_width_95(&self) -> f64 {
-        if self.n < 2 {
+        let n = self.inner.count();
+        if n < 2 {
             return f64::INFINITY;
         }
-        t_value_95(self.n - 1) * (self.variance() / self.n as f64).sqrt()
+        t_value_95(n - 1) * (self.variance() / n as f64).sqrt()
     }
 }
 

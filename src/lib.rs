@@ -5,7 +5,7 @@
 //! the extended form of Lin & Ni, ICPP 1990) — the work that introduced
 //! the first deadlock-free multicast wormhole routing algorithms.
 //!
-//! The facade re-exports the four member crates:
+//! The facade re-exports the five member crates:
 //!
 //! * [`topology`] — 2D/3D meshes, hypercubes, k-ary n-cubes, grid
 //!   graphs, Hamiltonian labelings, channel dependency graphs;
@@ -15,7 +15,10 @@
 //! * [`sim`] — a flit-level discrete-event wormhole simulator (the
 //!   CSIM substitute used for the Chapter 7 dynamic study);
 //! * [`workload`] — generators, static traffic evaluation, and
-//!   batch-means statistics.
+//!   batch-means statistics;
+//! * [`obs`] — the observability layer: typed simulation events,
+//!   sinks, a metrics registry, and Chrome-trace/CSV exporters
+//!   (`mcast trace` / `mcast metrics`; see DESIGN.md §9).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub use mcast_core as routing;
+pub use mcast_obs as obs;
 pub use mcast_sim as sim;
 pub use mcast_topology as topology;
 pub use mcast_workload as workload;
@@ -64,6 +68,7 @@ pub mod prelude {
     pub use mcast_core::sorted_mp::{sorted_mc, sorted_mp};
     pub use mcast_core::xfirst::xfirst_tree;
     pub use mcast_core::RoutingGeometry;
+    pub use mcast_obs::{Metrics, Recording, SimEvent, Sink};
     pub use mcast_sim::routers::{
         DoubleChannelTreeRouter, DualPathRouter, EcubeTreeRouter, FixedPathRouter,
         MultiPathCubeRouter, MultiPathMeshRouter, MulticastRouter, XFirstTreeRouter,
