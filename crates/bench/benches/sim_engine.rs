@@ -1,34 +1,93 @@
-//! Criterion benchmark of the wormhole engine itself: flit-event
-//! throughput under a fixed closed workload — the simulator is a built
-//! substrate, so its cost is measured like any other component.
+//! Criterion microbenchmarks of the wormhole engine's three hot entry
+//! points — `inject()`, `step()`, and `run_to_quiescence()` — on 8×8
+//! and 16×16 meshes under hot-spot traffic (every node multicasts into
+//! the same central region, the §7.2 worst case for contention).
+//!
+//! The engine is a built substrate, so its cost is measured like any
+//! other component; these are the numbers the BENCH_3 throughput
+//! probes summarize at scenario level.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mcast_core::model::MulticastSet;
 use mcast_sim::engine::{Engine, SimConfig};
 use mcast_sim::network::Network;
 use mcast_sim::routers::{DualPathRouter, MulticastRouter};
+use mcast_sim::DeliveryPlan;
 use mcast_topology::{Mesh2D, Topology};
 
-fn bench_engine(c: &mut Criterion) {
-    let mesh = Mesh2D::new(8, 8);
+/// Hot-spot workload: every node sends one multicast whose
+/// destinations cluster around the mesh centre.
+fn hot_spot_plans(mesh: Mesh2D, dests_per_msg: usize) -> Vec<DeliveryPlan> {
     let router = DualPathRouter::mesh(mesh);
-    // 64 simultaneous 10-destination multicasts, run to completion.
-    let plans: Vec<_> = (0..mesh.num_nodes())
+    let n = mesh.num_nodes();
+    let hot = n / 2; // centre-ish node
+    (0..n)
         .map(|s| {
-            let mc = MulticastSet::new(s, (1..=10).map(|i| (s + i * 5 + 3) % 64));
-            router.plan(&mc)
+            let dests: Vec<usize> = (1..=dests_per_msg)
+                .map(|i| (hot + i * 3 + s % 5) % n)
+                .filter(|&d| d != s)
+                .collect();
+            router.plan(&MulticastSet::new(s, dests))
         })
-        .collect();
-    c.bench_function("engine_closed_64x10_dual_path", |b| {
+        .collect()
+}
+
+fn fresh_engine(mesh: &Mesh2D) -> Engine {
+    Engine::new(Network::new(mesh, 1), SimConfig::default())
+}
+
+fn bench_mesh(c: &mut Criterion, w: usize, h: usize) {
+    let mesh = Mesh2D::new(w, h);
+    let plans = hot_spot_plans(mesh, 8);
+    let label = format!("mesh{w}x{h}");
+    let mut g = c.benchmark_group("sim_engine");
+
+    // inject(): plan → worm construction and root-channel requests for
+    // one full wave of hot-spot multicasts (fresh engine per iteration).
+    g.bench_function(format!("inject/{label}"), |b| {
         b.iter(|| {
-            let mut engine = Engine::new(Network::new(&mesh, 1), SimConfig::default());
+            let mut engine = fresh_engine(&mesh);
+            for p in &plans {
+                engine.inject(black_box(p));
+            }
+            black_box(engine.in_flight())
+        })
+    });
+
+    // step(): a fixed budget of flit events against the loaded network
+    // (fresh engine per iteration so the event population is identical).
+    g.bench_function(format!("step/{label}"), |b| {
+        b.iter(|| {
+            let mut engine = fresh_engine(&mesh);
+            for p in &plans {
+                engine.inject(p);
+            }
+            let mut steps = 0u32;
+            while steps < 20_000 && engine.step() {
+                steps += 1;
+            }
+            black_box((steps, engine.now()))
+        })
+    });
+
+    // run_to_quiescence(): the whole hot-spot wave drained.
+    g.bench_function(format!("run_to_quiescence/{label}"), |b| {
+        b.iter(|| {
+            let mut engine = fresh_engine(&mesh);
             for p in &plans {
                 engine.inject(p);
             }
             assert!(engine.run_to_quiescence());
-            std::hint::black_box(engine.now())
+            black_box(engine.flit_hops())
         })
     });
+
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    bench_mesh(c, 8, 8);
+    bench_mesh(c, 16, 16);
 }
 
 criterion_group!(benches, bench_engine);

@@ -23,7 +23,10 @@ use mcast_topology::labeling::{hypercube_gray, mesh2d_snake};
 use mcast_topology::{Hypercube, Mesh2D, Topology};
 use mcast_workload::fault_sweep::{run_fault_sweep, FaultSweepConfig, FaultSweepRow};
 use mcast_workload::gen::MulticastGen;
-use mcast_workload::{run_dynamic, DynamicConfig};
+use mcast_workload::{
+    aggregate_sweep, resolve_jobs, run_dynamic, run_dynamic_sweep, DynamicConfig, SweepConfig,
+    SweepRow,
+};
 
 use crate::args::{parse_dims, parse_nodes, ArgError, Args};
 
@@ -35,6 +38,9 @@ USAGE:
   mcast route    --topology <T> --algorithm <A> --source <N> --dests <N,N,...>
   mcast simulate --topology <T> --algorithm <A> [--interarrival-us <F>]
                  [--dests <K>] [--seed <S>]
+  mcast sweep    [--topology <T>] [--algorithms <A,A,...>] [--loads-us <F,F,...>]
+                 [--replications <R>] [--dests <K>] [--seed <S>]
+                 [--jobs <N>] [--compare-serial true|false]
   mcast deadlock --scenario fig6_1|fig6_4 [--algorithm <A>] [--recover true]
   mcast fault-sweep --topology <T> [--algorithm <A>] [--fault-rates 0,0.02,0.05,0.1]
                  [--messages <N>] [--dests <K>] [--seed <S>]
@@ -56,6 +62,10 @@ FAULT-SWEEP:  dual-path and multi-path plan around faults; any other
               algorithm runs fault-oblivious under abort-and-retry
 TRACE:        trace.json is Chrome trace-event JSON — open it at
               ui.perfetto.dev (or chrome://tracing)
+SWEEP:        fans load x algorithm x replication across --jobs threads
+              (default: all cores, or MCAST_JOBS / RAYON_NUM_THREADS);
+              --compare-serial also runs the serial reference and checks
+              the parallel results are bit-identical
 NODES:        decimal ids, or 0b... binary addresses on cubes";
 
 enum Topo {
@@ -82,7 +92,10 @@ fn parse_topology(spec: &str) -> Result<Topo, ArgError> {
     }
 }
 
-fn make_router(topo: &Topo, algorithm: &str) -> Result<Box<dyn MulticastRouter>, ArgError> {
+fn make_router(
+    topo: &Topo,
+    algorithm: &str,
+) -> Result<Box<dyn MulticastRouter + Send + Sync>, ArgError> {
     let (alg, lanes) = match algorithm.split_once(':') {
         Some((a, l)) => (
             a,
@@ -305,6 +318,123 @@ pub fn simulate(a: &Args) -> Result<(), ArgError> {
         println!("mean traffic: {:.1} channels/message", result.mean_traffic);
     }
     println!("simulated time: {:.1} ms", result.sim_time_ns as f64 / 1e6);
+    Ok(())
+}
+
+/// `mcast sweep …` — the Chapter-7 grid (loads × algorithms ×
+/// replications) fanned across worker threads, with an optional serial
+/// reference leg proving the parallel run changes nothing.
+pub fn sweep(a: &Args) -> Result<(), ArgError> {
+    let topo = parse_topology(a.get_or("topology", "mesh:8x8"))?;
+    let algorithms: Vec<String> = a
+        .get_or("algorithms", "dual-path,multi-path")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if algorithms.is_empty() {
+        return Err(ArgError("empty --algorithms".into()));
+    }
+    let loads_us: Vec<f64> = a
+        .get_or("loads-us", "600,450,350")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| ArgError(format!("bad load {s:?} in --loads-us")))
+        })
+        .collect::<Result<_, _>>()?;
+    if loads_us.is_empty() {
+        return Err(ArgError("empty --loads-us".into()));
+    }
+    let jobs = match a.number::<usize>("jobs", 0)? {
+        0 => resolve_jobs(None),
+        n => n,
+    };
+    let compare_serial = a.get_or("compare-serial", "true") == "true";
+    let cfg = SweepConfig {
+        base: DynamicConfig {
+            destinations: a.number("dests", 8)?,
+            seed: a.number("seed", 7)?,
+            ..DynamicConfig::default()
+        },
+        loads_ns: loads_us.iter().map(|&us| us * 1000.0).collect(),
+        replications: a.number("replications", 3)?,
+    };
+    let routers: Vec<Box<dyn MulticastRouter + Send + Sync>> = algorithms
+        .iter()
+        .map(|alg| make_router(&topo, alg))
+        .collect::<Result<_, _>>()?;
+    let named: Vec<(&str, &(dyn MulticastRouter + Sync))> = algorithms
+        .iter()
+        .zip(&routers)
+        .map(|(name, r)| (name.as_str(), r.as_ref() as &(dyn MulticastRouter + Sync)))
+        .collect();
+
+    let run = |jobs: usize| -> (Vec<SweepRow>, f64) {
+        let start = std::time::Instant::now();
+        let rows = match &topo {
+            Topo::Mesh(m) => run_dynamic_sweep(m, &named, &cfg, jobs),
+            Topo::Cube(c) => run_dynamic_sweep(c, &named, &cfg, jobs),
+        };
+        (rows, start.elapsed().as_secs_f64() * 1000.0)
+    };
+
+    let (rows, parallel_ms) = run(jobs);
+    println!("scheme        load_us  reps  sat  mean_us     ci_us  completed");
+    for agg in aggregate_sweep(&rows) {
+        println!(
+            "{:<13} {:>7.0} {:>5} {:>4}  {:>7.1}  {:>8.2}  {:>9}",
+            agg.scheme,
+            agg.mean_interarrival_ns / 1000.0,
+            agg.replications,
+            agg.saturated,
+            agg.latency_us.mean(),
+            agg.latency_us.ci_half_width_95(),
+            agg.completed,
+        );
+    }
+    if compare_serial {
+        let (serial_rows, serial_ms) = run(1);
+        let identical = rows.len() == serial_rows.len()
+            && rows.iter().zip(&serial_rows).all(|(p, s)| {
+                p.point == s.point
+                    && p.result.mean_latency_us == s.result.mean_latency_us
+                    && p.result.saturated == s.result.saturated
+                    && p.result.completed == s.result.completed
+                    && p.result.sim_time_ns == s.result.sim_time_ns
+            });
+        println!(
+            "sweep: {} points in {:.1} ms with {} jobs (serial {:.1} ms, speedup {:.2}x, {})",
+            rows.len(),
+            parallel_ms,
+            jobs,
+            serial_ms,
+            if parallel_ms > 0.0 {
+                serial_ms / parallel_ms
+            } else {
+                0.0
+            },
+            if identical {
+                "results bit-identical"
+            } else {
+                "RESULTS DIVERGED"
+            }
+        );
+        if !identical {
+            return Err(ArgError(
+                "parallel sweep diverged from the serial reference".into(),
+            ));
+        }
+    } else {
+        println!(
+            "sweep: {} points in {:.1} ms with {} jobs",
+            rows.len(),
+            parallel_ms,
+            jobs
+        );
+    }
     Ok(())
 }
 
@@ -978,6 +1108,33 @@ mod tests {
         for p in [&out, &mout, &ucsv] {
             let _ = std::fs::remove_file(p);
         }
+    }
+
+    #[test]
+    fn sweep_command_runs_and_verifies_serial_parity() {
+        // Tiny grid; --compare-serial true errors out if the parallel
+        // rows diverge from the serial reference, so .unwrap() is the
+        // determinism assertion.
+        sweep(&args(&[
+            "sweep",
+            "--topology",
+            "mesh:4x4",
+            "--algorithms",
+            "dual-path,multi-path",
+            "--loads-us",
+            "800,500",
+            "--replications",
+            "2",
+            "--dests",
+            "4",
+            "--jobs",
+            "3",
+            "--compare-serial",
+            "true",
+        ]))
+        .unwrap();
+        assert!(sweep(&args(&["sweep", "--algorithms", ""])).is_err());
+        assert!(sweep(&args(&["sweep", "--loads-us", "abc"])).is_err());
     }
 
     #[test]

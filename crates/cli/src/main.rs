@@ -27,6 +27,7 @@ fn main() {
     let result = match parsed.command.as_str() {
         "route" => commands::route(&parsed),
         "simulate" => commands::simulate(&parsed),
+        "sweep" => commands::sweep(&parsed),
         "deadlock" => commands::deadlock(&parsed),
         "fault-sweep" => commands::fault_sweep(&parsed),
         "trace" => commands::trace(&parsed),

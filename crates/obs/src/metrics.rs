@@ -275,6 +275,29 @@ impl Summary {
             self.max
         }
     }
+
+    /// Folds another summary into this one (Chan et al.'s pairwise
+    /// Welford combine). Merging is deterministic: merging the same
+    /// summaries in the same order always produces bit-identical state,
+    /// which is what lets the parallel sweep runner reduce per-task
+    /// summaries in task order and match a serial reduction exactly.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let d = other.mean - self.mean;
+        let n = na + nb;
+        self.mean += d * (nb / n);
+        self.m2 += other.m2 + d * d * (na * nb / n);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.n += other.n;
+    }
 }
 
 /// One named metric in a [`Registry`].
@@ -459,6 +482,50 @@ pub(crate) fn json_string(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn summary_merge_matches_single_pass_statistics() {
+        let xs: Vec<f64> = (0..40).map(|i| ((i * 37) % 19) as f64 - 7.5).collect();
+        let mut whole = Summary::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        // Split into uneven parts, merge in order.
+        let mut merged = Summary::new();
+        for part in [&xs[..3], &xs[3..17], &xs[17..17], &xs[17..]] {
+            let mut s = Summary::new();
+            for &x in part {
+                s.push(x);
+            }
+            merged.merge(&s);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-12);
+        assert!((merged.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_is_deterministic() {
+        let mk = |lo: u64, hi: u64| {
+            let mut s = Summary::new();
+            for i in lo..hi {
+                s.push((i as f64).sin() * 100.0);
+            }
+            s
+        };
+        let parts = [mk(0, 11), mk(11, 30), mk(30, 31), mk(31, 64)];
+        let fold = || {
+            let mut acc = Summary::new();
+            for p in &parts {
+                acc.merge(p);
+            }
+            acc
+        };
+        // Same order → bit-identical result (f64 equality, not epsilon).
+        assert_eq!(fold(), fold());
+    }
 
     #[test]
     fn bucket_roundtrip_is_monotone() {

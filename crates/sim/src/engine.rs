@@ -21,12 +21,12 @@
 //!   crosses its incoming channel; message latency is measured to the
 //!   last destination.
 
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use mcast_obs::{SimEvent, Sink};
 use mcast_topology::{FaultMask, NodeId};
 
+use crate::equeue::EventQueue;
 use crate::error::SimError;
 use crate::network::{ChannelId, Network};
 use crate::plan::{ClassChoice, DeliveryPlan, PlanWorm};
@@ -125,18 +125,21 @@ struct ChanState {
     queue: VecDeque<(usize, usize)>,
 }
 
-/// One edge of a worm.
+/// One edge of a worm. Flat (no per-edge heap allocation): child and
+/// group membership live in per-worm index arenas.
 #[derive(Debug, Clone)]
 struct EdgeState {
     from: NodeId,
     to: NodeId,
     class: ClassChoice,
     /// Edge feeding this one (`None` = fed directly by the source).
-    upstream: Option<usize>,
-    /// Edges fed by this edge's head node.
-    children: Vec<usize>,
+    upstream: Option<u32>,
+    /// Start of this edge's slice of the worm's `children` arena.
+    child_start: u32,
+    /// Number of edges fed by this edge's head node.
+    child_count: u32,
     /// Branch group this edge belongs to (siblings sharing a feed node).
-    group: usize,
+    group: u32,
     /// Channel granted to this edge.
     channel: Option<ChannelId>,
     /// Whether a channel request is pending in some queue.
@@ -152,10 +155,12 @@ struct EdgeState {
     done: bool,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct GroupState {
-    members: usize,
-    owned: usize,
+    /// Start of this group's slice of the worm's `group_members` arena.
+    start: u32,
+    members: u32,
+    owned: u32,
 }
 
 /// How a worm moves its flits.
@@ -175,6 +180,13 @@ struct WormState {
     kind: WormKind,
     edges: Vec<EdgeState>,
     groups: Vec<GroupState>,
+    /// Child-edge arena: edge `e` feeds
+    /// `children[e.child_start..e.child_start + e.child_count]`.
+    children: Vec<u32>,
+    /// Group-member arena: group `g` owns
+    /// `group_members[g.start..g.start + g.members]`, ascending by edge
+    /// index. Immutable for the worm's lifetime once built.
+    group_members: Vec<u32>,
     edges_done: usize,
     active: bool,
     /// Incarnation counter for this worm *slot*: bumped on abort so
@@ -187,13 +199,63 @@ struct WormState {
     stalled: bool,
 }
 
+impl WormState {
+    /// An inactive placeholder; `build_worm` fills slots in place so a
+    /// reused slot keeps its vec capacities (and its `gen`).
+    fn vacant() -> Self {
+        WormState {
+            message: 0,
+            kind: WormKind::Path,
+            edges: Vec::new(),
+            groups: Vec::new(),
+            children: Vec::new(),
+            group_members: Vec::new(),
+            edges_done: 0,
+            active: false,
+            gen: 0,
+            stalled: false,
+        }
+    }
+}
+
+/// Per-destination delivery slots. Single-destination unicasts — the
+/// bulk of a mixed workload — keep theirs inline instead of paying a
+/// heap allocation per message.
+#[derive(Debug)]
+enum Deliveries {
+    One((NodeId, Option<Time>)),
+    Many(Vec<(NodeId, Option<Time>)>),
+}
+
+impl Deliveries {
+    fn new(destinations: &[NodeId]) -> Self {
+        match destinations {
+            &[d] => Deliveries::One((d, None)),
+            ds => Deliveries::Many(ds.iter().map(|&d| (d, None)).collect()),
+        }
+    }
+
+    fn slots(&self) -> &[(NodeId, Option<Time>)] {
+        match self {
+            Deliveries::One(s) => std::slice::from_ref(s),
+            Deliveries::Many(v) => v,
+        }
+    }
+
+    fn slots_mut(&mut self) -> &mut [(NodeId, Option<Time>)] {
+        match self {
+            Deliveries::One(s) => std::slice::from_mut(s),
+            Deliveries::Many(v) => v,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct MessageState {
     id: MessageId,
     source: NodeId,
     injected_at: Time,
-    destinations: Vec<NodeId>,
-    delivered: Vec<Option<Time>>,
+    deliveries: Deliveries,
     worms_total: usize,
     worms_done: usize,
     traffic: usize,
@@ -201,17 +263,17 @@ struct MessageState {
     delivered_count: usize,
 }
 
-#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy)]
 enum Event {
     TransferComplete {
-        worm: usize,
-        edge: usize,
+        worm: u32,
+        edge: u32,
         gen: u32,
     },
     /// Deferred channel request (circuit establishment chaining).
     RequestChannel {
-        worm: usize,
-        edge: usize,
+        worm: u32,
+        edge: u32,
         gen: u32,
     },
 }
@@ -241,15 +303,20 @@ pub struct Engine {
     worm_free: Vec<usize>,
     messages: Vec<Option<MessageState>>,
     completed: Vec<CompletedMessage>,
-    events: BinaryHeap<Reverse<(Time, u64, Event)>>,
+    /// Calendar/bucket queue keyed on flit-time granularity, with a heap
+    /// fallback for far-future events (DESIGN.md §10).
+    events: EventQueue<Event>,
     now: Time,
-    seq: u64,
     in_flight: usize,
     next_message_id: MessageId,
     flit_time: Time,
     flits: u32,
     /// Cumulative transfer time per channel (utilization accounting).
     busy_ns: Vec<Time>,
+    /// Total flit hops started (one per channel traversal of one flit) —
+    /// the simulator's throughput denominator, counted unconditionally so
+    /// benchmarks don't need a sink installed to read it.
+    flit_hops: u64,
     /// Channel whose grant/release history is traced to stderr (debug aid,
     /// set from the `MCAST_TRACE_CHAN` environment variable).
     trace_chan: Option<ChannelId>,
@@ -257,6 +324,12 @@ pub struct Engine {
     /// skips event construction entirely, keeping the uninstrumented hot
     /// path unchanged.
     sink: Option<Box<dyn Sink>>,
+    /// Worm-build scratch: node → edge feeding it (`u32::MAX` = none).
+    /// Sized to the node count; touched entries are reset after each
+    /// build so no per-message map allocation happens.
+    scratch_feeder: Vec<u32>,
+    /// Worm-build scratch: group keys and arena cursors.
+    scratch_idx: Vec<u32>,
 }
 
 impl Engine {
@@ -270,9 +343,13 @@ impl Engine {
             flit_time: config.flit_time_ns(),
             flits: config.flits_per_message(),
             busy_ns: vec![0; network.num_channels()],
+            flit_hops: 0,
             trace_chan: std::env::var("MCAST_TRACE_CHAN")
                 .ok()
                 .and_then(|v| v.parse().ok()),
+            events: EventQueue::new(config.flit_time_ns()),
+            scratch_feeder: vec![u32::MAX; network.num_nodes()],
+            scratch_idx: Vec::new(),
             config,
             network,
             channels,
@@ -280,9 +357,7 @@ impl Engine {
             worm_free: Vec::new(),
             messages: Vec::new(),
             completed: Vec::new(),
-            events: BinaryHeap::new(),
             now: 0,
-            seq: 0,
             in_flight: 0,
             next_message_id: 0,
             sink: None,
@@ -331,6 +406,13 @@ impl Engine {
         self.in_flight
     }
 
+    /// Total flit hops simulated so far (each flit crossing each channel
+    /// counts once — the same quantity a [`Sink`] sees as `FlitHop`
+    /// events, but available without instrumentation overhead).
+    pub fn flit_hops(&self) -> u64 {
+        self.flit_hops
+    }
+
     /// Drains the list of completed messages.
     pub fn take_completed(&mut self) -> Vec<CompletedMessage> {
         std::mem::take(&mut self.completed)
@@ -346,8 +428,7 @@ impl Engine {
             id,
             source: plan.source,
             injected_at: self.now,
-            destinations: plan.destinations.clone(),
-            delivered: vec![None; plan.destinations.len()],
+            deliveries: Deliveries::new(&plan.destinations),
             worms_total: plan.worms.len(),
             worms_done: 0,
             traffic,
@@ -357,32 +438,35 @@ impl Engine {
         let msg_slot = self.messages.len() - 1;
         debug_assert_eq!(msg_slot, id);
         self.in_flight += 1;
-        self.emit(SimEvent::MessageInjected {
-            at: self.now,
-            message: id,
-            source: plan.source,
-            worms: plan.worms.len(),
-            destinations: plan.destinations.len(),
-        });
+        if self.sink.is_some() {
+            self.emit(SimEvent::MessageInjected {
+                at: self.now,
+                message: id,
+                source: plan.source,
+                worms: plan.worms.len(),
+                destinations: plan.destinations.len(),
+            });
+        }
 
         // Degenerate source-only "deliveries" (destination == source)
         // complete at injection.
         {
-            let mut self_delivered = false;
+            let now = self.now;
             let m = self.messages[msg_slot].as_mut().expect("just inserted");
-            for (i, &d) in m.destinations.clone().iter().enumerate() {
-                if d == m.source {
-                    m.delivered[i] = Some(self.now);
-                    m.delivered_count += 1;
-                    self_delivered = true;
+            let source = m.source;
+            let mut newly = 0;
+            for (d, t) in m.deliveries.slots_mut() {
+                if *d == source {
+                    *t = Some(now);
+                    newly += 1;
                 }
             }
-            if self_delivered {
-                let (at, node) = (self.now, plan.source);
+            m.delivered_count += newly;
+            if newly > 0 {
                 self.emit(SimEvent::Delivered {
-                    at,
+                    at: now,
                     message: id,
-                    node,
+                    node: plan.source,
                 });
             }
         }
@@ -392,21 +476,21 @@ impl Engine {
             return id;
         }
 
-        let worm_plans: Vec<_> = plan.worms.clone();
-        for w in worm_plans {
-            let widx = self.build_worm(id, &w);
+        for w in &plan.worms {
+            let widx = self.build_worm(id, w);
             match self.worms[widx].kind {
                 WormKind::Circuit => {
                     // The control packet claims one channel at a time.
                     self.request_channel(widx, 0);
                 }
                 WormKind::Path | WormKind::Tree => {
-                    // Request the root-group channels.
-                    let root_edges: Vec<usize> = (0..self.worms[widx].edges.len())
-                        .filter(|&e| self.worms[widx].edges[e].upstream.is_none())
-                        .collect();
-                    for e in root_edges {
-                        self.request_channel(widx, e);
+                    // Request the root-group channels. Requests never
+                    // touch the upstream topology of other edges, so a
+                    // plain forward scan needs no collected list.
+                    for e in 0..self.worms[widx].edges.len() {
+                        if self.worms[widx].edges[e].upstream.is_none() {
+                            self.request_channel(widx, e);
+                        }
                     }
                 }
             }
@@ -415,27 +499,54 @@ impl Engine {
     }
 
     fn build_worm(&mut self, message: MessageId, plan: &PlanWorm) -> usize {
+        // Fill a free slot in place: its vec capacities survive reuse and
+        // its incarnation counter carries forward, so events scheduled
+        // for the previous (aborted) occupant stay stale.
+        let slot = match self.worm_free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.worms.push(WormState::vacant());
+                self.worms.len() - 1
+            }
+        };
         let kind = match plan {
             PlanWorm::Path(_) => WormKind::Path,
             PlanWorm::Tree(_) => WormKind::Tree,
             PlanWorm::Circuit(_) => WormKind::Circuit,
         };
-        let mut edges: Vec<EdgeState> = Vec::new();
+        let Engine {
+            worms,
+            scratch_feeder,
+            scratch_idx,
+            ..
+        } = self;
+        let w = &mut worms[slot];
+        w.message = message;
+        w.kind = kind;
+        w.edges.clear();
+        w.groups.clear();
+        w.children.clear();
+        w.group_members.clear();
+        w.edges_done = 0;
+        w.active = true;
+        w.stalled = false;
         match plan {
             PlanWorm::Path(p) | PlanWorm::Circuit(p) => {
                 assert!(p.nodes.len() >= 2, "path worm needs at least one hop");
-                for (i, w) in p.nodes.windows(2).enumerate() {
-                    edges.push(EdgeState {
-                        from: w[0],
-                        to: w[1],
+                let hops = p.nodes.len() - 1;
+                for (i, win) in p.nodes.windows(2).enumerate() {
+                    let has_child = i + 1 < hops;
+                    if has_child {
+                        w.children.push(i as u32 + 1);
+                    }
+                    w.edges.push(EdgeState {
+                        from: win[0],
+                        to: win[1],
                         class: p.class,
-                        upstream: if i == 0 { None } else { Some(i - 1) },
-                        children: if i + 2 < p.nodes.len() {
-                            vec![i + 1]
-                        } else {
-                            vec![]
-                        },
-                        group: i, // every path edge is its own group
+                        upstream: if i == 0 { None } else { Some(i as u32 - 1) },
+                        child_start: i as u32,
+                        child_count: u32::from(has_child),
+                        group: i as u32, // every path edge is its own group
                         channel: None,
                         waiting: false,
                         queued_on: None,
@@ -447,25 +558,28 @@ impl Engine {
             }
             PlanWorm::Tree(t) => {
                 assert!(!t.edges.is_empty(), "tree worm needs at least one edge");
-                // Map head node -> edge index that feeds it.
-                let mut feeder: std::collections::HashMap<NodeId, usize> = Default::default();
+                // `scratch_feeder[node]` = edge that feeds `node`.
                 for (i, &(from, to, class)) in t.edges.iter().enumerate() {
                     let upstream = if from == t.root {
                         None
                     } else {
-                        Some(feeder[&from])
+                        let f = scratch_feeder[from];
+                        assert!(f != u32::MAX, "tree edge {from}->{to} has no feeder");
+                        Some(f)
                     };
                     assert!(
-                        feeder.insert(to, i).is_none(),
+                        scratch_feeder[to] == u32::MAX,
                         "tree plan visits node {to} twice"
                     );
-                    edges.push(EdgeState {
+                    scratch_feeder[to] = i as u32;
+                    w.edges.push(EdgeState {
                         from,
                         to,
                         class,
                         upstream,
-                        children: Vec::new(),
-                        group: usize::MAX, // assigned below
+                        child_start: 0, // carved below
+                        child_count: 0,
+                        group: u32::MAX, // assigned below
                         channel: None,
                         waiting: false,
                         queued_on: None,
@@ -474,9 +588,30 @@ impl Engine {
                         done: false,
                     });
                 }
-                for i in 0..edges.len() {
-                    if let Some(u) = edges[i].upstream {
-                        edges[u].children.push(i);
+                for &(_, to, _) in &t.edges {
+                    scratch_feeder[to] = u32::MAX;
+                }
+                // Carve per-edge child ranges out of the arena: count,
+                // prefix-sum, then fill (ascending edge index, the same
+                // order the old per-edge vecs were pushed in).
+                for i in 0..w.edges.len() {
+                    if let Some(u) = w.edges[i].upstream {
+                        w.edges[u as usize].child_count += 1;
+                    }
+                }
+                let mut start = 0u32;
+                for e in w.edges.iter_mut() {
+                    e.child_start = start;
+                    start += e.child_count;
+                }
+                w.children.resize(start as usize, 0);
+                scratch_idx.clear();
+                scratch_idx.extend(w.edges.iter().map(|e| e.child_start));
+                for i in 0..w.edges.len() {
+                    if let Some(u) = w.edges[i].upstream {
+                        let c = scratch_idx[u as usize];
+                        w.children[c as usize] = i as u32;
+                        scratch_idx[u as usize] = c + 1;
                     }
                 }
             }
@@ -484,62 +619,72 @@ impl Engine {
         // Group assignment: siblings sharing the same feeding edge (or the
         // root) form one branch group — the nCUBE-2 all-or-nothing
         // acquisition unit.
-        let mut groups: Vec<GroupState> = Vec::new();
-        if kind == WormKind::Circuit {
-            // The whole circuit is one all-or-nothing reservation unit.
-            groups.push(GroupState {
-                members: edges.len(),
-                owned: 0,
-            });
-            for e in edges.iter_mut() {
-                e.group = 0;
-            }
-        } else if let PlanWorm::Tree(_) = plan {
-            use std::collections::HashMap;
-            let mut by_feed: HashMap<Option<usize>, usize> = HashMap::new();
-            #[allow(clippy::needless_range_loop)] // the closure below also borrows `groups`
-            for i in 0..edges.len() {
-                let key = edges[i].upstream;
-                let g = *by_feed.entry(key).or_insert_with(|| {
-                    groups.push(GroupState {
-                        members: 0,
-                        owned: 0,
-                    });
-                    groups.len() - 1
-                });
-                edges[i].group = g;
-                groups[g].members += 1;
-            }
-        } else {
-            for (i, e) in edges.iter_mut().enumerate() {
-                e.group = i;
-                groups.push(GroupState {
-                    members: 1,
+        match kind {
+            WormKind::Circuit => {
+                // The whole circuit is one all-or-nothing reservation unit.
+                let n = w.edges.len() as u32;
+                w.groups.push(GroupState {
+                    start: 0,
+                    members: n,
                     owned: 0,
                 });
+                for i in 0..n {
+                    w.edges[i as usize].group = 0;
+                    w.group_members.push(i);
+                }
+            }
+            WormKind::Path => {
+                for i in 0..w.edges.len() as u32 {
+                    w.groups.push(GroupState {
+                        start: i,
+                        members: 1,
+                        owned: 0,
+                    });
+                    w.group_members.push(i);
+                }
+            }
+            WormKind::Tree => {
+                // `scratch_idx[upstream + 1]` (0 = root-fed) = group id;
+                // first occurrence creates the group, matching the old
+                // hash-map entry() walk's creation order.
+                scratch_idx.clear();
+                scratch_idx.resize(w.edges.len() + 1, u32::MAX);
+                for i in 0..w.edges.len() {
+                    let key = match w.edges[i].upstream {
+                        None => 0,
+                        Some(u) => u as usize + 1,
+                    };
+                    let g = if scratch_idx[key] == u32::MAX {
+                        w.groups.push(GroupState {
+                            start: 0,
+                            members: 0,
+                            owned: 0,
+                        });
+                        let g = w.groups.len() as u32 - 1;
+                        scratch_idx[key] = g;
+                        g
+                    } else {
+                        scratch_idx[key]
+                    };
+                    w.edges[i].group = g;
+                    w.groups[g as usize].members += 1;
+                }
+                let mut start = 0u32;
+                for g in w.groups.iter_mut() {
+                    g.start = start;
+                    start += g.members;
+                }
+                w.group_members.resize(start as usize, 0);
+                scratch_idx.clear();
+                scratch_idx.extend(w.groups.iter().map(|g| g.start));
+                for i in 0..w.edges.len() {
+                    let g = w.edges[i].group as usize;
+                    w.group_members[scratch_idx[g] as usize] = i as u32;
+                    scratch_idx[g] += 1;
+                }
             }
         }
-
-        let mut state = WormState {
-            message,
-            kind,
-            edges,
-            groups,
-            edges_done: 0,
-            active: true,
-            gen: 0,
-            stalled: false,
-        };
-        if let Some(slot) = self.worm_free.pop() {
-            // Carry the slot's incarnation counter forward so events
-            // scheduled for the previous (aborted) occupant stay stale.
-            state.gen = self.worms[slot].gen;
-            self.worms[slot] = state;
-            slot
-        } else {
-            self.worms.push(state);
-            self.worms.len() - 1
-        }
+        slot
     }
 
     /// Requests a channel for edge `e` of worm `w`: grabs an idle copy if
@@ -562,55 +707,63 @@ impl Engine {
         // network, so every hop names an existing channel table entry; a
         // miss is a malformed plan (caller bug), not a runtime condition —
         // `inject_checked` screens untrusted plans before they get here.
-        let candidates: Vec<ChannelId> = match class {
+        // Class copies of a link have consecutive ids (class-ascending),
+        // so one range scan replaces the old candidate/live vec pair.
+        let (base, count) = match class {
             ClassChoice::Fixed(c) => {
                 let id = self
                     .network
                     .id_of(mcast_topology::Channel::with_class(from, to, c))
                     .unwrap_or_else(|| panic!("channel {from}->{to} class {c} not in network"));
-                vec![id]
+                (id, 1)
             }
             ClassChoice::Any => {
-                let ids = self.network.ids_of_link(from, to);
-                assert!(!ids.is_empty(), "no channel {from}->{to} in network");
-                ids
+                let base = self
+                    .network
+                    .link_base(from, to)
+                    .unwrap_or_else(|| panic!("no channel {from}->{to} in network"));
+                (base, self.network.classes() as usize)
             }
         };
-        // Dead channels are never granted and never queued on. If every
-        // copy of this hop is dead, the worm is wedged by hardware, not by
-        // contention: flag it stalled for the recovery layer (the plain
-        // engine then reports it via `stalled_messages`).
-        let live: Vec<ChannelId> = candidates
-            .into_iter()
-            .filter(|&c| self.network.is_alive(c))
-            .collect();
-        if live.is_empty() {
+        // Dead channels are never granted and never queued on. Grant the
+        // first live idle copy; otherwise remember the least-loaded live
+        // copy (strict `<` keeps the lowest class on queue-length ties,
+        // as the old `min_by_key` over (len, class) did).
+        let mut best: Option<(usize, ChannelId)> = None;
+        for chan in base..base + count {
+            if !self.network.is_alive(chan) {
+                continue;
+            }
+            if self.channels[chan].owner.is_none() {
+                self.grant(chan, w, e);
+                return;
+            }
+            let qlen = self.channels[chan].queue.len();
+            if best.is_none_or(|(len, _)| qlen < len) {
+                best = Some((qlen, chan));
+            }
+        }
+        let Some((_, target)) = best else {
+            // Every copy of this hop is dead: the worm is wedged by
+            // hardware, not by contention — flag it stalled for the
+            // recovery layer (the plain engine then reports it via
+            // `stalled_messages`).
             self.worms[w].stalled = true;
             let (at, message) = (self.now, self.worms[w].message);
             self.emit(SimEvent::WormStalled { at, message });
             return;
-        }
-        // Idle copy?
-        if let Some(&idle) = live.iter().find(|&&c| self.channels[c].owner.is_none()) {
-            self.grant(idle, w, e);
-            return;
-        }
-        // Queue on the least-loaded copy.
-        // INVARIANT: `live` is nonempty here — the all-dead case returned
-        // early above after marking the worm stalled.
-        let target = *live
-            .iter()
-            .min_by_key(|&&c| (self.channels[c].queue.len(), self.network.channel(c).class))
-            .expect("live candidates nonempty");
+        };
         self.channels[target].queue.push_back((w, e));
         self.worms[w].edges[e].waiting = true;
         self.worms[w].edges[e].queued_on = Some(target);
-        let (at, message) = (self.now, self.worms[w].message);
-        self.emit(SimEvent::ChannelBlocked {
-            at,
-            channel: target,
-            message,
-        });
+        if self.sink.is_some() {
+            let (at, message) = (self.now, self.worms[w].message);
+            self.emit(SimEvent::ChannelBlocked {
+                at,
+                channel: target,
+                message,
+            });
+        }
     }
 
     fn grant(&mut self, chan: ChannelId, w: usize, e: usize) {
@@ -626,13 +779,15 @@ impl Engine {
         );
         debug_assert!(self.network.is_alive(chan), "granting a dead channel");
         self.channels[chan].owner = Some((w, e));
-        let (at, message) = (self.now, self.worms[w].message);
-        self.emit(SimEvent::ChannelAcquired {
-            at,
-            channel: chan,
-            message,
-        });
-        let g = self.worms[w].edges[e].group;
+        if self.sink.is_some() {
+            let (at, message) = (self.now, self.worms[w].message);
+            self.emit(SimEvent::ChannelAcquired {
+                at,
+                channel: chan,
+                message,
+            });
+        }
+        let g = self.worms[w].edges[e].group as usize;
         self.worms[w].edges[e].channel = Some(chan);
         self.worms[w].edges[e].waiting = false;
         self.worms[w].edges[e].queued_on = None;
@@ -646,19 +801,20 @@ impl Engine {
                 self.schedule(
                     self.now + self.config.circuit_setup_ns,
                     Event::RequestChannel {
-                        worm: w,
-                        edge: next,
+                        worm: w as u32,
+                        edge: next as u32,
                         gen,
                     },
                 );
             }
         }
-        if self.worms[w].groups[g].owned == self.worms[w].groups[g].members {
-            // Group open: all its edges may start moving flits.
-            let members: Vec<usize> = (0..self.worms[w].edges.len())
-                .filter(|&i| self.worms[w].edges[i].group == g)
-                .collect();
-            for i in members {
+        let grp = self.worms[w].groups[g];
+        if grp.owned == grp.members {
+            // Group open: all its edges may start moving flits. The
+            // member arena is immutable while the worm lives, so walk it
+            // by index (ascending edge order, as before).
+            for k in grp.start..grp.start + grp.members {
+                let i = self.worms[w].group_members[k as usize] as usize;
                 self.try_start(w, i);
             }
         }
@@ -671,13 +827,15 @@ impl Engine {
                 self.now, self.channels[chan].owner
             );
         }
-        if let Some((w, _)) = self.channels[chan].owner {
-            let (at, message) = (self.now, self.worms[w].message);
-            self.emit(SimEvent::ChannelReleased {
-                at,
-                channel: chan,
-                message,
-            });
+        if self.sink.is_some() {
+            if let Some((w, _)) = self.channels[chan].owner {
+                let (at, message) = (self.now, self.worms[w].message);
+                self.emit(SimEvent::ChannelReleased {
+                    at,
+                    channel: chan,
+                    message,
+                });
+            }
         }
         self.channels[chan].owner = None;
         if !self.network.is_alive(chan) {
@@ -707,43 +865,44 @@ impl Engine {
     /// Whether edge `e` can transfer its next flit now; if so, schedule
     /// the completion event.
     fn try_start(&mut self, w: usize, e: usize) {
-        if !self.worms[w].active {
+        // One read-only pass over the worm decides whether the flit can
+        // move — `worms[w]`/`edges[e]` are bounds-checked once instead of
+        // once per condition (this runs several times per flit hop).
+        let wst = &self.worms[w];
+        if !wst.active {
             return;
         }
-        let flit = {
-            let es = &self.worms[w].edges[e];
-            if es.busy || es.done || es.channel.is_none() {
-                return;
-            }
-            es.crossed
-        };
+        let es = &wst.edges[e];
+        let Some(chan) = es.channel else { return };
+        if es.busy || es.done {
+            return;
+        }
+        let flit = es.crossed;
         if flit >= self.flits {
             return;
         }
-        let g = self.worms[w].edges[e].group;
-        if self.worms[w].groups[g].owned < self.worms[w].groups[g].members {
+        let grp = wst.groups[es.group as usize];
+        if grp.owned < grp.members {
             return; // lock-step: the branch group is not fully owned yet
         }
+        let upstream = es.upstream;
         // Upstream flit availability.
-        if let Some(u) = self.worms[w].edges[e].upstream {
-            if self.worms[w].edges[u].crossed <= flit {
+        if let Some(u) = upstream {
+            if wst.edges[u as usize].crossed <= flit {
                 return;
             }
-        } else if self.worms[w].kind == WormKind::Tree {
+        } else if wst.kind == WormKind::Tree {
             // Source-fed tree edge: the branches replicate flits from a
             // single injection buffer of `buffer_flits` capacity, so a
             // flit is discarded (making room for the next) only when
             // *every* root branch has taken it — the source-side
             // lock-step of §6.1. (Path and circuit worms stream from the
             // source unconstrained.)
-            let g = self.worms[w].edges[e].group;
-            let min_taken = self.worms[w]
-                .edges
-                .iter()
-                .filter(|s| s.group == g)
-                .map(|s| s.crossed + u32::from(s.busy))
-                .min()
-                .expect("group has members");
+            let mut min_taken = u32::MAX;
+            for k in grp.start..grp.start + grp.members {
+                let s = &wst.edges[wst.group_members[k as usize] as usize];
+                min_taken = min_taken.min(s.crossed + u32::from(s.busy));
+            }
             if flit >= min_taken + self.config.buffer_flits {
                 return;
             }
@@ -753,37 +912,31 @@ impl Engine {
         // the wire of a child channel has already left the buffer (its
         // slot frees at transfer start, as in credit-based flow control),
         // so children mid-transfer count toward the outflow.
-        {
-            let es = &self.worms[w].edges[e];
-            if !es.children.is_empty() {
-                let outflow = es
-                    .children
-                    .iter()
-                    .map(|&c| {
-                        let ch = &self.worms[w].edges[c];
-                        ch.crossed + u32::from(ch.busy)
-                    })
-                    .min()
-                    .expect("children nonempty per the branch above");
-                if es.crossed - outflow.min(es.crossed) >= self.config.buffer_flits {
-                    return;
-                }
+        if es.child_count > 0 {
+            let mut outflow = u32::MAX;
+            for k in es.child_start..es.child_start + es.child_count {
+                let ch = &wst.edges[wst.children[k as usize] as usize];
+                outflow = outflow.min(ch.crossed + u32::from(ch.busy));
+            }
+            if es.crossed - outflow.min(es.crossed) >= self.config.buffer_flits {
+                return;
             }
         }
+        let kind = wst.kind;
+        let gen = wst.gen;
+        let message = wst.message;
         // Start the transfer.
-        self.worms[w].edges[e].busy = true;
         let dt = self.flit_time
             + if flit == 0 {
                 self.config.routing_delay_ns
             } else {
                 0
             };
-        let chan = self.worms[w].edges[e]
-            .channel
-            .expect("transfer requires ownership");
+        self.worms[w].edges[e].busy = true;
         self.busy_ns[chan] += dt;
+        self.flit_hops += 1;
         if self.sink.is_some() {
-            let (start, message) = (self.now, self.worms[w].message);
+            let start = self.now;
             self.emit(SimEvent::FlitHop {
                 start,
                 end: start + dt,
@@ -792,38 +945,44 @@ impl Engine {
                 flit,
             });
         }
-        let gen = self.worms[w].gen;
         self.schedule(
             self.now + dt,
             Event::TransferComplete {
-                worm: w,
-                edge: e,
+                worm: w as u32,
+                edge: e as u32,
                 gen,
             },
         );
         // Starting frees a buffer slot upstream (flow-control credit at
         // transfer start): retry the feeder, or the root-group siblings.
-        if let Some(u) = self.worms[w].edges[e].upstream {
-            self.try_start(w, u);
-        } else if self.worms[w].kind == WormKind::Tree {
-            let g = self.worms[w].edges[e].group;
-            let siblings: Vec<usize> = (0..self.worms[w].edges.len())
-                .filter(|&i| i != e && self.worms[w].edges[i].group == g)
-                .collect();
-            for s in siblings {
+        if let Some(u) = upstream {
+            self.try_start(w, u as usize);
+        } else if kind == WormKind::Tree {
+            self.try_start_siblings(w, e);
+        }
+    }
+
+    /// Retries every group sibling of edge `e` (ascending edge index,
+    /// skipping `e` itself) — the shared-buffer wakeup for root-fed tree
+    /// branches. Walks the immutable member arena by index, so no
+    /// sibling list is allocated.
+    fn try_start_siblings(&mut self, w: usize, e: usize) {
+        let grp = self.worms[w].groups[self.worms[w].edges[e].group as usize];
+        for k in grp.start..grp.start + grp.members {
+            let s = self.worms[w].group_members[k as usize] as usize;
+            if s != e {
                 self.try_start(w, s);
             }
         }
     }
 
     fn schedule(&mut self, at: Time, ev: Event) {
-        self.seq += 1;
-        self.events.push(Reverse((at, self.seq, ev)));
+        self.events.push(at, ev);
     }
 
     /// Processes a single event. Returns `false` if no events remain.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse((t, _, ev))) = self.events.pop() else {
+        let Some((t, _, ev)) = self.events.pop() else {
             return false;
         };
         debug_assert!(t >= self.now, "time must not go backwards");
@@ -832,11 +991,13 @@ impl Engine {
             // Events for a bumped generation belong to an aborted worm
             // whose slot may have been reused — drop them silently.
             Event::TransferComplete { worm, edge, gen } => {
+                let (worm, edge) = (worm as usize, edge as usize);
                 if self.worms[worm].gen == gen && self.worms[worm].active {
                     self.on_transfer_complete(worm, edge);
                 }
             }
             Event::RequestChannel { worm, edge, gen } => {
+                let (worm, edge) = (worm as usize, edge as usize);
                 if self.worms[worm].gen == gen
                     && self.worms[worm].active
                     && self.worms[worm].edges[edge].channel.is_none()
@@ -853,7 +1014,7 @@ impl Engine {
     /// `until`. Returns the number of events processed.
     pub fn run_until(&mut self, until: Time) -> usize {
         let mut n = 0;
-        while let Some(&Reverse((t, _, _))) = self.events.peek() {
+        while let Some(t) = self.events.peek_time() {
             if t > until {
                 break;
             }
@@ -970,13 +1131,7 @@ impl Engine {
     /// are still pending). Returns `None` if the message is not live.
     pub fn delivery_status(&self, msg: MessageId) -> Option<Vec<(NodeId, Option<Time>)>> {
         let m = self.messages.get(msg)?.as_ref()?;
-        Some(
-            m.destinations
-                .iter()
-                .copied()
-                .zip(m.delivered.iter().copied())
-                .collect(),
-        )
+        Some(m.deliveries.slots().to_vec())
     }
 
     /// Injection time of a live message.
@@ -992,9 +1147,10 @@ impl Engine {
 
     /// Time of the next pending event, if any. A supervisor uses this to
     /// process events only up to its next external action and to catch
-    /// the engine at the exact moment it wedges.
+    /// the engine at the exact moment it wedges. O(1): the calendar
+    /// queue keeps its current bucket sorted.
     pub fn next_event_time(&self) -> Option<Time> {
-        self.events.peek().map(|Reverse((t, _, _))| *t)
+        self.events.peek_time()
     }
 
     /// Like [`Engine::inject`], but validates the plan against the
@@ -1129,9 +1285,9 @@ impl Engine {
         self.in_flight -= 1;
         let mut delivered = Vec::new();
         let mut pending = Vec::new();
-        for (&d, t) in m.destinations.iter().zip(&m.delivered) {
+        for &(d, t) in m.deliveries.slots() {
             match t {
-                Some(t) => delivered.push((d, *t)),
+                Some(t) => delivered.push((d, t)),
                 None => pending.push(d),
             }
         }
@@ -1152,17 +1308,30 @@ impl Engine {
     }
 
     fn on_transfer_complete(&mut self, w: usize, e: usize) {
-        {
-            let es = &mut self.worms[w].edges[e];
+        // Snapshot the immutable topology of the edge (feeder, child
+        // range, worm kind) in the same pass that bumps its flit count,
+        // so the retry cascade below doesn't re-index the worm per field.
+        let (crossed, upstream, cs, cn, kind) = {
+            let wst = &mut self.worms[w];
+            let kind = wst.kind;
+            let es = &mut wst.edges[e];
             es.busy = false;
             es.crossed += 1;
-        }
-        let crossed = self.worms[w].edges[e].crossed;
-        if crossed == 1 && self.worms[w].kind != WormKind::Circuit {
+            (
+                es.crossed,
+                es.upstream,
+                es.child_start,
+                es.child_count,
+                kind,
+            )
+        };
+        if crossed == 1 && kind != WormKind::Circuit {
             // Header arrived at head(e): claim the next channels. (Circuit
             // worms acquire through the establishment chain instead.)
-            let children = self.worms[w].edges[e].children.clone();
-            for c in children {
+            // The child arena is immutable while the worm lives, so walk
+            // it by index instead of cloning a per-flit list.
+            for k in cs..cs + cn {
+                let c = self.worms[w].children[k as usize] as usize;
                 self.request_channel(w, c);
             }
         }
@@ -1193,35 +1362,29 @@ impl Engine {
         // (space freed), the children (flit available), and — for root
         // edges — the group siblings sharing the injection buffer.
         self.try_start(w, e);
-        if let Some(u) = self.worms[w].edges[e].upstream {
-            self.try_start(w, u);
-        } else if self.worms[w].kind == WormKind::Tree {
-            let g = self.worms[w].edges[e].group;
-            let siblings: Vec<usize> = (0..self.worms[w].edges.len())
-                .filter(|&i| i != e && self.worms[w].edges[i].group == g)
-                .collect();
-            for s in siblings {
-                self.try_start(w, s);
-            }
+        if let Some(u) = upstream {
+            self.try_start(w, u as usize);
+        } else if kind == WormKind::Tree {
+            self.try_start_siblings(w, e);
         }
-        let children = self.worms[w].edges[e].children.clone();
-        for c in children {
+        for k in cs..cs + cn {
+            let c = self.worms[w].children[k as usize] as usize;
             self.try_start(w, c);
         }
     }
 
     fn record_delivery(&mut self, msg: MessageId, node: NodeId) {
         let now = self.now;
-        let mut newly_delivered = false;
         let m = self.messages[msg].as_mut().expect("message live");
-        for (i, &d) in m.destinations.iter().enumerate() {
-            if d == node && m.delivered[i].is_none() {
-                m.delivered[i] = Some(now);
-                m.delivered_count += 1;
-                newly_delivered = true;
+        let mut newly = 0;
+        for (d, t) in m.deliveries.slots_mut() {
+            if *d == node && t.is_none() {
+                *t = Some(now);
+                newly += 1;
             }
         }
-        if newly_delivered {
+        m.delivered_count += newly;
+        if newly > 0 && self.sink.is_some() {
             self.emit(SimEvent::Delivered {
                 at: now,
                 message: msg,
@@ -1233,10 +1396,10 @@ impl Engine {
     fn finish_message(&mut self, msg: MessageId) {
         let m = self.messages[msg].take().expect("message live");
         let deliveries: Vec<(NodeId, Time)> = m
-            .destinations
+            .deliveries
+            .slots()
             .iter()
-            .zip(&m.delivered)
-            .map(|(&d, t)| {
+            .map(|&(d, t)| {
                 (
                     d,
                     // INVARIANT: finish_message runs only when every worm

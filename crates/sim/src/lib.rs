@@ -23,6 +23,7 @@
 pub mod deadlock;
 pub mod diagnose;
 pub mod engine;
+mod equeue;
 pub mod error;
 pub mod network;
 pub mod plan;

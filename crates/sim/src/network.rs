@@ -6,23 +6,31 @@
 //! networks have one class; the double-channel networks of §6.2.1 and the
 //! Fig 7.8/7.9 experiments have two.
 
-use std::collections::HashMap;
-
 use mcast_topology::{Channel, FaultMask, NodeId, Topology};
 
 /// Dense channel identifier within a [`Network`].
 pub type ChannelId = usize;
 
 /// The channel table of a simulated network.
+///
+/// Channel ids are assigned link-major: the class copies of one directed
+/// link occupy consecutive ids `base..base + classes`. Lookups go through
+/// a CSR adjacency over the `from` node (a handful of neighbors per node)
+/// instead of a hash map — `id_of`/`link_base` sit on the engine's
+/// channel-request hot path.
 #[derive(Debug, Clone)]
 pub struct Network {
     channels: Vec<Channel>,
-    index: HashMap<Channel, ChannelId>,
     classes: u8,
     num_nodes: usize,
     /// Per-channel liveness: a failed physical link marks every class of
     /// both directions dead. Dead channels are never granted.
     alive: Vec<bool>,
+    /// CSR row offsets: node `n`'s outgoing links are
+    /// `adj[adj_start[n]..adj_start[n + 1]]`.
+    adj_start: Vec<u32>,
+    /// `(to, base id)` per directed link, grouped by `from`.
+    adj: Vec<(NodeId, ChannelId)>,
 }
 
 impl Network {
@@ -30,25 +38,36 @@ impl Network {
     /// directed channel (1 = single-channel, 2 = double-channel).
     pub fn new<T: Topology + ?Sized>(topo: &T, classes: u8) -> Self {
         assert!(classes >= 1, "at least one channel class");
+        let num_nodes = topo.num_nodes();
         let mut channels = Vec::new();
+        let mut links: Vec<(NodeId, NodeId, ChannelId)> = Vec::new();
         for base in topo.channels() {
+            links.push((base.from, base.to, channels.len()));
             for class in 0..classes {
                 channels.push(Channel::with_class(base.from, base.to, class));
             }
         }
-        let index: HashMap<Channel, ChannelId> = channels
-            .iter()
-            .copied()
-            .enumerate()
-            .map(|(i, c)| (c, i))
-            .collect();
+        let mut adj_start = vec![0u32; num_nodes + 1];
+        for &(from, _, _) in &links {
+            adj_start[from + 1] += 1;
+        }
+        for n in 0..num_nodes {
+            adj_start[n + 1] += adj_start[n];
+        }
+        let mut adj = vec![(0, 0); links.len()];
+        let mut cursor: Vec<u32> = adj_start.clone();
+        for &(from, to, base) in &links {
+            adj[cursor[from] as usize] = (to, base);
+            cursor[from] += 1;
+        }
         let alive = vec![true; channels.len()];
         Network {
             channels,
-            index,
             classes,
-            num_nodes: topo.num_nodes(),
+            num_nodes,
             alive,
+            adj_start,
+            adj,
         }
     }
 
@@ -72,16 +91,36 @@ impl Network {
         self.channels[id]
     }
 
+    /// The base (class-0) channel id of the directed `from → to` link;
+    /// its class copies occupy the consecutive ids
+    /// `base..base + classes`.
+    #[inline]
+    pub fn link_base(&self, from: NodeId, to: NodeId) -> Option<ChannelId> {
+        if from >= self.num_nodes {
+            return None;
+        }
+        let row = self.adj_start[from] as usize..self.adj_start[from + 1] as usize;
+        self.adj[row]
+            .iter()
+            .find(|&&(t, _)| t == to)
+            .map(|&(_, base)| base)
+    }
+
     /// Looks up a specific `(from, to, class)` channel.
     pub fn id_of(&self, c: Channel) -> Option<ChannelId> {
-        self.index.get(&c).copied()
+        if c.class >= self.classes {
+            return None;
+        }
+        self.link_base(c.from, c.to)
+            .map(|base| base + c.class as usize)
     }
 
     /// All channel ids for the `(from, to)` direction, one per class.
     pub fn ids_of_link(&self, from: NodeId, to: NodeId) -> Vec<ChannelId> {
-        (0..self.classes)
-            .filter_map(|class| self.id_of(Channel::with_class(from, to, class)))
-            .collect()
+        match self.link_base(from, to) {
+            Some(base) => (base..base + self.classes as usize).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Whether a channel is alive (failed channels are never granted).
@@ -155,6 +194,20 @@ mod tests {
         for id in 0..n.num_channels() {
             assert_eq!(n.id_of(n.channel(id)), Some(id));
         }
+    }
+
+    #[test]
+    fn class_copies_are_consecutive_from_link_base() {
+        let m = Mesh2D::new(4, 3);
+        let n = Network::new(&m, 2);
+        for id in 0..n.num_channels() {
+            let c = n.channel(id);
+            let base = n.link_base(c.from, c.to).expect("link exists");
+            assert_eq!(base + c.class as usize, id);
+            assert_eq!(n.channel(base).class, 0);
+        }
+        assert_eq!(n.link_base(0, 5), None, "0 and 5 are not adjacent");
+        assert_eq!(n.link_base(m.num_nodes(), 0), None);
     }
 
     #[test]

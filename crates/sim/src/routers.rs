@@ -26,7 +26,7 @@ pub trait MulticastRouter {
     fn plan(&self, mc: &MulticastSet) -> DeliveryPlan;
 }
 
-impl MulticastRouter for Box<dyn MulticastRouter> {
+impl<R: MulticastRouter + ?Sized> MulticastRouter for Box<R> {
     fn name(&self) -> &'static str {
         self.as_ref().name()
     }

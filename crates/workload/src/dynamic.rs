@@ -83,6 +83,17 @@ pub struct DynamicResult {
     /// Measured-latency distribution (log-bucketed, in ns): p50/p90/p99
     /// and exact min/max for the percentile columns of the §7.2 plots.
     pub latency_hist_ns: mcast_obs::Histogram,
+    /// Per-message measured latencies (µs) as an exact Welford
+    /// accumulator — the mergeable form the sweep aggregator folds
+    /// across replications (see [`crate::stats::Accumulator::merge`]).
+    pub latency_stats: Accumulator,
+    /// Total message completions, warmup included (the engine-side
+    /// count; `measured` is the post-warmup statistics subset).
+    pub completed: usize,
+    /// Flit-hop events processed by the engine over the whole run —
+    /// the throughput-probe numerator, counted natively so probes no
+    /// longer need a metrics sink on the hot path.
+    pub flit_hops: u64,
 }
 
 impl DynamicResult {
@@ -131,6 +142,7 @@ pub fn run_dynamic_with_sink<T: Topology + ?Sized>(
 
     let mut latencies = BatchMeans::new(cfg.batch_size);
     let mut latency_hist = mcast_obs::Histogram::new();
+    let mut latency_stats = Accumulator::new();
     let mut traffic = Accumulator::new();
     let mut completions = 0usize;
     let mut saturated = false;
@@ -154,7 +166,9 @@ pub fn run_dynamic_with_sink<T: Topology + ?Sized>(
             if completions <= cfg.warmup {
                 continue;
             }
-            latencies.push((done.completed_at - done.injected_at) as f64 / 1000.0);
+            let us = (done.completed_at - done.injected_at) as f64 / 1000.0;
+            latencies.push(us);
+            latency_stats.push(us);
             latency_hist.record(done.completed_at - done.injected_at);
             traffic.push(done.traffic as f64);
         }
@@ -180,6 +194,9 @@ pub fn run_dynamic_with_sink<T: Topology + ?Sized>(
         converged: latencies.converged(cfg.min_batches, cfg.ci_ratio),
         sim_time_ns: engine.now(),
         latency_hist_ns: latency_hist,
+        latency_stats,
+        completed: completions,
+        flit_hops: engine.flit_hops(),
     }
 }
 

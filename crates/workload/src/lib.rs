@@ -8,6 +8,7 @@
 pub mod dynamic;
 pub mod fault_sweep;
 pub mod gen;
+pub mod parallel;
 pub mod static_eval;
 pub mod stats;
 
@@ -17,5 +18,9 @@ pub use dynamic::{
 };
 pub use fault_sweep::{run_fault_sweep, FaultSweepConfig, FaultSweepRow};
 pub use gen::MulticastGen;
+pub use parallel::{
+    aggregate_sweep, default_jobs, parallel_map, replication_seed, resolve_jobs, run_dynamic_sweep,
+    sweep_points, SweepAggregate, SweepConfig, SweepPoint, SweepRow,
+};
 pub use static_eval::{broadcast_additional, measure_traffic, TrafficPoint};
 pub use stats::{Accumulator, BatchMeans};

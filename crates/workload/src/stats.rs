@@ -70,6 +70,14 @@ impl Accumulator {
         self.inner.max()
     }
 
+    /// Folds another accumulator into this one (exact Welford combine,
+    /// see [`mcast_obs::Summary::merge`]). The parallel sweep runner
+    /// reduces per-task accumulators in task order with this, so its
+    /// aggregates are bit-identical to a serial reduction.
+    pub fn merge(&mut self, other: &Accumulator) {
+        self.inner.merge(&other.inner);
+    }
+
     /// Half-width of the 95% confidence interval of the mean.
     pub fn ci_half_width_95(&self) -> f64 {
         let n = self.inner.count();
@@ -152,6 +160,28 @@ mod tests {
         assert_eq!(a.count(), 8);
         assert!((a.mean() - 5.0).abs() < 1e-12);
         assert!((a.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_merge_combines_parts_exactly() {
+        let xs: Vec<f64> = (0..25).map(|i| (i * i % 13) as f64).collect();
+        let mut whole = Accumulator::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut merged = Accumulator::new();
+        for part in [&xs[..7], &xs[7..7], &xs[7..20], &xs[20..]] {
+            let mut a = Accumulator::new();
+            for &x in part {
+                a.push(x);
+            }
+            merged.merge(&a);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-12);
+        assert!((merged.variance() - whole.variance()).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Regression test for the parallel sweep runner: fanning the
+//! Chapter-7 grid (loads × schemes × replications) across threads must
+//! be **bit-identical** to the serial run — same latencies, same
+//! saturation flags, same completion counts, same simulated clocks —
+//! for a fixed seed set, at any job count.
+
+use mcast_sim::routers::{DualPathRouter, MultiPathMeshRouter, MulticastRouter};
+use mcast_topology::Mesh2D;
+use mcast_workload::{
+    aggregate_sweep, replication_seed, run_dynamic_sweep, sweep_points, DynamicConfig, SweepConfig,
+    SweepRow,
+};
+
+fn grid() -> SweepConfig {
+    SweepConfig {
+        base: DynamicConfig {
+            warmup: 40,
+            batch_size: 15,
+            min_batches: 2,
+            max_batches: 4,
+            destinations: 6,
+            seed: 0xd15_5e17,
+            ..DynamicConfig::default()
+        },
+        // Includes a heavy point so the saturation flag is exercised.
+        loads_ns: vec![700_000.0, 400_000.0, 60_000.0],
+        replications: 3,
+    }
+}
+
+fn run_grid(jobs: usize) -> Vec<SweepRow> {
+    let mesh = Mesh2D::new(8, 8);
+    let dual = DualPathRouter::mesh(mesh);
+    let multi = MultiPathMeshRouter::new(mesh);
+    let routers: [(&str, &(dyn MulticastRouter + Sync)); 2] =
+        [("dual-path", &dual), ("multi-path", &multi)];
+    run_dynamic_sweep(&mesh, &routers, &grid(), jobs)
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let serial = run_grid(1);
+    assert_eq!(serial.len(), 2 * 3 * 3);
+    // At least one heavy point must saturate for the flag comparison to
+    // mean anything.
+    assert!(
+        serial.iter().any(|r| r.result.saturated),
+        "overload point should saturate"
+    );
+
+    for jobs in [2, 4, 8] {
+        let parallel = run_grid(jobs);
+        assert_eq!(serial.len(), parallel.len(), "jobs={jobs}");
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.point, p.point, "jobs={jobs}");
+            let ctx = format!("jobs={jobs} point={:?}", s.point);
+            // Latencies: exact f64 equality, not epsilon comparison.
+            assert_eq!(
+                s.result.mean_latency_us, p.result.mean_latency_us,
+                "mean latency, {ctx}"
+            );
+            assert_eq!(s.result.ci_us, p.result.ci_us, "ci, {ctx}");
+            assert_eq!(
+                s.result.latency_stats.mean(),
+                p.result.latency_stats.mean(),
+                "latency accumulator, {ctx}"
+            );
+            assert_eq!(
+                s.result.latency_hist_ns.p99(),
+                p.result.latency_hist_ns.p99(),
+                "p99, {ctx}"
+            );
+            // Saturation flags.
+            assert_eq!(s.result.saturated, p.result.saturated, "saturated, {ctx}");
+            assert_eq!(s.result.converged, p.result.converged, "converged, {ctx}");
+            // Completion counts.
+            assert_eq!(s.result.completed, p.result.completed, "completed, {ctx}");
+            assert_eq!(s.result.measured, p.result.measured, "measured, {ctx}");
+            assert_eq!(s.result.batches, p.result.batches, "batches, {ctx}");
+            // Engine-level clocks and work.
+            assert_eq!(s.result.sim_time_ns, p.result.sim_time_ns, "clock, {ctx}");
+            assert_eq!(s.result.flit_hops, p.result.flit_hops, "flit hops, {ctx}");
+        }
+    }
+}
+
+#[test]
+fn aggregates_merge_identically_across_job_counts() {
+    let serial = aggregate_sweep(&run_grid(1));
+    let parallel = aggregate_sweep(&run_grid(4));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.scheme, p.scheme);
+        assert_eq!(s.mean_interarrival_ns, p.mean_interarrival_ns);
+        assert_eq!(s.latency_us.count(), p.latency_us.count());
+        assert_eq!(s.latency_us.mean(), p.latency_us.mean());
+        assert_eq!(s.latency_us.variance(), p.latency_us.variance());
+        assert_eq!(s.saturated, p.saturated);
+        assert_eq!(s.completed, p.completed);
+        assert_eq!(s.flit_hops, p.flit_hops);
+    }
+}
+
+#[test]
+fn point_seeds_depend_on_position_not_thread() {
+    let cfg = grid();
+    let points = sweep_points(&["a", "b"], &cfg);
+    assert_eq!(points.len(), 2 * 3 * 3);
+    for (i, p) in points.iter().enumerate() {
+        assert_eq!(p.seed, replication_seed(cfg.base.seed, i as u64));
+    }
+    // Rebuilding yields the same seeds (no hidden global state).
+    assert_eq!(points, sweep_points(&["a", "b"], &cfg));
+}
