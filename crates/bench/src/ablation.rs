@@ -110,13 +110,13 @@ pub fn ablation_labeling(scale: &Scale) -> Table {
 /// load circuit switching pays for holding its whole circuit through the
 /// per-hop establishment phase.
 pub fn ablation_switching(scale: &Scale) -> Table {
-    use mcast_sim::routers::{CircuitDualPathRouter, DualPathRouter};
-    use mcast_topology::Mesh2D;
+    use mcast_sim::registry::{build_router, SchemeId, TopoSpec};
     use mcast_workload::run_dynamic;
 
-    let mesh = Mesh2D::new(8, 8);
-    let worm = DualPathRouter::mesh(mesh);
-    let circuit = CircuitDualPathRouter::mesh(mesh);
+    let topo = TopoSpec::Mesh2D { w: 8, h: 8 };
+    let built = topo.build();
+    let worm = build_router(&topo, &SchemeId::named("dual-path")).expect("registered");
+    let circuit = build_router(&topo, &SchemeId::named("circuit-dual-path")).expect("registered");
     let mut t = Table::new(
         "ablation_switching",
         "Dual-path via wormhole vs circuit switching, 8x8 mesh, k=10 [us]",
@@ -126,8 +126,8 @@ pub fn ablation_switching(scale: &Scale) -> Table {
         let mut cfg = scale.dynamic_config();
         cfg.mean_interarrival_ns = load_us * 1000.0;
         cfg.destinations = 10;
-        let rw = run_dynamic(&mesh, &worm, &cfg);
-        let rc = run_dynamic(&mesh, &circuit, &cfg);
+        let rw = run_dynamic(built.as_dyn(), worm.as_ref(), &cfg);
+        let rc = run_dynamic(built.as_dyn(), circuit.as_ref(), &cfg);
         let cell = |r: &mcast_workload::DynamicResult| {
             if r.saturated {
                 "sat".to_string()
@@ -323,35 +323,39 @@ mod switching_tests {
 /// and VCT replication buffers).
 pub fn ablation_throughput(scale: &Scale) -> Table {
     use mcast_sim::engine::SimConfig;
-    use mcast_sim::routers::{
-        DoubleChannelTreeRouter, DualPathRouter, FixedPathRouter, MultiPathMeshRouter,
-        MulticastRouter,
-    };
-    use mcast_topology::Mesh2D;
+    use mcast_sim::registry::{build_router, SchemeId, TopoSpec};
     use mcast_workload::measure_saturation_throughput;
 
-    let mesh = Mesh2D::new(8, 8);
+    let topo = TopoSpec::Mesh2D { w: 8, h: 8 };
+    let built = topo.build();
     let measure = (scale.batch_size * scale.min_batches).clamp(100, 2000);
     let mut t = Table::new(
         "ablation_throughput",
         "Closed-loop saturation throughput, 8x8 mesh, k=10, 64 in flight",
         &["scheme", "msgs/ms", "mean latency us"],
     );
-    let routers: Vec<(Box<dyn MulticastRouter>, SimConfig)> = vec![
-        (Box::new(DualPathRouter::mesh(mesh)), SimConfig::default()),
-        (
-            Box::new(MultiPathMeshRouter::new(mesh)),
-            SimConfig::default(),
-        ),
-        (Box::new(FixedPathRouter::mesh(mesh)), SimConfig::default()),
-        (Box::new(DoubleChannelTreeRouter::new(mesh)), {
-            let mut c = SimConfig::default();
-            c.buffer_flits = c.flits_per_message(); // VCT replication buffers
-            c
-        }),
+    let vct = {
+        let mut c = SimConfig::default();
+        c.buffer_flits = c.flits_per_message(); // VCT replication buffers
+        c
+    };
+    let runs = [
+        ("dual-path", SimConfig::default()),
+        ("multi-path", SimConfig::default()),
+        ("fixed-path", SimConfig::default()),
+        ("dc-tree", vct),
     ];
-    for (router, sim) in &routers {
-        let r = measure_saturation_throughput(&mesh, router.as_ref(), 10, 64, measure, *sim, 5);
+    for (scheme, sim) in &runs {
+        let router = build_router(&topo, &SchemeId::named(scheme)).expect("registered");
+        let r = measure_saturation_throughput(
+            built.as_dyn(),
+            router.as_ref(),
+            10,
+            64,
+            measure,
+            *sim,
+            5,
+        );
         t.push_row(vec![
             router.name().to_string(),
             f(r.messages_per_ms, 2),

@@ -2,15 +2,21 @@
 //! (Figs 7.8–7.11): average network latency under Poisson multicast
 //! traffic on an 8×8 mesh, measured by the flit-level wormhole engine
 //! with the §7.2 parameters (128-byte messages, 20 Mbyte/s channels).
+//!
+//! Each figure is expressed as an [`ExperimentSpec`] — the registry
+//! resolves the routers and the spec carries the load grid, destination
+//! count, stopping rule and channel-class override, so a figure is one
+//! declarative object plus table formatting.
 
-use mcast_sim::routers::{
-    DoubleChannelTreeRouter, DualPathRouter, FixedPathRouter, MultiPathMeshRouter, MulticastRouter,
-};
-use mcast_topology::Mesh2D;
+use mcast_sim::registry::{SchemeId, TopoSpec};
 use mcast_workload::dynamic::run_dynamic;
+use mcast_workload::{DynamicConfig, DynamicResult, ExperimentSpec};
 
 use crate::report::{f, Table};
 use crate::scale::Scale;
+
+/// The §7.2 evaluation network.
+const MESH8: TopoSpec = TopoSpec::Mesh2D { w: 8, h: 8 };
 
 /// Loads for the latency-vs-load sweeps: mean interarrival per node (µs).
 /// Lower = heavier; the heaviest points push the tree scheme into
@@ -22,12 +28,52 @@ const LOAD_SWEEP_US: [f64; 11] = [
 /// Destination counts for the latency-vs-k sweeps (Fig 7.9 sweeps 1–45).
 const K_SWEEP: [usize; 7] = [1, 5, 10, 15, 25, 35, 45];
 
-fn latency_cell(r: &mcast_workload::DynamicResult) -> String {
+fn latency_cell(r: &DynamicResult) -> String {
     if r.saturated {
         "sat".to_string()
     } else {
         f(r.mean_latency_us, 1)
     }
+}
+
+/// The spec behind one figure: 8×8 mesh, the named schemes, a load
+/// grid, one replication per cell at the harness's base seed.
+fn figure_spec(
+    name: &str,
+    scale: &Scale,
+    schemes: &[&str],
+    loads_us: &[f64],
+    destinations: usize,
+) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(name, MESH8);
+    spec.schemes = schemes.iter().map(|s| SchemeId::named(s)).collect();
+    spec.loads_us = loads_us.to_vec();
+    spec.destinations = destinations;
+    spec.replications = 1;
+    spec.stopping = scale.stopping_rule();
+    spec.seed = DynamicConfig::default().seed;
+    spec
+}
+
+/// Runs every (load, scheme) cell of a spec at the base seed, returning
+/// `cells[load][scheme]` — single-replication figure cells, not the
+/// replicated CI sweep grid.
+fn run_cells(spec: &ExperimentSpec) -> Vec<Vec<DynamicResult>> {
+    let routers = spec.build_routers().expect("figure spec resolves");
+    let built = spec.topology.build();
+    spec.loads_us
+        .iter()
+        .map(|&load_us| {
+            routers
+                .iter()
+                .map(|(_, router)| {
+                    let mut cfg = spec.base_config();
+                    cfg.mean_interarrival_ns = load_us * 1000.0;
+                    run_dynamic(built.as_dyn(), router.as_ref(), &cfg)
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Fig 7.8: latency vs load on a *double-channel* 8×8 mesh — the
@@ -40,7 +86,6 @@ fn latency_cell(r: &mcast_workload::DynamicResult) -> String {
 /// implied by the dissertation's own VLSI-router reference [21], which
 /// degrades gracefully like the paper's plotted curve).
 pub fn fig7_8(scale: &Scale) -> Table {
-    let mesh = Mesh2D::new(8, 8);
     let mut t = Table::new(
         "fig7_8",
         "Latency vs load, double-channel 8x8 mesh, k=10 (Fig 7.8) [us]",
@@ -52,23 +97,29 @@ pub fn fig7_8(scale: &Scale) -> Table {
             "multi-path",
         ],
     );
-    let tree = DoubleChannelTreeRouter::new(mesh);
-    let dual = DualPathRouter::mesh(mesh);
-    let multi = MultiPathMeshRouter::new(mesh);
-    for &load in &LOAD_SWEEP_US {
-        let mut cfg = scale.dynamic_config();
-        cfg.mean_interarrival_ns = load * 1000.0;
-        cfg.destinations = 10;
-        let mut vct = cfg.clone();
-        vct.sim.buffer_flits = vct.sim.flits_per_message();
-        let mut row = vec![f(load, 0)];
-        row.push(latency_cell(&run_on_double_channels(&mesh, &tree, &cfg)));
-        row.push(latency_cell(&run_on_double_channels(&mesh, &tree, &vct)));
-        // Fig 7.8's premise: everything runs on double channels so the
-        // comparison is fair.
-        row.push(latency_cell(&run_on_double_channels(&mesh, &dual, &cfg)));
-        row.push(latency_cell(&run_on_double_channels(&mesh, &multi, &cfg)));
-        t.push_row(row);
+    // Fig 7.8's premise: everything runs on double channels so the
+    // comparison is fair.
+    let mut spec = figure_spec(
+        "fig7_8",
+        scale,
+        &["dc-tree", "dual-path", "multi-path"],
+        &LOAD_SWEEP_US,
+        10,
+    );
+    spec.channel_classes = Some(2);
+    let mut vct = spec.clone();
+    vct.schemes = vec![SchemeId::named("dc-tree")];
+    vct.vct_buffers = true;
+    let cells = run_cells(&spec);
+    let vct_cells = run_cells(&vct);
+    for (i, &load) in LOAD_SWEEP_US.iter().enumerate() {
+        t.push_row(vec![
+            f(load, 0),
+            latency_cell(&cells[i][0]),
+            latency_cell(&vct_cells[i][0]),
+            latency_cell(&cells[i][1]),
+            latency_cell(&cells[i][2]),
+        ]);
     }
     t
 }
@@ -76,7 +127,6 @@ pub fn fig7_8(scale: &Scale) -> Table {
 /// Fig 7.9: latency vs destination-set size on the double-channel mesh,
 /// interarrival 300 µs.
 pub fn fig7_9(scale: &Scale) -> Table {
-    let mesh = Mesh2D::new(8, 8);
     let mut t = Table::new(
         "fig7_9",
         "Latency vs destinations, double-channel 8x8 mesh, 300us interarrival (Fig 7.9) [us]",
@@ -88,21 +138,27 @@ pub fn fig7_9(scale: &Scale) -> Table {
             "multi-path",
         ],
     );
-    let tree = DoubleChannelTreeRouter::new(mesh);
-    let dual = DualPathRouter::mesh(mesh);
-    let multi = MultiPathMeshRouter::new(mesh);
     for &k in &K_SWEEP {
-        let mut cfg = scale.dynamic_config();
-        cfg.mean_interarrival_ns = 300_000.0;
-        cfg.destinations = k;
-        let mut vct = cfg.clone();
-        vct.sim.buffer_flits = vct.sim.flits_per_message();
-        let mut row = vec![k.to_string()];
-        row.push(latency_cell(&run_on_double_channels(&mesh, &tree, &cfg)));
-        row.push(latency_cell(&run_on_double_channels(&mesh, &tree, &vct)));
-        row.push(latency_cell(&run_on_double_channels(&mesh, &dual, &cfg)));
-        row.push(latency_cell(&run_on_double_channels(&mesh, &multi, &cfg)));
-        t.push_row(row);
+        let mut spec = figure_spec(
+            "fig7_9",
+            scale,
+            &["dc-tree", "dual-path", "multi-path"],
+            &[300.0],
+            k,
+        );
+        spec.channel_classes = Some(2);
+        let mut vct = spec.clone();
+        vct.schemes = vec![SchemeId::named("dc-tree")];
+        vct.vct_buffers = true;
+        let cells = run_cells(&spec);
+        let vct_cells = run_cells(&vct);
+        t.push_row(vec![
+            k.to_string(),
+            latency_cell(&cells[0][0]),
+            latency_cell(&vct_cells[0][0]),
+            latency_cell(&cells[0][1]),
+            latency_cell(&cells[0][2]),
+        ]);
     }
     t
 }
@@ -110,26 +166,22 @@ pub fn fig7_9(scale: &Scale) -> Table {
 /// Fig 7.10: latency vs load on a *single-channel* 8×8 mesh — dual-path
 /// vs multi-path, k̄ = 10.
 pub fn fig7_10(scale: &Scale) -> Table {
-    let mesh = Mesh2D::new(8, 8);
     let mut t = Table::new(
         "fig7_10",
         "Latency vs load, single-channel 8x8 mesh, k=10 (Fig 7.10) [us]",
         &["interarrival us", "dual-path", "multi-path"],
     );
-    let routers: Vec<Box<dyn MulticastRouter>> = vec![
-        Box::new(DualPathRouter::mesh(mesh)),
-        Box::new(MultiPathMeshRouter::new(mesh)),
-    ];
-    for &load in &LOAD_SWEEP_US {
-        let mut row = vec![f(load, 0)];
-        for r in &routers {
-            let mut cfg = scale.dynamic_config();
-            cfg.mean_interarrival_ns = load * 1000.0;
-            cfg.destinations = 10;
-            let result = run_dynamic(&mesh, r.as_ref(), &cfg);
-            row.push(latency_cell(&result));
-        }
-        t.push_row(row);
+    let spec = figure_spec(
+        "fig7_10",
+        scale,
+        &["dual-path", "multi-path"],
+        &LOAD_SWEEP_US,
+        10,
+    );
+    for (i, row) in run_cells(&spec).iter().enumerate() {
+        let mut cells = vec![f(LOAD_SWEEP_US[i], 0)];
+        cells.extend(row.iter().map(latency_cell));
+        t.push_row(cells);
     }
     t
 }
@@ -138,56 +190,28 @@ pub fn fig7_10(scale: &Scale) -> Table {
 /// single channels — dual-path vs multi-path vs fixed-path (the
 /// multi-path hot-spot experiment).
 pub fn fig7_11(scale: &Scale) -> Table {
-    let mesh = Mesh2D::new(8, 8);
     let mut t = Table::new(
         "fig7_11",
         "Latency vs destinations under load, single-channel 8x8 mesh (Fig 7.11) [us]",
         &["k", "dual-path", "multi-path", "fixed-path"],
     );
-    let routers: Vec<Box<dyn MulticastRouter>> = vec![
-        Box::new(DualPathRouter::mesh(mesh)),
-        Box::new(MultiPathMeshRouter::new(mesh)),
-        Box::new(FixedPathRouter::mesh(mesh)),
-    ];
     for &k in &K_SWEEP {
+        // "Relatively high" load: messages every 600 µs per node keeps
+        // dual/fixed below saturation at large k while exposing the
+        // multi-path hot spots.
+        let spec = figure_spec(
+            "fig7_11",
+            scale,
+            &["dual-path", "multi-path", "fixed-path"],
+            &[600.0],
+            k,
+        );
+        let cells = run_cells(&spec);
         let mut row = vec![k.to_string()];
-        for r in &routers {
-            let mut cfg = scale.dynamic_config();
-            // "Relatively high" load: messages every 600 µs per node keeps
-            // dual/fixed below saturation at large k while exposing the
-            // multi-path hot spots.
-            cfg.mean_interarrival_ns = 600_000.0;
-            cfg.destinations = k;
-            let result = run_dynamic(&mesh, r.as_ref(), &cfg);
-            row.push(latency_cell(&result));
-        }
+        row.extend(cells[0].iter().map(latency_cell));
         t.push_row(row);
     }
     t
-}
-
-/// Runs a router on an explicitly double-channel network, regardless of
-/// what it requires (Fig 7.8/7.9's level playing field).
-fn run_on_double_channels(
-    mesh: &Mesh2D,
-    router: &dyn MulticastRouter,
-    cfg: &mcast_workload::DynamicConfig,
-) -> mcast_workload::DynamicResult {
-    // `run_dynamic` builds `required_classes()` channels; path routers
-    // declare 1 but must get 2 here. A thin adapter bumps the class count.
-    struct DoubleClasses<'a>(&'a dyn MulticastRouter);
-    impl MulticastRouter for DoubleClasses<'_> {
-        fn name(&self) -> &'static str {
-            self.0.name()
-        }
-        fn required_classes(&self) -> u8 {
-            2
-        }
-        fn plan(&self, mc: &mcast_core::model::MulticastSet) -> mcast_sim::DeliveryPlan {
-            self.0.plan(mc)
-        }
-    }
-    run_dynamic(mesh, &DoubleClasses(router), cfg)
 }
 
 #[cfg(test)]

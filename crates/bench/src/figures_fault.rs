@@ -9,10 +9,9 @@
 //! under an empty mask), and the fault-aware schemes must hold a 1.0
 //! delivery ratio for as long as the survivors stay connected.
 
-use mcast_sim::recovery::{FaultDualPathRouter, FaultMultiPathRouter, ObliviousRouter};
-use mcast_sim::routers::XFirstTreeRouter;
-use mcast_topology::Mesh2D;
-use mcast_workload::fault_sweep::{run_fault_sweep, FaultSweepConfig, FaultSweepRow};
+use mcast_sim::registry::{SchemeId, TopoSpec};
+use mcast_workload::fault_sweep::{FaultSweepConfig, FaultSweepRow};
+use mcast_workload::{ExperimentSpec, FaultSpec};
 
 use crate::report::{f, Table};
 use crate::scale::Scale;
@@ -29,17 +28,25 @@ fn latency_cell(row: &FaultSweepRow) -> String {
 }
 
 /// Fault sweep on an 8×8 mesh: fault-aware dual-path and multi-path vs
-/// the fault-oblivious X-first tree under abort-and-retry recovery.
+/// the fault-oblivious X-first tree under abort-and-retry recovery —
+/// one [`ExperimentSpec`] with a fault section, routers from the
+/// registry (`dual-path`/`multi-path` resolve to the fault-aware
+/// planners, `xfirst-tree` to the oblivious baseline).
 pub fn fault_sweep(scale: &Scale) -> Table {
-    let mesh = Mesh2D::new(8, 8);
-    let cfg = FaultSweepConfig {
-        fault_rates: FAULT_RATES.to_vec(),
+    let defaults = FaultSweepConfig::default();
+    let mut spec = ExperimentSpec::new("fault_sweep", TopoSpec::Mesh2D { w: 8, h: 8 });
+    spec.schemes = ["dual-path", "multi-path", "xfirst-tree"]
+        .iter()
+        .map(|s| SchemeId::named(s))
+        .collect();
+    spec.loads_us = vec![defaults.mean_interarrival_ns / 1000.0];
+    spec.destinations = defaults.destinations;
+    spec.seed = defaults.seed;
+    spec.fault = Some(FaultSpec {
+        rates: FAULT_RATES.to_vec(),
         messages: scale.trials_heavy.max(16),
-        ..FaultSweepConfig::default()
-    };
-    let dual = FaultDualPathRouter::mesh(mesh);
-    let multi = FaultMultiPathRouter::mesh(mesh);
-    let tree = ObliviousRouter::new(XFirstTreeRouter::new(mesh));
+        keep_connected: defaults.keep_connected,
+    });
 
     let mut t = Table::new(
         "fault_sweep",
@@ -57,27 +64,25 @@ pub fn fault_sweep(scale: &Scale) -> Table {
             "escapes",
         ],
     );
-    let runs: [&dyn mcast_sim::recovery::FaultMulticastRouter; 3] = [&dual, &multi, &tree];
-    let names = [
+    let rows = spec.run_fault_sweep().expect("fault spec resolves");
+    let labels = [
         "fault-dual-path",
         "fault-multi-path",
         "xfirst-tree (oblivious)",
     ];
-    for (router, name) in runs.iter().zip(names) {
-        for row in run_fault_sweep(&mesh, *router, &cfg) {
-            t.push_row(vec![
-                name.to_string(),
-                f(row.fault_rate, 2),
-                row.failed_links.to_string(),
-                format!("{}/{}", row.destinations_delivered, row.destinations_total),
-                f(row.delivery_ratio, 3),
-                latency_cell(&row),
-                row.aborts.to_string(),
-                row.retries.to_string(),
-                row.drops.to_string(),
-                row.escapes.to_string(),
-            ]);
-        }
+    for (i, row) in rows.iter().enumerate() {
+        t.push_row(vec![
+            labels[i / FAULT_RATES.len()].to_string(),
+            f(row.fault_rate, 2),
+            row.failed_links.to_string(),
+            format!("{}/{}", row.destinations_delivered, row.destinations_total),
+            f(row.delivery_ratio, 3),
+            latency_cell(row),
+            row.aborts.to_string(),
+            row.retries.to_string(),
+            row.drops.to_string(),
+            row.escapes.to_string(),
+        ]);
     }
     t
 }

@@ -1,7 +1,7 @@
 //! Effort scaling for the figure harness: the full paper-scale runs and a
 //! smoke scale used by `cargo bench` / CI.
 
-use mcast_workload::DynamicConfig;
+use mcast_workload::{DynamicConfig, StoppingRule};
 
 /// Experiment effort knobs.
 #[derive(Debug, Clone)]
@@ -73,6 +73,20 @@ impl Scale {
             min_batches: self.min_batches,
             max_batches: self.max_batches,
             ..DynamicConfig::default()
+        }
+    }
+
+    /// The same statistics knobs as an [`ExperimentSpec`] stopping rule
+    /// (for the spec-driven figure harnesses).
+    ///
+    /// [`ExperimentSpec`]: mcast_workload::ExperimentSpec
+    pub fn stopping_rule(&self) -> StoppingRule {
+        StoppingRule {
+            warmup: self.warmup,
+            batch_size: self.batch_size,
+            min_batches: self.min_batches,
+            max_batches: self.max_batches,
+            ..StoppingRule::default()
         }
     }
 }

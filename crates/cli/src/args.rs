@@ -86,17 +86,26 @@ pub fn parse_nodes(s: &str) -> Result<Vec<usize>, ArgError> {
         .collect()
 }
 
-/// Parses a coordinate like `3x2` into `(3, 2)`.
-pub fn parse_dims(s: &str) -> Result<(usize, usize), ArgError> {
-    let (a, b) = s
-        .split_once('x')
-        .ok_or_else(|| ArgError(format!("expected WxH, got {s:?}")))?;
-    Ok((
-        a.parse()
-            .map_err(|_| ArgError(format!("bad width {a:?}")))?,
-        b.parse()
-            .map_err(|_| ArgError(format!("bad height {b:?}")))?,
-    ))
+/// Parses a coordinate like `3x2` (or `4x3x2` for 3D) into its
+/// dimensions. Two or three dimensions, all positive.
+pub fn parse_dims(s: &str) -> Result<Vec<usize>, ArgError> {
+    let dims: Vec<usize> = s
+        .split('x')
+        .map(|part| {
+            part.parse()
+                .map_err(|_| ArgError(format!("bad dimension {part:?} in {s:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if dims.len() < 2 || dims.len() > 3 {
+        return Err(ArgError(format!(
+            "expected WxH or WxHxD, got {s:?} ({} dimensions)",
+            dims.len()
+        )));
+    }
+    if dims.contains(&0) {
+        return Err(ArgError(format!("zero-sized dimension in {s:?}")));
+    }
+    Ok(dims)
 }
 
 #[cfg(test)]
@@ -132,7 +141,11 @@ mod tests {
 
     #[test]
     fn dims() {
-        assert_eq!(parse_dims("8x8").unwrap(), (8, 8));
+        assert_eq!(parse_dims("8x8").unwrap(), vec![8, 8]);
+        assert_eq!(parse_dims("4x3x2").unwrap(), vec![4, 3, 2]);
         assert!(parse_dims("8").is_err());
+        assert!(parse_dims("2x2x2x2").is_err());
+        assert!(parse_dims("4x0").is_err());
+        assert!(parse_dims("4xx2").is_err());
     }
 }

@@ -1,4 +1,10 @@
 //! Subcommand implementations for the `mcast` CLI.
+//!
+//! Every subcommand resolves topologies and routing schemes through
+//! `mcast_sim::registry` ([`TopoSpec`] + [`SchemeId`]) and expresses its
+//! run as an [`ExperimentSpec`] where one applies — the CLI owns flag
+//! parsing and table formatting, nothing else. `mcast run --spec` skips
+//! the flags entirely and executes a spec file.
 
 use mcast_core::model::{MulticastRoute, MulticastSet};
 use mcast_obs::{
@@ -10,22 +16,17 @@ use mcast_sim::deadlock::{
 };
 use mcast_sim::engine::{Engine, SimConfig};
 use mcast_sim::network::Network;
-use mcast_sim::recovery::{
-    FaultDualPathRouter, FaultMultiPathRouter, FaultMulticastRouter, ObliviousRouter,
-    RecoveryPolicy,
+use mcast_sim::recovery::{ObliviousRouter, RecoveryPolicy};
+use mcast_sim::registry::{
+    build_route, build_router, channel_names, RegistryError, RoutePlan, SchemeId, TopoSpec,
 };
-use mcast_sim::routers::{
-    DoubleChannelTreeRouter, DualPathRouter, EcubeTreeRouter, FixedPathRouter, MultiPathCubeRouter,
-    MultiPathMeshRouter, MulticastRouter, VcMultiPathRouter, XFirstTreeRouter,
-};
-use mcast_topology::hamiltonian::{hypercube_cycle, mesh2d_cycle};
-use mcast_topology::labeling::{hypercube_gray, mesh2d_snake};
-use mcast_topology::{Hypercube, Mesh2D, Topology};
-use mcast_workload::fault_sweep::{run_fault_sweep, FaultSweepConfig, FaultSweepRow};
+use mcast_sim::routers::MulticastRouter;
+use mcast_topology::{Mesh2D, Topology};
+use mcast_workload::fault_sweep::{FaultSweepConfig, FaultSweepRow};
 use mcast_workload::gen::MulticastGen;
 use mcast_workload::{
-    aggregate_sweep, resolve_jobs, run_dynamic, run_dynamic_sweep, DynamicConfig, SweepConfig,
-    SweepRow,
+    aggregate_sweep, resolve_jobs, run_dynamic, DynamicConfig, ExperimentSpec, FaultSpec,
+    PatternSpec, SweepRow, TrafficPattern,
 };
 
 use crate::args::{parse_dims, parse_nodes, ArgError, Args};
@@ -41,6 +42,7 @@ USAGE:
   mcast sweep    [--topology <T>] [--algorithms <A,A,...>] [--loads-us <F,F,...>]
                  [--replications <R>] [--dests <K>] [--seed <S>]
                  [--jobs <N>] [--compare-serial true|false]
+  mcast run      --spec <file.json> [--dry-run true] [--jobs <N>]
   mcast deadlock --scenario fig6_1|fig6_4 [--algorithm <A>] [--recover true]
   mcast fault-sweep --topology <T> [--algorithm <A>] [--fault-rates 0,0.02,0.05,0.1]
                  [--messages <N>] [--dests <K>] [--seed <S>]
@@ -54,10 +56,14 @@ USAGE:
                  [--out <F>] [--json true]
   mcast help
 
-TOPOLOGIES:   mesh:WxH   cube:N
+TOPOLOGIES:   mesh:WxH  mesh:WxHxD  cube:N  kary:KxN  torus:KxN
 ALGORITHMS:   dual-path  multi-path  fixed-path  vc-multi-path:<lanes>
-              dc-tree  xfirst-tree  ecube-tree (cube)
+              circuit-dual-path  dc-tree (2D mesh)  octant-tree (3D mesh)
+              xfirst-tree (2D mesh)  ecube-tree (cube)
 ROUTE-ONLY:   sorted-mp  greedy-st  divided-greedy (mesh)
+RUN:          executes a declarative ExperimentSpec JSON file — the
+              load sweep, plus the fault sweep when the spec has a
+              fault section; --dry-run validates without running
 FAULT-SWEEP:  dual-path and multi-path plan around faults; any other
               algorithm runs fault-oblivious under abort-and-retry
 TRACE:        trace.json is Chrome trace-event JSON — open it at
@@ -68,169 +74,65 @@ SWEEP:        fans load x algorithm x replication across --jobs threads
               the parallel results are bit-identical
 NODES:        decimal ids, or 0b... binary addresses on cubes";
 
-enum Topo {
-    Mesh(Mesh2D),
-    Cube(Hypercube),
+fn to_arg(e: RegistryError) -> ArgError {
+    ArgError(e.0)
 }
 
-fn parse_topology(spec: &str) -> Result<Topo, ArgError> {
-    let (kind, rest) = spec
-        .split_once(':')
-        .ok_or_else(|| ArgError(format!("expected mesh:WxH or cube:N, got {spec:?}")))?;
-    match kind {
-        "mesh" => {
-            let (w, h) = parse_dims(rest)?;
-            Ok(Topo::Mesh(Mesh2D::new(w, h)))
-        }
-        "cube" => {
-            let n: u32 = rest
-                .parse()
-                .map_err(|_| ArgError(format!("bad cube dimension {rest:?}")))?;
-            Ok(Topo::Cube(Hypercube::new(n)))
-        }
-        other => Err(ArgError(format!("unknown topology kind {other:?}"))),
+/// Parses `--topology`: meshes go through [`parse_dims`] (2D or 3D),
+/// everything else through [`TopoSpec::parse`].
+fn parse_topology(spec: &str) -> Result<TopoSpec, ArgError> {
+    if let Some(rest) = spec.strip_prefix("mesh:") {
+        return match *parse_dims(rest)?.as_slice() {
+            [w, h] => Ok(TopoSpec::Mesh2D { w, h }),
+            [w, h, d] => Ok(TopoSpec::Mesh3D { w, h, d }),
+            _ => unreachable!("parse_dims yields 2 or 3 dims"),
+        };
     }
+    TopoSpec::parse(spec).map_err(to_arg)
+}
+
+fn parse_scheme(algorithm: &str) -> Result<SchemeId, ArgError> {
+    SchemeId::parse(algorithm).map_err(to_arg)
 }
 
 fn make_router(
-    topo: &Topo,
+    topo: &TopoSpec,
     algorithm: &str,
 ) -> Result<Box<dyn MulticastRouter + Send + Sync>, ArgError> {
-    let (alg, lanes) = match algorithm.split_once(':') {
-        Some((a, l)) => (
-            a,
-            Some(
-                l.parse::<u8>()
-                    .map_err(|_| ArgError(format!("bad lane count {l:?}")))?,
-            ),
-        ),
-        None => (algorithm, None),
-    };
-    Ok(match (topo, alg) {
-        (Topo::Mesh(m), "dual-path") => Box::new(DualPathRouter::mesh(*m)),
-        (Topo::Mesh(m), "multi-path") => Box::new(MultiPathMeshRouter::new(*m)),
-        (Topo::Mesh(m), "fixed-path") => Box::new(FixedPathRouter::mesh(*m)),
-        (Topo::Mesh(m), "vc-multi-path") => {
-            Box::new(VcMultiPathRouter::mesh(*m, lanes.unwrap_or(2)))
-        }
-        (Topo::Mesh(m), "dc-tree") => Box::new(DoubleChannelTreeRouter::new(*m)),
-        (Topo::Mesh(m), "xfirst-tree") => Box::new(XFirstTreeRouter::new(*m)),
-        (Topo::Cube(c), "dual-path") => Box::new(DualPathRouter::hypercube(*c)),
-        (Topo::Cube(c), "multi-path") => Box::new(MultiPathCubeRouter::new(*c)),
-        (Topo::Cube(c), "fixed-path") => Box::new(FixedPathRouter::hypercube(*c)),
-        (Topo::Cube(c), "vc-multi-path") => {
-            Box::new(VcMultiPathRouter::hypercube(*c, lanes.unwrap_or(2)))
-        }
-        (Topo::Cube(c), "ecube-tree") => Box::new(EcubeTreeRouter::new(*c)),
-        _ => {
-            return Err(ArgError(format!(
-                "algorithm {algorithm:?} not available on this topology"
-            )))
-        }
-    })
+    build_router(topo, &parse_scheme(algorithm)?).map_err(to_arg)
 }
 
-fn format_node(topo: &Topo, n: usize) -> String {
-    match topo {
-        Topo::Mesh(m) => {
-            let (x, y) = m.coords(n);
-            format!("{n}=({x},{y})")
-        }
-        Topo::Cube(c) => format!("{n}={}", c.format_addr(n)),
-    }
+fn format_node(topo: &TopoSpec, n: usize) -> String {
+    format!("{n}={}", topo.node_name(n))
 }
 
 /// `mcast route …`
 pub fn route(a: &Args) -> Result<(), ArgError> {
     let topo = parse_topology(a.require("topology")?)?;
-    let algorithm = a.get_or("algorithm", "dual-path");
+    let scheme = parse_scheme(a.get_or("algorithm", "dual-path"))?;
     let source = parse_nodes(a.require("source")?)?
         .first()
         .copied()
         .ok_or_else(|| ArgError("empty --source".into()))?;
     let dests = parse_nodes(a.require("dests")?)?;
-    let num_nodes = match &topo {
-        Topo::Mesh(m) => m.num_nodes(),
-        Topo::Cube(c) => c.num_nodes(),
-    };
+    let num_nodes = topo.num_nodes();
     for &n in dests.iter().chain([&source]) {
         if n >= num_nodes {
             return Err(ArgError(format!("node {n} out of range (N={num_nodes})")));
         }
     }
     let mc = MulticastSet::new(source, dests);
-
-    // Route-only algorithms print their route shape directly; router
-    // algorithms print their plan paths/trees.
-    let mc_route: MulticastRoute =
-        match (&topo, algorithm) {
-            (Topo::Mesh(m), "sorted-mp") => {
-                let cycle = mesh2d_cycle(m);
-                MulticastRoute::Path(mcast_core::sorted_mp::sorted_mp(m, &cycle, &mc))
+    let mc_route = match build_route(&topo, &scheme, &mc).map_err(to_arg)? {
+        RoutePlan::Steiner { edges, traffic } => {
+            println!("greedy Steiner tree, virtual edges:");
+            for (s, t) in edges {
+                println!("  {} -- {}", format_node(&topo, s), format_node(&topo, t));
             }
-            (Topo::Cube(c), "sorted-mp") => {
-                let cycle = hypercube_cycle(c);
-                MulticastRoute::Path(mcast_core::sorted_mp::sorted_mp(c, &cycle, &mc))
-            }
-            (Topo::Mesh(m), "divided-greedy") => {
-                MulticastRoute::Tree(mcast_core::divided_greedy::divided_greedy_tree(m, &mc))
-            }
-            (Topo::Mesh(m), "greedy-st") => {
-                let st = mcast_core::greedy_st::greedy_st(m, &mc);
-                println!("greedy Steiner tree, virtual edges:");
-                for &(s, t) in st.edges() {
-                    println!("  {} -- {}", format_node(&topo, s), format_node(&topo, t));
-                }
-                println!("traffic: {}", st.traffic(m));
-                return Ok(());
-            }
-            (Topo::Cube(c), "greedy-st") => {
-                let st = mcast_core::greedy_st::greedy_st(c, &mc);
-                println!("greedy Steiner tree, virtual edges:");
-                for &(s, t) in st.edges() {
-                    println!("  {} -- {}", format_node(&topo, s), format_node(&topo, t));
-                }
-                println!("traffic: {}", st.traffic(c));
-                return Ok(());
-            }
-            (Topo::Mesh(m), "dual-path") => {
-                MulticastRoute::Star(mcast_core::dual_path::dual_path(m, &mesh2d_snake(m), &mc))
-            }
-            (Topo::Cube(c), "dual-path") => {
-                MulticastRoute::Star(mcast_core::dual_path::dual_path(c, &hypercube_gray(c), &mc))
-            }
-            (Topo::Mesh(m), "multi-path") => MulticastRoute::Star(
-                mcast_core::multi_path::multi_path_mesh(m, &mesh2d_snake(m), &mc),
-            ),
-            (Topo::Cube(c), "multi-path") => MulticastRoute::Star(
-                mcast_core::multi_path::multi_path(c, &hypercube_gray(c), &mc),
-            ),
-            (Topo::Mesh(m), "fixed-path") => {
-                MulticastRoute::Star(mcast_core::fixed_path::fixed_path(m, &mesh2d_snake(m), &mc))
-            }
-            (Topo::Cube(c), "fixed-path") => MulticastRoute::Star(
-                mcast_core::fixed_path::fixed_path(c, &hypercube_gray(c), &mc),
-            ),
-            (Topo::Mesh(m), "xfirst-tree") => {
-                MulticastRoute::Tree(mcast_core::xfirst::xfirst_tree(m, &mc))
-            }
-            (Topo::Mesh(m), "dc-tree") => MulticastRoute::Forest(
-                mcast_core::dc_xfirst_tree::dc_xfirst(m, &mc)
-                    .into_iter()
-                    .map(|p| p.tree)
-                    .collect(),
-            ),
-            _ => {
-                return Err(ArgError(format!(
-                    "algorithm {algorithm:?} not available on this topology"
-                )))
-            }
-        };
-    match &topo {
-        Topo::Mesh(m) => mc_route.validate(m, &mc),
-        Topo::Cube(c) => mc_route.validate(c, &mc),
-    }
-    .map_err(ArgError)?;
+            println!("traffic: {traffic}");
+            return Ok(());
+        }
+        RoutePlan::Route(route) => route,
+    };
     print_route(&topo, &mc_route);
     println!("traffic: {} channels", mc_route.traffic());
     if let Some(h) = mc_route.max_dest_hops(&mc) {
@@ -246,7 +148,7 @@ pub fn route(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-fn print_route(topo: &Topo, route: &MulticastRoute) {
+fn print_route(topo: &TopoSpec, route: &MulticastRoute) {
     match route {
         MulticastRoute::Path(p) | MulticastRoute::Cycle(p) => {
             println!(
@@ -298,10 +200,8 @@ pub fn simulate(a: &Args) -> Result<(), ArgError> {
         seed: a.number("seed", 7)?,
         ..DynamicConfig::default()
     };
-    let result = match &topo {
-        Topo::Mesh(m) => run_dynamic(m, router.as_ref(), &cfg),
-        Topo::Cube(c) => run_dynamic(c, router.as_ref(), &cfg),
-    };
+    let built = topo.build();
+    let result = run_dynamic(built.as_dyn(), router.as_ref(), &cfg);
     println!("algorithm: {}", router.name());
     println!(
         "interarrival: {:.0} us/node, k = {}",
@@ -321,18 +221,31 @@ pub fn simulate(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `mcast sweep …` — the Chapter-7 grid (loads × algorithms ×
-/// replications) fanned across worker threads, with an optional serial
-/// reference leg proving the parallel run changes nothing.
-pub fn sweep(a: &Args) -> Result<(), ArgError> {
-    let topo = parse_topology(a.get_or("topology", "mesh:8x8"))?;
-    let algorithms: Vec<String> = a
+fn print_sweep_table(rows: &[SweepRow]) {
+    println!("scheme        load_us  reps  sat  mean_us     ci_us  completed");
+    for agg in aggregate_sweep(rows) {
+        println!(
+            "{:<13} {:>7.0} {:>5} {:>4}  {:>7.1}  {:>8.2}  {:>9}",
+            agg.scheme,
+            agg.mean_interarrival_ns / 1000.0,
+            agg.replications,
+            agg.saturated,
+            agg.latency_us.mean(),
+            agg.latency_us.ci_half_width_95(),
+            agg.completed,
+        );
+    }
+}
+
+/// Builds the [`ExperimentSpec`] behind `mcast sweep`'s flags.
+fn sweep_spec(a: &Args) -> Result<ExperimentSpec, ArgError> {
+    let schemes = a
         .get_or("algorithms", "dual-path,multi-path")
         .split(',')
         .filter(|s| !s.is_empty())
-        .map(str::to_string)
-        .collect();
-    if algorithms.is_empty() {
+        .map(parse_scheme)
+        .collect::<Result<Vec<_>, _>>()?;
+    if schemes.is_empty() {
         return Err(ArgError("empty --algorithms".into()));
     }
     let loads_us: Vec<f64> = a
@@ -348,55 +261,36 @@ pub fn sweep(a: &Args) -> Result<(), ArgError> {
     if loads_us.is_empty() {
         return Err(ArgError("empty --loads-us".into()));
     }
+    let mut spec = ExperimentSpec::new("sweep", parse_topology(a.get_or("topology", "mesh:8x8"))?);
+    spec.schemes = schemes;
+    spec.loads_us = loads_us;
+    spec.destinations = a.number("dests", 8)?;
+    spec.replications = a.number("replications", 3)?;
+    spec.seed = a.number("seed", 7)?;
+    Ok(spec)
+}
+
+/// `mcast sweep …` — the Chapter-7 grid (loads × algorithms ×
+/// replications) fanned across worker threads, with an optional serial
+/// reference leg proving the parallel run changes nothing.
+pub fn sweep(a: &Args) -> Result<(), ArgError> {
+    let spec = sweep_spec(a)?;
     let jobs = match a.number::<usize>("jobs", 0)? {
         0 => resolve_jobs(None),
         n => n,
     };
     let compare_serial = a.get_or("compare-serial", "true") == "true";
-    let cfg = SweepConfig {
-        base: DynamicConfig {
-            destinations: a.number("dests", 8)?,
-            seed: a.number("seed", 7)?,
-            ..DynamicConfig::default()
-        },
-        loads_ns: loads_us.iter().map(|&us| us * 1000.0).collect(),
-        replications: a.number("replications", 3)?,
-    };
-    let routers: Vec<Box<dyn MulticastRouter + Send + Sync>> = algorithms
-        .iter()
-        .map(|alg| make_router(&topo, alg))
-        .collect::<Result<_, _>>()?;
-    let named: Vec<(&str, &(dyn MulticastRouter + Sync))> = algorithms
-        .iter()
-        .zip(&routers)
-        .map(|(name, r)| (name.as_str(), r.as_ref() as &(dyn MulticastRouter + Sync)))
-        .collect();
 
-    let run = |jobs: usize| -> (Vec<SweepRow>, f64) {
+    let run = |jobs: usize| -> Result<(Vec<SweepRow>, f64), ArgError> {
         let start = std::time::Instant::now();
-        let rows = match &topo {
-            Topo::Mesh(m) => run_dynamic_sweep(m, &named, &cfg, jobs),
-            Topo::Cube(c) => run_dynamic_sweep(c, &named, &cfg, jobs),
-        };
-        (rows, start.elapsed().as_secs_f64() * 1000.0)
+        let rows = spec.run_sweep(jobs).map_err(to_arg)?;
+        Ok((rows, start.elapsed().as_secs_f64() * 1000.0))
     };
 
-    let (rows, parallel_ms) = run(jobs);
-    println!("scheme        load_us  reps  sat  mean_us     ci_us  completed");
-    for agg in aggregate_sweep(&rows) {
-        println!(
-            "{:<13} {:>7.0} {:>5} {:>4}  {:>7.1}  {:>8.2}  {:>9}",
-            agg.scheme,
-            agg.mean_interarrival_ns / 1000.0,
-            agg.replications,
-            agg.saturated,
-            agg.latency_us.mean(),
-            agg.latency_us.ci_half_width_95(),
-            agg.completed,
-        );
-    }
+    let (rows, parallel_ms) = run(jobs)?;
+    print_sweep_table(&rows);
     if compare_serial {
-        let (serial_rows, serial_ms) = run(1);
+        let (serial_rows, serial_ms) = run(1)?;
         let identical = rows.len() == serial_rows.len()
             && rows.iter().zip(&serial_rows).all(|(p, s)| {
                 p.point == s.point
@@ -438,34 +332,66 @@ pub fn sweep(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `mcast run …` — execute a declarative spec file end-to-end.
+pub fn run(a: &Args) -> Result<(), ArgError> {
+    let path = a.require("spec")?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+    let spec = ExperimentSpec::from_json(&text).map_err(to_arg)?;
+    spec.validate().map_err(to_arg)?;
+    println!(
+        "spec {:?}: {} | {} schemes x {} loads x {} replications, k = {}",
+        spec.name,
+        spec.topology,
+        spec.schemes.len(),
+        spec.loads_us.len(),
+        spec.replications,
+        spec.destinations
+    );
+    if a.get_or("dry-run", "false") == "true" {
+        println!("dry run: spec validates, all routers resolve");
+        return Ok(());
+    }
+    let jobs = match a.number::<usize>("jobs", 0)? {
+        0 => resolve_jobs(None),
+        n => n,
+    };
+    let rows = spec.run_sweep(jobs).map_err(to_arg)?;
+    print_sweep_table(&rows);
+    if spec.fault.is_some() {
+        let fault_rows = spec.run_fault_sweep().map_err(to_arg)?;
+        println!();
+        print_fault_rows(&fault_rows, "table")?;
+    }
+    Ok(())
+}
+
 /// `mcast deadlock …`
 pub fn deadlock(a: &Args) -> Result<(), ArgError> {
     let scenario = a.require("scenario")?;
     let recover = a.get_or("recover", "false") == "true";
     let (topo, algorithm, multicasts) = match scenario {
         "fig6_1" => {
-            let cube = Hypercube::new(3);
-            (
-                Topo::Cube(cube),
-                a.get_or("algorithm", "ecube-tree"),
-                fig_6_1_broadcasts(cube),
-            )
+            let topo = TopoSpec::Hypercube { dim: 3 };
+            let mcs = match topo.build() {
+                mcast_sim::registry::BuiltTopo::Hypercube(c) => fig_6_1_broadcasts(c),
+                _ => unreachable!(),
+            };
+            (topo, a.get_or("algorithm", "ecube-tree"), mcs)
         }
         "fig6_4" => {
-            let mesh = Mesh2D::new(4, 3);
+            let topo = TopoSpec::Mesh2D { w: 4, h: 3 };
             (
-                Topo::Mesh(mesh),
+                topo,
                 a.get_or("algorithm", "xfirst-tree"),
-                fig_6_4_multicasts(&mesh),
+                fig_6_4_multicasts(&Mesh2D::new(4, 3)),
             )
         }
         other => return Err(ArgError(format!("unknown scenario {other:?}"))),
     };
     let router = make_router(&topo, algorithm)?;
-    let network = match &topo {
-        Topo::Mesh(m) => Network::new(m, router.required_classes()),
-        Topo::Cube(c) => Network::new(c, router.required_classes()),
-    };
+    let built = topo.build();
+    let network = Network::new(built.as_dyn(), router.required_classes());
     if recover {
         let supervised = ObliviousRouter::new(router);
         let (outcome, stats, events) = run_closed_scenario_recovering(
@@ -538,20 +464,6 @@ fn parse_rates(s: &str) -> Result<Vec<f64>, ArgError> {
     Ok(rates)
 }
 
-fn make_fault_router(
-    topo: &Topo,
-    algorithm: &str,
-) -> Result<Box<dyn FaultMulticastRouter>, ArgError> {
-    Ok(match (topo, algorithm) {
-        (Topo::Mesh(m), "dual-path") => Box::new(FaultDualPathRouter::mesh(*m)),
-        (Topo::Cube(c), "dual-path") => Box::new(FaultDualPathRouter::hypercube(*c)),
-        (Topo::Mesh(m), "multi-path") => Box::new(FaultMultiPathRouter::mesh(*m)),
-        (Topo::Cube(c), "multi-path") => Box::new(FaultMultiPathRouter::hypercube(*c)),
-        // Everything else runs fault-oblivious under the recovery engine.
-        _ => Box::new(ObliviousRouter::new(make_router(topo, algorithm)?)),
-    })
-}
-
 fn sweep_record(row: &FaultSweepRow) -> Vec<(&'static str, String)> {
     vec![
         ("algorithm", format!("{:?}", row.algorithm)),
@@ -579,24 +491,8 @@ fn sweep_record(row: &FaultSweepRow) -> Vec<(&'static str, String)> {
     ]
 }
 
-/// `mcast fault-sweep …`
-pub fn fault_sweep(a: &Args) -> Result<(), ArgError> {
-    let topo = parse_topology(a.require("topology")?)?;
-    let algorithm = a.get_or("algorithm", "dual-path");
-    let router = make_fault_router(&topo, algorithm)?;
-    let cfg = FaultSweepConfig {
-        fault_rates: parse_rates(a.get_or("fault-rates", "0,0.02,0.05,0.1"))?,
-        messages: a.number("messages", 64)?,
-        destinations: a.number("dests", 4)?,
-        seed: a.number("seed", 7)?,
-        keep_connected: a.get_or("keep-connected", "true") == "true",
-        ..FaultSweepConfig::default()
-    };
-    let rows = match &topo {
-        Topo::Mesh(m) => run_fault_sweep(m, router.as_ref(), &cfg),
-        Topo::Cube(c) => run_fault_sweep(c, router.as_ref(), &cfg),
-    };
-    match a.get_or("format", "table") {
+fn print_fault_rows(rows: &[FaultSweepRow], format: &str) -> Result<(), ArgError> {
+    match format {
         "table" => {
             println!(
                 "{:<24} {:>6} {:>6} {:>11} {:>7} {:>11} {:>7} {:>8} {:>6} {:>8}",
@@ -611,7 +507,7 @@ pub fn fault_sweep(a: &Args) -> Result<(), ArgError> {
                 "drops",
                 "escapes"
             );
-            for r in &rows {
+            for r in rows {
                 println!(
                     "{:<24} {:>6.2} {:>6} {:>11} {:>7.3} {:>11} {:>7} {:>8} {:>6} {:>8}",
                     r.algorithm,
@@ -634,7 +530,7 @@ pub fn fault_sweep(a: &Args) -> Result<(), ArgError> {
         "csv" => {
             let fields: Vec<&str> = sweep_record(&rows[0]).iter().map(|(k, _)| *k).collect();
             println!("{}", fields.join(","));
-            for r in &rows {
+            for r in rows {
                 let vals: Vec<String> = sweep_record(r)
                     .into_iter()
                     .map(|(k, v)| {
@@ -666,6 +562,27 @@ pub fn fault_sweep(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `mcast fault-sweep …`
+pub fn fault_sweep(a: &Args) -> Result<(), ArgError> {
+    let topo = parse_topology(a.require("topology")?)?;
+    let format = a.get_or("format", "table");
+    if !["table", "csv", "json"].contains(&format) {
+        return Err(ArgError(format!("unknown format {format:?}")));
+    }
+    let mut spec = ExperimentSpec::new("fault-sweep", topo);
+    spec.schemes = vec![parse_scheme(a.get_or("algorithm", "dual-path"))?];
+    spec.loads_us = vec![FaultSweepConfig::default().mean_interarrival_ns / 1000.0];
+    spec.destinations = a.number("dests", 4)?;
+    spec.seed = a.number("seed", 7)?;
+    spec.fault = Some(FaultSpec {
+        rates: parse_rates(a.get_or("fault-rates", "0,0.02,0.05,0.1"))?,
+        messages: a.number("messages", 64)?,
+        keep_connected: a.get_or("keep-connected", "true") == "true",
+    });
+    let rows = spec.run_fault_sweep().map_err(to_arg)?;
+    print_fault_rows(&rows, format)
+}
+
 /// Traffic/observability parameters shared by `trace` and `metrics`.
 struct TraceRun {
     pattern: String,
@@ -691,45 +608,16 @@ impl TraceRun {
             seed: a.number("seed", 7)?,
         })
     }
-}
 
-/// The hot-spot node of a topology: the mesh center, or the mid-address
-/// cube node — every hot-spot multicast addresses it, concentrating
-/// contention the way §7.2's non-uniform loads do.
-fn hotspot_node(topo: &Topo) -> usize {
-    match topo {
-        Topo::Mesh(m) => m.node(m.width() / 2, m.height() / 2),
-        Topo::Cube(c) => c.num_nodes() / 2,
+    /// The resolved traffic pattern for this topology.
+    fn traffic_pattern(&self, topo: &TopoSpec) -> TrafficPattern {
+        if self.pattern == "hotspot" {
+            PatternSpec::Hotspot
+        } else {
+            PatternSpec::Uniform
+        }
+        .resolve(topo)
     }
-}
-
-fn topo_nodes(topo: &Topo) -> usize {
-    match topo {
-        Topo::Mesh(m) => m.num_nodes(),
-        Topo::Cube(c) => c.num_nodes(),
-    }
-}
-
-/// Human-readable channel labels for the trace/heatmap exporters.
-fn channel_names(topo: &Topo, network: &Network) -> Vec<String> {
-    (0..network.num_channels())
-        .map(|id| {
-            let c = network.channel(id);
-            match topo {
-                Topo::Mesh(m) => {
-                    let (fx, fy) = m.coords(c.from);
-                    let (tx, ty) = m.coords(c.to);
-                    format!("({fx},{fy})->({tx},{ty}) c{}", c.class)
-                }
-                Topo::Cube(cu) => format!(
-                    "{}->{} c{}",
-                    cu.format_addr(c.from),
-                    cu.format_addr(c.to),
-                    c.class
-                ),
-            }
-        })
-        .collect()
 }
 
 /// Injects `run.messages` Poisson-arrival multicasts (per-node
@@ -737,19 +625,17 @@ fn channel_names(topo: &Topo, network: &Network) -> Vec<String> {
 /// the given sink installed, then drains the network. Returns whether
 /// the network quiesced and the final simulated time (ns).
 fn run_traffic(
-    topo: &Topo,
+    topo: &TopoSpec,
     router: &dyn MulticastRouter,
     run: &TraceRun,
     sink: Box<dyn Sink>,
 ) -> (bool, u64) {
-    let network = match topo {
-        Topo::Mesh(m) => Network::new(m, router.required_classes()),
-        Topo::Cube(c) => Network::new(c, router.required_classes()),
-    };
+    let built = topo.build();
+    let network = Network::new(built.as_dyn(), router.required_classes());
     let mut engine = Engine::new(network, SimConfig::default());
     engine.set_sink(sink);
-    let n = topo_nodes(topo);
-    let hot = hotspot_node(topo);
+    let n = topo.num_nodes();
+    let pattern = run.traffic_pattern(topo);
     let k = run.destinations.min(n - 1);
     let mut gen = MulticastGen::new(n, run.seed);
     let mut next_gen: Vec<(u64, usize)> = (0..n)
@@ -762,11 +648,7 @@ fn run_traffic(
             .min_by_key(|((t, node), _)| (*t, *node))
             .expect("generators exist");
         engine.run_until(t);
-        let mut mc = gen.multicast_distinct(node, k);
-        if run.pattern == "hotspot" && node != hot && !mc.destinations.contains(&hot) {
-            mc.destinations[0] = hot;
-            mc = MulticastSet::new(node, mc.destinations);
-        }
+        let mc = pattern.apply(gen.multicast_distinct(node, k));
         engine.inject(&router.plan(&mc));
         next_gen[node].0 = t + gen.exponential_ns(run.mean_interarrival_ns);
     }
@@ -808,10 +690,8 @@ pub fn trace(a: &Args) -> Result<(), ArgError> {
         .with(Box::new(metrics.clone()));
     let (quiesced, finished_ns) = run_traffic(&topo, router.as_ref(), &run, Box::new(sink));
 
-    let network = match &topo {
-        Topo::Mesh(m) => Network::new(m, router.required_classes()),
-        Topo::Cube(c) => Network::new(c, router.required_classes()),
-    };
+    let built = topo.build();
+    let network = Network::new(built.as_dyn(), router.required_classes());
     let meta = TraceMeta {
         channel_names: channel_names(&topo, &network),
     };
@@ -874,7 +754,7 @@ fn mesh_heatmap(m: &Mesh2D, network: &Network, snap: &MetricsSnapshot) -> String
 }
 
 /// `mcast metrics …` — run a scenario under the metrics collector only
-/// and print the snapshot: counters, latency percentiles, and (on
+/// and print the snapshot: counters, latency percentiles, and (on 2D
 /// meshes) a per-node channel-utilization heatmap.
 pub fn metrics(a: &Args) -> Result<(), ArgError> {
     let topo = parse_topology(a.get_or("topology", "mesh:16x16"))?;
@@ -912,14 +792,11 @@ pub fn metrics(a: &Args) -> Result<(), ArgError> {
         .map(|i| snap.utilization(i))
         .fold(0.0f64, f64::max);
     println!("peak channel utilization: {:.1}%", peak * 100.0);
-    if let Topo::Mesh(m) = &topo {
-        let network = Network::new(m, router.required_classes());
-        println!(
-            "per-node peak outgoing utilization ({}x{} mesh):",
-            m.width(),
-            m.height()
-        );
-        print!("{}", mesh_heatmap(m, &network, &snap));
+    if let TopoSpec::Mesh2D { w, h } = topo {
+        let m = Mesh2D::new(w, h);
+        let network = Network::new(&m, router.required_classes());
+        println!("per-node peak outgoing utilization ({w}x{h} mesh):");
+        print!("{}", mesh_heatmap(&m, &network, &snap));
     }
     Ok(())
 }
@@ -930,6 +807,40 @@ mod tests {
 
     fn args(parts: &[&str]) -> Args {
         Args::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn spec_file_matches_flag_driven_sweep_row_for_row() {
+        // The legacy flag path and the serialized-spec path must agree
+        // cell-for-cell on a 4x4 mesh (the spec is the flags, made
+        // durable).
+        let flag_spec = sweep_spec(&args(&[
+            "sweep",
+            "--topology",
+            "mesh:4x4",
+            "--algorithms",
+            "dual-path,multi-path",
+            "--loads-us",
+            "800,500",
+            "--dests",
+            "4",
+            "--replications",
+            "2",
+        ]))
+        .unwrap();
+        let from_file = ExperimentSpec::from_json(&flag_spec.to_json()).unwrap();
+        let flag_rows = flag_spec.run_sweep(2).unwrap();
+        let spec_rows = from_file.run_sweep(1).unwrap();
+        assert_eq!(flag_rows.len(), 2 * 2 * 2);
+        assert_eq!(flag_rows.len(), spec_rows.len());
+        for (a, b) in flag_rows.iter().zip(&spec_rows) {
+            assert_eq!(a.point.scheme, b.point.scheme);
+            assert_eq!(a.point.mean_interarrival_ns, b.point.mean_interarrival_ns);
+            assert_eq!(a.point.replication, b.point.replication);
+            assert_eq!(a.point.seed, b.point.seed);
+            assert_eq!(a.result.mean_latency_us, b.result.mean_latency_us);
+            assert_eq!(a.result.completed, b.result.completed);
+        }
     }
 
     #[test]
@@ -974,6 +885,30 @@ mod tests {
                 "0b0100,0b1111,0b0011",
             ]))
             .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        }
+    }
+
+    #[test]
+    fn route_on_mesh3d_and_torus() {
+        for (topo, alg) in [
+            ("mesh:3x3x3", "dual-path"),
+            ("mesh:3x3x3", "multi-path"),
+            ("mesh:3x3x3", "greedy-st"),
+            ("torus:4x2", "dual-path"),
+            ("kary:3x2", "fixed-path"),
+        ] {
+            route(&args(&[
+                "route",
+                "--topology",
+                topo,
+                "--algorithm",
+                alg,
+                "--source",
+                "0",
+                "--dests",
+                "1,5,7",
+            ]))
+            .unwrap_or_else(|e| panic!("{topo}/{alg}: {e}"));
         }
     }
 
@@ -1071,6 +1006,26 @@ mod tests {
     }
 
     #[test]
+    fn fault_sweep_on_mesh3d_and_torus() {
+        for topo in ["mesh:3x3x2", "torus:3x2"] {
+            fault_sweep(&args(&[
+                "fault-sweep",
+                "--topology",
+                topo,
+                "--algorithm",
+                "multi-path",
+                "--fault-rates",
+                "0,0.1",
+                "--messages",
+                "8",
+                "--dests",
+                "3",
+            ]))
+            .unwrap_or_else(|e| panic!("{topo}: {e}"));
+        }
+    }
+
+    #[test]
     fn trace_command_emits_valid_chrome_trace() {
         let dir = std::env::temp_dir();
         let out = dir.join("mcast_cli_test_trace.json");
@@ -1111,6 +1066,31 @@ mod tests {
     }
 
     #[test]
+    fn trace_command_works_on_every_topology_kind() {
+        let dir = std::env::temp_dir();
+        for (i, topo) in ["mesh:3x3x2", "cube:3", "torus:3x2"].iter().enumerate() {
+            let out = dir.join(format!("mcast_cli_test_trace_topo{i}.json"));
+            trace(&args(&[
+                "trace",
+                "--topology",
+                topo,
+                "--messages",
+                "16",
+                "--dests",
+                "3",
+                "--interarrival-us",
+                "40",
+                "--out",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap_or_else(|e| panic!("{topo}: {e}"));
+            let s = std::fs::read_to_string(&out).unwrap();
+            mcast_obs::validate_json(&s).unwrap_or_else(|e| panic!("{topo} trace invalid: {e}"));
+            let _ = std::fs::remove_file(&out);
+        }
+    }
+
+    #[test]
     fn sweep_command_runs_and_verifies_serial_parity() {
         // Tiny grid; --compare-serial true errors out if the parallel
         // rows diverge from the serial reference, so .unwrap() is the
@@ -1135,6 +1115,27 @@ mod tests {
         .unwrap();
         assert!(sweep(&args(&["sweep", "--algorithms", ""])).is_err());
         assert!(sweep(&args(&["sweep", "--loads-us", "abc"])).is_err());
+    }
+
+    #[test]
+    fn run_command_executes_spec_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("mcast_cli_test_spec.json");
+        std::fs::write(
+            &path,
+            r#"{"name": "cli-test", "topology": "mesh:4x4",
+                "schemes": ["dual-path", "vc-multi-path:2"],
+                "loads_us": [800], "destinations": 4, "replications": 1,
+                "stopping": {"warmup": 20, "batch_size": 10,
+                             "min_batches": 2, "max_batches": 3},
+                "fault": {"rates": [0, 0.1], "messages": 8}}"#,
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+        run(&args(&["run", "--spec", p, "--dry-run", "true"])).unwrap();
+        run(&args(&["run", "--spec", p, "--jobs", "2"])).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(run(&args(&["run", "--spec", "/nonexistent.json"])).is_err());
     }
 
     #[test]
@@ -1177,6 +1178,8 @@ mod tests {
         ]))
         .is_err());
         assert!(parse_topology("ring:5").is_err());
-        assert!(make_router(&Topo::Mesh(Mesh2D::new(4, 4)), "ecube-tree").is_err());
+        assert!(parse_topology("mesh:4x0").is_err());
+        assert!(make_router(&TopoSpec::Mesh2D { w: 4, h: 4 }, "ecube-tree").is_err());
+        assert!(make_router(&TopoSpec::Mesh2D { w: 4, h: 4 }, "dual-path:3").is_err());
     }
 }

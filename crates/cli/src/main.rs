@@ -5,6 +5,7 @@
 //! mcast route    --topology mesh:6x6 --algorithm dual-path --source 15 --dests 0,5,30,35
 //! mcast route    --topology cube:4  --algorithm multi-path --source 0b1100 --dests 0b0100,0b1111
 //! mcast simulate --topology mesh:8x8 --algorithm multi-path --interarrival-us 400 --dests 10
+//! mcast run      --spec examples/spec_fig7_5.json
 //! mcast deadlock --scenario fig6_4 --algorithm xfirst-tree
 //! mcast help
 //! ```
@@ -28,6 +29,7 @@ fn main() {
         "route" => commands::route(&parsed),
         "simulate" => commands::simulate(&parsed),
         "sweep" => commands::sweep(&parsed),
+        "run" => commands::run(&parsed),
         "deadlock" => commands::deadlock(&parsed),
         "fault-sweep" => commands::fault_sweep(&parsed),
         "trace" => commands::trace(&parsed),

@@ -1,0 +1,461 @@
+//! A dependency-free JSON value tree: the parse/serialize counterpart of
+//! [`crate::export::validate_json`].
+//!
+//! The exporters in this crate only ever *emit* JSON; the experiment-spec
+//! pipeline (`mcast-workload::spec`) also needs to *read* it back, so this
+//! module provides a small [`Json`] value with a recursive-descent parser
+//! (same grammar the validator accepts) and a canonical serializer.
+//! Canonical means: object keys keep their written order, numbers render
+//! via [`fmt_number`], and nesting is two-space indented — so a
+//! value → text → value → text round trip is byte-identical.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::json_string;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved for canonical output.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Formats a number the canonical way: integers without a fraction
+/// (`42`, not `42.0`), everything else via the shortest `f64` display.
+pub fn fmt_number(x: f64) -> String {
+    if x.is_finite() && x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else if x.is_finite() {
+        format!("{x}")
+    } else {
+        // JSON has no Infinity/NaN; callers must encode those as null
+        // before serialization. Emitting null here keeps output parseable.
+        "null".to_string()
+    }
+}
+
+impl Json {
+    /// Parses one complete JSON value from `s`.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Serializes canonically (two-space indent, key order preserved).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => out.push_str(&fmt_number(*x)),
+            Json::Str(s) => out.push_str(&json_string(s)),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str(&json_string(k));
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Object field lookup (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object's keys, for unknown-field validation.
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<BTreeMap<String, Json>> for Json {
+    fn from(m: BTreeMap<String, Json>) -> Json {
+        Json::Obj(m.into_iter().collect())
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|x| x as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.literal("false").map(|_| Json::Bool(false)),
+            Some(b'n') => self.literal("null").map(|_| Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|x| x as char),
+                self.i
+            )),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => match self.peek() {
+                    Some(b'"') => {
+                        out.push('"');
+                        self.i += 1;
+                    }
+                    Some(b'\\') => {
+                        out.push('\\');
+                        self.i += 1;
+                    }
+                    Some(b'/') => {
+                        out.push('/');
+                        self.i += 1;
+                    }
+                    Some(b'b') => {
+                        out.push('\u{0008}');
+                        self.i += 1;
+                    }
+                    Some(b'f') => {
+                        out.push('\u{000c}');
+                        self.i += 1;
+                    }
+                    Some(b'n') => {
+                        out.push('\n');
+                        self.i += 1;
+                    }
+                    Some(b'r') => {
+                        out.push('\r');
+                        self.i += 1;
+                    }
+                    Some(b't') => {
+                        out.push('\t');
+                        self.i += 1;
+                    }
+                    Some(b'u') => {
+                        self.i += 1;
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            match self.peek() {
+                                Some(h) if h.is_ascii_hexdigit() => {
+                                    code = code * 16 + (h as char).to_digit(16).unwrap();
+                                    self.i += 1;
+                                }
+                                _ => return Err(format!("bad \\u escape at byte {}", self.i)),
+                            }
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.i)),
+                },
+                0x00..=0x1f => return Err(format!("raw control char at byte {}", self.i - 1)),
+                _ => {
+                    // Collect the full UTF-8 sequence starting at c.
+                    let start = self.i - 1;
+                    let width = utf8_width(c);
+                    self.i = (start + width).min(self.b.len());
+                    match std::str::from_utf8(&self.b[start..self.i]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(format!("invalid UTF-8 at byte {start}")),
+                    }
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| {
+            let s = p.i;
+            while matches!(p.peek(), Some(c) if c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            p.i > s
+        };
+        if !digits(self) {
+            return Err(format!("expected digits at byte {}", self.i));
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return Err(format!("expected fraction digits at byte {}", self.i));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return Err(format!("expected exponent digits at byte {}", self.i));
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii number");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("unparseable number at byte {start}"))
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::validate_json;
+
+    #[test]
+    fn parse_and_serialize_round_trip() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::from("fig7_10")),
+            ("loads".into(), Json::Arr(vec![600.0.into(), 450.0.into()])),
+            ("reps".into(), Json::from(3usize)),
+            ("uniform".into(), Json::from(true)),
+            ("note".into(), Json::Null),
+        ]);
+        let text = v.to_json();
+        validate_json(&text).expect("canonical output must validate");
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, v);
+        // Byte-identical on the second lap.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v = Json::parse(r#"{"s": "a\nbA\"q\"", "x": [1.5, -2e3, 7]}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "a\nbA\"q\"");
+        let xs = v.get("x").unwrap().as_arr().unwrap();
+        assert_eq!(xs[0].as_num(), Some(1.5));
+        assert_eq!(xs[1].as_num(), Some(-2000.0));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"open").is_err());
+        assert!(Json::parse("{} junk").is_err());
+    }
+
+    #[test]
+    fn number_formatting_is_stable() {
+        assert_eq!(fmt_number(42.0), "42");
+        assert_eq!(fmt_number(0.05), "0.05");
+        assert_eq!(fmt_number(-3.0), "-3");
+        assert_eq!(fmt_number(600000.0), "600000");
+    }
+}

@@ -18,7 +18,10 @@
 //!   blocked time, latency histograms, flit/abort/recovery counters;
 //! * [`export`] — Chrome trace-event JSON (loadable in Perfetto or
 //!   `chrome://tracing`), CSV time series, and a dependency-free JSON
-//!   validator for round-trip checks.
+//!   validator for round-trip checks;
+//! * [`json`] — a dependency-free JSON value tree ([`Json`]) with a
+//!   recursive-descent parser and canonical serializer, used by the
+//!   experiment-spec pipeline for reproducible run artifacts.
 //!
 //! The contract with the engine: instrumentation is *opt-in* and must
 //! never perturb simulation results. A sink only observes — the engine
@@ -36,6 +39,7 @@
 pub mod collect;
 pub mod event;
 pub mod export;
+pub mod json;
 pub mod metrics;
 pub mod sink;
 
@@ -44,5 +48,6 @@ pub use event::{AbortCode, SimEvent};
 pub use export::{
     chrome_trace, latency_csv, utilization_csv, validate_json, TraceMeta, TraceOptions,
 };
+pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry, Summary};
 pub use sink::{NullSink, Recording, Sink, Tee};

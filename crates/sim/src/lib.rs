@@ -9,6 +9,8 @@
 //!   channel queues, pipelined path worms and lock-step tree worms,
 //!   destination delivery tracking and deadlock observation;
 //! * [`routers`]: plan factories for every Chapter 6/7 routing scheme;
+//! * [`registry`]: the data-driven (topology, scheme) → router
+//!   resolution layer — [`TopoSpec`] + [`SchemeId`] → boxed routers;
 //! * [`deadlock`]: closed-scenario replays of the §6.1 deadlock
 //!   configurations.
 //!
@@ -28,6 +30,7 @@ pub mod error;
 pub mod network;
 pub mod plan;
 pub mod recovery;
+pub mod registry;
 pub mod routers;
 pub mod switching;
 
@@ -40,5 +43,9 @@ pub use plan::{ClassChoice, DeliveryPlan, PlanPath, PlanTree, PlanWorm};
 pub use recovery::{
     AbortReason, FaultDualPathRouter, FaultMultiPathRouter, FaultMulticastRouter, FaultPlan,
     MessageOutcome, ObliviousRouter, RecoveryEngine, RecoveryEvent, RecoveryPolicy, RecoveryStats,
+};
+pub use registry::{
+    build_fault_router, build_route, build_router, schemes_for, BuiltTopo, RegistryError,
+    RoutePlan, SchemeId, SchemeInfo, TopoSpec,
 };
 pub use routers::MulticastRouter;

@@ -806,6 +806,14 @@ impl FaultDualPathRouter<Hypercube> {
     }
 }
 
+impl<T: Topology> FaultDualPathRouter<T> {
+    /// Fault-aware dual-path on any topology with a caller-supplied
+    /// Hamiltonian-path labeling.
+    pub fn with_labeling(topo: T, labeling: Labeling) -> Self {
+        FaultDualPathRouter { topo, labeling }
+    }
+}
+
 impl<T: Topology> FaultMulticastRouter for FaultDualPathRouter<T> {
     fn name(&self) -> &'static str {
         "fault-dual-path"
@@ -849,6 +857,41 @@ impl FaultMultiPathRouter<Hypercube> {
     }
 }
 
+impl<T: Topology> FaultMultiPathRouter<T> {
+    /// Fault-aware interval-split multi-path on a caller-labeled
+    /// topology (the §6.3 construction; no mesh coordinate split).
+    pub fn with_labeling(topo: T, labeling: Labeling) -> Self {
+        FaultMultiPathRouter {
+            topo,
+            labeling,
+            mesh_split: false,
+        }
+    }
+}
+
+/// The interval-split (§6.3) `FaultMulticastRouter` impl, instantiated
+/// per concrete topology — a blanket impl would conflict with the
+/// `Mesh2D` coordinate-split specialization above.
+macro_rules! interval_fault_multi_path {
+    ($($t:ty),+) => {$(
+        impl FaultMulticastRouter for FaultMultiPathRouter<$t> {
+            fn name(&self) -> &'static str {
+                "fault-multi-path"
+            }
+
+            fn plan(&self, mc: &MulticastSet, mask: &FaultMask) -> Result<FaultPlan, RouteError> {
+                if !mask.is_node_alive(mc.source) {
+                    return Err(RouteError::SourceFailed(mc.source));
+                }
+                let routed = fault_multi_path(&self.topo, &self.labeling, mask, mc)?;
+                plan_from_fault_paths(mc, routed)
+            }
+        }
+    )+};
+}
+
+interval_fault_multi_path!(Hypercube, mcast_topology::Mesh3D, mcast_topology::KAryNCube);
+
 impl FaultMulticastRouter for FaultMultiPathRouter<Mesh2D> {
     fn name(&self) -> &'static str {
         "fault-multi-path"
@@ -863,20 +906,6 @@ impl FaultMulticastRouter for FaultMultiPathRouter<Mesh2D> {
         } else {
             fault_multi_path(&self.topo, &self.labeling, mask, mc)?
         };
-        plan_from_fault_paths(mc, routed)
-    }
-}
-
-impl FaultMulticastRouter for FaultMultiPathRouter<Hypercube> {
-    fn name(&self) -> &'static str {
-        "fault-multi-path"
-    }
-
-    fn plan(&self, mc: &MulticastSet, mask: &FaultMask) -> Result<FaultPlan, RouteError> {
-        if !mask.is_node_alive(mc.source) {
-            return Err(RouteError::SourceFailed(mc.source));
-        }
-        let routed = fault_multi_path(&self.topo, &self.labeling, mask, mc)?;
         plan_from_fault_paths(mc, routed)
     }
 }

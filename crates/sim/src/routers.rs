@@ -71,6 +71,18 @@ impl DualPathRouter<Hypercube> {
     }
 }
 
+impl<T: Topology> DualPathRouter<T> {
+    /// Dual-path on any topology with a caller-supplied Hamiltonian-path
+    /// labeling (the §6.2.2 construction only needs the label order).
+    pub fn with_labeling(topo: T, labeling: Labeling) -> Self {
+        DualPathRouter {
+            topo,
+            labeling,
+            class: ClassChoice::Any,
+        }
+    }
+}
+
 impl<T: Topology> MulticastRouter for DualPathRouter<T> {
     fn name(&self) -> &'static str {
         "dual-path"
@@ -132,6 +144,33 @@ impl MulticastRouter for MultiPathCubeRouter {
     }
 }
 
+/// Multi-path routing via the generic label-interval split (§6.3) on any
+/// labeled topology — the construction `MultiPathCubeRouter` uses,
+/// available wherever a Hamiltonian-path labeling exists (3D meshes,
+/// k-ary n-cubes, ...).
+pub struct MultiPathRouter<T: Topology> {
+    topo: T,
+    labeling: Labeling,
+}
+
+impl<T: Topology> MultiPathRouter<T> {
+    /// Interval-split multi-path on a caller-labeled topology.
+    pub fn with_labeling(topo: T, labeling: Labeling) -> Self {
+        MultiPathRouter { topo, labeling }
+    }
+}
+
+impl<T: Topology> MulticastRouter for MultiPathRouter<T> {
+    fn name(&self) -> &'static str {
+        "multi-path"
+    }
+
+    fn plan(&self, mc: &MulticastSet) -> DeliveryPlan {
+        let paths = mcast_core::multi_path::multi_path(&self.topo, &self.labeling, mc);
+        DeliveryPlan::from_paths(mc, &paths, ClassChoice::Any)
+    }
+}
+
 /// Fixed-path routing (§6.2.2 Fig 6.17) over any labeled topology.
 pub struct FixedPathRouter<T: Topology> {
     topo: T,
@@ -157,6 +196,13 @@ impl FixedPathRouter<Hypercube> {
             topo: cube,
             labeling,
         }
+    }
+}
+
+impl<T: Topology> FixedPathRouter<T> {
+    /// Fixed-path on a caller-labeled topology.
+    pub fn with_labeling(topo: T, labeling: Labeling) -> Self {
+        FixedPathRouter { topo, labeling }
     }
 }
 
@@ -209,11 +255,11 @@ impl MulticastRouter for DoubleChannelTreeRouter {
 /// (§2.2.3): the §2.3.4 subnetwork argument applies to both, so the same
 /// label-monotone paths stay deadlock-free while the switching costs
 /// differ — used by the switching ablation.
-pub struct CircuitDualPathRouter {
-    inner: DualPathRouter<Mesh2D>,
+pub struct CircuitDualPathRouter<T: Topology> {
+    inner: DualPathRouter<T>,
 }
 
-impl CircuitDualPathRouter {
+impl CircuitDualPathRouter<Mesh2D> {
     /// Circuit-switched dual-path on a snake-labeled 2D mesh.
     pub fn mesh(mesh: Mesh2D) -> Self {
         CircuitDualPathRouter {
@@ -222,7 +268,16 @@ impl CircuitDualPathRouter {
     }
 }
 
-impl MulticastRouter for CircuitDualPathRouter {
+impl<T: Topology> CircuitDualPathRouter<T> {
+    /// Circuit-switched dual-path on a caller-labeled topology.
+    pub fn with_labeling(topo: T, labeling: Labeling) -> Self {
+        CircuitDualPathRouter {
+            inner: DualPathRouter::with_labeling(topo, labeling),
+        }
+    }
+}
+
+impl<T: Topology> MulticastRouter for CircuitDualPathRouter<T> {
     fn name(&self) -> &'static str {
         "dual-path/circuit"
     }
@@ -235,6 +290,38 @@ impl MulticastRouter for CircuitDualPathRouter {
             }
         }
         plan
+    }
+}
+
+/// Runs any scheme on a network with (at least) a given number of
+/// channel classes — the Fig 7.8/7.9 "level playing field", where the
+/// path schemes are compared on the double-channel network the tree
+/// scheme needs. Harnesses size the network from `required_classes`, so
+/// overriding it here is all it takes.
+pub struct ClassOverrideRouter<R> {
+    inner: R,
+    classes: u8,
+}
+
+impl<R: MulticastRouter> ClassOverrideRouter<R> {
+    /// Wraps `inner`, reporting at least `classes` required classes
+    /// (never fewer than the scheme itself needs).
+    pub fn new(inner: R, classes: u8) -> Self {
+        ClassOverrideRouter { inner, classes }
+    }
+}
+
+impl<R: MulticastRouter> MulticastRouter for ClassOverrideRouter<R> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn required_classes(&self) -> u8 {
+        self.classes.max(self.inner.required_classes())
+    }
+
+    fn plan(&self, mc: &MulticastSet) -> DeliveryPlan {
+        self.inner.plan(mc)
     }
 }
 
@@ -265,6 +352,17 @@ impl VcMultiPathRouter<Hypercube> {
         let labeling = hypercube_gray(&cube);
         VcMultiPathRouter {
             topo: cube,
+            labeling,
+            lanes,
+        }
+    }
+}
+
+impl<T: Topology> VcMultiPathRouter<T> {
+    /// Virtual-channel multicast on a caller-labeled topology.
+    pub fn with_labeling(topo: T, labeling: Labeling, lanes: u8) -> Self {
+        VcMultiPathRouter {
+            topo,
             labeling,
             lanes,
         }

@@ -9,6 +9,7 @@
 //! watches the in-flight population and reports saturation instead of
 //! looping forever — the dissertation's plots stop at the same wall.
 
+use mcast_core::model::MulticastSet;
 use mcast_sim::engine::{Engine, SimConfig, Time};
 use mcast_sim::network::Network;
 use mcast_sim::routers::MulticastRouter;
@@ -16,6 +17,40 @@ use mcast_topology::Topology;
 
 use crate::gen::MulticastGen;
 use crate::stats::{Accumulator, BatchMeans};
+
+/// Destination selection for the per-node Poisson generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Uniform random distinct destinations (§7.2's base load).
+    Uniform,
+    /// Uniform destinations, except every multicast from another node
+    /// also addresses `node` — §7.2's non-uniform hot-spot load.
+    Hotspot {
+        /// The hot-spot node every message addresses.
+        node: usize,
+    },
+}
+
+impl TrafficPattern {
+    /// Rewrites a generated multicast set to match the pattern.
+    /// `Uniform` leaves it untouched (and is therefore bit-identical to
+    /// pattern-less runs).
+    pub fn apply(&self, mc: MulticastSet) -> MulticastSet {
+        match *self {
+            TrafficPattern::Uniform => mc,
+            TrafficPattern::Hotspot { node: hot } => {
+                if mc.source == hot || mc.destinations.contains(&hot) || mc.destinations.is_empty()
+                {
+                    mc
+                } else {
+                    let mut dests = mc.destinations;
+                    dests[0] = hot;
+                    MulticastSet::new(mc.source, dests)
+                }
+            }
+        }
+    }
+}
 
 /// Parameters of one dynamic experiment run.
 #[derive(Debug, Clone)]
@@ -42,6 +77,9 @@ pub struct DynamicConfig {
     pub max_in_flight_per_node: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Destination selection pattern ([`TrafficPattern::Uniform`] is the
+    /// historical behavior and the default).
+    pub pattern: TrafficPattern,
 }
 
 impl Default for DynamicConfig {
@@ -57,6 +95,7 @@ impl Default for DynamicConfig {
             ci_ratio: 0.05,
             max_in_flight_per_node: 16,
             seed: 0x6d63_6173,
+            pattern: TrafficPattern::Uniform,
         }
     }
 }
@@ -155,7 +194,9 @@ pub fn run_dynamic_with_sink<T: Topology + ?Sized>(
             .min_by_key(|((t, node), _)| (*t, *node))
             .expect("generators exist");
         engine.run_until(t);
-        let mc = gen.multicast_distinct(node, cfg.destinations.min(n - 1));
+        let mc = cfg
+            .pattern
+            .apply(gen.multicast_distinct(node, cfg.destinations.min(n - 1)));
         let plan = router.plan(&mc);
         engine.inject(&plan);
         next_gen[node].0 = t + gen.exponential_ns(cfg.mean_interarrival_ns);

@@ -9,12 +9,13 @@ pub mod dynamic;
 pub mod fault_sweep;
 pub mod gen;
 pub mod parallel;
+pub mod spec;
 pub mod static_eval;
 pub mod stats;
 
 pub use dynamic::{
     measure_saturation_throughput, run_dynamic, run_dynamic_with_sink, DynamicConfig,
-    DynamicResult, ThroughputResult,
+    DynamicResult, ThroughputResult, TrafficPattern,
 };
 pub use fault_sweep::{run_fault_sweep, FaultSweepConfig, FaultSweepRow};
 pub use gen::MulticastGen;
@@ -22,5 +23,6 @@ pub use parallel::{
     aggregate_sweep, default_jobs, parallel_map, replication_seed, resolve_jobs, run_dynamic_sweep,
     sweep_points, SweepAggregate, SweepConfig, SweepPoint, SweepRow,
 };
+pub use spec::{ExperimentSpec, FaultSpec, PatternSpec, StoppingRule};
 pub use static_eval::{broadcast_additional, measure_traffic, TrafficPoint};
 pub use stats::{Accumulator, BatchMeans};

@@ -69,6 +69,9 @@ pub mod prelude {
     pub use mcast_core::xfirst::xfirst_tree;
     pub use mcast_core::RoutingGeometry;
     pub use mcast_obs::{Metrics, Recording, SimEvent, Sink};
+    pub use mcast_sim::registry::{
+        build_route, build_router, schemes_for, BuiltTopo, SchemeId, TopoSpec,
+    };
     pub use mcast_sim::routers::{
         DoubleChannelTreeRouter, DualPathRouter, EcubeTreeRouter, FixedPathRouter,
         MultiPathCubeRouter, MultiPathMeshRouter, MulticastRouter, XFirstTreeRouter,
@@ -81,5 +84,8 @@ pub mod prelude {
     pub use mcast_topology::{
         Channel, Dir2, GridGraph, Hypercube, KAryNCube, Mesh2D, Mesh3D, NodeId, Topology,
     };
-    pub use mcast_workload::{run_dynamic, BatchMeans, DynamicConfig, MulticastGen, TrafficPoint};
+    pub use mcast_workload::{
+        run_dynamic, BatchMeans, DynamicConfig, ExperimentSpec, MulticastGen, PatternSpec,
+        TrafficPoint,
+    };
 }

@@ -7,8 +7,14 @@
 use mcast::prelude::*;
 use mcast::routing::vc_multi_path;
 use mcast::sim::plan::{PlanPath, PlanWorm};
+use mcast::sim::registry::{build_router, scheme_info, schemes_for, TopoSpec};
+use mcast::topology::cdg::ChannelDependencyGraph;
 use mcast::topology::hamiltonian::find_path;
 use mcast::topology::CubeConnectedCycles;
+use mcast::workload::MulticastGen;
+
+/// One sample of every registered topology kind.
+const REGISTRY_TOPOS: [&str; 5] = ["mesh:4x4", "mesh:3x3x2", "cube:4", "kary:3x2", "torus:3x2"];
 
 fn star_plan(mc: &MulticastSet, paths: &[mcast::routing::PathRoute]) -> DeliveryPlan {
     DeliveryPlan {
@@ -88,6 +94,121 @@ fn saturating_closed_load_on_ccc_drains() {
         engine.inject(&star_plan(&mc, &dual_path(&ccc, &labeling, &mc)));
     }
     assert!(engine.run_to_quiescence(), "CCC saturating load wedged");
+}
+
+/// Resolves the classes a worm may occupy: `Fixed(c)` pins one class,
+/// `Any` may land on any of the network's classes.
+fn worm_classes(class: ClassChoice, num_classes: u8) -> Vec<u8> {
+    match class {
+        ClassChoice::Fixed(c) => vec![c],
+        ClassChoice::Any => (0..num_classes).collect(),
+    }
+}
+
+/// Registry exhaustiveness (§8.1 generalised): every `(topology, scheme)`
+/// pair the registry advertises builds a router, routes a smoke
+/// multicast, and drains to quiescence on the flit-level engine.
+#[test]
+fn every_registered_pair_routes_and_quiesces() {
+    for topo_s in REGISTRY_TOPOS {
+        let topo = TopoSpec::parse(topo_s).unwrap();
+        let built = topo.build();
+        let n = topo.num_nodes();
+        for scheme in schemes_for(&topo) {
+            let router = build_router(&topo, &scheme)
+                .unwrap_or_else(|e| panic!("{topo_s}/{scheme}: {}", e.0));
+            let mut gen = MulticastGen::new(n, 0xc0de);
+            for trial in 0..8 {
+                let src = gen.source();
+                let mc = gen.multicast_distinct(src, 5.min(n / 2));
+                let plan = router.plan(&mc);
+                assert_eq!(
+                    plan.destinations, mc.destinations,
+                    "{topo_s}/{scheme} trial {trial}: plan covers the set"
+                );
+                let mut engine = Engine::new(
+                    Network::new(built.as_dyn(), router.required_classes()),
+                    SimConfig::default(),
+                );
+                engine.inject(&plan);
+                assert!(
+                    engine.run_to_quiescence(),
+                    "{topo_s}/{scheme} trial {trial}: wedged"
+                );
+            }
+        }
+    }
+}
+
+/// For every registered pair whose scheme the dissertation proves
+/// deadlock-free, accumulate the channel dependencies of many random
+/// multicasts and assert each channel class's CDG is acyclic (Dally &
+/// Seitz). Deadlock-prone baselines (`xfirst-tree`, `ecube-tree`) are
+/// exactly the ones skipped.
+#[test]
+fn deadlock_free_schemes_have_acyclic_cdgs() {
+    for topo_s in REGISTRY_TOPOS {
+        let topo = TopoSpec::parse(topo_s).unwrap();
+        let built = topo.build();
+        let n = topo.num_nodes();
+        for scheme in schemes_for(&topo) {
+            let info = scheme_info(&scheme.name).expect("registered scheme has info");
+            if !info.deadlock_free {
+                continue;
+            }
+            let router = build_router(&topo, &scheme).unwrap();
+            let classes = router.required_classes();
+            // One CDG per channel class; a worm only ever waits on
+            // channels of the class it occupies.
+            let mut cdgs: Vec<ChannelDependencyGraph> = (0..classes)
+                .map(|_| ChannelDependencyGraph::new(built.as_dyn().channels()))
+                .collect();
+            let mut gen = MulticastGen::new(n, 0xd15c);
+            for _ in 0..25 {
+                let src = gen.source();
+                let mc = gen.multicast_distinct(src, (n / 2).clamp(2, 8));
+                for worm in router.plan(&mc).worms {
+                    match worm {
+                        PlanWorm::Path(p) | PlanWorm::Circuit(p) => {
+                            for c in worm_classes(p.class, classes) {
+                                for w in p.nodes.windows(3) {
+                                    cdgs[c as usize].add_dependency(
+                                        Channel::new(w[0], w[1]),
+                                        Channel::new(w[1], w[2]),
+                                    );
+                                }
+                            }
+                        }
+                        PlanWorm::Tree(t) => {
+                            // A lock-step tree holds every branch at
+                            // once: each edge depends on the child edges
+                            // it feeds (same class only — dc-tree keeps
+                            // each of its two trees within one class).
+                            for &(from, to, c1) in &t.edges {
+                                for &(from2, to2, c2) in &t.edges {
+                                    if from2 == to && c1 == c2 {
+                                        for c in worm_classes(c1, classes) {
+                                            cdgs[c as usize].add_dependency(
+                                                Channel::new(from, to),
+                                                Channel::new(from2, to2),
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for (c, cdg) in cdgs.iter().enumerate() {
+                assert!(
+                    cdg.is_acyclic(),
+                    "{topo_s}/{scheme}: class-{c} CDG has a cycle: {:?}",
+                    cdg.find_cycle()
+                );
+            }
+        }
+    }
 }
 
 #[test]
