@@ -23,9 +23,11 @@ impl std::fmt::Display for ArgError {
 
 impl Args {
     /// Parses `argv[1..]`: one subcommand followed by `--key value`
-    /// pairs.
+    /// pairs. A `--key` immediately followed by another option (or the
+    /// end of the line) is a bare boolean flag and parses as
+    /// `--key true` (e.g. `mcast verify --quick`).
     pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
-        let mut it = argv.iter();
+        let mut it = argv.iter().peekable();
         let command = it
             .next()
             .ok_or_else(|| ArgError("missing subcommand (try `mcast help`)".into()))?
@@ -35,13 +37,19 @@ impl Args {
             let key = key
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError(format!("expected --option, got {key:?}")))?;
-            let value = it
-                .next()
-                .ok_or_else(|| ArgError(format!("--{key} needs a value")))?
-                .clone();
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_string(),
+            };
             options.insert(key.to_string(), value);
         }
         Ok(Args { command, options })
+    }
+
+    /// A boolean flag: `--key`, `--key true` → true; absent or
+    /// `--key false` → false.
+    pub fn flag(&self, key: &str) -> bool {
+        self.get_or(key, "false") == "true"
     }
 
     /// A required option.
@@ -126,10 +134,21 @@ mod tests {
     }
 
     #[test]
-    fn missing_value_is_an_error() {
-        assert!(Args::parse(&argv(&["route", "--topology"])).is_err());
+    fn malformed_lines_are_errors() {
         assert!(Args::parse(&argv(&[])).is_err());
         assert!(Args::parse(&argv(&["x", "notanoption", "v"])).is_err());
+    }
+
+    #[test]
+    fn bare_flags_parse_as_true() {
+        let a = Args::parse(&argv(&["verify", "--quick", "--seed", "2"])).unwrap();
+        assert!(a.flag("quick"));
+        assert_eq!(a.number::<u64>("seed", 0).unwrap(), 2);
+        assert!(!a.flag("chaos"));
+        let b = Args::parse(&argv(&["verify", "--quick", "false"])).unwrap();
+        assert!(!b.flag("quick"));
+        let c = Args::parse(&argv(&["verify", "--quick"])).unwrap();
+        assert!(c.flag("quick"));
     }
 
     #[test]

@@ -25,8 +25,8 @@ use mcast_topology::{Mesh2D, Topology};
 use mcast_workload::fault_sweep::{FaultSweepConfig, FaultSweepRow};
 use mcast_workload::gen::MulticastGen;
 use mcast_workload::{
-    aggregate_sweep, resolve_jobs, run_dynamic, DynamicConfig, ExperimentSpec, FaultSpec,
-    PatternSpec, SweepRow, TrafficPattern,
+    aggregate_sweep, check_scenario, resolve_jobs, run_dynamic, run_verify, DynamicConfig,
+    ExperimentSpec, FaultSpec, PatternSpec, SweepRow, TrafficPattern, VerifyScenario,
 };
 
 use crate::args::{parse_dims, parse_nodes, ArgError, Args};
@@ -54,6 +54,8 @@ USAGE:
   mcast metrics  [--topology <T>] [--algorithm <A>] [--pattern hotspot|uniform]
                  [--messages <N>] [--dests <K>] [--interarrival-us <F>] [--seed <S>]
                  [--out <F>] [--json true]
+  mcast verify   [--seed <S>] [--cases <K>] [--quick] [--spec <file.json>]
+                 [--chaos swap-class] [--out <dir>]
   mcast help
 
 TOPOLOGIES:   mesh:WxH  mesh:WxHxD  cube:N  kary:KxN  torus:KxN
@@ -68,6 +70,11 @@ FAULT-SWEEP:  dual-path and multi-path plan around faults; any other
               algorithm runs fault-oblivious under abort-and-retry
 TRACE:        trace.json is Chrome trace-event JSON — open it at
               ui.perfetto.dev (or chrome://tracing)
+VERIFY:       differential conformance of the optimized engine against
+              the reference simulator (DESIGN.md §12) across the full
+              (topology, scheme) registry; --quick is the 64-case CI
+              profile, --spec replays one reproducer, failures shrink
+              to minimal reproducer specs written under --out
 SWEEP:        fans load x algorithm x replication across --jobs threads
               (default: all cores, or MCAST_JOBS / RAYON_NUM_THREADS);
               --compare-serial also runs the serial reference and checks
@@ -801,6 +808,74 @@ pub fn metrics(a: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `mcast verify …` — differential conformance of the optimized engine
+/// against the naive reference simulator (DESIGN.md §12). Without
+/// `--spec`, fuzzes `--cases` seeded scenarios across the registry;
+/// with it, replays one reproducer spec. Returns an error (non-zero
+/// exit) when any case fails, after writing shrunk reproducer specs
+/// under `--out`.
+pub fn verify(a: &Args) -> Result<(), ArgError> {
+    let chaos = match a.get_or("chaos", "none") {
+        "none" | "false" => false,
+        "swap-class" => true,
+        other => {
+            return Err(ArgError(format!(
+                "unknown --chaos {other:?} (expected swap-class)"
+            )))
+        }
+    };
+    if let Some(path) = a.options.get("spec") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+        let spec = ExperimentSpec::from_json(&text).map_err(to_arg)?;
+        spec.validate().map_err(to_arg)?;
+        let scenario = VerifyScenario::from_spec(&spec).map_err(to_arg)?;
+        println!("replaying {scenario}");
+        let problems = check_scenario(&scenario, chaos).map_err(to_arg)?;
+        if problems.is_empty() {
+            println!("conforms: engines agree, all invariants hold");
+            return Ok(());
+        }
+        for p in &problems {
+            println!("  {p}");
+        }
+        return Err(ArgError(format!(
+            "{} conformance problem(s) in {path}",
+            problems.len()
+        )));
+    }
+    let seed = a.number::<u64>("seed", 1)?;
+    let cases = a.number::<usize>("cases", if a.flag("quick") { 64 } else { 256 })?;
+    let report = run_verify(seed, cases, chaos).map_err(to_arg)?;
+    println!(
+        "verify: {} cases from seed {}, {} (topology, scheme) pairs covered",
+        report.cases, seed, report.pairs_covered
+    );
+    if report.failures.is_empty() {
+        println!("all cases conform: traces bit-identical, invariants hold");
+        return Ok(());
+    }
+    let out_dir = a.get_or("out", ".");
+    for f in &report.failures {
+        println!("case {} FAILED: {}", f.case, f.scenario);
+        for p in &f.problems {
+            println!("    {p}");
+        }
+        println!("  shrunk to {} message(s): {}", f.shrunk.messages, f.shrunk);
+        for p in &f.shrunk_problems {
+            println!("    {p}");
+        }
+        let path = format!("{out_dir}/verify-repro-case{}.json", f.case);
+        write_file(&path, &f.reproducer_spec().to_json())?;
+        println!("  reproducer: {path} (replay with mcast verify --spec)");
+    }
+    Err(ArgError(format!(
+        "{} of {} cases failed conformance",
+        report.failures.len(),
+        report.cases
+    )))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1163,6 +1238,39 @@ mod tests {
         ]))
         .unwrap();
         assert!(metrics(&args(&["metrics", "--pattern", "nope"])).is_err());
+    }
+
+    #[test]
+    fn verify_quick_profile_passes_cleanly() {
+        // The acceptance sweep: 64 cases from seed 1 must conform with
+        // zero mismatches across every registry (topology, scheme) pair.
+        verify(&args(&["verify", "--seed", "1", "--cases", "64"])).unwrap();
+        assert!(verify(&args(&["verify", "--chaos", "nope"])).is_err());
+    }
+
+    #[test]
+    fn verify_replays_specs_and_catches_the_chaos_bug() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("mcast_cli_test_verify_spec.json");
+        // A dc-tree scenario pins Fixed channel classes, so the
+        // test-only swapped-class bug must break conformance — and the
+        // same spec must pass with the bug off.
+        let scenario = VerifyScenario {
+            topology: parse_topology("mesh:4x4").unwrap(),
+            scheme: parse_scheme("dc-tree").unwrap(),
+            pattern: PatternSpec::Uniform,
+            load_us: 10.0,
+            destinations: 4,
+            messages: 4,
+            seed: 3,
+            fault_rate: 0.0,
+        };
+        std::fs::write(&path, scenario.to_spec().to_json()).unwrap();
+        let p = path.to_str().unwrap();
+        verify(&args(&["verify", "--spec", p])).unwrap();
+        assert!(verify(&args(&["verify", "--spec", p, "--chaos", "swap-class"])).is_err());
+        let _ = std::fs::remove_file(&path);
+        assert!(verify(&args(&["verify", "--spec", "/nonexistent.json"])).is_err());
     }
 
     #[test]

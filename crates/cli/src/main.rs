@@ -34,6 +34,7 @@ fn main() {
         "fault-sweep" => commands::fault_sweep(&parsed),
         "trace" => commands::trace(&parsed),
         "metrics" => commands::metrics(&parsed),
+        "verify" => commands::verify(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -320,6 +320,11 @@ pub struct Engine {
     /// Channel whose grant/release history is traced to stderr (debug aid,
     /// set from the `MCAST_TRACE_CHAN` environment variable).
     trace_chan: Option<ChannelId>,
+    /// Test-only injected bug (DESIGN.md §12): when set, the channel-class
+    /// check is swapped — `ClassChoice::Fixed(c)` resolves to the mirrored
+    /// class `classes - 1 - c`. Exists so the conformance harness can
+    /// prove it catches a real engine defect; never set in production.
+    chaos_swap_class: bool,
     /// Optional observability sink (DESIGN.md §9). `None` — the default —
     /// skips event construction entirely, keeping the uninstrumented hot
     /// path unchanged.
@@ -347,6 +352,7 @@ impl Engine {
             trace_chan: std::env::var("MCAST_TRACE_CHAN")
                 .ok()
                 .and_then(|v| v.parse().ok()),
+            chaos_swap_class: false,
             events: EventQueue::new(config.flit_time_ns()),
             scratch_feeder: vec![u32::MAX; network.num_nodes()],
             scratch_idx: Vec::new(),
@@ -375,6 +381,16 @@ impl Engine {
     /// Removes and returns the installed sink, if any.
     pub fn take_sink(&mut self) -> Option<Box<dyn Sink>> {
         self.sink.take()
+    }
+
+    /// Test-only fault injection for the conformance harness: swaps the
+    /// channel-class check so `ClassChoice::Fixed(c)` resolves to class
+    /// `classes - 1 - c`. The differential fuzzer (DESIGN.md §12) must
+    /// detect this as a class-containment violation and shrink it to a
+    /// minimal reproducer. Never enable outside verification tests.
+    #[doc(hidden)]
+    pub fn set_chaos_swap_class(&mut self, on: bool) {
+        self.chaos_swap_class = on;
     }
 
     /// Emits one event into the sink, if one is installed. `pub(crate)`
@@ -711,6 +727,11 @@ impl Engine {
         // so one range scan replaces the old candidate/live vec pair.
         let (base, count) = match class {
             ClassChoice::Fixed(c) => {
+                let c = if self.chaos_swap_class {
+                    self.network.classes() - 1 - c
+                } else {
+                    c
+                };
                 let id = self
                     .network
                     .id_of(mcast_topology::Channel::with_class(from, to, c))

@@ -285,6 +285,109 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    /// Property: the (time, seq) total order survives slot-index
+    /// wraparound deep into the ring — times at and beyond 512 whole
+    /// ring spans (512 buckets × width each), where every slot index
+    /// has wrapped hundreds of times and `b % RING_BUCKETS` aliases
+    /// many distinct buckets per slot.
+    #[test]
+    fn wraparound_beyond_512_ring_spans() {
+        const WIDTH: Time = 400;
+        const SPAN: Time = WIDTH * RING_BUCKETS; // one full ring revolution
+        let mut q: EventQueue<u32> = EventQueue::new(WIDTH);
+        let mut reference: BinaryHeap<Reverse<(Time, u64, u32)>> = BinaryHeap::new();
+        let mut rng = XorShift(0xD1B54A32D192ED03);
+        let mut seq = 0u64;
+        let mut now: Time = 0;
+        // March time past 600 ring spans (> 512×) in irregular strides,
+        // mixing in-span offsets with multi-span jumps that alias slots.
+        for round in 0..600 {
+            for _ in 0..3 {
+                let dt = match rng.next() % 3 {
+                    0 => rng.next() % WIDTH,          // same bucket
+                    1 => rng.next() % SPAN,           // within one span
+                    _ => SPAN * (1 + rng.next() % 4), // whole-span jumps
+                };
+                seq += 1;
+                q.push(now + dt, seq as u32);
+                reference.push(Reverse((now + dt, seq, seq as u32)));
+            }
+            for _ in 0..3 {
+                let got = q.pop();
+                let want = reference.pop().map(|Reverse(e)| e);
+                assert_eq!(got, want, "divergence at round {round} (now = {now})");
+                now = got.expect("pushed more than popped").0;
+            }
+            now += SPAN; // force a span crossing every round
+        }
+        assert!(now >= 512 * SPAN, "test must actually cross 512 spans");
+        while let Some(Reverse(want)) = reference.pop() {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert!(q.is_empty());
+    }
+
+    /// Property: a timestamp tie between an event that entered through
+    /// the heap overflow (pushed while its time lay beyond the ring
+    /// horizon) and events that entered through the ring or the ready
+    /// run (pushed after the horizon advanced) still resolves by
+    /// insertion seq — the overflow path must not reorder ties.
+    #[test]
+    fn time_seq_ties_across_ring_heap_boundary() {
+        const WIDTH: Time = 100;
+        let t = WIDTH * 2000; // far beyond the 512-bucket horizon at push
+        let mut q: EventQueue<u8> = EventQueue::new(WIDTH);
+        q.push(t, 1); // → overflow (seq 1)
+        q.push(t, 2); // → overflow (seq 2)
+        q.push(50, 0); // near event keeps the horizon where it is
+        assert_eq!(q.pop(), Some((50, 3, 0)));
+        // The pop advanced the horizon past `t`, migrating the overflow
+        // ties into the ready run; the same timestamp now lands there.
+        q.push(t, 3); // → ready run (seq 4)
+        q.push(t + WIDTH, 9); // later bucket, must stay behind the ties
+        q.push(t, 4); // → ready run (seq 6)
+        assert_eq!(q.pop(), Some((t, 1, 1)), "overflow tie pops first");
+        assert_eq!(q.pop(), Some((t, 2, 2)));
+        assert_eq!(q.pop(), Some((t, 4, 3)), "then the ring-side ties");
+        assert_eq!(q.pop(), Some((t, 6, 4)));
+        assert_eq!(q.pop(), Some((t + WIDTH, 5, 9)));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Property: draining the queue to empty (which recycles the
+    /// `ready` buffer through its internal clear) leaves it fully
+    /// reusable — repeated fill/drain cycles at ever-later times keep
+    /// the reference pop order, and `seq` keeps ticking monotonically
+    /// across cycles instead of resetting.
+    #[test]
+    fn pop_after_clear_reuse() {
+        const WIDTH: Time = 400;
+        let mut q: EventQueue<u32> = EventQueue::new(WIDTH);
+        let mut reference: BinaryHeap<Reverse<(Time, u64, u32)>> = BinaryHeap::new();
+        let mut rng = XorShift(0x2545F4914F6CDD1D);
+        let mut seq = 0u64;
+        let mut base: Time = 0;
+        for cycle in 0..50 {
+            for _ in 0..20 {
+                let t = base + rng.next() % (WIDTH * 700); // ring + overflow
+                seq += 1;
+                q.push(t, seq as u32);
+                reference.push(Reverse((t, seq, seq as u32)));
+            }
+            let mut last: Time = 0;
+            while let Some(got) = q.pop() {
+                assert_eq!(Some(got), reference.pop().map(|Reverse(e)| e));
+                last = got.0;
+            }
+            assert!(q.is_empty(), "cycle {cycle} drained");
+            assert_eq!(q.pop(), None);
+            assert_eq!(q.peek_time(), None);
+            assert!(reference.is_empty());
+            // Next cycle resumes later in time, as the engine would.
+            base = last + 1 + rng.next() % (WIDTH * RING_BUCKETS * 2);
+        }
+    }
+
     #[test]
     fn far_future_jump_lands_on_overflow_bucket() {
         let mut q: EventQueue<u8> = EventQueue::new(100);

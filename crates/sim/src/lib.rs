@@ -30,6 +30,7 @@ pub mod error;
 pub mod network;
 pub mod plan;
 pub mod recovery;
+pub mod reference;
 pub mod registry;
 pub mod routers;
 pub mod switching;
@@ -44,6 +45,7 @@ pub use recovery::{
     AbortReason, FaultDualPathRouter, FaultMultiPathRouter, FaultMulticastRouter, FaultPlan,
     MessageOutcome, ObliviousRouter, RecoveryEngine, RecoveryEvent, RecoveryPolicy, RecoveryStats,
 };
+pub use reference::ReferenceEngine;
 pub use registry::{
     build_fault_router, build_route, build_router, schemes_for, BuiltTopo, RegistryError,
     RoutePlan, SchemeId, SchemeInfo, TopoSpec,

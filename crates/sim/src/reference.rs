@@ -1,0 +1,895 @@
+//! The golden reference simulator (DESIGN.md §12).
+//!
+//! A deliberately naive re-implementation of the wormhole engine's
+//! semantics, used as the executable oracle of the differential
+//! conformance harness (`mcast_workload::conform`, `mcast verify`). It
+//! trades every optimization the hot engine carries for obviousness:
+//!
+//! * a plain `BinaryHeap<Reverse<(Time, seq, Event)>>` instead of the
+//!   two-level calendar queue (`equeue.rs`);
+//! * Vec-of-structs worm state with per-edge `Vec<usize>` child lists
+//!   and per-group `Vec<usize>` member lists instead of the shared
+//!   index arenas;
+//! * freshly allocated worm slots per message — no free-list reuse, no
+//!   incarnation counters, no scratch tables.
+//!
+//! What it must share with [`crate::engine::Engine`] — the *semantics
+//! contract* — is spelled out in DESIGN.md §12: the global event order
+//! `(time, insertion seq)`, the channel grant policy (first live idle
+//! class copy, else FIFO on the least-loaded live copy with the lowest
+//! class winning ties), whole-worm-exclusive channels, single-flit
+//! input buffering with credit at transfer start, the lock-step
+//! all-or-nothing branch groups of §6.1, circuit establishment
+//! chaining, per-hop timing (`flit_time`, header `routing_delay`), and
+//! delivery at the tail crossing of a destination's incoming channel.
+//! Two engines honoring that contract produce bit-identical delivery
+//! traces; the fuzzer asserts exactly that.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use mcast_topology::{FaultMask, NodeId};
+
+use crate::engine::{CompletedMessage, MessageId, SimConfig, Time};
+use crate::error::SimError;
+use crate::network::{ChannelId, Network};
+use crate::plan::{ClassChoice, DeliveryPlan, PlanWorm};
+
+/// One edge of a worm, self-contained (no arenas).
+#[derive(Debug, Clone)]
+struct RefEdge {
+    from: NodeId,
+    to: NodeId,
+    class: ClassChoice,
+    /// Edge feeding this one (`None` = fed directly by the source).
+    upstream: Option<usize>,
+    /// Edges fed by this edge's head node, ascending edge index.
+    children: Vec<usize>,
+    /// Branch group (siblings sharing a feed node).
+    group: usize,
+    channel: Option<ChannelId>,
+    waiting: bool,
+    crossed: u32,
+    busy: bool,
+    done: bool,
+}
+
+/// A branch group: the all-or-nothing acquisition unit of §6.1.
+#[derive(Debug, Clone)]
+struct RefGroup {
+    /// Member edges, ascending edge index.
+    members: Vec<usize>,
+    owned: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RefKind {
+    Path,
+    Tree,
+    Circuit,
+}
+
+#[derive(Debug)]
+struct RefWorm {
+    message: MessageId,
+    kind: RefKind,
+    edges: Vec<RefEdge>,
+    groups: Vec<RefGroup>,
+    edges_done: usize,
+    active: bool,
+    stalled: bool,
+}
+
+#[derive(Debug, Default)]
+struct RefChan {
+    owner: Option<(usize, usize)>,
+    queue: VecDeque<(usize, usize)>,
+}
+
+#[derive(Debug)]
+struct RefMessage {
+    id: MessageId,
+    source: NodeId,
+    injected_at: Time,
+    deliveries: Vec<(NodeId, Option<Time>)>,
+    worms_total: usize,
+    worms_done: usize,
+    traffic: usize,
+}
+
+/// Events, totally ordered by `(time, seq)` exactly as the engine's
+/// calendar queue orders them. The derived `Ord` on the payload never
+/// decides (seq is unique) but `BinaryHeap` requires it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum RefEvent {
+    TransferComplete { worm: usize, edge: usize },
+    RequestChannel { worm: usize, edge: usize },
+}
+
+/// The obviously-correct reference wormhole simulator.
+///
+/// Mirrors the public result-producing surface of
+/// [`Engine`](crate::engine::Engine) — `inject`/`inject_checked`,
+/// `run_until`, `run_to_quiescence`, `take_completed`, `flit_hops` —
+/// over the same [`Network`] and [`DeliveryPlan`] types, so the
+/// conformance harness can drive both with identical inputs and demand
+/// identical outputs.
+pub struct ReferenceEngine {
+    config: SimConfig,
+    network: Network,
+    channels: Vec<RefChan>,
+    worms: Vec<RefWorm>,
+    messages: Vec<Option<RefMessage>>,
+    completed: Vec<CompletedMessage>,
+    events: BinaryHeap<Reverse<(Time, u64, RefEvent)>>,
+    next_seq: u64,
+    now: Time,
+    in_flight: usize,
+    next_message_id: MessageId,
+    flit_time: Time,
+    flits: u32,
+    flit_hops: u64,
+}
+
+impl ReferenceEngine {
+    /// Creates a reference engine over a network with the given
+    /// physical parameters.
+    pub fn new(network: Network, config: SimConfig) -> Self {
+        let channels = (0..network.num_channels())
+            .map(|_| RefChan::default())
+            .collect();
+        ReferenceEngine {
+            flit_time: config.flit_time_ns(),
+            flits: config.flits_per_message(),
+            config,
+            network,
+            channels,
+            worms: Vec::new(),
+            messages: Vec::new(),
+            completed: Vec::new(),
+            events: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+            in_flight: 0,
+            next_message_id: 0,
+            flit_hops: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The physical configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The network fabric.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Messages injected but not yet fully delivered.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Total flit hops simulated so far.
+    pub fn flit_hops(&self) -> u64 {
+        self.flit_hops
+    }
+
+    /// Drains the list of completed messages.
+    pub fn take_completed(&mut self) -> Vec<CompletedMessage> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Ids of messages injected but not completed.
+    pub fn live_messages(&self) -> Vec<MessageId> {
+        self.messages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|_| i))
+            .collect()
+    }
+
+    /// Applies a [`FaultMask`] to the fabric before any traffic runs.
+    /// The reference engine models static (pre-run) faults only — the
+    /// dynamic fail-abort-retry machinery stays with the optimized
+    /// engine and its recovery layer.
+    pub fn apply_fault_mask(&mut self, mask: &FaultMask) {
+        assert_eq!(
+            self.in_flight, 0,
+            "reference engine supports pre-injection fault masks only"
+        );
+        self.network.apply_fault_mask(mask);
+    }
+
+    /// Injects a multicast message at the current simulation time.
+    /// Returns its id. Zero-worm plans complete immediately.
+    pub fn inject(&mut self, plan: &DeliveryPlan) -> MessageId {
+        let id = self.next_message_id;
+        self.next_message_id += 1;
+        let mut deliveries: Vec<(NodeId, Option<Time>)> =
+            plan.destinations.iter().map(|&d| (d, None)).collect();
+        // Degenerate source-only "deliveries" complete at injection.
+        for (d, t) in deliveries.iter_mut() {
+            if *d == plan.source {
+                *t = Some(self.now);
+            }
+        }
+        self.messages.push(Some(RefMessage {
+            id,
+            source: plan.source,
+            injected_at: self.now,
+            deliveries,
+            worms_total: plan.worms.len(),
+            worms_done: 0,
+            traffic: plan.traffic(),
+        }));
+        self.in_flight += 1;
+        if plan.worms.is_empty() {
+            self.finish_message(id);
+            return id;
+        }
+        for w in &plan.worms {
+            let widx = self.build_worm(id, w);
+            match self.worms[widx].kind {
+                RefKind::Circuit => {
+                    // The control packet claims one channel at a time.
+                    self.request_channel(widx, 0);
+                }
+                RefKind::Path | RefKind::Tree => {
+                    for e in 0..self.worms[widx].edges.len() {
+                        if self.worms[widx].edges[e].upstream.is_none() {
+                            self.request_channel(widx, e);
+                        }
+                    }
+                }
+            }
+        }
+        id
+    }
+
+    /// Like [`ReferenceEngine::inject`], but validates every hop against
+    /// the channel table and the current fault state first — the same
+    /// screen as [`Engine::inject_checked`](crate::Engine::inject_checked).
+    pub fn inject_checked(&mut self, plan: &DeliveryPlan) -> Result<MessageId, SimError> {
+        for w in &plan.worms {
+            match w {
+                PlanWorm::Path(p) | PlanWorm::Circuit(p) => {
+                    if p.nodes.len() < 2 {
+                        return Err(SimError::EmptyWorm);
+                    }
+                    for hop in p.nodes.windows(2) {
+                        self.check_hop(hop[0], hop[1], p.class)?;
+                    }
+                }
+                PlanWorm::Tree(t) => {
+                    if t.edges.is_empty() {
+                        return Err(SimError::EmptyWorm);
+                    }
+                    for &(from, to, class) in &t.edges {
+                        self.check_hop(from, to, class)?;
+                    }
+                }
+            }
+        }
+        Ok(self.inject(plan))
+    }
+
+    fn check_hop(&self, from: NodeId, to: NodeId, class: ClassChoice) -> Result<(), SimError> {
+        let ids: Vec<ChannelId> = match class {
+            ClassChoice::Fixed(c) => self
+                .network
+                .id_of(mcast_topology::Channel::with_class(from, to, c))
+                .into_iter()
+                .collect(),
+            ClassChoice::Any => self.network.ids_of_link(from, to),
+        };
+        if ids.is_empty() {
+            return Err(SimError::UnknownChannel { from, to });
+        }
+        if !ids.iter().any(|&c| self.network.is_alive(c)) {
+            return Err(SimError::DeadChannel { from, to });
+        }
+        Ok(())
+    }
+
+    fn build_worm(&mut self, message: MessageId, plan: &PlanWorm) -> usize {
+        let kind = match plan {
+            PlanWorm::Path(_) => RefKind::Path,
+            PlanWorm::Tree(_) => RefKind::Tree,
+            PlanWorm::Circuit(_) => RefKind::Circuit,
+        };
+        let mut edges: Vec<RefEdge> = Vec::new();
+        match plan {
+            PlanWorm::Path(p) | PlanWorm::Circuit(p) => {
+                assert!(p.nodes.len() >= 2, "path worm needs at least one hop");
+                let hops = p.nodes.len() - 1;
+                for (i, win) in p.nodes.windows(2).enumerate() {
+                    edges.push(RefEdge {
+                        from: win[0],
+                        to: win[1],
+                        class: p.class,
+                        upstream: if i == 0 { None } else { Some(i - 1) },
+                        children: if i + 1 < hops {
+                            vec![i + 1]
+                        } else {
+                            Vec::new()
+                        },
+                        group: 0, // assigned below
+                        channel: None,
+                        waiting: false,
+                        crossed: 0,
+                        busy: false,
+                        done: false,
+                    });
+                }
+            }
+            PlanWorm::Tree(t) => {
+                assert!(!t.edges.is_empty(), "tree worm needs at least one edge");
+                // `feeder[node]` = edge index that feeds `node`.
+                let mut feeder: HashMap<NodeId, usize> = HashMap::new();
+                for (i, &(from, to, class)) in t.edges.iter().enumerate() {
+                    let upstream = if from == t.root {
+                        None
+                    } else {
+                        Some(
+                            *feeder
+                                .get(&from)
+                                .unwrap_or_else(|| panic!("tree edge {from}->{to} has no feeder")),
+                        )
+                    };
+                    assert!(
+                        !feeder.contains_key(&to),
+                        "tree plan visits node {to} twice"
+                    );
+                    feeder.insert(to, i);
+                    edges.push(RefEdge {
+                        from,
+                        to,
+                        class,
+                        upstream,
+                        children: Vec::new(),
+                        group: 0, // assigned below
+                        channel: None,
+                        waiting: false,
+                        crossed: 0,
+                        busy: false,
+                        done: false,
+                    });
+                }
+                // Children in ascending edge index order.
+                for i in 0..edges.len() {
+                    if let Some(u) = edges[i].upstream {
+                        edges[u].children.push(i);
+                    }
+                }
+            }
+        }
+        // Group assignment: siblings sharing the same feeding edge (or
+        // the root) form one branch group. Circuits are one group.
+        let mut groups: Vec<RefGroup> = Vec::new();
+        match kind {
+            RefKind::Circuit => {
+                groups.push(RefGroup {
+                    members: (0..edges.len()).collect(),
+                    owned: 0,
+                });
+            }
+            RefKind::Path => {
+                for (i, e) in edges.iter_mut().enumerate() {
+                    e.group = i;
+                    groups.push(RefGroup {
+                        members: vec![i],
+                        owned: 0,
+                    });
+                }
+            }
+            RefKind::Tree => {
+                // First occurrence of a feed key creates the group;
+                // members accumulate in ascending edge index order.
+                let mut key_to_group: HashMap<Option<usize>, usize> = HashMap::new();
+                for (i, e) in edges.iter_mut().enumerate() {
+                    let g = *key_to_group.entry(e.upstream).or_insert_with(|| {
+                        groups.push(RefGroup {
+                            members: Vec::new(),
+                            owned: 0,
+                        });
+                        groups.len() - 1
+                    });
+                    e.group = g;
+                    groups[g].members.push(i);
+                }
+            }
+        }
+        self.worms.push(RefWorm {
+            message,
+            kind,
+            edges,
+            groups,
+            edges_done: 0,
+            active: true,
+            stalled: false,
+        });
+        self.worms.len() - 1
+    }
+
+    /// Requests a channel for edge `e` of worm `w`: grants the first
+    /// live idle class copy, otherwise queues FIFO on the least-loaded
+    /// live copy (lowest class wins queue-length ties).
+    fn request_channel(&mut self, w: usize, e: usize) {
+        let (from, to, class) = {
+            let es = &self.worms[w].edges[e];
+            if es.channel.is_some() || es.waiting || es.done {
+                // Idempotence, as in the engine: circuit establishment
+                // and header arrival may both ask for the same edge.
+                return;
+            }
+            (es.from, es.to, es.class)
+        };
+        let (base, count) = match class {
+            ClassChoice::Fixed(c) => {
+                let id = self
+                    .network
+                    .id_of(mcast_topology::Channel::with_class(from, to, c))
+                    .unwrap_or_else(|| panic!("channel {from}->{to} class {c} not in network"));
+                (id, 1)
+            }
+            ClassChoice::Any => {
+                let base = self
+                    .network
+                    .link_base(from, to)
+                    .unwrap_or_else(|| panic!("no channel {from}->{to} in network"));
+                (base, self.network.classes() as usize)
+            }
+        };
+        let mut best: Option<(usize, ChannelId)> = None;
+        for chan in base..base + count {
+            if !self.network.is_alive(chan) {
+                continue;
+            }
+            if self.channels[chan].owner.is_none() {
+                self.grant(chan, w, e);
+                return;
+            }
+            let qlen = self.channels[chan].queue.len();
+            if best.is_none_or(|(len, _)| qlen < len) {
+                best = Some((qlen, chan));
+            }
+        }
+        let Some((_, target)) = best else {
+            // Every copy of this hop is dead: wedged by hardware.
+            self.worms[w].stalled = true;
+            return;
+        };
+        self.channels[target].queue.push_back((w, e));
+        self.worms[w].edges[e].waiting = true;
+    }
+
+    fn grant(&mut self, chan: ChannelId, w: usize, e: usize) {
+        assert!(
+            self.channels[chan].owner.is_none(),
+            "double grant of channel {chan}"
+        );
+        self.channels[chan].owner = Some((w, e));
+        let g = self.worms[w].edges[e].group;
+        self.worms[w].edges[e].channel = Some(chan);
+        self.worms[w].edges[e].waiting = false;
+        self.worms[w].groups[g].owned += 1;
+        if self.worms[w].kind == RefKind::Circuit {
+            // Circuit establishment: the control packet advances to the
+            // next hop after its per-hop setup time.
+            let next = e + 1;
+            if next < self.worms[w].edges.len() {
+                self.schedule(
+                    self.now + self.config.circuit_setup_ns,
+                    RefEvent::RequestChannel {
+                        worm: w,
+                        edge: next,
+                    },
+                );
+            }
+        }
+        if self.worms[w].groups[g].owned == self.worms[w].groups[g].members.len() {
+            // Group open: all its edges may start moving flits
+            // (ascending edge index, matching the engine's arena walk).
+            let members = self.worms[w].groups[g].members.clone();
+            for i in members {
+                self.try_start(w, i);
+            }
+        }
+    }
+
+    fn release(&mut self, chan: ChannelId) {
+        self.channels[chan].owner = None;
+        if !self.network.is_alive(chan) {
+            let waiters: Vec<(usize, usize)> = self.channels[chan].queue.drain(..).collect();
+            for (w, e) in waiters {
+                if self.worms[w].active && self.worms[w].edges[e].waiting {
+                    self.worms[w].edges[e].waiting = false;
+                    self.request_channel(w, e);
+                }
+            }
+            return;
+        }
+        while let Some((w, e)) = self.channels[chan].queue.pop_front() {
+            // Skip stale entries (worm granted elsewhere or finished).
+            if self.worms[w].active && self.worms[w].edges[e].waiting {
+                self.grant(chan, w, e);
+                return;
+            }
+        }
+    }
+
+    /// Whether edge `e` can transfer its next flit now; if so, schedule
+    /// the completion event. The condition set and the retry order are
+    /// the semantics contract of DESIGN.md §12, mirrored line for line
+    /// from the engine.
+    fn try_start(&mut self, w: usize, e: usize) {
+        let wst = &self.worms[w];
+        if !wst.active {
+            return;
+        }
+        let es = &wst.edges[e];
+        if es.channel.is_none() {
+            return;
+        }
+        if es.busy || es.done {
+            return;
+        }
+        let flit = es.crossed;
+        if flit >= self.flits {
+            return;
+        }
+        let grp = &wst.groups[es.group];
+        if grp.owned < grp.members.len() {
+            return; // lock-step: the branch group is not fully owned yet
+        }
+        let upstream = es.upstream;
+        // Upstream flit availability.
+        if let Some(u) = upstream {
+            if wst.edges[u].crossed <= flit {
+                return;
+            }
+        } else if wst.kind == RefKind::Tree {
+            // Source-fed tree edges replicate from one injection buffer:
+            // a flit leaves it only when every root branch took it.
+            let mut min_taken = u32::MAX;
+            for &s in &grp.members {
+                let sib = &wst.edges[s];
+                min_taken = min_taken.min(sib.crossed + u32::from(sib.busy));
+            }
+            if flit >= min_taken + self.config.buffer_flits {
+                return;
+            }
+        }
+        // Downstream buffer space at the head node (credit frees at
+        // transfer start, so children mid-transfer count as outflow).
+        if !es.children.is_empty() {
+            let mut outflow = u32::MAX;
+            for &c in &es.children {
+                let ch = &wst.edges[c];
+                outflow = outflow.min(ch.crossed + u32::from(ch.busy));
+            }
+            if es.crossed - outflow.min(es.crossed) >= self.config.buffer_flits {
+                return;
+            }
+        }
+        let kind = wst.kind;
+        // Start the transfer: headers pay the routing delay.
+        let dt = self.flit_time
+            + if flit == 0 {
+                self.config.routing_delay_ns
+            } else {
+                0
+            };
+        self.worms[w].edges[e].busy = true;
+        self.flit_hops += 1;
+        self.schedule(
+            self.now + dt,
+            RefEvent::TransferComplete { worm: w, edge: e },
+        );
+        // Starting frees a buffer slot upstream: retry the feeder, or
+        // the root-group siblings.
+        if let Some(u) = upstream {
+            self.try_start(w, u);
+        } else if kind == RefKind::Tree {
+            self.try_start_siblings(w, e);
+        }
+    }
+
+    /// Retries every group sibling of edge `e` (ascending edge index,
+    /// skipping `e` itself).
+    fn try_start_siblings(&mut self, w: usize, e: usize) {
+        let members = self.worms[w].groups[self.worms[w].edges[e].group]
+            .members
+            .clone();
+        for s in members {
+            if s != e {
+                self.try_start(w, s);
+            }
+        }
+    }
+
+    fn schedule(&mut self, at: Time, ev: RefEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse((at, seq, ev)));
+    }
+
+    /// Processes a single event. Returns `false` if no events remain.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse((t, _, ev))) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "time must not go backwards");
+        self.now = t;
+        match ev {
+            RefEvent::TransferComplete { worm, edge } => {
+                if self.worms[worm].active {
+                    self.on_transfer_complete(worm, edge);
+                }
+            }
+            RefEvent::RequestChannel { worm, edge } => {
+                if self.worms[worm].active
+                    && self.worms[worm].edges[edge].channel.is_none()
+                    && !self.worms[worm].edges[edge].waiting
+                {
+                    self.request_channel(worm, edge);
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until no events remain or the simulation time would exceed
+    /// `until`. Returns the number of events processed.
+    pub fn run_until(&mut self, until: Time) -> usize {
+        let mut n = 0;
+        while let Some(&Reverse((t, _, _))) = self.events.peek() {
+            if t > until {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        self.now = self.now.max(until);
+        n
+    }
+
+    /// Runs until quiescent. Returns `true` if every injected message
+    /// completed — `false` means the network is deadlocked.
+    pub fn run_to_quiescence(&mut self) -> bool {
+        while self.step() {}
+        self.in_flight == 0
+    }
+
+    fn on_transfer_complete(&mut self, w: usize, e: usize) {
+        let (crossed, upstream, children, kind) = {
+            let wst = &mut self.worms[w];
+            let kind = wst.kind;
+            let es = &mut wst.edges[e];
+            es.busy = false;
+            es.crossed += 1;
+            (es.crossed, es.upstream, es.children.clone(), kind)
+        };
+        if crossed == 1 && kind != RefKind::Circuit {
+            // Header arrived at head(e): claim the next channels.
+            for &c in &children {
+                self.request_channel(w, c);
+            }
+        }
+        if crossed == self.flits {
+            // Tail crossed: release the channel, record delivery.
+            let chan = self.worms[w].edges[e]
+                .channel
+                .take()
+                .expect("owned while crossing");
+            self.worms[w].edges[e].done = true;
+            self.release(chan);
+            let head = self.worms[w].edges[e].to;
+            let msg_id = self.worms[w].message;
+            self.record_delivery(msg_id, head);
+            self.worms[w].edges_done += 1;
+            if self.worms[w].edges_done == self.worms[w].edges.len() {
+                self.worms[w].active = false;
+                let m = self.messages[msg_id].as_mut().expect("message live");
+                m.worms_done += 1;
+                if m.worms_done == m.worms_total {
+                    self.finish_message(msg_id);
+                }
+            }
+        }
+        // Progress may unblock this edge, the upstream edge, the
+        // children, and — for root edges — the group siblings.
+        self.try_start(w, e);
+        if let Some(u) = upstream {
+            self.try_start(w, u);
+        } else if kind == RefKind::Tree {
+            self.try_start_siblings(w, e);
+        }
+        for &c in &children {
+            self.try_start(w, c);
+        }
+    }
+
+    fn record_delivery(&mut self, msg: MessageId, node: NodeId) {
+        let now = self.now;
+        let m = self.messages[msg].as_mut().expect("message live");
+        for (d, t) in m.deliveries.iter_mut() {
+            if *d == node && t.is_none() {
+                *t = Some(now);
+            }
+        }
+    }
+
+    fn finish_message(&mut self, msg: MessageId) {
+        let m = self.messages[msg].take().expect("message live");
+        let deliveries: Vec<(NodeId, Time)> = m
+            .deliveries
+            .iter()
+            .map(|&(d, t)| {
+                (
+                    d,
+                    t.unwrap_or_else(|| {
+                        panic!("destination {d} never delivered by message {}", m.id)
+                    }),
+                )
+            })
+            .collect();
+        let completed_at = deliveries
+            .iter()
+            .map(|&(_, t)| t)
+            .max()
+            .unwrap_or(m.injected_at);
+        self.completed.push(CompletedMessage {
+            id: m.id,
+            source: m.source,
+            injected_at: m.injected_at,
+            completed_at,
+            deliveries,
+            traffic: m.traffic,
+        });
+        self.in_flight -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::plan::{PlanPath, PlanTree};
+    use mcast_topology::Mesh2D;
+
+    fn path_plan(nodes: Vec<NodeId>, dests: Vec<NodeId>) -> DeliveryPlan {
+        DeliveryPlan {
+            source: nodes[0],
+            destinations: dests,
+            worms: vec![PlanWorm::Path(PlanPath {
+                nodes,
+                class: ClassChoice::Any,
+            })],
+        }
+    }
+
+    #[test]
+    fn single_hop_latency_matches_formula() {
+        let m = Mesh2D::new(4, 4);
+        let mut e = ReferenceEngine::new(Network::new(&m, 1), SimConfig::default());
+        let cfg = *e.config();
+        e.inject(&path_plan(vec![0, 1], vec![1]));
+        assert!(e.run_to_quiescence());
+        let done = e.take_completed();
+        let expect = cfg.routing_delay_ns + cfg.flit_time_ns() * cfg.flits_per_message() as u64;
+        assert_eq!(done[0].completed_at, expect);
+    }
+
+    #[test]
+    fn crossing_lockstep_trees_deadlock() {
+        // The Fig 6.4 mechanism must reproduce in the reference too.
+        let m = Mesh2D::new(4, 1);
+        let mut e = ReferenceEngine::new(Network::new(&m, 1), SimConfig::default());
+        e.inject(&DeliveryPlan {
+            source: 1,
+            destinations: vec![0, 3],
+            worms: vec![PlanWorm::Tree(PlanTree {
+                root: 1,
+                edges: vec![
+                    (1, 0, ClassChoice::Any),
+                    (1, 2, ClassChoice::Any),
+                    (2, 3, ClassChoice::Any),
+                ],
+            })],
+        });
+        e.inject(&DeliveryPlan {
+            source: 2,
+            destinations: vec![0, 3],
+            worms: vec![PlanWorm::Tree(PlanTree {
+                root: 2,
+                edges: vec![
+                    (2, 3, ClassChoice::Any),
+                    (2, 1, ClassChoice::Any),
+                    (1, 0, ClassChoice::Any),
+                ],
+            })],
+        });
+        assert!(
+            !e.run_to_quiescence(),
+            "crossing lock-step trees must deadlock"
+        );
+        assert_eq!(e.in_flight(), 2);
+    }
+
+    #[test]
+    fn matches_engine_on_contended_mixed_worms() {
+        // Paths, a tree, and a circuit contending on a small mesh: the
+        // optimized engine and the reference must agree on every
+        // delivery time, the hop total, and the quiescence time.
+        let m = Mesh2D::new(4, 4);
+        let plans = [
+            path_plan(vec![0, 1, 2, 3], vec![2, 3]),
+            path_plan(vec![4, 5, 6], vec![6]),
+            DeliveryPlan {
+                source: 1,
+                destinations: vec![0, 9],
+                worms: vec![PlanWorm::Tree(PlanTree {
+                    root: 1,
+                    edges: vec![
+                        (1, 0, ClassChoice::Any),
+                        (1, 5, ClassChoice::Any),
+                        (5, 9, ClassChoice::Any),
+                    ],
+                })],
+            },
+            DeliveryPlan {
+                source: 8,
+                destinations: vec![10],
+                worms: vec![PlanWorm::Circuit(PlanPath {
+                    nodes: vec![8, 9, 10],
+                    class: ClassChoice::Any,
+                })],
+            },
+        ];
+        let mut fast = Engine::new(Network::new(&m, 1), SimConfig::default());
+        let mut refr = ReferenceEngine::new(Network::new(&m, 1), SimConfig::default());
+        for (i, p) in plans.iter().enumerate() {
+            let t = 100 * i as Time;
+            fast.run_until(t);
+            refr.run_until(t);
+            fast.inject(p);
+            refr.inject(p);
+        }
+        let ok_fast = fast.run_to_quiescence();
+        let ok_ref = refr.run_to_quiescence();
+        assert_eq!(ok_fast, ok_ref);
+        assert_eq!(fast.now(), refr.now());
+        assert_eq!(fast.flit_hops(), refr.flit_hops());
+        let mut df = fast.take_completed();
+        let mut dr = refr.take_completed();
+        df.sort_by_key(|c| c.id);
+        dr.sort_by_key(|c| c.id);
+        assert_eq!(df.len(), dr.len());
+        for (a, b) in df.iter().zip(&dr) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.completed_at, b.completed_at);
+            assert_eq!(a.deliveries, b.deliveries);
+            assert_eq!(a.traffic, b.traffic);
+        }
+    }
+
+    #[test]
+    fn dead_channels_screened_by_inject_checked() {
+        let m = Mesh2D::new(4, 4);
+        let mut e = ReferenceEngine::new(Network::new(&m, 1), SimConfig::default());
+        let mut mask = FaultMask::none();
+        mask.fail_link(0, 1);
+        e.apply_fault_mask(&mask);
+        let err = e.inject_checked(&path_plan(vec![0, 1], vec![1]));
+        assert!(matches!(err, Err(SimError::DeadChannel { .. })));
+        assert_eq!(e.in_flight(), 0);
+    }
+}

@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod conform;
 pub mod dynamic;
 pub mod fault_sweep;
 pub mod gen;
@@ -13,6 +14,10 @@ pub mod spec;
 pub mod static_eval;
 pub mod stats;
 
+pub use conform::{
+    check_scenario, registry_pairs, run_verify, scenario_for_case, shrink_scenario, RunTrace,
+    VerifyFailure, VerifyReport, VerifyScenario, TOPOLOGY_POOL,
+};
 pub use dynamic::{
     measure_saturation_throughput, run_dynamic, run_dynamic_with_sink, DynamicConfig,
     DynamicResult, ThroughputResult, TrafficPattern,

@@ -644,6 +644,100 @@ mod tests {
         .is_err());
     }
 
+    /// Fuzz satellite (ISSUE 5): seeded random valid specs must
+    /// re-serialize byte-identically through
+    /// `to_json → from_json → to_json` — the reproducer specs the
+    /// conformance harness emits depend on this canonicity.
+    #[test]
+    fn random_valid_specs_round_trip_byte_identically() {
+        use mcast_sim::registry::schemes_for;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5EED_5EED);
+        let topologies = [
+            "mesh:4x4",
+            "mesh:5x3",
+            "mesh:3x3x2",
+            "cube:3",
+            "cube:4",
+            "kary:4x2",
+            "torus:3x2",
+        ];
+        let loads = [2.0, 10.0, 60.0, 450.0, 600.0, 800.0];
+        let rates = [0.0, 0.02, 0.05, 0.1, 0.25];
+        for case in 0..200 {
+            let topo = TopoSpec::parse(topologies[rng.gen_range(0..topologies.len())]).unwrap();
+            let n = topo.num_nodes();
+            let mut schemes = schemes_for(&topo);
+            let keep = rng.gen_range(1..=schemes.len());
+            while schemes.len() > keep {
+                schemes.remove(rng.gen_range(0..schemes.len()));
+            }
+            let mut spec = ExperimentSpec::new(&format!("fuzz-{case}"), topo);
+            spec.schemes = schemes;
+            spec.pattern = if rng.gen_range(0..2u32) == 0 {
+                PatternSpec::Uniform
+            } else {
+                PatternSpec::Hotspot
+            };
+            spec.loads_us = (0..rng.gen_range(1..4usize))
+                .map(|_| loads[rng.gen_range(0..loads.len())])
+                .collect();
+            spec.destinations = rng.gen_range(1..n);
+            spec.replications = rng.gen_range(1..5);
+            spec.seed = rng.gen_range(0..1u64 << 48);
+            spec.stopping = StoppingRule {
+                warmup: rng.gen_range(0..100),
+                batch_size: rng.gen_range(1..50),
+                min_batches: rng.gen_range(1..5),
+                max_batches: rng.gen_range(5..20),
+                ..StoppingRule::default()
+            };
+            spec.vct_buffers = rng.gen_range(0..2u32) == 0;
+            if rng.gen_range(0..2u32) == 0 {
+                spec.fault = Some(FaultSpec {
+                    rates: (0..rng.gen_range(1..4usize))
+                        .map(|_| rates[rng.gen_range(0..rates.len())])
+                        .collect(),
+                    messages: rng.gen_range(1..64),
+                    keep_connected: rng.gen_range(0..2u32) == 0,
+                });
+            }
+            spec.validate()
+                .unwrap_or_else(|e| panic!("case {case} should be valid: {e}"));
+            let text = spec.to_json();
+            mcast_obs::validate_json(&text)
+                .unwrap_or_else(|e| panic!("case {case}: invalid JSON: {e}"));
+            let back = ExperimentSpec::from_json(&text)
+                .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+            assert_eq!(back, spec, "case {case}: value drift");
+            assert_eq!(back.to_json(), text, "case {case}: byte drift");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_and_zero_dims_rejected_readably() {
+        // A typo'd knob names itself in the error…
+        let e = ExperimentSpec::from_json(
+            r#"{"name": "x", "topology": "mesh:4x4", "schemes": ["dual-path"],
+                "loads_us": [600], "destinations": 3, "frobnicate": 1}"#,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("frobnicate"), "unreadable error: {}", e.0);
+        // …and a zero-sized dimension says what is wrong, not just that
+        // parsing failed.
+        let e = ExperimentSpec::from_json(
+            r#"{"name": "x", "topology": "mesh:0x4", "schemes": ["dual-path"],
+                "loads_us": [600], "destinations": 3}"#,
+        )
+        .unwrap_err();
+        assert!(
+            e.0.contains("zero-sized dimension"),
+            "unreadable error: {}",
+            e.0
+        );
+    }
+
     #[test]
     fn validate_catches_bad_specs() {
         let mut s = sample();
