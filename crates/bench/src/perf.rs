@@ -41,6 +41,11 @@ pub struct ProbeResult {
     pub wall_ms: f64,
     /// Flit hops simulated (the engine's native count).
     pub sim_flits: u64,
+    /// Event-loop steps the engine executed. Unlike `wall_ms` this is
+    /// environment-insensitive: the same probe on a loaded CI box and a
+    /// quiet workstation reports the same step count, so regressions in
+    /// *work done* separate cleanly from machine noise.
+    pub engine_steps: u64,
     /// Simulated time covered, nanoseconds.
     pub sim_ns: u64,
     /// Messages completed in simulation.
@@ -172,6 +177,7 @@ impl PerfRecorder {
             name: name.to_string(),
             wall_ms: wall_s * 1000.0,
             sim_flits: result.flit_hops,
+            engine_steps: result.engine_steps,
             sim_ns: result.sim_time_ns,
             completed: result.completed as u64,
             flits_per_sec: if wall_s > 0.0 {
@@ -237,6 +243,7 @@ impl PerfRecorder {
                     && a.result.saturated == b.result.saturated
                     && a.result.completed == b.result.completed
                     && a.result.flit_hops == b.result.flit_hops
+                    && a.result.engine_steps == b.result.engine_steps
                     && a.result.sim_time_ns == b.result.sim_time_ns
             });
         let agg_s = aggregate_sweep(&serial);
@@ -281,7 +288,7 @@ impl PerfRecorder {
 
     /// Renders the `BENCH_3.json` document (always valid JSON).
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n  \"schema\": \"mcast-bench-perf-v3\",\n");
+        let mut s = String::from("{\n  \"schema\": \"mcast-bench-perf-v4\",\n");
         let total: f64 = self.experiments.iter().map(|e| e.wall_ms).sum();
         s.push_str(&format!("  \"total_wall_ms\": {:.3},\n", total));
         s.push_str("  \"experiments\": [\n");
@@ -308,10 +315,12 @@ impl PerfRecorder {
             }
             s.push_str(&format!(
                 "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"sim_flits\": {}, \
-                 \"sim_ns\": {}, \"completed\": {}, \"flits_per_sec\": {:.1}{}}}{}\n",
+                 \"engine_steps\": {}, \"sim_ns\": {}, \"completed\": {}, \
+                 \"flits_per_sec\": {:.1}{}}}{}\n",
                 p.name,
                 p.wall_ms,
                 p.sim_flits,
+                p.engine_steps,
                 p.sim_ns,
                 p.completed,
                 p.flits_per_sec,
@@ -366,12 +375,14 @@ mod tests {
         };
         let p = rec.probe("mesh4x4/dual-path", mesh, &DualPathRouter::mesh(mesh), &cfg);
         assert!(p.sim_flits > 0, "probe must observe flit hops");
+        assert!(p.engine_steps > 0, "probe must count engine steps");
         assert!(p.sim_ns > 0);
         assert!(p.completed > 0);
         let json = rec.to_json();
         validate_json(&json).expect("BENCH_3.json parses");
         assert!(json.contains("\"experiments\""));
         assert!(json.contains("mesh4x4/dual-path"));
+        assert!(json.contains("\"engine_steps\""));
     }
 
     #[test]

@@ -21,6 +21,36 @@ impl std::fmt::Display for ArgError {
     }
 }
 
+/// A CLI failure, split by what the user should do about it.
+///
+/// * [`CliError::Usage`] — the invocation itself was wrong (unknown
+///   flag, bad value): print the message *and* the usage block, exit 2.
+/// * [`CliError::Runtime`] — the invocation was fine but the work
+///   failed (missing spec file, malformed JSON, unwritable output,
+///   violated invariant): print only the actionable message, exit 1.
+///   Re-printing the usage block for these would bury the diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad invocation; prints usage and exits 2.
+    Usage(String),
+    /// The work failed; prints the message and exits 1.
+    Runtime(String),
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Usage(e.0)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
 impl Args {
     /// Parses `argv[1..]`: one subcommand followed by `--key value`
     /// pairs. A `--key` immediately followed by another option (or the

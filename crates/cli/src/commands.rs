@@ -25,11 +25,12 @@ use mcast_topology::{Mesh2D, Topology};
 use mcast_workload::fault_sweep::{FaultSweepConfig, FaultSweepRow};
 use mcast_workload::gen::MulticastGen;
 use mcast_workload::{
-    aggregate_sweep, check_scenario, resolve_jobs, run_dynamic, run_verify, DynamicConfig,
-    ExperimentSpec, FaultSpec, PatternSpec, SweepRow, TrafficPattern, VerifyScenario,
+    aggregate_sweep, chaos_self_test, check_scenario, inbox_dir, resolve_jobs, run_dynamic,
+    run_verify, spec_inbox_filename, DynamicConfig, ExperimentSpec, FaultSpec, JobServer,
+    PatternSpec, RetryPolicy, ServeConfig, SweepRow, TrafficPattern, VerifyScenario,
 };
 
-use crate::args::{parse_dims, parse_nodes, ArgError, Args};
+use crate::args::{parse_dims, parse_nodes, ArgError, Args, CliError};
 
 /// The help text.
 pub const USAGE: &str = "\
@@ -56,6 +57,11 @@ USAGE:
                  [--out <F>] [--json true]
   mcast verify   [--seed <S>] [--cases <K>] [--quick] [--spec <file.json>]
                  [--chaos swap-class] [--out <dir>]
+  mcast serve    --journal <dir> [--jobs <N>] [--batch] [--poll-ms <MS>]
+                 [--queue-cap <N>] [--retries <N>] [--deadline-ms <MS>]
+                 [--step-budget <N>] [--metrics-out <F>]
+                 [--chaos [--seed <S>]]
+  mcast submit   --journal <dir> --spec <file.json> [--force]
   mcast help
 
 TOPOLOGIES:   mesh:WxH  mesh:WxHxD  cube:N  kary:KxN  torus:KxN
@@ -79,6 +85,16 @@ SWEEP:        fans load x algorithm x replication across --jobs threads
               (default: all cores, or MCAST_JOBS / RAYON_NUM_THREADS);
               --compare-serial also runs the serial reference and checks
               the parallel results are bit-identical
+SERVE:        supervised job-execution service over a crash-safe journal
+              (DESIGN.md §13): submissions land in <dir>/inbox, results
+              are cached by canonical spec bytes, panics / deadlines /
+              step budgets are retried with capped backoff, overload is
+              shed, and a kill+restart resumes incomplete jobs from the
+              journal; --batch drains once and exits, --chaos runs the
+              built-in fault-injection self-test
+SUBMIT:       validates a spec file and drops its canonical bytes into
+              the serve inbox (--force submits unvalidated bytes, e.g.
+              to exercise the server's poisoned-spec path)
 NODES:        decimal ids, or 0b... binary addresses on cubes";
 
 fn to_arg(e: RegistryError) -> ArgError {
@@ -114,7 +130,7 @@ fn format_node(topo: &TopoSpec, n: usize) -> String {
 }
 
 /// `mcast route …`
-pub fn route(a: &Args) -> Result<(), ArgError> {
+pub fn route(a: &Args) -> Result<(), CliError> {
     let topo = parse_topology(a.require("topology")?)?;
     let scheme = parse_scheme(a.get_or("algorithm", "dual-path"))?;
     let source = parse_nodes(a.require("source")?)?
@@ -125,7 +141,7 @@ pub fn route(a: &Args) -> Result<(), ArgError> {
     let num_nodes = topo.num_nodes();
     for &n in dests.iter().chain([&source]) {
         if n >= num_nodes {
-            return Err(ArgError(format!("node {n} out of range (N={num_nodes})")));
+            return Err(ArgError(format!("node {n} out of range (N={num_nodes})")).into());
         }
     }
     let mc = MulticastSet::new(source, dests);
@@ -198,7 +214,7 @@ fn print_route(topo: &TopoSpec, route: &MulticastRoute) {
 }
 
 /// `mcast simulate …`
-pub fn simulate(a: &Args) -> Result<(), ArgError> {
+pub fn simulate(a: &Args) -> Result<(), CliError> {
     let topo = parse_topology(a.require("topology")?)?;
     let router = make_router(&topo, a.get_or("algorithm", "dual-path"))?;
     let cfg = DynamicConfig {
@@ -280,7 +296,7 @@ fn sweep_spec(a: &Args) -> Result<ExperimentSpec, ArgError> {
 /// `mcast sweep …` — the Chapter-7 grid (loads × algorithms ×
 /// replications) fanned across worker threads, with an optional serial
 /// reference leg proving the parallel run changes nothing.
-pub fn sweep(a: &Args) -> Result<(), ArgError> {
+pub fn sweep(a: &Args) -> Result<(), CliError> {
     let spec = sweep_spec(a)?;
     let jobs = match a.number::<usize>("jobs", 0)? {
         0 => resolve_jobs(None),
@@ -324,7 +340,7 @@ pub fn sweep(a: &Args) -> Result<(), ArgError> {
             }
         );
         if !identical {
-            return Err(ArgError(
+            return Err(CliError::Runtime(
                 "parallel sweep diverged from the serial reference".into(),
             ));
         }
@@ -340,12 +356,9 @@ pub fn sweep(a: &Args) -> Result<(), ArgError> {
 }
 
 /// `mcast run …` — execute a declarative spec file end-to-end.
-pub fn run(a: &Args) -> Result<(), ArgError> {
+pub fn run(a: &Args) -> Result<(), CliError> {
     let path = a.require("spec")?;
-    let text =
-        std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
-    let spec = ExperimentSpec::from_json(&text).map_err(to_arg)?;
-    spec.validate().map_err(to_arg)?;
+    let spec = read_spec_file(path)?;
     println!(
         "spec {:?}: {} | {} schemes x {} loads x {} replications, k = {}",
         spec.name,
@@ -363,18 +376,38 @@ pub fn run(a: &Args) -> Result<(), ArgError> {
         0 => resolve_jobs(None),
         n => n,
     };
-    let rows = spec.run_sweep(jobs).map_err(to_arg)?;
+    let rows = spec
+        .run_sweep(jobs)
+        .map_err(|e| CliError::Runtime(format!("running spec {path}: {}", e.0)))?;
     print_sweep_table(&rows);
     if spec.fault.is_some() {
-        let fault_rows = spec.run_fault_sweep().map_err(to_arg)?;
+        let fault_rows = spec
+            .run_fault_sweep()
+            .map_err(|e| CliError::Runtime(format!("running fault sweep in {path}: {}", e.0)))?;
         println!();
         print_fault_rows(&fault_rows, "table")?;
     }
     Ok(())
 }
 
+/// Reads and canonicalizes an [`ExperimentSpec`] file with actionable
+/// runtime diagnostics (missing file vs. malformed JSON vs. invalid
+/// spec) rather than a usage dump.
+fn read_spec_file(path: &str) -> Result<ExperimentSpec, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        CliError::Runtime(format!(
+            "cannot read spec file {path}: {e} (does the file exist and is it readable?)"
+        ))
+    })?;
+    let spec = ExperimentSpec::from_json(&text)
+        .map_err(|e| CliError::Runtime(format!("spec file {path} is not a valid spec: {}", e.0)))?;
+    spec.validate()
+        .map_err(|e| CliError::Runtime(format!("spec file {path} failed validation: {}", e.0)))?;
+    Ok(spec)
+}
+
 /// `mcast deadlock …`
-pub fn deadlock(a: &Args) -> Result<(), ArgError> {
+pub fn deadlock(a: &Args) -> Result<(), CliError> {
     let scenario = a.require("scenario")?;
     let recover = a.get_or("recover", "false") == "true";
     let (topo, algorithm, multicasts) = match scenario {
@@ -394,7 +427,7 @@ pub fn deadlock(a: &Args) -> Result<(), ArgError> {
                 fig_6_4_multicasts(&Mesh2D::new(4, 3)),
             )
         }
-        other => return Err(ArgError(format!("unknown scenario {other:?}"))),
+        other => return Err(ArgError(format!("unknown scenario {other:?}")).into()),
     };
     let router = make_router(&topo, algorithm)?;
     let built = topo.build();
@@ -570,11 +603,11 @@ fn print_fault_rows(rows: &[FaultSweepRow], format: &str) -> Result<(), ArgError
 }
 
 /// `mcast fault-sweep …`
-pub fn fault_sweep(a: &Args) -> Result<(), ArgError> {
+pub fn fault_sweep(a: &Args) -> Result<(), CliError> {
     let topo = parse_topology(a.require("topology")?)?;
     let format = a.get_or("format", "table");
     if !["table", "csv", "json"].contains(&format) {
-        return Err(ArgError(format!("unknown format {format:?}")));
+        return Err(ArgError(format!("unknown format {format:?}")).into());
     }
     let mut spec = ExperimentSpec::new("fault-sweep", topo);
     spec.schemes = vec![parse_scheme(a.get_or("algorithm", "dual-path"))?];
@@ -586,8 +619,11 @@ pub fn fault_sweep(a: &Args) -> Result<(), ArgError> {
         messages: a.number("messages", 64)?,
         keep_connected: a.get_or("keep-connected", "true") == "true",
     });
-    let rows = spec.run_fault_sweep().map_err(to_arg)?;
-    print_fault_rows(&rows, format)
+    let rows = spec
+        .run_fault_sweep()
+        .map_err(|e| CliError::Runtime(format!("running fault sweep: {}", e.0)))?;
+    print_fault_rows(&rows, format)?;
+    Ok(())
 }
 
 /// Traffic/observability parameters shared by `trace` and `metrics`.
@@ -663,8 +699,24 @@ fn run_traffic(
     (quiesced, engine.now())
 }
 
-fn write_file(path: &str, contents: &str) -> Result<(), ArgError> {
-    std::fs::write(path, contents).map_err(|e| ArgError(format!("writing {path}: {e}")))
+/// Writes an output artifact, creating missing parent directories so
+/// `--out results/deep/trace.json` works on a fresh checkout. Failures
+/// are runtime errors with the failing path in the message.
+fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    let parent = std::path::Path::new(path).parent();
+    if let Some(dir) = parent.filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            CliError::Runtime(format!(
+                "cannot create output directory {}: {e}",
+                dir.display()
+            ))
+        })?;
+    }
+    std::fs::write(path, contents).map_err(|e| {
+        CliError::Runtime(format!(
+            "cannot write {path}: {e} (is the location writable?)"
+        ))
+    })
 }
 
 fn print_latency_summary(snap: &MetricsSnapshot) {
@@ -684,7 +736,7 @@ fn print_latency_summary(snap: &MetricsSnapshot) {
 /// `mcast trace …` — run a traced scenario and export a Chrome
 /// trace-event JSON file (Perfetto-loadable), plus optional metrics /
 /// CSV side channels.
-pub fn trace(a: &Args) -> Result<(), ArgError> {
+pub fn trace(a: &Args) -> Result<(), CliError> {
     let topo = parse_topology(a.get_or("topology", "mesh:16x16"))?;
     let router = make_router(&topo, a.get_or("algorithm", "dual-path"))?;
     let run = TraceRun::from_args(a)?;
@@ -763,7 +815,7 @@ fn mesh_heatmap(m: &Mesh2D, network: &Network, snap: &MetricsSnapshot) -> String
 /// `mcast metrics …` — run a scenario under the metrics collector only
 /// and print the snapshot: counters, latency percentiles, and (on 2D
 /// meshes) a per-node channel-utilization heatmap.
-pub fn metrics(a: &Args) -> Result<(), ArgError> {
+pub fn metrics(a: &Args) -> Result<(), CliError> {
     let topo = parse_topology(a.get_or("topology", "mesh:16x16"))?;
     let router = make_router(&topo, a.get_or("algorithm", "dual-path"))?;
     let run = TraceRun::from_args(a)?;
@@ -814,24 +866,21 @@ pub fn metrics(a: &Args) -> Result<(), ArgError> {
 /// with it, replays one reproducer spec. Returns an error (non-zero
 /// exit) when any case fails, after writing shrunk reproducer specs
 /// under `--out`.
-pub fn verify(a: &Args) -> Result<(), ArgError> {
+pub fn verify(a: &Args) -> Result<(), CliError> {
     let chaos = match a.get_or("chaos", "none") {
         "none" | "false" => false,
         "swap-class" => true,
         other => {
-            return Err(ArgError(format!(
-                "unknown --chaos {other:?} (expected swap-class)"
-            )))
+            return Err(ArgError(format!("unknown --chaos {other:?} (expected swap-class)")).into())
         }
     };
     if let Some(path) = a.options.get("spec") {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
-        let spec = ExperimentSpec::from_json(&text).map_err(to_arg)?;
-        spec.validate().map_err(to_arg)?;
-        let scenario = VerifyScenario::from_spec(&spec).map_err(to_arg)?;
+        let spec = read_spec_file(path)?;
+        let scenario = VerifyScenario::from_spec(&spec)
+            .map_err(|e| CliError::Runtime(format!("spec file {path}: {}", e.0)))?;
         println!("replaying {scenario}");
-        let problems = check_scenario(&scenario, chaos).map_err(to_arg)?;
+        let problems = check_scenario(&scenario, chaos)
+            .map_err(|e| CliError::Runtime(format!("replaying {path}: {}", e.0)))?;
         if problems.is_empty() {
             println!("conforms: engines agree, all invariants hold");
             return Ok(());
@@ -839,7 +888,7 @@ pub fn verify(a: &Args) -> Result<(), ArgError> {
         for p in &problems {
             println!("  {p}");
         }
-        return Err(ArgError(format!(
+        return Err(CliError::Runtime(format!(
             "{} conformance problem(s) in {path}",
             problems.len()
         )));
@@ -869,11 +918,118 @@ pub fn verify(a: &Args) -> Result<(), ArgError> {
         write_file(&path, &f.reproducer_spec().to_json())?;
         println!("  reproducer: {path} (replay with mcast verify --spec)");
     }
-    Err(ArgError(format!(
+    Err(CliError::Runtime(format!(
         "{} of {} cases failed conformance",
         report.failures.len(),
         report.cases
     )))
+}
+
+/// `mcast serve …` — the supervised job-execution service (DESIGN.md
+/// §13). Opens (or resumes) the journal at `--journal`, ingests specs
+/// from its inbox, and drains them through the worker pool. `--batch`
+/// does one ingest-and-drain pass and exits non-zero if the ledger
+/// invariant breaks; without it the server polls the inbox forever.
+/// `--chaos` runs the built-in fault-injection self-test instead.
+pub fn serve(a: &Args) -> Result<(), CliError> {
+    let dir = std::path::PathBuf::from(a.require("journal")?);
+    if a.flag("chaos") {
+        let seed = a.number::<u64>("seed", 0xc4a05)?;
+        // The self-test injects worker panics on purpose; the default
+        // hook would spray backtraces over the report, so silence it
+        // for the duration (the supervision layer catches them all).
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = chaos_self_test(&dir, seed);
+        std::panic::set_hook(hook);
+        let report =
+            result.map_err(|e| CliError::Runtime(format!("chaos self-test FAILED: {e}")))?;
+        println!("{report}");
+        println!("chaos self-test passed: no jobs lost, ledger balances");
+        return Ok(());
+    }
+    let cfg = ServeConfig {
+        workers: match a.number::<usize>("jobs", 0)? {
+            0 => resolve_jobs(None),
+            n => n,
+        },
+        queue_cap: a.number("queue-cap", ServeConfig::default().queue_cap)?,
+        deadline_ms: a.number("deadline-ms", 0)?,
+        step_budget: a.number("step-budget", 0)?,
+        retry: RetryPolicy {
+            max_retries: a.number("retries", RetryPolicy::default().max_retries)?,
+            ..RetryPolicy::default()
+        },
+        ..ServeConfig::default()
+    };
+    let batch = a.flag("batch");
+    let poll_ms = a.number::<u64>("poll-ms", 200)?;
+    let workers = cfg.workers;
+    let server = JobServer::open(&dir, cfg).map_err(|e| CliError::Runtime(e.0))?;
+    let replayed = server.ledger();
+    println!(
+        "serve: journal {} | {} worker(s) | replayed {replayed} | {} job(s) requeued",
+        server.journal().path().display(),
+        workers,
+        server.queued()
+    );
+    loop {
+        let ingested = server.ingest_inbox().map_err(|e| CliError::Runtime(e.0))?;
+        if ingested > 0 {
+            println!("ingested {ingested} spec(s) from inbox");
+        }
+        if ingested > 0 || server.queued() > 0 {
+            server.run_until_drained();
+            println!("LEDGER {}", server.ledger());
+        }
+        if batch {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    }
+    let ledger = server.ledger();
+    println!("LEDGER {ledger}");
+    if let Some(path) = a.options.get("metrics-out") {
+        write_file(path, &server.metrics_registry().to_json())?;
+    }
+    if !ledger.balanced() {
+        return Err(CliError::Runtime(format!(
+            "ledger invariant violated: {ledger}"
+        )));
+    }
+    Ok(())
+}
+
+/// `mcast submit …` — validate a spec file and drop its canonical bytes
+/// into the serve inbox (write-then-rename, so a concurrently polling
+/// server never reads a torn file). `--force` skips validation and
+/// submits the raw bytes, which is how the CI smoke test feeds the
+/// server a poisoned spec.
+pub fn submit(a: &Args) -> Result<(), CliError> {
+    let dir = std::path::PathBuf::from(a.require("journal")?);
+    let path = a.require("spec")?;
+    let text = if a.flag("force") {
+        std::fs::read_to_string(path).map_err(|e| {
+            CliError::Runtime(format!(
+                "cannot read spec file {path}: {e} (does the file exist and is it readable?)"
+            ))
+        })?
+    } else {
+        read_spec_file(path)?.to_json()
+    };
+    let inbox = inbox_dir(&dir);
+    std::fs::create_dir_all(&inbox)
+        .map_err(|e| CliError::Runtime(format!("cannot create inbox {}: {e}", inbox.display())))?;
+    let name = spec_inbox_filename(&text);
+    let target = inbox.join(&name);
+    let tmp = inbox.join(format!(".{name}.tmp{}", std::process::id()));
+    std::fs::write(&tmp, &text)
+        .map_err(|e| CliError::Runtime(format!("cannot write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, &target).map_err(|e| {
+        CliError::Runtime(format!("cannot move spec into {}: {e}", target.display()))
+    })?;
+    println!("submitted {path} -> {}", target.display());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1211,6 +1367,77 @@ mod tests {
         run(&args(&["run", "--spec", p, "--jobs", "2"])).unwrap();
         let _ = std::fs::remove_file(&path);
         assert!(run(&args(&["run", "--spec", "/nonexistent.json"])).is_err());
+    }
+
+    #[test]
+    fn file_errors_are_runtime_not_usage() {
+        // A missing or malformed spec file is the work failing, not the
+        // invocation: it must exit 1 without re-printing the usage
+        // block. A missing flag stays a usage error.
+        let missing = run(&args(&["run", "--spec", "/nonexistent.json"])).unwrap_err();
+        assert!(matches!(missing, CliError::Runtime(ref m) if m.contains("/nonexistent.json")));
+        let dir = std::env::temp_dir();
+        let bad = dir.join("mcast_cli_test_bad_spec.json");
+        std::fs::write(&bad, "{\"name\": ").unwrap();
+        let malformed = run(&args(&["run", "--spec", bad.to_str().unwrap()])).unwrap_err();
+        assert!(matches!(malformed, CliError::Runtime(ref m) if m.contains("not a valid spec")));
+        let _ = std::fs::remove_file(&bad);
+        let no_flag = run(&args(&["run"])).unwrap_err();
+        assert!(matches!(no_flag, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn write_file_creates_parent_directories() {
+        let dir = std::env::temp_dir()
+            .join(format!("mcast-cli-outdirs-{}", std::process::id()))
+            .join("deep/nested");
+        let path = dir.join("artifact.json");
+        write_file(path.to_str().unwrap(), "{}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}\n");
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap());
+    }
+
+    #[test]
+    fn submit_then_serve_batch_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mcast-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        std::fs::write(
+            &spec_path,
+            r#"{"name": "cli-serve", "topology": "mesh:4x4",
+                "schemes": ["dual-path"], "loads_us": [800],
+                "destinations": 3, "replications": 1,
+                "stopping": {"warmup": 10, "batch_size": 10,
+                             "min_batches": 2, "max_batches": 3}}"#,
+        )
+        .unwrap();
+        let journal = dir.join("journal");
+        let j = journal.to_str().unwrap();
+        submit(&args(&[
+            "submit",
+            "--journal",
+            j,
+            "--spec",
+            spec_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        serve(&args(&["serve", "--journal", j, "--batch", "--jobs", "2"])).unwrap();
+        // Restarting the server replays the journal: the job must be
+        // completed already and a second drain pass stays balanced.
+        serve(&args(&["serve", "--journal", j, "--batch"])).unwrap();
+        // Submitting a spec to a path we cannot create is a runtime
+        // error with the failing path in the message.
+        let err = submit(&args(&[
+            "submit",
+            "--journal",
+            "/proc/definitely-unwritable",
+            "--spec",
+            spec_path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Runtime(_)), "{err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -35,15 +35,29 @@ fn main() {
         "trace" => commands::trace(&parsed),
         "metrics" => commands::metrics(&parsed),
         "verify" => commands::verify(&parsed),
+        "serve" => commands::serve(&parsed),
+        "submit" => commands::submit(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(args::ArgError(format!("unknown subcommand {other:?}"))),
+        other => Err(args::CliError::Usage(format!(
+            "unknown subcommand {other:?}"
+        ))),
     };
-    if let Err(e) = result {
-        eprintln!("error: {e}");
-        eprintln!("{}", commands::USAGE);
-        std::process::exit(2);
+    // Usage errors re-print the help block and exit 2; runtime errors
+    // (missing spec file, failed run, broken invariant) print only the
+    // actionable message and exit 1.
+    match result {
+        Ok(()) => {}
+        Err(args::CliError::Usage(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+        Err(args::CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
     }
 }

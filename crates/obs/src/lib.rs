@@ -41,6 +41,7 @@ pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod service;
 pub mod sink;
 
 pub use collect::{ChannelStats, Metrics, MetricsSnapshot};
@@ -50,4 +51,5 @@ pub use export::{
 };
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricValue, Registry, Summary};
+pub use service::ServiceMetrics;
 pub use sink::{NullSink, Recording, Sink, Tee};

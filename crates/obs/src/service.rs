@@ -1,0 +1,127 @@
+//! Service-level metrics for the `mcast serve` job-execution service
+//! (DESIGN.md §13).
+//!
+//! The simulator-side metrics in [`crate::collect`] describe one run;
+//! this module describes the *service* wrapped around many runs: how
+//! many jobs were accepted, shed, retried, completed or failed, how many
+//! are in flight right now, and the job-latency distribution. The
+//! counters deliberately mirror the journal's ledger so an exported
+//! snapshot can be checked against the invariant
+//! `accepted = completed + failed + shed`.
+
+use crate::metrics::{Histogram, Registry};
+
+/// Counters, gauges and the job-latency histogram of one server.
+///
+/// Plain mutable state — the server owns one behind its own lock, and
+/// [`ServiceMetrics::to_registry`] snapshots it into a named
+/// [`Registry`] for JSON export.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Submissions received (every one of them, shed included).
+    pub accepted: u64,
+    /// Jobs that produced a result (fresh run or cache hit).
+    pub completed: u64,
+    /// Jobs that exhausted their retry budget or failed permanently,
+    /// with a recorded diagnostic.
+    pub failed: u64,
+    /// Submissions refused by admission control (`Overloaded`).
+    pub shed: u64,
+    /// Retry attempts scheduled (transient failures that got another
+    /// try; a job retried twice counts twice).
+    pub retried: u64,
+    /// Completions served straight from the result cache.
+    pub cache_hits: u64,
+    /// Jobs currently being executed by workers.
+    pub running: u64,
+    /// Jobs accepted and waiting for a worker.
+    pub queued: u64,
+    /// Wall-clock job latency (accept → terminal state), in
+    /// microseconds — log-bucketed, so `p50`/`p99` are cheap.
+    pub job_latency_us: Histogram,
+}
+
+impl ServiceMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one terminal job latency (µs).
+    pub fn observe_latency_us(&mut self, us: u64) {
+        self.job_latency_us.record(us);
+    }
+
+    /// Whether the terminal counters balance the accepted count —
+    /// the service-side mirror of the journal's ledger invariant.
+    pub fn balanced(&self) -> bool {
+        self.accepted == self.completed + self.failed + self.shed
+    }
+
+    /// Snapshots into a [`Registry`] under dotted `service.*` names
+    /// (the same naming scheme the simulator metrics use), ready for
+    /// [`Registry::to_json`].
+    pub fn to_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.inc("service.jobs.accepted", self.accepted);
+        reg.inc("service.jobs.completed", self.completed);
+        reg.inc("service.jobs.failed", self.failed);
+        reg.inc("service.jobs.shed", self.shed);
+        reg.inc("service.jobs.retried", self.retried);
+        reg.inc("service.jobs.cache_hits", self.cache_hits);
+        reg.set("service.jobs.running", self.running as f64);
+        reg.set("service.jobs.queued", self.queued as f64);
+        reg.insert_histogram("service.job_latency_us", self.job_latency_us.clone());
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_balance_tracks_counters() {
+        let mut m = ServiceMetrics::new();
+        assert!(m.balanced(), "empty ledger balances");
+        m.accepted = 5;
+        assert!(!m.balanced());
+        m.completed = 3;
+        m.failed = 1;
+        m.shed = 1;
+        assert!(m.balanced());
+    }
+
+    #[test]
+    fn registry_snapshot_carries_all_series() {
+        let mut m = ServiceMetrics::new();
+        m.accepted = 4;
+        m.completed = 2;
+        m.failed = 1;
+        m.shed = 1;
+        m.retried = 3;
+        m.running = 2;
+        m.queued = 7;
+        m.observe_latency_us(1_000);
+        m.observe_latency_us(9_000);
+        let reg = m.to_registry();
+        let json = reg.to_json();
+        for name in [
+            "service.jobs.accepted",
+            "service.jobs.completed",
+            "service.jobs.failed",
+            "service.jobs.shed",
+            "service.jobs.retried",
+            "service.jobs.cache_hits",
+            "service.jobs.running",
+            "service.jobs.queued",
+            "service.job_latency_us",
+        ] {
+            assert!(reg.get(name).is_some(), "missing {name}");
+            assert!(json.contains(name), "JSON missing {name}");
+        }
+        crate::validate_json(&json).expect("snapshot JSON validates");
+        assert_eq!(m.job_latency_us.count(), 2);
+        assert!(m.job_latency_us.p99() >= m.job_latency_us.p50());
+    }
+}

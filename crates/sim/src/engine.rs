@@ -278,6 +278,83 @@ enum Event {
     },
 }
 
+/// A cooperative execution budget shared by every engine a job drives
+/// (DESIGN.md §13). The budget is `Arc`-backed so a sweep spanning many
+/// engine instances charges one shared step account, and so a
+/// supervisor thread can cancel a runaway simulation from outside —
+/// the engine's run loops poll [`RunBudget::exhausted`] between events
+/// and stop cleanly instead of wedging.
+///
+/// Engines without a budget installed pay nothing: the hot path only
+/// checks an `Option` that is `None` by default.
+#[derive(Debug, Clone)]
+pub struct RunBudget {
+    inner: std::sync::Arc<BudgetInner>,
+}
+
+#[derive(Debug)]
+struct BudgetInner {
+    /// Step ceiling across every engine charging this budget
+    /// (`u64::MAX` = unlimited).
+    max_steps: u64,
+    /// Steps charged so far.
+    steps: std::sync::atomic::AtomicU64,
+    /// Asynchronous cancellation (deadline supervisor, shutdown).
+    cancel: std::sync::atomic::AtomicBool,
+}
+
+impl RunBudget {
+    /// A budget with no step ceiling (cancellation only).
+    pub fn unlimited() -> Self {
+        Self::with_max_steps(u64::MAX)
+    }
+
+    /// A budget that exhausts after `max_steps` engine events across
+    /// all engines charging it.
+    pub fn with_max_steps(max_steps: u64) -> Self {
+        RunBudget {
+            inner: std::sync::Arc::new(BudgetInner {
+                max_steps,
+                steps: std::sync::atomic::AtomicU64::new(0),
+                cancel: std::sync::atomic::AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Requests cancellation: every engine polling this budget stops at
+    /// its next event boundary.
+    pub fn cancel(&self) {
+        self.inner
+            .cancel
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether [`RunBudget::cancel`] was called.
+    pub fn cancelled(&self) -> bool {
+        self.inner.cancel.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Steps charged so far.
+    pub fn steps_spent(&self) -> u64 {
+        self.inner.steps.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Whether the budget is spent or cancelled.
+    pub fn exhausted(&self) -> bool {
+        self.cancelled() || self.steps_spent() >= self.inner.max_steps
+    }
+
+    /// Charges `n` steps and reports whether the budget is now
+    /// exhausted (spent or cancelled).
+    fn charge(&self, n: u64) -> bool {
+        let prev = self
+            .inner
+            .steps
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        prev + n >= self.inner.max_steps || self.cancelled()
+    }
+}
+
 /// The discrete-event wormhole simulator.
 ///
 /// ```
@@ -308,6 +385,14 @@ pub struct Engine {
     events: EventQueue<Event>,
     now: Time,
     in_flight: usize,
+    /// Events processed by this engine instance (the machine-insensitive
+    /// work metric the BENCH probes report).
+    steps: u64,
+    /// Optional cooperative budget; `None` (the default) keeps the run
+    /// loops budget-free.
+    budget: Option<RunBudget>,
+    /// Latched the first time the installed budget reported exhaustion.
+    budget_hit: bool,
     next_message_id: MessageId,
     flit_time: Time,
     flits: u32,
@@ -365,9 +450,47 @@ impl Engine {
             completed: Vec::new(),
             now: 0,
             in_flight: 0,
+            steps: 0,
+            budget: None,
+            budget_hit: false,
             next_message_id: 0,
             sink: None,
         }
+    }
+
+    /// Installs a cooperative [`RunBudget`]: the run loops charge one
+    /// step per processed event and stop at the next event boundary
+    /// once the budget is spent or cancelled. Check
+    /// [`Engine::budget_exhausted`] after a run loop returns to
+    /// distinguish a budget stop from quiescence.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget = Some(budget);
+    }
+
+    /// Whether an installed budget stopped a run loop (spent or
+    /// cancelled). Always `false` without a budget.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget_hit
+    }
+
+    /// Events processed by this engine so far — an environment-
+    /// insensitive work metric (identical across machines for the same
+    /// seed, unlike wall-clock).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Charges one step to the installed budget (if any); returns
+    /// `true` when the run loop should stop.
+    #[inline]
+    fn charge_budget(&mut self) -> bool {
+        if let Some(b) = &self.budget {
+            if self.budget_hit || b.charge(1) {
+                self.budget_hit = true;
+                return true;
+            }
+        }
+        false
     }
 
     /// Installs an observability sink; subsequent simulation activity is
@@ -1008,6 +1131,7 @@ impl Engine {
         };
         debug_assert!(t >= self.now, "time must not go backwards");
         self.now = t;
+        self.steps += 1;
         match ev {
             // Events for a bumped generation belong to an aborted worm
             // whose slot may have been reused — drop them silently.
@@ -1039,6 +1163,9 @@ impl Engine {
             if t > until {
                 break;
             }
+            if self.charge_budget() {
+                return n;
+            }
             self.step();
             n += 1;
         }
@@ -1048,9 +1175,16 @@ impl Engine {
 
     /// Runs until quiescent (no events pending). Returns `true` if all
     /// injected messages completed — `false` means the network is
-    /// **deadlocked**: worms hold channels but none can make progress.
+    /// **deadlocked**: worms hold channels but none can make progress —
+    /// or, with a [`RunBudget`] installed, that the budget ran out
+    /// (check [`Engine::budget_exhausted`] to tell the two apart).
     pub fn run_to_quiescence(&mut self) -> bool {
-        while self.step() {}
+        while self.has_events() {
+            if self.charge_budget() {
+                return false;
+            }
+            self.step();
+        }
         self.in_flight == 0
     }
 

@@ -37,7 +37,7 @@ pub mod switching;
 
 pub use mcast_obs as obs;
 
-pub use engine::{AbortedMessage, CompletedMessage, Engine, MessageId, SimConfig, Time};
+pub use engine::{AbortedMessage, CompletedMessage, Engine, MessageId, RunBudget, SimConfig, Time};
 pub use error::SimError;
 pub use network::{ChannelId, Network};
 pub use plan::{ClassChoice, DeliveryPlan, PlanPath, PlanTree, PlanWorm};

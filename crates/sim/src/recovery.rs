@@ -1146,4 +1146,119 @@ mod tests {
         assert_eq!(rec.backoff(5), 1000, "capped");
         assert_eq!(rec.backoff(40), 1000, "shift clamp holds");
     }
+
+    /// `max_retries: 0` is a legal budget: the first abort drops the
+    /// message immediately — no retry, no livelock, outcome recorded.
+    #[test]
+    fn zero_retry_budget_drops_on_first_abort() {
+        let mesh = Mesh2D::new(4, 1); // a line: no detour exists
+        let router = ObliviousRouter::new(DualPathRouter::mesh(mesh));
+        let mut mask = FaultMask::none();
+        mask.fail_link(1, 2);
+        let network = Network::new(&mesh, router.required_classes());
+        let policy = RecoveryPolicy {
+            max_retries: 0,
+            ..RecoveryPolicy::default()
+        };
+        let mut rec = RecoveryEngine::new(network, SimConfig::default(), &router, policy)
+            .with_initial_faults(&mask);
+        rec.submit(MulticastSet::new(0, [3usize]));
+        assert!(!rec.run());
+        let stats = rec.stats();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(
+            stats.retries, 0,
+            "a zero budget must never schedule a retry"
+        );
+        assert_eq!(rec.outcomes()[0].undelivered, vec![3]);
+    }
+
+    /// Backoff near the `Time` (u64) limits must saturate, not wrap: a
+    /// pathological base close to `u64::MAX` stays pinned at the cap,
+    /// and a cap of `u64::MAX` exposes the saturating multiply itself.
+    #[test]
+    fn backoff_saturates_at_time_limits() {
+        let mesh = Mesh2D::new(2, 2);
+        let router = FaultDualPathRouter::mesh(mesh);
+        let policy = RecoveryPolicy {
+            backoff_base_ns: u64::MAX - 1,
+            backoff_cap_ns: u64::MAX,
+            ..RecoveryPolicy::default()
+        };
+        let rec = RecoveryEngine::new(
+            Network::new(&mesh, 1),
+            SimConfig::default(),
+            &router,
+            policy,
+        );
+        assert_eq!(rec.backoff(1), u64::MAX - 1);
+        assert_eq!(rec.backoff(2), u64::MAX, "2x must saturate, not wrap");
+        assert_eq!(rec.backoff(21), u64::MAX, "shift clamp + saturation");
+        let capped = RecoveryPolicy {
+            backoff_base_ns: u64::MAX / 2,
+            backoff_cap_ns: 5_000,
+            ..RecoveryPolicy::default()
+        };
+        let rec = RecoveryEngine::new(
+            Network::new(&mesh, 1),
+            SimConfig::default(),
+            &router,
+            capped,
+        );
+        for attempt in 1..=64 {
+            assert_eq!(rec.backoff(attempt), 5_000, "cap pins attempt {attempt}");
+        }
+        // A zero base degenerates to the 1 ns floor, never to a zero
+        // (busy-spin) backoff.
+        let zero = RecoveryPolicy {
+            backoff_base_ns: 0,
+            backoff_cap_ns: 1_000,
+            ..RecoveryPolicy::default()
+        };
+        let rec = RecoveryEngine::new(Network::new(&mesh, 1), SimConfig::default(), &router, zero);
+        assert_eq!(rec.backoff(1), 1);
+        assert_eq!(rec.backoff(10), 1);
+    }
+
+    /// Jitter is a pure function of (message id, policy): two engines
+    /// built with the same policy agree on every stagger, the stagger
+    /// cycle covers 0..7 quarter-base multiples, and a sub-4 ns base
+    /// still produces distinct non-degenerate offsets.
+    #[test]
+    fn jitter_is_deterministic_for_fixed_policy() {
+        let mesh = Mesh2D::new(2, 2);
+        let router = FaultDualPathRouter::mesh(mesh);
+        let policy = RecoveryPolicy {
+            backoff_base_ns: 400,
+            ..RecoveryPolicy::default()
+        };
+        let a = RecoveryEngine::new(
+            Network::new(&mesh, 1),
+            SimConfig::default(),
+            &router,
+            policy,
+        );
+        let b = RecoveryEngine::new(
+            Network::new(&mesh, 1),
+            SimConfig::default(),
+            &router,
+            policy,
+        );
+        for li in 0..32 {
+            assert_eq!(a.jitter(li), b.jitter(li), "message {li}");
+            assert_eq!(a.jitter(li), ((li as u64) % 7) * 100);
+        }
+        assert_ne!(
+            a.jitter(0),
+            a.jitter(1),
+            "peers must not retry in lock-step"
+        );
+        let tiny = RecoveryPolicy {
+            backoff_base_ns: 3, // base/4 == 0: the .max(1) floor applies
+            ..RecoveryPolicy::default()
+        };
+        let t = RecoveryEngine::new(Network::new(&mesh, 1), SimConfig::default(), &router, tiny);
+        assert_eq!(t.jitter(6), 6);
+        assert_eq!(t.jitter(7), 0, "cycle wraps at 7");
+    }
 }

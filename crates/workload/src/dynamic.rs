@@ -80,6 +80,12 @@ pub struct DynamicConfig {
     /// Destination selection pattern ([`TrafficPattern::Uniform`] is the
     /// historical behavior and the default).
     pub pattern: TrafficPattern,
+    /// Optional cooperative execution budget (shared step ceiling +
+    /// cancellation). `None` — the default — runs unbudgeted; with a
+    /// budget installed the run stops at the next event boundary once
+    /// it is spent or cancelled and the result carries
+    /// [`DynamicResult::budget_exhausted`].
+    pub budget: Option<mcast_sim::engine::RunBudget>,
 }
 
 impl Default for DynamicConfig {
@@ -96,6 +102,7 @@ impl Default for DynamicConfig {
             max_in_flight_per_node: 16,
             seed: 0x6d63_6173,
             pattern: TrafficPattern::Uniform,
+            budget: None,
         }
     }
 }
@@ -133,6 +140,14 @@ pub struct DynamicResult {
     /// the throughput-probe numerator, counted natively so probes no
     /// longer need a metrics sink on the hot path.
     pub flit_hops: u64,
+    /// Discrete events the engine processed — an environment-insensitive
+    /// work metric (identical across machines for a fixed seed).
+    pub engine_steps: u64,
+    /// Whether the run was stopped by an installed [`RunBudget`]
+    /// (step ceiling reached or cancelled) before its stopping rule.
+    ///
+    /// [`RunBudget`]: mcast_sim::engine::RunBudget
+    pub budget_exhausted: bool,
 }
 
 impl DynamicResult {
@@ -170,6 +185,9 @@ pub fn run_dynamic_with_sink<T: Topology + ?Sized>(
     let mut engine = Engine::new(network, cfg.sim);
     if let Some(s) = sink {
         engine.set_sink(s);
+    }
+    if let Some(b) = &cfg.budget {
+        engine.set_budget(b.clone());
     }
     let n = topo.num_nodes();
     let mut gen = MulticastGen::new(n, cfg.seed);
@@ -223,6 +241,11 @@ pub fn run_dynamic_with_sink<T: Topology + ?Sized>(
             saturated = true;
             break;
         }
+        // A spent budget stops the engine from advancing; without this
+        // break the injection loop above would spin forever.
+        if engine.budget_exhausted() {
+            break;
+        }
     }
 
     DynamicResult {
@@ -238,6 +261,8 @@ pub fn run_dynamic_with_sink<T: Topology + ?Sized>(
         latency_stats,
         completed: completions,
         flit_hops: engine.flit_hops(),
+        engine_steps: engine.steps(),
+        budget_exhausted: engine.budget_exhausted(),
     }
 }
 

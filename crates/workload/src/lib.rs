@@ -10,6 +10,7 @@ pub mod dynamic;
 pub mod fault_sweep;
 pub mod gen;
 pub mod parallel;
+pub mod serve;
 pub mod spec;
 pub mod static_eval;
 pub mod stats;
@@ -27,6 +28,11 @@ pub use gen::MulticastGen;
 pub use parallel::{
     aggregate_sweep, default_jobs, parallel_map, replication_seed, resolve_jobs, run_dynamic_sweep,
     sweep_points, SweepAggregate, SweepConfig, SweepPoint, SweepRow,
+};
+pub use serve::{
+    chaos_self_test, inbox_dir, render_result, spec_inbox_filename, ChaosConfig, ChaosReport,
+    JobId, JobOutcome, JobServer, Journal, Ledger, RetryPolicy, ServeConfig, ServeError,
+    SubmitStatus,
 };
 pub use spec::{ExperimentSpec, FaultSpec, PatternSpec, StoppingRule};
 pub use static_eval::{broadcast_additional, measure_traffic, TrafficPoint};

@@ -307,6 +307,20 @@ impl ExperimentSpec {
     /// Runs the whole sweep grid on `jobs` threads. Rows come back in
     /// canonical point order, bit-identical for any job count.
     pub fn run_sweep(&self, jobs: usize) -> Result<Vec<SweepRow>, RegistryError> {
+        self.run_sweep_with_budget(jobs, None)
+    }
+
+    /// [`ExperimentSpec::run_sweep`] under an optional cooperative
+    /// execution budget. The budget is shared across every engine the
+    /// sweep creates, so it bounds the *total* step work of the whole
+    /// grid and lets a supervisor cancel the run from another thread
+    /// (the `mcast serve` deadline path). Rows whose runs were cut
+    /// short carry `result.budget_exhausted = true`.
+    pub fn run_sweep_with_budget(
+        &self,
+        jobs: usize,
+        budget: Option<mcast_sim::engine::RunBudget>,
+    ) -> Result<Vec<SweepRow>, RegistryError> {
         self.validate()?;
         let routers = self.build_routers()?;
         let named: Vec<(&str, &(dyn MulticastRouter + Sync))> = routers
@@ -314,7 +328,8 @@ impl ExperimentSpec {
             .map(|(name, r)| (name.as_str(), r.as_ref() as &(dyn MulticastRouter + Sync)))
             .collect();
         let built = self.topology.build();
-        let cfg = self.sweep_config();
+        let mut cfg = self.sweep_config();
+        cfg.base.budget = budget;
         Ok(run_dynamic_sweep(built.as_dyn(), &named, &cfg, jobs))
     }
 
