@@ -2,11 +2,15 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand, an optional action, plus
+/// `--key value` options.
 #[derive(Debug, Clone)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
+    /// An optional second positional argument, used by subcommands with
+    /// verbs of their own (e.g. `mcast topo validate --graph …`).
+    pub action: Option<String>,
     /// `--key value` pairs.
     pub options: BTreeMap<String, String>,
 }
@@ -52,16 +56,20 @@ impl std::fmt::Display for CliError {
 }
 
 impl Args {
-    /// Parses `argv[1..]`: one subcommand followed by `--key value`
-    /// pairs. A `--key` immediately followed by another option (or the
-    /// end of the line) is a bare boolean flag and parses as
-    /// `--key true` (e.g. `mcast verify --quick`).
+    /// Parses `argv[1..]`: one subcommand, an optional bare action
+    /// word, then `--key value` pairs. A `--key` immediately followed
+    /// by another option (or the end of the line) is a bare boolean
+    /// flag and parses as `--key true` (e.g. `mcast verify --quick`).
     pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
         let mut it = argv.iter().peekable();
         let command = it
             .next()
             .ok_or_else(|| ArgError("missing subcommand (try `mcast help`)".into()))?
             .clone();
+        let action = match it.peek() {
+            Some(v) if !v.starts_with("--") => Some(it.next().expect("peeked").clone()),
+            _ => None,
+        };
         let mut options = BTreeMap::new();
         while let Some(key) = it.next() {
             let key = key
@@ -73,7 +81,11 @@ impl Args {
             };
             options.insert(key.to_string(), value);
         }
-        Ok(Args { command, options })
+        Ok(Args {
+            command,
+            action,
+            options,
+        })
     }
 
     /// A boolean flag: `--key`, `--key true` → true; absent or
@@ -179,6 +191,16 @@ mod tests {
         assert!(!b.flag("quick"));
         let c = Args::parse(&argv(&["verify", "--quick"])).unwrap();
         assert!(c.flag("quick"));
+    }
+
+    #[test]
+    fn action_word_parses() {
+        let a = Args::parse(&argv(&["topo", "validate", "--graph", "g.json"])).unwrap();
+        assert_eq!(a.command, "topo");
+        assert_eq!(a.action.as_deref(), Some("validate"));
+        assert_eq!(a.require("graph").unwrap(), "g.json");
+        let b = Args::parse(&argv(&["route", "--topology", "mesh:4x4"])).unwrap();
+        assert_eq!(b.action, None);
     }
 
     #[test]

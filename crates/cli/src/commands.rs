@@ -21,7 +21,8 @@ use mcast_sim::registry::{
     build_route, build_router, channel_names, RegistryError, RoutePlan, SchemeId, TopoSpec,
 };
 use mcast_sim::routers::MulticastRouter;
-use mcast_topology::{Mesh2D, Topology};
+use mcast_sim::topograph::load_custom;
+use mcast_topology::{synthesize, Mesh2D, RoutingKind, Topology};
 use mcast_workload::fault_sweep::{FaultSweepConfig, FaultSweepRow};
 use mcast_workload::gen::MulticastGen;
 use mcast_workload::{
@@ -57,6 +58,8 @@ USAGE:
                  [--out <F>] [--json true]
   mcast verify   [--seed <S>] [--cases <K>] [--quick] [--spec <file.json>]
                  [--chaos swap-class] [--out <dir>]
+  mcast topo     validate|synthesize|route|deadlock --graph <SRC>
+                 [--source <N> --dests <N,N,...>]
   mcast serve    --journal <dir> [--jobs <N>] [--batch] [--poll-ms <MS>]
                  [--queue-cap <N>] [--retries <N>] [--deadline-ms <MS>]
                  [--step-budget <N>] [--metrics-out <F>]
@@ -65,6 +68,8 @@ USAGE:
   mcast help
 
 TOPOLOGIES:   mesh:WxH  mesh:WxHxD  cube:N  kary:KxN  torus:KxN
+              custom:<graph.json|graph.dot>  custom:rand:NxSEED
+              custom:lmesh:WxHxSEED  custom:ftree:KxSEED
 ALGORITHMS:   dual-path  multi-path  fixed-path  vc-multi-path:<lanes>
               circuit-dual-path  dc-tree (2D mesh)  octant-tree (3D mesh)
               xfirst-tree (2D mesh)  ecube-tree (cube)
@@ -85,6 +90,14 @@ SWEEP:        fans load x algorithm x replication across --jobs threads
               (default: all cores, or MCAST_JOBS / RAYON_NUM_THREADS);
               --compare-serial also runs the serial reference and checks
               the parallel results are bit-identical
+TOPO:         custom-topology toolkit — <SRC> is a graph file (JSON or
+              a DOT subset) or a generator form (rand:/lmesh:/ftree:);
+              synthesize certifies the up*/down* (duplex) or
+              shortest-path (directed) routing function deadlock-free
+              via channel-dependency-graph acyclicity, deadlock prints
+              the verdict (exit 1 names the cycle when uncertifiable),
+              route prints synthesized paths; custom graphs route and
+              simulate via the updown-mc / updown-tree schemes
 SERVE:        supervised job-execution service over a crash-safe journal
               (DESIGN.md §13): submissions land in <dir>/inbox, results
               are cached by canonical spec bytes, panics / deadlines /
@@ -102,8 +115,12 @@ fn to_arg(e: RegistryError) -> ArgError {
 }
 
 /// Parses `--topology`: meshes go through [`parse_dims`] (2D or 3D),
-/// everything else through [`TopoSpec::parse`].
-fn parse_topology(spec: &str) -> Result<TopoSpec, ArgError> {
+/// everything else through [`TopoSpec::parse`]. A bad flag value is a
+/// usage error, but a custom graph *file* that is missing or malformed
+/// is the work failing, not the invocation — that maps to a runtime
+/// error (exit 1, path and reason, no usage dump), mirroring how spec
+/// files are handled.
+fn parse_topology(spec: &str) -> Result<TopoSpec, CliError> {
     if let Some(rest) = spec.strip_prefix("mesh:") {
         return match *parse_dims(rest)?.as_slice() {
             [w, h] => Ok(TopoSpec::Mesh2D { w, h }),
@@ -111,7 +128,16 @@ fn parse_topology(spec: &str) -> Result<TopoSpec, ArgError> {
             _ => unreachable!("parse_dims yields 2 or 3 dims"),
         };
     }
-    TopoSpec::parse(spec).map_err(to_arg)
+    let file_form = spec
+        .strip_prefix("custom:")
+        .is_some_and(|r| [".json", ".dot", ".gv"].iter().any(|ext| r.ends_with(ext)));
+    TopoSpec::parse(spec).map_err(|e| {
+        if file_form {
+            CliError::Runtime(e.0)
+        } else {
+            CliError::Usage(e.0)
+        }
+    })
 }
 
 fn parse_scheme(algorithm: &str) -> Result<SchemeId, ArgError> {
@@ -261,7 +287,7 @@ fn print_sweep_table(rows: &[SweepRow]) {
 }
 
 /// Builds the [`ExperimentSpec`] behind `mcast sweep`'s flags.
-fn sweep_spec(a: &Args) -> Result<ExperimentSpec, ArgError> {
+fn sweep_spec(a: &Args) -> Result<ExperimentSpec, CliError> {
     let schemes = a
         .get_or("algorithms", "dual-path,multi-path")
         .split(',')
@@ -269,7 +295,7 @@ fn sweep_spec(a: &Args) -> Result<ExperimentSpec, ArgError> {
         .map(parse_scheme)
         .collect::<Result<Vec<_>, _>>()?;
     if schemes.is_empty() {
-        return Err(ArgError("empty --algorithms".into()));
+        return Err(ArgError("empty --algorithms".into()).into());
     }
     let loads_us: Vec<f64> = a
         .get_or("loads-us", "600,450,350")
@@ -282,7 +308,7 @@ fn sweep_spec(a: &Args) -> Result<ExperimentSpec, ArgError> {
         })
         .collect::<Result<_, _>>()?;
     if loads_us.is_empty() {
-        return Err(ArgError("empty --loads-us".into()));
+        return Err(ArgError("empty --loads-us".into()).into());
     }
     let mut spec = ExperimentSpec::new("sweep", parse_topology(a.get_or("topology", "mesh:8x8"))?);
     spec.schemes = schemes;
@@ -925,6 +951,88 @@ pub fn verify(a: &Args) -> Result<(), CliError> {
     )))
 }
 
+/// `mcast topo …` — inspect a custom topology graph. `validate` checks
+/// ingestion and prints the graph summary; `synthesize` constructs the
+/// routing function and certifies it deadlock-free against the
+/// channel-dependency-graph acyclicity checker; `route` prints the
+/// synthesized source→destination paths; `deadlock` reports just the
+/// certification verdict. A graph with no certifiable deadlock-free
+/// routing is a runtime error (exit 1) naming the offending
+/// channel-dependency cycle.
+pub fn topo(a: &Args) -> Result<(), CliError> {
+    let action = a.action.as_deref().unwrap_or("validate");
+    if !["validate", "synthesize", "route", "deadlock"].contains(&action) {
+        return Err(ArgError(format!(
+            "unknown topo action {action:?} (expected validate, synthesize, route, or deadlock)"
+        ))
+        .into());
+    }
+    let raw = a.require("graph")?;
+    let src = raw.strip_prefix("custom:").unwrap_or(raw);
+    let graph =
+        load_custom(src).map_err(|e| CliError::Runtime(format!("custom topology {src:?}: {e}")))?;
+    println!("{}", graph.describe());
+    println!(
+        "duplex: {}, diameter: {}, max-degree node: {}",
+        if graph.is_duplex() { "yes" } else { "no" },
+        graph.diameter(),
+        graph.node_name(graph.max_degree_node()),
+    );
+    if action == "validate" {
+        println!("graph validates: connected, no self-loops or duplicate channels");
+        return Ok(());
+    }
+    let routing = synthesize(&graph)
+        .map_err(|e| CliError::Runtime(format!("custom topology {src:?}: {e}")))?;
+    let kind = match routing.kind() {
+        RoutingKind::UpDown => "up*/down*",
+        RoutingKind::ShortestPath => "shortest-path",
+    };
+    match action {
+        "synthesize" | "deadlock" => {
+            let cdg = routing.cdg();
+            print!("routing: {kind}");
+            if let Some(root) = routing.root() {
+                print!(", root {}", graph.node_name(root));
+            }
+            println!();
+            println!(
+                "certified deadlock-free: {} channel-dependency edge(s) over {} channel(s), acyclic",
+                cdg.num_dependencies(),
+                cdg.num_channels()
+            );
+        }
+        "route" => {
+            let source = parse_nodes(a.require("source")?)?
+                .first()
+                .copied()
+                .ok_or_else(|| ArgError("empty --source".into()))?;
+            let dests = parse_nodes(a.require("dests")?)?;
+            let n = graph.num_nodes();
+            for &node in dests.iter().chain([&source]) {
+                if node >= n {
+                    return Err(ArgError(format!("node {node} out of range (N={n})")).into());
+                }
+            }
+            println!("routing: {kind}");
+            for &d in &dests {
+                let path = routing.path(source, d);
+                println!(
+                    "  {}: {} ({} hops)",
+                    graph.node_name(d),
+                    path.iter()
+                        .map(|&v| graph.node_name(v).to_string())
+                        .collect::<Vec<_>>()
+                        .join(" -> "),
+                    path.len() - 1
+                );
+            }
+        }
+        _ => unreachable!("action validated above"),
+    }
+    Ok(())
+}
+
 /// `mcast serve …` — the supervised job-execution service (DESIGN.md
 /// §13). Opens (or resumes) the journal at `--journal`, ingests specs
 /// from its inbox, and drains them through the worker pool. `--batch`
@@ -1423,8 +1531,28 @@ mod tests {
         ]))
         .unwrap();
         serve(&args(&["serve", "--journal", j, "--batch", "--jobs", "2"])).unwrap();
-        // Restarting the server replays the journal: the job must be
-        // completed already and a second drain pass stays balanced.
+        // A custom-graph spec flows through the same submit/serve path.
+        let custom_spec = dir.join("custom.json");
+        std::fs::write(
+            &custom_spec,
+            r#"{"name": "serve-custom", "topology": "custom:rand:8x2",
+                "schemes": ["updown-mc"], "loads_us": [400],
+                "destinations": 3, "replications": 1,
+                "stopping": {"warmup": 10, "batch_size": 10,
+                             "min_batches": 2, "max_batches": 3}}"#,
+        )
+        .unwrap();
+        submit(&args(&[
+            "submit",
+            "--journal",
+            j,
+            "--spec",
+            custom_spec.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Restarting the server replays the journal: the first job must
+        // be completed already, the custom job drains, and the ledger
+        // stays balanced.
         serve(&args(&["serve", "--journal", j, "--batch"])).unwrap();
         // Submitting a spec to a path we cannot create is a runtime
         // error with the failing path in the message.
@@ -1498,6 +1626,160 @@ mod tests {
         assert!(verify(&args(&["verify", "--spec", p, "--chaos", "swap-class"])).is_err());
         let _ = std::fs::remove_file(&path);
         assert!(verify(&args(&["verify", "--spec", "/nonexistent.json"])).is_err());
+    }
+
+    #[test]
+    fn topo_command_actions_end_to_end() {
+        // The checked-in example graphs must validate, synthesize a
+        // certified routing, and answer route/deadlock queries.
+        let json = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/graph_dragonfly_small.json"
+        );
+        let dot = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/graph_lesioned_mesh.dot"
+        );
+        for graph in [json, dot] {
+            topo(&args(&["topo", "--graph", graph])).unwrap();
+            topo(&args(&["topo", "synthesize", "--graph", graph])).unwrap();
+            topo(&args(&["topo", "deadlock", "--graph", graph])).unwrap();
+            topo(&args(&[
+                "topo", "route", "--graph", graph, "--source", "0", "--dests", "1,5,7",
+            ]))
+            .unwrap();
+        }
+        // Generator forms resolve with or without the custom: prefix.
+        topo(&args(&[
+            "topo",
+            "synthesize",
+            "--graph",
+            "custom:lmesh:4x3x1",
+        ]))
+        .unwrap();
+        topo(&args(&["topo", "deadlock", "--graph", "ftree:2x9"])).unwrap();
+        // A bad action or an out-of-range node is a usage error.
+        assert!(matches!(
+            topo(&args(&["topo", "frobnicate", "--graph", dot])).unwrap_err(),
+            CliError::Usage(_)
+        ));
+        assert!(matches!(
+            topo(&args(&[
+                "topo", "route", "--graph", dot, "--source", "99", "--dests", "1",
+            ]))
+            .unwrap_err(),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn graph_file_errors_are_runtime_not_usage() {
+        // A missing or malformed graph file is the work failing — exit
+        // 1 with the path and reason, never a usage dump (exit 2) and
+        // never a panic.
+        let missing =
+            topo(&args(&["topo", "validate", "--graph", "/nonexistent.dot"])).unwrap_err();
+        assert!(matches!(missing, CliError::Runtime(ref m) if m.contains("/nonexistent.dot")));
+        let dir = std::env::temp_dir();
+        let bad = dir.join("mcast_cli_test_bad_graph.json");
+        std::fs::write(&bad, "{\"nodes\": ").unwrap();
+        let malformed = topo(&args(&[
+            "topo",
+            "validate",
+            "--graph",
+            bad.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(matches!(malformed, CliError::Runtime(ref m) if m.contains("bad_graph")));
+        let _ = std::fs::remove_file(&bad);
+        // The same discipline holds when the graph arrives through
+        // --topology custom:<file> on an ordinary routing command…
+        let route_err = route(&args(&[
+            "route",
+            "--topology",
+            "custom:/nonexistent.json",
+            "--algorithm",
+            "updown-mc",
+            "--source",
+            "0",
+            "--dests",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(matches!(route_err, CliError::Runtime(ref m) if m.contains("/nonexistent.json")));
+        // …while a malformed generator form stays a usage error.
+        assert!(matches!(
+            parse_topology("custom:rand:banana").unwrap_err(),
+            CliError::Usage(_)
+        ));
+        // A graph with no certifiable deadlock-free routing is a
+        // runtime error naming the offending cycle.
+        let ring = dir.join("mcast_cli_test_uniring.json");
+        std::fs::write(
+            &ring,
+            r#"{"nodes": 4, "duplex": false, "edges": [[0,1],[1,2],[2,3],[3,0]]}"#,
+        )
+        .unwrap();
+        let cyclic = topo(&args(&[
+            "topo",
+            "deadlock",
+            "--graph",
+            ring.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(
+            matches!(cyclic, CliError::Runtime(ref m) if m.contains("channel-dependency cycle")),
+            "{cyclic:?}"
+        );
+        let _ = std::fs::remove_file(&ring);
+    }
+
+    #[test]
+    fn route_and_run_on_custom_graphs() {
+        // The up*/down* schemes and the generic greedy-st heuristic
+        // route on generator-form custom graphs…
+        for alg in ["updown-mc", "updown-tree", "greedy-st"] {
+            route(&args(&[
+                "route",
+                "--topology",
+                "custom:rand:10x3",
+                "--algorithm",
+                alg,
+                "--source",
+                "0",
+                "--dests",
+                "1,5,7",
+            ]))
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+        }
+        // …the checked-in custom-graph spec dry-runs (validates and
+        // resolves every router)…
+        let spec = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/spec_custom_graph.json"
+        );
+        run(&args(&["run", "--spec", spec, "--dry-run", "true"])).unwrap();
+        // …and a small custom-graph spec executes end-to-end.
+        let dir = std::env::temp_dir();
+        let path = dir.join("mcast_cli_test_custom_spec.json");
+        std::fs::write(
+            &path,
+            r#"{"name": "cli-custom", "topology": "custom:rand:8x5",
+                "schemes": ["updown-mc", "updown-tree"],
+                "loads_us": [400], "destinations": 3, "replications": 1,
+                "stopping": {"warmup": 10, "batch_size": 10,
+                             "min_batches": 2, "max_batches": 3}}"#,
+        )
+        .unwrap();
+        run(&args(&[
+            "run",
+            "--spec",
+            path.to_str().unwrap(),
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

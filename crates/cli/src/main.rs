@@ -35,6 +35,7 @@ fn main() {
         "trace" => commands::trace(&parsed),
         "metrics" => commands::metrics(&parsed),
         "verify" => commands::verify(&parsed),
+        "topo" => commands::topo(&parsed),
         "serve" => commands::serve(&parsed),
         "submit" => commands::submit(&parsed),
         "help" | "--help" | "-h" => {

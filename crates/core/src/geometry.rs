@@ -127,6 +127,7 @@ impl RoutingGeometry for Mesh3D {
 
 impl RoutingGeometry for mcast_topology::GridGraph {}
 impl RoutingGeometry for mcast_topology::KAryNCube {}
+impl RoutingGeometry for mcast_topology::CustomGraph {}
 
 #[cfg(test)]
 mod tests {

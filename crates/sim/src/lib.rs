@@ -34,6 +34,7 @@ pub mod reference;
 pub mod registry;
 pub mod routers;
 pub mod switching;
+pub mod topograph;
 
 pub use mcast_obs as obs;
 
@@ -51,3 +52,7 @@ pub use registry::{
     RoutePlan, SchemeId, SchemeInfo, TopoSpec,
 };
 pub use routers::MulticastRouter;
+pub use topograph::{
+    load_custom, parse_graph_dot, parse_graph_json, IngestError, UpDownMulticastRouter,
+    UpDownTreeRouter,
+};

@@ -10,9 +10,10 @@
 //! them with two small value types and three factory functions:
 //!
 //! * [`TopoSpec`] — a parsed topology description (`mesh:WxH`,
-//!   `mesh:WxHxD`, `cube:N`, `kary:KxN`, `torus:KxN`) that can
-//!   [`TopoSpec::build`] the concrete graph and answer naming questions
-//!   ([`TopoSpec::node_name`], [`TopoSpec::hotspot_node`]);
+//!   `mesh:WxHxD`, `cube:N`, `kary:KxN`, `torus:KxN`, or
+//!   `custom:<source>` for arbitrary validated graphs, DESIGN.md §14)
+//!   that can [`TopoSpec::build`] the concrete graph and answer naming
+//!   questions ([`TopoSpec::node_name`], [`TopoSpec::hotspot_node`]);
 //! * [`SchemeId`] — a routing-scheme name plus the optional `:lanes`
 //!   suffix (`vc-multi-path:4`);
 //! * [`build_router`] / [`build_fault_router`] / [`build_route`] — the
@@ -26,14 +27,23 @@
 //! `with_labeling` constructors and the snake/Gray labelings; the tree
 //! schemes are topology-specific (dc-tree on 2D meshes, octant-tree on
 //! 3D meshes, ecube-tree on hypercubes, xfirst-tree on 2D meshes).
+//! Custom graphs carry no Hamiltonian labeling, so they register the
+//! synthesized-routing schemes instead: `updown-mc` (one worm per
+//! destination over certified up*/down* routes, deadlock-free by the
+//! certified acyclic CDG) and `updown-tree` (the merged-tree baseline).
 //! [`SchemeInfo::deadlock_free`] records which schemes the dissertation
 //! proves deadlock-free — the registry exhaustiveness test asserts an
 //! acyclic channel dependency graph for exactly those.
 
-use mcast_core::model::{MulticastRoute, MulticastSet};
+use std::sync::Arc;
+
+use mcast_core::model::{MulticastRoute, MulticastSet, PathRoute, TreeRoute};
 use mcast_topology::hamiltonian::{hypercube_cycle, mesh2d_cycle};
 use mcast_topology::labeling::{hypercube_gray, karyn_gray, mesh2d_snake, mesh3d_snake};
-use mcast_topology::{Hypercube, KAryNCube, Labeling, Mesh2D, Mesh3D, NodeId, Topology};
+use mcast_topology::topograph::bfs_order_path;
+use mcast_topology::{
+    CustomGraph, Hypercube, KAryNCube, Labeling, Mesh2D, Mesh3D, NodeId, Topology,
+};
 
 use crate::network::Network;
 use crate::recovery::{
@@ -44,6 +54,7 @@ use crate::routers::{
     FixedPathRouter, MultiPathMeshRouter, MultiPathRouter, MulticastRouter, OctantTreeRouter,
     VcMultiPathRouter, XFirstTreeRouter,
 };
+use crate::topograph::{load_custom_arc, UpDownMulticastRouter, UpDownTreeRouter};
 
 /// A registry lookup failure (unknown scheme, unknown topology kind,
 /// or a scheme not registered for the requested topology).
@@ -63,7 +74,7 @@ fn err(msg: impl Into<String>) -> RegistryError {
 }
 
 /// A parsed topology description — the data form of "which network".
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TopoSpec {
     /// `mesh:WxH` — a W×H 2D mesh.
     Mesh2D {
@@ -95,15 +106,30 @@ pub enum TopoSpec {
         /// Whether the dimensions wrap (torus).
         wraps: bool,
     },
+    /// `custom:<source>` — an arbitrary validated graph (DESIGN.md §14).
+    /// The source is a generator form (`rand:10x3`, `lmesh:4x4x2`,
+    /// `ftree:3x1`) or a `.json`/`.dot` graph file path; the resolved
+    /// graph rides along so parsing happens exactly once.
+    Custom {
+        /// The source string the graph was resolved from (everything
+        /// after `custom:`); `Display` round-trips through it.
+        source: String,
+        /// The validated graph.
+        graph: Arc<CustomGraph>,
+    },
 }
 
 impl TopoSpec {
     /// Parses a topology spec string: `mesh:WxH`, `mesh:WxHxD`,
-    /// `cube:N`, `kary:KxN`, or `torus:KxN`.
+    /// `cube:N`, `kary:KxN`, `torus:KxN`, or `custom:<source>` (see
+    /// [`crate::topograph::load_custom`] for the source forms; file
+    /// sources are read and validated here, so the error carries the
+    /// path and reason).
     pub fn parse(spec: &str) -> Result<TopoSpec, RegistryError> {
         let (kind, rest) = spec.split_once(':').ok_or_else(|| {
             err(format!(
-                "expected mesh:WxH, mesh:WxHxD, cube:N, kary:KxN or torus:KxN, got {spec:?}"
+                "expected mesh:WxH, mesh:WxHxD, cube:N, kary:KxN, torus:KxN \
+                 or custom:<graph>, got {spec:?}"
             ))
         })?;
         let dims = |s: &str| -> Result<Vec<usize>, RegistryError> {
@@ -145,6 +171,14 @@ impl TopoSpec {
                     other.len()
                 ))),
             },
+            "custom" => {
+                let graph = load_custom_arc(rest)
+                    .map_err(|e| err(format!("custom topology {rest:?}: {e}")))?;
+                Ok(TopoSpec::Custom {
+                    source: rest.to_string(),
+                    graph,
+                })
+            }
             other => Err(err(format!("unknown topology kind {other:?}"))),
         }
     }
@@ -160,6 +194,7 @@ impl TopoSpec {
             } else {
                 KAryNCube::mesh(k, n)
             }),
+            TopoSpec::Custom { ref graph, .. } => BuiltTopo::Custom(Arc::clone(graph)),
         }
     }
 
@@ -170,22 +205,27 @@ impl TopoSpec {
             TopoSpec::Mesh3D { w, h, d } => w * h * d,
             TopoSpec::Hypercube { dim } => 1usize << dim,
             TopoSpec::KAryNCube { k, n, .. } => k.pow(n),
+            TopoSpec::Custom { ref graph, .. } => graph.num_nodes(),
         }
     }
 
-    /// The dissertation's Hamiltonian-path labeling for this topology:
+    /// The label order used by the Hamiltonian-path schemes:
     /// boustrophedon snakes on meshes, reflected Gray codes on cubes.
+    /// Custom graphs get their deterministic BFS order — a permutation
+    /// but *not* a Hamiltonian path, so the path schemes are not
+    /// registered for them (see [`schemes_for`]).
     pub fn labeling(&self) -> Labeling {
         match self.build() {
             BuiltTopo::Mesh2D(m) => mesh2d_snake(&m),
             BuiltTopo::Mesh3D(m) => mesh3d_snake(&m),
             BuiltTopo::Hypercube(c) => hypercube_gray(&c),
             BuiltTopo::KAryNCube(c) => karyn_gray(&c),
+            BuiltTopo::Custom(g) => Labeling::from_path(bfs_order_path(&g)),
         }
     }
 
     /// A human-readable node name: mesh coordinates, cube binary
-    /// addresses, k-ary digit strings.
+    /// addresses, k-ary digit strings, custom-graph node names.
     pub fn node_name(&self, n: NodeId) -> String {
         match self.build() {
             BuiltTopo::Mesh2D(m) => {
@@ -201,12 +241,14 @@ impl TopoSpec {
                 let digits: Vec<String> = c.digits(n).iter().map(|d| d.to_string()).collect();
                 format!("[{}]", digits.join("."))
             }
+            BuiltTopo::Custom(g) => g.node_name(n).to_string(),
         }
     }
 
     /// The hot-spot node: the network center, where §7.2's non-uniform
     /// loads concentrate contention — the mesh midpoint, the
-    /// mid-address cube node, the all-⌊k/2⌋ k-ary node.
+    /// mid-address cube node, the all-⌊k/2⌋ k-ary node, the
+    /// max-degree node of a custom graph.
     pub fn hotspot_node(&self) -> NodeId {
         match self.build() {
             BuiltTopo::Mesh2D(m) => m.node(m.width() / 2, m.height() / 2),
@@ -216,6 +258,7 @@ impl TopoSpec {
                 let mid = vec![c.k() / 2; c.n() as usize];
                 c.from_digits(&mid)
             }
+            BuiltTopo::Custom(g) => g.max_degree_node(),
         }
     }
 }
@@ -229,6 +272,7 @@ impl std::fmt::Display for TopoSpec {
             TopoSpec::KAryNCube { k, n, wraps } => {
                 write!(f, "{}:{k}x{n}", if wraps { "torus" } else { "kary" })
             }
+            TopoSpec::Custom { ref source, .. } => write!(f, "custom:{source}"),
         }
     }
 }
@@ -237,7 +281,7 @@ impl std::fmt::Display for TopoSpec {
 /// [`BuiltTopo::as_dyn`] erases it for the generic runners
 /// (`run_dynamic`, `run_dynamic_sweep`, `run_fault_sweep`, and
 /// [`Network::new`] are all `T: Topology + ?Sized`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub enum BuiltTopo {
     /// A 2D mesh.
     Mesh2D(Mesh2D),
@@ -247,6 +291,8 @@ pub enum BuiltTopo {
     Hypercube(Hypercube),
     /// A k-ary n-cube (mesh or torus).
     KAryNCube(KAryNCube),
+    /// A validated custom graph (shared, so clones stay cheap).
+    Custom(Arc<CustomGraph>),
 }
 
 impl BuiltTopo {
@@ -258,6 +304,7 @@ impl BuiltTopo {
             BuiltTopo::Mesh3D(m) => m,
             BuiltTopo::Hypercube(c) => c,
             BuiltTopo::KAryNCube(c) => c,
+            BuiltTopo::Custom(g) => g.as_ref(),
         }
     }
 }
@@ -390,6 +437,18 @@ pub const SCHEMES: &[SchemeInfo] = &[
         simulable: true,
     },
     SchemeInfo {
+        name: "updown-mc",
+        deadlock_free: true,
+        takes_lanes: false,
+        simulable: true,
+    },
+    SchemeInfo {
+        name: "updown-tree",
+        deadlock_free: false,
+        takes_lanes: false,
+        simulable: true,
+    },
+    SchemeInfo {
         name: "sorted-mp",
         deadlock_free: false,
         takes_lanes: false,
@@ -417,6 +476,11 @@ pub fn scheme_info(name: &str) -> Option<&'static SchemeInfo> {
 /// The simulable schemes registered for a topology — the pairs the
 /// exhaustiveness test iterates and `schemes_for` experiments sweep.
 pub fn schemes_for(topo: &TopoSpec) -> Vec<SchemeId> {
+    // Custom graphs have no Hamiltonian-path labeling, so only the
+    // synthesized up*/down* schemes apply there.
+    if let TopoSpec::Custom { .. } = topo {
+        return vec![SchemeId::named("updown-mc"), SchemeId::named("updown-tree")];
+    }
     let mut out: Vec<SchemeId> = ["dual-path", "multi-path", "fixed-path", "circuit-dual-path"]
         .iter()
         .map(|n| SchemeId::named(n))
@@ -432,7 +496,7 @@ pub fn schemes_for(topo: &TopoSpec) -> Vec<SchemeId> {
         }
         TopoSpec::Mesh3D { .. } => out.push(SchemeId::named("octant-tree")),
         TopoSpec::Hypercube { .. } => out.push(SchemeId::named("ecube-tree")),
-        TopoSpec::KAryNCube { .. } => {}
+        TopoSpec::KAryNCube { .. } | TopoSpec::Custom { .. } => {}
     }
     out
 }
@@ -461,6 +525,17 @@ pub fn build_router(
     check_lanes(scheme)?;
     let built = topo.build();
     let lanes = scheme.lanes_or_default();
+    // Custom graphs route over synthesized certified functions; the
+    // synthesis failure (a cyclic CDG on a directed graph) surfaces
+    // here with the witness cycle in the message.
+    if let BuiltTopo::Custom(graph) = &built {
+        let fail = |e: mcast_topology::TopographError| err(format!("{topo}: {e}"));
+        return match scheme.name.as_str() {
+            "updown-mc" => Ok(Box::new(UpDownMulticastRouter::new(graph).map_err(fail)?)),
+            "updown-tree" => Ok(Box::new(UpDownTreeRouter::new(graph).map_err(fail)?)),
+            _ => Err(not_available(topo, scheme)),
+        };
+    }
     Ok(match (built, scheme.name.as_str()) {
         // The Hamiltonian-path schemes run on every labeled topology.
         (BuiltTopo::Mesh2D(m), "dual-path") => Box::new(DualPathRouter::mesh(m)),
@@ -493,6 +568,11 @@ fn dual_path_generic(t: BuiltTopo) -> Box<dyn MulticastRouter + Send + Sync> {
         BuiltTopo::Mesh3D(m) => Box::new(DualPathRouter::with_labeling(m, mesh3d_snake(&m))),
         BuiltTopo::Hypercube(c) => Box::new(DualPathRouter::with_labeling(c, hypercube_gray(&c))),
         BuiltTopo::KAryNCube(c) => Box::new(DualPathRouter::with_labeling(c, karyn_gray(&c))),
+        BuiltTopo::Custom(_) => {
+            unreachable!(
+                "custom graphs dispatch to the up*/down* routers before the generic constructors"
+            )
+        }
     }
 }
 
@@ -502,6 +582,11 @@ fn multi_path_generic(t: BuiltTopo, labeling: Labeling) -> Box<dyn MulticastRout
         BuiltTopo::Mesh3D(m) => Box::new(MultiPathRouter::with_labeling(m, labeling)),
         BuiltTopo::Hypercube(c) => Box::new(MultiPathRouter::with_labeling(c, labeling)),
         BuiltTopo::KAryNCube(c) => Box::new(MultiPathRouter::with_labeling(c, labeling)),
+        BuiltTopo::Custom(_) => {
+            unreachable!(
+                "custom graphs dispatch to the up*/down* routers before the generic constructors"
+            )
+        }
     }
 }
 
@@ -511,6 +596,11 @@ fn fixed_path_generic(t: BuiltTopo) -> Box<dyn MulticastRouter + Send + Sync> {
         BuiltTopo::Mesh3D(m) => Box::new(FixedPathRouter::with_labeling(m, mesh3d_snake(&m))),
         BuiltTopo::Hypercube(c) => Box::new(FixedPathRouter::with_labeling(c, hypercube_gray(&c))),
         BuiltTopo::KAryNCube(c) => Box::new(FixedPathRouter::with_labeling(c, karyn_gray(&c))),
+        BuiltTopo::Custom(_) => {
+            unreachable!(
+                "custom graphs dispatch to the up*/down* routers before the generic constructors"
+            )
+        }
     }
 }
 
@@ -530,6 +620,11 @@ fn vc_multi_path_generic(t: BuiltTopo, lanes: u8) -> Box<dyn MulticastRouter + S
         BuiltTopo::KAryNCube(c) => {
             Box::new(VcMultiPathRouter::with_labeling(c, karyn_gray(&c), lanes))
         }
+        BuiltTopo::Custom(_) => {
+            unreachable!(
+                "custom graphs dispatch to the up*/down* routers before the generic constructors"
+            )
+        }
     }
 }
 
@@ -542,6 +637,11 @@ fn circuit_generic(t: BuiltTopo) -> Box<dyn MulticastRouter + Send + Sync> {
         }
         BuiltTopo::KAryNCube(c) => {
             Box::new(CircuitDualPathRouter::with_labeling(c, karyn_gray(&c)))
+        }
+        BuiltTopo::Custom(_) => {
+            unreachable!(
+                "custom graphs dispatch to the up*/down* routers before the generic constructors"
+            )
         }
     }
 }
@@ -602,38 +702,43 @@ pub fn build_route(
 ) -> Result<RoutePlan, RegistryError> {
     check_lanes(scheme)?;
     let built = topo.build();
-    let route = match (built, scheme.name.as_str()) {
+    let route = match (&built, scheme.name.as_str()) {
         (BuiltTopo::Mesh2D(m), "sorted-mp") => {
-            let cycle = mesh2d_cycle(&m);
-            MulticastRoute::Path(mcast_core::sorted_mp::sorted_mp(&m, &cycle, mc))
+            let cycle = mesh2d_cycle(m);
+            MulticastRoute::Path(mcast_core::sorted_mp::sorted_mp(m, &cycle, mc))
         }
         (BuiltTopo::Hypercube(c), "sorted-mp") => {
-            let cycle = hypercube_cycle(&c);
-            MulticastRoute::Path(mcast_core::sorted_mp::sorted_mp(&c, &cycle, mc))
+            let cycle = hypercube_cycle(c);
+            MulticastRoute::Path(mcast_core::sorted_mp::sorted_mp(c, &cycle, mc))
         }
         (BuiltTopo::Mesh2D(m), "divided-greedy") => {
-            MulticastRoute::Tree(mcast_core::divided_greedy::divided_greedy_tree(&m, mc))
+            MulticastRoute::Tree(mcast_core::divided_greedy::divided_greedy_tree(m, mc))
         }
         (built, "greedy-st") => {
             let (st, traffic) = match built {
                 BuiltTopo::Mesh2D(m) => {
-                    let st = mcast_core::greedy_st::greedy_st(&m, mc);
-                    let t = st.traffic(&m);
+                    let st = mcast_core::greedy_st::greedy_st(m, mc);
+                    let t = st.traffic(m);
                     (st, t)
                 }
                 BuiltTopo::Mesh3D(m) => {
-                    let st = mcast_core::greedy_st::greedy_st(&m, mc);
-                    let t = st.traffic(&m);
+                    let st = mcast_core::greedy_st::greedy_st(m, mc);
+                    let t = st.traffic(m);
                     (st, t)
                 }
                 BuiltTopo::Hypercube(c) => {
-                    let st = mcast_core::greedy_st::greedy_st(&c, mc);
-                    let t = st.traffic(&c);
+                    let st = mcast_core::greedy_st::greedy_st(c, mc);
+                    let t = st.traffic(c);
                     (st, t)
                 }
                 BuiltTopo::KAryNCube(c) => {
-                    let st = mcast_core::greedy_st::greedy_st(&c, mc);
-                    let t = st.traffic(&c);
+                    let st = mcast_core::greedy_st::greedy_st(c, mc);
+                    let t = st.traffic(c);
+                    (st, t)
+                }
+                BuiltTopo::Custom(g) => {
+                    let st = mcast_core::greedy_st::greedy_st(g.as_ref(), mc);
+                    let t = st.traffic(g.as_ref());
                     (st, t)
                 }
             };
@@ -642,8 +747,34 @@ pub fn build_route(
                 traffic,
             });
         }
+        // Custom graphs: the synthesized-unicast schemes, as static
+        // routes — a star of certified per-destination paths, or their
+        // merged tree.
+        (BuiltTopo::Custom(g), "updown-mc") => {
+            let routing = mcast_topology::synthesize(g).map_err(|e| err(format!("{topo}: {e}")))?;
+            MulticastRoute::Star(
+                mc.destinations
+                    .iter()
+                    .map(|&d| PathRoute::new(routing.path(mc.source, d)))
+                    .collect(),
+            )
+        }
+        (BuiltTopo::Custom(g), "updown-tree") => {
+            let routing = mcast_topology::synthesize(g).map_err(|e| err(format!("{topo}: {e}")))?;
+            let mut tree = TreeRoute::new(mc.source);
+            for &d in &mc.destinations {
+                let path = routing.path(mc.source, d);
+                for w in path.windows(2) {
+                    if !tree.contains(w[1]) {
+                        tree.attach(w[0], w[1]);
+                    }
+                }
+            }
+            MulticastRoute::Tree(tree)
+        }
+        (BuiltTopo::Custom(_), _) => return Err(not_available(topo, scheme)),
         (BuiltTopo::Mesh2D(m), "dual-path") => {
-            MulticastRoute::Star(mcast_core::dual_path::dual_path(&m, &mesh2d_snake(&m), mc))
+            MulticastRoute::Star(mcast_core::dual_path::dual_path(m, &mesh2d_snake(m), mc))
         }
         (built, "dual-path") => MulticastRoute::Star(mcast_core::dual_path::dual_path(
             built.as_dyn(),
@@ -651,7 +782,7 @@ pub fn build_route(
             mc,
         )),
         (BuiltTopo::Mesh2D(m), "multi-path") => MulticastRoute::Star(
-            mcast_core::multi_path::multi_path_mesh(&m, &mesh2d_snake(&m), mc),
+            mcast_core::multi_path::multi_path_mesh(m, &mesh2d_snake(m), mc),
         ),
         (built, "multi-path") => MulticastRoute::Star(mcast_core::multi_path::multi_path(
             built.as_dyn(),
@@ -664,10 +795,10 @@ pub fn build_route(
             mc,
         )),
         (BuiltTopo::Mesh2D(m), "xfirst-tree") => {
-            MulticastRoute::Tree(mcast_core::xfirst::xfirst_tree(&m, mc))
+            MulticastRoute::Tree(mcast_core::xfirst::xfirst_tree(m, mc))
         }
         (BuiltTopo::Mesh2D(m), "dc-tree") => MulticastRoute::Forest(
-            mcast_core::dc_xfirst_tree::dc_xfirst(&m, mc)
+            mcast_core::dc_xfirst_tree::dc_xfirst(m, mc)
                 .into_iter()
                 .map(|p| p.tree)
                 .collect(),

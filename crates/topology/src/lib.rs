@@ -35,6 +35,7 @@ pub mod labeling;
 pub mod mesh2d;
 pub mod mesh3d;
 pub mod partition;
+pub mod topograph;
 
 pub use ccc::CubeConnectedCycles;
 pub use cdg::{ChannelDependencyGraph, SurvivorReport};
@@ -48,3 +49,5 @@ pub use labeling::Labeling;
 pub use mesh2d::{Dir2, Mesh2D};
 pub use mesh3d::{Dir3, Mesh3D};
 pub use partition::Quadrant;
+pub use topograph::synth::{synthesize, CertifiedRouting, RoutingKind};
+pub use topograph::{CustomGraph, TopographError};

@@ -1,0 +1,608 @@
+//! Arbitrary-topology subsystem (`topograph`): validated custom graphs
+//! and synthesized, *certified* deadlock-free routing (DESIGN.md §14).
+//!
+//! The dissertation's schemes are defined over four regular topologies;
+//! this module extends the substrate to user-supplied irregular graphs.
+//! A [`CustomGraph`] is a validated directed host graph with per-channel
+//! latencies, built either programmatically ([`CustomGraph::build`]),
+//! from one of the seeded [`generators`], or — one layer up, in
+//! `mcast-sim` — by parsing JSON/DOT topology files. Every construction
+//! path funnels through the same validation: dense node ids, no
+//! self-loops, no duplicate channels, positive latencies, and strong
+//! connectivity with a witness pair on failure. Routing synthesis and
+//! certification live in [`synth`].
+
+pub mod synth;
+
+use std::collections::VecDeque;
+
+use crate::graph::{bfs_distances, Channel, NodeId, Topology};
+
+/// A typed rejection from graph validation or routing synthesis.
+///
+/// Every failure mode of the subsystem is one of these variants —
+/// ingestion and synthesis never panic on user input, and the messages
+/// carry the offending nodes/channels so they are actionable as-is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopographError {
+    /// The graph has fewer than two nodes.
+    TooFewNodes {
+        /// The number of nodes supplied.
+        nodes: usize,
+    },
+    /// An edge endpoint is outside `0..nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        nodes: usize,
+    },
+    /// An edge from a node to itself.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: NodeId,
+    },
+    /// The same directed channel was declared twice.
+    DuplicateEdge {
+        /// Transmitting node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+    },
+    /// A channel with zero latency (flits must take ≥ 1 cycle per hop).
+    ZeroLatency {
+        /// Transmitting node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+    },
+    /// The graph is not strongly connected: no directed path `from → to`.
+    NotConnected {
+        /// A node that cannot reach `to`.
+        from: NodeId,
+        /// The unreachable node.
+        to: NodeId,
+    },
+    /// Routing synthesis produced a cyclic channel-dependency graph, so
+    /// no certified router exists for this graph under the synthesized
+    /// function (the Dally–Seitz condition fails; cf. the
+    /// Mendlovic–Matias existence condition for arbitrary digraphs).
+    /// The witness cycle is closed: the first channel is repeated last.
+    RoutingCyclic {
+        /// The offending dependency cycle through the CDG.
+        cycle: Vec<Channel>,
+    },
+}
+
+impl std::fmt::Display for TopographError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopographError::TooFewNodes { nodes } => {
+                write!(f, "graph needs at least 2 nodes, got {nodes}")
+            }
+            TopographError::NodeOutOfRange { node, nodes } => {
+                write!(
+                    f,
+                    "edge endpoint {node} out of range (graph has {nodes} nodes)"
+                )
+            }
+            TopographError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            TopographError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge {from} -> {to}")
+            }
+            TopographError::ZeroLatency { from, to } => {
+                write!(
+                    f,
+                    "zero-latency channel {from} -> {to} (latency must be >= 1)"
+                )
+            }
+            TopographError::NotConnected { from, to } => {
+                write!(
+                    f,
+                    "graph is not strongly connected: no directed path from node {from} to node {to}"
+                )
+            }
+            TopographError::RoutingCyclic { cycle } => {
+                let hops: Vec<String> = cycle
+                    .iter()
+                    .map(|c| format!("{}->{}", c.from, c.to))
+                    .collect();
+                write!(
+                    f,
+                    "no deadlock-free routing certified: channel-dependency cycle {}",
+                    hops.join(" => ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopographError {}
+
+/// A directed edge declaration: `(from, to, latency)`.
+pub type EdgeDecl = (NodeId, NodeId, u64);
+
+/// A validated irregular host graph with per-channel latencies.
+///
+/// Node ids are dense (`0..num_nodes`), adjacency is stored sorted so
+/// neighbor enumeration — and everything derived from it, including the
+/// deterministic [`Topology::channels`] order — is reproducible.
+/// Latencies are integral (`u64` cycles) so the graph is `Eq` and can
+/// round-trip through canonical specs byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomGraph {
+    name: String,
+    node_names: Vec<String>,
+    /// `out[n]` = sorted `(neighbor, latency)` pairs.
+    out: Vec<Vec<(NodeId, u64)>>,
+    duplex: bool,
+    diameter: usize,
+}
+
+impl CustomGraph {
+    /// Validates and builds a graph from directed edge declarations.
+    ///
+    /// `node_names` defines the node count and display names (pass
+    /// [`CustomGraph::anon_names`] for `n0..nK`). Rejections are typed
+    /// [`TopographError`]s; see the variant docs for the rules.
+    pub fn build(
+        name: impl Into<String>,
+        node_names: Vec<String>,
+        edges: &[EdgeDecl],
+    ) -> Result<CustomGraph, TopographError> {
+        let n = node_names.len();
+        if n < 2 {
+            return Err(TopographError::TooFewNodes { nodes: n });
+        }
+        let mut out: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); n];
+        for &(from, to, latency) in edges {
+            if from >= n {
+                return Err(TopographError::NodeOutOfRange {
+                    node: from,
+                    nodes: n,
+                });
+            }
+            if to >= n {
+                return Err(TopographError::NodeOutOfRange { node: to, nodes: n });
+            }
+            if from == to {
+                return Err(TopographError::SelfLoop { node: from });
+            }
+            if latency == 0 {
+                return Err(TopographError::ZeroLatency { from, to });
+            }
+            if out[from].iter().any(|&(m, _)| m == to) {
+                return Err(TopographError::DuplicateEdge { from, to });
+            }
+            out[from].push((to, latency));
+        }
+        for adj in &mut out {
+            adj.sort_unstable();
+        }
+        let duplex = (0..n).all(|u| {
+            out[u]
+                .iter()
+                .all(|&(v, _)| out[v].iter().any(|&(w, _)| w == u))
+        });
+        let graph = CustomGraph {
+            name: name.into(),
+            node_names,
+            out,
+            duplex,
+            diameter: 0,
+        };
+        // Strong connectivity, with a witness pair on failure. One BFS
+        // per node also yields the directed diameter for free.
+        let mut diameter = 0;
+        for u in 0..n {
+            let dist = bfs_distances(&graph, u);
+            if let Some(v) = (0..n).find(|&v| dist[v] == usize::MAX) {
+                return Err(TopographError::NotConnected { from: u, to: v });
+            }
+            diameter = diameter.max(dist.iter().copied().max().unwrap_or(0));
+        }
+        Ok(CustomGraph { diameter, ..graph })
+    }
+
+    /// Anonymous node names `n0..n<count-1>`.
+    pub fn anon_names(count: usize) -> Vec<String> {
+        (0..count).map(|i| format!("n{i}")).collect()
+    }
+
+    /// The graph's name (from the source file or generator).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The display name of node `n`.
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.node_names[n]
+    }
+
+    /// Whether every channel has its reverse (the graph is a set of
+    /// bidirectional links). Duplex graphs admit up*/down* synthesis.
+    pub fn is_duplex(&self) -> bool {
+        self.duplex
+    }
+
+    /// The out-neighbors of `n` with channel latencies, sorted by
+    /// neighbor id.
+    pub fn out_edges(&self, n: NodeId) -> &[(NodeId, u64)] {
+        &self.out[n]
+    }
+
+    /// The latency of channel `from → to` in cycles, if the channel
+    /// exists.
+    pub fn latency(&self, from: NodeId, to: NodeId) -> Option<u64> {
+        self.out[from]
+            .iter()
+            .find(|&&(m, _)| m == to)
+            .map(|&(_, l)| l)
+    }
+
+    /// All directed edges with latencies, in deterministic
+    /// (ascending `from`, then `to`) order.
+    pub fn edges(&self) -> Vec<EdgeDecl> {
+        let mut v = Vec::new();
+        for (from, adj) in self.out.iter().enumerate() {
+            for &(to, latency) in adj {
+                v.push((from, to, latency));
+            }
+        }
+        v
+    }
+
+    /// The node with the highest out-degree (ties → lowest id) — the
+    /// natural contention point for hot-spot traffic.
+    pub fn max_degree_node(&self) -> NodeId {
+        (0..self.num_nodes())
+            .max_by_key(|&n| (self.out[n].len(), std::cmp::Reverse(n)))
+            .unwrap_or(0)
+    }
+}
+
+impl Topology for CustomGraph {
+    fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    fn neighbors_into(&self, n: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.out[n].iter().map(|&(m, _)| m));
+    }
+
+    fn diameter(&self) -> usize {
+        self.diameter
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "custom graph \"{}\" ({} nodes, {} channels)",
+            self.name,
+            self.num_nodes(),
+            self.num_channels()
+        )
+    }
+}
+
+/// Seeded irregular-graph generators, used by the conformance fuzzer's
+/// topology pool and the `custom:rand`/`custom:lmesh`/`custom:ftree`
+/// spec forms. All outputs pass [`CustomGraph::build`] validation by
+/// construction; the PRNG is an inline SplitMix64 so the topology crate
+/// stays dependency-free at runtime.
+pub mod generators {
+    use super::{CustomGraph, NodeId};
+
+    /// SplitMix64 — tiny, seedable, and good enough for topology
+    /// sampling (the same generator the parallel sweep runner derives
+    /// its per-point seeds from).
+    #[derive(Debug, Clone)]
+    pub struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        /// A generator from a seed.
+        pub fn new(seed: u64) -> Self {
+            SplitMix64(seed)
+        }
+
+        /// The next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `0..bound` (`bound > 0`).
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+
+    fn duplex(edges: &mut Vec<(NodeId, NodeId, u64)>, a: NodeId, b: NodeId, latency: u64) {
+        edges.push((a, b, latency));
+        edges.push((b, a, latency));
+    }
+
+    fn has_link(edges: &[(NodeId, NodeId, u64)], a: NodeId, b: NodeId) -> bool {
+        edges.iter().any(|&(x, y, _)| x == a && y == b)
+    }
+
+    /// A random connected duplex graph: a random spanning tree plus
+    /// roughly `nodes/2` extra chords, latencies 1–4 cycles. `nodes` is
+    /// clamped to at least 2.
+    pub fn random_connected(nodes: usize, seed: u64) -> CustomGraph {
+        let n = nodes.max(2);
+        let mut rng = SplitMix64::new(seed ^ 0xA5A5_0000_0000_0001);
+        let mut edges = Vec::new();
+        for v in 1..n {
+            let parent = rng.below(v);
+            duplex(&mut edges, parent, v, 1 + rng.below(4) as u64);
+        }
+        for _ in 0..n / 2 {
+            let a = rng.below(n);
+            let b = rng.below(n);
+            if a != b && !has_link(&edges, a, b) {
+                duplex(&mut edges, a, b, 1 + rng.below(4) as u64);
+            }
+        }
+        CustomGraph::build(
+            format!("rand:{nodes}x{seed}"),
+            CustomGraph::anon_names(n),
+            &edges,
+        )
+        .expect("generated graph is valid by construction")
+    }
+
+    /// A `w × h` mesh with random links lesioned (removed) while
+    /// preserving connectivity — the "damaged regular machine" case the
+    /// fault masks approximate. Dimensions are clamped to at least 2.
+    pub fn lesioned_mesh(w: usize, h: usize, seed: u64) -> CustomGraph {
+        let (w, h) = (w.max(2), h.max(2));
+        let n = w * h;
+        let node = |x: usize, y: usize| y * w + x;
+        let mut rng = SplitMix64::new(seed ^ 0xA5A5_0000_0000_0002);
+        // All duplex mesh links as (a, b) pairs with a < b.
+        let mut links = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    links.push((node(x, y), node(x + 1, y)));
+                }
+                if y + 1 < h {
+                    links.push((node(x, y), node(x, y + 1)));
+                }
+            }
+        }
+        // Try to lesion ~1/5 of the links, keeping the survivor graph
+        // connected: a removal that disconnects is undone.
+        let budget = links.len() / 5;
+        let mut removed = vec![false; links.len()];
+        let mut cut = 0;
+        for _ in 0..budget * 3 {
+            if cut == budget {
+                break;
+            }
+            let i = rng.below(links.len());
+            if removed[i] {
+                continue;
+            }
+            removed[i] = true;
+            if survivors_connected(n, &links, &removed) {
+                cut += 1;
+            } else {
+                removed[i] = false;
+            }
+        }
+        let mut edges = Vec::new();
+        for (i, &(a, b)) in links.iter().enumerate() {
+            if !removed[i] {
+                duplex(&mut edges, a, b, 1 + rng.below(2) as u64);
+            }
+        }
+        CustomGraph::build(
+            format!("lmesh:{w}x{h}x{seed}"),
+            CustomGraph::anon_names(n),
+            &edges,
+        )
+        .expect("lesioned mesh stays connected by construction")
+    }
+
+    fn survivors_connected(n: usize, links: &[(NodeId, NodeId)], removed: &[bool]) -> bool {
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, &(a, b)) in links.iter().enumerate() {
+            if !removed[i] {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// A two-level fat-tree-ish Clos sample: `k` spines fully connected
+    /// to `2k` leaves (duplex), leaf–spine latencies 1–3 cycles drawn
+    /// per link. `k` is clamped to at least 2.
+    pub fn fat_tree_ish(k: usize, seed: u64) -> CustomGraph {
+        let k = k.max(2);
+        let mut rng = SplitMix64::new(seed ^ 0xA5A5_0000_0000_0003);
+        let leaves = 2 * k;
+        let n = k + leaves;
+        let mut edges = Vec::new();
+        for spine in 0..k {
+            for leaf in 0..leaves {
+                duplex(&mut edges, spine, k + leaf, 1 + rng.below(3) as u64);
+            }
+        }
+        CustomGraph::build(
+            format!("ftree:{k}x{seed}"),
+            CustomGraph::anon_names(n),
+            &edges,
+        )
+        .expect("fat-tree sample is valid by construction")
+    }
+}
+
+/// BFS visitation order from `root` with sorted neighbor exploration —
+/// a deterministic total order used as the up*/down* rank and as the
+/// registry labeling for custom graphs. Returns `order[node] = rank`.
+pub(crate) fn bfs_rank(graph: &CustomGraph, root: NodeId) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut rank = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    let mut nb = Vec::new();
+    rank[root] = 0;
+    queue.push_back(root);
+    let mut next = 1;
+    while let Some(u) = queue.pop_front() {
+        graph.neighbors_into(u, &mut nb);
+        for &v in &nb {
+            if rank[v] == usize::MAX {
+                rank[v] = next;
+                next += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    rank
+}
+
+/// The deterministic BFS visitation order from node 0 as a node
+/// sequence: element `i` is the `i`-th node visited. Always a
+/// permutation of the nodes — the registry uses it as the label order
+/// for custom graphs — but **not** a Hamiltonian path in general, so
+/// the Hamiltonian-path routing schemes do not apply to it.
+pub fn bfs_order_path(graph: &CustomGraph) -> Vec<NodeId> {
+    let rank = bfs_rank(graph, 0);
+    let mut order = vec![0; graph.num_nodes()];
+    for (node, &r) in rank.iter().enumerate() {
+        order[r] = node;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generators::{fat_tree_ish, lesioned_mesh, random_connected};
+    use super::*;
+    use crate::graph::bfs_distance;
+
+    fn names(n: usize) -> Vec<String> {
+        CustomGraph::anon_names(n)
+    }
+
+    #[test]
+    fn build_validates_structure() {
+        assert_eq!(
+            CustomGraph::build("g", names(1), &[]),
+            Err(TopographError::TooFewNodes { nodes: 1 })
+        );
+        assert_eq!(
+            CustomGraph::build("g", names(3), &[(0, 3, 1)]),
+            Err(TopographError::NodeOutOfRange { node: 3, nodes: 3 })
+        );
+        assert_eq!(
+            CustomGraph::build("g", names(3), &[(1, 1, 1)]),
+            Err(TopographError::SelfLoop { node: 1 })
+        );
+        assert_eq!(
+            CustomGraph::build("g", names(3), &[(0, 1, 1), (0, 1, 2)]),
+            Err(TopographError::DuplicateEdge { from: 0, to: 1 })
+        );
+        assert_eq!(
+            CustomGraph::build("g", names(3), &[(0, 1, 0)]),
+            Err(TopographError::ZeroLatency { from: 0, to: 1 })
+        );
+    }
+
+    #[test]
+    fn build_requires_strong_connectivity_with_witness() {
+        // 0 <-> 1 but 2 is isolated.
+        let e = [(0, 1, 1), (1, 0, 1)];
+        assert_eq!(
+            CustomGraph::build("g", names(3), &e),
+            Err(TopographError::NotConnected { from: 0, to: 2 })
+        );
+        // One-way edge: 1 cannot get back to 0.
+        let e = [(0, 1, 1), (1, 2, 1), (2, 1, 1), (0, 2, 1), (2, 0, 1)];
+        let g = CustomGraph::build("g", names(3), &e).unwrap();
+        assert!(!g.is_duplex());
+        assert_eq!(g.latency(0, 1), Some(1));
+        assert_eq!(g.latency(1, 0), None);
+    }
+
+    #[test]
+    fn duplex_detection_and_accessors() {
+        let e = [
+            (0, 1, 2),
+            (1, 0, 2),
+            (1, 2, 3),
+            (2, 1, 3),
+            (0, 2, 1),
+            (2, 0, 1),
+        ];
+        let g = CustomGraph::build("tri", names(3), &e).unwrap();
+        assert!(g.is_duplex());
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_channels(), 6);
+        assert_eq!(g.diameter(), 1);
+        assert_eq!(g.node_name(2), "n2");
+        assert_eq!(g.edges().len(), 6);
+        assert!(g.describe().contains("tri"));
+        let err = TopographError::NotConnected { from: 0, to: 2 };
+        assert!(err.to_string().contains("node 0"));
+    }
+
+    #[test]
+    fn generators_produce_valid_duplex_graphs() {
+        for seed in 0..8 {
+            let g = random_connected(12, seed);
+            assert!(g.is_duplex(), "rand seed {seed}");
+            assert_eq!(g.num_nodes(), 12);
+            let g = lesioned_mesh(4, 5, seed);
+            assert!(g.is_duplex(), "lmesh seed {seed}");
+            assert_eq!(g.num_nodes(), 20);
+            assert!(
+                g.num_channels() < 2 * 2 * (3 * 5 + 4 * 4),
+                "lmesh seed {seed} lesioned nothing"
+            );
+            let g = fat_tree_ish(3, seed);
+            assert!(g.is_duplex(), "ftree seed {seed}");
+            assert_eq!(g.num_nodes(), 9);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(random_connected(10, 7), random_connected(10, 7));
+        assert_ne!(random_connected(10, 7), random_connected(10, 8));
+        assert_eq!(lesioned_mesh(4, 4, 3), lesioned_mesh(4, 4, 3));
+    }
+
+    #[test]
+    fn bfs_rank_is_a_permutation() {
+        let g = random_connected(15, 42);
+        let rank = bfs_rank(&g, 0);
+        let mut sorted = rank.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..15).collect::<Vec<_>>());
+        // Rank respects BFS layering: a node's rank exceeds its
+        // BFS-tree parent's, which is at distance - 1.
+        for v in 1..15 {
+            assert!(bfs_distance(&g, 0, v).is_some());
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Routing synthesis for custom graphs, certified deadlock-free.
+//!
+//! Two synthesis strategies, picked by graph shape:
+//!
+//! * **up*/down*** for duplex graphs — a root is chosen by minimum BFS
+//!   eccentricity, nodes are ranked by deterministic BFS order, and
+//!   every route is a (possibly empty) sequence of *up* moves (toward
+//!   lower rank) followed by *down* moves. The phase automaton makes
+//!   the channel-dependency graph acyclic by construction: up-channels
+//!   strictly descend in rank, down-channels strictly ascend, and no
+//!   down → up dependency exists.
+//! * **latency-weighted shortest path** for non-duplex (directed)
+//!   graphs — an incoming-independent Dijkstra next-hop table per
+//!   destination. This is sound but not complete: some digraphs admit
+//!   no deadlock-free routing at all (Mendlovic–Matias), and others
+//!   only under functions this synthesizer does not search.
+//!
+//! Either way the synthesized function is **certified**: its full
+//! channel-dependency graph is built with [`cdg_from_routing`] and
+//! checked with the existing Dally–Seitz acyclicity machinery. A cyclic
+//! CDG is a hard, typed failure ([`TopographError::RoutingCyclic`])
+//! naming the witness cycle — an uncertified router is never returned.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::cdg::{cdg_from_routing, ChannelDependencyGraph};
+use crate::graph::{bfs_distances, Channel, NodeId, Topology};
+
+use super::{bfs_rank, CustomGraph, TopographError};
+
+/// Which synthesis strategy produced a routing function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingKind {
+    /// Up*/down* over a BFS rank (duplex graphs).
+    UpDown,
+    /// Incoming-independent latency-weighted shortest path (directed
+    /// graphs).
+    ShortestPath,
+}
+
+/// A synthesized routing function whose channel-dependency graph has
+/// been verified acyclic — the only way to obtain one is
+/// [`synthesize`], which refuses to return an uncertified router.
+#[derive(Debug, Clone)]
+pub struct CertifiedRouting {
+    kind: RoutingKind,
+    root: Option<NodeId>,
+    num_nodes: usize,
+    channels: Vec<Channel>,
+    /// Up*/down* rank (empty for [`RoutingKind::ShortestPath`]).
+    rank: Vec<usize>,
+    /// `next_u[dest][node]`: next hop in the up-phase (the only table
+    /// for shortest-path routing).
+    next_u: Vec<Vec<Option<NodeId>>>,
+    /// `next_d[dest][node]`: next hop once committed to the down-phase.
+    next_d: Vec<Vec<Option<NodeId>>>,
+}
+
+const INF: u64 = u64::MAX;
+
+impl CertifiedRouting {
+    /// The synthesis strategy used.
+    pub fn kind(&self) -> RoutingKind {
+        self.kind
+    }
+
+    /// The up*/down* root (None for shortest-path routing).
+    pub fn root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// The channel set the function routes over.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// The routing function: the outgoing channel a message bound for
+    /// `dest` takes from `at` after arriving on `incoming` (`None` at
+    /// the source). `None` once delivered — or for an `(incoming,
+    /// dest)` state the function itself never produces, so the CDG
+    /// enumeration in [`cdg_from_routing`] stays exact: a `dest`-bound
+    /// worm only ever holds channels the function routed it through.
+    pub fn next(&self, at: NodeId, incoming: Option<Channel>, dest: NodeId) -> Option<Channel> {
+        if at == dest {
+            return None;
+        }
+        let down_phase = match self.kind {
+            RoutingKind::ShortestPath => {
+                if let Some(c) = incoming {
+                    if self.next_u[dest][c.from] != Some(at) {
+                        return None;
+                    }
+                }
+                false
+            }
+            // Arriving on a down move (rank increased) commits the
+            // message to the down phase for the rest of its route.
+            RoutingKind::UpDown => match incoming {
+                Some(c) => self.rank[at] > self.rank[c.from],
+                None => false,
+            },
+        };
+        let table = if down_phase {
+            &self.next_d
+        } else {
+            &self.next_u
+        };
+        table[dest][at].map(|hop| Channel::new(at, hop))
+    }
+
+    /// The full route from `src` to `dest` (inclusive of both).
+    pub fn path(&self, src: NodeId, dest: NodeId) -> Vec<NodeId> {
+        let mut path = vec![src];
+        let mut incoming = None;
+        let mut at = src;
+        // A certified function cannot loop, but cap defensively.
+        for _ in 0..=self.channels.len() {
+            match self.next(at, incoming, dest) {
+                None => return path,
+                Some(c) => {
+                    at = c.to;
+                    path.push(at);
+                    incoming = Some(c);
+                }
+            }
+        }
+        unreachable!("certified routing revisited a channel: {path:?}");
+    }
+
+    /// Rebuilds the (acyclic, certified) channel-dependency graph of
+    /// this routing function.
+    pub fn cdg(&self) -> ChannelDependencyGraph {
+        cdg_from_routing(self.channels.clone(), self.num_nodes, |at, inc, dest| {
+            self.next(at, inc, dest)
+        })
+    }
+}
+
+/// Synthesizes a deadlock-free routing function for `graph` and
+/// certifies it through the CDG acyclicity checker. Duplex graphs get
+/// up*/down* (always certifiable); directed graphs get shortest-path
+/// next-hops, which the certification step may reject with a witness
+/// cycle ([`TopographError::RoutingCyclic`]).
+pub fn synthesize(graph: &CustomGraph) -> Result<CertifiedRouting, TopographError> {
+    let routing = if graph.is_duplex() {
+        synthesize_up_down(graph)
+    } else {
+        synthesize_shortest_path(graph)
+    };
+    if let Some(cycle) = routing.cdg().find_cycle() {
+        return Err(TopographError::RoutingCyclic { cycle });
+    }
+    Ok(routing)
+}
+
+/// In-adjacency with latencies: `ins[v]` = `(u, latency)` for every
+/// channel `u → v`.
+fn in_edges(graph: &CustomGraph) -> Vec<Vec<(NodeId, u64)>> {
+    let n = graph.num_nodes();
+    let mut ins: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); n];
+    for (from, to, latency) in graph.edges() {
+        ins[to].push((from, latency));
+    }
+    ins
+}
+
+/// The up*/down* root: minimum BFS eccentricity, ties to the lowest id.
+fn pick_root(graph: &CustomGraph) -> NodeId {
+    let n = graph.num_nodes();
+    (0..n)
+        .min_by_key(|&u| {
+            let dist = bfs_distances(graph, u);
+            dist.into_iter().max().unwrap_or(0)
+        })
+        .unwrap_or(0)
+}
+
+fn synthesize_up_down(graph: &CustomGraph) -> CertifiedRouting {
+    let n = graph.num_nodes();
+    let root = pick_root(graph);
+    let rank = bfs_rank(graph, root);
+    let ins = in_edges(graph);
+    let mut next_u = vec![vec![None; n]; n];
+    let mut next_d = vec![vec![None; n]; n];
+    for dest in 0..n {
+        // Reverse Dijkstra over the phase automaton: dist_u[v] /
+        // dist_d[v] = cheapest legal path cost from v to dest when the
+        // message may still go up / is committed downward. States are
+        // (cost, node, down?), popped cheapest-first.
+        let mut dist_u = vec![INF; n];
+        let mut dist_d = vec![INF; n];
+        let mut heap = BinaryHeap::new();
+        dist_u[dest] = 0;
+        dist_d[dest] = 0;
+        heap.push(Reverse((0u64, dest, false)));
+        heap.push(Reverse((0u64, dest, true)));
+        while let Some(Reverse((cost, v, down))) = heap.pop() {
+            if cost > if down { dist_d[v] } else { dist_u[v] } {
+                continue;
+            }
+            for &(u, latency) in &ins[v] {
+                let up_move = rank[v] < rank[u];
+                let c = cost + latency;
+                if up_move {
+                    // Up move u → v: legal only while still in the up
+                    // phase at u, and keeps the message there — so it
+                    // consumes v's *up*-phase cost.
+                    if !down && c < dist_u[u] {
+                        dist_u[u] = c;
+                        heap.push(Reverse((c, u, false)));
+                    }
+                } else if down {
+                    // Down move u → v: legal from either phase at u
+                    // (it is what commits the message downward) but
+                    // always lands in the down phase at v.
+                    if c < dist_d[u] {
+                        dist_d[u] = c;
+                        heap.push(Reverse((c, u, true)));
+                    }
+                    if c < dist_u[u] {
+                        dist_u[u] = c;
+                        heap.push(Reverse((c, u, false)));
+                    }
+                }
+            }
+        }
+        // Greedy next hops off the cost tables; ties break to the
+        // lowest neighbor id for determinism.
+        for at in 0..n {
+            if at == dest {
+                continue;
+            }
+            let mut best_u: Option<(u64, NodeId)> = None;
+            let mut best_d: Option<(u64, NodeId)> = None;
+            for &(v, latency) in graph.out_edges(at) {
+                let up_move = rank[v] < rank[at];
+                let tail = if up_move { dist_u[v] } else { dist_d[v] };
+                if tail == INF {
+                    continue;
+                }
+                let c = latency + tail;
+                if best_u.is_none_or(|b| (c, v) < b) {
+                    best_u = Some((c, v));
+                }
+                if !up_move && best_d.is_none_or(|b| (c, v) < b) {
+                    best_d = Some((c, v));
+                }
+            }
+            next_u[dest][at] = Some(
+                best_u
+                    .expect("up*/down* reaches every destination via the BFS tree")
+                    .1,
+            );
+            next_d[dest][at] = best_d.map(|b| b.1);
+        }
+    }
+    CertifiedRouting {
+        kind: RoutingKind::UpDown,
+        root: Some(root),
+        num_nodes: n,
+        channels: graph.channels(),
+        rank,
+        next_u,
+        next_d,
+    }
+}
+
+fn synthesize_shortest_path(graph: &CustomGraph) -> CertifiedRouting {
+    let n = graph.num_nodes();
+    let ins = in_edges(graph);
+    let mut next = vec![vec![None; n]; n];
+    for dest in 0..n {
+        // Reverse Dijkstra: dist[v] = cheapest cost from v to dest.
+        let mut dist = vec![INF; n];
+        let mut heap = BinaryHeap::new();
+        dist[dest] = 0;
+        heap.push(Reverse((0u64, dest)));
+        while let Some(Reverse((cost, v))) = heap.pop() {
+            if cost > dist[v] {
+                continue;
+            }
+            for &(u, latency) in &ins[v] {
+                let c = cost + latency;
+                if c < dist[u] {
+                    dist[u] = c;
+                    heap.push(Reverse((c, u)));
+                }
+            }
+        }
+        for (at, slot) in next[dest].iter_mut().enumerate() {
+            if at == dest {
+                continue;
+            }
+            let best = graph
+                .out_edges(at)
+                .iter()
+                .filter(|&&(t, _)| dist[t] < INF)
+                .map(|&(t, l)| (l + dist[t], t))
+                .min();
+            *slot = Some(
+                best.expect("strongly connected graph reaches every destination")
+                    .1,
+            );
+        }
+    }
+    CertifiedRouting {
+        kind: RoutingKind::ShortestPath,
+        root: None,
+        num_nodes: n,
+        channels: graph.channels(),
+        rank: Vec::new(),
+        next_u: next.clone(),
+        next_d: next,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::generators::{fat_tree_ish, lesioned_mesh, random_connected};
+    use super::*;
+    use crate::graph::is_walk;
+
+    fn assert_certified_and_complete(g: &CustomGraph) {
+        let r = synthesize(g).expect("synthesis certifies");
+        assert!(r.cdg().is_acyclic());
+        let n = g.num_nodes();
+        for s in 0..n {
+            for d in 0..n {
+                let p = r.path(s, d);
+                assert_eq!(p.first(), Some(&s));
+                assert_eq!(p.last(), Some(&d));
+                assert!(is_walk(g, &p), "{s}->{d} not a walk: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn up_down_certifies_on_generated_duplex_graphs() {
+        for seed in 0..6 {
+            let g = random_connected(14, seed);
+            let r = synthesize(&g).unwrap();
+            assert_eq!(r.kind(), RoutingKind::UpDown);
+            assert!(r.root().is_some());
+            assert_certified_and_complete(&g);
+            assert_certified_and_complete(&lesioned_mesh(4, 4, seed));
+            assert_certified_and_complete(&fat_tree_ish(2, seed));
+        }
+    }
+
+    #[test]
+    fn up_down_routes_respect_the_phase_discipline() {
+        let g = lesioned_mesh(5, 4, 9);
+        let r = synthesize(&g).unwrap();
+        let rank = bfs_rank(&g, r.root().unwrap());
+        for s in 0..g.num_nodes() {
+            for d in 0..g.num_nodes() {
+                let p = r.path(s, d);
+                let mut went_down = false;
+                for w in p.windows(2) {
+                    let down = rank[w[1]] > rank[w[0]];
+                    assert!(
+                        down || !went_down,
+                        "up move after down move in {p:?} (ranks {rank:?})"
+                    );
+                    went_down |= down;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn directed_graph_gets_shortest_path_routing_when_certifiable() {
+        // A duplex triangle plus a one-way chord: not duplex, but the
+        // shortest-path function's CDG is acyclic (the chord only
+        // shortens routes, never closes a dependency cycle).
+        let e = [
+            (0, 1, 1),
+            (1, 0, 1),
+            (1, 2, 1),
+            (2, 1, 1),
+            (0, 2, 1), // one-way chord
+        ];
+        let g = CustomGraph::build("chord", CustomGraph::anon_names(3), &e).unwrap();
+        assert!(!g.is_duplex());
+        let r = synthesize(&g).unwrap();
+        assert_eq!(r.kind(), RoutingKind::ShortestPath);
+        assert_eq!(r.path(0, 2), vec![0, 2]);
+        assert!(r.cdg().is_acyclic());
+    }
+
+    #[test]
+    fn unidirectional_ring_is_rejected_naming_the_cycle() {
+        // The canonical Mendlovic–Matias violation: a one-way ring's
+        // only routing function chases itself around the ring, so its
+        // CDG is a single directed cycle — no deadlock-free routing
+        // exists over these channels.
+        let n = 4;
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n, 1)).collect();
+        let g = CustomGraph::build("ring", CustomGraph::anon_names(n), &edges).unwrap();
+        let err = synthesize(&g).unwrap_err();
+        match &err {
+            TopographError::RoutingCyclic { cycle } => {
+                // The witness is closed (first channel repeated last)
+                // and walks the ring.
+                assert!(cycle.len() > 2);
+                assert_eq!(cycle.first(), cycle.last());
+                for c in cycle {
+                    assert_eq!(c.to, (c.from + 1) % n);
+                }
+            }
+            other => panic!("expected RoutingCyclic, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("channel-dependency cycle"), "{msg}");
+        assert!(msg.contains("->"), "{msg}");
+    }
+
+    #[test]
+    fn latencies_steer_route_choice() {
+        // Duplex triangle with an expensive 1-2 side (10 cycles). The
+        // detour 1 -> 0 -> 2 costs 2 and is a legal up-then-down route
+        // (0 is the root), so the synthesizer must prefer it.
+        let e = [
+            (0, 1, 1),
+            (1, 0, 1),
+            (0, 2, 1),
+            (2, 0, 1),
+            (1, 2, 10),
+            (2, 1, 10),
+        ];
+        let g = CustomGraph::build("triangle", CustomGraph::anon_names(3), &e).unwrap();
+        let r = synthesize(&g).unwrap();
+        assert_eq!(r.root(), Some(0));
+        assert_eq!(r.path(1, 2), vec![1, 0, 2]);
+        assert_eq!(r.path(2, 1), vec![2, 0, 1]);
+    }
+}

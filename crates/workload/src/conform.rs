@@ -73,7 +73,7 @@ impl VerifyScenario {
     pub fn to_spec(&self) -> ExperimentSpec {
         let mut spec = ExperimentSpec::new(
             &format!("verify-repro-{}-{}", self.topology, self.scheme),
-            self.topology,
+            self.topology.clone(),
         );
         spec.schemes = vec![self.scheme.clone()];
         spec.pattern = self.pattern;
@@ -107,7 +107,7 @@ impl VerifyScenario {
             None => (16, 0.0),
         };
         Ok(VerifyScenario {
-            topology: spec.topology,
+            topology: spec.topology.clone(),
             scheme,
             pattern: spec.pattern,
             load_us,
@@ -679,12 +679,17 @@ fn shrink_topologies(t: &TopoSpec) -> Vec<TopoSpec> {
             }
             v
         }
+        // Custom graphs have no structural shrink axis — minimization
+        // proceeds on the workload axes only.
+        TopoSpec::Custom { .. } => Vec::new(),
     }
 }
 
 /// The topology pool the fuzzer cycles through — small enough that a
 /// quick run stays fast, varied enough to reach every registered
-/// scheme (2D/3D meshes, hypercubes, k-ary meshes and tori).
+/// scheme (2D/3D meshes, hypercubes, k-ary meshes and tori, plus
+/// generator-form custom graphs whose seed is re-drawn per case by
+/// [`scenario_for_case`] so a long run samples many irregular graphs).
 pub const TOPOLOGY_POOL: &[&str] = &[
     "mesh:4x4",
     "mesh:5x3",
@@ -693,6 +698,8 @@ pub const TOPOLOGY_POOL: &[&str] = &[
     "cube:4",
     "kary:4x2",
     "torus:3x2",
+    "custom:rand:10x3",
+    "custom:lmesh:4x4x2",
 ];
 
 /// Every (topology, scheme) pair the fuzzer covers: the pool crossed
@@ -702,7 +709,11 @@ pub fn registry_pairs() -> Vec<(TopoSpec, SchemeId)> {
     TOPOLOGY_POOL
         .iter()
         .map(|t| TopoSpec::parse(t).expect("pool specs parse"))
-        .flat_map(|topo| schemes_for(&topo).into_iter().map(move |s| (topo, s)))
+        .flat_map(|topo| {
+            schemes_for(&topo)
+                .into_iter()
+                .map(move |s| (topo.clone(), s))
+        })
         .collect()
 }
 
@@ -716,6 +727,7 @@ pub fn scenario_for_case(seed: u64, case: usize) -> VerifyScenario {
         seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(case as u64),
     );
+    let topology = reseed_custom(topology, &mut rng);
     let n = topology.num_nodes();
     let load_us = *[2.0, 10.0, 60.0]
         .get(rng.gen_range(0..3usize))
@@ -738,6 +750,29 @@ pub fn scenario_for_case(seed: u64, case: usize) -> VerifyScenario {
         },
         seed: rng.gen_range(0..1u64 << 48),
     }
+}
+
+/// Generator-form custom topologies (`rand:`/`lmesh:`/`ftree:` sources)
+/// get a fresh per-case graph seed so the fuzzer samples a different
+/// irregular graph each time the pool entry comes around, rather than
+/// re-testing one fixed graph. The trailing `x<seed>` field of the
+/// source is rewritten from the case RNG; node count is unaffected.
+/// File-backed sources pass through untouched.
+fn reseed_custom(topo: TopoSpec, rng: &mut StdRng) -> TopoSpec {
+    let TopoSpec::Custom { ref source, .. } = topo else {
+        return topo;
+    };
+    if !["rand:", "lmesh:", "ftree:"]
+        .iter()
+        .any(|p| source.starts_with(p))
+    {
+        return topo;
+    }
+    let Some((head, _)) = source.rsplit_once('x') else {
+        return topo;
+    };
+    let reseeded = format!("custom:{head}x{}", rng.gen_range(0..1u64 << 16));
+    TopoSpec::parse(&reseeded).expect("reseeded generator source parses")
 }
 
 /// One caught conformance failure, with its shrunk reproducer.
@@ -875,5 +910,35 @@ mod tests {
         assert!(!check_scenario(&shrunk, true).unwrap().is_empty());
         // And the same scenario passes with the bug off.
         assert!(check_scenario(&s, false).unwrap().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod custom_pool_tests {
+    use super::*;
+
+    #[test]
+    fn nightly_case_budget_samples_enough_distinct_graphs() {
+        // The nightly CI job runs 4096 cases; the generator-form custom
+        // pool entries are reseeded per case, and the acceptance bar is
+        // that a night samples at least 256 *distinct* random irregular
+        // graphs through the conformance oracle.
+        let custom_pairs = registry_pairs()
+            .iter()
+            .filter(|(t, _)| matches!(t, TopoSpec::Custom { .. }))
+            .count();
+        assert!(custom_pairs >= 2, "custom pool entries missing");
+        let mut distinct = std::collections::HashSet::new();
+        for case in 0..4096 {
+            let s = scenario_for_case(1, case);
+            if let TopoSpec::Custom { source, .. } = &s.topology {
+                distinct.insert(source.clone());
+            }
+        }
+        assert!(
+            distinct.len() >= 256,
+            "only {} distinct custom graphs in 4096 cases",
+            distinct.len()
+        );
     }
 }

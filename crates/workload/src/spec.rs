@@ -613,6 +613,58 @@ mod tests {
     }
 
     #[test]
+    fn checked_in_custom_graph_spec_is_canonical() {
+        // The README's custom-topology quickstart spec must stay
+        // parseable and byte-canonical, and must resolve to a Custom
+        // topology whose Display round-trips the source string.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/spec_custom_graph.json"
+        );
+        let text = std::fs::read_to_string(path).expect("examples/spec_custom_graph.json exists");
+        let spec = ExperimentSpec::from_json(&text).expect("custom example spec parses");
+        spec.validate().expect("custom example spec validates");
+        assert!(matches!(spec.topology, TopoSpec::Custom { .. }));
+        assert_eq!(spec.topology.to_string(), "custom:lmesh:4x4x2");
+        assert_eq!(
+            spec.to_json(),
+            text,
+            "custom example spec is canonical JSON"
+        );
+    }
+
+    #[test]
+    fn custom_topology_specs_round_trip_byte_identically() {
+        // A Custom topology serializes as its canonical `custom:<src>`
+        // string and re-parses to a structurally equal graph.
+        let mut spec = ExperimentSpec::new("custom", TopoSpec::parse("custom:rand:10x3").unwrap());
+        spec.schemes = vec![SchemeId::named("updown-mc"), SchemeId::named("updown-tree")];
+        spec.loads_us = vec![400.0];
+        spec.destinations = 3;
+        spec.replications = 1;
+        spec.validate().unwrap();
+        let text = spec.to_json();
+        assert!(text.contains("\"custom:rand:10x3\""));
+        let back = ExperimentSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec, "custom topology value drift");
+        assert_eq!(back.to_json(), text, "custom topology byte drift");
+        // Unknown spec keys are still rejected alongside a custom
+        // topology…
+        assert!(ExperimentSpec::from_json(
+            r#"{"name": "x", "topology": "custom:rand:10x3", "schemes": ["updown-mc"],
+                "loads_us": [600], "destinations": 3, "graph": "extra"}"#,
+        )
+        .is_err());
+        // …and a bad custom source names itself in the error.
+        let e = ExperimentSpec::from_json(
+            r#"{"name": "x", "topology": "custom:nope", "schemes": ["updown-mc"],
+                "loads_us": [600], "destinations": 3}"#,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("custom"), "unreadable error: {}", e.0);
+    }
+
+    #[test]
     fn json_round_trip_is_byte_identical() {
         let mut spec = sample();
         spec.pattern = PatternSpec::Hotspot;
@@ -677,6 +729,9 @@ mod tests {
             "cube:4",
             "kary:4x2",
             "torus:3x2",
+            "custom:rand:10x3",
+            "custom:lmesh:4x4x2",
+            "custom:ftree:3x1",
         ];
         let loads = [2.0, 10.0, 60.0, 450.0, 600.0, 800.0];
         let rates = [0.0, 0.02, 0.05, 0.1, 0.25];
