@@ -19,7 +19,9 @@ pub mod report;
 pub mod scale;
 pub mod tables5;
 
-pub use perf::{load_baseline_probes, PerfRecorder, ProbeResult, SweepBenchResult};
+pub use perf::{
+    load_baseline_probes, EngineScaleProbe, PerfRecorder, ProbeResult, SweepBenchResult,
+};
 pub use report::Table;
 pub use scale::Scale;
 

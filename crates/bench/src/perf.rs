@@ -1,7 +1,8 @@
 //! Performance trajectory of the harness itself: wall-clock per
 //! experiment, simulator-throughput probes (simulated flits per
-//! wall-clock second), and the serial-vs-parallel sweep comparison,
-//! written to `results/BENCH_3.json`.
+//! wall-clock second), the serial-vs-parallel sweep comparison, and the
+//! space-parallel engine scaling block, written to
+//! `results/BENCH_4.json`.
 //!
 //! Probes run the **uninstrumented** hot path: the engine counts flit
 //! hops natively (`Engine::flit_hops`, surfaced through
@@ -10,7 +11,17 @@
 //! `BENCH_2.json` probes measured the same flit-hop count through the
 //! obs metrics sink; the committed `BENCH_2.json` is kept as the
 //! before/after baseline and its `flits_per_sec` values are folded into
-//! the v3 document as `baseline_flits_per_sec`.
+//! this document as `baseline_flits_per_sec`.
+//!
+//! The v4 schema adds the `engine_scale` block: each probe topology
+//! runs the *same* workload serially and under the space-parallel
+//! engine (DESIGN.md §15), reporting wall clocks plus the
+//! environment-insensitive work metrics (`engine_steps`, `flit_hops`)
+//! that must match **exactly** between the two legs — that exact match
+//! is the CI perf gate; wall clocks are report-only because they track
+//! the host, not the code. The earlier `BENCH_3.json` wall-clock
+//! speedups are superseded by this document (see `supersedes` in the
+//! header).
 
 use std::io;
 use std::path::Path;
@@ -83,6 +94,38 @@ pub struct SweepBenchResult {
     pub deterministic: bool,
 }
 
+/// One space-parallel engine scaling probe: the identical fixed
+/// workload run serially and on `engine_jobs` worker lanes.
+#[derive(Debug, Clone)]
+pub struct EngineScaleProbe {
+    /// Probe topology (registry spec form, e.g. `mesh:64x64`).
+    pub name: String,
+    /// Nodes in the topology.
+    pub nodes: usize,
+    /// Worker lanes of the parallel leg.
+    pub engine_jobs: usize,
+    /// Wall-clock of the serial leg, milliseconds.
+    pub serial_wall_ms: f64,
+    /// Wall-clock of the parallel leg, milliseconds.
+    pub parallel_wall_ms: f64,
+    /// `serial_wall_ms / parallel_wall_ms` (host-dependent; report
+    /// only, never gated).
+    pub speedup: f64,
+    /// Event-loop steps (identical across legs by construction; the
+    /// serial leg's count is recorded and the match is asserted in
+    /// `work_identical`).
+    pub engine_steps: u64,
+    /// Flit hops (identical across legs, as above).
+    pub flit_hops: u64,
+    /// Simulated time covered, nanoseconds.
+    pub sim_ns: u64,
+    /// Messages completed.
+    pub completed: u64,
+    /// Whether the two legs agreed exactly on every work metric
+    /// (steps, hops, simulated time, completions, mean latency).
+    pub work_identical: bool,
+}
+
 /// Scans our own `BENCH_2.json` text for `(probe name, flits_per_sec)`
 /// pairs — dependency-free, tolerant of a missing or foreign file
 /// (returns an empty list rather than erroring).
@@ -119,14 +162,15 @@ fn field_num(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Accumulates experiment timings, probe results, and the sweep
-/// comparison, then renders `BENCH_3.json`.
+/// Accumulates experiment timings, probe results, the sweep comparison
+/// and the engine scaling block, then renders `BENCH_4.json`.
 #[derive(Debug, Clone, Default)]
 pub struct PerfRecorder {
     experiments: Vec<ExperimentTiming>,
     probes: Vec<ProbeResult>,
     baselines: Vec<(String, f64)>,
     sweep: Option<SweepBenchResult>,
+    engine_scale: Vec<EngineScaleProbe>,
 }
 
 impl PerfRecorder {
@@ -271,6 +315,76 @@ impl PerfRecorder {
         self.sweep.as_ref().expect("just set")
     }
 
+    /// Runs the space-parallel engine scaling block (DESIGN.md §15):
+    /// for each probe topology, the identical Poisson workload runs
+    /// once serially and once on `engine_jobs` worker lanes. The work
+    /// metrics (`engine_steps`, `flit_hops`, simulated time,
+    /// completions, mean latency) must agree exactly — the engine is
+    /// deterministic by construction — and the wall clocks are recorded
+    /// for the report. Probe topologies: the standard 8×8 mesh, the
+    /// 16×16 mesh, the 64×64 mesh (the "single large run" the parallel
+    /// engine exists for), and the 16-node hypercube.
+    pub fn run_engine_scale_probes(
+        &mut self,
+        scale: &Scale,
+        engine_jobs: usize,
+    ) -> &[EngineScaleProbe] {
+        use mcast_sim::registry::{build_router, SchemeId, TopoSpec};
+        for name in ["mesh:8x8", "mesh:16x16", "mesh:64x64", "cube:4"] {
+            let topo = TopoSpec::parse(name).expect("scale probe topology parses");
+            let router =
+                build_router(&topo, &SchemeId::named("dual-path")).expect("dual-path registered");
+            let built = topo.build();
+            let cfg = DynamicConfig {
+                mean_interarrival_ns: 400_000.0,
+                destinations: 8.min(topo.num_nodes() - 1),
+                ..scale.dynamic_config()
+            };
+
+            let serial_cfg = DynamicConfig {
+                engine_jobs: 1,
+                ..cfg.clone()
+            };
+            let start = Instant::now();
+            let serial = run_dynamic(built.as_dyn(), router.as_ref(), &serial_cfg);
+            let serial_wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+            let par_cfg = DynamicConfig { engine_jobs, ..cfg };
+            let start = Instant::now();
+            let parallel = run_dynamic(built.as_dyn(), router.as_ref(), &par_cfg);
+            let parallel_wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+            let work_identical = serial.engine_steps == parallel.engine_steps
+                && serial.flit_hops == parallel.flit_hops
+                && serial.sim_time_ns == parallel.sim_time_ns
+                && serial.completed == parallel.completed
+                && serial.mean_latency_us == parallel.mean_latency_us;
+            self.engine_scale.push(EngineScaleProbe {
+                name: name.to_string(),
+                nodes: topo.num_nodes(),
+                engine_jobs,
+                serial_wall_ms,
+                parallel_wall_ms,
+                speedup: if parallel_wall_ms > 0.0 {
+                    serial_wall_ms / parallel_wall_ms
+                } else {
+                    0.0
+                },
+                engine_steps: serial.engine_steps,
+                flit_hops: serial.flit_hops,
+                sim_ns: serial.sim_time_ns,
+                completed: serial.completed as u64,
+                work_identical,
+            });
+        }
+        &self.engine_scale
+    }
+
+    /// Recorded engine scaling probes.
+    pub fn engine_scale(&self) -> &[EngineScaleProbe] {
+        &self.engine_scale
+    }
+
     /// Recorded experiment timings.
     pub fn experiments(&self) -> &[ExperimentTiming] {
         &self.experiments
@@ -286,9 +400,14 @@ impl PerfRecorder {
         self.sweep.as_ref()
     }
 
-    /// Renders the `BENCH_3.json` document (always valid JSON).
+    /// Renders the `BENCH_4.json` document (always valid JSON).
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n  \"schema\": \"mcast-bench-perf-v4\",\n");
+        s.push_str(
+            "  \"supersedes\": \"BENCH_3.json — its wall-clock speedups were measured \
+             before the space-parallel engine; work metrics here are the gated numbers, \
+             wall clocks are report-only\",\n",
+        );
         let total: f64 = self.experiments.iter().map(|e| e.wall_ms).sum();
         s.push_str(&format!("  \"total_wall_ms\": {:.3},\n", total));
         s.push_str("  \"experiments\": [\n");
@@ -342,15 +461,48 @@ impl PerfRecorder {
                 sw.deterministic
             ));
         }
+        if !self.engine_scale.is_empty() {
+            let cpus = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            s.push_str(&format!(
+                ",\n  \"engine_scale\": {{\"host_cpus\": {cpus}, \"probes\": [\n"
+            ));
+            for (i, p) in self.engine_scale.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"name\": \"{}\", \"nodes\": {}, \"engine_jobs\": {}, \
+                     \"serial_wall_ms\": {:.3}, \"parallel_wall_ms\": {:.3}, \
+                     \"speedup\": {:.2}, \"engine_steps\": {}, \"flit_hops\": {}, \
+                     \"sim_ns\": {}, \"completed\": {}, \"work_identical\": {}}}{}\n",
+                    p.name,
+                    p.nodes,
+                    p.engine_jobs,
+                    p.serial_wall_ms,
+                    p.parallel_wall_ms,
+                    p.speedup,
+                    p.engine_steps,
+                    p.flit_hops,
+                    p.sim_ns,
+                    p.completed,
+                    p.work_identical,
+                    if i + 1 < self.engine_scale.len() {
+                        ","
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            s.push_str("  ]}");
+        }
         s.push_str("\n}\n");
-        debug_assert!(validate_json(&s).is_ok(), "BENCH_3.json must be valid");
+        debug_assert!(validate_json(&s).is_ok(), "BENCH_4.json must be valid");
         s
     }
 
-    /// Writes `BENCH_3.json` into `dir` (created if needed).
-    pub fn write_bench3(&self, dir: &Path) -> io::Result<()> {
+    /// Writes `BENCH_4.json` into `dir` (created if needed).
+    pub fn write_bench4(&self, dir: &Path) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        std::fs::write(dir.join("BENCH_3.json"), self.to_json())
+        std::fs::write(dir.join("BENCH_4.json"), self.to_json())
     }
 }
 
@@ -379,10 +531,11 @@ mod tests {
         assert!(p.sim_ns > 0);
         assert!(p.completed > 0);
         let json = rec.to_json();
-        validate_json(&json).expect("BENCH_3.json parses");
+        validate_json(&json).expect("BENCH_4.json parses");
         assert!(json.contains("\"experiments\""));
         assert!(json.contains("mesh4x4/dual-path"));
         assert!(json.contains("\"engine_steps\""));
+        assert!(json.contains("\"supersedes\": \"BENCH_3.json"));
     }
 
     #[test]
@@ -416,9 +569,46 @@ mod tests {
         assert!(sw.serial_wall_ms > 0.0 && sw.parallel_wall_ms > 0.0);
         assert!(sw.deterministic, "parallel sweep must match serial");
         let json = rec.to_json();
-        validate_json(&json).expect("BENCH_3.json parses");
+        validate_json(&json).expect("BENCH_4.json parses");
         assert!(json.contains("\"sweep\""));
         assert!(json.contains("\"deterministic\": true"));
+    }
+
+    #[test]
+    fn engine_scale_probes_report_identical_work_metrics() {
+        // The acceptance invariant behind the CI perf gate: serial and
+        // space-parallel legs of every scaling probe agree exactly on
+        // the work metrics. Statistics effort is trimmed below smoke so
+        // the 64×64 probe stays test-sized.
+        let mut rec = PerfRecorder::new();
+        let scale = Scale {
+            warmup: 10,
+            batch_size: 5,
+            min_batches: 2,
+            max_batches: 2,
+            ..Scale::smoke()
+        };
+        let probes = rec.run_engine_scale_probes(&scale, 4).to_vec();
+        assert_eq!(probes.len(), 4);
+        for p in &probes {
+            assert!(p.work_identical, "{}: work metrics diverged", p.name);
+            assert!(
+                p.engine_steps > 0 && p.flit_hops > 0,
+                "{}: empty probe",
+                p.name
+            );
+            assert_eq!(p.engine_jobs, 4);
+        }
+        assert!(probes
+            .iter()
+            .any(|p| p.name == "mesh:64x64" && p.nodes == 4096));
+        assert!(probes.iter().any(|p| p.name == "cube:4" && p.nodes == 16));
+        let json = rec.to_json();
+        validate_json(&json).expect("BENCH_4.json parses");
+        assert!(json.contains("\"engine_scale\""));
+        assert!(json.contains("\"host_cpus\""));
+        assert!(json.contains("\"work_identical\": true"));
+        assert!(!json.contains("\"work_identical\": false"));
     }
 
     #[test]

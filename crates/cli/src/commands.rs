@@ -43,8 +43,9 @@ USAGE:
                  [--dests <K>] [--seed <S>]
   mcast sweep    [--topology <T>] [--algorithms <A,A,...>] [--loads-us <F,F,...>]
                  [--replications <R>] [--dests <K>] [--seed <S>]
-                 [--jobs <N>] [--compare-serial true|false]
+                 [--jobs <N>] [--engine-jobs <N>] [--compare-serial true|false]
   mcast run      --spec <file.json> [--dry-run true] [--jobs <N>]
+                 [--engine-jobs <N>]
   mcast deadlock --scenario fig6_1|fig6_4 [--algorithm <A>] [--recover true]
   mcast fault-sweep --topology <T> [--algorithm <A>] [--fault-rates 0,0.02,0.05,0.1]
                  [--messages <N>] [--dests <K>] [--seed <S>]
@@ -60,9 +61,9 @@ USAGE:
                  [--chaos swap-class] [--out <dir>]
   mcast topo     validate|synthesize|route|deadlock --graph <SRC>
                  [--source <N> --dests <N,N,...>]
-  mcast serve    --journal <dir> [--jobs <N>] [--batch] [--poll-ms <MS>]
-                 [--queue-cap <N>] [--retries <N>] [--deadline-ms <MS>]
-                 [--step-budget <N>] [--metrics-out <F>]
+  mcast serve    --journal <dir> [--jobs <N>] [--engine-jobs <N>] [--batch]
+                 [--poll-ms <MS>] [--queue-cap <N>] [--retries <N>]
+                 [--deadline-ms <MS>] [--step-budget <N>] [--metrics-out <F>]
                  [--chaos [--seed <S>]]
   mcast submit   --journal <dir> --spec <file.json> [--force]
   mcast help
@@ -88,8 +89,12 @@ VERIFY:       differential conformance of the optimized engine against
               to minimal reproducer specs written under --out
 SWEEP:        fans load x algorithm x replication across --jobs threads
               (default: all cores, or MCAST_JOBS / RAYON_NUM_THREADS);
-              --compare-serial also runs the serial reference and checks
-              the parallel results are bit-identical
+              --engine-jobs <N> additionally runs every *single*
+              simulation on N worker lanes via the space-parallel
+              deterministic engine (DESIGN.md §15) — bit-identical to
+              serial, composes with --jobs; --compare-serial also runs
+              the fully serial reference (1 job, 1 engine lane) and
+              checks the parallel results are bit-identical
 TOPO:         custom-topology toolkit — <SRC> is a graph file (JSON or
               a DOT subset) or a generator form (rand:/lmesh:/ftree:);
               synthesize certifies the up*/down* (duplex) or
@@ -316,7 +321,17 @@ fn sweep_spec(a: &Args) -> Result<ExperimentSpec, CliError> {
     spec.destinations = a.number("dests", 8)?;
     spec.replications = a.number("replications", 3)?;
     spec.seed = a.number("seed", 7)?;
+    spec.engine_jobs = engine_jobs_flag(a)?;
     Ok(spec)
+}
+
+/// Parses `--engine-jobs` (single-run engine lanes, DESIGN.md §15);
+/// 0 / absent means 1 lane (the plain serial engine).
+fn engine_jobs_flag(a: &Args) -> Result<usize, ArgError> {
+    Ok(match a.number::<usize>("engine-jobs", 0)? {
+        0 => 1,
+        n => n,
+    })
 }
 
 /// `mcast sweep …` — the Chapter-7 grid (loads × algorithms ×
@@ -330,16 +345,23 @@ pub fn sweep(a: &Args) -> Result<(), CliError> {
     };
     let compare_serial = a.get_or("compare-serial", "true") == "true";
 
-    let run = |jobs: usize| -> Result<(Vec<SweepRow>, f64), ArgError> {
+    let run = |jobs: usize, spec: &ExperimentSpec| -> Result<(Vec<SweepRow>, f64), ArgError> {
         let start = std::time::Instant::now();
         let rows = spec.run_sweep(jobs).map_err(to_arg)?;
         Ok((rows, start.elapsed().as_secs_f64() * 1000.0))
     };
 
-    let (rows, parallel_ms) = run(jobs)?;
+    let (rows, parallel_ms) = run(jobs, &spec)?;
     print_sweep_table(&rows);
     if compare_serial {
-        let (serial_rows, serial_ms) = run(1)?;
+        // The reference leg is fully serial: one sweep thread AND one
+        // engine lane, so the comparison also proves the space-parallel
+        // engine (when --engine-jobs > 1) changed nothing.
+        let serial_spec = ExperimentSpec {
+            engine_jobs: 1,
+            ..spec.clone()
+        };
+        let (serial_rows, serial_ms) = run(1, &serial_spec)?;
         let identical = rows.len() == serial_rows.len()
             && rows.iter().zip(&serial_rows).all(|(p, s)| {
                 p.point == s.point
@@ -384,7 +406,13 @@ pub fn sweep(a: &Args) -> Result<(), CliError> {
 /// `mcast run …` — execute a declarative spec file end-to-end.
 pub fn run(a: &Args) -> Result<(), CliError> {
     let path = a.require("spec")?;
-    let spec = read_spec_file(path)?;
+    let mut spec = read_spec_file(path)?;
+    // --engine-jobs overrides the spec's engine lanes; results are
+    // bit-identical either way (DESIGN.md §15), so the override never
+    // changes what the spec means, only how fast it runs.
+    if let n @ 2.. = engine_jobs_flag(a)? {
+        spec.engine_jobs = n;
+    }
     println!(
         "spec {:?}: {} | {} schemes x {} loads x {} replications, k = {}",
         spec.name,
@@ -1061,6 +1089,7 @@ pub fn serve(a: &Args) -> Result<(), CliError> {
             0 => resolve_jobs(None),
             n => n,
         },
+        engine_jobs: a.number("engine-jobs", 0)?,
         queue_cap: a.number("queue-cap", ServeConfig::default().queue_cap)?,
         deadline_ms: a.number("deadline-ms", 0)?,
         step_budget: a.number("step-budget", 0)?,
@@ -1596,6 +1625,34 @@ mod tests {
     }
 
     #[test]
+    fn sweep_jobs_and_engine_jobs_compose_bit_identically() {
+        // Satellite of DESIGN.md §15: two sweep threads, each running
+        // its simulations on two engine lanes, against the fully serial
+        // reference (1 job, 1 lane). sweep() exits non-zero on any
+        // divergence, so a clean return IS the parity assertion.
+        sweep(&args(&[
+            "sweep",
+            "--topology",
+            "mesh:4x4",
+            "--algorithms",
+            "dual-path,multi-path",
+            "--loads-us",
+            "800,500",
+            "--dests",
+            "4",
+            "--replications",
+            "2",
+            "--jobs",
+            "2",
+            "--engine-jobs",
+            "2",
+            "--compare-serial",
+            "true",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
     fn verify_quick_profile_passes_cleanly() {
         // The acceptance sweep: 64 cases from seed 1 must conform with
         // zero mismatches across every registry (topology, scheme) pair.
@@ -1619,6 +1676,7 @@ mod tests {
             messages: 4,
             seed: 3,
             fault_rate: 0.0,
+            engine_jobs: 2,
         };
         std::fs::write(&path, scenario.to_spec().to_json()).unwrap();
         let p = path.to_str().unwrap();

@@ -1,0 +1,996 @@
+//! Window-parallel deterministic execution of a single simulation
+//! (DESIGN.md §15).
+//!
+//! The serial engine pops events one at a time in `(time, seq)` order.
+//! This module instead pops a *window cohort* — every pending event
+//! with `t < t0 + L`, where the lookahead `L` is the minimum delta any
+//! event cascade can schedule at (`min(flit_time, circuit_setup_ns)`,
+//! floored at 1 ns) — and executes the cohort's *conflict components*
+//! concurrently:
+//!
+//! 1. **Collect** the cohort in canonical pop order, charging the run
+//!    budget per pop exactly as the serial loop does.
+//! 2. **Cluster** events with union-find over the state they can
+//!    reach: every event touches its worm's *message* (`Msg` key), and
+//!    channel-touching events union the class-independent *link*
+//!    (`Link` key) of the hop they acquire or release. Two events land
+//!    in one component iff their reachable state could overlap; events
+//!    in different components are proven disjoint.
+//! 3. **Check out** each component's worms, channels, and messages by
+//!    value (`mem::replace` / `mem::take` — 100% safe, no sharing),
+//!    run the shared [`exec_event`] cascade against a buffering
+//!    [`ExecCtx`] on a worker thread, recording per-event effect
+//!    marks.
+//! 4. **Merge**: restore the checked-out state, then replay buffered
+//!    effects (queue pushes, sink emits, completions, worm frees) in
+//!    global cohort order. The event queue assigns its insertion seq
+//!    only at push time, so replaying pushes in the order the serial
+//!    loop would have made them reproduces the serial seq assignment —
+//!    and therefore every future pop — exactly.
+//!
+//! Determinism argument (why `--engine-jobs N` is bit-identical to
+//! serial): the cohort *is* the serial pop order (collection pops the
+//! same queue); generated events land at `t >= t0 + L` when `L > 1`
+//! (every cascade schedules at `now + dt` with `dt >= L`), or — in the
+//! degenerate `L = 1` single-timestamp window — at the same timestamp
+//! but with a strictly higher seq than every cohort member, so in both
+//! cases the serial loop would also have drained the whole cohort
+//! before touching them. Within the window, same-component events run
+//! sequentially in cohort order against the same state the serial
+//! loop would see (components are disjoint, so concurrent components
+//! cannot observe each other), and the canonical effect merge restores
+//! the serial order of every side effect with order sensitivity: queue
+//! seqs, sink emission order (Welford accumulators are
+//! order-sensitive in the last bits), `completed` order, and
+//! `worm_free` order (slot reuse).
+
+use std::collections::{BTreeSet, HashMap};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use mcast_obs::SimEvent;
+
+use crate::engine::{
+    exec_event, ChanState, CompletedMessage, Engine, Event, ExecCtx, MessageState, SimEnv, Time,
+    WormState,
+};
+use crate::network::ChannelId;
+
+/// Cohorts below this size skip clustering and run inline on the
+/// coordinator — the window machinery costs more than it saves when
+/// there is almost nothing to overlap. (Forced executors never skip:
+/// the test hook exists precisely to exercise the machinery.)
+const INLINE_COHORT: usize = 8;
+
+/// State-reachability key for conflict clustering. `Msg` covers a
+/// message, all its worms, and their cascades (try_start chains never
+/// leave a worm); `Link` covers every class copy of one physical link
+/// (grant/release/queue traffic for a hop stays within the hop's
+/// link — an `Any`-class request scans exactly the link's copies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Msg(usize),
+    Link(ChannelId),
+}
+
+/// The window-parallel executor installed on an [`Engine`] by
+/// `set_engine_jobs`. Pure scratch: it owns worker threads and
+/// per-window buffers, never simulation state — between windows the
+/// engine fields are the only authority.
+#[derive(Debug)]
+pub(crate) struct ParallelExec {
+    jobs: usize,
+    /// Test mode: always run the full window machinery (clustering,
+    /// checkout, canonical merge), even for tiny cohorts or `jobs = 1`.
+    forced: bool,
+    pool: Option<Pool>,
+}
+
+impl ParallelExec {
+    pub(crate) fn new(jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        ParallelExec {
+            jobs,
+            forced: false,
+            pool: (jobs > 1).then(|| Pool::new(jobs - 1)),
+        }
+    }
+
+    /// Test hook behind `Engine::set_engine_jobs_forced`.
+    pub(crate) fn forced(jobs: usize) -> Self {
+        let mut p = ParallelExec::new(jobs);
+        p.forced = true;
+        p
+    }
+
+    pub(crate) fn jobs(&self) -> usize {
+        self.jobs
+    }
+}
+
+/// A persistent worker pool: `jobs - 1` threads (the coordinator is
+/// the remaining lane) pulling [`CompCtx`] tasks from a shared stack.
+struct Pool {
+    shared: Arc<Shared>,
+    results: Receiver<(usize, std::thread::Result<CompCtx>)>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+struct Shared {
+    queue: Mutex<Vec<(usize, CompCtx)>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Pool {
+    fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let (tx, results) = channel();
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let tx: Sender<(usize, std::thread::Result<CompCtx>)> = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("mcast-engine-{i}"))
+                    .spawn(move || worker_loop(&shared, &tx))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            results,
+            handles,
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        for h in self.handles.drain(..) {
+            // A worker that panicked already reported through the
+            // results channel; don't double-panic out of drop.
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, tx: &Sender<(usize, std::thread::Result<CompCtx>)>) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().expect("engine pool lock");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(t) = q.pop() {
+                    break t;
+                }
+                q = shared.cv.wait(q).expect("engine pool lock");
+            }
+        };
+        let (idx, mut ctx) = task;
+        // Components are independent; a panic in one (a tripwire
+        // assertion, an engine bug) is captured and re-raised on the
+        // coordinator so it surfaces exactly like a serial panic.
+        let res = catch_unwind(AssertUnwindSafe(move || {
+            run_component(&mut ctx);
+            ctx
+        }));
+        if tx.send((idx, res)).is_err() {
+            return;
+        }
+    }
+}
+
+/// A conflict component checked out of the engine: the worms,
+/// channels, and messages its events can reach, plus buffers for every
+/// engine-global side effect. Implements [`ExecCtx`], so the cascade
+/// code running here is byte-for-byte the code the serial engine runs.
+struct CompCtx {
+    env: SimEnv,
+    now: Time,
+    sink_on: bool,
+    /// The component's slice of the cohort, in canonical order.
+    events: Vec<(Time, Event)>,
+    /// Sorted worm ids ∥ their checked-out state.
+    worm_ids: Vec<usize>,
+    worms: Vec<WormState>,
+    /// Sorted channel ids ∥ state ∥ fault-liveness snapshot (faults
+    /// only change between run calls, never mid-window).
+    chan_ids: Vec<ChannelId>,
+    chans: Vec<ChanState>,
+    alive: Vec<bool>,
+    /// Sorted message ids ∥ their checked-out slots.
+    msg_ids: Vec<usize>,
+    msgs: Vec<Option<MessageState>>,
+    // ---- buffered effects, replayed in canonical cohort order ----
+    pushes: Vec<(Time, Event)>,
+    emits: Vec<SimEvent>,
+    completed: Vec<CompletedMessage>,
+    freed: Vec<usize>,
+    /// `(channel, dt)` utilization charges — a commutative sum, so
+    /// merge order is irrelevant.
+    busy: Vec<(ChannelId, Time)>,
+    flit_hops: u64,
+    in_flight_dec: usize,
+    /// Effect-buffer end offsets after each local event — the merge
+    /// uses these to interleave effects from different components in
+    /// global cohort order.
+    marks: Vec<Marks>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Marks {
+    pushes: usize,
+    emits: usize,
+    completed: usize,
+    freed: usize,
+}
+
+impl CompCtx {
+    fn widx(&self, w: usize) -> usize {
+        // A miss here means an event reached state outside its
+        // component — a clustering soundness bug. Panic loudly (the
+        // worker's catch_unwind re-raises on the coordinator) rather
+        // than silently diverging from serial.
+        self.worm_ids
+            .binary_search(&w)
+            .unwrap_or_else(|_| panic!("worm {w} not in conflict component"))
+    }
+
+    fn cidx(&self, c: ChannelId) -> usize {
+        self.chan_ids
+            .binary_search(&c)
+            .unwrap_or_else(|_| panic!("channel {c} not in conflict component"))
+    }
+
+    fn midx(&self, m: usize) -> usize {
+        self.msg_ids
+            .binary_search(&m)
+            .unwrap_or_else(|_| panic!("message {m} not in conflict component"))
+    }
+}
+
+impl ExecCtx for CompCtx {
+    fn now(&self) -> Time {
+        self.now
+    }
+    fn env(&self) -> SimEnv {
+        self.env
+    }
+    fn worm(&mut self, w: usize) -> &mut WormState {
+        let i = self.widx(w);
+        &mut self.worms[i]
+    }
+    fn worm_ref(&self, w: usize) -> &WormState {
+        &self.worms[self.widx(w)]
+    }
+    fn chan(&mut self, c: ChannelId) -> &mut ChanState {
+        let i = self.cidx(c);
+        &mut self.chans[i]
+    }
+    fn chan_ref(&self, c: ChannelId) -> &ChanState {
+        &self.chans[self.cidx(c)]
+    }
+    fn chan_alive(&self, c: ChannelId) -> bool {
+        self.alive[self.cidx(c)]
+    }
+    fn msg(&mut self, m: usize) -> &mut Option<MessageState> {
+        let i = self.midx(m);
+        &mut self.msgs[i]
+    }
+    fn sched(&mut self, at: Time, ev: Event) {
+        self.pushes.push((at, ev));
+    }
+    fn add_busy(&mut self, c: ChannelId, dt: Time) {
+        self.busy.push((c, dt));
+    }
+    fn count_flit_hop(&mut self) {
+        self.flit_hops += 1;
+    }
+    fn sink_on(&self) -> bool {
+        self.sink_on
+    }
+    fn emit_ev(&mut self, ev: SimEvent) {
+        if self.sink_on {
+            self.emits.push(ev);
+        }
+    }
+    fn trace_on(&self, _c: ChannelId) -> bool {
+        // `set_engine_jobs` refuses to install the executor while
+        // MCAST_TRACE_CHAN is set; the forced test hook simply loses
+        // the stderr trace (simulation state is unaffected).
+        false
+    }
+    fn push_completed(&mut self, done: CompletedMessage) {
+        self.completed.push(done);
+    }
+    fn free_worm(&mut self, w: usize) {
+        self.freed.push(w);
+    }
+    fn dec_in_flight(&mut self) {
+        self.in_flight_dec += 1;
+    }
+}
+
+/// Runs a component's cohort slice sequentially, recording effect
+/// marks after each event.
+fn run_component(ctx: &mut CompCtx) {
+    for i in 0..ctx.events.len() {
+        let (t, ev) = ctx.events[i];
+        ctx.now = t;
+        exec_event(ctx, ev);
+        ctx.marks.push(Marks {
+            pushes: ctx.pushes.len(),
+            emits: ctx.emits.len(),
+            completed: ctx.completed.len(),
+            freed: ctx.freed.len(),
+        });
+    }
+}
+
+/// Minimum schedulable event delta: every cascade schedules at
+/// `now + flit_time` (± the header routing delay, which only adds) or
+/// `now + circuit_setup_ns`, so no event generated inside the window
+/// `[t0, t0 + L)` can land inside it — except when the minimum is 0
+/// (`circuit_setup_ns = 0`), where the floor of 1 makes each window a
+/// single timestamp and same-time generated events sort strictly after
+/// the cohort by insertion seq. Both cases preserve the serial order.
+fn window_lookahead(env: &SimEnv) -> Time {
+    env.flit_time.min(env.circuit_setup_ns).max(1)
+}
+
+/// Windowed counterpart of the serial `run_until` loop: identical
+/// event set, budget accounting, and `now` semantics (no clamp to
+/// `until` on a budget stop).
+pub(crate) fn run_windowed_until(engine: &mut Engine, until: Time) -> usize {
+    // Take the executor out for the duration of the run so the engine
+    // can be borrowed mutably alongside it (it is pure scratch).
+    let mut par = engine
+        .par
+        .take()
+        .expect("windowed dispatch requires executor");
+    let lookahead = window_lookahead(&ExecCtx::env(engine));
+    let mut n = 0usize;
+    let mut cohort: Vec<(Time, Event)> = Vec::new();
+    while let Some(t0) = engine.next_event_time() {
+        if t0 > until {
+            break;
+        }
+        let end = t0.saturating_add(lookahead);
+        cohort.clear();
+        let mut budget_stop = false;
+        while let Some(t) = engine.next_event_time() {
+            if t >= end || t > until {
+                break;
+            }
+            if engine.charge_budget() {
+                budget_stop = true;
+                break;
+            }
+            let (t, _, ev) = engine.events.pop().expect("just peeked");
+            cohort.push((t, ev));
+        }
+        n += cohort.len();
+        execute_window(engine, &mut par, &cohort);
+        if budget_stop {
+            // Serial parity: a budget stop returns without advancing
+            // `now` to `until`.
+            engine.par = Some(par);
+            return n;
+        }
+    }
+    engine.now = engine.now.max(until);
+    engine.par = Some(par);
+    n
+}
+
+/// Windowed counterpart of the serial `run_to_quiescence` loop.
+pub(crate) fn run_windowed_quiesce(engine: &mut Engine) -> bool {
+    let mut par = engine
+        .par
+        .take()
+        .expect("windowed dispatch requires executor");
+    let lookahead = window_lookahead(&ExecCtx::env(engine));
+    let mut cohort: Vec<(Time, Event)> = Vec::new();
+    let done = loop {
+        if engine.next_event_time().is_none() {
+            break engine.in_flight == 0;
+        }
+        let t0 = engine.next_event_time().expect("just checked");
+        let end = t0.saturating_add(lookahead);
+        cohort.clear();
+        let mut budget_stop = false;
+        while let Some(t) = engine.next_event_time() {
+            if t >= end {
+                break;
+            }
+            if engine.charge_budget() {
+                budget_stop = true;
+                break;
+            }
+            let (t, _, ev) = engine.events.pop().expect("just peeked");
+            cohort.push((t, ev));
+        }
+        execute_window(engine, &mut par, &cohort);
+        if budget_stop {
+            break false;
+        }
+    };
+    engine.par = Some(par);
+    done
+}
+
+/// Executes one collected cohort. Every path (inline fast path or
+/// full clustering) produces bit-identical engine state.
+fn execute_window(engine: &mut Engine, par: &mut ParallelExec, cohort: &[(Time, Event)]) {
+    if cohort.is_empty() {
+        return;
+    }
+    engine.steps += cohort.len() as u64;
+    // Fast path: tiny cohorts (the common case under light load) and
+    // jobs=1 executors gain nothing from clustering — run the cohort
+    // inline through the identical cascade.
+    if !par.forced && (par.pool.is_none() || cohort.len() < INLINE_COHORT) {
+        serial_exec(engine, cohort);
+        return;
+    }
+
+    // ---- 1. classify + cluster ----
+    let env = ExecCtx::env(engine);
+    let mut uf = UnionFind::default();
+    // Per-event key/queue-worm slices into flat buffers, or `None`
+    // for events that are provably stale at collection time (gen
+    // bumps and worm builds only happen between run calls, so
+    // staleness observed here is permanent).
+    let mut ev_keys: Vec<Option<(usize, usize)>> = Vec::with_capacity(cohort.len());
+    let mut keys: Vec<Key> = Vec::new();
+    let mut qworm_ranges: Vec<(usize, usize)> = Vec::with_capacity(cohort.len());
+    let mut qworms: Vec<usize> = Vec::new();
+    for &(_, ev) in cohort {
+        let (w, e, gen) = match ev {
+            Event::TransferComplete { worm, edge, gen }
+            | Event::RequestChannel { worm, edge, gen } => (worm as usize, edge as usize, gen),
+        };
+        let qw0 = qworms.len();
+        let k0 = keys.len();
+        let wst = &engine.worms[w];
+        if wst.gen != gen || !wst.active {
+            ev_keys.push(None);
+            qworm_ranges.push((qw0, qw0));
+            continue;
+        }
+        keys.push(Key::Msg(wst.message));
+        match ev {
+            Event::RequestChannel { .. } => keys.push(Key::Link(wst.edges[e].link_key)),
+            Event::TransferComplete { .. } => {
+                let es = &wst.edges[e];
+                // `crossed` is stable until this event executes: only
+                // the edge's own TransferComplete bumps it, and an
+                // edge has at most one in flight (`busy` gates the
+                // next transfer on this completion).
+                let next = es.crossed + 1;
+                if next == 1 && wst.kind != crate::engine::WormKind::Circuit {
+                    for k in es.child_start..es.child_start + es.child_count {
+                        let c = wst.children[k as usize] as usize;
+                        keys.push(Key::Link(wst.edges[c].link_key));
+                    }
+                }
+                if next == env.flits {
+                    // Tail: releases the owned channel, which may
+                    // grant (and cascade into) any waiter queued on
+                    // it — union their messages too. Waiters added
+                    // *during* the window come from events that share
+                    // this Link key, so they are already in-component.
+                    keys.push(Key::Link(es.link_key));
+                    if let Some(chan) = es.channel {
+                        for &(w2, _) in engine.channels[chan].queue.iter() {
+                            qworms.push(w2);
+                            keys.push(Key::Msg(engine.worms[w2].message));
+                        }
+                    }
+                }
+            }
+        }
+        ev_keys.push(Some((k0, keys.len())));
+        qworm_ranges.push((qw0, qworms.len()));
+        let first = uf.intern(keys[k0]);
+        for &k in &keys[k0 + 1..] {
+            let id = uf.intern(k);
+            uf.union(first, id);
+        }
+    }
+
+    // ---- 2. assemble components in first-seen order ----
+    let classes = engine.network.classes() as usize;
+    let mut root_comp: HashMap<usize, usize> = HashMap::new();
+    let mut comps: Vec<CompBuild> = Vec::new();
+    // Global cohort index -> (component, local index); `None` = stale.
+    let mut loc: Vec<Option<(usize, usize)>> = Vec::with_capacity(cohort.len());
+    for (i, &(t, ev)) in cohort.iter().enumerate() {
+        let Some((k0, k1)) = ev_keys[i] else {
+            loc.push(None);
+            continue;
+        };
+        let first = uf.intern(keys[k0]);
+        let root = uf.find(first);
+        let next = comps.len();
+        let ci = *root_comp.entry(root).or_insert(next);
+        if ci == next {
+            comps.push(CompBuild::default());
+        }
+        let cb = &mut comps[ci];
+        loc.push(Some((ci, cb.events.len())));
+        cb.events.push((t, ev));
+        let (w, _) = match ev {
+            Event::TransferComplete { worm, edge, .. }
+            | Event::RequestChannel { worm, edge, .. } => (worm as usize, edge as usize),
+        };
+        cb.worms.insert(w);
+        cb.msgs.insert(engine.worms[w].message);
+        let (q0, q1) = qworm_ranges[i];
+        for &w2 in &qworms[q0..q1] {
+            cb.worms.insert(w2);
+            cb.msgs.insert(engine.worms[w2].message);
+        }
+        for &k in &keys[k0..k1] {
+            if let Key::Link(base) = k {
+                for c in base..base + classes {
+                    cb.chans.insert(c);
+                }
+            }
+        }
+    }
+
+    // Single live component (or none): nothing to overlap.
+    if comps.len() <= 1 && !par.forced {
+        serial_exec(engine, cohort);
+        return;
+    }
+
+    // ---- 3. check out + execute ----
+    let sink_on = ExecCtx::sink_on(engine);
+    let mut tasks: Vec<(usize, CompCtx)> = Vec::with_capacity(comps.len());
+    for (ci, cb) in comps.into_iter().enumerate() {
+        let worm_ids: Vec<usize> = cb.worms.into_iter().collect();
+        let worms = worm_ids
+            .iter()
+            .map(|&w| std::mem::replace(&mut engine.worms[w], WormState::vacant()))
+            .collect();
+        let chan_ids: Vec<ChannelId> = cb.chans.into_iter().collect();
+        let chans = chan_ids
+            .iter()
+            .map(|&c| std::mem::take(&mut engine.channels[c]))
+            .collect();
+        let alive = chan_ids
+            .iter()
+            .map(|&c| engine.network.is_alive(c))
+            .collect();
+        let msg_ids: Vec<usize> = cb.msgs.into_iter().collect();
+        let msgs = msg_ids.iter().map(|&m| engine.messages[m].take()).collect();
+        let n_ev = cb.events.len();
+        tasks.push((
+            ci,
+            CompCtx {
+                env,
+                now: 0,
+                sink_on,
+                events: cb.events,
+                worm_ids,
+                worms,
+                chan_ids,
+                chans,
+                alive,
+                msg_ids,
+                msgs,
+                pushes: Vec::new(),
+                emits: Vec::new(),
+                completed: Vec::new(),
+                freed: Vec::new(),
+                busy: Vec::new(),
+                flit_hops: 0,
+                in_flight_dec: 0,
+                marks: Vec::with_capacity(n_ev),
+            },
+        ));
+    }
+    let n_comp = tasks.len();
+    let mut results: Vec<Option<CompCtx>> = (0..n_comp).map(|_| None).collect();
+    match &par.pool {
+        Some(pool) => {
+            {
+                let mut q = pool.shared.queue.lock().expect("engine pool lock");
+                q.extend(tasks);
+            }
+            pool.shared.cv.notify_all();
+            let mut done = 0;
+            // The coordinator is a full worker lane: drain tasks
+            // locally until the shared stack is empty, then collect
+            // what the workers produced.
+            loop {
+                let task = pool.shared.queue.lock().expect("engine pool lock").pop();
+                let Some((ci, mut ctx)) = task else { break };
+                run_component(&mut ctx);
+                results[ci] = Some(ctx);
+                done += 1;
+            }
+            while done < n_comp {
+                let (ci, res) = pool
+                    .results
+                    .recv()
+                    .expect("engine worker hung up without result");
+                match res {
+                    Ok(ctx) => {
+                        results[ci] = Some(ctx);
+                        done += 1;
+                    }
+                    Err(panic) => resume_unwind(panic),
+                }
+            }
+        }
+        None => {
+            // Forced jobs=1: full machinery, coordinator-only.
+            for (ci, mut ctx) in tasks {
+                run_component(&mut ctx);
+                results[ci] = Some(ctx);
+            }
+        }
+    }
+
+    // ---- 4. restore + canonical merge ----
+    let mut results: Vec<CompCtx> = results
+        .into_iter()
+        .map(|r| r.expect("every component produced a result"))
+        .collect();
+    for ctx in &mut results {
+        for (&w, st) in ctx.worm_ids.iter().zip(ctx.worms.drain(..)) {
+            engine.worms[w] = st;
+        }
+        for (&c, st) in ctx.chan_ids.iter().zip(ctx.chans.drain(..)) {
+            engine.channels[c] = st;
+        }
+        for (&m, st) in ctx.msg_ids.iter().zip(ctx.msgs.drain(..)) {
+            engine.messages[m] = st;
+        }
+        // Commutative integer sums: order across components is
+        // irrelevant to the exact result.
+        for &(c, dt) in &ctx.busy {
+            engine.busy_ns[c] += dt;
+        }
+        engine.flit_hops += ctx.flit_hops;
+        engine.in_flight -= ctx.in_flight_dec;
+    }
+    // Order-sensitive effects replay in global cohort order; each
+    // component's buffers are consumed monotonically via its marks.
+    for l in &loc {
+        let &Some((ci, k)) = l else { continue };
+        let ctx = &results[ci];
+        let lo = if k == 0 {
+            Marks::default()
+        } else {
+            ctx.marks[k - 1]
+        };
+        let hi = ctx.marks[k];
+        for &(at, ev) in &ctx.pushes[lo.pushes..hi.pushes] {
+            engine.events.push(at, ev);
+        }
+        for &ev in &ctx.emits[lo.emits..hi.emits] {
+            engine.emit(ev);
+        }
+        for done in &ctx.completed[lo.completed..hi.completed] {
+            engine.completed.push(done.clone());
+        }
+        for &w in &ctx.freed[lo.freed..hi.freed] {
+            engine.worm_free.push(w);
+        }
+    }
+    engine.now = cohort[cohort.len() - 1].0;
+}
+
+/// Inline serial execution of a cohort — the fast path. The cohort was
+/// already popped and budget-charged, so this is exactly the serial
+/// loop body repeated.
+fn serial_exec(engine: &mut Engine, cohort: &[(Time, Event)]) {
+    for &(t, ev) in cohort {
+        engine.now = t;
+        exec_event(engine, ev);
+    }
+}
+
+#[derive(Default)]
+struct CompBuild {
+    events: Vec<(Time, Event)>,
+    worms: BTreeSet<usize>,
+    chans: BTreeSet<ChannelId>,
+    msgs: BTreeSet<usize>,
+}
+
+/// Union-find over interned keys, path-halving, union by size.
+#[derive(Default)]
+struct UnionFind {
+    ids: HashMap<Key, usize>,
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn intern(&mut self, k: Key) -> usize {
+        if let Some(&i) = self.ids.get(&k) {
+            return i;
+        }
+        let i = self.parent.len();
+        self.ids.insert(k, i);
+        self.parent.push(i);
+        self.size.push(1);
+        i
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{Engine, RunBudget, SimConfig, Time};
+    use crate::network::Network;
+    use crate::plan::{ClassChoice, DeliveryPlan, PlanPath, PlanWorm};
+    use crate::routers::{DualPathRouter, MulticastRouter};
+    use mcast_core::model::MulticastSet;
+    use mcast_topology::Mesh2D;
+
+    /// Everything order- or state-sensitive the engine exposes,
+    /// Debug-rendered so a single assert covers completion order,
+    /// per-destination delivery times, counters, and utilization.
+    fn fingerprint(e: &mut Engine) -> String {
+        let done = e.take_completed();
+        format!(
+            "steps={} now={} hops={} inflight={} busy={:?} done={done:?}",
+            e.steps(),
+            e.now,
+            e.flit_hops,
+            e.in_flight,
+            e.busy_ns,
+        )
+    }
+
+    /// A contended 8×8 dual-path workload: enough simultaneous
+    /// multicasts that window cohorts exceed the inline threshold and
+    /// split into several conflict components.
+    fn inject_dense(e: &mut Engine, router: &DualPathRouter<Mesh2D>, n: usize) {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let src = (x % 64) as usize;
+            let d1 = ((x >> 8) % 64) as usize;
+            let d2 = ((x >> 16) % 64) as usize;
+            let d3 = ((x >> 24) % 64) as usize;
+            let dests: Vec<usize> = [d1, d2, d3].into_iter().filter(|&d| d != src).collect();
+            if dests.is_empty() {
+                continue;
+            }
+            e.inject(&router.plan(&MulticastSet::new(src, dests)));
+        }
+    }
+
+    fn run_pair(jobs: usize, forced: bool, cfg: SimConfig) -> (String, String) {
+        let mesh = Mesh2D::new(8, 8);
+        let router = DualPathRouter::mesh(mesh);
+        let mk = || Engine::new(Network::new(&Mesh2D::new(8, 8), 1), cfg);
+        let mut serial = mk();
+        let mut par = mk();
+        if forced {
+            par.set_engine_jobs_forced(jobs);
+        } else {
+            par.set_engine_jobs(jobs);
+        }
+        for e in [&mut serial, &mut par] {
+            inject_dense(e, &router, 48);
+            // Slice the run so windowed `run_until` is exercised with
+            // mid-flight boundaries, then drain.
+            for slice in 1..6 {
+                e.run_until(slice * 2_500);
+            }
+            assert!(e.run_to_quiescence(), "workload must drain");
+            // A second wave after quiescence exercises slot reuse
+            // (worm_free order) under the windowed executor.
+            inject_dense(e, &router, 24);
+            assert!(e.run_to_quiescence(), "second wave must drain");
+        }
+        (fingerprint(&mut serial), fingerprint(&mut par))
+    }
+
+    #[test]
+    fn forced_machinery_matches_serial() {
+        let (s, p) = run_pair(1, true, SimConfig::default());
+        assert_eq!(s, p, "forced jobs=1 window machinery must be bit-identical");
+    }
+
+    #[test]
+    fn forced_two_lane_matches_serial() {
+        let (s, p) = run_pair(2, true, SimConfig::default());
+        assert_eq!(
+            s, p,
+            "forced jobs=2 (1 worker thread) must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn pooled_four_lane_matches_serial() {
+        let (s, p) = run_pair(4, false, SimConfig::default());
+        assert_eq!(s, p, "production jobs=4 must be bit-identical");
+    }
+
+    #[test]
+    fn zero_circuit_setup_degenerate_lookahead_matches_serial() {
+        // circuit_setup_ns = 0 floors the lookahead at 1 ns: every
+        // window is a single timestamp and same-time generated events
+        // must still sort after the cohort by insertion seq.
+        let cfg = SimConfig {
+            circuit_setup_ns: 0,
+            ..SimConfig::default()
+        };
+        let mesh = Mesh2D::new(4, 4);
+        let mk = || Engine::new(Network::new(&mesh, 1), cfg);
+        let mut serial = mk();
+        let mut par = mk();
+        par.set_engine_jobs_forced(2);
+        for e in [&mut serial, &mut par] {
+            // Circuit worms chain RequestChannel events at +0 ns;
+            // overlapping same-direction rows force contention.
+            for nodes in [
+                vec![0usize, 1, 2, 3],
+                vec![1, 2, 3, 7],
+                vec![0, 4, 8, 12],
+                vec![4, 8, 12, 13],
+            ] {
+                let (src, dst) = (nodes[0], *nodes.last().expect("nonempty"));
+                e.inject(&DeliveryPlan {
+                    source: src,
+                    destinations: vec![dst],
+                    worms: vec![PlanWorm::Circuit(PlanPath {
+                        nodes,
+                        class: ClassChoice::Any,
+                    })],
+                });
+            }
+            e.run_to_quiescence();
+        }
+        assert_eq!(fingerprint(&mut serial), fingerprint(&mut par));
+    }
+
+    #[test]
+    fn budget_stop_matches_serial_exactly() {
+        let mesh = Mesh2D::new(8, 8);
+        let router = DualPathRouter::mesh(mesh);
+        let mk = || Engine::new(Network::new(&Mesh2D::new(8, 8), 1), SimConfig::default());
+        for cap in [1u64, 7, 50, 333] {
+            let mut serial = mk();
+            let mut par = mk();
+            par.set_engine_jobs_forced(2);
+            for e in [&mut serial, &mut par] {
+                e.set_budget(RunBudget::with_max_steps(cap));
+                inject_dense(e, &router, 16);
+                let done = e.run_to_quiescence();
+                assert!(!done || !e.budget_exhausted());
+            }
+            assert_eq!(
+                serial.budget_exhausted(),
+                par.budget_exhausted(),
+                "cap={cap}"
+            );
+            assert_eq!(
+                fingerprint(&mut serial),
+                fingerprint(&mut par),
+                "budget stop at cap={cap} must leave identical state"
+            );
+        }
+    }
+
+    #[test]
+    fn run_until_boundary_and_now_semantics_match() {
+        let mesh = Mesh2D::new(8, 8);
+        let router = DualPathRouter::mesh(mesh);
+        let mk = || Engine::new(Network::new(&Mesh2D::new(8, 8), 1), SimConfig::default());
+        let mut serial = mk();
+        let mut par = mk();
+        par.set_engine_jobs_forced(3);
+        for e in [&mut serial, &mut par] {
+            inject_dense(e, &router, 32);
+            // Boundaries chosen to land mid-window, on exact event
+            // times (multiples of 400), and past quiescence.
+            let mut processed = Vec::new();
+            for until in [1u64, 399, 400, 401, 850, 4_000, 1_000_000] {
+                processed.push(e.run_until(until));
+                processed.push(e.now as usize);
+            }
+            assert_eq!(e.in_flight, 0, "drained by the last boundary");
+        }
+        assert_eq!(fingerprint(&mut serial), fingerprint(&mut par));
+    }
+
+    /// The executor survives fault injection + drain cycles driven at
+    /// `step()` granularity between windowed runs (the recovery
+    /// supervisor's access pattern): engine state is the only
+    /// authority between windows.
+    #[test]
+    fn interoperates_with_external_stepping() {
+        let mesh = Mesh2D::new(8, 8);
+        let router = DualPathRouter::mesh(mesh);
+        let mk = || Engine::new(Network::new(&Mesh2D::new(8, 8), 1), SimConfig::default());
+        let mut serial = mk();
+        let mut par = mk();
+        par.set_engine_jobs_forced(2);
+        for e in [&mut serial, &mut par] {
+            inject_dense(e, &router, 24);
+            // Interleave single steps (always serial) with windowed
+            // run_until calls.
+            for _ in 0..10 {
+                e.step();
+            }
+            e.run_until(5_000);
+            for _ in 0..25 {
+                e.step();
+            }
+            assert!(e.run_to_quiescence());
+        }
+        assert_eq!(fingerprint(&mut serial), fingerprint(&mut par));
+    }
+
+    #[test]
+    fn engine_jobs_accessors() {
+        let mesh = Mesh2D::new(4, 4);
+        let mut e = Engine::new(Network::new(&mesh, 1), SimConfig::default());
+        assert_eq!(e.engine_jobs(), 1);
+        e.set_engine_jobs(4);
+        assert_eq!(e.engine_jobs(), 4);
+        e.set_engine_jobs(1);
+        assert_eq!(e.engine_jobs(), 1);
+        e.set_engine_jobs(0);
+        assert_eq!(e.engine_jobs(), 1);
+    }
+
+    #[test]
+    fn lookahead_floor() {
+        let cfg = SimConfig::default();
+        let env_t: Time = cfg.flit_time_ns().min(cfg.circuit_setup_ns).max(1);
+        assert!(env_t >= 1);
+    }
+}

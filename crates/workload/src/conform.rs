@@ -63,6 +63,12 @@ pub struct VerifyScenario {
     pub seed: u64,
     /// Link fault rate (0.0 = healthy network).
     pub fault_rate: f64,
+    /// Worker lanes for the space-parallel engine (DESIGN.md §15).
+    /// When > 1 the optimized engine runs a *third* time under the
+    /// windowed parallel executor and its trace — including the full
+    /// recorded event stream — must match the serial optimized run bit
+    /// for bit.
+    pub engine_jobs: usize,
 }
 
 impl VerifyScenario {
@@ -86,6 +92,7 @@ impl VerifyScenario {
             messages: self.messages,
             keep_connected: true,
         });
+        spec.engine_jobs = self.engine_jobs;
         spec
     }
 
@@ -115,6 +122,7 @@ impl VerifyScenario {
             messages,
             seed: spec.seed,
             fault_rate,
+            engine_jobs: spec.engine_jobs,
         })
     }
 
@@ -125,6 +133,7 @@ impl VerifyScenario {
         self.messages as u64 * 1_000_000
             + self.topology.num_nodes() as u64 * 1_000
             + self.destinations as u64 * 10
+            + u64::from(self.engine_jobs > 1) * 7
             + u64::from(self.fault_rate > 0.0) * 5
             + load_heaviness.min(4)
     }
@@ -134,7 +143,7 @@ impl std::fmt::Display for VerifyScenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} / {} pattern={} load={}us dests={} messages={} seed={} fault={}",
+            "{} / {} pattern={} load={}us dests={} messages={} seed={} fault={} engine-jobs={}",
             self.topology,
             self.scheme,
             match self.pattern {
@@ -146,6 +155,7 @@ impl std::fmt::Display for VerifyScenario {
             self.messages,
             self.seed,
             self.fault_rate,
+            self.engine_jobs,
         )
     }
 }
@@ -233,12 +243,14 @@ pub struct RunTrace {
 
 /// Runs the injection schedule through the optimized engine, recording
 /// the observability trace; `chaos` enables the engine's test-only
-/// swapped-class bug. Returns the trace, the recorded events, and the
-/// plan injected under each message id.
+/// swapped-class bug, `engine_jobs > 1` routes execution through the
+/// space-parallel windowed executor (DESIGN.md §15). Returns the trace,
+/// the recorded events, and the plan injected under each message id.
 fn run_optimized(
     wl: &Workload,
     topo: &TopoSpec,
     chaos: bool,
+    engine_jobs: usize,
 ) -> (RunTrace, Vec<SimEvent>, Vec<Option<DeliveryPlan>>) {
     let built = topo.build();
     let mut engine = Engine::new(
@@ -246,6 +258,7 @@ fn run_optimized(
         SimConfig::default(),
     );
     engine.set_chaos_swap_class(chaos);
+    engine.set_engine_jobs(engine_jobs);
     let recording = Recording::new();
     engine.set_sink(Box::new(recording.clone()));
     let broken = engine.apply_fault_mask(&wl.mask);
@@ -551,11 +564,41 @@ fn plans_cdg(plans: &[Option<DeliveryPlan>], classes: u8) -> Option<ChannelDepen
 
 /// Checks one scenario end to end. An empty vector means the engines
 /// agree and every invariant holds.
+///
+/// When `s.engine_jobs > 1` the optimized engine runs twice — serial
+/// and space-parallel — and the parallel run is held to a *stricter*
+/// bar than the reference comparison: the full recorded event stream
+/// must be identical, not just the aggregate trace.
 pub fn check_scenario(s: &VerifyScenario, chaos: bool) -> Result<Vec<String>, RegistryError> {
     let wl = derive_workload(s)?;
-    let (fast, events, plans) = run_optimized(&wl, &s.topology, chaos);
+    let (fast, events, plans) = run_optimized(&wl, &s.topology, chaos, 1);
     let reference = run_reference(&wl, &s.topology);
     let mut problems = compare_traces(&fast, &reference);
+    if s.engine_jobs > 1 {
+        let (par, par_events, _) = run_optimized(&wl, &s.topology, chaos, s.engine_jobs);
+        if par != fast {
+            problems.push(format!(
+                "parallel engine ({} jobs) trace diverges from serial: parallel {:?} vs serial {:?}",
+                s.engine_jobs, par, fast
+            ));
+        }
+        if par_events != events {
+            let first = par_events
+                .iter()
+                .zip(&events)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| par_events.len().min(events.len()));
+            problems.push(format!(
+                "parallel engine ({} jobs) event stream diverges from serial at event {first}: \
+                 parallel {:?} vs serial {:?} ({} vs {} events total)",
+                s.engine_jobs,
+                par_events.get(first),
+                events.get(first),
+                par_events.len(),
+                events.len()
+            ));
+        }
+    }
     problems.extend(check_invariants(
         &s.topology,
         wl.classes,
@@ -610,6 +653,15 @@ fn shrink_candidates(s: &VerifyScenario) -> Vec<VerifyScenario> {
     if s.fault_rate > 0.0 {
         push(VerifyScenario {
             fault_rate: 0.0,
+            ..s.clone()
+        });
+    }
+    if s.engine_jobs > 1 {
+        // If the failure reproduces serially, drop the parallel leg —
+        // reproducers should not depend on thread count unless the bug
+        // genuinely lives in the windowed executor.
+        push(VerifyScenario {
+            engine_jobs: 1,
             ..s.clone()
         });
     }
@@ -749,6 +801,14 @@ pub fn scenario_for_case(seed: u64, case: usize) -> VerifyScenario {
             0.0
         },
         seed: rng.gen_range(0..1u64 << 48),
+        // Drawn *after* every pre-existing axis so case seeds keep
+        // producing the workloads they always did; roughly a quarter of
+        // cases exercise the space-parallel executor (jobs 2 or 4).
+        engine_jobs: match rng.gen_range(0..8u32) {
+            0 => 2,
+            1 => 4,
+            _ => 1,
+        },
     }
 }
 
@@ -882,6 +942,20 @@ mod tests {
     }
 
     #[test]
+    fn parallel_leg_conforms_on_sampled_cases() {
+        // Force the space-parallel third leg on a handful of drawn
+        // cases regardless of what the case RNG rolled: every one must
+        // still conform (serial-vs-reference AND parallel-vs-serial,
+        // including bit-identical event streams).
+        for case in 0..4 {
+            let mut s = scenario_for_case(7, case * 5);
+            s.engine_jobs = 4;
+            let problems = check_scenario(&s, false).unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert!(problems.is_empty(), "case {case} ({s}): {problems:?}");
+        }
+    }
+
+    #[test]
     fn chaos_class_swap_is_caught_and_shrinks_small() {
         // The acceptance gate: the injected swapped-class bug must be
         // detected and shrink to a reproducer of at most 4 messages.
@@ -896,6 +970,7 @@ mod tests {
             messages: 12,
             seed: 3,
             fault_rate: 0.0,
+            engine_jobs: 1,
         };
         let problems = check_scenario(&s, true).unwrap();
         assert!(!problems.is_empty(), "chaos run must fail conformance");
@@ -939,6 +1014,33 @@ mod custom_pool_tests {
             distinct.len() >= 256,
             "only {} distinct custom graphs in 4096 cases",
             distinct.len()
+        );
+    }
+
+    #[test]
+    fn nightly_case_budget_exercises_parallel_engine_enough() {
+        // Same nightly budget, second acceptance bar: a meaningful
+        // fraction of the 4096 cases must run the space-parallel third
+        // leg (engine_jobs ∈ {2, 4}), and both lane counts must appear.
+        // The draw targets 1/4 of cases; require at least 512 (half the
+        // expectation) so the bound survives RNG drift without going
+        // soft.
+        let mut parallel = 0usize;
+        let mut lanes = std::collections::HashSet::new();
+        for case in 0..4096 {
+            let s = scenario_for_case(1, case);
+            if s.engine_jobs > 1 {
+                parallel += 1;
+                lanes.insert(s.engine_jobs);
+            }
+        }
+        assert!(
+            parallel >= 512,
+            "only {parallel} of 4096 nightly cases exercise the parallel engine"
+        );
+        assert!(
+            lanes.contains(&2) && lanes.contains(&4),
+            "nightly draw must cover both 2- and 4-lane runs, got {lanes:?}"
         );
     }
 }

@@ -86,6 +86,11 @@ pub struct DynamicConfig {
     /// it is spent or cancelled and the result carries
     /// [`DynamicResult::budget_exhausted`].
     pub budget: Option<mcast_sim::engine::RunBudget>,
+    /// Worker lanes for single-run parallelism (DESIGN.md §15):
+    /// `1` — the default — is the serial event loop; `N > 1` routes the
+    /// engine through the deterministic window-cohort executor whose
+    /// output is bit-identical to serial.
+    pub engine_jobs: usize,
 }
 
 impl Default for DynamicConfig {
@@ -103,6 +108,7 @@ impl Default for DynamicConfig {
             seed: 0x6d63_6173,
             pattern: TrafficPattern::Uniform,
             budget: None,
+            engine_jobs: 1,
         }
     }
 }
@@ -189,6 +195,7 @@ pub fn run_dynamic_with_sink<T: Topology + ?Sized>(
     if let Some(b) = &cfg.budget {
         engine.set_budget(b.clone());
     }
+    engine.set_engine_jobs(cfg.engine_jobs);
     let n = topo.num_nodes();
     let mut gen = MulticastGen::new(n, cfg.seed);
 
@@ -417,6 +424,27 @@ mod tests {
         let b = run_dynamic(&mesh, &router, &cfg);
         assert_eq!(a.mean_latency_us, b.mean_latency_us);
         assert_eq!(a.sim_time_ns, b.sim_time_ns);
+    }
+
+    #[test]
+    fn engine_jobs_bit_identical_to_serial() {
+        let mesh = Mesh2D::new(8, 8);
+        let router = DualPathRouter::mesh(mesh);
+        let mut cfg = quick_cfg();
+        cfg.destinations = 6;
+        cfg.mean_interarrival_ns = 120_000.0; // contended but below saturation
+        let serial = run_dynamic(&mesh, &router, &cfg);
+        cfg.engine_jobs = 4;
+        let par = run_dynamic(&mesh, &router, &cfg);
+        assert_eq!(serial.engine_steps, par.engine_steps);
+        assert_eq!(serial.flit_hops, par.flit_hops);
+        assert_eq!(serial.sim_time_ns, par.sim_time_ns);
+        assert_eq!(serial.mean_latency_us, par.mean_latency_us);
+        assert_eq!(serial.completed, par.completed);
+        assert_eq!(
+            format!("{:?}", serial.latency_hist_ns),
+            format!("{:?}", par.latency_hist_ns)
+        );
     }
 
     #[test]

@@ -155,6 +155,11 @@ pub struct ExperimentSpec {
     /// Give branch nodes virtual-cut-through replication buffers (one
     /// message worth) instead of single-flit lock-step buffers.
     pub vct_buffers: bool,
+    /// Worker lanes for single-run parallelism inside each engine
+    /// (DESIGN.md §15). `1` — the default, omitted from JSON — is the
+    /// serial event loop; `N > 1` is bit-identical to serial, so this
+    /// knob never changes results, only wall-clock.
+    pub engine_jobs: usize,
     /// Optional fault sweep section.
     pub fault: Option<FaultSpec>,
 }
@@ -174,6 +179,7 @@ impl ExperimentSpec {
             stopping: StoppingRule::default(),
             channel_classes: None,
             vct_buffers: false,
+            engine_jobs: 1,
             fault: None,
         }
     }
@@ -196,6 +202,7 @@ impl ExperimentSpec {
             max_in_flight_per_node: self.stopping.max_in_flight_per_node,
             seed: self.seed,
             pattern: self.traffic_pattern(),
+            engine_jobs: self.engine_jobs,
             ..DynamicConfig::default()
         };
         if self.vct_buffers {
@@ -244,6 +251,9 @@ impl ExperimentSpec {
         }
         if self.replications == 0 {
             return Err(err("replications must be at least 1"));
+        }
+        if self.engine_jobs == 0 {
+            return Err(err("engine_jobs must be at least 1"));
         }
         if self.destinations == 0 || self.destinations >= self.topology.num_nodes() {
             return Err(err(format!(
@@ -401,6 +411,9 @@ impl ExperimentSpec {
         if self.vct_buffers {
             fields.push(("vct_buffers".into(), Json::Bool(true)));
         }
+        if self.engine_jobs != 1 {
+            fields.push(("engine_jobs".into(), Json::from(self.engine_jobs)));
+        }
         if let Some(fault) = &self.fault {
             fields.push((
                 "fault".into(),
@@ -433,6 +446,7 @@ impl ExperimentSpec {
                 "stopping",
                 "channel_classes",
                 "vct_buffers",
+                "engine_jobs",
                 "fault",
             ]
             .contains(&key)
@@ -570,6 +584,10 @@ impl ExperimentSpec {
                     .as_bool()
                     .ok_or_else(|| err("spec field \"vct_buffers\" not a bool"))?,
             },
+            engine_jobs: match usize_field(&v, "engine_jobs", 1)? {
+                0 => return Err(err("engine_jobs must be at least 1")),
+                j => j,
+            },
             fault,
         })
     }
@@ -680,6 +698,27 @@ mod tests {
         let back = ExperimentSpec::from_json(&text).unwrap();
         assert_eq!(back, spec);
         assert_eq!(back.to_json(), text, "serialize→parse→serialize drifted");
+    }
+
+    #[test]
+    fn engine_jobs_round_trips_and_default_is_omitted() {
+        let mut spec = sample();
+        assert!(
+            !spec.to_json().contains("engine_jobs"),
+            "default engine_jobs=1 must stay out of canonical JSON"
+        );
+        spec.engine_jobs = 9;
+        let text = spec.to_json();
+        assert!(text.contains("engine_jobs"));
+        let back = ExperimentSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), text, "engine_jobs byte drift");
+        // 9 appears nowhere else in the sample spec, so this targets
+        // exactly the engine_jobs value.
+        assert!(
+            ExperimentSpec::from_json(&text.replace('9', "0")).is_err(),
+            "engine_jobs: 0 must be rejected"
+        );
     }
 
     #[test]

@@ -107,6 +107,7 @@ fn injected_class_swap_bug_is_caught_and_shrunk() {
         messages: 16,
         seed: 11,
         fault_rate: 0.0,
+        engine_jobs: 1,
     };
     assert!(
         check_scenario(&scenario, false).unwrap().is_empty(),

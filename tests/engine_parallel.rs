@@ -1,0 +1,229 @@
+//! Integration tests for the space-parallel deterministic engine
+//! (DESIGN.md §15): `--engine-jobs N` must be **bit-identical** to the
+//! serial engine on every registry topology — including irregular
+//! `custom:` graphs — must tolerate lane counts that do not divide the
+//! node count, must order cross-partition (time, seq) ties exactly as
+//! the serial event queue does, and must compose with the recovery
+//! supervisor and the saturation guard.
+
+use mcast_sim::deadlock::fig_6_4_multicasts;
+use mcast_sim::registry::{build_router, SchemeId, TopoSpec};
+use mcast_sim::{Engine, Network, ObliviousRouter, RecoveryEngine, RecoveryPolicy, SimConfig};
+use mcast_topology::Mesh2D;
+use mcast_workload::{
+    check_scenario, registry_pairs, run_dynamic, scenario_for_case, DynamicConfig,
+};
+
+/// A comparable digest of a finished engine: every externally
+/// observable result the paper's experiments read.
+fn fingerprint(engine: &mut Engine) -> String {
+    let completed = engine.take_completed();
+    format!(
+        "steps={} now={} hops={} inflight={} completed={completed:?}",
+        engine.steps(),
+        engine.now(),
+        engine.flit_hops(),
+        engine.in_flight(),
+    )
+}
+
+/// Injects `n` deterministic dual-path multicasts at time zero — a
+/// dense same-timestamp cohort, so cross-partition (time, seq) ties are
+/// the common case, not the corner case.
+fn inject_burst(engine: &mut Engine, topo: &TopoSpec, n: usize) {
+    let router = build_router(topo, &SchemeId::named("dual-path")).expect("dual-path registered");
+    let nodes = topo.num_nodes();
+    let mut x = 0x2545_f491u64;
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let src = (x % nodes as u64) as usize;
+        let mut dests = Vec::new();
+        let mut y = x;
+        while dests.len() < 3 {
+            y = y.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            let d = (y % nodes as u64) as usize;
+            if d != src && !dests.contains(&d) {
+                dests.push(d);
+            }
+        }
+        let mc = mcast_core::model::MulticastSet::new(src, dests);
+        engine.inject(&router.plan(&mc));
+    }
+}
+
+fn burst_fingerprint(topo: &TopoSpec, jobs: usize, forced: bool) -> String {
+    let built = topo.build();
+    let router = build_router(topo, &SchemeId::named("dual-path")).expect("dual-path registered");
+    let mut engine = Engine::new(
+        Network::new(built.as_dyn(), router.required_classes()),
+        SimConfig::default(),
+    );
+    if forced {
+        engine.set_engine_jobs_forced(jobs);
+    } else {
+        engine.set_engine_jobs(jobs);
+    }
+    inject_burst(&mut engine, topo, 12);
+    assert!(engine.run_to_quiescence(), "burst must drain");
+    fingerprint(&mut engine)
+}
+
+#[test]
+fn same_timestamp_cohorts_order_ties_exactly_like_serial() {
+    // Twelve multicasts injected at t = 0 on a 6×6 mesh: the first
+    // window is one giant same-timestamp cohort whose (time, seq) ties
+    // span many conflict components. Forced mode keeps the full
+    // partition/merge machinery engaged even for single-component
+    // windows.
+    let topo = TopoSpec::parse("mesh:6x6").unwrap();
+    let serial = burst_fingerprint(&topo, 1, false);
+    for jobs in [2, 3, 4] {
+        assert_eq!(
+            burst_fingerprint(&topo, jobs, true),
+            serial,
+            "forced {jobs}-lane burst diverged"
+        );
+    }
+    assert_eq!(
+        burst_fingerprint(&topo, 4, false),
+        serial,
+        "pooled 4-lane burst diverged"
+    );
+}
+
+#[test]
+fn lane_counts_that_do_not_divide_the_node_count_are_exact() {
+    // 64 nodes on 3, 5, and 7 lanes: the engine partitions by dynamic
+    // conflict components, not by node ranges, so nothing special
+    // happens at non-divisors — but it must be *tested* to stay true.
+    let mesh = Mesh2D::new(8, 8);
+    let cfg = DynamicConfig {
+        warmup: 30,
+        batch_size: 10,
+        min_batches: 2,
+        max_batches: 3,
+        destinations: 6,
+        mean_interarrival_ns: 150_000.0,
+        seed: 0xbeef,
+        ..DynamicConfig::default()
+    };
+    let router = mcast_sim::routers::DualPathRouter::mesh(mesh);
+    let serial = run_dynamic(&mesh, &router, &cfg);
+    for jobs in [3, 5, 7] {
+        let par_cfg = DynamicConfig {
+            engine_jobs: jobs,
+            ..cfg.clone()
+        };
+        let par = run_dynamic(&mesh, &router, &par_cfg);
+        assert_eq!(serial.engine_steps, par.engine_steps, "jobs={jobs}");
+        assert_eq!(serial.flit_hops, par.flit_hops, "jobs={jobs}");
+        assert_eq!(serial.sim_time_ns, par.sim_time_ns, "jobs={jobs}");
+        assert_eq!(serial.completed, par.completed, "jobs={jobs}");
+        assert_eq!(
+            serial.mean_latency_us, par.mean_latency_us,
+            "jobs={jobs}: latency must be f64-equal, not close"
+        );
+    }
+}
+
+#[test]
+fn registry_topologies_conform_under_parallel_engine() {
+    // The conformance oracle's third leg, forced across a sample of the
+    // registry pool that must include irregular custom:<source> graphs:
+    // parallel-vs-serial event streams bit-identical AND serial-vs-
+    // reference traces bit-identical, per case.
+    let pairs = registry_pairs();
+    let mut custom_covered = 0;
+    let mut cases: Vec<usize> = Vec::new();
+    for case in 0..pairs.len() {
+        let is_custom = matches!(pairs[case % pairs.len()].0, TopoSpec::Custom { .. });
+        if is_custom && custom_covered < 3 {
+            custom_covered += 1;
+            cases.push(case);
+        } else if !is_custom && cases.len() < custom_covered + 5 {
+            cases.push(case);
+        }
+    }
+    assert!(custom_covered >= 2, "custom graphs missing from the sample");
+    for (i, case) in cases.into_iter().enumerate() {
+        let mut s = scenario_for_case(11, case);
+        s.engine_jobs = if i % 2 == 0 { 2 } else { 4 };
+        let problems = check_scenario(&s, false).unwrap_or_else(|e| panic!("{s}: {e}"));
+        assert!(problems.is_empty(), "case {case} ({s}): {problems:?}");
+    }
+}
+
+#[test]
+fn saturating_overload_saturates_identically_in_parallel() {
+    // An open-loop overload point: the saturation guard must trip at
+    // the same simulated instant with the same backlog under 4 lanes.
+    let mesh = Mesh2D::new(8, 8);
+    let cfg = DynamicConfig {
+        warmup: 30,
+        batch_size: 10,
+        min_batches: 2,
+        max_batches: 4,
+        destinations: 6,
+        mean_interarrival_ns: 40_000.0,
+        seed: 99,
+        ..DynamicConfig::default()
+    };
+    let router = mcast_sim::routers::DualPathRouter::mesh(mesh);
+    let serial = run_dynamic(&mesh, &router, &cfg);
+    assert!(serial.saturated, "overload point should saturate");
+    let par_cfg = DynamicConfig {
+        engine_jobs: 4,
+        ..cfg
+    };
+    let par = run_dynamic(&mesh, &router, &par_cfg);
+    assert!(par.saturated);
+    assert_eq!(serial.engine_steps, par.engine_steps);
+    assert_eq!(serial.sim_time_ns, par.sim_time_ns);
+    assert_eq!(serial.completed, par.completed);
+    assert_eq!(serial.flit_hops, par.flit_hops);
+}
+
+/// Runs the §6.4 deadlock configuration under the recovery supervisor
+/// at the given lane count and digests everything the supervisor
+/// decided: completion, stats, event log, outcomes, final clock.
+fn recovering_digest(engine_jobs: usize) -> String {
+    let mesh = Mesh2D::new(4, 3);
+    let router = build_router(
+        &TopoSpec::Mesh2D { w: 4, h: 3 },
+        &SchemeId::named("xfirst-tree"),
+    )
+    .expect("xfirst-tree registered");
+    let classes = router.required_classes();
+    let supervised = ObliviousRouter::new(router);
+    let mut rec = RecoveryEngine::new(
+        Network::new(&mesh, classes),
+        SimConfig::default(),
+        &supervised,
+        RecoveryPolicy::default(),
+    );
+    rec.set_engine_jobs(engine_jobs);
+    for mc in fig_6_4_multicasts(&mesh) {
+        rec.submit(mc);
+    }
+    let all_delivered = rec.run();
+    format!(
+        "delivered={all_delivered} now={} stats={:?} events={:?} outcomes={:?}",
+        rec.now(),
+        rec.stats(),
+        rec.events(),
+        rec.outcomes(),
+    )
+}
+
+#[test]
+fn deadlocking_run_recovers_identically_under_four_lanes() {
+    // The xfirst-tree §6.4 configuration wedges; the watchdog aborts
+    // and retries until every destination is delivered. The supervisor
+    // reads engine state between events, so bit-identity of the engine
+    // implies bit-identity of every abort/retry decision.
+    let serial = recovering_digest(1);
+    assert!(serial.contains("delivered=true"), "{serial}");
+    assert_eq!(serial, recovering_digest(4), "4-lane recovery diverged");
+}
