@@ -1,0 +1,199 @@
+//! The streaming scale block of `results/BENCH_5.json` (DESIGN.md §16).
+//!
+//! ```text
+//! cargo run -p mcast-bench --release --bin stream_scale -- --full
+//! cargo run -p mcast-bench --release --bin stream_scale -- --gate results/BENCH_5.json
+//! ```
+//!
+//! `--full` regenerates the whole document — the CI-gated probe ladder
+//! plus the headline 64×64 million-multicast run — and writes
+//! `results/BENCH_5.json`. `--gate <path>` is the CI mode: it re-runs
+//! only the gated probes, compares their environment-insensitive work
+//! metrics (`engine_steps`, `flit_hops`, `sim_ns`, `completed`)
+//! **exactly** against the checked-in document, asserts every probe's
+//! memory gauges against the hard ceilings (`peak_in_flight` ≤ cap,
+//! `peak_live_worms` ≤ worm ceiling), and validates the headline probe's
+//! schema — without paying for its million multicasts. Any mismatch
+//! exits nonzero.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use mcast_bench::{
+    gated_probe_set, headline_probe, load_stream_probes, run_stream_probe, worm_ceiling,
+    StreamBench, StreamScaleProbe,
+};
+
+fn report(p: &StreamScaleProbe) {
+    eprintln!(
+        "[stream-scale {}] {} nodes: {} messages in {:.1} ms \
+         ({:.2e} flits/sec), peak {} live worms (ceiling {}), \
+         peak {} in flight (cap {}){}",
+        p.name,
+        p.nodes,
+        p.messages,
+        p.wall_ms,
+        p.flits_per_sec,
+        p.peak_live_worms,
+        worm_ceiling(p.max_in_flight),
+        p.peak_in_flight,
+        p.max_in_flight,
+        if p.gated { " [gated]" } else { " [headline]" }
+    );
+}
+
+fn run_full(out_dir: &Path) -> ExitCode {
+    let mut doc = StreamBench::new();
+    for (name, messages, cap) in gated_probe_set() {
+        let p = run_stream_probe(name, messages, cap, true);
+        report(&p);
+        doc.push(p);
+    }
+    let (name, messages, cap) = headline_probe();
+    let p = run_stream_probe(name, messages, cap, false);
+    report(&p);
+    doc.push(p);
+    let mut failed = false;
+    for p in doc.probes() {
+        if p.completed != p.messages {
+            eprintln!(
+                "error: {} completed {} of {} messages",
+                p.name, p.completed, p.messages
+            );
+            failed = true;
+        }
+        if !p.within_ceilings() {
+            eprintln!("error: {} breached its memory ceilings", p.name);
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    match doc.write_bench5(out_dir) {
+        Ok(()) => {
+            eprintln!("wrote {}", out_dir.join("BENCH_5.json").display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: could not write BENCH_5.json: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_gate(path: &Path) -> ExitCode {
+    let saved = load_stream_probes(path);
+    if saved.is_empty() {
+        eprintln!(
+            "error: {} is missing, empty, or not a mcast-bench-perf-v5 document",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+
+    // The headline probe is validated, not re-run: schema presence, the
+    // million-multicast floor, full completion, and the memory gauges
+    // inside their hard ceilings.
+    let (hname, hmessages, _) = headline_probe();
+    match saved
+        .iter()
+        .find(|p| !p.gated && p.name == hname && p.messages >= hmessages)
+    {
+        Some(h) => {
+            if h.completed != h.messages || !h.within_ceilings() {
+                eprintln!(
+                    "error: headline probe invalid: completed {}/{}, \
+                     peak {} live worms (ceiling {}), peak {} in flight (cap {})",
+                    h.completed,
+                    h.messages,
+                    h.peak_live_worms,
+                    worm_ceiling(h.max_in_flight),
+                    h.peak_in_flight,
+                    h.max_in_flight
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "[gate] headline {} ok: {} multicasts, peak {} live worms \
+                     <= ceiling {} [wall clock report-only: {:.1} ms]",
+                    h.name,
+                    h.messages,
+                    h.peak_live_worms,
+                    worm_ceiling(h.max_in_flight),
+                    h.wall_ms
+                );
+            }
+        }
+        None => {
+            eprintln!(
+                "error: no headline probe ({hname}, >= {hmessages} messages) in {}",
+                path.display()
+            );
+            failed = true;
+        }
+    }
+
+    // Gated probes re-run here and must reproduce the checked-in work
+    // metrics bit for bit (wall clocks are report-only).
+    for (name, messages, cap) in gated_probe_set() {
+        let Some(base) = saved
+            .iter()
+            .find(|p| p.gated && p.name == name && p.messages == messages)
+        else {
+            eprintln!(
+                "error: gated probe {name} ({messages} messages) missing from {} \
+                 (regenerate with --full)",
+                path.display()
+            );
+            failed = true;
+            continue;
+        };
+        let fresh = run_stream_probe(name, messages, cap, true);
+        report(&fresh);
+        if fresh.work() != base.work()
+            || fresh.peak_live_worms != base.peak_live_worms
+            || fresh.peak_in_flight != base.peak_in_flight
+        {
+            eprintln!(
+                "error: {name} drifted from the checked-in baseline \
+                 (regenerate results/BENCH_5.json if the change is intended):\n\
+                 fresh    work={:?} peaks=({}, {})\n\
+                 baseline work={:?} peaks=({}, {})",
+                fresh.work(),
+                fresh.peak_live_worms,
+                fresh.peak_in_flight,
+                base.work(),
+                base.peak_live_worms,
+                base.peak_in_flight
+            );
+            failed = true;
+        }
+        if fresh.completed != fresh.messages || !fresh.within_ceilings() {
+            eprintln!("error: {name} violated completion or memory ceilings");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("[gate] BENCH_5 streaming scale block ok");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--full") | None => run_full(Path::new("results")),
+        Some("--gate") => {
+            let default = "results/BENCH_5.json".to_string();
+            run_gate(Path::new(args.get(1).unwrap_or(&default)))
+        }
+        Some(other) => {
+            eprintln!("usage: stream_scale [--full | --gate <BENCH_5.json>] (got {other:?})");
+            ExitCode::FAILURE
+        }
+    }
+}

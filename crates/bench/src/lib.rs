@@ -17,6 +17,7 @@ pub mod figures_static;
 pub mod perf;
 pub mod report;
 pub mod scale;
+pub mod stream_scale;
 pub mod tables5;
 
 pub use perf::{
@@ -24,6 +25,10 @@ pub use perf::{
 };
 pub use report::Table;
 pub use scale::Scale;
+pub use stream_scale::{
+    gated_probe_set, headline_probe, load_stream_probes, run_stream_probe, worm_ceiling,
+    StreamBench, StreamScaleProbe,
+};
 
 /// Every regenerable experiment, by id.
 pub fn experiment_ids() -> Vec<&'static str> {

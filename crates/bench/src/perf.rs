@@ -147,13 +147,13 @@ pub fn load_baseline_probes(path: &Path) -> Vec<(String, f64)> {
     out
 }
 
-fn field_str(line: &str, key: &str) -> Option<String> {
+pub(crate) fn field_str(line: &str, key: &str) -> Option<String> {
     let start = line.find(key)? + key.len();
     let end = line[start..].find('"')? + start;
     Some(line[start..end].to_string())
 }
 
-fn field_num(line: &str, key: &str) -> Option<f64> {
+pub(crate) fn field_num(line: &str, key: &str) -> Option<f64> {
     let start = line.find(key)? + key.len();
     let rest = &line[start..];
     let end = rest
@@ -269,6 +269,7 @@ impl PerfRecorder {
             },
             loads_ns: vec![600_000.0, 450_000.0, 350_000.0],
             replications: 3,
+            stream: None,
         };
 
         let start = Instant::now();

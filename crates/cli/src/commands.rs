@@ -45,7 +45,7 @@ USAGE:
                  [--replications <R>] [--dests <K>] [--seed <S>]
                  [--jobs <N>] [--engine-jobs <N>] [--compare-serial true|false]
   mcast run      --spec <file.json> [--dry-run true] [--jobs <N>]
-                 [--engine-jobs <N>]
+                 [--engine-jobs <N>] [--stream true] [--messages <N>]
   mcast deadlock --scenario fig6_1|fig6_4 [--algorithm <A>] [--recover true]
   mcast fault-sweep --topology <T> [--algorithm <A>] [--fault-rates 0,0.02,0.05,0.1]
                  [--messages <N>] [--dests <K>] [--seed <S>]
@@ -77,7 +77,11 @@ ALGORITHMS:   dual-path  multi-path  fixed-path  vc-multi-path:<lanes>
 ROUTE-ONLY:   sorted-mp  greedy-st  divided-greedy (mesh)
 RUN:          executes a declarative ExperimentSpec JSON file — the
               load sweep, plus the fault sweep when the spec has a
-              fault section; --dry-run validates without running
+              fault section; --dry-run validates without running;
+              --stream true runs every point through the bounded-memory
+              streaming engine (DESIGN.md §16, O(in-flight) memory) and
+              --messages <N> bounds each point at N injected multicasts
+              instead of the batch-means stopping rule
 FAULT-SWEEP:  dual-path and multi-path plan around faults; any other
               algorithm runs fault-oblivious under abort-and-retry
 TRACE:        trace.json is Chrome trace-event JSON — open it at
@@ -326,12 +330,31 @@ fn sweep_spec(a: &Args) -> Result<ExperimentSpec, CliError> {
 }
 
 /// Parses `--engine-jobs` (single-run engine lanes, DESIGN.md §15);
-/// 0 / absent means 1 lane (the plain serial engine).
+/// 0 / absent means 1 lane (the plain serial engine). Requesting more
+/// lanes than the host has cores is allowed — results are bit-identical
+/// at any lane count — but warns, since the extra lanes only add
+/// windowing overhead.
 fn engine_jobs_flag(a: &Args) -> Result<usize, ArgError> {
     Ok(match a.number::<usize>("engine-jobs", 0)? {
         0 => 1,
-        n => n,
+        n => {
+            if let Some(host) = host_cpus() {
+                if n > host {
+                    eprintln!(
+                        "warning: --engine-jobs {n} exceeds this host's {host} available \
+                         core(s); results are identical but lanes beyond the core count \
+                         only add overhead"
+                    );
+                }
+            }
+            n
+        }
     })
+}
+
+/// Cores available to this process (`None` if the platform won't say).
+fn host_cpus() -> Option<usize> {
+    std::thread::available_parallelism().ok().map(|n| n.get())
 }
 
 /// `mcast sweep …` — the Chapter-7 grid (loads × algorithms ×
@@ -413,6 +436,16 @@ pub fn run(a: &Args) -> Result<(), CliError> {
     if let n @ 2.. = engine_jobs_flag(a)? {
         spec.engine_jobs = n;
     }
+    // --stream / --messages turn on (or tighten) the spec's streaming
+    // section: bounded-memory open-loop points (DESIGN.md §16).
+    let messages = a.number::<u64>("messages", 0)?;
+    if a.get_or("stream", "false") == "true" || messages > 0 {
+        let mut stream = spec.stream.unwrap_or_default();
+        if messages > 0 {
+            stream.messages = Some(messages);
+        }
+        spec.stream = Some(stream);
+    }
     println!(
         "spec {:?}: {} | {} schemes x {} loads x {} replications, k = {}",
         spec.name,
@@ -434,6 +467,17 @@ pub fn run(a: &Args) -> Result<(), CliError> {
         .run_sweep(jobs)
         .map_err(|e| CliError::Runtime(format!("running spec {path}: {}", e.0)))?;
     print_sweep_table(&rows);
+    if spec.stream.is_some() {
+        // The memory gauges are the point of streaming: report the
+        // worst case across every point of the grid.
+        let worms = rows.iter().map(|r| r.result.peak_live_worms).max();
+        let msgs = rows.iter().map(|r| r.result.peak_in_flight).max();
+        println!(
+            "stream: peak {} live worm(s), peak {} in-flight message(s) across all points",
+            worms.unwrap_or(0),
+            msgs.unwrap_or(0)
+        );
+    }
     if spec.fault.is_some() {
         let fault_rows = spec
             .run_fault_sweep()
@@ -1507,6 +1551,49 @@ mod tests {
     }
 
     #[test]
+    fn run_command_streams_with_message_bound() {
+        // --stream / --messages turn the spec's points into
+        // bounded-memory streaming runs; a spec with its own stream
+        // section needs no flags at all.
+        let dir = std::env::temp_dir();
+        let path = dir.join("mcast_cli_test_stream_spec.json");
+        std::fs::write(
+            &path,
+            r#"{"name": "cli-stream", "topology": "mesh:4x4",
+                "schemes": ["dual-path"], "loads_us": [500],
+                "destinations": 4, "replications": 1,
+                "stopping": {"warmup": 20, "batch_size": 10,
+                             "min_batches": 2, "max_batches": 3}}"#,
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+        run(&args(&["run", "--spec", p, "--stream", "true"])).unwrap();
+        run(&args(&["run", "--spec", p, "--messages", "300"])).unwrap();
+        run(&args(&[
+            "run",
+            "--spec",
+            p,
+            "--stream",
+            "true",
+            "--messages",
+            "300",
+            "--engine-jobs",
+            "2",
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn engine_jobs_flag_accepts_oversubscription() {
+        // More lanes than cores stays valid (results are lane-count
+        // independent); the flag parses and only warns on stderr.
+        let a = args(&["sweep", "--engine-jobs", "4096"]);
+        assert_eq!(engine_jobs_flag(&a).unwrap(), 4096);
+        assert!(host_cpus().is_none_or(|n| n >= 1));
+    }
+
+    #[test]
     fn file_errors_are_runtime_not_usage() {
         // A missing or malformed spec file is the work failing, not the
         // invocation: it must exit 1 without re-printing the usage
@@ -1677,6 +1764,7 @@ mod tests {
             seed: 3,
             fault_rate: 0.0,
             engine_jobs: 2,
+            stream: true,
         };
         std::fs::write(&path, scenario.to_spec().to_json()).unwrap();
         let p = path.to_str().unwrap();

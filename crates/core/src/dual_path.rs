@@ -90,6 +90,63 @@ pub fn dual_path<T: Topology + ?Sized>(
     paths
 }
 
+/// Reusable working buffers for [`dual_path_into`]: the `D_H`/`D_L`
+/// destination splits and the node sequence under construction. Holding
+/// one scratch across a long run makes per-message routing allocation-
+/// free once the buffers reach steady-state capacity (DESIGN.md §16).
+#[derive(Debug, Default)]
+pub struct DualPathScratch {
+    high: Vec<NodeId>,
+    low: Vec<NodeId>,
+    nodes: Vec<NodeId>,
+}
+
+impl DualPathScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Allocation-free dual-path routing: computes the same paths as
+/// [`dual_path`] but builds them inside `scratch` and hands each
+/// finished node sequence to `emit` as a borrowed slice (high side
+/// first, empty sides omitted — identical order and contents to
+/// `dual_path`).
+pub fn dual_path_into<T: Topology + ?Sized>(
+    topo: &T,
+    labeling: &Labeling,
+    mc: &MulticastSet,
+    scratch: &mut DualPathScratch,
+    mut emit: impl FnMut(&[NodeId]),
+) {
+    let DualPathScratch { high, low, nodes } = scratch;
+    let l0 = labeling.label(mc.source);
+    high.clear();
+    low.clear();
+    for &d in &mc.destinations {
+        let l = labeling.label(d);
+        if l > l0 {
+            high.push(d);
+        } else if l < l0 {
+            low.push(d);
+        }
+    }
+    high.sort_by_key(|&d| labeling.label(d));
+    low.sort_by_key(|&d| std::cmp::Reverse(labeling.label(d)));
+    for side in [&*high, &*low] {
+        if side.is_empty() {
+            continue;
+        }
+        nodes.clear();
+        nodes.push(mc.source);
+        for &d in side {
+            r_extend(topo, labeling, nodes, d);
+        }
+        emit(nodes);
+    }
+}
+
 /// Convenience: dual-path wrapped as a [`MulticastRoute::Star`].
 pub fn dual_path_route<T: Topology + ?Sized>(
     topo: &T,
@@ -200,6 +257,28 @@ mod tests {
         let mc = MulticastSet::new(13, [0, 26, 7, 19, 22]);
         let paths = dual_path(&m, &l, &mc);
         MulticastRoute::Star(paths).validate(&m, &mc).unwrap();
+    }
+
+    #[test]
+    fn dual_path_into_matches_dual_path_exactly() {
+        let (m, l, mc) = example_6_13();
+        let mut scratch = DualPathScratch::new();
+        // Same scratch reused across messages: results must still match
+        // the allocating path node-for-node, in the same order.
+        for mc in [
+            mc,
+            MulticastSet::new(0, [35, 17]),
+            MulticastSet::new(35, [0]),
+            MulticastSet::new(14, [2, 33, 15, 20]),
+        ] {
+            let want: Vec<Vec<NodeId>> = dual_path(&m, &l, &mc)
+                .iter()
+                .map(|p| p.nodes().to_vec())
+                .collect();
+            let mut got: Vec<Vec<NodeId>> = Vec::new();
+            dual_path_into(&m, &l, &mc, &mut scratch, |nodes| got.push(nodes.to_vec()));
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

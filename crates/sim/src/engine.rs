@@ -231,9 +231,10 @@ impl WormState {
 
 /// Per-destination delivery slots. Single-destination unicasts — the
 /// bulk of a mixed workload — keep theirs inline instead of paying a
-/// heap allocation per message.
+/// heap allocation per message. `pub(crate)` so the window-parallel
+/// executor can buffer retired slots for canonical-order replay.
 #[derive(Debug)]
-enum Deliveries {
+pub(crate) enum Deliveries {
     One((NodeId, Option<Time>)),
     Many(Vec<(NodeId, Option<Time>)>),
 }
@@ -405,6 +406,26 @@ pub struct Engine {
     /// Latched the first time the installed budget reported exhaustion.
     budget_hit: bool,
     next_message_id: MessageId,
+    /// Streaming mode (DESIGN.md §16): retired message *slots* are
+    /// recycled through `msg_free`, so `messages` stays bounded by the
+    /// in-flight high-water mark instead of growing O(total injected).
+    /// Off by default — then slot == external id and every result is
+    /// byte-identical to the pre-streaming engine.
+    stream: bool,
+    /// Free message slots (streaming mode only; mirrors `worm_free`).
+    msg_free: Vec<usize>,
+    /// Recycled `Deliveries::Many` buffers (streaming mode only).
+    spare_slots: Vec<Vec<(NodeId, Option<Time>)>>,
+    /// Recycled `CompletedMessage::deliveries` buffers, refilled by
+    /// [`Engine::drain_completed`] (streaming mode only).
+    spare_done: Vec<Vec<(NodeId, Time)>>,
+    /// High-water mark of live worm slots — the memory gauge proving a
+    /// streaming run's footprint tracks in-flight traffic, not message
+    /// count. Updated at worm build (injection happens between run
+    /// calls, so the gauge is engine-jobs independent).
+    peak_live_worms: usize,
+    /// High-water mark of in-flight messages.
+    peak_in_flight: usize,
     flit_time: Time,
     flits: u32,
     /// Cumulative transfer time per channel (utilization accounting).
@@ -473,6 +494,12 @@ impl Engine {
             budget: None,
             budget_hit: false,
             next_message_id: 0,
+            stream: false,
+            msg_free: Vec::new(),
+            spare_slots: Vec::new(),
+            spare_done: Vec::new(),
+            peak_live_worms: 0,
+            peak_in_flight: 0,
             sink: None,
             par: None,
         }
@@ -608,26 +635,110 @@ impl Engine {
         std::mem::take(&mut self.completed)
     }
 
+    /// Visits and discards every completed message without surrendering
+    /// the backing storage: the batch vec keeps its capacity and, in
+    /// streaming mode, each message's `deliveries` vec returns to the
+    /// engine's spare pool for the next injection — the O(in-flight)
+    /// alternative to [`Engine::take_completed`]'s per-harvest
+    /// allocation (DESIGN.md §16).
+    pub fn drain_completed(&mut self, mut f: impl FnMut(&CompletedMessage)) {
+        let mut batch = std::mem::take(&mut self.completed);
+        for done in batch.drain(..) {
+            f(&done);
+            if self.stream {
+                let mut v = done.deliveries;
+                v.clear();
+                self.spare_done.push(v);
+            }
+        }
+        self.completed = batch;
+    }
+
+    /// Enables or disables streaming (slot-recycling) injection. Must
+    /// be set before the first injection: in streaming mode message
+    /// slots are reused after retirement, so externally reported ids
+    /// (sink events, [`CompletedMessage::id`]) stay monotone while the
+    /// handles returned by [`Engine::inject`] and accepted by
+    /// [`Engine::abort_message`]/[`Engine::delivery_status`] denote
+    /// *live* messages only. Off (the default), slot == id and the
+    /// engine behaves exactly as before.
+    pub fn set_stream_mode(&mut self, on: bool) {
+        self.stream = on;
+    }
+
+    /// Whether streaming (slot-recycling) injection is enabled.
+    pub fn stream_mode(&self) -> bool {
+        self.stream
+    }
+
+    /// Worm slots currently live (allocated and not on the freelist).
+    pub fn live_worms(&self) -> usize {
+        self.worms.len() - self.worm_free.len()
+    }
+
+    /// High-water mark of live worm slots over the engine's lifetime —
+    /// in a streaming run this is bounded by in-flight traffic, not by
+    /// the number of messages injected.
+    pub fn peak_live_worms(&self) -> usize {
+        self.peak_live_worms
+    }
+
+    /// High-water mark of in-flight messages.
+    pub fn peak_in_flight(&self) -> usize {
+        self.peak_in_flight
+    }
+
+    /// Message slots allocated (live + free). Grows O(messages) without
+    /// streaming, O(peak in-flight) with it.
+    pub fn message_slots(&self) -> usize {
+        self.messages.len()
+    }
+
     /// Injects a multicast message at the current simulation time.
-    /// Returns its id. Zero-worm plans complete immediately.
+    /// Returns its handle — equal to the externally reported id unless
+    /// streaming mode recycled a slot ([`Engine::set_stream_mode`]).
+    /// Zero-worm plans complete immediately.
     pub fn inject(&mut self, plan: &DeliveryPlan) -> MessageId {
         let id = self.next_message_id;
         self.next_message_id += 1;
         let traffic = plan.traffic();
+        let deliveries = if self.stream {
+            match plan.destinations[..] {
+                [d] => Deliveries::One((d, None)),
+                ref ds => {
+                    let mut v = self.spare_slots.pop().unwrap_or_default();
+                    v.extend(ds.iter().map(|&d| (d, None)));
+                    Deliveries::Many(v)
+                }
+            }
+        } else {
+            Deliveries::new(&plan.destinations)
+        };
         let msg = MessageState {
             id,
             source: plan.source,
             injected_at: self.now,
-            deliveries: Deliveries::new(&plan.destinations),
+            deliveries,
             worms_total: plan.worms.len(),
             worms_done: 0,
             traffic,
             delivered_count: 0,
         };
-        self.messages.push(Some(msg));
-        let msg_slot = self.messages.len() - 1;
-        debug_assert_eq!(msg_slot, id);
+        let msg_slot = match self.msg_free.pop() {
+            Some(slot) => {
+                debug_assert!(self.stream && self.messages[slot].is_none());
+                self.messages[slot] = Some(msg);
+                slot
+            }
+            None => {
+                self.messages.push(Some(msg));
+                let slot = self.messages.len() - 1;
+                debug_assert!(self.stream || slot == id);
+                slot
+            }
+        };
         self.in_flight += 1;
+        self.peak_in_flight = self.peak_in_flight.max(self.in_flight);
         if self.sink.is_some() {
             self.emit(SimEvent::MessageInjected {
                 at: self.now,
@@ -662,12 +773,12 @@ impl Engine {
         }
 
         if plan.worms.is_empty() {
-            finish_message(self, id);
-            return id;
+            finish_message(self, msg_slot);
+            return msg_slot;
         }
 
         for w in &plan.worms {
-            let widx = self.build_worm(id, w);
+            let widx = self.build_worm(msg_slot, w);
             match self.worms[widx].kind {
                 WormKind::Circuit => {
                     // The control packet claims one channel at a time.
@@ -685,7 +796,7 @@ impl Engine {
                 }
             }
         }
-        id
+        msg_slot
     }
 
     fn build_worm(&mut self, message: MessageId, plan: &PlanWorm) -> usize {
@@ -699,6 +810,9 @@ impl Engine {
                 self.worms.len() - 1
             }
         };
+        self.peak_live_worms = self
+            .peak_live_worms
+            .max(self.worms.len() - self.worm_free.len());
         let kind = match plan {
             PlanWorm::Path(_) => WormKind::Path,
             PlanWorm::Tree(_) => WormKind::Tree,
@@ -1063,12 +1177,24 @@ impl Engine {
     }
 
     /// Ids of messages injected but neither completed nor aborted.
+    /// These are *slot* handles: under streaming injection slots
+    /// recycle, so prefer [`Engine::live_message_ids`] when comparing
+    /// runs.
     pub fn live_messages(&self) -> Vec<MessageId> {
         self.messages
             .iter()
             .enumerate()
             .filter_map(|(i, m)| m.as_ref().map(|_| i))
             .collect()
+    }
+
+    /// External ids of live messages, ascending — stable across
+    /// streaming and non-streaming runs (external ids never recycle;
+    /// without streaming this equals [`Engine::live_messages`]).
+    pub fn live_message_ids(&self) -> Vec<MessageId> {
+        let mut ids: Vec<MessageId> = self.messages.iter().flatten().map(|m| m.id).collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Per-destination delivery times of a live message (`None` entries
@@ -1237,10 +1363,17 @@ impl Engine {
         }
         self.emit(SimEvent::MessageAborted {
             at: self.now,
-            message: msg,
+            message: m.id,
             delivered: delivered.len(),
             pending: pending.len(),
         });
+        if self.stream {
+            if let Deliveries::Many(mut v) = m.deliveries {
+                v.clear();
+                self.spare_slots.push(v);
+            }
+            self.msg_free.push(msg);
+        }
         Some(AbortedMessage {
             id: m.id,
             source: m.source,
@@ -1249,6 +1382,23 @@ impl Engine {
             pending,
             traffic: m.traffic,
         })
+    }
+
+    /// Retires message slot `slot`, recycling its delivery buffer — the
+    /// serial half of [`ExecCtx::retire_msg`], also called by the
+    /// window-parallel merge when it replays buffered retirements in
+    /// canonical cohort order (so `msg_free` ends up in the exact order
+    /// serial execution would produce). A no-op (beyond dropping the
+    /// buffer) when streaming is off, preserving the grow-only slot ==
+    /// id invariant byte-for-byte.
+    pub(crate) fn retire_slot(&mut self, slot: usize, d: Deliveries) {
+        if self.stream {
+            if let Deliveries::Many(mut v) = d {
+                v.clear();
+                self.spare_slots.push(v);
+            }
+            self.msg_free.push(slot);
+        }
     }
 }
 
@@ -1306,6 +1456,20 @@ pub(crate) trait ExecCtx {
     fn push_completed(&mut self, done: CompletedMessage);
     fn free_worm(&mut self, w: usize);
     fn dec_in_flight(&mut self);
+    /// Externally reported id of the live message in `slot` (equal to
+    /// `slot` unless streaming mode recycled it). Sink events carry
+    /// this, never the slot, so streamed and non-streamed runs emit
+    /// identical event streams.
+    fn msg_id(&mut self, slot: MessageId) -> MessageId {
+        self.msg(slot).as_ref().map_or(slot, |m| m.id)
+    }
+    /// Retires a finished message slot, recycling its delivery buffer
+    /// (serial: immediately; parallel: buffered and replayed in
+    /// canonical cohort order at merge).
+    fn retire_msg(&mut self, slot: MessageId, d: Deliveries);
+    /// An empty buffer for a completed message's delivery list —
+    /// pooled in streaming mode, freshly allocated otherwise.
+    fn take_done_buf(&mut self) -> Vec<(NodeId, Time)>;
 }
 
 impl ExecCtx for Engine {
@@ -1383,6 +1547,18 @@ impl ExecCtx for Engine {
     fn dec_in_flight(&mut self) {
         self.in_flight -= 1;
     }
+    #[inline]
+    fn retire_msg(&mut self, slot: MessageId, d: Deliveries) {
+        self.retire_slot(slot, d);
+    }
+    #[inline]
+    fn take_done_buf(&mut self) -> Vec<(NodeId, Time)> {
+        if self.stream {
+            self.spare_done.pop().unwrap_or_default()
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 /// Applies one popped event: the stale-generation / inactive-worm
@@ -1455,7 +1631,9 @@ pub(crate) fn request_channel<C: ExecCtx>(cx: &mut C, w: usize, e: usize) {
         // recovery layer (the plain engine then reports it via
         // `stalled_messages`).
         cx.worm(w).stalled = true;
-        let (at, message) = (cx.now(), cx.worm_ref(w).message);
+        let at = cx.now();
+        let slot = cx.worm_ref(w).message;
+        let message = cx.msg_id(slot);
         cx.emit_ev(SimEvent::WormStalled { at, message });
         return;
     };
@@ -1466,7 +1644,9 @@ pub(crate) fn request_channel<C: ExecCtx>(cx: &mut C, w: usize, e: usize) {
         es.queued_on = Some(target);
     }
     if cx.sink_on() {
-        let (at, message) = (cx.now(), cx.worm_ref(w).message);
+        let at = cx.now();
+        let slot = cx.worm_ref(w).message;
+        let message = cx.msg_id(slot);
         cx.emit_ev(SimEvent::ChannelBlocked {
             at,
             channel: target,
@@ -1490,7 +1670,9 @@ fn grant<C: ExecCtx>(cx: &mut C, chan: ChannelId, w: usize, e: usize) {
     debug_assert!(cx.chan_alive(chan), "granting a dead channel");
     cx.chan(chan).owner = Some((w, e));
     if cx.sink_on() {
-        let (at, message) = (cx.now(), cx.worm_ref(w).message);
+        let at = cx.now();
+        let slot = cx.worm_ref(w).message;
+        let message = cx.msg_id(slot);
         cx.emit_ev(SimEvent::ChannelAcquired {
             at,
             channel: chan,
@@ -1543,7 +1725,9 @@ fn release<C: ExecCtx>(cx: &mut C, chan: ChannelId) {
     }
     if cx.sink_on() {
         if let Some((w, _)) = cx.chan_ref(chan).owner {
-            let (at, message) = (cx.now(), cx.worm_ref(w).message);
+            let at = cx.now();
+            let slot = cx.worm_ref(w).message;
+            let message = cx.msg_id(slot);
             cx.emit_ev(SimEvent::ChannelReleased {
                 at,
                 channel: chan,
@@ -1650,6 +1834,7 @@ fn try_start<C: ExecCtx>(cx: &mut C, w: usize, e: usize) {
     cx.count_flit_hop();
     if cx.sink_on() {
         let start = cx.now();
+        let message = cx.msg_id(message);
         cx.emit_ev(SimEvent::FlitHop {
             start,
             end: start + dt,
@@ -1762,7 +1947,7 @@ fn on_transfer_complete<C: ExecCtx>(cx: &mut C, w: usize, e: usize) {
 
 fn record_delivery<C: ExecCtx>(cx: &mut C, msg: MessageId, node: NodeId) {
     let now = cx.now();
-    let newly = {
+    let (newly, id) = {
         let m = cx.msg(msg).as_mut().expect("message live");
         let mut newly = 0;
         for (d, t) in m.deliveries.slots_mut() {
@@ -1772,12 +1957,12 @@ fn record_delivery<C: ExecCtx>(cx: &mut C, msg: MessageId, node: NodeId) {
             }
         }
         m.delivered_count += newly;
-        newly
+        (newly, m.id)
     };
     if newly > 0 && cx.sink_on() {
         cx.emit_ev(SimEvent::Delivered {
             at: now,
-            message: msg,
+            message: id,
             node,
         });
     }
@@ -1785,22 +1970,18 @@ fn record_delivery<C: ExecCtx>(cx: &mut C, msg: MessageId, node: NodeId) {
 
 fn finish_message<C: ExecCtx>(cx: &mut C, msg: MessageId) {
     let m = cx.msg(msg).take().expect("message live");
-    let deliveries: Vec<(NodeId, Time)> = m
-        .deliveries
-        .slots()
-        .iter()
-        .map(|&(d, t)| {
-            (
-                d,
-                // INVARIANT: finish_message runs only when every worm
-                // completed, every plan covers its destination set,
-                // and aborted messages exit via abort_message (which
-                // reports partial delivery) — so a hole here means a
-                // plan/engine bug, not a runtime condition.
-                t.unwrap_or_else(|| panic!("destination {d} never delivered by message {}", m.id)),
-            )
-        })
-        .collect();
+    let mut deliveries = cx.take_done_buf();
+    deliveries.extend(m.deliveries.slots().iter().map(|&(d, t)| {
+        (
+            d,
+            // INVARIANT: finish_message runs only when every worm
+            // completed, every plan covers its destination set,
+            // and aborted messages exit via abort_message (which
+            // reports partial delivery) — so a hole here means a
+            // plan/engine bug, not a runtime condition.
+            t.unwrap_or_else(|| panic!("destination {d} never delivered by message {}", m.id)),
+        )
+    }));
     let completed_at = deliveries
         .iter()
         .map(|&(_, t)| t)
@@ -1817,9 +1998,10 @@ fn finish_message<C: ExecCtx>(cx: &mut C, msg: MessageId) {
     cx.dec_in_flight();
     cx.emit_ev(SimEvent::MessageCompleted {
         at: completed_at,
-        message: msg,
+        message: m.id,
         latency_ns: completed_at - m.injected_at,
     });
+    cx.retire_msg(msg, m.deliveries);
 }
 
 impl Engine {
@@ -2132,6 +2314,98 @@ mod tests {
         }
         assert!(e.run_to_quiescence(), "label-monotone circuits wedged");
         assert_eq!(e.take_completed().len(), 16);
+    }
+
+    #[test]
+    fn streaming_bounds_slots_and_reports_identical_results() {
+        // 60 sequential multicasts: the plain engine grows one message
+        // slot per injection; the streaming engine recycles retired
+        // slots, so its slot table stays at the in-flight high-water
+        // mark — while every reported result (external ids included)
+        // is identical.
+        let mut plain = engine_4x4();
+        let mut stream = engine_4x4();
+        stream.set_stream_mode(true);
+        fn xy(mut a: usize, b: usize) -> Vec<NodeId> {
+            let mut v = vec![a];
+            while a % 4 != b % 4 {
+                a = if b % 4 > a % 4 { a + 1 } else { a - 1 };
+                v.push(a);
+            }
+            while a / 4 != b / 4 {
+                a = if b / 4 > a / 4 { a + 4 } else { a - 4 };
+                v.push(a);
+            }
+            v
+        }
+        let mut plain_done = Vec::new();
+        let mut stream_done = Vec::new();
+        for i in 0..60usize {
+            let src = i % 16;
+            let dst = (i * 7 + 3) % 16;
+            if dst == src {
+                continue;
+            }
+            let nodes = xy(src, dst);
+            let dests = if nodes.len() > 2 {
+                vec![nodes[nodes.len() / 2], dst]
+            } else {
+                vec![dst]
+            };
+            let plan = path_plan(nodes, dests);
+            plain.inject(&plan);
+            stream.inject(&plan);
+            assert!(plain.run_to_quiescence());
+            assert!(stream.run_to_quiescence());
+            plain_done.extend(plain.take_completed().iter().map(|c| format!("{c:?}")));
+            stream.drain_completed(|c| stream_done.push(format!("{c:?}")));
+        }
+        assert_eq!(plain_done, stream_done);
+        assert_eq!(plain.message_slots(), 60);
+        assert!(
+            stream.message_slots() <= stream.peak_in_flight(),
+            "stream slots {} > peak in-flight {}",
+            stream.message_slots(),
+            stream.peak_in_flight()
+        );
+        assert_eq!(stream.peak_in_flight(), 1);
+        assert!(stream.peak_live_worms() >= 1);
+        assert_eq!(stream.live_worms(), 0);
+    }
+
+    #[test]
+    fn streaming_multi_dest_paths_match_and_pool_buffers() {
+        // Multi-destination paths exercise the Deliveries::Many pool
+        // and the pooled done-buffers; overlap several messages so
+        // slots recycle out of order.
+        let mut plain = engine_4x4();
+        let mut stream = engine_4x4();
+        stream.set_stream_mode(true);
+        for e in [&mut plain, &mut stream] {
+            for s in 0..4usize {
+                e.inject(&path_plan(
+                    vec![s, s + 4, s + 8, s + 12],
+                    vec![s + 4, s + 12],
+                ));
+            }
+            assert!(e.run_to_quiescence());
+            for s in 0..4usize {
+                e.inject(&path_plan(
+                    vec![s * 4, s * 4 + 1, s * 4 + 2],
+                    vec![s * 4 + 2],
+                ));
+            }
+            assert!(e.run_to_quiescence());
+        }
+        let a = plain.take_completed();
+        let mut b = Vec::new();
+        stream.drain_completed(|c| b.push(format!("{c:?}")));
+        assert_eq!(a.iter().map(|c| format!("{c:?}")).collect::<Vec<_>>(), b);
+        assert!(
+            stream.message_slots() <= 4,
+            "slots: {}",
+            stream.message_slots()
+        );
     }
 
     #[test]

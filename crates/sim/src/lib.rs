@@ -42,7 +42,7 @@ pub use mcast_obs as obs;
 pub use engine::{AbortedMessage, CompletedMessage, Engine, MessageId, RunBudget, SimConfig, Time};
 pub use error::SimError;
 pub use network::{ChannelId, Network};
-pub use plan::{ClassChoice, DeliveryPlan, PlanPath, PlanTree, PlanWorm};
+pub use plan::{ClassChoice, DeliveryPlan, PlanArena, PlanPath, PlanTree, PlanWorm};
 pub use recovery::{
     AbortReason, FaultDualPathRouter, FaultMultiPathRouter, FaultMulticastRouter, FaultPlan,
     MessageOutcome, ObliviousRouter, RecoveryEngine, RecoveryEvent, RecoveryPolicy, RecoveryStats,

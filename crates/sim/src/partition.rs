@@ -52,10 +52,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use mcast_obs::SimEvent;
+use mcast_topology::NodeId;
 
 use crate::engine::{
-    exec_event, ChanState, CompletedMessage, Engine, Event, ExecCtx, MessageState, SimEnv, Time,
-    WormState,
+    exec_event, ChanState, CompletedMessage, Deliveries, Engine, Event, ExecCtx, MessageState,
+    SimEnv, Time, WormState,
 };
 use crate::network::ChannelId;
 
@@ -225,6 +226,11 @@ struct CompCtx {
     emits: Vec<SimEvent>,
     completed: Vec<CompletedMessage>,
     freed: Vec<usize>,
+    /// Retired message slots (streaming mode) with their delivery
+    /// buffers — replayed through `Engine::retire_slot` in canonical
+    /// cohort order so `msg_free` matches serial exactly. `Option` so
+    /// the merge can move each entry out of a shared borrow.
+    retired: Vec<Option<(usize, Deliveries)>>,
     /// `(channel, dt)` utilization charges — a commutative sum, so
     /// merge order is irrelevant.
     busy: Vec<(ChannelId, Time)>,
@@ -242,6 +248,7 @@ struct Marks {
     emits: usize,
     completed: usize,
     freed: usize,
+    retired: usize,
 }
 
 impl CompCtx {
@@ -328,6 +335,14 @@ impl ExecCtx for CompCtx {
     fn dec_in_flight(&mut self) {
         self.in_flight_dec += 1;
     }
+    fn retire_msg(&mut self, slot: usize, d: Deliveries) {
+        self.retired.push(Some((slot, d)));
+    }
+    fn take_done_buf(&mut self) -> Vec<(NodeId, Time)> {
+        // Components cannot reach the engine's spare pool; a fresh
+        // buffer holds identical values (capacity is not observable).
+        Vec::new()
+    }
 }
 
 /// Runs a component's cohort slice sequentially, recording effect
@@ -342,6 +357,7 @@ fn run_component(ctx: &mut CompCtx) {
             emits: ctx.emits.len(),
             completed: ctx.completed.len(),
             freed: ctx.freed.len(),
+            retired: ctx.retired.len(),
         });
     }
 }
@@ -604,6 +620,7 @@ fn execute_window(engine: &mut Engine, par: &mut ParallelExec, cohort: &[(Time, 
                 emits: Vec::new(),
                 completed: Vec::new(),
                 freed: Vec::new(),
+                retired: Vec::new(),
                 busy: Vec::new(),
                 flit_hops: 0,
                 in_flight_dec: 0,
@@ -681,24 +698,37 @@ fn execute_window(engine: &mut Engine, par: &mut ParallelExec, cohort: &[(Time, 
     // component's buffers are consumed monotonically via its marks.
     for l in &loc {
         let &Some((ci, k)) = l else { continue };
-        let ctx = &results[ci];
-        let lo = if k == 0 {
-            Marks::default()
-        } else {
-            ctx.marks[k - 1]
+        let (lo, hi) = {
+            let ctx = &results[ci];
+            let lo = if k == 0 {
+                Marks::default()
+            } else {
+                ctx.marks[k - 1]
+            };
+            let hi = ctx.marks[k];
+            for &(at, ev) in &ctx.pushes[lo.pushes..hi.pushes] {
+                engine.events.push(at, ev);
+            }
+            for &ev in &ctx.emits[lo.emits..hi.emits] {
+                engine.emit(ev);
+            }
+            for done in &ctx.completed[lo.completed..hi.completed] {
+                engine.completed.push(done.clone());
+            }
+            for &w in &ctx.freed[lo.freed..hi.freed] {
+                engine.worm_free.push(w);
+            }
+            (lo, hi)
         };
-        let hi = ctx.marks[k];
-        for &(at, ev) in &ctx.pushes[lo.pushes..hi.pushes] {
-            engine.events.push(at, ev);
-        }
-        for &ev in &ctx.emits[lo.emits..hi.emits] {
-            engine.emit(ev);
-        }
-        for done in &ctx.completed[lo.completed..hi.completed] {
-            engine.completed.push(done.clone());
-        }
-        for &w in &ctx.freed[lo.freed..hi.freed] {
-            engine.worm_free.push(w);
+        // Retirements recycle message slots: replaying them here, in
+        // the same canonical order, makes the streaming `msg_free`
+        // stack bit-identical to serial execution (slot reuse order is
+        // observable through later checkouts and `Key::Msg` keys).
+        for j in lo.retired..hi.retired {
+            let (slot, d) = results[ci].retired[j]
+                .take()
+                .expect("retired slot replayed exactly once");
+            engine.retire_slot(slot, d);
         }
     }
     engine.now = cohort[cohort.len() - 1].0;

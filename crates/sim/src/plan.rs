@@ -129,6 +129,75 @@ impl DeliveryPlan {
     }
 }
 
+/// A reusable buffer pool for building `DeliveryPlan`s without
+/// per-message allocation (DESIGN.md §16). Routers that implement
+/// `plan_into` draw node/edge buffers from the arena and the streaming
+/// runner recycles the finished plan back into it, so steady-state plan
+/// construction performs no heap allocation at all once the pools warm
+/// up.
+#[derive(Debug, Default)]
+pub struct PlanArena {
+    node_bufs: Vec<Vec<NodeId>>,
+    edge_bufs: Vec<Vec<(NodeId, NodeId, ClassChoice)>>,
+    dual_scratch: mcast_core::dual_path::DualPathScratch,
+}
+
+impl PlanArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes an empty node buffer from the pool (or allocates one).
+    pub fn node_buf(&mut self) -> Vec<NodeId> {
+        self.node_bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns an unused node buffer to the pool.
+    pub fn put_node_buf(&mut self, mut buf: Vec<NodeId>) {
+        buf.clear();
+        self.node_bufs.push(buf);
+    }
+
+    /// Working buffers for the dual-path routing family, kept here so a
+    /// `&mut PlanArena` is the only state `plan_into` needs.
+    pub fn dual_scratch(&mut self) -> &mut mcast_core::dual_path::DualPathScratch {
+        &mut self.dual_scratch
+    }
+
+    /// Takes an empty edge buffer from the pool (or allocates one).
+    pub fn edge_buf(&mut self) -> Vec<(NodeId, NodeId, ClassChoice)> {
+        self.edge_bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns every buffer inside `plan` to the pool, leaving the plan
+    /// empty but with its `worms` capacity intact for reuse.
+    pub fn recycle(&mut self, plan: &mut DeliveryPlan) {
+        let mut dests = std::mem::take(&mut plan.destinations);
+        dests.clear();
+        self.node_bufs.push(dests);
+        for worm in plan.worms.drain(..) {
+            match worm {
+                PlanWorm::Path(p) | PlanWorm::Circuit(p) => {
+                    let mut nodes = p.nodes;
+                    nodes.clear();
+                    self.node_bufs.push(nodes);
+                }
+                PlanWorm::Tree(t) => {
+                    let mut edges = t.edges;
+                    edges.clear();
+                    self.edge_bufs.push(edges);
+                }
+            }
+        }
+    }
+
+    /// Number of pooled buffers (diagnostic; bounds allocation churn).
+    pub fn pooled(&self) -> usize {
+        self.node_bufs.len() + self.edge_bufs.len()
+    }
+}
+
 fn plan_tree<F>(tree: &TreeRoute, mut class_of: F) -> PlanTree
 where
     F: FnMut(NodeId, NodeId) -> ClassChoice,
@@ -176,6 +245,26 @@ mod tests {
             seen.push(to);
         }
         assert_eq!(plan.traffic(), 4);
+    }
+
+    #[test]
+    fn arena_recycles_every_buffer() {
+        let mut arena = PlanArena::new();
+        let mc = MulticastSet::new(0, [2, 3]);
+        let paths = vec![PathRoute::new(vec![0, 1, 2]), PathRoute::new(vec![0, 3])];
+        let mut plan = DeliveryPlan::from_paths(&mc, &paths, ClassChoice::Any);
+        let mut t = TreeRoute::new(0);
+        t.attach(0, 1);
+        plan.worms
+            .push(PlanWorm::Tree(plan_tree(&t, |_, _| ClassChoice::Any)));
+        arena.recycle(&mut plan);
+        // destinations + two path node buffers + one tree edge buffer.
+        assert_eq!(arena.pooled(), 4);
+        assert!(plan.worms.is_empty());
+        assert!(plan.destinations.is_empty());
+        // Buffers come back empty and are reused, not reallocated.
+        let b = arena.node_buf();
+        assert!(b.is_empty() && b.capacity() > 0);
     }
 
     #[test]

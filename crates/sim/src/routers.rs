@@ -10,7 +10,7 @@ use mcast_core::model::MulticastSet;
 use mcast_topology::labeling::{hypercube_gray, mesh2d_snake};
 use mcast_topology::{Hypercube, Labeling, Mesh2D, Topology};
 
-use crate::plan::{ClassChoice, DeliveryPlan};
+use crate::plan::{ClassChoice, DeliveryPlan, PlanArena, PlanPath, PlanWorm};
 
 /// A multicast routing scheme usable by the simulator.
 pub trait MulticastRouter {
@@ -24,6 +24,16 @@ pub trait MulticastRouter {
 
     /// Produces the delivery plan for a multicast set.
     fn plan(&self, mc: &MulticastSet) -> DeliveryPlan;
+
+    /// Builds the plan for `mc` into `out`, recycling `out`'s previous
+    /// buffers through `arena` (DESIGN.md §16). The result must be
+    /// identical to `plan(mc)`; the default implementation guarantees
+    /// that by delegating. Routers on the streaming hot path override
+    /// this to reuse arena buffers instead of allocating.
+    fn plan_into(&self, mc: &MulticastSet, arena: &mut PlanArena, out: &mut DeliveryPlan) {
+        arena.recycle(out);
+        *out = self.plan(mc);
+    }
 }
 
 impl<R: MulticastRouter + ?Sized> MulticastRouter for Box<R> {
@@ -37,6 +47,10 @@ impl<R: MulticastRouter + ?Sized> MulticastRouter for Box<R> {
 
     fn plan(&self, mc: &MulticastSet) -> DeliveryPlan {
         self.as_ref().plan(mc)
+    }
+
+    fn plan_into(&self, mc: &MulticastSet, arena: &mut PlanArena, out: &mut DeliveryPlan) {
+        self.as_ref().plan_into(mc, arena, out)
     }
 }
 
@@ -91,6 +105,38 @@ impl<T: Topology> MulticastRouter for DualPathRouter<T> {
     fn plan(&self, mc: &MulticastSet) -> DeliveryPlan {
         let paths = mcast_core::dual_path::dual_path(&self.topo, &self.labeling, mc);
         DeliveryPlan::from_paths(mc, &paths, self.class)
+    }
+
+    fn plan_into(&self, mc: &MulticastSet, arena: &mut PlanArena, out: &mut DeliveryPlan) {
+        arena.recycle(out);
+        out.source = mc.source;
+        let mut dests = arena.node_buf();
+        dests.extend_from_slice(&mc.destinations);
+        out.destinations = dests;
+        // At most two paths (high/low); pre-draw their buffers so the
+        // emit closure never touches the arena while the scratch is
+        // borrowed out of it.
+        let mut bufs = [Some(arena.node_buf()), Some(arena.node_buf())];
+        let mut next = 0;
+        let class = self.class;
+        mcast_core::dual_path::dual_path_into(
+            &self.topo,
+            &self.labeling,
+            mc,
+            arena.dual_scratch(),
+            |nodes| {
+                let mut buf = bufs[next]
+                    .take()
+                    .expect("dual-path emits at most two paths");
+                next += 1;
+                buf.extend_from_slice(nodes);
+                out.worms
+                    .push(PlanWorm::Path(PlanPath { nodes: buf, class }));
+            },
+        );
+        for b in bufs.into_iter().flatten() {
+            arena.put_node_buf(b);
+        }
     }
 }
 
@@ -291,6 +337,17 @@ impl<T: Topology> MulticastRouter for CircuitDualPathRouter<T> {
         }
         plan
     }
+
+    fn plan_into(&self, mc: &MulticastSet, arena: &mut PlanArena, out: &mut DeliveryPlan) {
+        self.inner.plan_into(mc, arena, out);
+        for w in &mut out.worms {
+            if let PlanWorm::Path(p) = w {
+                let class = p.class;
+                let nodes = std::mem::take(&mut p.nodes);
+                *w = PlanWorm::Circuit(PlanPath { nodes, class });
+            }
+        }
+    }
 }
 
 /// Runs any scheme on a network with (at least) a given number of
@@ -322,6 +379,10 @@ impl<R: MulticastRouter> MulticastRouter for ClassOverrideRouter<R> {
 
     fn plan(&self, mc: &MulticastSet) -> DeliveryPlan {
         self.inner.plan(mc)
+    }
+
+    fn plan_into(&self, mc: &MulticastSet, arena: &mut PlanArena, out: &mut DeliveryPlan) {
+        self.inner.plan_into(mc, arena, out)
     }
 }
 
@@ -532,6 +593,34 @@ mod tests {
         for r in &routers {
             let plan = r.plan(&mc);
             assert!(plan.traffic() >= 4, "{}", r.name());
+        }
+    }
+
+    #[test]
+    fn plan_into_matches_plan_for_every_router() {
+        // One shared arena + plan reused across routers and messages:
+        // the streamed construction must equal the allocating one
+        // exactly (same worms, same order, same classes).
+        let mesh = Mesh2D::new(6, 6);
+        let routers: Vec<Box<dyn MulticastRouter>> = vec![
+            Box::new(DualPathRouter::mesh(mesh)),
+            Box::new(CircuitDualPathRouter::mesh(mesh)),
+            Box::new(ClassOverrideRouter::new(DualPathRouter::mesh(mesh), 2)),
+            Box::new(MultiPathMeshRouter::new(mesh)),
+            Box::new(DoubleChannelTreeRouter::new(mesh)),
+        ];
+        let mut arena = PlanArena::new();
+        let mut out = DeliveryPlan {
+            source: 0,
+            destinations: Vec::new(),
+            worms: Vec::new(),
+        };
+        for r in &routers {
+            for (src, dests) in [(14usize, vec![0, 35, 7]), (0, vec![20]), (35, vec![1, 2])] {
+                let mc = MulticastSet::new(src, dests);
+                r.plan_into(&mc, &mut arena, &mut out);
+                assert_eq!(out, r.plan(&mc), "{}", r.name());
+            }
         }
     }
 

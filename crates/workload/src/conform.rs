@@ -69,6 +69,11 @@ pub struct VerifyScenario {
     /// recorded event stream — must match the serial optimized run bit
     /// for bit.
     pub engine_jobs: usize,
+    /// When true the optimized engine runs an extra leg in streaming
+    /// (slot-recycling) mode — combined with `engine_jobs` lanes if
+    /// both are drawn — and its trace plus full event stream must match
+    /// the serial non-streaming run bit for bit (DESIGN.md §16).
+    pub stream: bool,
 }
 
 impl VerifyScenario {
@@ -93,6 +98,9 @@ impl VerifyScenario {
             keep_connected: true,
         });
         spec.engine_jobs = self.engine_jobs;
+        if self.stream {
+            spec.stream = Some(crate::spec::StreamSpec::default());
+        }
         spec
     }
 
@@ -123,6 +131,7 @@ impl VerifyScenario {
             seed: spec.seed,
             fault_rate,
             engine_jobs: spec.engine_jobs,
+            stream: spec.stream.is_some(),
         })
     }
 
@@ -134,6 +143,7 @@ impl VerifyScenario {
             + self.topology.num_nodes() as u64 * 1_000
             + self.destinations as u64 * 10
             + u64::from(self.engine_jobs > 1) * 7
+            + u64::from(self.stream) * 6
             + u64::from(self.fault_rate > 0.0) * 5
             + load_heaviness.min(4)
     }
@@ -143,7 +153,7 @@ impl std::fmt::Display for VerifyScenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} / {} pattern={} load={}us dests={} messages={} seed={} fault={} engine-jobs={}",
+            "{} / {} pattern={} load={}us dests={} messages={} seed={} fault={} engine-jobs={} stream={}",
             self.topology,
             self.scheme,
             match self.pattern {
@@ -156,6 +166,7 @@ impl std::fmt::Display for VerifyScenario {
             self.seed,
             self.fault_rate,
             self.engine_jobs,
+            self.stream,
         )
     }
 }
@@ -251,6 +262,7 @@ fn run_optimized(
     topo: &TopoSpec,
     chaos: bool,
     engine_jobs: usize,
+    stream: bool,
 ) -> (RunTrace, Vec<SimEvent>, Vec<Option<DeliveryPlan>>) {
     let built = topo.build();
     let mut engine = Engine::new(
@@ -259,6 +271,7 @@ fn run_optimized(
     );
     engine.set_chaos_swap_class(chaos);
     engine.set_engine_jobs(engine_jobs);
+    engine.set_stream_mode(stream);
     let recording = Recording::new();
     engine.set_sink(Box::new(recording.clone()));
     let broken = engine.apply_fault_mask(&wl.mask);
@@ -268,7 +281,11 @@ fn run_optimized(
     for (t, plan) in &wl.arrivals {
         engine.run_until(*t);
         match engine.inject_checked(plan) {
-            Ok(id) => {
+            Ok(slot) => {
+                // External ids are assigned sequentially per successful
+                // injection; under streaming the returned slot recycles,
+                // so index by injection order instead.
+                let id = if stream { plans.len() } else { slot };
                 if plans.len() <= id {
                     plans.resize(id + 1, None);
                 }
@@ -278,15 +295,28 @@ fn run_optimized(
         }
     }
     let quiesced = engine.run_to_quiescence();
-    let mut completed: Vec<CompletedRecord> = engine
-        .take_completed()
-        .into_iter()
-        .map(|c| CompletedRecord {
-            id: c.id,
-            latency_ns: c.completed_at - c.injected_at,
-            deliveries: c.deliveries,
-        })
-        .collect();
+    let mut completed: Vec<CompletedRecord> = Vec::new();
+    if stream {
+        // Exercise the zero-copy harvest path the streaming runner uses.
+        engine.drain_completed(|c| {
+            completed.push(CompletedRecord {
+                id: c.id,
+                latency_ns: c.completed_at - c.injected_at,
+                deliveries: c.deliveries.clone(),
+            })
+        });
+    } else {
+        completed.extend(
+            engine
+                .take_completed()
+                .into_iter()
+                .map(|c| CompletedRecord {
+                    id: c.id,
+                    latency_ns: c.completed_at - c.injected_at,
+                    deliveries: c.deliveries,
+                }),
+        );
+    }
     completed.sort_by_key(|c| c.id);
     let trace = RunTrace {
         quiesced,
@@ -295,7 +325,7 @@ fn run_optimized(
         injected: plans.iter().filter(|p| p.is_some()).count(),
         dropped,
         completed,
-        live: engine.live_messages(),
+        live: engine.live_message_ids(),
     };
     (trace, recording.take(), plans)
 }
@@ -571,11 +601,11 @@ fn plans_cdg(plans: &[Option<DeliveryPlan>], classes: u8) -> Option<ChannelDepen
 /// must be identical, not just the aggregate trace.
 pub fn check_scenario(s: &VerifyScenario, chaos: bool) -> Result<Vec<String>, RegistryError> {
     let wl = derive_workload(s)?;
-    let (fast, events, plans) = run_optimized(&wl, &s.topology, chaos, 1);
+    let (fast, events, plans) = run_optimized(&wl, &s.topology, chaos, 1, false);
     let reference = run_reference(&wl, &s.topology);
     let mut problems = compare_traces(&fast, &reference);
     if s.engine_jobs > 1 {
-        let (par, par_events, _) = run_optimized(&wl, &s.topology, chaos, s.engine_jobs);
+        let (par, par_events, _) = run_optimized(&wl, &s.topology, chaos, s.engine_jobs, false);
         if par != fast {
             problems.push(format!(
                 "parallel engine ({} jobs) trace diverges from serial: parallel {:?} vs serial {:?}",
@@ -595,6 +625,36 @@ pub fn check_scenario(s: &VerifyScenario, chaos: bool) -> Result<Vec<String>, Re
                 par_events.get(first),
                 events.get(first),
                 par_events.len(),
+                events.len()
+            ));
+        }
+    }
+    if s.stream {
+        // The streaming leg recycles message/worm slots internally, but
+        // every externally visible output — trace AND the full event
+        // stream — must match the serial non-streaming run bit for bit.
+        // When the parallel axis is drawn too, the streamed leg runs
+        // under the windowed executor, covering both at once.
+        let (st, st_events, _) = run_optimized(&wl, &s.topology, chaos, s.engine_jobs, true);
+        if st != fast {
+            problems.push(format!(
+                "streaming engine ({} jobs) trace diverges from non-streaming: \
+                 streamed {:?} vs plain {:?}",
+                s.engine_jobs, st, fast
+            ));
+        }
+        if st_events != events {
+            let first = st_events
+                .iter()
+                .zip(&events)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| st_events.len().min(events.len()));
+            problems.push(format!(
+                "streaming engine event stream diverges from non-streaming at event {first}: \
+                 streamed {:?} vs plain {:?} ({} vs {} events total)",
+                st_events.get(first),
+                events.get(first),
+                st_events.len(),
                 events.len()
             ));
         }
@@ -662,6 +722,13 @@ fn shrink_candidates(s: &VerifyScenario) -> Vec<VerifyScenario> {
         // genuinely lives in the windowed executor.
         push(VerifyScenario {
             engine_jobs: 1,
+            ..s.clone()
+        });
+    }
+    if s.stream {
+        // Likewise: keep the streaming leg only when the bug needs it.
+        push(VerifyScenario {
+            stream: false,
             ..s.clone()
         });
     }
@@ -809,6 +876,10 @@ pub fn scenario_for_case(seed: u64, case: usize) -> VerifyScenario {
             1 => 4,
             _ => 1,
         },
+        // Newest axis, drawn after every pre-existing one (same seed
+        // rule as above); roughly a quarter of cases run the streaming
+        // (slot-recycling) leg, some of those on the parallel executor.
+        stream: rng.gen_range(0..4u32) == 0,
     }
 }
 
@@ -956,6 +1027,30 @@ mod tests {
     }
 
     #[test]
+    fn streaming_leg_conforms_on_sampled_cases() {
+        // Force the streaming leg on a handful of drawn cases — serial
+        // and parallel — regardless of what the case RNG rolled.
+        for case in 0..4 {
+            let mut s = scenario_for_case(13, case * 3);
+            s.stream = true;
+            s.engine_jobs = if case % 2 == 0 { 1 } else { 4 };
+            let problems = check_scenario(&s, false).unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert!(problems.is_empty(), "case {case} ({s}): {problems:?}");
+        }
+    }
+
+    #[test]
+    fn stream_axis_round_trips_through_reproducer_spec() {
+        let mut s = scenario_for_case(42, 5);
+        s.stream = true;
+        let spec = s.to_spec();
+        spec.validate().expect("streamed reproducer validates");
+        assert_eq!(VerifyScenario::from_spec(&spec).unwrap(), s);
+        let reparsed = ExperimentSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(VerifyScenario::from_spec(&reparsed).unwrap(), s);
+    }
+
+    #[test]
     fn chaos_class_swap_is_caught_and_shrinks_small() {
         // The acceptance gate: the injected swapped-class bug must be
         // detected and shrink to a reproducer of at most 4 messages.
@@ -971,6 +1066,7 @@ mod tests {
             seed: 3,
             fault_rate: 0.0,
             engine_jobs: 1,
+            stream: false,
         };
         let problems = check_scenario(&s, true).unwrap();
         assert!(!problems.is_empty(), "chaos run must fail conformance");

@@ -154,6 +154,13 @@ pub struct DynamicResult {
     ///
     /// [`RunBudget`]: mcast_sim::engine::RunBudget
     pub budget_exhausted: bool,
+    /// High-water mark of live worm slots over the run — the memory
+    /// gauge of DESIGN.md §16: under streaming injection this bounds
+    /// the engine's worm arena, independent of how many messages the
+    /// run injects.
+    pub peak_live_worms: usize,
+    /// High-water mark of in-flight messages over the run.
+    pub peak_in_flight: usize,
 }
 
 impl DynamicResult {
@@ -270,6 +277,230 @@ pub fn run_dynamic_with_sink<T: Topology + ?Sized>(
         flit_hops: engine.flit_hops(),
         engine_steps: engine.steps(),
         budget_exhausted: engine.budget_exhausted(),
+        peak_live_worms: engine.peak_live_worms(),
+        peak_in_flight: engine.peak_in_flight(),
+    }
+}
+
+/// Bounds of one streaming (open-loop, bounded-memory) run — see
+/// [`run_dynamic_stream`] and DESIGN.md §16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Stop after injecting this many multicasts (the "million-multicast
+    /// run" axis). `None` defers to `duration_ns` or, if that is also
+    /// unset, to the batch-means stopping rule of the [`DynamicConfig`].
+    pub messages: Option<u64>,
+    /// Stop once the generators' clock passes this simulated time (ns).
+    pub duration_ns: Option<Time>,
+    /// Backpressure ceiling: injection pauses (the source's clock keeps
+    /// running, but the message waits) while this many messages are in
+    /// flight, so live state is bounded by the cap rather than by the
+    /// offered load.
+    pub max_in_flight: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            messages: None,
+            duration_ns: None,
+            max_in_flight: 4096,
+        }
+    }
+}
+
+fn harvest(
+    engine: &mut Engine,
+    warmup: usize,
+    completions: &mut usize,
+    latencies: &mut BatchMeans,
+    latency_stats: &mut Accumulator,
+    latency_hist: &mut mcast_obs::Histogram,
+    traffic: &mut Accumulator,
+) {
+    engine.drain_completed(|done| {
+        *completions += 1;
+        if *completions <= warmup {
+            return;
+        }
+        let us = (done.completed_at - done.injected_at) as f64 / 1000.0;
+        latencies.push(us);
+        latency_stats.push(us);
+        latency_hist.record(done.completed_at - done.injected_at);
+        traffic.push(done.traffic as f64);
+    });
+}
+
+/// Runs a dynamic experiment in **streaming** mode: same per-node
+/// Poisson generators as [`run_dynamic`], but the engine recycles
+/// message/worm slots and delivery buffers, statistics are folded
+/// incrementally from [`Engine::drain_completed`], and plans are built
+/// through a [`PlanArena`](mcast_sim::PlanArena) — so memory is
+/// O(in-flight), not O(messages), and million-multicast runs fit in a
+/// bounded footprint (DESIGN.md §16).
+///
+/// `stream.max_in_flight` applies backpressure: once that many messages
+/// are live, injection waits for the network to drain before admitting
+/// the next message (its generator timestamp is preserved; it simply
+/// enters late). If the network cannot drain — no events pending while
+/// at the cap — the run is wedged and reports `saturated`.
+///
+/// With `stream.messages`/`stream.duration_ns` unset, the stopping rule
+/// is the batch-means CI rule of `cfg`, making this a drop-in
+/// bounded-memory variant of [`run_dynamic`]. The measured statistics
+/// are identical to the non-streaming runner for the same config
+/// whenever both stop at the same point (the conformance fuzzer holds
+/// this as an invariant).
+pub fn run_dynamic_stream<T: Topology + ?Sized>(
+    topo: &T,
+    router: &dyn MulticastRouter,
+    cfg: &DynamicConfig,
+    stream: &StreamConfig,
+) -> DynamicResult {
+    let network = Network::new(topo, router.required_classes());
+    let mut engine = Engine::new(network, cfg.sim);
+    engine.set_stream_mode(true);
+    if let Some(b) = &cfg.budget {
+        engine.set_budget(b.clone());
+    }
+    engine.set_engine_jobs(cfg.engine_jobs);
+    let n = topo.num_nodes();
+    let mut gen = MulticastGen::new(n, cfg.seed);
+
+    let mut next_gen: Vec<(Time, usize)> = (0..n)
+        .map(|node| (gen.exponential_ns(cfg.mean_interarrival_ns), node))
+        .collect();
+
+    let mut latencies = BatchMeans::new(cfg.batch_size);
+    let mut latency_hist = mcast_obs::Histogram::new();
+    let mut latency_stats = Accumulator::new();
+    let mut traffic = Accumulator::new();
+    let mut completions = 0usize;
+    let mut saturated = false;
+    let mut injected = 0u64;
+    let mut arena = mcast_sim::PlanArena::new();
+    let mut plan = mcast_sim::DeliveryPlan {
+        source: 0,
+        destinations: Vec::new(),
+        worms: Vec::new(),
+    };
+
+    'source: loop {
+        let (&(t, node), _) = next_gen
+            .iter()
+            .zip(0..)
+            .min_by_key(|((t, node), _)| (*t, *node))
+            .expect("generators exist");
+        if let Some(d) = stream.duration_ns {
+            if t > d {
+                break;
+            }
+        }
+        // Backpressure: hold this injection until the live population
+        // drops below the cap, advancing the engine event by event.
+        while engine.in_flight() >= stream.max_in_flight {
+            harvest(
+                &mut engine,
+                cfg.warmup,
+                &mut completions,
+                &mut latencies,
+                &mut latency_stats,
+                &mut latency_hist,
+                &mut traffic,
+            );
+            if engine.in_flight() < stream.max_in_flight {
+                break;
+            }
+            match engine.next_event_time() {
+                Some(te) => {
+                    engine.run_until(te);
+                }
+                None => {
+                    // At the cap with nothing scheduled: the network is
+                    // wedged (deadlocked worms hold the population up).
+                    saturated = true;
+                    break 'source;
+                }
+            }
+            if engine.budget_exhausted() {
+                break 'source;
+            }
+        }
+        engine.run_until(t);
+        let mc = cfg
+            .pattern
+            .apply(gen.multicast_distinct(node, cfg.destinations.min(n - 1)));
+        router.plan_into(&mc, &mut arena, &mut plan);
+        engine.inject(&plan);
+        injected += 1;
+        next_gen[node].0 = t + gen.exponential_ns(cfg.mean_interarrival_ns);
+
+        harvest(
+            &mut engine,
+            cfg.warmup,
+            &mut completions,
+            &mut latencies,
+            &mut latency_stats,
+            &mut latency_hist,
+            &mut traffic,
+        );
+
+        if let Some(m) = stream.messages {
+            if injected >= m {
+                break;
+            }
+        } else if stream.duration_ns.is_none() {
+            if latencies.batches() >= cfg.max_batches
+                || latencies.converged(cfg.min_batches, cfg.ci_ratio)
+            {
+                break;
+            }
+            if engine.in_flight() > cfg.max_in_flight_per_node * n {
+                saturated = true;
+                break;
+            }
+        }
+        if engine.budget_exhausted() {
+            break;
+        }
+    }
+
+    // A count- or duration-bounded run drains its tail so every admitted
+    // message resolves; the CI-rule path stops exactly where
+    // `run_dynamic` stops (backlog left in flight) so the two report
+    // identical statistics. Wedged or out-of-budget runs keep their
+    // backlog either way.
+    let drain_tail = stream.messages.is_some() || stream.duration_ns.is_some();
+    if drain_tail && !saturated && !engine.budget_exhausted() {
+        engine.run_to_quiescence();
+        harvest(
+            &mut engine,
+            cfg.warmup,
+            &mut completions,
+            &mut latencies,
+            &mut latency_stats,
+            &mut latency_hist,
+            &mut traffic,
+        );
+    }
+
+    DynamicResult {
+        mean_latency_us: latencies.mean(),
+        ci_us: latencies.ci_half_width_95(),
+        batches: latencies.batches(),
+        measured: latencies.observations(),
+        mean_traffic: traffic.mean(),
+        saturated,
+        converged: latencies.converged(cfg.min_batches, cfg.ci_ratio),
+        sim_time_ns: engine.now(),
+        latency_hist_ns: latency_hist,
+        latency_stats,
+        completed: completions,
+        flit_hops: engine.flit_hops(),
+        engine_steps: engine.steps(),
+        budget_exhausted: engine.budget_exhausted(),
+        peak_live_worms: engine.peak_live_worms(),
+        peak_in_flight: engine.peak_in_flight(),
     }
 }
 
@@ -445,6 +676,97 @@ mod tests {
             format!("{:?}", serial.latency_hist_ns),
             format!("{:?}", par.latency_hist_ns)
         );
+    }
+
+    #[test]
+    fn streaming_ci_rule_matches_run_dynamic_bitwise() {
+        // With neither a message count nor a duration, the streaming
+        // runner uses the same batch-means stopping rule — and with a
+        // non-binding in-flight cap the whole run must be bit-identical
+        // to the materializing runner.
+        let mesh = Mesh2D::new(8, 8);
+        let router = DualPathRouter::mesh(mesh);
+        let mut cfg = quick_cfg();
+        cfg.destinations = 5;
+        cfg.mean_interarrival_ns = 500_000.0;
+        let a = run_dynamic(&mesh, &router, &cfg);
+        let b = run_dynamic_stream(&mesh, &router, &cfg, &StreamConfig::default());
+        assert_eq!(a.mean_latency_us, b.mean_latency_us);
+        assert_eq!(a.sim_time_ns, b.sim_time_ns);
+        assert_eq!(a.engine_steps, b.engine_steps);
+        assert_eq!(a.flit_hops, b.flit_hops);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.measured, b.measured);
+        assert_eq!(
+            format!("{:?}", a.latency_hist_ns),
+            format!("{:?}", b.latency_hist_ns)
+        );
+    }
+
+    #[test]
+    fn streaming_message_count_completes_all_with_bounded_in_flight() {
+        let mesh = Mesh2D::new(8, 8);
+        let router = DualPathRouter::mesh(mesh);
+        let mut cfg = quick_cfg();
+        cfg.destinations = 4;
+        cfg.mean_interarrival_ns = 50_000.0; // heavy enough to hit the cap
+        let stream = StreamConfig {
+            messages: Some(5_000),
+            max_in_flight: 48,
+            ..StreamConfig::default()
+        };
+        let r = run_dynamic_stream(&mesh, &router, &cfg, &stream);
+        assert!(!r.saturated);
+        assert_eq!(r.completed, 5_000);
+        assert!(
+            r.peak_in_flight <= 48,
+            "backpressure ceiling breached: {}",
+            r.peak_in_flight
+        );
+        assert!(r.peak_live_worms > 0);
+        assert_eq!(r.latency_hist_ns.count() as usize, r.completed - cfg.warmup);
+    }
+
+    #[test]
+    fn streaming_engine_jobs_bit_identical_to_serial() {
+        let mesh = Mesh2D::new(8, 8);
+        let router = DualPathRouter::mesh(mesh);
+        let mut cfg = quick_cfg();
+        cfg.destinations = 6;
+        cfg.mean_interarrival_ns = 120_000.0;
+        let stream = StreamConfig {
+            messages: Some(1_500),
+            max_in_flight: 96,
+            ..StreamConfig::default()
+        };
+        let serial = run_dynamic_stream(&mesh, &router, &cfg, &stream);
+        cfg.engine_jobs = 4;
+        let par = run_dynamic_stream(&mesh, &router, &cfg, &stream);
+        assert_eq!(serial.engine_steps, par.engine_steps);
+        assert_eq!(serial.flit_hops, par.flit_hops);
+        assert_eq!(serial.sim_time_ns, par.sim_time_ns);
+        assert_eq!(serial.mean_latency_us, par.mean_latency_us);
+        assert_eq!(serial.completed, par.completed);
+        assert_eq!(serial.peak_in_flight, par.peak_in_flight);
+        assert_eq!(serial.peak_live_worms, par.peak_live_worms);
+    }
+
+    #[test]
+    fn streaming_duration_bound_stops_the_source() {
+        let mesh = Mesh2D::new(4, 4);
+        let router = DualPathRouter::mesh(mesh);
+        let mut cfg = quick_cfg();
+        cfg.destinations = 3;
+        cfg.mean_interarrival_ns = 200_000.0;
+        let stream = StreamConfig {
+            duration_ns: Some(5_000_000),
+            ..StreamConfig::default()
+        };
+        let r = run_dynamic_stream(&mesh, &router, &cfg, &stream);
+        assert!(!r.saturated);
+        assert!(r.completed > 0);
+        // The source stops at the bound; the tail drain may run later.
+        assert!(r.sim_time_ns >= 5_000_000 || r.completed > 0);
     }
 
     #[test]

@@ -20,8 +20,8 @@ pub use conform::{
     VerifyFailure, VerifyReport, VerifyScenario, TOPOLOGY_POOL,
 };
 pub use dynamic::{
-    measure_saturation_throughput, run_dynamic, run_dynamic_with_sink, DynamicConfig,
-    DynamicResult, ThroughputResult, TrafficPattern,
+    measure_saturation_throughput, run_dynamic, run_dynamic_stream, run_dynamic_with_sink,
+    DynamicConfig, DynamicResult, StreamConfig, ThroughputResult, TrafficPattern,
 };
 pub use fault_sweep::{run_fault_sweep, FaultSweepConfig, FaultSweepRow};
 pub use gen::MulticastGen;
@@ -34,6 +34,6 @@ pub use serve::{
     JobId, JobOutcome, JobServer, Journal, Ledger, RetryPolicy, ServeConfig, ServeError,
     SubmitStatus,
 };
-pub use spec::{ExperimentSpec, FaultSpec, PatternSpec, StoppingRule};
+pub use spec::{ExperimentSpec, FaultSpec, PatternSpec, StoppingRule, StreamSpec};
 pub use static_eval::{broadcast_additional, measure_traffic, TrafficPoint};
 pub use stats::{Accumulator, BatchMeans};

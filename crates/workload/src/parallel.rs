@@ -26,7 +26,7 @@ use std::sync::Mutex;
 use mcast_sim::routers::MulticastRouter;
 use mcast_topology::Topology;
 
-use crate::dynamic::{run_dynamic, DynamicConfig, DynamicResult};
+use crate::dynamic::{run_dynamic, run_dynamic_stream, DynamicConfig, DynamicResult, StreamConfig};
 use crate::stats::Accumulator;
 
 /// Resolves a job-count request: `Some(n)` forces `n`, `None` reads
@@ -122,6 +122,10 @@ pub struct SweepConfig {
     /// Independent replications (distinct derived seeds) per
     /// (scheme, load) point.
     pub replications: usize,
+    /// Run every point through the bounded-memory streaming runner
+    /// ([`run_dynamic_stream`]) instead of the materializing one.
+    /// `None` — the default — keeps the historical `run_dynamic` path.
+    pub stream: Option<StreamConfig>,
 }
 
 /// One cell of the sweep grid.
@@ -214,7 +218,10 @@ pub fn run_dynamic_sweep<T: Topology + Sync + ?Sized>(
         let mut point_cfg = cfg.base.clone();
         point_cfg.mean_interarrival_ns = point.mean_interarrival_ns;
         point_cfg.seed = point.seed;
-        run_dynamic(topo, routers[*router_idx].1, &point_cfg)
+        match &cfg.stream {
+            Some(stream) => run_dynamic_stream(topo, routers[*router_idx].1, &point_cfg, stream),
+            None => run_dynamic(topo, routers[*router_idx].1, &point_cfg),
+        }
     });
     items
         .into_iter()
@@ -311,6 +318,7 @@ mod tests {
             },
             loads_ns: vec![800_000.0, 500_000.0],
             replications: 2,
+            stream: None,
         }
     }
 

@@ -20,7 +20,9 @@ use mcast_sim::registry::{build_fault_router, build_router, RegistryError, Schem
 use mcast_sim::routers::{ClassOverrideRouter, MulticastRouter};
 use mcast_sim::FaultMulticastRouter;
 
-use crate::dynamic::{run_dynamic, DynamicConfig, DynamicResult, TrafficPattern};
+use crate::dynamic::{
+    run_dynamic, run_dynamic_stream, DynamicConfig, DynamicResult, StreamConfig, TrafficPattern,
+};
 use crate::fault_sweep::{run_fault_sweep, FaultSweepConfig, FaultSweepRow};
 use crate::parallel::{replication_seed, run_dynamic_sweep, SweepConfig, SweepRow};
 
@@ -125,6 +127,42 @@ impl Default for FaultSpec {
     }
 }
 
+/// The streaming section of a spec: run every point through the
+/// bounded-memory open-loop runner
+/// ([`run_dynamic_stream`], DESIGN.md §16) instead of the
+/// materializing one. Memory stays O(in-flight) regardless of how many
+/// messages the run injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// Stop after injecting this many multicasts per point (the
+    /// million-multicast axis). `None` keeps the spec's batch-means
+    /// stopping rule, making streaming a pure memory optimization.
+    pub messages: Option<u64>,
+    /// Backpressure ceiling on in-flight messages per point.
+    pub max_in_flight: usize,
+}
+
+impl Default for StreamSpec {
+    fn default() -> Self {
+        let d = StreamConfig::default();
+        StreamSpec {
+            messages: None,
+            max_in_flight: d.max_in_flight,
+        }
+    }
+}
+
+impl StreamSpec {
+    /// Resolves to the runner-level [`StreamConfig`].
+    pub fn to_config(&self) -> StreamConfig {
+        StreamConfig {
+            messages: self.messages,
+            duration_ns: None,
+            max_in_flight: self.max_in_flight,
+        }
+    }
+}
+
 /// A declarative experiment: everything one sweep needs, as data.
 ///
 /// Seeds are serialized as JSON numbers, so they should stay below
@@ -160,6 +198,8 @@ pub struct ExperimentSpec {
     /// serial event loop; `N > 1` is bit-identical to serial, so this
     /// knob never changes results, only wall-clock.
     pub engine_jobs: usize,
+    /// Optional streaming section: bounded-memory open-loop runs.
+    pub stream: Option<StreamSpec>,
     /// Optional fault sweep section.
     pub fault: Option<FaultSpec>,
 }
@@ -180,6 +220,7 @@ impl ExperimentSpec {
             channel_classes: None,
             vct_buffers: false,
             engine_jobs: 1,
+            stream: None,
             fault: None,
         }
     }
@@ -217,6 +258,7 @@ impl ExperimentSpec {
             base: self.base_config(),
             loads_ns: self.loads_us.iter().map(|&us| us * 1000.0).collect(),
             replications: self.replications,
+            stream: self.stream.map(|s| s.to_config()),
         }
     }
 
@@ -254,6 +296,14 @@ impl ExperimentSpec {
         }
         if self.engine_jobs == 0 {
             return Err(err("engine_jobs must be at least 1"));
+        }
+        if let Some(stream) = &self.stream {
+            if stream.max_in_flight == 0 {
+                return Err(err("stream.max_in_flight must be at least 1"));
+            }
+            if stream.messages == Some(0) {
+                return Err(err("stream.messages must be at least 1"));
+            }
         }
         if self.destinations == 0 || self.destinations >= self.topology.num_nodes() {
             return Err(err(format!(
@@ -311,7 +361,12 @@ impl ExperimentSpec {
         cfg.mean_interarrival_ns = load_us * 1000.0;
         cfg.seed = replication_seed(self.seed, index as u64);
         let built = self.topology.build();
-        Ok(run_dynamic(built.as_dyn(), router.as_ref(), &cfg))
+        Ok(match &self.stream {
+            Some(stream) => {
+                run_dynamic_stream(built.as_dyn(), router.as_ref(), &cfg, &stream.to_config())
+            }
+            None => run_dynamic(built.as_dyn(), router.as_ref(), &cfg),
+        })
     }
 
     /// Runs the whole sweep grid on `jobs` threads. Rows come back in
@@ -414,6 +469,16 @@ impl ExperimentSpec {
         if self.engine_jobs != 1 {
             fields.push(("engine_jobs".into(), Json::from(self.engine_jobs)));
         }
+        if let Some(stream) = &self.stream {
+            let mut sf: Vec<(String, Json)> = Vec::new();
+            if let Some(m) = stream.messages {
+                sf.push(("messages".into(), Json::Num(m as f64)));
+            }
+            if stream.max_in_flight != StreamSpec::default().max_in_flight {
+                sf.push(("max_in_flight".into(), Json::from(stream.max_in_flight)));
+            }
+            fields.push(("stream".into(), Json::Obj(sf)));
+        }
         if let Some(fault) = &self.fault {
             fields.push((
                 "fault".into(),
@@ -447,6 +512,7 @@ impl ExperimentSpec {
                 "channel_classes",
                 "vct_buffers",
                 "engine_jobs",
+                "stream",
                 "fault",
             ]
             .contains(&key)
@@ -541,6 +607,38 @@ impl ExperimentSpec {
                 }
             }
         };
+        let stream = match v.get("stream") {
+            None => None,
+            Some(sobj) => {
+                for key in sobj.keys() {
+                    if !["messages", "max_in_flight"].contains(&key) {
+                        return Err(err(format!("unknown stream field {key:?}")));
+                    }
+                }
+                let default_stream = StreamSpec::default();
+                Some(StreamSpec {
+                    messages: match sobj.get("messages") {
+                        None => None,
+                        Some(x) => {
+                            let n = x
+                                .as_num()
+                                .ok_or_else(|| err("stream field \"messages\" not a number"))?;
+                            if n < 1.0 || n.fract() != 0.0 {
+                                return Err(err(
+                                    "stream field \"messages\" must be a positive whole number",
+                                ));
+                            }
+                            Some(n as u64)
+                        }
+                    },
+                    max_in_flight: usize_field(
+                        sobj,
+                        "max_in_flight",
+                        default_stream.max_in_flight,
+                    )?,
+                })
+            }
+        };
         let fault = match v.get("fault") {
             None => None,
             Some(fobj) => {
@@ -588,6 +686,7 @@ impl ExperimentSpec {
                 0 => return Err(err("engine_jobs must be at least 1")),
                 j => j,
             },
+            stream,
             fault,
         })
     }
@@ -628,6 +727,30 @@ mod tests {
         let spec = ExperimentSpec::from_json(&text).expect("example spec parses");
         spec.validate().expect("example spec validates");
         assert_eq!(spec.to_json(), text, "example spec is canonical JSON");
+    }
+
+    #[test]
+    fn checked_in_stream_spec_is_canonical() {
+        // The README's million-multicast quickstart spec must stay
+        // parseable, byte-canonical, and actually streaming-shaped:
+        // the 64×64 mesh with a ≥ 1 000 000-message bound and the
+        // default backpressure cap.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/spec_stream_64x64.json"
+        );
+        let text = std::fs::read_to_string(path).expect("examples/spec_stream_64x64.json exists");
+        let spec = ExperimentSpec::from_json(&text).expect("stream example spec parses");
+        spec.validate().expect("stream example spec validates");
+        let stream = spec.stream.as_ref().expect("spec has a stream section");
+        assert!(stream.messages.expect("message bound set") >= 1_000_000);
+        assert_eq!(stream.max_in_flight, StreamSpec::default().max_in_flight);
+        assert_eq!(spec.topology.to_string(), "mesh:64x64");
+        assert_eq!(
+            spec.to_json(),
+            text,
+            "stream example spec is canonical JSON"
+        );
     }
 
     #[test]
@@ -688,6 +811,10 @@ mod tests {
         spec.pattern = PatternSpec::Hotspot;
         spec.channel_classes = Some(2);
         spec.vct_buffers = true;
+        spec.stream = Some(StreamSpec {
+            messages: Some(1_000_000),
+            max_in_flight: 2048,
+        });
         spec.fault = Some(FaultSpec {
             rates: vec![0.0, 0.05],
             messages: 16,
@@ -719,6 +846,42 @@ mod tests {
             ExperimentSpec::from_json(&text.replace('9', "0")).is_err(),
             "engine_jobs: 0 must be rejected"
         );
+    }
+
+    #[test]
+    fn stream_section_round_trips_and_dispatches() {
+        // A default stream section serializes as the empty object and
+        // round-trips byte-identically.
+        let mut spec = sample();
+        spec.stream = Some(StreamSpec::default());
+        let text = spec.to_json();
+        assert!(text.contains("\"stream\": {}"), "defaults elided: {text}");
+        let back = ExperimentSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), text);
+        // Invalid values are rejected with readable errors.
+        spec.stream = Some(StreamSpec {
+            messages: Some(0),
+            max_in_flight: 64,
+        });
+        assert!(spec.validate().is_err());
+        assert!(ExperimentSpec::from_json(
+            r#"{"name": "x", "topology": "mesh:4x4", "schemes": ["dual-path"],
+                "loads_us": [600], "destinations": 3, "stream": {"mesages": 10}}"#,
+        )
+        .is_err());
+        // A message-bounded stream point injects exactly that many
+        // multicasts and resolves them all.
+        spec.stream = Some(StreamSpec {
+            messages: Some(400),
+            max_in_flight: 64,
+        });
+        spec.validate().unwrap();
+        let r = spec
+            .run_point(&SchemeId::named("dual-path"), 500.0, 0)
+            .unwrap();
+        assert_eq!(r.completed, 400);
+        assert!(r.peak_in_flight <= 64);
     }
 
     #[test]
@@ -810,6 +973,18 @@ mod tests {
                         .collect(),
                     messages: rng.gen_range(1..64),
                     keep_connected: rng.gen_range(0..2u32) == 0,
+                });
+            }
+            // New axes draw after every existing one so earlier cases
+            // keep their historical shapes.
+            if rng.gen_range(0..2u32) == 0 {
+                spec.stream = Some(StreamSpec {
+                    messages: if rng.gen_range(0..2u32) == 0 {
+                        Some(rng.gen_range(1..1_000_000u64))
+                    } else {
+                        None
+                    },
+                    max_in_flight: rng.gen_range(1..10_000),
                 });
             }
             spec.validate()

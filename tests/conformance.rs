@@ -108,6 +108,7 @@ fn injected_class_swap_bug_is_caught_and_shrunk() {
         seed: 11,
         fault_rate: 0.0,
         engine_jobs: 1,
+        stream: true,
     };
     assert!(
         check_scenario(&scenario, false).unwrap().is_empty(),

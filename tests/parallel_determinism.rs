@@ -25,6 +25,7 @@ fn grid() -> SweepConfig {
         // Includes a heavy point so the saturation flag is exercised.
         loads_ns: vec![700_000.0, 400_000.0, 60_000.0],
         replications: 3,
+        stream: None,
     }
 }
 
