@@ -14,6 +14,7 @@ pub mod figures_ch2;
 pub mod figures_dynamic;
 pub mod figures_fault;
 pub mod figures_static;
+pub mod modern;
 pub mod perf;
 pub mod report;
 pub mod scale;
@@ -47,6 +48,7 @@ pub fn experiment_ids() -> Vec<&'static str> {
         "fig7_9",
         "fig7_10",
         "fig7_11",
+        "modern_vs_1990",
         "fault_sweep",
         "ablation_exact",
         "ablation_labeling",
@@ -76,6 +78,7 @@ pub fn run_experiment(id: &str, scale: &Scale) -> Vec<Table> {
         "fig7_9" => vec![figures_dynamic::fig7_9(scale)],
         "fig7_10" => vec![figures_dynamic::fig7_10(scale)],
         "fig7_11" => vec![figures_dynamic::fig7_11(scale)],
+        "modern_vs_1990" => vec![modern::modern_vs_1990(scale)],
         "fault_sweep" => vec![figures_fault::fault_sweep(scale)],
         "ablation_exact" => vec![ablation::ablation_exact(scale)],
         "ablation_labeling" => vec![ablation::ablation_labeling(scale)],

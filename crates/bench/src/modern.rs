@@ -1,0 +1,150 @@
+//! The "1990 vs modern" figure block (DESIGN.md §17, ROADMAP item 5):
+//! the paper's dual-path partitioning against its modern competitors —
+//! DPM multicast (Tiwari et al., arXiv:2108.00566) and the software
+//! binomial-tree collective — under uniform, hot-spot, and the bursty
+//! application-phase traffic pattern.
+//!
+//! Unlike the §7.2 latency figures, this block also records the
+//! engine's native **work metrics** (`engine_steps`, `flit_hops`):
+//! they are environment-insensitive for a fixed seed, so the figure
+//! doubles as a regression record of how much network work each scheme
+//! family pays for the same delivered multicasts.
+
+use mcast_sim::registry::{build_router, SchemeId, TopoSpec};
+use mcast_workload::dynamic::{run_dynamic, TrafficPattern};
+use mcast_workload::{DynamicConfig, DynamicResult, PatternSpec};
+
+use crate::report::{f, Table};
+use crate::scale::Scale;
+
+/// The evaluation network: the §7.2 8×8 mesh, so the 1990 numbers in
+/// this block line up with the dissertation's own figures.
+const MESH8: TopoSpec = TopoSpec::Mesh2D { w: 8, h: 8 };
+
+/// The scheme families compared: the paper's dual-path partitioning
+/// (1990 hardware), DPM destination partitioning with merge (2021
+/// hardware), and the binomial-tree software collective (O(log n)
+/// rounds of unicast).
+const SCHEMES: [&str; 3] = ["dual-path", "dpm", "binomial"];
+
+/// Interarrival for the comparison, µs — moderate load: heavy enough
+/// for contention to separate the schemes, light enough that the
+/// hardware schemes stay unsaturated on the 8×8 mesh. The binomial
+/// software collective may still saturate here — its staged rounds
+/// serialize ~n sends per multicast — and that gap *is* the finding.
+const LOAD_US: f64 = 700.0;
+
+/// The three traffic patterns of the comparison, with the hot-spot /
+/// reduction root at the topology's designated hot-spot node.
+fn patterns() -> Vec<(&'static str, TrafficPattern)> {
+    let hot = MESH8.hotspot_node();
+    vec![
+        ("uniform", TrafficPattern::Uniform),
+        ("hotspot", TrafficPattern::Hotspot { node: hot }),
+        (
+            "bursty",
+            TrafficPattern::Bursty {
+                phase_len: PatternSpec::BURSTY_PHASE_LEN,
+                root: hot,
+            },
+        ),
+    ]
+}
+
+fn cells(r: &DynamicResult) -> Vec<String> {
+    vec![
+        if r.saturated {
+            "sat".to_string()
+        } else {
+            f(r.mean_latency_us, 1)
+        },
+        f(r.mean_traffic, 1),
+        r.engine_steps.to_string(),
+        r.flit_hops.to_string(),
+    ]
+}
+
+/// The figure block: every (pattern, scheme) cell on the 8×8 mesh at
+/// one moderate load, k̄ = 10, single replication at the harness base
+/// seed. Columns carry both the latency comparison and the exact work
+/// metrics.
+pub fn modern_vs_1990(scale: &Scale) -> Table {
+    let title = format!(
+        "1990 dual-path vs DPM vs binomial collective, 8x8 mesh, k=10, {LOAD_US}us \
+         (latency us / traffic / engine_steps / flit_hops)"
+    );
+    let mut t = Table::new(
+        "modern_vs_1990",
+        &title,
+        &[
+            "pattern",
+            "scheme",
+            "latency us",
+            "traffic",
+            "engine_steps",
+            "flit_hops",
+        ],
+    );
+    let built = MESH8.build();
+    let stopping = scale.stopping_rule();
+    for (pname, pattern) in patterns() {
+        for scheme in SCHEMES {
+            let router = build_router(&MESH8, &SchemeId::named(scheme))
+                .expect("modern figure schemes registered");
+            let cfg = DynamicConfig {
+                mean_interarrival_ns: LOAD_US * 1000.0,
+                destinations: 10,
+                warmup: stopping.warmup,
+                batch_size: stopping.batch_size,
+                min_batches: stopping.min_batches,
+                max_batches: stopping.max_batches,
+                pattern,
+                ..DynamicConfig::default()
+            };
+            let r = run_dynamic(built.as_dyn(), router.as_ref(), &cfg);
+            let mut row = vec![pname.to_string(), scheme.to_string()];
+            row.extend(cells(&r));
+            t.push_row(row);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modern_block_covers_every_pattern_scheme_cell() {
+        let t = modern_vs_1990(&Scale::smoke());
+        assert_eq!(t.rows.len(), 3 * SCHEMES.len());
+        for row in &t.rows {
+            // Work metrics are recorded and positive for every cell.
+            let steps: u64 = row[4].parse().unwrap();
+            let hops: u64 = row[5].parse().unwrap();
+            assert!(steps > 0 && hops > 0, "empty work metrics in {row:?}");
+        }
+        // The software collective relays through intermediate ranks, so
+        // under uniform load it must move at least as many flits per
+        // completed message as are strictly needed — sanity that the
+        // three schemes produce *different* work profiles rather than
+        // aliasing one another.
+        let uniform: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "uniform").collect();
+        assert_eq!(uniform.len(), SCHEMES.len());
+        let hops: std::collections::HashSet<&str> = uniform.iter().map(|r| r[5].as_str()).collect();
+        assert!(hops.len() > 1, "schemes aliased: {uniform:?}");
+    }
+
+    #[test]
+    fn modern_block_work_metrics_reproduce_exactly() {
+        // The block's premise: engine_steps/flit_hops are a pure
+        // function of the code and seed, so the figure is comparable
+        // across hosts and commits.
+        let a = modern_vs_1990(&Scale::smoke());
+        let b = modern_vs_1990(&Scale::smoke());
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra[4], rb[4], "engine_steps drifted for {}/{}", ra[0], ra[1]);
+            assert_eq!(ra[5], rb[5], "flit_hops drifted for {}/{}", ra[0], ra[1]);
+        }
+    }
+}

@@ -96,13 +96,17 @@ pub fn worm_ceiling(max_in_flight: usize) -> usize {
 
 /// The gated probe set CI regenerates: `(topology, messages,
 /// max_in_flight)`. The 64×64 entry injects 100 000 multicasts — the
-/// CI scale smoke the streaming pipeline is gated on.
+/// CI scale smoke the streaming pipeline is gated on. The deep
+/// hypercube (`cube:16`, 65 536 nodes) and the 16-ary 3-cube rungs
+/// extend the ladder beyond meshes.
 pub fn gated_probe_set() -> Vec<(&'static str, u64, usize)> {
     vec![
         ("mesh:8x8", 20_000, 1024),
         ("mesh:64x64", 100_000, 4096),
         ("mesh:128x128", 20_000, 4096),
         ("cube:4", 20_000, 1024),
+        ("cube:16", 20_000, 4096),
+        ("torus:16x3", 20_000, 1024),
     ]
 }
 
@@ -335,7 +339,14 @@ mod tests {
     fn gated_set_covers_the_scale_ladder_and_the_ci_smoke() {
         let set = gated_probe_set();
         let names: Vec<&str> = set.iter().map(|&(n, _, _)| n).collect();
-        for required in ["mesh:8x8", "mesh:64x64", "mesh:128x128", "cube:4"] {
+        for required in [
+            "mesh:8x8",
+            "mesh:64x64",
+            "mesh:128x128",
+            "cube:4",
+            "cube:16",
+            "torus:16x3",
+        ] {
             assert!(names.contains(&required), "missing {required}");
         }
         // The 64×64 gated probe *is* the CI scale smoke: ≥ 100k

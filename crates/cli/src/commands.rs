@@ -46,6 +46,7 @@ USAGE:
                  [--jobs <N>] [--engine-jobs <N>] [--compare-serial true|false]
   mcast run      --spec <file.json> [--dry-run true] [--jobs <N>]
                  [--engine-jobs <N>] [--stream true] [--messages <N>]
+                 [--duration-ms <MS>]
   mcast deadlock --scenario fig6_1|fig6_4 [--algorithm <A>] [--recover true]
   mcast fault-sweep --topology <T> [--algorithm <A>] [--fault-rates 0,0.02,0.05,0.1]
                  [--messages <N>] [--dests <K>] [--seed <S>]
@@ -74,14 +75,18 @@ TOPOLOGIES:   mesh:WxH  mesh:WxHxD  cube:N  kary:KxN  torus:KxN
 ALGORITHMS:   dual-path  multi-path  fixed-path  vc-multi-path:<lanes>
               circuit-dual-path  dc-tree (2D mesh)  octant-tree (3D mesh)
               xfirst-tree (2D mesh)  ecube-tree (cube)
+MODERN:       dpm  binomial  recursive-doubling  binomial-reliable
+              (every topology; DESIGN.md 17)
 ROUTE-ONLY:   sorted-mp  greedy-st  divided-greedy (mesh)
 RUN:          executes a declarative ExperimentSpec JSON file — the
               load sweep, plus the fault sweep when the spec has a
               fault section; --dry-run validates without running;
               --stream true runs every point through the bounded-memory
-              streaming engine (DESIGN.md §16, O(in-flight) memory) and
+              streaming engine (DESIGN.md §16, O(in-flight) memory);
               --messages <N> bounds each point at N injected multicasts
-              instead of the batch-means stopping rule
+              instead of the batch-means stopping rule, and
+              --duration-ms <MS> bounds it by simulated wall time
+              (combined, whichever bound trips first ends injection)
 FAULT-SWEEP:  dual-path and multi-path plan around faults; any other
               algorithm runs fault-oblivious under abort-and-retry
 TRACE:        trace.json is Chrome trace-event JSON — open it at
@@ -436,13 +441,23 @@ pub fn run(a: &Args) -> Result<(), CliError> {
     if let n @ 2.. = engine_jobs_flag(a)? {
         spec.engine_jobs = n;
     }
-    // --stream / --messages turn on (or tighten) the spec's streaming
-    // section: bounded-memory open-loop points (DESIGN.md §16).
+    // --stream / --messages / --duration-ms turn on (or tighten) the
+    // spec's streaming section: bounded-memory open-loop points
+    // (DESIGN.md §16). --duration-ms bounds each point by simulated
+    // wall time; combined with --messages, whichever bound trips first
+    // ends injection.
     let messages = a.number::<u64>("messages", 0)?;
-    if a.get_or("stream", "false") == "true" || messages > 0 {
+    let duration_ms = a.number::<u64>("duration-ms", 0)?;
+    if a.options.contains_key("duration-ms") && duration_ms == 0 {
+        return Err(CliError::Usage("--duration-ms must be at least 1".into()));
+    }
+    if a.get_or("stream", "false") == "true" || messages > 0 || duration_ms > 0 {
         let mut stream = spec.stream.unwrap_or_default();
         if messages > 0 {
             stream.messages = Some(messages);
+        }
+        if duration_ms > 0 {
+            stream.duration_ns = Some(duration_ms * 1_000_000);
         }
         spec.stream = Some(stream);
     }
@@ -782,14 +797,14 @@ fn run_traffic(
     let mut next_gen: Vec<(u64, usize)> = (0..n)
         .map(|node| (gen.exponential_ns(run.mean_interarrival_ns), node))
         .collect();
-    for _ in 0..run.messages {
+    for seq in 0..run.messages {
         let (&(t, node), _) = next_gen
             .iter()
             .zip(0..)
             .min_by_key(|((t, node), _)| (*t, *node))
             .expect("generators exist");
         engine.run_until(t);
-        let mc = pattern.apply(gen.multicast_distinct(node, k));
+        let mc = pattern.apply(seq as u64, gen.multicast_distinct(node, k));
         engine.inject(&router.plan(&mc));
         next_gen[node].0 = t + gen.exponential_ns(run.mean_interarrival_ns);
     }
@@ -1581,6 +1596,42 @@ mod tests {
             "2",
         ]))
         .unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_command_duration_bound_streams_and_rejects_zero() {
+        // --duration-ms turns on streaming with a simulated-wall-time
+        // bound; zero is a usage error (a zero-length run is always a
+        // mistake), matching spec validation of stream.duration_ns.
+        let dir = std::env::temp_dir();
+        let path = dir.join("mcast_cli_test_duration_spec.json");
+        std::fs::write(
+            &path,
+            r#"{"name": "cli-duration", "topology": "mesh:4x4",
+                "schemes": ["dual-path"], "loads_us": [500],
+                "destinations": 4, "replications": 1,
+                "stopping": {"warmup": 20, "batch_size": 10,
+                             "min_batches": 2, "max_batches": 3}}"#,
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+        run(&args(&["run", "--spec", p, "--duration-ms", "5"])).unwrap();
+        run(&args(&[
+            "run",
+            "--spec",
+            p,
+            "--duration-ms",
+            "5",
+            "--messages",
+            "300",
+        ]))
+        .unwrap();
+        let zero = run(&args(&["run", "--spec", p, "--duration-ms", "0"])).unwrap_err();
+        assert!(
+            matches!(zero, CliError::Usage(ref m) if m.contains("duration-ms")),
+            "{zero:?}"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

@@ -206,6 +206,13 @@ pub(crate) struct WormState {
     /// Set when a channel request found every copy of a hop dead — the
     /// worm can never advance and needs recovery-layer intervention.
     pub(crate) stalled: bool,
+    /// Staged worms: number of same-plan feeder worms that must complete
+    /// before this worm requests its first channel. Zero for every other
+    /// kind, and for a staged worm once released.
+    pub(crate) deps_pending: u32,
+    /// Worm slots (with their injection-time `gen`) released in-cascade
+    /// by this worm's completion event.
+    pub(crate) dependents: Vec<(u32, u32)>,
 }
 
 impl WormState {
@@ -225,6 +232,8 @@ impl WormState {
             active: false,
             gen: 0,
             stalled: false,
+            deps_pending: 0,
+            dependents: Vec::new(),
         }
     }
 }
@@ -452,6 +461,9 @@ pub struct Engine {
     scratch_feeder: Vec<u32>,
     /// Worm-build scratch: group keys and arena cursors.
     scratch_idx: Vec<u32>,
+    /// Inject scratch: plan-index → worm-slot map for wiring staged
+    /// dependencies without a per-inject allocation.
+    scratch_slots: Vec<u32>,
     /// Window-parallel executor (DESIGN.md §15): `Some` routes
     /// `run_until`/`run_to_quiescence` through the deterministic
     /// window-cohort path in `partition.rs`; `None` (the default) is
@@ -481,6 +493,7 @@ impl Engine {
             events: EventQueue::new(config.flit_time_ns()),
             scratch_feeder: vec![u32::MAX; network.num_nodes()],
             scratch_idx: Vec::new(),
+            scratch_slots: Vec::new(),
             config,
             network,
             channels,
@@ -777,8 +790,38 @@ impl Engine {
             return msg_slot;
         }
 
+        // Build every worm first so staged dependencies can be wired by
+        // plan index, then issue root requests in worm order — the same
+        // request order as the old build-and-request interleaving, since
+        // building touches no channel or event state.
+        let mut slots = std::mem::take(&mut self.scratch_slots);
+        slots.clear();
         for w in &plan.worms {
             let widx = self.build_worm(msg_slot, w);
+            slots.push(widx as u32);
+        }
+        for (i, pw) in plan.worms.iter().enumerate() {
+            if let PlanWorm::Staged(s) = pw {
+                let widx = slots[i] as usize;
+                let wgen = self.worms[widx].gen;
+                self.worms[widx].deps_pending = s.after.len() as u32;
+                for &a in &s.after {
+                    debug_assert!(
+                        (a as usize) < i,
+                        "staged worm {i} depends on worm {a}, not an earlier one"
+                    );
+                    let feeder = slots[a as usize] as usize;
+                    self.worms[feeder].dependents.push((widx as u32, wgen));
+                }
+            }
+        }
+        for &slot in &slots {
+            let widx = slot as usize;
+            if self.worms[widx].deps_pending > 0 {
+                // Held at the source until its last feeder's completion
+                // cascade releases it.
+                continue;
+            }
             match self.worms[widx].kind {
                 WormKind::Circuit => {
                     // The control packet claims one channel at a time.
@@ -796,6 +839,7 @@ impl Engine {
                 }
             }
         }
+        self.scratch_slots = slots;
         msg_slot
     }
 
@@ -814,7 +858,7 @@ impl Engine {
             .peak_live_worms
             .max(self.worms.len() - self.worm_free.len());
         let kind = match plan {
-            PlanWorm::Path(_) => WormKind::Path,
+            PlanWorm::Path(_) | PlanWorm::Staged(_) => WormKind::Path,
             PlanWorm::Tree(_) => WormKind::Tree,
             PlanWorm::Circuit(_) => WormKind::Circuit,
         };
@@ -834,8 +878,12 @@ impl Engine {
         w.edges_done = 0;
         w.active = true;
         w.stalled = false;
+        w.deps_pending = 0;
+        w.dependents.clear();
         match plan {
-            PlanWorm::Path(p) | PlanWorm::Circuit(p) => {
+            PlanWorm::Path(p)
+            | PlanWorm::Circuit(p)
+            | PlanWorm::Staged(crate::plan::PlanStage { path: p, .. }) => {
                 assert!(p.nodes.len() >= 2, "path worm needs at least one hop");
                 let hops = p.nodes.len() - 1;
                 for (i, win) in p.nodes.windows(2).enumerate() {
@@ -1228,7 +1276,7 @@ impl Engine {
     /// hops whose channels all died, and empty worms become a
     /// [`SimError`] instead of a panic deep in the event loop.
     pub fn inject_checked(&mut self, plan: &DeliveryPlan) -> Result<MessageId, SimError> {
-        for w in &plan.worms {
+        for (i, w) in plan.worms.iter().enumerate() {
             match w {
                 PlanWorm::Path(p) | PlanWorm::Circuit(p) => {
                     if p.nodes.len() < 2 {
@@ -1236,6 +1284,17 @@ impl Engine {
                     }
                     for hop in p.nodes.windows(2) {
                         self.check_hop(hop[0], hop[1], p.class)?;
+                    }
+                }
+                PlanWorm::Staged(s) => {
+                    if s.path.nodes.len() < 2 {
+                        return Err(SimError::EmptyWorm);
+                    }
+                    for hop in s.path.nodes.windows(2) {
+                        self.check_hop(hop[0], hop[1], s.path.class)?;
+                    }
+                    if s.after.iter().any(|&a| a as usize >= i) {
+                        return Err(SimError::BadDependency { worm: i });
                     }
                 }
                 PlanWorm::Tree(t) => {
@@ -1918,6 +1977,36 @@ fn on_transfer_complete<C: ExecCtx>(cx: &mut C, w: usize, e: usize) {
         cx.worm(w).edges_done += 1;
         if cx.worm_ref(w).edges_done == cx.worm_ref(w).edges.len() {
             cx.worm(w).active = false;
+            // Release staged dependents in-cascade, exactly like a
+            // channel release granting a queued waiter. A zero-delta
+            // scheduled event would land inside the current lookahead
+            // window and break the window-parallel executor's
+            // determinism invariant; a direct release stays inside the
+            // feeder's own event in every execution mode. Feeder and
+            // dependents share one message, so the windowed executor
+            // already clusters them into one component (plus the
+            // dependents' root links, added at classification). The
+            // drained vec goes back to keep its capacity across slot
+            // reuse.
+            let mut deps = std::mem::take(&mut cx.worm(w).dependents);
+            for &(d, g) in &deps {
+                let d = d as usize;
+                let wst = cx.worm_ref(d);
+                if wst.gen == g && wst.active && wst.deps_pending > 0 {
+                    let left = {
+                        let ws = cx.worm(d);
+                        ws.deps_pending -= 1;
+                        ws.deps_pending
+                    };
+                    if left == 0 {
+                        // A staged worm is a path worm: its single
+                        // root is edge 0.
+                        request_channel(cx, d, 0);
+                    }
+                }
+            }
+            deps.clear();
+            cx.worm(w).dependents = deps;
             let slot_msg = cx.worm_ref(w).message;
             let finished = {
                 let m = cx.msg(slot_msg).as_mut().expect("message live");
@@ -2420,5 +2509,171 @@ mod tests {
         assert!(e.run_to_quiescence());
         let done = e.take_completed();
         assert_eq!(done[0].completed_at, done[0].injected_at);
+    }
+
+    fn staged(after: Vec<u32>, nodes: Vec<NodeId>) -> PlanWorm {
+        PlanWorm::Staged(crate::plan::PlanStage {
+            after,
+            path: PlanPath {
+                nodes,
+                class: ClassChoice::Any,
+            },
+        })
+    }
+
+    #[test]
+    fn staged_worm_starts_only_after_its_feeder_completes() {
+        // A two-round relay 0 -> 1 -> 2: the staged leg may not claim
+        // its first channel before the feeder's tail retires, so the
+        // relayed destination completes exactly two full message times
+        // plus one extra hop of pipeline fill after injection.
+        let mut e = engine_4x4();
+        let cfg = *e.config();
+        e.inject(&DeliveryPlan {
+            source: 0,
+            destinations: vec![1, 2],
+            worms: vec![
+                PlanWorm::Path(PlanPath {
+                    nodes: vec![0, 1],
+                    class: ClassChoice::Any,
+                }),
+                staged(vec![0], vec![1, 2]),
+            ],
+        });
+        assert!(e.run_to_quiescence());
+        let done = e.take_completed();
+        let d: std::collections::HashMap<NodeId, Time> =
+            done[0].deliveries.iter().copied().collect();
+        let single = cfg.routing_delay_ns + cfg.flit_time_ns() * cfg.flits_per_message() as u64;
+        assert_eq!(d[&1], single);
+        assert_eq!(d[&2], 2 * single, "relay waited for the feeder");
+    }
+
+    #[test]
+    fn staged_worm_with_multiple_feeders_waits_for_the_last() {
+        // Two feeders of different lengths; the staged worm fires when
+        // the *slower* one retires.
+        let mut e = engine_4x4();
+        let cfg = *e.config();
+        e.inject(&DeliveryPlan {
+            source: 0,
+            destinations: vec![1, 3, 7],
+            worms: vec![
+                PlanWorm::Path(PlanPath {
+                    nodes: vec![0, 1],
+                    class: ClassChoice::Any,
+                }),
+                PlanWorm::Path(PlanPath {
+                    nodes: vec![0, 4, 5, 6, 7],
+                    class: ClassChoice::Any,
+                }),
+                staged(vec![0, 1], vec![1, 2, 3]),
+            ],
+        });
+        assert!(e.run_to_quiescence());
+        let done = e.take_completed();
+        let d: std::collections::HashMap<NodeId, Time> =
+            done[0].deliveries.iter().copied().collect();
+        let hop = cfg.flit_time_ns() + cfg.routing_delay_ns;
+        let single = cfg.routing_delay_ns + cfg.flit_time_ns() * cfg.flits_per_message() as u64;
+        // The long feeder finishes 3 hops of fill after the short one.
+        assert_eq!(d[&7], single + 3 * hop);
+        // The staged leg starts there, not at the short feeder's end.
+        assert_eq!(d[&3], d[&7] + single + hop);
+    }
+
+    #[test]
+    fn held_staged_worm_claims_no_channels() {
+        // While held, a staged worm must not appear on any channel
+        // queue: an unrelated message over the same links proceeds at
+        // the uncontended latency.
+        let mut e = engine_4x4();
+        let cfg = *e.config();
+        e.inject(&DeliveryPlan {
+            source: 0,
+            destinations: vec![3, 2],
+            worms: vec![
+                PlanWorm::Path(PlanPath {
+                    nodes: vec![0, 4, 5, 6, 7, 3],
+                    class: ClassChoice::Any,
+                }),
+                staged(vec![0], vec![0, 1, 2]),
+            ],
+        });
+        // The competitor uses the staged worm's 0->1->2 links.
+        e.inject(&path_plan(vec![0, 1, 2], vec![2]));
+        assert!(e.run_to_quiescence());
+        let done = e.take_completed();
+        let competitor = done.iter().find(|c| c.id == 1).unwrap();
+        let single = cfg.routing_delay_ns + cfg.flit_time_ns() * cfg.flits_per_message() as u64;
+        let hop = cfg.flit_time_ns() + cfg.routing_delay_ns;
+        assert_eq!(
+            competitor.completed_at,
+            single + hop,
+            "competitor ran unblocked while the staged worm was held"
+        );
+    }
+
+    #[test]
+    fn inject_checked_rejects_bad_dependencies() {
+        use crate::error::SimError;
+        let mut e = engine_4x4();
+        // Self-dependency.
+        let plan = DeliveryPlan {
+            source: 0,
+            destinations: vec![1],
+            worms: vec![staged(vec![0], vec![0, 1])],
+        };
+        assert_eq!(
+            e.inject_checked(&plan),
+            Err(SimError::BadDependency { worm: 0 })
+        );
+        // Forward dependency.
+        let plan = DeliveryPlan {
+            source: 0,
+            destinations: vec![1, 2],
+            worms: vec![
+                staged(vec![1], vec![0, 1]),
+                PlanWorm::Path(PlanPath {
+                    nodes: vec![0, 1, 2],
+                    class: ClassChoice::Any,
+                }),
+            ],
+        };
+        assert_eq!(
+            e.inject_checked(&plan),
+            Err(SimError::BadDependency { worm: 0 })
+        );
+        assert_eq!(e.in_flight(), 0, "rejected plans leave nothing behind");
+        assert!(e.run_to_quiescence());
+    }
+
+    #[test]
+    fn staged_chain_of_dependencies_serializes_rounds() {
+        // A three-round chain on one row: each staged worm waits for
+        // the previous round, so completion times are strictly spaced
+        // full message times apart.
+        let mut e = engine_4x4();
+        let cfg = *e.config();
+        e.inject(&DeliveryPlan {
+            source: 0,
+            destinations: vec![1, 2, 3],
+            worms: vec![
+                PlanWorm::Path(PlanPath {
+                    nodes: vec![0, 1],
+                    class: ClassChoice::Any,
+                }),
+                staged(vec![0], vec![1, 2]),
+                staged(vec![1], vec![2, 3]),
+            ],
+        });
+        assert!(e.run_to_quiescence());
+        let done = e.take_completed();
+        let d: std::collections::HashMap<NodeId, Time> =
+            done[0].deliveries.iter().copied().collect();
+        let single = cfg.routing_delay_ns + cfg.flit_time_ns() * cfg.flits_per_message() as u64;
+        assert_eq!(d[&1], single);
+        assert_eq!(d[&2], 2 * single);
+        assert_eq!(d[&3], 3 * single);
     }
 }

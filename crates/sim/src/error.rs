@@ -34,6 +34,12 @@ pub enum SimError {
     /// A plan worm has no hops (a path of fewer than two nodes or a tree
     /// with no edges).
     EmptyWorm,
+    /// A staged worm's `after` list references itself or a later worm —
+    /// dependencies must point strictly backwards in the plan.
+    BadDependency {
+        /// Index of the offending worm in the plan.
+        worm: usize,
+    },
     /// The referenced message is not live in the engine (already
     /// completed, aborted, or never injected).
     MessageNotLive(MessageId),
@@ -49,6 +55,9 @@ impl fmt::Display for SimError {
                 write!(f, "every channel {from} -> {to} is failed")
             }
             SimError::EmptyWorm => write!(f, "plan worm has no hops"),
+            SimError::BadDependency { worm } => {
+                write!(f, "staged worm {worm} depends on itself or a later worm")
+            }
             SimError::MessageNotLive(id) => write!(f, "message {id} is not live"),
         }
     }

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod collectives;
 pub mod deadlock;
 pub mod diagnose;
 pub mod engine;
@@ -39,18 +40,19 @@ pub mod topograph;
 
 pub use mcast_obs as obs;
 
+pub use collectives::{CollectiveKind, CollectiveRouter, DpmRouter, UnicastRouting};
 pub use engine::{AbortedMessage, CompletedMessage, Engine, MessageId, RunBudget, SimConfig, Time};
 pub use error::SimError;
 pub use network::{ChannelId, Network};
-pub use plan::{ClassChoice, DeliveryPlan, PlanArena, PlanPath, PlanTree, PlanWorm};
+pub use plan::{ClassChoice, DeliveryPlan, PlanArena, PlanPath, PlanStage, PlanTree, PlanWorm};
 pub use recovery::{
     AbortReason, FaultDualPathRouter, FaultMultiPathRouter, FaultMulticastRouter, FaultPlan,
     MessageOutcome, ObliviousRouter, RecoveryEngine, RecoveryEvent, RecoveryPolicy, RecoveryStats,
 };
 pub use reference::ReferenceEngine;
 pub use registry::{
-    build_fault_router, build_route, build_router, schemes_for, BuiltTopo, RegistryError,
-    RoutePlan, SchemeId, SchemeInfo, TopoSpec,
+    build_fault_router, build_route, build_router, scheme_deadlock_free, schemes_for, BuiltTopo,
+    RegistryError, RoutePlan, SchemeId, SchemeInfo, TopoSpec,
 };
 pub use routers::MulticastRouter;
 pub use topograph::{

@@ -522,6 +522,24 @@ fn execute_window(engine: &mut Engine, par: &mut ParallelExec, cohort: &[(Time, 
                             keys.push(Key::Msg(engine.worms[w2].message));
                         }
                     }
+                    // A tail crossing may complete the worm, whose
+                    // cascade releases its staged dependents — each
+                    // then requests its root link (edge 0). `dependents`
+                    // is stable here: it is filled at inject and
+                    // drained only by the completion itself (which
+                    // would have marked this event stale). The
+                    // dependents share this worm's message, so the Msg
+                    // key already joins them; their root links must be
+                    // unioned explicitly. `edges_done` may still grow
+                    // inside the window, so no completion gate here —
+                    // over-approximating the component is always safe.
+                    for &(d, g) in wst.dependents.iter() {
+                        let dep = &engine.worms[d as usize];
+                        if dep.gen == g && dep.active {
+                            qworms.push(d as usize);
+                            keys.push(Key::Link(dep.edges[0].link_key));
+                        }
+                    }
                 }
             }
         }

@@ -64,6 +64,24 @@ pub enum PlanWorm {
     /// ("channels are the critical resources… the solution can also be
     /// applied to circuit switching", §2.3.4).
     Circuit(PlanPath),
+    /// A path worm held at the source until other worms of the *same
+    /// plan* complete — the engine-level primitive behind software
+    /// collectives, where a relay may forward a message only after the
+    /// round that delivered it to the relay has finished. A staged worm
+    /// claims no channel and occupies no queue slot while held, so it
+    /// cannot participate in deadlock before its dependencies retire.
+    Staged(PlanStage),
+}
+
+/// A staged path worm: the path plus its intra-plan dependencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStage {
+    /// Indices into the owning plan's `worms` that must complete before
+    /// this worm starts requesting channels. Every index must refer to
+    /// an *earlier* worm in the list (no forward or self dependencies).
+    pub after: Vec<u32>,
+    /// The path to follow once released.
+    pub path: PlanPath,
 }
 
 impl DeliveryPlan {
@@ -123,6 +141,7 @@ impl DeliveryPlan {
             .iter()
             .map(|w| match w {
                 PlanWorm::Path(p) | PlanWorm::Circuit(p) => p.nodes.len() - 1,
+                PlanWorm::Staged(s) => s.path.nodes.len() - 1,
                 PlanWorm::Tree(t) => t.edges.len(),
             })
             .sum()
@@ -139,6 +158,7 @@ impl DeliveryPlan {
 pub struct PlanArena {
     node_bufs: Vec<Vec<NodeId>>,
     edge_bufs: Vec<Vec<(NodeId, NodeId, ClassChoice)>>,
+    dep_bufs: Vec<Vec<u32>>,
     dual_scratch: mcast_core::dual_path::DualPathScratch,
 }
 
@@ -170,6 +190,12 @@ impl PlanArena {
         self.edge_bufs.pop().unwrap_or_default()
     }
 
+    /// Takes an empty staged-worm dependency buffer from the pool (or
+    /// allocates one).
+    pub fn dep_buf(&mut self) -> Vec<u32> {
+        self.dep_bufs.pop().unwrap_or_default()
+    }
+
     /// Returns every buffer inside `plan` to the pool, leaving the plan
     /// empty but with its `worms` capacity intact for reuse.
     pub fn recycle(&mut self, plan: &mut DeliveryPlan) {
@@ -183,6 +209,14 @@ impl PlanArena {
                     nodes.clear();
                     self.node_bufs.push(nodes);
                 }
+                PlanWorm::Staged(s) => {
+                    let mut nodes = s.path.nodes;
+                    nodes.clear();
+                    self.node_bufs.push(nodes);
+                    let mut after = s.after;
+                    after.clear();
+                    self.dep_bufs.push(after);
+                }
                 PlanWorm::Tree(t) => {
                     let mut edges = t.edges;
                     edges.clear();
@@ -194,7 +228,7 @@ impl PlanArena {
 
     /// Number of pooled buffers (diagnostic; bounds allocation churn).
     pub fn pooled(&self) -> usize {
-        self.node_bufs.len() + self.edge_bufs.len()
+        self.node_bufs.len() + self.edge_bufs.len() + self.dep_bufs.len()
     }
 }
 

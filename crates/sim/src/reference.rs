@@ -78,6 +78,11 @@ struct RefWorm {
     edges_done: usize,
     active: bool,
     stalled: bool,
+    /// Staged worms: feeders not yet complete. Held at the source (no
+    /// channel requested) while nonzero.
+    deps_pending: u32,
+    /// Worms released in-cascade by this worm's completion event.
+    dependents: Vec<usize>,
 }
 
 #[derive(Debug, Default)]
@@ -234,8 +239,32 @@ impl ReferenceEngine {
             self.finish_message(id);
             return id;
         }
+        // Build every worm first so staged dependencies can be wired by
+        // plan index, then issue root requests in worm order — the same
+        // request order as the engine.
+        let mut slots: Vec<usize> = Vec::with_capacity(plan.worms.len());
         for w in &plan.worms {
-            let widx = self.build_worm(id, w);
+            slots.push(self.build_worm(id, w));
+        }
+        for (i, pw) in plan.worms.iter().enumerate() {
+            if let PlanWorm::Staged(s) = pw {
+                let widx = slots[i];
+                self.worms[widx].deps_pending = s.after.len() as u32;
+                for &a in &s.after {
+                    debug_assert!(
+                        (a as usize) < i,
+                        "staged worm {i} depends on worm {a}, not an earlier one"
+                    );
+                    let feeder = slots[a as usize];
+                    self.worms[feeder].dependents.push(widx);
+                }
+            }
+        }
+        for &widx in &slots {
+            if self.worms[widx].deps_pending > 0 {
+                // Held at the source until the last feeder completes.
+                continue;
+            }
             match self.worms[widx].kind {
                 RefKind::Circuit => {
                     // The control packet claims one channel at a time.
@@ -257,7 +286,7 @@ impl ReferenceEngine {
     /// the channel table and the current fault state first — the same
     /// screen as [`Engine::inject_checked`](crate::Engine::inject_checked).
     pub fn inject_checked(&mut self, plan: &DeliveryPlan) -> Result<MessageId, SimError> {
-        for w in &plan.worms {
+        for (i, w) in plan.worms.iter().enumerate() {
             match w {
                 PlanWorm::Path(p) | PlanWorm::Circuit(p) => {
                     if p.nodes.len() < 2 {
@@ -265,6 +294,17 @@ impl ReferenceEngine {
                     }
                     for hop in p.nodes.windows(2) {
                         self.check_hop(hop[0], hop[1], p.class)?;
+                    }
+                }
+                PlanWorm::Staged(s) => {
+                    if s.path.nodes.len() < 2 {
+                        return Err(SimError::EmptyWorm);
+                    }
+                    for hop in s.path.nodes.windows(2) {
+                        self.check_hop(hop[0], hop[1], s.path.class)?;
+                    }
+                    if s.after.iter().any(|&a| a as usize >= i) {
+                        return Err(SimError::BadDependency { worm: i });
                     }
                 }
                 PlanWorm::Tree(t) => {
@@ -300,13 +340,15 @@ impl ReferenceEngine {
 
     fn build_worm(&mut self, message: MessageId, plan: &PlanWorm) -> usize {
         let kind = match plan {
-            PlanWorm::Path(_) => RefKind::Path,
+            PlanWorm::Path(_) | PlanWorm::Staged(_) => RefKind::Path,
             PlanWorm::Tree(_) => RefKind::Tree,
             PlanWorm::Circuit(_) => RefKind::Circuit,
         };
         let mut edges: Vec<RefEdge> = Vec::new();
         match plan {
-            PlanWorm::Path(p) | PlanWorm::Circuit(p) => {
+            PlanWorm::Path(p)
+            | PlanWorm::Circuit(p)
+            | PlanWorm::Staged(crate::plan::PlanStage { path: p, .. }) => {
                 assert!(p.nodes.len() >= 2, "path worm needs at least one hop");
                 let hops = p.nodes.len() - 1;
                 for (i, win) in p.nodes.windows(2).enumerate() {
@@ -414,6 +456,8 @@ impl ReferenceEngine {
             edges_done: 0,
             active: true,
             stalled: false,
+            deps_pending: 0,
+            dependents: Vec::new(),
         });
         self.worms.len() - 1
     }
@@ -697,6 +741,20 @@ impl ReferenceEngine {
             self.worms[w].edges_done += 1;
             if self.worms[w].edges_done == self.worms[w].edges.len() {
                 self.worms[w].active = false;
+                // Release staged dependents in-cascade — same position
+                // as the engine, so event seq assignment matches bit
+                // for bit.
+                let deps = std::mem::take(&mut self.worms[w].dependents);
+                for d in deps {
+                    if self.worms[d].active && self.worms[d].deps_pending > 0 {
+                        self.worms[d].deps_pending -= 1;
+                        if self.worms[d].deps_pending == 0 {
+                            // A staged worm is a path worm: its single
+                            // root is edge 0.
+                            self.request_channel(d, 0);
+                        }
+                    }
+                }
                 let m = self.messages[msg_id].as_mut().expect("message live");
                 m.worms_done += 1;
                 if m.worms_done == m.worms_total {
@@ -891,5 +949,73 @@ mod tests {
         let err = e.inject_checked(&path_plan(vec![0, 1], vec![1]));
         assert!(matches!(err, Err(SimError::DeadChannel { .. })));
         assert_eq!(e.in_flight(), 0);
+    }
+
+    #[test]
+    fn matches_engine_on_staged_collective_plans() {
+        // Staged-worm relay chains contending with plain traffic: the
+        // optimized engine and the reference must agree event for
+        // event, including the staged release times.
+        use crate::plan::PlanStage;
+        let m = Mesh2D::new(4, 4);
+        let staged = |after: Vec<u32>, nodes: Vec<NodeId>| {
+            PlanWorm::Staged(PlanStage {
+                after,
+                path: PlanPath {
+                    nodes,
+                    class: ClassChoice::Any,
+                },
+            })
+        };
+        let plans = [
+            DeliveryPlan {
+                source: 0,
+                destinations: vec![1, 2, 3, 7],
+                worms: vec![
+                    PlanWorm::Path(PlanPath {
+                        nodes: vec![0, 1],
+                        class: ClassChoice::Any,
+                    }),
+                    staged(vec![0], vec![1, 2]),
+                    staged(vec![0, 1], vec![2, 3, 7]),
+                ],
+            },
+            path_plan(vec![2, 1, 0], vec![0]),
+            DeliveryPlan {
+                source: 5,
+                destinations: vec![6, 7],
+                worms: vec![
+                    PlanWorm::Path(PlanPath {
+                        nodes: vec![5, 6],
+                        class: ClassChoice::Any,
+                    }),
+                    staged(vec![0], vec![6, 7]),
+                ],
+            },
+        ];
+        let mut fast = Engine::new(Network::new(&m, 1), SimConfig::default());
+        let mut refr = ReferenceEngine::new(Network::new(&m, 1), SimConfig::default());
+        for (i, p) in plans.iter().enumerate() {
+            let t = 60 * i as Time;
+            fast.run_until(t);
+            refr.run_until(t);
+            fast.inject(p);
+            refr.inject(p);
+        }
+        assert!(fast.run_to_quiescence());
+        assert!(refr.run_to_quiescence());
+        assert_eq!(fast.now(), refr.now());
+        assert_eq!(fast.flit_hops(), refr.flit_hops());
+        let mut df = fast.take_completed();
+        let mut dr = refr.take_completed();
+        df.sort_by_key(|c| c.id);
+        dr.sort_by_key(|c| c.id);
+        assert_eq!(df.len(), dr.len());
+        for (a, b) in df.iter().zip(&dr) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.completed_at, b.completed_at);
+            assert_eq!(a.deliveries, b.deliveries);
+            assert_eq!(a.traffic, b.traffic);
+        }
     }
 }

@@ -45,6 +45,7 @@ use mcast_topology::{
     CustomGraph, Hypercube, KAryNCube, Labeling, Mesh2D, Mesh3D, NodeId, Topology,
 };
 
+use crate::collectives::{CollectiveKind, CollectiveRouter, DpmRouter, UnicastRouting};
 use crate::network::Network;
 use crate::recovery::{
     FaultDualPathRouter, FaultMultiPathRouter, FaultMulticastRouter, ObliviousRouter,
@@ -449,6 +450,30 @@ pub const SCHEMES: &[SchemeInfo] = &[
         simulable: true,
     },
     SchemeInfo {
+        name: "dpm",
+        deadlock_free: true,
+        takes_lanes: false,
+        simulable: true,
+    },
+    SchemeInfo {
+        name: "binomial",
+        deadlock_free: true,
+        takes_lanes: false,
+        simulable: true,
+    },
+    SchemeInfo {
+        name: "recursive-doubling",
+        deadlock_free: true,
+        takes_lanes: false,
+        simulable: true,
+    },
+    SchemeInfo {
+        name: "binomial-reliable",
+        deadlock_free: true,
+        takes_lanes: false,
+        simulable: true,
+    },
+    SchemeInfo {
         name: "sorted-mp",
         deadlock_free: false,
         takes_lanes: false,
@@ -476,10 +501,18 @@ pub fn scheme_info(name: &str) -> Option<&'static SchemeInfo> {
 /// The simulable schemes registered for a topology — the pairs the
 /// exhaustiveness test iterates and `schemes_for` experiments sweep.
 pub fn schemes_for(topo: &TopoSpec) -> Vec<SchemeId> {
+    // The modern competitors (DESIGN.md §17) route over each topology's
+    // certified base unicast routing, so they register everywhere —
+    // including custom graphs, where the base routing is the
+    // synthesized up*/down* function.
+    let modern = ["dpm", "binomial", "recursive-doubling", "binomial-reliable"];
     // Custom graphs have no Hamiltonian-path labeling, so only the
-    // synthesized up*/down* schemes apply there.
+    // synthesized up*/down* schemes (plus the modern competitors) apply
+    // there.
     if let TopoSpec::Custom { .. } = topo {
-        return vec![SchemeId::named("updown-mc"), SchemeId::named("updown-tree")];
+        let mut out = vec![SchemeId::named("updown-mc"), SchemeId::named("updown-tree")];
+        out.extend(modern.iter().map(|n| SchemeId::named(n)));
+        return out;
     }
     let mut out: Vec<SchemeId> = ["dual-path", "multi-path", "fixed-path", "circuit-dual-path"]
         .iter()
@@ -498,7 +531,24 @@ pub fn schemes_for(topo: &TopoSpec) -> Vec<SchemeId> {
         TopoSpec::Hypercube { .. } => out.push(SchemeId::named("ecube-tree")),
         TopoSpec::KAryNCube { .. } | TopoSpec::Custom { .. } => {}
     }
+    out.extend(modern.iter().map(|n| SchemeId::named(n)));
     out
+}
+
+/// Whether a scheme's deadlock-freedom claim holds *on this topology*.
+///
+/// [`SchemeInfo::deadlock_free`] is the scheme's global claim; the
+/// modern competitors (DESIGN.md §17) inherit theirs from the base
+/// dimension-ordered unicast routing, which cycles through the wrap
+/// rings of a torus. The conformance harness certifies an acyclic CDG
+/// for exactly the `(topology, scheme)` pairs this returns `true` for.
+pub fn scheme_deadlock_free(topo: &TopoSpec, name: &str) -> bool {
+    match name {
+        "dpm" | "binomial" | "recursive-doubling" | "binomial-reliable" => {
+            !matches!(topo, TopoSpec::KAryNCube { wraps: true, .. })
+        }
+        _ => scheme_info(name).is_some_and(|i| i.deadlock_free),
+    }
 }
 
 fn not_available(topo: &TopoSpec, scheme: &SchemeId) -> RegistryError {
@@ -533,6 +583,15 @@ pub fn build_router(
         return match scheme.name.as_str() {
             "updown-mc" => Ok(Box::new(UpDownMulticastRouter::new(graph).map_err(fail)?)),
             "updown-tree" => Ok(Box::new(UpDownTreeRouter::new(graph).map_err(fail)?)),
+            "dpm" => Ok(Box::new(DpmRouter::new(
+                UnicastRouting::custom(graph).map_err(fail)?,
+            ))),
+            "binomial" | "recursive-doubling" | "binomial-reliable" => {
+                Ok(Box::new(CollectiveRouter::new(
+                    UnicastRouting::custom(graph).map_err(fail)?,
+                    collective_kind(&scheme.name).expect("matched above"),
+                )))
+            }
             _ => Err(not_available(topo, scheme)),
         };
     }
@@ -558,8 +617,50 @@ pub fn build_router(
         (BuiltTopo::Mesh3D(m), "octant-tree") => Box::new(OctantTreeRouter::new(m)),
         (BuiltTopo::Mesh2D(m), "xfirst-tree") => Box::new(XFirstTreeRouter::new(m)),
         (BuiltTopo::Hypercube(c), "ecube-tree") => Box::new(EcubeTreeRouter::new(c)),
+        // The modern competitors (DESIGN.md §17) run on every topology
+        // over its certified base unicast routing.
+        (t, "dpm") => Box::new(DpmRouter::new(unicast_for(&t))),
+        (t, name @ ("binomial" | "recursive-doubling" | "binomial-reliable")) => {
+            Box::new(CollectiveRouter::new(
+                unicast_for(&t),
+                collective_kind(name).expect("matched above"),
+            ))
+        }
         _ => return Err(not_available(topo, scheme)),
     })
+}
+
+fn collective_kind(name: &str) -> Option<CollectiveKind> {
+    match name {
+        "binomial" => Some(CollectiveKind::Binomial),
+        "recursive-doubling" => Some(CollectiveKind::RecursiveDoubling),
+        "binomial-reliable" => Some(CollectiveKind::BinomialReliable),
+        _ => None,
+    }
+}
+
+/// The base unicast routing for static-route construction — same
+/// dispatch as [`unicast_for`], plus custom graphs via their certified
+/// up*/down* synthesis (whose failure carries the witness cycle).
+fn route_unicast(topo: &TopoSpec, built: &BuiltTopo) -> Result<UnicastRouting, RegistryError> {
+    match built {
+        BuiltTopo::Custom(g) => UnicastRouting::custom(g).map_err(|e| err(format!("{topo}: {e}"))),
+        t => Ok(unicast_for(t)),
+    }
+}
+
+fn unicast_for(t: &BuiltTopo) -> UnicastRouting {
+    match t {
+        BuiltTopo::Mesh2D(m) => UnicastRouting::Mesh2D(*m),
+        BuiltTopo::Mesh3D(m) => UnicastRouting::Mesh3D(*m),
+        BuiltTopo::Hypercube(c) => UnicastRouting::Hypercube(*c),
+        BuiltTopo::KAryNCube(c) => UnicastRouting::KAry(*c),
+        BuiltTopo::Custom(_) => {
+            unreachable!(
+                "custom graphs dispatch to the up*/down* routers before the generic constructors"
+            )
+        }
+    }
 }
 
 fn dual_path_generic(t: BuiltTopo) -> Box<dyn MulticastRouter + Send + Sync> {
@@ -747,6 +848,41 @@ pub fn build_route(
                 traffic,
             });
         }
+        // The modern competitors (DESIGN.md §17) as static routes:
+        // DPM's kept partitions are a star of base-routing paths, and
+        // a collective schedule's sends merge (round-major) into one
+        // delivery tree rooted at the source.
+        (built, "dpm") => {
+            let router = DpmRouter::new(route_unicast(topo, built)?);
+            MulticastRoute::Star(
+                router
+                    .partitions(mc)
+                    .into_iter()
+                    .map(PathRoute::new)
+                    .collect(),
+            )
+        }
+        (built, "binomial" | "recursive-doubling" | "binomial-reliable") => {
+            let unicast = route_unicast(topo, built)?;
+            let ranks = CollectiveRouter::ranks(mc);
+            let sends = match collective_kind(&scheme.name).expect("matched above") {
+                CollectiveKind::Binomial | CollectiveKind::BinomialReliable => {
+                    crate::collectives::binomial_schedule(ranks.len())
+                }
+                CollectiveKind::RecursiveDoubling => {
+                    crate::collectives::recursive_doubling_schedule(ranks.len())
+                }
+            };
+            let mut tree = TreeRoute::new(mc.source);
+            for s in sends {
+                for w in unicast.path(ranks[s.from], ranks[s.to]).windows(2) {
+                    if !tree.contains(w[1]) {
+                        tree.attach(w[0], w[1]);
+                    }
+                }
+            }
+            MulticastRoute::Tree(tree)
+        }
         // Custom graphs: the synthesized-unicast schemes, as static
         // routes — a star of certified per-destination paths, or their
         // merged tree.
@@ -828,6 +964,34 @@ pub fn channel_names(topo: &TopoSpec, network: &Network) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn modern_schemes_build_static_routes_everywhere_registered() {
+        // `mcast route` goes through build_route, not build_router —
+        // every registered modern pair must produce a validated static
+        // route there too (DPM: star of kept partitions; collectives:
+        // the schedule's sends merged into a delivery tree).
+        for topo_s in [
+            "mesh:6x6",
+            "cube:4",
+            "kary:4x2",
+            "torus:3x2",
+            "custom:rand:10x3",
+        ] {
+            let topo = TopoSpec::parse(topo_s).unwrap();
+            let n = topo.num_nodes();
+            let mc = MulticastSet::new(1, vec![0, n / 2, n - 1]);
+            for name in ["dpm", "binomial", "recursive-doubling", "binomial-reliable"] {
+                let plan = build_route(&topo, &SchemeId::named(name), &mc)
+                    .unwrap_or_else(|e| panic!("{topo_s}/{name}: {}", e.0));
+                match plan {
+                    RoutePlan::Route(MulticastRoute::Star(_)) => assert_eq!(name, "dpm"),
+                    RoutePlan::Route(MulticastRoute::Tree(_)) => assert_ne!(name, "dpm"),
+                    _ => panic!("{topo_s}/{name}: unexpected plan shape"),
+                }
+            }
+        }
+    }
 
     #[test]
     fn topo_spec_parse_display_round_trip() {

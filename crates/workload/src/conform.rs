@@ -159,6 +159,7 @@ impl std::fmt::Display for VerifyScenario {
             match self.pattern {
                 PatternSpec::Uniform => "uniform",
                 PatternSpec::Hotspot => "hotspot",
+                PatternSpec::Bursty => "bursty",
             },
             self.load_us,
             self.destinations,
@@ -205,10 +206,10 @@ fn derive_workload(s: &VerifyScenario) -> Result<Workload, RegistryError> {
     let mut arrivals = Vec::with_capacity(s.messages);
     let mut planner_dropped = 0;
     let mut t: Time = 0;
-    for _ in 0..s.messages {
+    for seq in 0..s.messages {
         t += gen.exponential_ns(s.load_us * 1000.0);
         let source = gen.source();
-        let mc = pattern.apply(gen.multicast_distinct(source, s.destinations));
+        let mc = pattern.apply(seq as u64, gen.multicast_distinct(source, s.destinations));
         match router.plan(&mc, &mask) {
             Ok(fp) if !fp.plan.destinations.is_empty() => arrivals.push((t, fp.plan)),
             _ => planner_dropped += 1,
@@ -529,6 +530,12 @@ fn plan_hops(plan: &DeliveryPlan) -> impl Iterator<Item = (NodeId, NodeId, Class
             .windows(2)
             .map(|win| (win[0], win[1], p.class))
             .collect::<Vec<_>>(),
+        PlanWorm::Staged(s) => s
+            .path
+            .nodes
+            .windows(2)
+            .map(|win| (win[0], win[1], s.path.class))
+            .collect::<Vec<_>>(),
         PlanWorm::Tree(t) => t.edges.clone(),
     })
 }
@@ -568,11 +575,22 @@ fn plans_cdg(plans: &[Option<DeliveryPlan>], classes: u8) -> Option<ChannelDepen
     for p in &plans {
         for w in &p.worms {
             match w {
+                // A held staged worm occupies no channel, so its only
+                // channel-wait dependencies are the consecutive-hop
+                // ones of its released path — exactly a path worm's.
                 PlanWorm::Path(pp) | PlanWorm::Circuit(pp) => {
                     for win in pp.nodes.windows(3) {
                         cdg.add_dependency(
                             vertex(win[0], win[1], pp.class),
                             vertex(win[1], win[2], pp.class),
+                        );
+                    }
+                }
+                PlanWorm::Staged(st) => {
+                    for win in st.path.nodes.windows(3) {
+                        cdg.add_dependency(
+                            vertex(win[0], win[1], st.path.class),
+                            vertex(win[1], win[2], st.path.class),
                         );
                     }
                 }
@@ -851,7 +869,7 @@ pub fn scenario_for_case(seed: u64, case: usize) -> VerifyScenario {
     let load_us = *[2.0, 10.0, 60.0]
         .get(rng.gen_range(0..3usize))
         .expect("load pool");
-    VerifyScenario {
+    let mut scenario = VerifyScenario {
         topology,
         scheme,
         pattern: if rng.gen_range(0..2u32) == 0 {
@@ -876,11 +894,20 @@ pub fn scenario_for_case(seed: u64, case: usize) -> VerifyScenario {
             1 => 4,
             _ => 1,
         },
-        // Newest axis, drawn after every pre-existing one (same seed
-        // rule as above); roughly a quarter of cases run the streaming
+        // Drawn after every pre-existing axis (same seed rule as
+        // above); roughly a quarter of cases run the streaming
         // (slot-recycling) leg, some of those on the parallel executor.
         stream: rng.gen_range(0..4u32) == 0,
+    };
+    // Newest axis, drawn after every pre-existing one so earlier case
+    // seeds keep producing the workloads they always did: roughly a
+    // fifth of cases rewrite the drawn pattern to the bursty
+    // application-phase pattern (alternating uniform and root-directed
+    // phases).
+    if rng.gen_range(0..5u32) == 0 {
+        scenario.pattern = PatternSpec::Bursty;
     }
+    scenario
 }
 
 /// Generator-form custom topologies (`rand:`/`lmesh:`/`ftree:` sources)
@@ -1138,5 +1165,176 @@ mod custom_pool_tests {
             lanes.contains(&2) && lanes.contains(&4),
             "nightly draw must cover both 2- and 4-lane runs, got {lanes:?}"
         );
+    }
+
+    #[test]
+    fn nightly_case_budget_covers_every_modern_scheme() {
+        // Same nightly budget, third acceptance bar: the round-robin
+        // pair cycle must put each modern competitor scheme (DPM and
+        // the software collectives) through the oracle at least 256
+        // times a night, and the bursty phase pattern must show up as
+        // a meaningful axis alongside them.
+        let modern = ["dpm", "binomial", "recursive-doubling", "binomial-reliable"];
+        let mut per_scheme = std::collections::HashMap::new();
+        let mut bursty = 0usize;
+        for case in 0..4096 {
+            let s = scenario_for_case(1, case);
+            *per_scheme.entry(s.scheme.name.clone()).or_insert(0usize) += 1;
+            if s.pattern == PatternSpec::Bursty {
+                bursty += 1;
+            }
+        }
+        for name in modern {
+            let n = per_scheme.get(name).copied().unwrap_or(0);
+            assert!(
+                n >= 256,
+                "only {n} of 4096 nightly cases draw scheme {name}"
+            );
+        }
+        // The draw targets 1/5 of cases; require half the expectation.
+        assert!(
+            bursty >= 409,
+            "only {bursty} of 4096 nightly cases use the bursty pattern"
+        );
+    }
+
+    fn ceil_log2(n: usize) -> usize {
+        if n <= 1 {
+            0
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize
+        }
+    }
+
+    #[test]
+    fn collective_plans_deliver_exactly_once_within_log_rounds() {
+        // The software-collective property, checked on every pool
+        // topology: each destination is the endpoint of exactly one
+        // unicast send, and the staged dependency chains are no deeper
+        // than ⌈log₂ ranks⌉ rounds.
+        use mcast_sim::registry::build_router;
+        for topo in TOPOLOGY_POOL {
+            let spec = TopoSpec::parse(topo).unwrap();
+            let n = spec.num_nodes();
+            for name in ["binomial", "recursive-doubling", "binomial-reliable"] {
+                let router = build_router(&spec, &SchemeId::named(name))
+                    .unwrap_or_else(|e| panic!("{name} on {topo}: {e}"));
+                let mut gen = MulticastGen::new(n, 0xC0FFEE);
+                for _ in 0..8 {
+                    let source = gen.source();
+                    let mc = gen.multicast_distinct(source, 6.min(n - 1));
+                    let plan = router.plan(&mc);
+                    let ranks = 1 + plan
+                        .destinations
+                        .iter()
+                        .filter(|&&d| d != source)
+                        .collect::<std::collections::HashSet<_>>()
+                        .len();
+                    let mut depth = vec![0usize; plan.worms.len()];
+                    let mut recv_count: std::collections::HashMap<NodeId, usize> =
+                        std::collections::HashMap::new();
+                    for (i, w) in plan.worms.iter().enumerate() {
+                        let path = match w {
+                            PlanWorm::Path(p) => p,
+                            PlanWorm::Staged(s) => {
+                                depth[i] = 1 + s
+                                    .after
+                                    .iter()
+                                    .map(|&a| depth[a as usize])
+                                    .max()
+                                    .expect("staged worms have feeders");
+                                &s.path
+                            }
+                            _ => panic!("{name} plans are unicast paths"),
+                        };
+                        *recv_count.entry(*path.nodes.last().unwrap()).or_insert(0) += 1;
+                    }
+                    let rounds = 1 + depth.iter().copied().max().unwrap_or(0);
+                    assert!(
+                        rounds <= ceil_log2(ranks).max(1),
+                        "{name} on {topo}: {rounds} rounds for {ranks} ranks"
+                    );
+                    for d in &plan.destinations {
+                        assert_eq!(
+                            recv_count.get(d),
+                            Some(&1),
+                            "{name} on {topo}: destination {d} not delivered exactly once"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modern_schemes_conform_under_parallel_and_streaming() {
+        // Pinned bit-identity check for the modern competitor schemes:
+        // on each, the 4-lane windowed executor and the streaming
+        // (slot-recycling) leg must reproduce the serial event stream
+        // bit for bit, under the bursty phase pattern.
+        for name in ["dpm", "binomial", "recursive-doubling", "binomial-reliable"] {
+            for topo in ["mesh:5x3", "cube:3"] {
+                let s = VerifyScenario {
+                    topology: TopoSpec::parse(topo).unwrap(),
+                    scheme: SchemeId::named(name),
+                    pattern: PatternSpec::Bursty,
+                    load_us: 10.0,
+                    destinations: 5,
+                    messages: 12,
+                    seed: 99,
+                    fault_rate: 0.0,
+                    engine_jobs: 4,
+                    stream: true,
+                };
+                let problems = check_scenario(&s, false).unwrap_or_else(|e| panic!("{s}: {e}"));
+                assert!(problems.is_empty(), "{s}: {problems:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn modern_scheme_deadlock_claims_hold_on_every_pool_topology() {
+        // Registry exhaustiveness: every pool topology offers all four
+        // modern schemes. And wherever `scheme_deadlock_free` claims
+        // deadlock freedom, the channel dependency graph of a sampled
+        // plan set must be acyclic (Dally & Seitz); on wraparound tori
+        // no such claim may be made.
+        use mcast_sim::registry::{build_router, scheme_deadlock_free};
+        let modern = ["dpm", "binomial", "recursive-doubling", "binomial-reliable"];
+        for topo in TOPOLOGY_POOL {
+            let spec = TopoSpec::parse(topo).unwrap();
+            let schemes = schemes_for(&spec);
+            for name in modern {
+                assert!(
+                    schemes.iter().any(|s| s.name == name),
+                    "{name} missing from schemes_for({topo})"
+                );
+            }
+            let n = spec.num_nodes();
+            for name in modern {
+                if !scheme_deadlock_free(&spec, name) {
+                    assert!(
+                        matches!(spec, TopoSpec::KAryNCube { wraps: true, .. }),
+                        "{name} on {topo}: deadlock freedom only waived on wraparound tori"
+                    );
+                    continue;
+                }
+                let router = build_router(&spec, &SchemeId::named(name)).unwrap();
+                let classes = router.required_classes();
+                let mut gen = MulticastGen::new(n, 0xD06);
+                let plans: Vec<Option<DeliveryPlan>> = (0..10)
+                    .map(|_| {
+                        let source = gen.source();
+                        Some(router.plan(&gen.multicast_distinct(source, 5.min(n - 1))))
+                    })
+                    .collect();
+                let cdg = plans_cdg(&plans, classes)
+                    .unwrap_or_else(|| panic!("{name} on {topo}: CDG projection inexact"));
+                assert!(
+                    cdg.is_acyclic(),
+                    "{name} on {topo}: cyclic channel dependency graph despite deadlock-free claim"
+                );
+            }
+        }
     }
 }

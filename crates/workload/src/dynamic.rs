@@ -29,23 +29,45 @@ pub enum TrafficPattern {
         /// The hot-spot node every message addresses.
         node: usize,
     },
+    /// Bursty application phases (DESIGN.md §17): the run alternates
+    /// between a *broadcast* phase (uniform multicasts, every node
+    /// disseminating) and an *allreduce* phase (every multicast also
+    /// addresses the reduction `root`, the hot-spot of the collective's
+    /// gather step). Phases switch every `phase_len` injections, so the
+    /// load the network sees swings between spread-out and converging
+    /// traffic — the alternating compute/collective rhythm of data-
+    /// parallel applications.
+    Bursty {
+        /// Injections per phase (phase index = `seq / phase_len`).
+        phase_len: u64,
+        /// The reduction root addressed during allreduce phases.
+        root: usize,
+    },
 }
 
 impl TrafficPattern {
-    /// Rewrites a generated multicast set to match the pattern.
-    /// `Uniform` leaves it untouched (and is therefore bit-identical to
-    /// pattern-less runs).
-    pub fn apply(&self, mc: MulticastSet) -> MulticastSet {
+    /// Rewrites the `seq`-th generated multicast set (0-based, in
+    /// injection order) to match the pattern. `Uniform` leaves it
+    /// untouched (and is therefore bit-identical to pattern-less runs);
+    /// only [`TrafficPattern::Bursty`] reads `seq`.
+    pub fn apply(&self, seq: u64, mc: MulticastSet) -> MulticastSet {
+        fn toward(hot: usize, mc: MulticastSet) -> MulticastSet {
+            if mc.source == hot || mc.destinations.contains(&hot) || mc.destinations.is_empty() {
+                mc
+            } else {
+                let mut dests = mc.destinations;
+                dests[0] = hot;
+                MulticastSet::new(mc.source, dests)
+            }
+        }
         match *self {
             TrafficPattern::Uniform => mc,
-            TrafficPattern::Hotspot { node: hot } => {
-                if mc.source == hot || mc.destinations.contains(&hot) || mc.destinations.is_empty()
-                {
-                    mc
+            TrafficPattern::Hotspot { node: hot } => toward(hot, mc),
+            TrafficPattern::Bursty { phase_len, root } => {
+                if (seq / phase_len.max(1)) % 2 == 1 {
+                    toward(root, mc)
                 } else {
-                    let mut dests = mc.destinations;
-                    dests[0] = hot;
-                    MulticastSet::new(mc.source, dests)
+                    mc
                 }
             }
         }
@@ -217,6 +239,7 @@ pub fn run_dynamic_with_sink<T: Topology + ?Sized>(
     let mut traffic = Accumulator::new();
     let mut completions = 0usize;
     let mut saturated = false;
+    let mut injected = 0u64;
 
     loop {
         // Inject at the earliest generator firing.
@@ -226,11 +249,13 @@ pub fn run_dynamic_with_sink<T: Topology + ?Sized>(
             .min_by_key(|((t, node), _)| (*t, *node))
             .expect("generators exist");
         engine.run_until(t);
-        let mc = cfg
-            .pattern
-            .apply(gen.multicast_distinct(node, cfg.destinations.min(n - 1)));
+        let mc = cfg.pattern.apply(
+            injected,
+            gen.multicast_distinct(node, cfg.destinations.min(n - 1)),
+        );
         let plan = router.plan(&mc);
         engine.inject(&plan);
+        injected += 1;
         next_gen[node].0 = t + gen.exponential_ns(cfg.mean_interarrival_ns);
 
         // Harvest completions.
@@ -427,9 +452,10 @@ pub fn run_dynamic_stream<T: Topology + ?Sized>(
             }
         }
         engine.run_until(t);
-        let mc = cfg
-            .pattern
-            .apply(gen.multicast_distinct(node, cfg.destinations.min(n - 1)));
+        let mc = cfg.pattern.apply(
+            injected,
+            gen.multicast_distinct(node, cfg.destinations.min(n - 1)),
+        );
         router.plan_into(&mc, &mut arena, &mut plan);
         engine.inject(&plan);
         injected += 1;

@@ -42,15 +42,27 @@ pub enum PatternSpec {
     Uniform,
     /// Every multicast also addresses the topology's hot-spot node.
     Hotspot,
+    /// Bursty application phases (DESIGN.md §17): alternating broadcast
+    /// (uniform) and allreduce (converging on the topology's hot-spot
+    /// node as reduction root) phases of
+    /// [`PatternSpec::BURSTY_PHASE_LEN`] injections each.
+    Bursty,
 }
 
 impl PatternSpec {
+    /// Injections per bursty phase (the phase alternation period).
+    pub const BURSTY_PHASE_LEN: u64 = 64;
+
     /// Resolves to a concrete [`TrafficPattern`] on the given topology.
     pub fn resolve(&self, topo: &TopoSpec) -> TrafficPattern {
         match self {
             PatternSpec::Uniform => TrafficPattern::Uniform,
             PatternSpec::Hotspot => TrafficPattern::Hotspot {
                 node: topo.hotspot_node(),
+            },
+            PatternSpec::Bursty => TrafficPattern::Bursty {
+                phase_len: Self::BURSTY_PHASE_LEN,
+                root: topo.hotspot_node(),
             },
         }
     }
@@ -59,6 +71,7 @@ impl PatternSpec {
         match self {
             PatternSpec::Uniform => "uniform",
             PatternSpec::Hotspot => "hotspot",
+            PatternSpec::Bursty => "bursty",
         }
     }
 
@@ -66,8 +79,9 @@ impl PatternSpec {
         match s {
             "uniform" => Ok(PatternSpec::Uniform),
             "hotspot" => Ok(PatternSpec::Hotspot),
+            "bursty" => Ok(PatternSpec::Bursty),
             other => Err(err(format!(
-                "unknown pattern {other:?} (expected uniform or hotspot)"
+                "unknown pattern {other:?} (expected uniform, hotspot or bursty)"
             ))),
         }
     }
@@ -138,6 +152,11 @@ pub struct StreamSpec {
     /// million-multicast axis). `None` keeps the spec's batch-means
     /// stopping rule, making streaming a pure memory optimization.
     pub messages: Option<u64>,
+    /// Stop once the generators' clock passes this simulated time (ns)
+    /// — the wall-of-simulated-time axis (`mcast run --duration-ms`).
+    /// Composes with `messages`: whichever bound trips first stops the
+    /// point. Zero is rejected by [`ExperimentSpec::validate`].
+    pub duration_ns: Option<u64>,
     /// Backpressure ceiling on in-flight messages per point.
     pub max_in_flight: usize,
 }
@@ -147,6 +166,7 @@ impl Default for StreamSpec {
         let d = StreamConfig::default();
         StreamSpec {
             messages: None,
+            duration_ns: None,
             max_in_flight: d.max_in_flight,
         }
     }
@@ -157,7 +177,7 @@ impl StreamSpec {
     pub fn to_config(&self) -> StreamConfig {
         StreamConfig {
             messages: self.messages,
-            duration_ns: None,
+            duration_ns: self.duration_ns,
             max_in_flight: self.max_in_flight,
         }
     }
@@ -303,6 +323,9 @@ impl ExperimentSpec {
             }
             if stream.messages == Some(0) {
                 return Err(err("stream.messages must be at least 1"));
+            }
+            if stream.duration_ns == Some(0) {
+                return Err(err("stream.duration_ns must be at least 1"));
             }
         }
         if self.destinations == 0 || self.destinations >= self.topology.num_nodes() {
@@ -474,6 +497,9 @@ impl ExperimentSpec {
             if let Some(m) = stream.messages {
                 sf.push(("messages".into(), Json::Num(m as f64)));
             }
+            if let Some(d) = stream.duration_ns {
+                sf.push(("duration_ns".into(), Json::Num(d as f64)));
+            }
             if stream.max_in_flight != StreamSpec::default().max_in_flight {
                 sf.push(("max_in_flight".into(), Json::from(stream.max_in_flight)));
             }
@@ -611,26 +637,30 @@ impl ExperimentSpec {
             None => None,
             Some(sobj) => {
                 for key in sobj.keys() {
-                    if !["messages", "max_in_flight"].contains(&key) {
+                    if !["messages", "duration_ns", "max_in_flight"].contains(&key) {
                         return Err(err(format!("unknown stream field {key:?}")));
                     }
                 }
-                let default_stream = StreamSpec::default();
-                Some(StreamSpec {
-                    messages: match sobj.get("messages") {
-                        None => None,
+                let positive_u64 = |k: &str| -> Result<Option<u64>, RegistryError> {
+                    match sobj.get(k) {
+                        None => Ok(None),
                         Some(x) => {
                             let n = x
                                 .as_num()
-                                .ok_or_else(|| err("stream field \"messages\" not a number"))?;
+                                .ok_or_else(|| err(format!("stream field {k:?} not a number")))?;
                             if n < 1.0 || n.fract() != 0.0 {
-                                return Err(err(
-                                    "stream field \"messages\" must be a positive whole number",
-                                ));
+                                return Err(err(format!(
+                                    "stream field {k:?} must be a positive whole number"
+                                )));
                             }
-                            Some(n as u64)
+                            Ok(Some(n as u64))
                         }
-                    },
+                    }
+                };
+                let default_stream = StreamSpec::default();
+                Some(StreamSpec {
+                    messages: positive_u64("messages")?,
+                    duration_ns: positive_u64("duration_ns")?,
                     max_in_flight: usize_field(
                         sobj,
                         "max_in_flight",
@@ -754,6 +784,35 @@ mod tests {
     }
 
     #[test]
+    fn checked_in_modern_spec_is_canonical() {
+        // The README's "1990 vs modern" quickstart spec must stay
+        // parseable and byte-canonical, and must actually exercise the
+        // modern axes: a modern competitor scheme next to dual-path,
+        // the bursty phase pattern, and a duration-bounded stream.
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/spec_modern_vs_1990.json"
+        );
+        let text = std::fs::read_to_string(path).expect("examples/spec_modern_vs_1990.json exists");
+        let spec = ExperimentSpec::from_json(&text).expect("modern example spec parses");
+        spec.validate().expect("modern example spec validates");
+        for scheme in ["dual-path", "dpm", "binomial"] {
+            assert!(
+                spec.schemes.iter().any(|s| s.name == scheme),
+                "modern example spec is missing {scheme}"
+            );
+        }
+        assert_eq!(spec.pattern, PatternSpec::Bursty);
+        let stream = spec.stream.as_ref().expect("spec has a stream section");
+        assert!(stream.duration_ns.expect("duration bound set") >= 1_000_000);
+        assert_eq!(
+            spec.to_json(),
+            text,
+            "modern example spec is canonical JSON"
+        );
+    }
+
+    #[test]
     fn checked_in_custom_graph_spec_is_canonical() {
         // The README's custom-topology quickstart spec must stay
         // parseable and byte-canonical, and must resolve to a Custom
@@ -813,6 +872,7 @@ mod tests {
         spec.vct_buffers = true;
         spec.stream = Some(StreamSpec {
             messages: Some(1_000_000),
+            duration_ns: None,
             max_in_flight: 2048,
         });
         spec.fault = Some(FaultSpec {
@@ -862,6 +922,7 @@ mod tests {
         // Invalid values are rejected with readable errors.
         spec.stream = Some(StreamSpec {
             messages: Some(0),
+            duration_ns: None,
             max_in_flight: 64,
         });
         assert!(spec.validate().is_err());
@@ -874,6 +935,7 @@ mod tests {
         // multicasts and resolves them all.
         spec.stream = Some(StreamSpec {
             messages: Some(400),
+            duration_ns: None,
             max_in_flight: 64,
         });
         spec.validate().unwrap();
@@ -882,6 +944,51 @@ mod tests {
             .unwrap();
         assert_eq!(r.completed, 400);
         assert!(r.peak_in_flight <= 64);
+    }
+
+    #[test]
+    fn stream_duration_round_trips_and_rejects_zero() {
+        // duration_ns is a canonical spec field (`mcast run
+        // --duration-ms`): it must survive to_json → from_json →
+        // to_json byte-identically, compose with a message bound, and
+        // reject zero at both the validate and parse layers.
+        let mut spec = sample();
+        spec.stream = Some(StreamSpec {
+            messages: Some(200),
+            duration_ns: Some(5_000_000),
+            max_in_flight: 64,
+        });
+        spec.validate().unwrap();
+        let text = spec.to_json();
+        assert!(text.contains("\"duration_ns\": 5000000"), "{text}");
+        let back = ExperimentSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), text);
+        // Zero is always a mistake: a zero-length run measures nothing.
+        spec.stream = Some(StreamSpec {
+            messages: None,
+            duration_ns: Some(0),
+            max_in_flight: 64,
+        });
+        let err = spec.validate().unwrap_err();
+        assert!(err.0.contains("duration_ns"), "{}", err.0);
+        assert!(ExperimentSpec::from_json(
+            r#"{"name": "x", "topology": "mesh:4x4", "schemes": ["dual-path"],
+                "loads_us": [600], "destinations": 3, "stream": {"duration_ns": 0}}"#,
+        )
+        .is_err());
+        // A duration-bounded point stops injecting at the wall and
+        // drains: everything injected resolves.
+        spec.stream = Some(StreamSpec {
+            messages: None,
+            duration_ns: Some(2_000_000),
+            max_in_flight: 64,
+        });
+        spec.validate().unwrap();
+        let r = spec
+            .run_point(&SchemeId::named("dual-path"), 500.0, 0)
+            .unwrap();
+        assert!(r.completed > 0, "duration-bounded stream injected nothing");
     }
 
     #[test]
@@ -984,6 +1091,7 @@ mod tests {
                     } else {
                         None
                     },
+                    duration_ns: None,
                     max_in_flight: rng.gen_range(1..10_000),
                 });
             }

@@ -40,12 +40,12 @@ fn hotspot_full_load_quiesces(topo: &TopoSpec, scheme: &SchemeId) -> (bool, usiz
     let mut injected = 0;
     for _round in 0..3 {
         for src in 0..n {
-            let mc = pattern.apply(gen.multicast_distinct(src, 4.min(n - 1)));
+            let mc = pattern.apply(injected, gen.multicast_distinct(src, 4.min(n - 1)));
             engine.inject(&router.plan(&mc));
             injected += 1;
         }
     }
-    (engine.run_to_quiescence(), injected)
+    (engine.run_to_quiescence(), injected as usize)
 }
 
 /// Registry-claims satellite: every scheme the registry declares

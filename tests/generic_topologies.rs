@@ -7,7 +7,7 @@
 use mcast::prelude::*;
 use mcast::routing::vc_multi_path;
 use mcast::sim::plan::{PlanPath, PlanWorm};
-use mcast::sim::registry::{build_router, scheme_info, schemes_for, TopoSpec};
+use mcast::sim::registry::{build_router, scheme_deadlock_free, schemes_for, TopoSpec};
 use mcast::topology::cdg::ChannelDependencyGraph;
 use mcast::topology::hamiltonian::find_path;
 use mcast::topology::CubeConnectedCycles;
@@ -152,8 +152,10 @@ fn deadlock_free_schemes_have_acyclic_cdgs() {
         let built = topo.build();
         let n = topo.num_nodes();
         for scheme in schemes_for(&topo) {
-            let info = scheme_info(&scheme.name).expect("registered scheme has info");
-            if !info.deadlock_free {
+            // The claim is per (topology, scheme): the modern competitors
+            // inherit the base unicast routing's freedom, which the torus
+            // wrap rings break (DESIGN.md §17.4).
+            if !scheme_deadlock_free(&topo, &scheme.name) {
                 continue;
             }
             let router = build_router(&topo, &scheme).unwrap();
@@ -169,6 +171,19 @@ fn deadlock_free_schemes_have_acyclic_cdgs() {
                 let mc = gen.multicast_distinct(src, (n / 2).clamp(2, 8));
                 for worm in router.plan(&mc).worms {
                     match worm {
+                        // A staged worm holds no channel while held, so
+                        // waiting adds no dependence edge; once released
+                        // it is an ordinary path worm (DESIGN.md §17.3).
+                        PlanWorm::Staged(s) => {
+                            for c in worm_classes(s.path.class, classes) {
+                                for w in s.path.nodes.windows(3) {
+                                    cdgs[c as usize].add_dependency(
+                                        Channel::new(w[0], w[1]),
+                                        Channel::new(w[1], w[2]),
+                                    );
+                                }
+                            }
+                        }
                         PlanWorm::Path(p) | PlanWorm::Circuit(p) => {
                             for c in worm_classes(p.class, classes) {
                                 for w in p.nodes.windows(3) {
